@@ -1,0 +1,139 @@
+// Shared machinery for the figure-reproduction harnesses.
+//
+// Complexity harnesses (Figs. 5-8, Table I) run the real encode/decode
+// paths on 8-byte elements and read the xorops counters — one region op is
+// one "XOR" in the paper's accounting. Throughput harnesses (Figs. 9-13)
+// run the same paths on 4/8 KiB elements and report GB/s of stripe data.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "liberation/codes/raid6_code.hpp"
+#include "liberation/codes/stripe.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/util/timer.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace bench {
+
+inline constexpr std::uint64_t kSeed = 0x5eed5eedULL;
+
+/// Normalized encoding complexity: XORs per parity element / (k-1).
+inline double encode_complexity_norm(const liberation::codes::raid6_code& c) {
+    liberation::util::xoshiro256 rng(kSeed);
+    liberation::codes::stripe_buffer sb(c.rows(), c.n(), 8);
+    sb.fill_random(rng, c.k());
+    liberation::xorops::counting_scope scope;
+    c.encode(sb.view());
+    return static_cast<double>(scope.xors()) / (2.0 * c.rows()) / (c.k() - 1);
+}
+
+/// Normalized decoding complexity averaged over erasure patterns
+/// (the paper's methodology: all patterns; pass data_only=true to restrict
+/// to two-data-column pairs).
+inline double decode_complexity_norm(const liberation::codes::raid6_code& c,
+                                     bool data_only = false) {
+    liberation::util::xoshiro256 rng(kSeed);
+    liberation::codes::stripe_buffer ref(c.rows(), c.n(), 8);
+    ref.fill_random(rng, c.k());
+    c.encode(ref.view());
+    const std::uint32_t hi = data_only ? c.k() : c.n();
+    double sum = 0;
+    int n = 0;
+    for (std::uint32_t a = 0; a < hi; ++a) {
+        for (std::uint32_t b = a + 1; b < hi; ++b) {
+            liberation::codes::stripe_buffer broke(c.rows(), c.n(), 8);
+            liberation::codes::copy_stripe(broke.view(), ref.view());
+            const std::vector<std::uint32_t> pat{a, b};
+            liberation::xorops::counting_scope scope;
+            c.decode(broke.view(), pat);
+            sum += static_cast<double>(scope.xors()) / (2.0 * c.rows()) /
+                   (c.k() - 1);
+            ++n;
+        }
+    }
+    return n != 0 ? sum / n : 0.0;
+}
+
+/// Encode throughput in GB/s of stripe *data* (k strips), median-free
+/// simple timing: warm up once, then time `seconds` worth of iterations.
+inline double encode_throughput_gbps(const liberation::codes::raid6_code& c,
+                                     std::size_t elem,
+                                     double seconds = 0.15) {
+    liberation::util::xoshiro256 rng(kSeed);
+    liberation::codes::stripe_buffer sb(c.rows(), c.n(), elem);
+    sb.fill_random(rng, c.k());
+    c.encode(sb.view());  // warm-up + page-in
+
+    const std::uint64_t data_bytes =
+        static_cast<std::uint64_t>(c.k()) * c.rows() * elem;
+    // Best of three trials: throughput benches on a shared machine see
+    // one-sided noise (preemption only ever slows a trial down).
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+        std::uint64_t iters = 0;
+        liberation::util::stopwatch timer;
+        do {
+            c.encode(sb.view());
+            ++iters;
+        } while (timer.seconds() < seconds / 3);
+        best = std::max(best, liberation::util::throughput_gbps(
+                                  iters * data_bytes, timer.seconds()));
+    }
+    return best;
+}
+
+/// Decode throughput in GB/s of stripe data, averaged over all two-column
+/// erasure patterns (paper Section IV-B). Each timed decode includes
+/// whatever per-call work the implementation performs (for the bit-matrix
+/// baseline that includes matrix inversion + scheduling, as in Jerasure).
+inline double decode_throughput_gbps(const liberation::codes::raid6_code& c,
+                                     std::size_t elem,
+                                     double seconds_per_pattern = 0.006) {
+    liberation::util::xoshiro256 rng(kSeed);
+    liberation::codes::stripe_buffer sb(c.rows(), c.n(), elem);
+    sb.fill_random(rng, c.k());
+    c.encode(sb.view());
+
+    const std::uint64_t data_bytes =
+        static_cast<std::uint64_t>(c.k()) * c.rows() * elem;
+    double gbps_sum = 0;
+    int patterns = 0;
+    for (std::uint32_t a = 0; a < c.n(); ++a) {
+        for (std::uint32_t b = a + 1; b < c.n(); ++b) {
+            const std::vector<std::uint32_t> pat{a, b};
+            c.decode(sb.view(), pat);  // warm-up (also repairs the stripe)
+            std::uint64_t iters = 0;
+            liberation::util::stopwatch timer;
+            do {
+                c.decode(sb.view(), pat);
+                ++iters;
+            } while (timer.seconds() < seconds_per_pattern);
+            gbps_sum += liberation::util::throughput_gbps(iters * data_bytes,
+                                                          timer.seconds());
+            ++patterns;
+        }
+    }
+    return gbps_sum / patterns;
+}
+
+/// Fixed-width table printer.
+inline void print_header(const std::vector<std::string>& cols) {
+    for (const auto& c : cols) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols.size(); ++i) std::printf("  ------------");
+    std::printf("\n");
+}
+
+inline void print_row(std::uint32_t key, const std::vector<double>& vals,
+                      const char* fmt = "%14.4f") {
+    std::printf("%14u", key);
+    for (const double v : vals) std::printf(fmt, v);
+    std::printf("\n");
+}
+
+}  // namespace bench

@@ -1,0 +1,25 @@
+// Figure 11 — encoding throughput vs k at fixed p = 31, element sizes
+// 4 KiB and 8 KiB, optimal vs original.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+
+int main() {
+    using namespace liberation;
+    constexpr std::uint32_t p = 31;
+    std::printf("Fig. 11: encoding throughput (GB/s), fixed p = %u\n", p);
+    for (const std::size_t elem : {4096ull, 8192ull}) {
+        std::printf("\n(element size = %zu KB)\n", elem / 1024);
+        bench::print_header({"k", "optimal", "original", "opt/orig"});
+        for (std::uint32_t k = 4; k <= 22; k += 2) {
+            const core::liberation_optimal_code optimal(k, p);
+            const codes::liberation_bitmatrix_code original(k, p);
+            const double o = bench::encode_throughput_gbps(optimal, elem);
+            const double b = bench::encode_throughput_gbps(original, elem);
+            bench::print_row(k, {o, b, o / b}, "%14.3f");
+        }
+    }
+    return 0;
+}

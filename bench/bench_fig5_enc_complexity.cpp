@@ -1,0 +1,34 @@
+// Figure 5 — normalized encoding complexity, p varying with k.
+//
+// Series: EVENODD, RDP, Liberation(original), Liberation(optimal), each
+// normalized by the k-1 lower bound (1.0 = optimal). Expected shape: the
+// optimal Liberation encoder pins 1.0 for every k; the original tracks
+// 1 + 1/2p; EVENODD ~1 + 1/(2(k-1)); RDP 1.0 at k = p-1 with small bumps
+// between primes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "liberation/codes/evenodd.hpp"
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/codes/rdp.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/primes.hpp"
+
+int main() {
+    using namespace liberation;
+    std::printf(
+        "Fig. 5: normalized encoding complexity (p varying with k)\n\n");
+    bench::print_header({"k", "evenodd", "rdp", "lib-orig", "lib-opt"});
+    for (std::uint32_t k = 2; k <= 23; ++k) {
+        const std::uint32_t p = util::next_odd_prime(k);
+        const codes::evenodd_code evenodd(k, p);
+        const codes::rdp_code rdp(k, util::next_odd_prime(k + 1));
+        const codes::liberation_bitmatrix_code original(k, p);
+        const core::liberation_optimal_code optimal(k, p);
+        bench::print_row(k, {bench::encode_complexity_norm(evenodd),
+                             bench::encode_complexity_norm(rdp),
+                             bench::encode_complexity_norm(original),
+                             bench::encode_complexity_norm(optimal)});
+    }
+    return 0;
+}

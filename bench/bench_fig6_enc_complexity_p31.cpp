@@ -1,0 +1,33 @@
+// Figure 6 — normalized encoding complexity at fixed p = 31
+// (the "scalability" regime: disks can be added on the fly, so the code is
+// built for a large prime and k varies below it).
+//
+// Expected shape: EVENODD and RDP degrade substantially as k shrinks
+// relative to p, while both Liberation encoders stay flat — the optimal
+// one exactly at 1.0.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "liberation/codes/evenodd.hpp"
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/codes/rdp.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+
+int main() {
+    using namespace liberation;
+    constexpr std::uint32_t p = 31;
+    std::printf(
+        "Fig. 6: normalized encoding complexity (fixed p = %u)\n\n", p);
+    bench::print_header({"k", "evenodd", "rdp", "lib-orig", "lib-opt"});
+    for (std::uint32_t k = 2; k <= 23; ++k) {
+        const codes::evenodd_code evenodd(k, p);
+        const codes::rdp_code rdp(k, p);
+        const codes::liberation_bitmatrix_code original(k, p);
+        const core::liberation_optimal_code optimal(k, p);
+        bench::print_row(k, {bench::encode_complexity_norm(evenodd),
+                             bench::encode_complexity_norm(rdp),
+                             bench::encode_complexity_norm(original),
+                             bench::encode_complexity_norm(optimal)});
+    }
+    return 0;
+}

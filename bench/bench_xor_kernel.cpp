@@ -1,0 +1,60 @@
+// Micro-benchmark of the raw XOR region kernels (google-benchmark).
+// Establishes the memory-bandwidth ceiling every throughput figure is
+// ultimately bounded by.
+#include <benchmark/benchmark.h>
+
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace {
+
+using namespace liberation;
+
+void BM_XorInto(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::aligned_buffer dst(n), src(n);
+    util::xoshiro256 rng(1);
+    rng.fill(dst.span());
+    rng.fill(src.span());
+    for (auto _ : state) {
+        xorops::xor_into(dst.data(), src.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_XorInto)->Range(1 << 10, 1 << 20);
+
+void BM_Xor2(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::aligned_buffer dst(n), a(n), b(n);
+    util::xoshiro256 rng(2);
+    rng.fill(a.span());
+    rng.fill(b.span());
+    for (auto _ : state) {
+        xorops::xor2(dst.data(), a.data(), b.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(3 * n));
+}
+BENCHMARK(BM_Xor2)->Range(1 << 10, 1 << 20);
+
+void BM_Copy(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::aligned_buffer dst(n), src(n);
+    util::xoshiro256 rng(3);
+    rng.fill(src.span());
+    for (auto _ : state) {
+        xorops::copy(dst.data(), src.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_Copy)->Range(1 << 12, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

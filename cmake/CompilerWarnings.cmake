@@ -1,0 +1,16 @@
+# Strict-but-practical warning set applied to all first-party targets.
+function(liberation_set_warnings target)
+  target_compile_options(${target} INTERFACE
+    -Wall
+    -Wextra
+    -Wpedantic
+    -Wshadow
+    -Wconversion
+    -Wsign-conversion
+    -Wnon-virtual-dtor
+    -Wold-style-cast
+    -Wcast-align
+    -Woverloaded-virtual
+    -Wnull-dereference
+    -Wdouble-promotion)
+endfunction()

@@ -1,0 +1,84 @@
+// Online array growth — the paper's "Case (b)" deployment (Section III):
+// fix p at a prime large enough for the array's anticipated maximum size,
+// and add disks "on the fly". Because a Liberation code with fixed p
+// treats absent columns as phantom zeros, a freshly zeroed disk becomes a
+// real data column with NO parity recomputation: capacity expansion is
+// O(1) in I/O. (EVENODD/RDP pay for this flexibility with encoding and
+// decoding complexity that degrades as k shrinks below p — Figs. 6/8.)
+#include <cstdio>
+#include <vector>
+
+#include "liberation/raid/array.hpp"
+#include "liberation/util/rng.hpp"
+
+int main() {
+    using namespace liberation;
+    using namespace liberation::raid;
+
+    array_config cfg;
+    cfg.k = 4;
+    cfg.p = 17;  // sized for growth up to 17 data disks
+    cfg.element_size = 2048;
+    cfg.stripes = 24;
+    cfg.layout = parity_layout::parity_first;  // growth needs static parity
+    raid6_array array(cfg);
+
+    util::xoshiro256 rng(11);
+    std::vector<std::byte> image(array.capacity());
+    rng.fill(image);
+    if (!array.write(0, image)) return 1;
+    std::printf("initial array: %u disks (k=%u, p=%u), %zu MB usable\n",
+                array.disk_count(), array.map().k(), array.code().p(),
+                array.capacity() >> 20);
+
+    const auto parity_bytes = [&] {
+        return array.disk(0).stats().bytes_written +
+               array.disk(1).stats().bytes_written;
+    };
+
+    for (int round = 0; round < 3; ++round) {
+        const auto before = parity_bytes();
+        const auto old_capacity = array.capacity();
+        array.add_data_disk();
+        std::printf(
+            "added disk %u -> k=%u, capacity %zu -> %zu MB, parity bytes "
+            "written during growth: %llu\n",
+            array.disk_count() - 1, array.map().k(), old_capacity >> 20,
+            array.capacity() >> 20,
+            static_cast<unsigned long long>(parity_bytes() - before));
+        if (parity_bytes() != before) {
+            std::printf("UNEXPECTED PARITY TRAFFIC\n");
+            return 1;
+        }
+    }
+
+    // Every stripe is already consistent at the new width.
+    codes::stripe_buffer buf = array.make_stripe_buffer();
+    std::vector<std::uint32_t> erased;
+    for (std::size_t s = 0; s < array.map().stripes(); ++s) {
+        if (!array.load_stripe(s, buf.view(), erased) || !erased.empty() ||
+            !array.code().verify(buf.view())) {
+            std::printf("STRIPE %zu INCONSISTENT AFTER GROWTH\n", s);
+            return 1;
+        }
+    }
+    std::printf("all %zu stripes parity-consistent after 3 growths — no "
+                "re-encoding was needed\n",
+                array.map().stripes());
+
+    // And the grown array still takes double failures in stride.
+    std::vector<std::byte> fresh(array.capacity());
+    rng.fill(fresh);
+    if (!array.write(0, fresh)) return 1;
+    array.fail_disk(3);
+    array.fail_disk(8);
+    std::vector<std::byte> out(array.capacity());
+    if (!array.read(0, out) || out != fresh) {
+        std::printf("DEGRADED READ FAILED\n");
+        return 1;
+    }
+    std::printf("grown array survives a double disk failure: %zu MB read "
+                "back degraded and verified\n",
+                out.size() >> 20);
+    return 0;
+}

@@ -1,0 +1,86 @@
+// OLTP-ish small-write workload on the RAID simulator: random 4 KiB
+// writes, the dominant pattern in databases (paper Section II-B). Shows
+// the Liberation update-optimality end to end: each small write performs
+// 1 data-element write plus ~2 parity-element read-modify-writes, and the
+// measured per-disk write amplification approaches the RAID-6 floor of 3x
+// (data + P + Q) instead of EVENODD/RDP's ~4x.
+#include <cstdio>
+#include <vector>
+
+#include "liberation/raid/array.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/util/timer.hpp"
+
+int main() {
+    using namespace liberation;
+    using namespace liberation::raid;
+
+    array_config cfg;
+    cfg.k = 10;  // p = 11, 12 disks
+    cfg.element_size = 4096;
+    cfg.stripes = 64;
+    raid6_array array(cfg);
+
+    util::xoshiro256 rng(4242);
+    std::vector<std::byte> image(array.capacity());
+    rng.fill(image);
+    if (!array.write(0, image)) return 1;
+
+    // Reset the interesting counters by snapshotting before the workload.
+    std::uint64_t disk_bytes_before = 0;
+    for (std::uint32_t d = 0; d < array.disk_count(); ++d) {
+        disk_bytes_before += array.disk(d).stats().bytes_written;
+    }
+    const auto parity_before = array.stats().parity_elements_updated;
+
+    // 20k random element-aligned 4 KiB writes.
+    const std::size_t ops = 20000;
+    const std::size_t elements = array.capacity() / cfg.element_size;
+    std::vector<std::byte> payload(cfg.element_size);
+    util::stopwatch timer;
+    for (std::size_t i = 0; i < ops; ++i) {
+        rng.fill(payload);
+        const std::size_t addr =
+            rng.next_below(elements) * cfg.element_size;
+        if (!array.write(addr, payload)) return 1;
+    }
+    const double secs = timer.seconds();
+
+    std::uint64_t disk_bytes_after = 0;
+    for (std::uint32_t d = 0; d < array.disk_count(); ++d) {
+        disk_bytes_after += array.disk(d).stats().bytes_written;
+    }
+    const double logical = static_cast<double>(ops) * cfg.element_size;
+    const double physical =
+        static_cast<double>(disk_bytes_after - disk_bytes_before);
+    const double parity_per_write =
+        static_cast<double>(array.stats().parity_elements_updated -
+                            parity_before) /
+        static_cast<double>(ops);
+
+    std::printf("small-write workload: %zu x %zu KiB random writes on a "
+                "%u-disk array\n",
+                ops, cfg.element_size >> 10, array.disk_count());
+    std::printf("  elapsed:                 %.3f s  (%.0f writes/s)\n", secs,
+                ops / secs);
+    std::printf("  parity elements updated: %.4f per write "
+                "(RAID-6 floor: 2, EVENODD/RDP: ~3)\n",
+                parity_per_write);
+    std::printf("  write amplification:     %.4f x "
+                "(floor: 3.0 = data + P + Q)\n",
+                physical / logical);
+
+    // Sanity: every stripe still parity-consistent.
+    codes::stripe_buffer buf = array.make_stripe_buffer();
+    std::vector<std::uint32_t> erased;
+    for (std::size_t s = 0; s < array.map().stripes(); ++s) {
+        if (!array.load_stripe(s, buf.view(), erased) || !erased.empty() ||
+            !array.code().verify(buf.view())) {
+            std::printf("STRIPE %zu INCONSISTENT\n", s);
+            return 1;
+        }
+    }
+    std::printf("  all %zu stripes verified parity-consistent\n",
+                array.map().stripes());
+    return 0;
+}

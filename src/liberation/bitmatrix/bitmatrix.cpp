@@ -1,0 +1,191 @@
+#include "liberation/bitmatrix/bitmatrix.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::bitmatrix {
+
+bit_matrix::bit_matrix(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows), cols_(cols), words_(static_cast<std::size_t>(rows) *
+                                       ((cols + 63) / 64)) {
+    LIBERATION_EXPECTS(rows > 0 && cols > 0);
+}
+
+bit_matrix bit_matrix::identity(std::uint32_t n) {
+    bit_matrix m(n, n);
+    for (std::uint32_t i = 0; i < n; ++i) m.set(i, i, true);
+    return m;
+}
+
+bool bit_matrix::get(std::uint32_t r, std::uint32_t c) const noexcept {
+    LIBERATION_EXPECTS(r < rows_ && c < cols_);
+    return (row_ptr(r)[c / 64] >> (c % 64)) & 1U;
+}
+
+void bit_matrix::set(std::uint32_t r, std::uint32_t c, bool v) noexcept {
+    LIBERATION_EXPECTS(r < rows_ && c < cols_);
+    const std::uint64_t mask = 1ULL << (c % 64);
+    if (v) {
+        row_ptr(r)[c / 64] |= mask;
+    } else {
+        row_ptr(r)[c / 64] &= ~mask;
+    }
+}
+
+void bit_matrix::flip(std::uint32_t r, std::uint32_t c) noexcept {
+    LIBERATION_EXPECTS(r < rows_ && c < cols_);
+    row_ptr(r)[c / 64] ^= 1ULL << (c % 64);
+}
+
+std::uint32_t bit_matrix::row_weight(std::uint32_t r) const noexcept {
+    LIBERATION_EXPECTS(r < rows_);
+    std::uint32_t w = 0;
+    const auto* p = row_ptr(r);
+    for (std::size_t i = 0; i < words_per_row(); ++i) {
+        w += static_cast<std::uint32_t>(std::popcount(p[i]));
+    }
+    return w;
+}
+
+std::uint32_t bit_matrix::row_distance(std::uint32_t r, const bit_matrix& other,
+                                       std::uint32_t s) const noexcept {
+    LIBERATION_EXPECTS(cols_ == other.cols_ && r < rows_ && s < other.rows_);
+    std::uint32_t d = 0;
+    const auto* a = row_ptr(r);
+    const auto* b = other.row_ptr(s);
+    for (std::size_t i = 0; i < words_per_row(); ++i) {
+        d += static_cast<std::uint32_t>(std::popcount(a[i] ^ b[i]));
+    }
+    return d;
+}
+
+std::uint64_t bit_matrix::ones() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto w : words_) total += static_cast<std::uint64_t>(std::popcount(w));
+    return total;
+}
+
+void bit_matrix::xor_rows(std::uint32_t dst, std::uint32_t src) noexcept {
+    LIBERATION_EXPECTS(dst < rows_ && src < rows_);
+    auto* d = row_ptr(dst);
+    const auto* s = row_ptr(src);
+    for (std::size_t i = 0; i < words_per_row(); ++i) d[i] ^= s[i];
+}
+
+void bit_matrix::swap_rows(std::uint32_t a, std::uint32_t b) noexcept {
+    LIBERATION_EXPECTS(a < rows_ && b < rows_);
+    if (a == b) return;
+    auto* pa = row_ptr(a);
+    auto* pb = row_ptr(b);
+    for (std::size_t i = 0; i < words_per_row(); ++i) std::swap(pa[i], pb[i]);
+}
+
+std::vector<std::uint32_t> bit_matrix::row_ones(std::uint32_t r) const {
+    LIBERATION_EXPECTS(r < rows_);
+    std::vector<std::uint32_t> out;
+    const auto* p = row_ptr(r);
+    for (std::size_t w = 0; w < words_per_row(); ++w) {
+        std::uint64_t word = p[w];
+        while (word != 0) {
+            const int bit = std::countr_zero(word);
+            out.push_back(static_cast<std::uint32_t>(w * 64 +
+                                                     static_cast<std::size_t>(bit)));
+            word &= word - 1;
+        }
+    }
+    return out;
+}
+
+bit_matrix bit_matrix::multiply(const bit_matrix& other) const {
+    LIBERATION_EXPECTS(cols_ == other.rows_);
+    bit_matrix out(rows_, other.cols_);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        for (const std::uint32_t c : row_ones(r)) {
+            auto* d = out.row_ptr(r);
+            const auto* s = other.row_ptr(c);
+            for (std::size_t i = 0; i < out.words_per_row(); ++i) d[i] ^= s[i];
+        }
+    }
+    return out;
+}
+
+std::optional<bit_matrix> bit_matrix::inverted() const {
+    LIBERATION_EXPECTS(rows_ == cols_);
+    bit_matrix work = *this;
+    bit_matrix inv = identity(rows_);
+    for (std::uint32_t col = 0; col < cols_; ++col) {
+        std::uint32_t pivot = col;
+        while (pivot < rows_ && !work.get(pivot, col)) ++pivot;
+        if (pivot == rows_) return std::nullopt;
+        work.swap_rows(col, pivot);
+        inv.swap_rows(col, pivot);
+        for (std::uint32_t r = 0; r < rows_; ++r) {
+            if (r != col && work.get(r, col)) {
+                work.xor_rows(r, col);
+                inv.xor_rows(r, col);
+            }
+        }
+    }
+    return inv;
+}
+
+bit_matrix bit_matrix::select_rows(std::span<const std::uint32_t> row_idx) const {
+    LIBERATION_EXPECTS(!row_idx.empty());
+    bit_matrix out(static_cast<std::uint32_t>(row_idx.size()), cols_);
+    for (std::uint32_t i = 0; i < row_idx.size(); ++i) {
+        LIBERATION_EXPECTS(row_idx[i] < rows_);
+        auto* d = out.row_ptr(i);
+        const auto* s = row_ptr(row_idx[i]);
+        std::copy_n(s, words_per_row(), d);
+    }
+    return out;
+}
+
+bit_matrix bit_matrix::select_cols(std::span<const std::uint32_t> col_idx) const {
+    LIBERATION_EXPECTS(!col_idx.empty());
+    bit_matrix out(rows_, static_cast<std::uint32_t>(col_idx.size()));
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        for (std::uint32_t c = 0; c < col_idx.size(); ++c) {
+            LIBERATION_EXPECTS(col_idx[c] < cols_);
+            if (get(r, col_idx[c])) out.set(r, c, true);
+        }
+    }
+    return out;
+}
+
+bit_matrix bit_matrix::concat_cols(const bit_matrix& right) const {
+    LIBERATION_EXPECTS(rows_ == right.rows_);
+    bit_matrix out(rows_, cols_ + right.cols_);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        for (const std::uint32_t c : row_ones(r)) out.set(r, c, true);
+        for (const std::uint32_t c : right.row_ones(r)) {
+            out.set(r, cols_ + c, true);
+        }
+    }
+    return out;
+}
+
+bool bit_matrix::operator==(const bit_matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           words_ == other.words_;
+}
+
+std::uint32_t bit_matrix::rank() const {
+    bit_matrix work = *this;
+    std::uint32_t rank = 0;
+    for (std::uint32_t col = 0; col < cols_ && rank < rows_; ++col) {
+        std::uint32_t pivot = rank;
+        while (pivot < rows_ && !work.get(pivot, col)) ++pivot;
+        if (pivot == rows_) continue;
+        work.swap_rows(rank, pivot);
+        for (std::uint32_t r = 0; r < rows_; ++r) {
+            if (r != rank && work.get(r, col)) work.xor_rows(r, rank);
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+}  // namespace liberation::bitmatrix

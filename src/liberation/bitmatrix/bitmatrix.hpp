@@ -1,0 +1,92 @@
+// Dense bit matrices over GF(2).
+//
+// This is the substrate the *original* Liberation implementation (Jerasure
+// [14]) builds on: codes are w*n x w*k binary matrices, encoding is a
+// matrix-vector product over element regions, and decoding inverts the
+// sub-matrix of erased columns. Rows are packed 64 bits per word so the
+// scheduling heuristics (popcount / hamming distance) are word-parallel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace liberation::bitmatrix {
+
+class bit_matrix {
+public:
+    bit_matrix() noexcept = default;
+
+    /// rows x cols zero matrix.
+    bit_matrix(std::uint32_t rows, std::uint32_t cols);
+
+    static bit_matrix identity(std::uint32_t n);
+
+    [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+
+    [[nodiscard]] bool get(std::uint32_t r, std::uint32_t c) const noexcept;
+    void set(std::uint32_t r, std::uint32_t c, bool v) noexcept;
+    void flip(std::uint32_t r, std::uint32_t c) noexcept;
+
+    /// Number of 1 bits in row r.
+    [[nodiscard]] std::uint32_t row_weight(std::uint32_t r) const noexcept;
+
+    /// Number of positions where rows r of *this and s of other differ.
+    /// Matrices must have equal column counts.
+    [[nodiscard]] std::uint32_t row_distance(std::uint32_t r,
+                                             const bit_matrix& other,
+                                             std::uint32_t s) const noexcept;
+
+    /// Total number of 1 bits.
+    [[nodiscard]] std::uint64_t ones() const noexcept;
+
+    /// XOR row src into row dst (row ops of Gaussian elimination).
+    void xor_rows(std::uint32_t dst, std::uint32_t src) noexcept;
+
+    void swap_rows(std::uint32_t a, std::uint32_t b) noexcept;
+
+    /// Column indices of the 1 bits in row r, ascending.
+    [[nodiscard]] std::vector<std::uint32_t> row_ones(std::uint32_t r) const;
+
+    /// Matrix product over GF(2). Expects cols() == other.rows().
+    [[nodiscard]] bit_matrix multiply(const bit_matrix& other) const;
+
+    /// Inverse over GF(2) by Gauss-Jordan; nullopt if singular.
+    /// Expects a square matrix.
+    [[nodiscard]] std::optional<bit_matrix> inverted() const;
+
+    /// New matrix from the given rows of *this (duplicates allowed).
+    [[nodiscard]] bit_matrix select_rows(
+        std::span<const std::uint32_t> row_idx) const;
+
+    /// New matrix from the given columns of *this.
+    [[nodiscard]] bit_matrix select_cols(
+        std::span<const std::uint32_t> col_idx) const;
+
+    /// Horizontal concatenation [ *this | right ]. Row counts must match.
+    [[nodiscard]] bit_matrix concat_cols(const bit_matrix& right) const;
+
+    [[nodiscard]] bool operator==(const bit_matrix& other) const noexcept;
+
+    /// Rank over GF(2) (destroys nothing; works on a copy).
+    [[nodiscard]] std::uint32_t rank() const;
+
+private:
+    [[nodiscard]] std::size_t words_per_row() const noexcept {
+        return (cols_ + 63) / 64;
+    }
+    [[nodiscard]] std::uint64_t* row_ptr(std::uint32_t r) noexcept {
+        return words_.data() + r * words_per_row();
+    }
+    [[nodiscard]] const std::uint64_t* row_ptr(std::uint32_t r) const noexcept {
+        return words_.data() + r * words_per_row();
+    }
+
+    std::uint32_t rows_ = 0;
+    std::uint32_t cols_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace liberation::bitmatrix

@@ -1,0 +1,154 @@
+#include "liberation/bitmatrix/generic_code.hpp"
+
+#include <algorithm>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::bitmatrix {
+
+std::vector<region_ref> generic_data_regions(std::uint32_t w, std::uint32_t k) {
+    LIBERATION_EXPECTS(w >= 1 && k >= 1);
+    std::vector<region_ref> regions;
+    regions.reserve(static_cast<std::size_t>(k) * w);
+    for (std::uint32_t j = 0; j < k; ++j) {
+        for (std::uint32_t i = 0; i < w; ++i) {
+            regions.push_back({j, i});
+        }
+    }
+    return regions;
+}
+
+std::vector<region_ref> generic_parity_regions(std::uint32_t w,
+                                               std::uint32_t k) {
+    LIBERATION_EXPECTS(w >= 1 && k >= 1);
+    std::vector<region_ref> regions;
+    regions.reserve(2 * static_cast<std::size_t>(w));
+    for (std::uint32_t i = 0; i < w; ++i) regions.push_back({k, i});
+    for (std::uint32_t i = 0; i < w; ++i) regions.push_back({k + 1, i});
+    return regions;
+}
+
+generic_decode_plan make_generic_decode_plan(
+    const bit_matrix& gen, std::uint32_t w, std::uint32_t k,
+    std::span<const std::uint32_t> erased, bool smart) {
+    LIBERATION_EXPECTS(gen.rows() == 2 * w && gen.cols() == k * w);
+    LIBERATION_EXPECTS(erased.size() <= 2);
+    const std::uint32_t n = k + 2;
+
+    std::vector<std::uint32_t> erased_data;
+    std::vector<std::uint32_t> erased_parity;
+    for (const std::uint32_t c : erased) {
+        LIBERATION_EXPECTS(c < n);
+        LIBERATION_EXPECTS(std::count(erased.begin(), erased.end(), c) == 1);
+        (c < k ? erased_data : erased_parity).push_back(c);
+    }
+
+    const auto data_regions = generic_data_regions(w, k);
+    const auto parity_regions = generic_parity_regions(w, k);
+
+    generic_decode_plan plan;
+
+    if (!erased_data.empty()) {
+        const bool p_alive =
+            std::find(erased_parity.begin(), erased_parity.end(), k) ==
+            erased_parity.end();
+        const bool q_alive =
+            std::find(erased_parity.begin(), erased_parity.end(), k + 1) ==
+            erased_parity.end();
+
+        std::vector<std::uint32_t> unknown_bits;
+        for (const std::uint32_t c : erased_data) {
+            for (std::uint32_t i = 0; i < w; ++i) unknown_bits.push_back(c * w + i);
+        }
+        const auto u = static_cast<std::uint32_t>(unknown_bits.size());
+
+        // Candidate equations: surviving parity rows, sparsest first.
+        std::vector<std::uint32_t> candidates;
+        if (p_alive) {
+            for (std::uint32_t i = 0; i < w; ++i) candidates.push_back(i);
+        }
+        if (q_alive) {
+            for (std::uint32_t i = 0; i < w; ++i) candidates.push_back(w + i);
+        }
+        LIBERATION_EXPECTS(candidates.size() >= u);
+
+        // Greedy selection of u rows with an invertible restriction.
+        const bit_matrix restricted =
+            gen.select_rows(candidates).select_cols(unknown_bits);
+        std::vector<std::uint32_t> selected;
+        std::vector<std::vector<bool>> basis;
+        std::vector<std::uint32_t> pivot_of_basis;
+        for (std::uint32_t cand = 0;
+             cand < candidates.size() && selected.size() < u; ++cand) {
+            std::vector<bool> row(u);
+            for (std::uint32_t c = 0; c < u; ++c) row[c] = restricted.get(cand, c);
+            for (std::size_t b = 0; b < basis.size(); ++b) {
+                if (row[pivot_of_basis[b]]) {
+                    for (std::uint32_t c = 0; c < u; ++c) {
+                        row[c] = row[c] != basis[b][c];
+                    }
+                }
+            }
+            const auto pivot = std::find(row.begin(), row.end(), true);
+            if (pivot == row.end()) continue;
+            pivot_of_basis.push_back(
+                static_cast<std::uint32_t>(pivot - row.begin()));
+            basis.push_back(std::move(row));
+            selected.push_back(candidates[cand]);
+        }
+        LIBERATION_ENSURES(selected.size() == u);  // MDS generators only
+
+        const bit_matrix a = gen.select_rows(selected).select_cols(unknown_bits);
+        const auto a_inv = a.inverted();
+        LIBERATION_ENSURES(a_inv.has_value());
+
+        std::vector<std::uint32_t> surviving_bits;
+        std::vector<region_ref> inputs;
+        for (std::uint32_t j = 0; j < k; ++j) {
+            if (std::find(erased_data.begin(), erased_data.end(), j) !=
+                erased_data.end()) {
+                continue;
+            }
+            for (std::uint32_t i = 0; i < w; ++i) {
+                surviving_bits.push_back(j * w + i);
+                inputs.push_back(data_regions[j * w + i]);
+            }
+        }
+        for (const std::uint32_t r : selected) {
+            inputs.push_back(parity_regions[r]);
+        }
+
+        // B = [ A^-1 * M_selected,survivors | A^-1 ].
+        bit_matrix b = *a_inv;
+        if (!surviving_bits.empty()) {
+            const bit_matrix m_surv =
+                gen.select_rows(selected).select_cols(surviving_bits);
+            b = a_inv->multiply(m_surv).concat_cols(*a_inv);
+        }
+
+        std::vector<region_ref> outputs;
+        for (const std::uint32_t bit : unknown_bits) {
+            outputs.push_back(data_regions[bit]);
+        }
+
+        plan.ops = smart ? make_smart_schedule(b, inputs, outputs)
+                         : make_dumb_schedule(b, inputs, outputs);
+    }
+
+    for (const std::uint32_t c : erased_parity) {
+        plan.reencoded_parity.push_back(c);
+        const std::uint32_t base = (c == k) ? 0 : w;
+        for (std::uint32_t i = 0; i < w; ++i) {
+            bool first = true;
+            for (const std::uint32_t bit : gen.row_ones(base + i)) {
+                plan.ops.push_back({parity_regions[base + i],
+                                    data_regions[bit], first});
+                first = false;
+            }
+        }
+    }
+
+    return plan;
+}
+
+}  // namespace liberation::bitmatrix

@@ -1,0 +1,37 @@
+// Generic bit-matrix RAID-6 machinery: any P+Q code expressible as a
+// 2w x kw generator over GF(2) gets encoding schedules and decoding plans
+// from here. Clients: the original Liberation baseline, Blaum-Roth codes
+// and Cauchy Reed-Solomon (all Jerasure-style codes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "liberation/bitmatrix/bitmatrix.hpp"
+#include "liberation/bitmatrix/schedule.hpp"
+
+namespace liberation::bitmatrix {
+
+/// Region map of the kw data bits of a w-row code: element (i, j) at index
+/// j*w + i.
+[[nodiscard]] std::vector<region_ref> generic_data_regions(std::uint32_t w,
+                                                           std::uint32_t k);
+
+/// Region map of the 2w parity bits: P elements then Q elements.
+[[nodiscard]] std::vector<region_ref> generic_parity_regions(std::uint32_t w,
+                                                             std::uint32_t k);
+
+struct generic_decode_plan {
+    schedule ops;
+    std::vector<std::uint32_t> reencoded_parity;
+};
+
+/// Baseline decoding plan for any generator (see liberation_matrix.hpp for
+/// the construction steps): works for every <= 2-column erasure pattern of
+/// an MDS generator. `gen` is 2w x kw with P rows first.
+[[nodiscard]] generic_decode_plan make_generic_decode_plan(
+    const bit_matrix& gen, std::uint32_t w, std::uint32_t k,
+    std::span<const std::uint32_t> erased, bool smart = true);
+
+}  // namespace liberation::bitmatrix

@@ -1,0 +1,74 @@
+#include "liberation/bitmatrix/liberation_matrix.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "liberation/bitmatrix/generic_code.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/util/primes.hpp"
+
+namespace liberation::bitmatrix {
+
+namespace {
+
+void check_geometry(std::uint32_t p, std::uint32_t k) {
+    LIBERATION_EXPECTS(p >= 3 && util::is_prime(p) && p % 2 == 1);
+    LIBERATION_EXPECTS(k >= 1 && k <= p);
+}
+
+}  // namespace
+
+bit_matrix liberation_generator(std::uint32_t p, std::uint32_t k) {
+    check_geometry(p, k);
+    bit_matrix m(2 * p, k * p);
+    for (std::uint32_t i = 0; i < p; ++i) {
+        for (std::uint32_t j = 0; j < k; ++j) {
+            // P_i covers row i of every data column.
+            m.set(i, j * p + i, true);
+            // Q_i covers the anti-diagonal member (row (i+j) mod p, col j).
+            m.set(p + i, j * p + (i + j) % p, true);
+        }
+        if (i != 0) {
+            // Extra bit a_i = b[(-i-1) mod p][(-2i) mod p], present only if
+            // its column is a real data column.
+            const std::uint32_t y = (2 * p - 2 * i % (2 * p)) % p;  // (-2i) mod p
+            const std::uint32_t x = (p - 1 - i % p + p) % p;        // (-i-1) mod p
+            if (y < k) {
+                m.set(p + i, y * p + x, true);
+            }
+        }
+    }
+    return m;
+}
+
+std::vector<region_ref> data_bit_regions(std::uint32_t p, std::uint32_t k) {
+    check_geometry(p, k);
+    std::vector<region_ref> regions;
+    regions.reserve(static_cast<std::size_t>(k) * p);
+    for (std::uint32_t j = 0; j < k; ++j) {
+        for (std::uint32_t i = 0; i < p; ++i) {
+            regions.push_back({j, i});
+        }
+    }
+    return regions;
+}
+
+std::vector<region_ref> parity_bit_regions(std::uint32_t p, std::uint32_t k) {
+    check_geometry(p, k);
+    std::vector<region_ref> regions;
+    regions.reserve(2 * static_cast<std::size_t>(p));
+    for (std::uint32_t i = 0; i < p; ++i) regions.push_back({k, i});
+    for (std::uint32_t i = 0; i < p; ++i) regions.push_back({k + 1, i});
+    return regions;
+}
+
+decode_plan make_bitmatrix_decode_plan(std::uint32_t p, std::uint32_t k,
+                                       std::span<const std::uint32_t> erased,
+                                       bool smart) {
+    check_geometry(p, k);
+    auto generic = make_generic_decode_plan(liberation_generator(p, k), p, k,
+                                            erased, smart);
+    return {std::move(generic.ops), std::move(generic.reencoded_parity)};
+}
+
+}  // namespace liberation::bitmatrix

@@ -1,0 +1,57 @@
+// Liberation code bit matrix (Plank, FAST'08) and the generic decoding-
+// matrix construction used by the "original" (baseline) decoder.
+//
+// Conventions:
+//   * codeword is a p x (k+2) element array; column k is P, column k+1 is Q
+//   * data bit index   = j*p + i   for element (row i, data column j)
+//   * parity row index = i         for P_i, and p + i for Q_i
+//
+// The generator rows are read off the paper's eqs. (1)-(2):
+//   P_i = XOR_j b[i][j]
+//   Q_i = XOR_j b[(i+j) mod p][j]  (+ extra bit a_i for i != 0, where
+//         a_i = b[(-i-1) mod p][(-2i) mod p] — included only when its
+//         column is a real (non-phantom) data column)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "liberation/bitmatrix/bitmatrix.hpp"
+#include "liberation/bitmatrix/schedule.hpp"
+
+namespace liberation::bitmatrix {
+
+/// 2p x kp Liberation generator. Expects odd prime p and 1 <= k <= p.
+[[nodiscard]] bit_matrix liberation_generator(std::uint32_t p, std::uint32_t k);
+
+/// Region map of the kp data bits: element (i, j) at index j*p + i.
+[[nodiscard]] std::vector<region_ref> data_bit_regions(std::uint32_t p,
+                                                       std::uint32_t k);
+
+/// Region map of the 2p parity bits: P elements then Q elements.
+[[nodiscard]] std::vector<region_ref> parity_bit_regions(std::uint32_t p,
+                                                         std::uint32_t k);
+
+/// A compiled decoding plan for one erasure pattern: run `ops` over the
+/// stripe and the erased columns are rebuilt in place.
+struct decode_plan {
+    schedule ops;
+    /// Erased *parity* columns that must be re-encoded after the erased
+    /// data columns were recovered (by the generator rows inside `ops`).
+    std::vector<std::uint32_t> reencoded_parity;
+};
+
+/// Build the baseline ("original") decoding plan for up to two erased
+/// columns, Jerasure-style:
+///   1. choose parity constraints from the surviving parity columns,
+///   2. invert the sub-matrix of the erased data bits,
+///   3. compose the full decoding matrix  B = A^-1 [M_sel,survivors | I],
+///   4. smart-schedule B,
+///   5. append (dumb) generator rows for any erased parity column.
+/// `erased` holds distinct column indices in [0, k+2).
+[[nodiscard]] decode_plan make_bitmatrix_decode_plan(
+    std::uint32_t p, std::uint32_t k, std::span<const std::uint32_t> erased,
+    bool smart = true);
+
+}  // namespace liberation::bitmatrix

@@ -1,0 +1,117 @@
+#include "liberation/bitmatrix/schedule.hpp"
+
+#include <limits>
+
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::bitmatrix {
+
+std::uint64_t schedule_xor_count(const schedule& s) noexcept {
+    std::uint64_t n = 0;
+    for (const auto& op : s) {
+        if (!op.is_copy) ++n;
+    }
+    return n;
+}
+
+schedule make_dumb_schedule(const bit_matrix& m,
+                            std::span<const region_ref> inputs,
+                            std::span<const region_ref> outputs) {
+    LIBERATION_EXPECTS(inputs.size() == m.cols());
+    LIBERATION_EXPECTS(outputs.size() == m.rows());
+    schedule s;
+    s.reserve(m.ones());
+    for (std::uint32_t r = 0; r < m.rows(); ++r) {
+        const auto ones = m.row_ones(r);
+        LIBERATION_EXPECTS(!ones.empty());
+        bool first = true;
+        for (const std::uint32_t c : ones) {
+            s.push_back({outputs[r], inputs[c], first});
+            first = false;
+        }
+    }
+    return s;
+}
+
+schedule make_smart_schedule(const bit_matrix& m,
+                             std::span<const region_ref> inputs,
+                             std::span<const region_ref> outputs) {
+    LIBERATION_EXPECTS(inputs.size() == m.cols());
+    LIBERATION_EXPECTS(outputs.size() == m.rows());
+    const std::uint32_t rows = m.rows();
+
+    // Prim-style greedy (Jerasure's heuristic): every row starts with its
+    // from-scratch cost (row weight, as ops); repeatedly emit the cheapest
+    // remaining row — from scratch or as base-copy + per-difference XORs —
+    // then relax all remaining rows against the newly computed one. Output
+    // rows are produced out of order, which is fine: every consumer reads
+    // either an input or an already-emitted output.
+    constexpr std::uint32_t kScratch = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> cost(rows);
+    std::vector<std::uint32_t> base(rows, kScratch);
+    std::vector<bool> done(rows, false);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        cost[r] = m.row_weight(r);
+        LIBERATION_EXPECTS(cost[r] > 0);
+    }
+
+    schedule s;
+    for (std::uint32_t emitted = 0; emitted < rows; ++emitted) {
+        std::uint32_t best = kScratch;
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            if (!done[r] && (best == kScratch || cost[r] < cost[best])) {
+                best = r;
+            }
+        }
+        done[best] = true;
+
+        if (base[best] == kScratch) {
+            bool first = true;
+            for (const std::uint32_t c : m.row_ones(best)) {
+                s.push_back({outputs[best], inputs[c], first});
+                first = false;
+            }
+        } else {
+            s.push_back({outputs[best], outputs[base[best]], true});
+            for (std::uint32_t c = 0; c < m.cols(); ++c) {
+                if (m.get(best, c) != m.get(base[best], c)) {
+                    s.push_back({outputs[best], inputs[c], false});
+                }
+            }
+        }
+
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            if (done[r]) continue;
+            const std::uint32_t d = 1 + m.row_distance(r, m, best);
+            if (d < cost[r]) {
+                cost[r] = d;
+                base[r] = best;
+            }
+        }
+    }
+    return s;
+}
+
+void run_schedule(const schedule& s, const codes::stripe_view& stripe,
+                  std::size_t packet_size) {
+    const std::size_t elem = stripe.element_size();
+    if (packet_size == 0) packet_size = elem;
+    LIBERATION_EXPECTS(packet_size > 0 && elem % packet_size == 0);
+    // Jerasure-style: walk packets in the outer loop, the schedule in the
+    // inner loop, so the working set per pass is one packet per region.
+    for (std::size_t off = 0; off < elem; off += packet_size) {
+        for (const auto& op : s) {
+            std::byte* dst = stripe.element(op.dst.row, op.dst.col) + off;
+            const std::byte* src =
+                stripe.element(op.src.row, op.src.col) + off;
+            if (op.is_copy) {
+                xorops::copy(dst, src, packet_size);
+            } else {
+                xorops::xor_into(dst, src, packet_size);
+            }
+        }
+    }
+}
+
+}  // namespace liberation::bitmatrix

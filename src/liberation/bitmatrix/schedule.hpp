@@ -1,0 +1,65 @@
+// XOR schedules: straight-line programs of region copy/XOR operations
+// compiled from a bit matrix, plus the two Jerasure scheduling heuristics.
+//
+// * dumb: each output element is the XOR of the input elements named by the
+//   1 bits of its matrix row (first term is a copy). Cost = ones(M) - rows.
+// * smart: outputs are produced in row order; each row may instead start
+//   from the cheapest *previously produced* output row (1 copy + one XOR
+//   per differing bit) when that beats computing from scratch. This is the
+//   heuristic behind the "original" Liberation decoder's ~1.15(k-1) cost
+//   and is the baseline the paper improves on.
+//
+// The executor mirrors Jerasure's jerasure_do_scheduled_operations: regions
+// are processed packet by packet, re-interpreting the schedule for each
+// packet. This keeps the baseline's per-operation interpretive overhead
+// realistic when we measure throughput against the paper's new algorithms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "liberation/bitmatrix/bitmatrix.hpp"
+#include "liberation/codes/stripe.hpp"
+
+namespace liberation::bitmatrix {
+
+/// Names one element region of a stripe.
+struct region_ref {
+    std::uint32_t col = 0;  ///< strip / device index
+    std::uint32_t row = 0;  ///< element index within the strip
+
+    [[nodiscard]] bool operator==(const region_ref&) const noexcept = default;
+};
+
+/// One straight-line operation: dst = src (copy) or dst ^= src (xor).
+struct schedule_op {
+    region_ref dst;
+    region_ref src;
+    bool is_copy = false;
+};
+
+using schedule = std::vector<schedule_op>;
+
+/// Number of XOR (non-copy) ops — the paper's complexity unit.
+[[nodiscard]] std::uint64_t schedule_xor_count(const schedule& s) noexcept;
+
+/// Straightforward translation: out[r] = XOR of inputs at the 1 bits of
+/// matrix row r. `inputs.size()` must equal m.cols(), `outputs.size()`
+/// m.rows(). Zero-weight rows are rejected (a RAID-6 parity is never empty).
+[[nodiscard]] schedule make_dumb_schedule(const bit_matrix& m,
+                                          std::span<const region_ref> inputs,
+                                          std::span<const region_ref> outputs);
+
+/// Jerasure-style smart scheduling (see file header).
+[[nodiscard]] schedule make_smart_schedule(const bit_matrix& m,
+                                           std::span<const region_ref> inputs,
+                                           std::span<const region_ref> outputs);
+
+/// Execute a schedule over a stripe, packet by packet.
+/// packet_size must divide the element size; 0 means one packet per element.
+void run_schedule(const schedule& s, const codes::stripe_view& stripe,
+                  std::size_t packet_size = 0);
+
+}  // namespace liberation::bitmatrix

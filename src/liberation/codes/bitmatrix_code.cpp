@@ -1,0 +1,165 @@
+#include "liberation/codes/bitmatrix_code.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "liberation/gf/gf256.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/util/primes.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::codes {
+
+bitmatrix_code::bitmatrix_code(std::string name, std::uint32_t k,
+                               std::uint32_t w, bitmatrix::bit_matrix gen,
+                               bool cache_decode_plans, std::size_t packet_size)
+    : name_(std::move(name)),
+      k_(k),
+      w_(w),
+      cache_plans_(cache_decode_plans),
+      packet_size_(packet_size),
+      generator_(std::move(gen)) {
+    LIBERATION_EXPECTS(k_ >= 1 && w_ >= 1);
+    LIBERATION_EXPECTS(generator_.rows() == 2 * w_ &&
+                       generator_.cols() == k_ * w_);
+    const auto inputs = bitmatrix::generic_data_regions(w_, k_);
+    const auto outputs = bitmatrix::generic_parity_regions(w_, k_);
+    encode_schedule_ =
+        bitmatrix::make_smart_schedule(generator_, inputs, outputs);
+}
+
+std::size_t bitmatrix_code::effective_packet(std::size_t elem) const noexcept {
+    if (packet_size_ != 0) return packet_size_;
+    return preferred_packet_size(static_cast<std::size_t>(k_ + 2) * w_, elem);
+}
+
+void bitmatrix_code::encode(const stripe_view& s) const {
+    check_stripe(s);
+    bitmatrix::run_schedule(encode_schedule_, s,
+                            effective_packet(s.element_size()));
+}
+
+bitmatrix::generic_decode_plan bitmatrix_code::plan_for(
+    std::span<const std::uint32_t> erased) const {
+    if (!cache_plans_) {
+        return bitmatrix::make_generic_decode_plan(generator_, w_, k_, erased);
+    }
+    std::vector<std::uint32_t> key(erased.begin(), erased.end());
+    std::sort(key.begin(), key.end());
+    std::lock_guard lock(cache_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it == plan_cache_.end()) {
+        it = plan_cache_
+                 .emplace(key, bitmatrix::make_generic_decode_plan(
+                                   generator_, w_, k_, erased))
+                 .first;
+    }
+    return it->second;
+}
+
+void bitmatrix_code::decode(const stripe_view& s,
+                            std::span<const std::uint32_t> erased) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(!erased.empty() && erased.size() <= 2);
+    const auto plan = plan_for(erased);
+    bitmatrix::run_schedule(plan.ops, s, effective_packet(s.element_size()));
+}
+
+std::uint32_t bitmatrix_code::apply_update(
+    const stripe_view& s, std::uint32_t row, std::uint32_t col,
+    std::span<const std::byte> delta) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(row < w_ && col < k_);
+    LIBERATION_EXPECTS(delta.size() == s.element_size());
+    const std::size_t e = s.element_size();
+    const std::uint32_t bit = col * w_ + row;
+    std::uint32_t touched = 0;
+    for (std::uint32_t r = 0; r < 2 * w_; ++r) {
+        if (!generator_.get(r, bit)) continue;
+        const std::uint32_t pcol = r < w_ ? p_column() : q_column();
+        const std::uint32_t prow = r < w_ ? r : r - w_;
+        xorops::xor_into(s.element(prow, pcol), delta.data(), e);
+        ++touched;
+    }
+    return touched;
+}
+
+std::uint64_t bitmatrix_code::encode_xor_count() const noexcept {
+    return bitmatrix::schedule_xor_count(encode_schedule_);
+}
+
+std::uint64_t bitmatrix_code::decode_xor_count(
+    std::span<const std::uint32_t> erased) const {
+    return bitmatrix::schedule_xor_count(plan_for(erased).ops);
+}
+
+// ---- Blaum-Roth ----------------------------------------------------------
+
+bitmatrix::bit_matrix blaum_roth_generator(std::uint32_t p, std::uint32_t k) {
+    LIBERATION_EXPECTS(p >= 3 && p % 2 == 1 && util::is_prime(p));
+    LIBERATION_EXPECTS(k >= 1 && k <= p - 1);
+    const std::uint32_t w = p - 1;
+
+    // Multiply-by-x in GF(2)[x] / (1 + x + ... + x^(p-1)):
+    //   x * x^j = x^(j+1)              for j < p-2
+    //   x * x^(p-2) = x^(p-1) = 1 + x + ... + x^(p-2)
+    bitmatrix::bit_matrix t(w, w);
+    for (std::uint32_t j = 0; j + 1 < w; ++j) t.set(j + 1, j, true);
+    for (std::uint32_t i = 0; i < w; ++i) t.set(i, w - 1, true);
+
+    bitmatrix::bit_matrix gen(2 * w, k * w);
+    bitmatrix::bit_matrix power = bitmatrix::bit_matrix::identity(w);  // x^0
+    for (std::uint32_t j = 0; j < k; ++j) {
+        for (std::uint32_t i = 0; i < w; ++i) {
+            // P block: identity.
+            gen.set(i, j * w + i, true);
+            // Q block: T^j.
+            for (std::uint32_t c = 0; c < w; ++c) {
+                if (power.get(i, c)) gen.set(w + i, j * w + c, true);
+            }
+        }
+        power = t.multiply(power);
+    }
+    return gen;
+}
+
+blaum_roth_code::blaum_roth_code(std::uint32_t k, std::uint32_t p,
+                                 bool cache_decode_plans)
+    : bitmatrix_code("blaum_roth(k=" + std::to_string(k) +
+                         ",p=" + std::to_string(p) + ")",
+                     k, p - 1, blaum_roth_generator(p, k),
+                     cache_decode_plans),
+      p_(p) {}
+
+blaum_roth_code::blaum_roth_code(std::uint32_t k)
+    : blaum_roth_code(k, util::next_odd_prime(k + 1)) {}
+
+// ---- Reed-Solomon bit matrix ----------------------------------------------
+
+bitmatrix::bit_matrix rs_bitmatrix_generator(std::uint32_t k) {
+    LIBERATION_EXPECTS(k >= 1 && k <= 254);
+    constexpr std::uint32_t w = 8;
+    const auto& field = gf::gf256::instance();
+
+    bitmatrix::bit_matrix gen(2 * w, k * w);
+    for (std::uint32_t j = 0; j < k; ++j) {
+        const std::uint8_t coeff = field.pow_g(j);
+        for (std::uint32_t t = 0; t < w; ++t) {
+            // P block: identity.
+            gen.set(t, j * w + t, true);
+            // Q block column t: bits of coeff * x^t in GF(2^8).
+            const std::uint8_t prod =
+                field.mul(coeff, static_cast<std::uint8_t>(1u << t));
+            for (std::uint32_t i = 0; i < w; ++i) {
+                if ((prod >> i) & 1u) gen.set(w + i, j * w + t, true);
+            }
+        }
+    }
+    return gen;
+}
+
+rs_bitmatrix_code::rs_bitmatrix_code(std::uint32_t k, bool cache_decode_plans)
+    : bitmatrix_code("rs_bitmatrix(k=" + std::to_string(k) + ")", k, 8,
+                     rs_bitmatrix_generator(k), cache_decode_plans) {}
+
+}  // namespace liberation::codes

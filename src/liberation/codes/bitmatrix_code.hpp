@@ -1,0 +1,103 @@
+// Generic schedule-driven RAID-6 code: everything a bit-matrix generator
+// defines — encoding schedule, per-pattern decoding plans, update rule —
+// in one reusable base (the Jerasure programming model). Subclasses only
+// supply the generator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "liberation/bitmatrix/generic_code.hpp"
+#include "liberation/codes/raid6_code.hpp"
+
+namespace liberation::codes {
+
+class bitmatrix_code : public raid6_code {
+public:
+    /// `gen` must be a 2w x kw MDS generator (P rows then Q rows).
+    /// cache_decode_plans memoizes per-pattern plans; the faithful Jerasure
+    /// baseline leaves it off and pays matrix work on every decode call.
+    /// packet_size 0 = auto (L1/L2 footprint policy).
+    bitmatrix_code(std::string name, std::uint32_t k, std::uint32_t w,
+                   bitmatrix::bit_matrix gen, bool cache_decode_plans = false,
+                   std::size_t packet_size = 0);
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] std::uint32_t k() const noexcept override { return k_; }
+    [[nodiscard]] std::uint32_t rows() const noexcept override { return w_; }
+
+    void encode(const stripe_view& stripe) const override;
+    void decode(const stripe_view& stripe,
+                std::span<const std::uint32_t> erased) const override;
+    std::uint32_t apply_update(const stripe_view& stripe, std::uint32_t row,
+                               std::uint32_t col,
+                               std::span<const std::byte> delta) const override;
+
+    [[nodiscard]] const bitmatrix::bit_matrix& generator() const noexcept {
+        return generator_;
+    }
+
+    /// XOR count of the compiled encode schedule (complexity benches).
+    [[nodiscard]] std::uint64_t encode_xor_count() const noexcept;
+
+    /// XOR count of the decode plan for a pattern (complexity benches).
+    [[nodiscard]] std::uint64_t decode_xor_count(
+        std::span<const std::uint32_t> erased) const;
+
+private:
+    [[nodiscard]] bitmatrix::generic_decode_plan plan_for(
+        std::span<const std::uint32_t> erased) const;
+    [[nodiscard]] std::size_t effective_packet(std::size_t elem) const noexcept;
+
+    std::string name_;
+    std::uint32_t k_;
+    std::uint32_t w_;
+    bool cache_plans_;
+    std::size_t packet_size_;
+    bitmatrix::bit_matrix generator_;
+    bitmatrix::schedule encode_schedule_;
+    mutable std::mutex cache_mutex_;
+    mutable std::map<std::vector<std::uint32_t>, bitmatrix::generic_decode_plan>
+        plan_cache_;
+};
+
+/// Blaum-Roth minimum-density code (cited via [24]): w = p-1 for an odd
+/// prime p > k. Column j of the Q parity multiplies by x^j in the ring
+/// GF(2)[x] / M_p(x), M_p(x) = 1 + x + ... + x^(p-1). Like Liberation it
+/// meets the minimum-density update bound; unlike Liberation its w is p-1.
+class blaum_roth_code final : public bitmatrix_code {
+public:
+    /// Expects odd prime p with k <= p-1 (w = p-1 rows per strip).
+    blaum_roth_code(std::uint32_t k, std::uint32_t p,
+                    bool cache_decode_plans = false);
+    /// Uses the smallest odd prime > k.
+    explicit blaum_roth_code(std::uint32_t k);
+
+    [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+
+private:
+    std::uint32_t p_;
+};
+
+/// Build the Blaum-Roth generator (exposed for tests).
+[[nodiscard]] bitmatrix::bit_matrix blaum_roth_generator(std::uint32_t p,
+                                                         std::uint32_t k);
+
+/// Reed-Solomon P+Q projected to a bit matrix over GF(2^8): P row blocks
+/// are identities, Q row blocks are the 8x8 bit projections of multiply-
+/// by-g^j (the bit-matrix analogue of the Linux RAID-6 scheme, built the
+/// way Jerasure turns GF coding into XOR schedules). Supports k <= 254
+/// with strips of 8 elements. Dense generator — the comparison point that
+/// shows why the sparse array codes win on XOR count.
+class rs_bitmatrix_code final : public bitmatrix_code {
+public:
+    explicit rs_bitmatrix_code(std::uint32_t k,
+                               bool cache_decode_plans = false);
+};
+
+/// Build the RS bit-matrix generator (exposed for tests).
+[[nodiscard]] bitmatrix::bit_matrix rs_bitmatrix_generator(std::uint32_t k);
+
+}  // namespace liberation::codes

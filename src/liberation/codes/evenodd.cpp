@@ -1,0 +1,272 @@
+#include "liberation/codes/evenodd.hpp"
+
+#include <algorithm>
+
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/util/primes.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::codes {
+
+namespace {
+
+/// Accumulate src into dst with the first-touch-copies convention.
+class accumulator {
+public:
+    accumulator(std::byte* dst, std::size_t n) noexcept : dst_(dst), n_(n) {}
+
+    void add(const std::byte* src) noexcept {
+        if (fresh_) {
+            xorops::copy(dst_, src, n_);
+            fresh_ = false;
+        } else {
+            xorops::xor_into(dst_, src, n_);
+        }
+    }
+
+    /// If nothing was accumulated, the destination is logically zero.
+    void finish() noexcept {
+        if (fresh_) xorops::zero(dst_, n_);
+    }
+
+private:
+    std::byte* dst_;
+    std::size_t n_;
+    bool fresh_ = true;
+};
+
+}  // namespace
+
+evenodd_code::evenodd_code(std::uint32_t k, std::uint32_t p) : k_(k), p_(p) {
+    LIBERATION_EXPECTS(k >= 1);
+    LIBERATION_EXPECTS(p >= 3 && p % 2 == 1 && util::is_prime(p));
+    LIBERATION_EXPECTS(k <= p);
+}
+
+evenodd_code::evenodd_code(std::uint32_t k)
+    : evenodd_code(k, util::next_odd_prime(k)) {}
+
+std::string evenodd_code::name() const {
+    return "evenodd(k=" + std::to_string(k_) + ",p=" + std::to_string(p_) + ")";
+}
+
+void evenodd_code::encode(const stripe_view& s) const {
+    check_stripe(s);
+    encode_p_only(s);
+    encode_q_only(s);
+}
+
+void evenodd_code::encode_p_only(const stripe_view& s) const {
+    const std::size_t e = s.element_size();
+    for (std::uint32_t i = 0; i < p_ - 1; ++i) {
+        accumulator acc(s.element(i, p_column()), e);
+        for (std::uint32_t j = 0; j < k_; ++j) acc.add(s.element(i, j));
+        acc.finish();
+    }
+}
+
+void evenodd_code::encode_q_only(const stripe_view& s) const {
+    const std::size_t e = s.element_size();
+    // Adjuster S = parity of diagonal p-1 (i+j == p-1; the j == 0 member is
+    // the imaginary row). Held in a scratch element.
+    util::aligned_buffer s_buf(e);
+    {
+        accumulator acc(s_buf.data(), e);
+        for (std::uint32_t j = 1; j < k_; ++j) acc.add(s.element(p_ - 1 - j, j));
+        acc.finish();
+    }
+    for (std::uint32_t d = 0; d < p_ - 1; ++d) {
+        accumulator acc(s.element(d, q_column()), e);
+        acc.add(s_buf.data());
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            const std::uint32_t i = (d + p_ - j) % p_;
+            if (i == p_ - 1) continue;  // imaginary row
+            acc.add(s.element(i, j));
+        }
+        acc.finish();
+    }
+}
+
+void evenodd_code::decode(const stripe_view& s,
+                          std::span<const std::uint32_t> erased) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(!erased.empty() && erased.size() <= 2);
+    const std::uint32_t pc = p_column();
+    const std::uint32_t qc = q_column();
+
+    std::uint32_t a = erased[0];
+    std::uint32_t b = erased.size() == 2 ? erased[1] : a;
+    if (a > b) std::swap(a, b);
+    LIBERATION_EXPECTS(b < n());
+    LIBERATION_EXPECTS(erased.size() == 1 || a != b);
+
+    if (erased.size() == 1) {
+        if (a == pc) {
+            encode_p_only(s);
+        } else if (a == qc) {
+            encode_q_only(s);
+        } else {
+            decode_single_data(s, a);
+        }
+        return;
+    }
+    if (a == pc && b == qc) {  // both parities
+        encode(s);
+    } else if (b == qc) {  // data + Q
+        decode_single_data(s, a);
+        encode_q_only(s);
+    } else if (b == pc) {  // data + P
+        decode_data_and_p(s, a);
+    } else {  // two data columns
+        decode_two_data(s, a, b);
+    }
+}
+
+void evenodd_code::decode_single_data(const stripe_view& s,
+                                      std::uint32_t l) const {
+    // Row parity alone: b[i][l] = P_i XOR (other data in row i).
+    const std::size_t e = s.element_size();
+    for (std::uint32_t i = 0; i < p_ - 1; ++i) {
+        accumulator acc(s.element(i, l), e);
+        acc.add(s.element(i, p_column()));
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j != l) acc.add(s.element(i, j));
+        }
+        acc.finish();
+    }
+}
+
+void evenodd_code::decode_data_and_p(const stripe_view& s,
+                                     std::uint32_t l) const {
+    const std::size_t e = s.element_size();
+    // Step 1: recover the adjuster S from a diagonal free of column-l bits.
+    // Diagonal (l-1 mod p) has its column-l member in the imaginary row; for
+    // l == 0 that diagonal is p-1, whose parity *is* S by definition.
+    util::aligned_buffer s_buf(e);
+    {
+        accumulator acc(s_buf.data(), e);
+        const std::uint32_t d = (l + p_ - 1) % p_;
+        if (d != p_ - 1) acc.add(s.element(d, q_column()));
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j == l) continue;
+            const std::uint32_t i = (d + p_ - j) % p_;
+            if (i == p_ - 1) continue;
+            acc.add(s.element(i, j));
+        }
+        acc.finish();
+    }
+    // Step 2: every other diagonal yields one missing bit:
+    //   b[x][l] = Q_d ^ S ^ surviving members,   d = (x + l) mod p,
+    // where diagonal p-1 has no Q element and contributes S alone.
+    for (std::uint32_t x = 0; x < p_ - 1; ++x) {
+        const std::uint32_t d = (x + l) % p_;
+        accumulator acc(s.element(x, l), e);
+        acc.add(s_buf.data());
+        if (d != p_ - 1) acc.add(s.element(d, q_column()));
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j == l) continue;
+            const std::uint32_t i = (d + p_ - j) % p_;
+            if (i == p_ - 1) continue;
+            acc.add(s.element(i, j));
+        }
+        acc.finish();
+    }
+    encode_p_only(s);
+}
+
+void evenodd_code::decode_two_data(const stripe_view& s, std::uint32_t l,
+                                   std::uint32_t r) const {
+    const std::size_t e = s.element_size();
+    const std::uint32_t delta = r - l;
+
+    // S = (XOR of all P elements) ^ (XOR of all Q elements): summing every
+    // row parity gives the whole array; summing every diagonal parity gives
+    // the whole array plus (p-1)S ^ S-per-row... net S (p odd).
+    util::aligned_buffer s_buf(e);
+    {
+        accumulator acc(s_buf.data(), e);
+        for (std::uint32_t i = 0; i < p_ - 1; ++i) acc.add(s.element(i, p_column()));
+        for (std::uint32_t i = 0; i < p_ - 1; ++i) acc.add(s.element(i, q_column()));
+        acc.finish();
+    }
+
+    // Row syndromes into strip l: R_i = P_i ^ surviving data in row i.
+    for (std::uint32_t i = 0; i < p_ - 1; ++i) {
+        accumulator acc(s.element(i, l), e);
+        acc.add(s.element(i, p_column()));
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j != l && j != r) acc.add(s.element(i, j));
+        }
+        acc.finish();
+    }
+
+    // Diagonal syndromes, one per diagonal d=0..p-1. Diagonal p-1's parity
+    // is S itself. Stored in a scratch strip of p elements.
+    util::aligned_buffer d_buf(static_cast<std::size_t>(p_) * e);
+    for (std::uint32_t d = 0; d < p_; ++d) {
+        accumulator acc(d_buf.data() + static_cast<std::size_t>(d) * e, e);
+        acc.add(s_buf.data());
+        if (d != p_ - 1) acc.add(s.element(d, q_column()));
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j == l || j == r) continue;
+            const std::uint32_t i = (d + p_ - j) % p_;
+            if (i == p_ - 1) continue;
+            acc.add(s.element(i, j));
+        }
+        acc.finish();
+    }
+
+    // Zigzag: start at the diagonal whose column-r member is imaginary,
+    // alternate diagonal -> row. After step t the chain sits at row
+    // x_t = ((t+1)*delta - 1) mod p; x hits p-1 after exactly p-1 steps.
+    std::uint32_t x = (delta + p_ - 1) % p_;
+    for (std::uint32_t t = 0; t + 1 < p_; ++t) {
+        LIBERATION_ENSURES(x != p_ - 1);
+        const std::uint32_t d = (x + l) % p_;
+        // b[x][l] = D_d (all other members known / already folded in).
+        std::byte* bl = s.element(x, l);
+        // The row syndrome currently stored at (x, l) must be preserved:
+        // fold it into b[x][r] instead. Order: compute b[x][l] into place
+        // after extracting the row syndrome via b[x][r].
+        std::byte* br = s.element(x, r);
+        // b[x][r] = R_x ^ b[x][l]; with R_x stored in (x,l):
+        //   first br = R_x ^ D_d, then bl = D_d.
+        xorops::xor2(br, bl, d_buf.data() + static_cast<std::size_t>(d) * e, e);
+        xorops::copy(bl, d_buf.data() + static_cast<std::size_t>(d) * e, e);
+        // Fold the recovered b[x][r] into the diagonal that contains it.
+        const std::uint32_t d_next = (x + r) % p_;
+        xorops::xor_into(d_buf.data() + static_cast<std::size_t>(d_next) * e, br,
+                         e);
+        x = (x + delta) % p_;
+    }
+    LIBERATION_ENSURES(x == p_ - 1);
+}
+
+std::uint32_t evenodd_code::apply_update(const stripe_view& s,
+                                         std::uint32_t row, std::uint32_t col,
+                                         std::span<const std::byte> delta) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(row < rows() && col < k_);
+    LIBERATION_EXPECTS(delta.size() == s.element_size());
+    const std::size_t e = s.element_size();
+    std::uint32_t touched = 0;
+    xorops::xor_into(s.element(row, p_column()), delta.data(), e);
+    ++touched;
+    if ((row + col) % p_ == p_ - 1) {
+        // On the adjuster diagonal: S changes, so every Q element flips.
+        for (std::uint32_t d = 0; d < p_ - 1; ++d) {
+            xorops::xor_into(s.element(d, q_column()), delta.data(), e);
+            ++touched;
+        }
+        // ...except the bit's own diagonal is p-1 (no Q element), so no
+        // double-count correction is needed.
+    } else {
+        xorops::xor_into(s.element((row + col) % p_, q_column()), delta.data(),
+                         e);
+        ++touched;
+    }
+    return touched;
+}
+
+}  // namespace liberation::codes

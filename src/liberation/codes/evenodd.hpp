@@ -1,0 +1,50 @@
+// EVENODD code (Blaum, Brady, Bruck, Menon, 1995) — comparator for the
+// complexity figures (paper Figs. 5-8, Table I).
+//
+// Codeword: (p-1) x (p+2) element array, p odd prime, k <= p data columns
+// (columns k..p-1 are phantom zeros). P_i is plain row parity. Q_d is the
+// parity of diagonal d (positions i+j == d mod p) XOR the adjuster S, where
+// S is the parity of the "missing" diagonal p-1. An imaginary all-zero row
+// p-1 completes the geometry.
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/codes/raid6_code.hpp"
+
+namespace liberation::codes {
+
+class evenodd_code final : public raid6_code {
+public:
+    /// Expects odd prime p >= k >= 1.
+    evenodd_code(std::uint32_t k, std::uint32_t p);
+
+    /// Uses the smallest odd prime >= k.
+    explicit evenodd_code(std::uint32_t k);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::uint32_t k() const noexcept override { return k_; }
+    [[nodiscard]] std::uint32_t rows() const noexcept override { return p_ - 1; }
+    [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+
+    void encode(const stripe_view& stripe) const override;
+    void decode(const stripe_view& stripe,
+                std::span<const std::uint32_t> erased) const override;
+    std::uint32_t apply_update(const stripe_view& stripe, std::uint32_t row,
+                               std::uint32_t col,
+                               std::span<const std::byte> delta) const override;
+
+private:
+    // Rebuild helpers, one per erasure shape.
+    void decode_two_data(const stripe_view& s, std::uint32_t l,
+                         std::uint32_t r) const;
+    void decode_data_and_p(const stripe_view& s, std::uint32_t l) const;
+    void decode_single_data(const stripe_view& s, std::uint32_t l) const;
+    void encode_p_only(const stripe_view& s) const;
+    void encode_q_only(const stripe_view& s) const;
+
+    std::uint32_t k_;
+    std::uint32_t p_;
+};
+
+}  // namespace liberation::codes

@@ -1,0 +1,19 @@
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+
+#include "liberation/util/primes.hpp"
+
+namespace liberation::codes {
+
+liberation_bitmatrix_code::liberation_bitmatrix_code(std::uint32_t k,
+                                                     std::uint32_t p,
+                                                     bool cache_decode_plans,
+                                                     std::size_t packet_size)
+    : bitmatrix_code("liberation_original(k=" + std::to_string(k) +
+                         ",p=" + std::to_string(p) + ")",
+                     k, p, bitmatrix::liberation_generator(p, k),
+                     cache_decode_plans, packet_size) {}
+
+liberation_bitmatrix_code::liberation_bitmatrix_code(std::uint32_t k)
+    : liberation_bitmatrix_code(k, util::next_odd_prime(k)) {}
+
+}  // namespace liberation::codes

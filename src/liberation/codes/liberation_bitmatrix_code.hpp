@@ -1,0 +1,36 @@
+// The *original* Liberation implementation (Plank FAST'08 / Jerasure [14]):
+// encoding and decoding through bit-matrix schedules. This is the baseline
+// the paper's optimal algorithms are measured against.
+//
+// Fidelity notes:
+//  * encode uses a schedule compiled once from the 2p x kp generator
+//    (cost = ones - rows = 2p(k-1) + (k-1) XORs, the Table I closed form);
+//  * decode rebuilds the decoding matrix and re-schedules it on every call
+//    — exactly what jerasure_schedule_decode_lazy does, and the source of
+//    the baseline's throughput collapse at large p (paper Section IV-B);
+//  * schedules execute packet-by-packet like jerasure_do_scheduled_
+//    operations.
+//
+// Setting cache_decode_plans=true memoizes decode plans per erasure
+// pattern; use it to isolate pure data-path cost (ablation bench).
+#pragma once
+
+#include "liberation/bitmatrix/liberation_matrix.hpp"
+#include "liberation/codes/bitmatrix_code.hpp"
+
+namespace liberation::codes {
+
+class liberation_bitmatrix_code final : public bitmatrix_code {
+public:
+    /// Expects odd prime p >= k >= 1.
+    liberation_bitmatrix_code(std::uint32_t k, std::uint32_t p,
+                              bool cache_decode_plans = false,
+                              std::size_t packet_size = 0);
+
+    /// Uses the smallest odd prime >= k.
+    explicit liberation_bitmatrix_code(std::uint32_t k);
+
+    [[nodiscard]] std::uint32_t p() const noexcept { return rows(); }
+};
+
+}  // namespace liberation::codes

@@ -1,0 +1,41 @@
+#include "liberation/codes/raid6_code.hpp"
+
+#include <cstring>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::codes {
+
+void raid6_code::check_stripe(const stripe_view& stripe) const {
+    LIBERATION_EXPECTS(stripe.rows() == rows());
+    LIBERATION_EXPECTS(stripe.cols() == n());
+}
+
+bool raid6_code::verify(const stripe_view& stripe) const {
+    check_stripe(stripe);
+    stripe_buffer scratch(rows(), n(), stripe.element_size());
+    const stripe_view sv = scratch.view();
+    for (std::uint32_t c = 0; c < k(); ++c) {
+        std::memcpy(sv.strip(c).data(), stripe.strip(c).data(),
+                    stripe.strip_size());
+    }
+    encode(sv);
+    return strips_equal(sv, stripe, p_column()) &&
+           strips_equal(sv, stripe, q_column());
+}
+
+std::vector<std::vector<std::uint32_t>> all_two_erasures(std::uint32_t n) {
+    std::vector<std::vector<std::uint32_t>> out;
+    for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = a + 1; b < n; ++b) {
+            out.push_back({a, b});
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<std::uint32_t>> all_two_data_erasures(std::uint32_t k) {
+    return all_two_erasures(k);
+}
+
+}  // namespace liberation::codes

@@ -1,0 +1,73 @@
+// Common interface for RAID-6 (P+Q) erasure codes.
+//
+// A code instance is bound to (k, w): k data columns and w elements per
+// strip. Stripes passed in must have rows() == w and cols() == k+2, with
+// column k holding P and column k+1 holding Q. Element size is a property
+// of the stripe, not the code — the same instance serves 8-byte complexity
+// probes and 8-KiB throughput runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "liberation/codes/stripe.hpp"
+
+namespace liberation::codes {
+
+class raid6_code {
+public:
+    virtual ~raid6_code() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Number of data columns.
+    [[nodiscard]] virtual std::uint32_t k() const noexcept = 0;
+
+    /// Elements per strip (the array-code "w").
+    [[nodiscard]] virtual std::uint32_t rows() const noexcept = 0;
+
+    /// Total columns (k data + P + Q).
+    [[nodiscard]] std::uint32_t n() const noexcept { return k() + 2; }
+
+    [[nodiscard]] std::uint32_t p_column() const noexcept { return k(); }
+    [[nodiscard]] std::uint32_t q_column() const noexcept { return k() + 1; }
+
+    /// Compute both parity columns from the data columns.
+    virtual void encode(const stripe_view& stripe) const = 0;
+
+    /// Rebuild the erased columns in place. `erased` holds 1 or 2 distinct
+    /// column indices in [0, n()); their current contents are ignored.
+    /// Every pattern of <= 2 erasures is recoverable (MDS).
+    virtual void decode(const stripe_view& stripe,
+                        std::span<const std::uint32_t> erased) const = 0;
+
+    /// Apply a single data-element update: `delta` = old ^ new content of
+    /// element (row, col). The data element itself is NOT touched; only the
+    /// parity columns are patched. Returns the number of parity elements
+    /// modified (the code's update cost for this position).
+    virtual std::uint32_t apply_update(const stripe_view& stripe,
+                                       std::uint32_t row, std::uint32_t col,
+                                       std::span<const std::byte> delta) const = 0;
+
+    /// True iff both parity columns are consistent with the data.
+    /// Default implementation re-encodes into scratch and compares.
+    [[nodiscard]] virtual bool verify(const stripe_view& stripe) const;
+
+protected:
+    void check_stripe(const stripe_view& stripe) const;
+};
+
+/// Erasure-pattern helpers shared by benches and tests.
+
+/// All C(n,2) two-column erasure patterns for an n-column code.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_two_erasures(
+    std::uint32_t n);
+
+/// All C(k,2) two-*data*-column erasure patterns.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_two_data_erasures(
+    std::uint32_t k);
+
+}  // namespace liberation::codes

@@ -1,0 +1,241 @@
+#include "liberation/codes/rdp.hpp"
+
+#include <algorithm>
+
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/util/primes.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::codes {
+
+namespace {
+
+class accumulator {
+public:
+    accumulator(std::byte* dst, std::size_t n) noexcept : dst_(dst), n_(n) {}
+
+    void add(const std::byte* src) noexcept {
+        if (fresh_) {
+            xorops::copy(dst_, src, n_);
+            fresh_ = false;
+        } else {
+            xorops::xor_into(dst_, src, n_);
+        }
+    }
+
+    void finish() noexcept {
+        if (fresh_) xorops::zero(dst_, n_);
+    }
+
+private:
+    std::byte* dst_;
+    std::size_t n_;
+    bool fresh_ = true;
+};
+
+}  // namespace
+
+rdp_code::rdp_code(std::uint32_t k, std::uint32_t p) : k_(k), p_(p) {
+    LIBERATION_EXPECTS(k >= 1);
+    LIBERATION_EXPECTS(p >= 3 && p % 2 == 1 && util::is_prime(p));
+    LIBERATION_EXPECTS(k <= p - 1);
+}
+
+rdp_code::rdp_code(std::uint32_t k)
+    : rdp_code(k, util::next_odd_prime(k + 1)) {}
+
+std::string rdp_code::name() const {
+    return "rdp(k=" + std::to_string(k_) + ",p=" + std::to_string(p_) + ")";
+}
+
+std::uint32_t rdp_code::stripe_col(std::uint32_t inner) const noexcept {
+    LIBERATION_EXPECTS(inner < p_);
+    if (inner < k_) return inner;
+    if (inner == p_ - 1) return p_column();
+    return n();  // phantom
+}
+
+void rdp_code::encode(const stripe_view& s) const {
+    check_stripe(s);
+    encode_p_only(s);
+    encode_q_only(s);
+}
+
+void rdp_code::encode_p_only(const stripe_view& s) const {
+    const std::size_t e = s.element_size();
+    for (std::uint32_t i = 0; i < p_ - 1; ++i) {
+        accumulator acc(s.element(i, p_column()), e);
+        for (std::uint32_t j = 0; j < k_; ++j) acc.add(s.element(i, j));
+        acc.finish();
+    }
+}
+
+void rdp_code::encode_q_only(const stripe_view& s) const {
+    const std::size_t e = s.element_size();
+    // Q_d = XOR over inner columns c (data and P) of b[(d-c) mod p][c],
+    // imaginary row p-1 and phantom columns contributing nothing.
+    for (std::uint32_t d = 0; d < p_ - 1; ++d) {
+        accumulator acc(s.element(d, q_column()), e);
+        for (std::uint32_t c = 0; c < p_; ++c) {
+            const std::uint32_t sc = stripe_col(c);
+            if (sc == n()) continue;
+            const std::uint32_t i = (d + p_ - c) % p_;
+            if (i == p_ - 1) continue;
+            acc.add(s.element(i, sc));
+        }
+        acc.finish();
+    }
+}
+
+void rdp_code::decode(const stripe_view& s,
+                      std::span<const std::uint32_t> erased) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(!erased.empty() && erased.size() <= 2);
+    const std::uint32_t qc = q_column();
+
+    std::uint32_t a = erased[0];
+    std::uint32_t b = erased.size() == 2 ? erased[1] : a;
+    if (a > b) std::swap(a, b);
+    LIBERATION_EXPECTS(b < n());
+    LIBERATION_EXPECTS(erased.size() == 1 || a != b);
+
+    if (erased.size() == 1) {
+        if (a == qc) {
+            encode_q_only(s);
+        } else {
+            decode_single_via_rows(s, a == p_column() ? p_ - 1 : a);
+        }
+        return;
+    }
+    if (b == qc) {
+        // The diagonal parity depends on everything else; rebuild the other
+        // column by rows first, then re-encode Q.
+        decode_single_via_rows(s, a == p_column() ? p_ - 1 : a);
+        encode_q_only(s);
+        return;
+    }
+    // Two inner columns (two data, or one data + row parity).
+    const std::uint32_t li = a;  // a < b <= p_column() maps to inner order
+    const std::uint32_t ri = (b == p_column()) ? p_ - 1 : b;
+    decode_two_inner(s, li, ri);
+}
+
+void rdp_code::decode_single_via_rows(const stripe_view& s,
+                                      std::uint32_t inner) const {
+    // Inner rows XOR to zero (P is one of the inner columns), so any single
+    // inner column is the XOR of the others.
+    const std::size_t e = s.element_size();
+    const std::uint32_t dst = stripe_col(inner);
+    LIBERATION_EXPECTS(dst < n());
+    for (std::uint32_t i = 0; i < p_ - 1; ++i) {
+        accumulator acc(s.element(i, dst), e);
+        for (std::uint32_t c = 0; c < p_; ++c) {
+            const std::uint32_t sc = stripe_col(c);
+            if (c == inner || sc == n()) continue;
+            acc.add(s.element(i, sc));
+        }
+        acc.finish();
+    }
+}
+
+void rdp_code::decode_two_inner(const stripe_view& s, std::uint32_t li,
+                                std::uint32_t ri) const {
+    LIBERATION_EXPECTS(li < ri && ri < p_);
+    const std::size_t e = s.element_size();
+    const std::uint32_t delta = ri - li;
+    const std::uint32_t cl = stripe_col(li);
+    const std::uint32_t cr = stripe_col(ri);
+    LIBERATION_EXPECTS(cl < n() && cr < n());
+
+    // Row syndromes into strip cl: R_i = XOR of surviving inner columns.
+    for (std::uint32_t i = 0; i < p_ - 1; ++i) {
+        accumulator acc(s.element(i, cl), e);
+        for (std::uint32_t c = 0; c < p_; ++c) {
+            const std::uint32_t sc = stripe_col(c);
+            if (c == li || c == ri || sc == n()) continue;
+            acc.add(s.element(i, sc));
+        }
+        acc.finish();
+    }
+
+    // Diagonal syndromes D_d, d = 0..p-2 (diagonal p-1 has no parity).
+    util::aligned_buffer d_buf(static_cast<std::size_t>(p_ - 1) * e);
+    const auto dsyn = [&](std::uint32_t d) noexcept {
+        return d_buf.data() + static_cast<std::size_t>(d) * e;
+    };
+    for (std::uint32_t d = 0; d < p_ - 1; ++d) {
+        accumulator acc(dsyn(d), e);
+        acc.add(s.element(d, q_column()));
+        for (std::uint32_t c = 0; c < p_; ++c) {
+            const std::uint32_t sc = stripe_col(c);
+            if (c == li || c == ri || sc == n()) continue;
+            const std::uint32_t i = (d + p_ - c) % p_;
+            if (i == p_ - 1) continue;
+            acc.add(s.element(i, sc));
+        }
+        acc.finish();
+    }
+
+    // Forward chain: enters each row via the diagonal holding the column-li
+    // unknown (the very first such diagonal has its column-ri member in the
+    // imaginary row), then uses the row to get the column-ri bit. Stops at
+    // the missing diagonal; the backward chain covers the rest.
+    std::uint32_t x = (delta + p_ - 1) % p_;
+    while (x != p_ - 1) {
+        const std::uint32_t d = (x + li) % p_;
+        if (d == p_ - 1) break;  // missing diagonal
+        std::byte* bl = s.element(x, cl);  // currently holds R_x
+        std::byte* br = s.element(x, cr);
+        xorops::xor2(br, bl, dsyn(d), e);  // b[x][ri] = R_x ^ D_d
+        xorops::copy(bl, dsyn(d), e);      // b[x][li] = D_d
+        const std::uint32_t fold = (x + ri) % p_;
+        if (fold != p_ - 1) xorops::xor_into(dsyn(fold), br, e);
+        x = (x + delta) % p_;
+    }
+
+    if (li != 0) {
+        // Backward chain: enters each row via the diagonal holding the
+        // column-ri unknown (first one has its column-li member imaginary).
+        x = (p_ - delta + p_ - 1) % p_;
+        while (x != p_ - 1) {
+            const std::uint32_t d = (x + ri) % p_;
+            if (d == p_ - 1) break;
+            std::byte* bl = s.element(x, cl);  // holds R_x
+            std::byte* br = s.element(x, cr);
+            xorops::copy(br, dsyn(d), e);      // b[x][ri] = D_d
+            xorops::xor_into(bl, br, e);       // b[x][li] = R_x ^ b[x][ri]
+            const std::uint32_t fold = (x + li) % p_;
+            if (fold != p_ - 1) xorops::xor_into(dsyn(fold), bl, e);
+            x = (x + p_ - delta) % p_;
+        }
+    }
+}
+
+std::uint32_t rdp_code::apply_update(const stripe_view& s, std::uint32_t row,
+                                     std::uint32_t col,
+                                     std::span<const std::byte> delta) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(row < rows() && col < k_);
+    LIBERATION_EXPECTS(delta.size() == s.element_size());
+    const std::size_t e = s.element_size();
+    std::uint32_t touched = 0;
+    // Row parity.
+    xorops::xor_into(s.element(row, p_column()), delta.data(), e);
+    ++touched;
+    // The data bit's own diagonal.
+    const std::uint32_t d1 = (row + col) % p_;
+    if (d1 != p_ - 1) {
+        xorops::xor_into(s.element(d1, q_column()), delta.data(), e);
+        ++touched;
+    }
+    // The row-parity bit it flipped sits on a diagonal too (inner col p-1).
+    const std::uint32_t d2 = (row + p_ - 1) % p_;
+    if (d2 != p_ - 1) {
+        xorops::xor_into(s.element(d2, q_column()), delta.data(), e);
+        ++touched;
+    }
+    return touched;
+}
+
+}  // namespace liberation::codes

@@ -1,0 +1,55 @@
+// Row-Diagonal Parity (Corbett et al., FAST'04) — comparator for the
+// complexity figures (paper Figs. 5-8, Table I).
+//
+// Codeword: (p-1) x (p+1) "inner" array, p odd prime: data occupies inner
+// columns 0..p-2 (our data columns 0..k-1, k <= p-1, the rest phantom
+// zeros), the row-parity column P is inner column p-1, and the diagonal-
+// parity column Q covers diagonals 0..p-2 of ALL inner columns including P
+// (diagonal p-1 is the "missing" diagonal). An imaginary zero row p-1
+// completes the geometry. Because P makes every inner row XOR to zero, the
+// two-erasure decoder treats any two inner columns uniformly.
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/codes/raid6_code.hpp"
+
+namespace liberation::codes {
+
+class rdp_code final : public raid6_code {
+public:
+    /// Expects odd prime p with k <= p-1.
+    rdp_code(std::uint32_t k, std::uint32_t p);
+
+    /// Uses the smallest odd prime > k (so that k <= p-1).
+    explicit rdp_code(std::uint32_t k);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::uint32_t k() const noexcept override { return k_; }
+    [[nodiscard]] std::uint32_t rows() const noexcept override { return p_ - 1; }
+    [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+
+    void encode(const stripe_view& stripe) const override;
+    void decode(const stripe_view& stripe,
+                std::span<const std::uint32_t> erased) const override;
+    std::uint32_t apply_update(const stripe_view& stripe, std::uint32_t row,
+                               std::uint32_t col,
+                               std::span<const std::byte> delta) const override;
+
+private:
+    /// Maps an inner column index (0..p-1) to the stripe column holding it,
+    /// or to n() if the inner column is a phantom zero.
+    [[nodiscard]] std::uint32_t stripe_col(std::uint32_t inner) const noexcept;
+
+    void encode_p_only(const stripe_view& s) const;
+    void encode_q_only(const stripe_view& s) const;
+    void decode_single_via_rows(const stripe_view& s, std::uint32_t inner) const;
+    /// Double-chain zigzag for two erased *inner* columns (li < ri).
+    void decode_two_inner(const stripe_view& s, std::uint32_t li,
+                          std::uint32_t ri) const;
+
+    std::uint32_t k_;
+    std::uint32_t p_;
+};
+
+}  // namespace liberation::codes

@@ -1,0 +1,161 @@
+#include "liberation/codes/rs_raid6.hpp"
+
+#include <algorithm>
+
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::codes {
+
+namespace {
+const gf::gf256& field() noexcept { return gf::gf256::instance(); }
+}
+
+rs_raid6_code::rs_raid6_code(std::uint32_t k, std::uint32_t rows)
+    : k_(k), rows_(rows) {
+    LIBERATION_EXPECTS(k >= 1 && k <= 254);
+    LIBERATION_EXPECTS(rows >= 1);
+}
+
+std::string rs_raid6_code::name() const {
+    return "rs_raid6(k=" + std::to_string(k_) + ")";
+}
+
+void rs_raid6_code::encode(const stripe_view& s) const {
+    check_stripe(s);
+    encode_p_only(s);
+    encode_q_only(s);
+}
+
+void rs_raid6_code::encode_p_only(const stripe_view& s) const {
+    const std::size_t e = s.element_size();
+    for (std::uint32_t i = 0; i < rows_; ++i) {
+        std::byte* dst = s.element(i, p_column());
+        xorops::copy(dst, s.element(i, 0), e);
+        for (std::uint32_t j = 1; j < k_; ++j) {
+            xorops::xor_into(dst, s.element(i, j), e);
+        }
+    }
+}
+
+void rs_raid6_code::encode_q_only(const stripe_view& s) const {
+    const std::size_t e = s.element_size();
+    for (std::uint32_t i = 0; i < rows_; ++i) {
+        std::byte* dst = s.element(i, q_column());
+        xorops::copy(dst, s.element(i, 0), e);  // g^0 = 1
+        for (std::uint32_t j = 1; j < k_; ++j) {
+            field().mul_region_xor(field().pow_g(j), s.element(i, j), dst, e);
+        }
+    }
+}
+
+void rs_raid6_code::decode(const stripe_view& s,
+                           std::span<const std::uint32_t> erased) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(!erased.empty() && erased.size() <= 2);
+    std::uint32_t a = erased[0];
+    std::uint32_t b = erased.size() == 2 ? erased[1] : a;
+    if (a > b) std::swap(a, b);
+    LIBERATION_EXPECTS(b < n());
+    LIBERATION_EXPECTS(erased.size() == 1 || a != b);
+
+    if (erased.size() == 1) {
+        if (a == p_column()) {
+            encode_p_only(s);
+        } else if (a == q_column()) {
+            encode_q_only(s);
+        } else {
+            decode_single_data_rows(s, a);
+        }
+        return;
+    }
+    if (a == p_column()) {  // P + Q
+        encode(s);
+    } else if (b == q_column()) {  // data + Q
+        decode_single_data_rows(s, a);
+        encode_q_only(s);
+    } else if (b == p_column()) {  // data + P
+        decode_single_data_q(s, a);
+        encode_p_only(s);
+    } else {  // two data columns
+        decode_two_data(s, a, b);
+    }
+}
+
+void rs_raid6_code::decode_single_data_rows(const stripe_view& s,
+                                            std::uint32_t x) const {
+    const std::size_t e = s.element_size();
+    for (std::uint32_t i = 0; i < rows_; ++i) {
+        std::byte* dst = s.element(i, x);
+        xorops::copy(dst, s.element(i, p_column()), e);
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j != x) xorops::xor_into(dst, s.element(i, j), e);
+        }
+    }
+}
+
+void rs_raid6_code::decode_single_data_q(const stripe_view& s,
+                                         std::uint32_t x) const {
+    // d_x = g^{-x} * (Q ^ sum_{j != x} g^j d_j)
+    const std::size_t e = s.element_size();
+    util::aligned_buffer tmp(e);
+    const std::uint8_t ginv_x = field().inv(field().pow_g(x));
+    for (std::uint32_t i = 0; i < rows_; ++i) {
+        xorops::copy(tmp.data(), s.element(i, q_column()), e);
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j == x) continue;
+            field().mul_region_xor(field().pow_g(j), s.element(i, j),
+                                   tmp.data(), e);
+        }
+        field().mul_region(ginv_x, tmp.data(), s.element(i, x), e);
+    }
+}
+
+void rs_raid6_code::decode_two_data(const stripe_view& s, std::uint32_t x,
+                                    std::uint32_t y) const {
+    // Linux raid6 algebra:
+    //   P' = d_x ^ d_y,  Q' = g^x d_x ^ g^y d_y
+    //   d_x = A*P' ^ B*Q',  A = g^{y-x}/(g^{y-x}^1),  B = g^{-x}/(g^{y-x}^1)
+    //   d_y = P' ^ d_x
+    const std::size_t e = s.element_size();
+    const std::uint8_t gyx = field().pow_g(y - x);
+    const std::uint8_t denom = field().add(gyx, 1);
+    LIBERATION_EXPECTS(denom != 0);
+    const std::uint8_t coef_a = field().div(gyx, denom);
+    const std::uint8_t coef_b =
+        field().div(field().inv(field().pow_g(x)), denom);
+
+    util::aligned_buffer pprime(e);
+    util::aligned_buffer qprime(e);
+    for (std::uint32_t i = 0; i < rows_; ++i) {
+        xorops::copy(pprime.data(), s.element(i, p_column()), e);
+        xorops::copy(qprime.data(), s.element(i, q_column()), e);
+        for (std::uint32_t j = 0; j < k_; ++j) {
+            if (j == x || j == y) continue;
+            xorops::xor_into(pprime.data(), s.element(i, j), e);
+            field().mul_region_xor(field().pow_g(j), s.element(i, j),
+                                   qprime.data(), e);
+        }
+        std::byte* dx = s.element(i, x);
+        std::byte* dy = s.element(i, y);
+        field().mul_region(coef_a, pprime.data(), dx, e);
+        field().mul_region_xor(coef_b, qprime.data(), dx, e);
+        xorops::xor2(dy, pprime.data(), dx, e);
+    }
+}
+
+std::uint32_t rs_raid6_code::apply_update(const stripe_view& s,
+                                          std::uint32_t row, std::uint32_t col,
+                                          std::span<const std::byte> delta) const {
+    check_stripe(s);
+    LIBERATION_EXPECTS(row < rows_ && col < k_);
+    LIBERATION_EXPECTS(delta.size() == s.element_size());
+    const std::size_t e = s.element_size();
+    xorops::xor_into(s.element(row, p_column()), delta.data(), e);
+    field().mul_region_xor(field().pow_g(col), delta.data(),
+                           s.element(row, q_column()), e);
+    return 2;
+}
+
+}  // namespace liberation::codes

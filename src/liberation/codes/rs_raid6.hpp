@@ -1,0 +1,45 @@
+// Reed-Solomon P+Q (the Linux RAID-6 scheme the paper cites as [7]):
+//   P = sum d_j,   Q = sum g^j d_j   over GF(2^8), generator g = 2.
+//
+// Included as the finite-field comparator substrate: it shows why the
+// XOR-only array codes exist (every Q operation is a table-driven GF
+// multiply). rows() is a free parameter — each row is an independent RS
+// codeword, so any strip depth works.
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/codes/raid6_code.hpp"
+#include "liberation/gf/gf256.hpp"
+
+namespace liberation::codes {
+
+class rs_raid6_code final : public raid6_code {
+public:
+    /// Expects 1 <= k <= 254 and rows >= 1.
+    explicit rs_raid6_code(std::uint32_t k, std::uint32_t rows = 1);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::uint32_t k() const noexcept override { return k_; }
+    [[nodiscard]] std::uint32_t rows() const noexcept override { return rows_; }
+
+    void encode(const stripe_view& stripe) const override;
+    void decode(const stripe_view& stripe,
+                std::span<const std::uint32_t> erased) const override;
+    std::uint32_t apply_update(const stripe_view& stripe, std::uint32_t row,
+                               std::uint32_t col,
+                               std::span<const std::byte> delta) const override;
+
+private:
+    void encode_p_only(const stripe_view& s) const;
+    void encode_q_only(const stripe_view& s) const;
+    void decode_single_data_rows(const stripe_view& s, std::uint32_t x) const;
+    void decode_single_data_q(const stripe_view& s, std::uint32_t x) const;
+    void decode_two_data(const stripe_view& s, std::uint32_t x,
+                         std::uint32_t y) const;
+
+    std::uint32_t k_;
+    std::uint32_t rows_;
+};
+
+}  // namespace liberation::codes

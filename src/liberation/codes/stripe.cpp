@@ -1,0 +1,67 @@
+#include "liberation/codes/stripe.hpp"
+
+#include <cstring>
+
+namespace liberation::codes {
+
+std::size_t preferred_packet_size(std::size_t live_elements,
+                                  std::size_t element_size) noexcept {
+    // Keep the live stripe window L2-resident. The floor of 1 KiB keeps
+    // per-region-op overhead negligible; stripes that already fit run as a
+    // single packet.
+    constexpr std::size_t kTargetFootprint = 1024 * 1024;
+    constexpr std::size_t kMinPacket = 1024;
+    if (live_elements == 0) return element_size;
+    const std::size_t budget = kTargetFootprint / live_elements;
+    if (budget >= element_size) return element_size;
+    std::size_t packet = kMinPacket;
+    while (packet * 2 <= budget) packet *= 2;
+    if (packet >= element_size || element_size % packet != 0) {
+        return element_size;
+    }
+    return packet;
+}
+
+void stripe_buffer::fill_random(util::xoshiro256& rng,
+                                std::uint32_t data_cols) {
+    LIBERATION_EXPECTS(data_cols <= cols());
+    for (std::uint32_t c = 0; c < cols(); ++c) {
+        if (c < data_cols) {
+            rng.fill(strips_[c].span());
+        } else {
+            strips_[c].zero();
+        }
+    }
+}
+
+void stripe_buffer::zero() {
+    for (auto& s : strips_) s.zero();
+}
+
+bool stripes_equal(const stripe_view& a, const stripe_view& b) noexcept {
+    if (a.rows() != b.rows() || a.cols() != b.cols() ||
+        a.element_size() != b.element_size()) {
+        return false;
+    }
+    for (std::uint32_t c = 0; c < a.cols(); ++c) {
+        if (!strips_equal(a, b, c)) return false;
+    }
+    return true;
+}
+
+bool strips_equal(const stripe_view& a, const stripe_view& b,
+                  std::uint32_t col) noexcept {
+    return std::memcmp(a.strip(col).data(), b.strip(col).data(),
+                       a.strip_size()) == 0;
+}
+
+void copy_stripe(const stripe_view& dst, const stripe_view& src) noexcept {
+    LIBERATION_EXPECTS(dst.rows() == src.rows() && dst.cols() == src.cols() &&
+                       dst.element_size() == src.element_size());
+    for (std::uint32_t c = 0; c < dst.cols(); ++c) {
+        std::memcpy(dst.strip(c).data(), src.strip(c).data(),
+                    dst.strip_size());
+    }
+}
+
+}  // namespace liberation::codes

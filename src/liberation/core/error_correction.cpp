@@ -1,0 +1,117 @@
+#include "liberation/core/error_correction.hpp"
+
+#include <vector>
+
+#include "liberation/core/optimal_encoder.hpp"
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+namespace {
+
+/// Syndrome columns: sp_i = P_i ^ recomputed-P_i, sq_i likewise for Q.
+/// Computed by re-encoding into scratch parity strips that alias the data
+/// columns of the original stripe.
+struct syndromes_buf {
+    util::aligned_buffer sp;
+    util::aligned_buffer sq;
+    bool sp_zero = true;
+    bool sq_zero = true;
+};
+
+syndromes_buf compute_scrub_syndromes(const codes::stripe_view& s,
+                                      const geometry& g) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::size_t e = s.element_size();
+
+    syndromes_buf out{util::aligned_buffer(p * e), util::aligned_buffer(p * e),
+                      true, true};
+
+    // Shadow stripe: same data strips, scratch parity strips.
+    std::vector<std::byte*> cols(k + 2);
+    for (std::uint32_t j = 0; j < k; ++j) cols[j] = s.strip(j).data();
+    cols[k] = out.sp.data();
+    cols[k + 1] = out.sq.data();
+    const codes::stripe_view shadow{{cols.data(), cols.size()}, p, e};
+    encode_optimal(shadow, g);
+
+    for (std::uint32_t i = 0; i < p; ++i) {
+        xorops::xor_into(out.sp.data() + i * e, s.element(i, k), e);
+        xorops::xor_into(out.sq.data() + i * e, s.element(i, k + 1), e);
+    }
+    out.sp_zero = xorops::is_zero(out.sp.data(), p * e);
+    out.sq_zero = xorops::is_zero(out.sq.data(), p * e);
+    return out;
+}
+
+}  // namespace
+
+bool stripe_consistent(const codes::stripe_view& s, const geometry& g) {
+    const auto syn = compute_scrub_syndromes(s, g);
+    return syn.sp_zero && syn.sq_zero;
+}
+
+scrub_report scrub_stripe(const codes::stripe_view& s, const geometry& g) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::size_t e = s.element_size();
+
+    auto syn = compute_scrub_syndromes(s, g);
+    const auto sp = [&](std::uint32_t i) noexcept {
+        return syn.sp.data() + static_cast<std::size_t>(i) * e;
+    };
+    const auto sq = [&](std::uint32_t i) noexcept {
+        return syn.sq.data() + static_cast<std::size_t>(i) * e;
+    };
+
+    if (syn.sp_zero && syn.sq_zero) return {scrub_status::clean, 0};
+
+    if (syn.sp_zero) {
+        // A corrupt data column always disturbs the row syndromes, so the
+        // only single-column explanation is a corrupt Q.
+        for (std::uint32_t i = 0; i < p; ++i) {
+            xorops::xor_into(s.element(i, k + 1), sq(i), e);
+        }
+        return {scrub_status::corrected_q, 0};
+    }
+    if (syn.sq_zero) {
+        for (std::uint32_t i = 0; i < p; ++i) {
+            xorops::xor_into(s.element(i, k), sp(i), e);
+        }
+        return {scrub_status::corrected_p, 0};
+    }
+
+    // Both families fire: hypothesize an error vector sp placed in data
+    // column c and check that it reproduces sq under the Q geometry:
+    //   predicted sq_d = sp[<d + c>]  (+ sp[extra_row(c)] when d hosts
+    //   column c's extra bit).
+    for (std::uint32_t c = 0; c < k; ++c) {
+        const bool has_extra = c >= 1;
+        const std::uint32_t mq = has_extra ? g.extra_q_index(c) : 0;
+        const std::uint32_t er = has_extra ? g.extra_row(c) : 0;
+        bool match = true;
+        for (std::uint32_t d = 0; d < p && match; ++d) {
+            const std::byte* expect = sp(g.diag_member_row(d, c));
+            if (has_extra && d == mq) {
+                // Two-term prediction: compare without materializing.
+                util::aligned_buffer tmp(e);
+                xorops::xor2(tmp.data(), expect, sp(er), e);
+                match = xorops::equal(tmp.data(), sq(d), e);
+            } else {
+                match = xorops::equal(expect, sq(d), e);
+            }
+        }
+        if (match) {
+            for (std::uint32_t i = 0; i < p; ++i) {
+                xorops::xor_into(s.element(i, c), sp(i), e);
+            }
+            return {scrub_status::corrected_data, c};
+        }
+    }
+    return {scrub_status::uncorrectable, 0};
+}
+
+}  // namespace liberation::core

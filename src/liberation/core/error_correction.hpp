@@ -1,0 +1,40 @@
+// Single-column error correction for silent data corruption (paper
+// Section I promises this capability; no pseudocode is given, so the
+// construction here is ours — see DESIGN.md Section 5).
+//
+// With at most one corrupt column the two parity syndromes identify it
+// uniquely (a consequence of the MDS property: distinct columns of the
+// generator induce distinct syndrome patterns), and XORing the P-syndrome
+// into the culprit column repairs it.
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+enum class scrub_status : std::uint8_t {
+    clean,              ///< both syndromes zero
+    corrected_data,     ///< one data column repaired (see column)
+    corrected_p,        ///< P column repaired
+    corrected_q,        ///< Q column repaired
+    uncorrectable,      ///< inconsistent with any single-column error
+};
+
+struct scrub_report {
+    scrub_status status = scrub_status::clean;
+    std::uint32_t column = 0;  ///< valid when status == corrected_data
+};
+
+/// Verify a stripe and repair at most one corrupt column in place.
+/// Cost: one re-encode worth of XORs for the syndromes, plus O(p^2 * k)
+/// bit-level work on syndrome fingerprints for localization.
+scrub_report scrub_stripe(const codes::stripe_view& s, const geometry& g);
+
+/// Cheap consistency check (no repair): true iff both syndromes are zero.
+[[nodiscard]] bool stripe_consistent(const codes::stripe_view& s,
+                                     const geometry& g);
+
+}  // namespace liberation::core

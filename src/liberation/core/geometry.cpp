@@ -1,0 +1,109 @@
+#include "liberation/core/geometry.hpp"
+
+#include "liberation/util/assert.hpp"
+#include "liberation/util/primes.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+geometry::geometry(std::uint32_t p, std::uint32_t k) : p_(p), k_(k) {
+    LIBERATION_EXPECTS(p >= 3 && p <= max_p && p % 2 == 1 &&
+                       util::is_prime(p));
+    LIBERATION_EXPECTS(k >= 1 && k <= p);
+}
+
+std::uint32_t geometry::ce_row(std::uint32_t j) const noexcept {
+    LIBERATION_EXPECTS(j >= 1 && j < p_);
+    // <(p+1)/2 * j> is never 0 for j in 1..p-1, so r_j is in 0..p-2.
+    const std::uint32_t v =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(p_ + 1) / 2 * j) %
+                                   p_);
+    return v - 1;
+}
+
+std::uint32_t geometry::ce_q_index(std::uint32_t j) const noexcept {
+    return p_ - 1 - ce_row(j);
+}
+
+std::uint32_t geometry::extra_row(std::uint32_t y) const noexcept {
+    LIBERATION_EXPECTS(y >= 1 && y < p_);
+    // Column y hosts the extra bit of E_y; its row is exactly r_y.
+    return ce_row(y);
+}
+
+std::uint32_t geometry::extra_q_index(std::uint32_t y) const noexcept {
+    LIBERATION_EXPECTS(y >= 1 && y < p_);
+    return ce_q_index(y);
+}
+
+bool geometry::is_extra_position(std::uint32_t i, std::uint32_t j) const noexcept {
+    if (j == 0) return false;
+    return i == extra_row(j);
+}
+
+bool geometry::is_ce_first_member(std::uint32_t i, std::uint32_t j) const noexcept {
+    if (j + 1 >= p_) return false;  // CE pairs (j, j+1) exist for j+1 <= p-1
+    return i == ce_row(j + 1);
+}
+
+namespace {
+
+class accumulator {
+public:
+    accumulator(std::byte* dst, std::size_t n) noexcept : dst_(dst), n_(n) {}
+
+    void add(const std::byte* src) noexcept {
+        if (fresh_) {
+            xorops::copy(dst_, src, n_);
+            fresh_ = false;
+        } else {
+            xorops::xor_into(dst_, src, n_);
+        }
+    }
+
+    void finish() noexcept {
+        if (fresh_) xorops::zero(dst_, n_);
+    }
+
+private:
+    std::byte* dst_;
+    std::size_t n_;
+    bool fresh_ = true;
+};
+
+}  // namespace
+
+void encode_reference_p(const codes::stripe_view& s, const geometry& g) {
+    const std::size_t e = s.element_size();
+    const std::uint32_t pc = g.k();
+    for (std::uint32_t i = 0; i < g.p(); ++i) {
+        accumulator acc(s.element(i, pc), e);
+        for (std::uint32_t j = 0; j < g.k(); ++j) acc.add(s.element(i, j));
+        acc.finish();
+    }
+}
+
+void encode_reference_q(const codes::stripe_view& s, const geometry& g) {
+    const std::size_t e = s.element_size();
+    const std::uint32_t qc = g.k() + 1;
+    for (std::uint32_t i = 0; i < g.p(); ++i) {
+        accumulator acc(s.element(i, qc), e);
+        for (std::uint32_t j = 0; j < g.k(); ++j) {
+            acc.add(s.element(g.diag_member_row(i, j), j));
+        }
+        if (i != 0) {
+            const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(i));
+            if (y != 0 && y < g.k()) {
+                acc.add(s.element(g.extra_row(y), y));
+            }
+        }
+        acc.finish();
+    }
+}
+
+void encode_reference(const codes::stripe_view& s, const geometry& g) {
+    encode_reference_p(s, g);
+    encode_reference_q(s, g);
+}
+
+}  // namespace liberation::core

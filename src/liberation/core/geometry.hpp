@@ -1,0 +1,95 @@
+// Geometric presentation of the Liberation codes (paper Section III-A).
+//
+// A codeword is a p x (p+2) bit array (p odd prime); k <= p real data
+// columns, the rest phantom zeros. With <v> = v mod p:
+//
+//   P_i = XOR_j b[i][j]                                  (row parity)
+//   Q_i = XOR_j b[<i+j>][j]  (+ extra bit a_i, i != 0)   (anti-diagonal)
+//   a_i = b[<-i-1>][<-2i>]
+//
+// The paper's central observation: for each j in 1..p-1 the pair
+//   E_j = b[r_j][j-1] ^ b[r_j][j],     r_j = <(p+1)/2 * j> - 1
+// is a *common expression*: it appears intact inside row constraint P_{r_j}
+// AND inside anti-diagonal constraint Q_{m_j}, m_j = <-(p+1)/2 * j> =
+// p-1-r_j, because b[r_j][j-1] is a normal member of Q_{m_j} while
+// b[r_j][j] is exactly its extra bit a_{m_j}. Computing each E_j once and
+// reusing it in both parities is what removes the redundant XORs.
+//
+// This header centralizes that index arithmetic so the encoder, decoder,
+// update path and error-corrector all speak the same geometry.
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/codes/stripe.hpp"
+
+namespace liberation::core {
+
+/// Maximum supported prime. Keeps per-call bookkeeping on the stack
+/// (Core Guidelines Per.15: no allocation on the critical path).
+inline constexpr std::uint32_t max_p = 1021;
+
+class geometry {
+public:
+    /// Expects odd prime p in [3, max_p], 1 <= k <= p.
+    geometry(std::uint32_t p, std::uint32_t k);
+
+    [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+    [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint32_t half() const noexcept { return (p_ - 1) / 2; }
+
+    [[nodiscard]] std::uint32_t mod(std::int64_t v) const noexcept {
+        const auto m = static_cast<std::int64_t>(p_);
+        return static_cast<std::uint32_t>(((v % m) + m) % m);
+    }
+
+    /// Common-expression row r_j for pair (j-1, j); j in 1..p-1.
+    [[nodiscard]] std::uint32_t ce_row(std::uint32_t j) const noexcept;
+
+    /// Anti-diagonal index m_j whose constraint contains E_j (= p-1-r_j).
+    [[nodiscard]] std::uint32_t ce_q_index(std::uint32_t j) const noexcept;
+
+    /// Row of the extra bit residing in column y (y in 1..p-1): a column y
+    /// hosts the extra bit of exactly one anti-diagonal. Column 0 hosts
+    /// none (a_0 = 0).
+    [[nodiscard]] std::uint32_t extra_row(std::uint32_t y) const noexcept;
+
+    /// The anti-diagonal index whose extra bit lives in column y (y >= 1).
+    [[nodiscard]] std::uint32_t extra_q_index(std::uint32_t y) const noexcept;
+
+    /// True iff (i, j) is the extra bit a_m of some anti-diagonal m.
+    [[nodiscard]] bool is_extra_position(std::uint32_t i,
+                                         std::uint32_t j) const noexcept;
+
+    /// True iff (i, j) is the first member b[r_{j+1}][j] of E_{j+1}.
+    [[nodiscard]] bool is_ce_first_member(std::uint32_t i,
+                                          std::uint32_t j) const noexcept;
+
+    /// Anti-diagonal through (i, j): <i - j>.
+    [[nodiscard]] std::uint32_t diag_of(std::uint32_t i,
+                                        std::uint32_t j) const noexcept {
+        return mod(static_cast<std::int64_t>(i) - j);
+    }
+
+    /// Row of the normal member of anti-diagonal q in column j: <q + j>.
+    [[nodiscard]] std::uint32_t diag_member_row(std::uint32_t q,
+                                                std::uint32_t j) const noexcept {
+        return (q + j) % p_;
+    }
+
+private:
+    std::uint32_t p_;
+    std::uint32_t k_;
+};
+
+/// Reference encoder straight from the defining equations — no common-
+/// expression reuse. Ground truth for tests and the ablation bench
+/// (isolates "geometric direct loops" from "common-expression reuse").
+/// Stripe geometry: p rows, k+2 columns.
+void encode_reference(const codes::stripe_view& s, const geometry& g);
+
+/// Reference P / Q columns alone (also from the raw definitions).
+void encode_reference_p(const codes::stripe_view& s, const geometry& g);
+void encode_reference_q(const codes::stripe_view& s, const geometry& g);
+
+}  // namespace liberation::core

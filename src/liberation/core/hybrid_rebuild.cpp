@@ -1,0 +1,136 @@
+#include "liberation/core/hybrid_rebuild.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+namespace {
+
+/// Elements read when recovering row i of column l via row parity.
+void row_reads(const geometry& g, std::uint32_t l, std::uint32_t i,
+               std::set<element_ref>& out) {
+    for (std::uint32_t j = 0; j < g.k(); ++j) {
+        if (j != l) out.insert({j, i});
+    }
+    out.insert({g.k(), i});  // P_i
+}
+
+/// Elements read when recovering row i of column l via its anti-diagonal.
+void diag_reads(const geometry& g, std::uint32_t l, std::uint32_t i,
+                std::set<element_ref>& out) {
+    const std::uint32_t q = g.diag_of(i, l);
+    for (std::uint32_t j = 0; j < g.k(); ++j) {
+        if (j == l) continue;
+        out.insert({j, g.diag_member_row(q, j)});
+    }
+    if (q != 0) {
+        const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(q));
+        if (y != 0 && y < g.k() && y != l) {
+            out.insert({y, g.extra_row(y)});
+        }
+    }
+    out.insert({g.k() + 1, q});  // Q_q
+}
+
+std::size_t read_set_size(const geometry& g, std::uint32_t l,
+                          const std::vector<bool>& via_row) {
+    std::set<element_ref> reads;
+    for (std::uint32_t i = 0; i < g.p(); ++i) {
+        if (via_row[i]) {
+            row_reads(g, l, i, reads);
+        } else {
+            diag_reads(g, l, i, reads);
+        }
+    }
+    return reads.size();
+}
+
+/// Row that may not use its anti-diagonal: the diagonal whose extra bit
+/// lies in the erased column itself carries two unknowns.
+std::uint32_t forbidden_diag_row(const geometry& g, std::uint32_t l) {
+    if (l == 0) return g.p();  // no extra bit in column 0: nothing forbidden
+    return g.diag_member_row(g.extra_q_index(l), l);
+}
+
+}  // namespace
+
+hybrid_plan plan_hybrid_rebuild(const geometry& g, std::uint32_t l) {
+    LIBERATION_EXPECTS(l < g.k());
+    const std::uint32_t p = g.p();
+
+    hybrid_plan plan;
+    plan.column = l;
+    plan.via_row.assign(p, true);
+    plan.baseline_reads = static_cast<std::size_t>(g.k()) * p;
+
+    const std::uint32_t forbidden = forbidden_diag_row(g, l);
+
+    // Greedy local search: flip the single row whose flip shrinks the read
+    // set the most; stop at a local optimum. p flips max per round, at most
+    // p rounds — trivially fast for p <= 31 and good enough in practice.
+    std::size_t best = read_set_size(g, l, plan.via_row);
+    for (;;) {
+        std::size_t round_best = best;
+        std::uint32_t round_row = p;
+        for (std::uint32_t i = 0; i < p; ++i) {
+            if (!plan.via_row[i] || i == forbidden) continue;  // flip row->diag only
+            plan.via_row[i] = false;
+            const std::size_t candidate = read_set_size(g, l, plan.via_row);
+            plan.via_row[i] = true;
+            if (candidate < round_best) {
+                round_best = candidate;
+                round_row = i;
+            }
+        }
+        if (round_row == p) break;
+        plan.via_row[round_row] = false;
+        best = round_best;
+    }
+
+    std::set<element_ref> reads;
+    for (std::uint32_t i = 0; i < p; ++i) {
+        if (plan.via_row[i]) {
+            row_reads(g, l, i, reads);
+        } else {
+            diag_reads(g, l, i, reads);
+        }
+    }
+    plan.reads.assign(reads.begin(), reads.end());
+    return plan;
+}
+
+void rebuild_column_hybrid(const codes::stripe_view& s, const geometry& g,
+                           const hybrid_plan& plan) {
+    const std::uint32_t l = plan.column;
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(plan.via_row.size() == g.p());
+
+    for (std::uint32_t i = 0; i < g.p(); ++i) {
+        std::byte* dst = s.element(i, l);
+        if (plan.via_row[i]) {
+            xorops::copy(dst, s.element(i, g.k()), e);  // P_i
+            for (std::uint32_t j = 0; j < g.k(); ++j) {
+                if (j != l) xorops::xor_into(dst, s.element(i, j), e);
+            }
+        } else {
+            const std::uint32_t q = g.diag_of(i, l);
+            xorops::copy(dst, s.element(q, g.k() + 1), e);  // Q_q
+            for (std::uint32_t j = 0; j < g.k(); ++j) {
+                if (j == l) continue;
+                xorops::xor_into(dst, s.element(g.diag_member_row(q, j), j), e);
+            }
+            if (q != 0) {
+                const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(q));
+                if (y != 0 && y < g.k() && y != l) {
+                    xorops::xor_into(dst, s.element(g.extra_row(y), y), e);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace liberation::core

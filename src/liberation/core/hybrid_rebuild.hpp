@@ -1,0 +1,60 @@
+// Hybrid single-column rebuild: recover an erased data column reading
+// fewer elements than the conventional all-row-parity rebuild.
+//
+// Rebuilding a single data column via row parity alone reads every row of
+// every surviving column — k*p elements per stripe. But each missing
+// element can equally be recovered along its anti-diagonal; rows recovered
+// via rows and rows recovered via anti-diagonals *share* many surviving
+// elements, so choosing a good mix shrinks the union of elements that must
+// be read (the classic RDOR-style I/O optimization, here adapted to the
+// Liberation geometry as a beyond-paper extension: in a disk array, fewer
+// reads means faster rebuild and less interference with foreground I/O).
+//
+// The planner greedily flips per-row choices (row vs anti-diagonal) until
+// the read-set size stops shrinking. For k = p this saves ~20-25% of reads,
+// consistent with the known bound for RDP-like geometries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+/// One element that must be read: column (may be k for P, k+1 for Q) and
+/// row within the strip.
+struct element_ref {
+    std::uint32_t col = 0;
+    std::uint32_t row = 0;
+
+    [[nodiscard]] bool operator==(const element_ref&) const noexcept = default;
+    [[nodiscard]] bool operator<(const element_ref& o) const noexcept {
+        return col != o.col ? col < o.col : row < o.row;
+    }
+};
+
+struct hybrid_plan {
+    std::uint32_t column = 0;          ///< the erased data column
+    std::vector<bool> via_row;         ///< per row: true = row parity
+    std::vector<element_ref> reads;    ///< distinct elements to read, sorted
+    std::size_t baseline_reads = 0;    ///< all-rows rebuild read count (k*p)
+
+    [[nodiscard]] double savings() const noexcept {
+        if (baseline_reads == 0) return 0.0;
+        return 1.0 - static_cast<double>(reads.size()) /
+                         static_cast<double>(baseline_reads);
+    }
+};
+
+/// Plan the read-minimizing rebuild of data column l (l < k).
+[[nodiscard]] hybrid_plan plan_hybrid_rebuild(const geometry& g,
+                                              std::uint32_t l);
+
+/// Execute a plan: rebuild column l of the stripe in place, touching only
+/// the planned elements plus the erased column itself.
+void rebuild_column_hybrid(const codes::stripe_view& s, const geometry& g,
+                           const hybrid_plan& plan);
+
+}  // namespace liberation::core

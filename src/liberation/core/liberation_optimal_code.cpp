@@ -1,0 +1,75 @@
+#include "liberation/core/liberation_optimal_code.hpp"
+
+#include "liberation/core/optimal_decoder.hpp"
+#include "liberation/core/optimal_encoder.hpp"
+#include "liberation/core/update.hpp"
+#include "liberation/util/primes.hpp"
+
+namespace liberation::core {
+
+liberation_optimal_code::liberation_optimal_code(std::uint32_t k,
+                                                 std::uint32_t p)
+    : geom_(p, k) {}
+
+liberation_optimal_code::liberation_optimal_code(std::uint32_t k)
+    : liberation_optimal_code(k, util::next_odd_prime(k)) {}
+
+std::string liberation_optimal_code::name() const {
+    return "liberation_optimal(k=" + std::to_string(k()) +
+           ",p=" + std::to_string(p()) + ")";
+}
+
+namespace {
+
+/// Run `body` over L1-sized packet windows of the stripe (single pass when
+/// the element already fits). Control flow inside the algorithms is
+/// data-independent, so per-packet re-execution only repeats index math.
+template <typename Body>
+void for_each_packet(const codes::stripe_view& stripe, const geometry& g,
+                     Body&& body) {
+    const std::size_t elem = stripe.element_size();
+    const std::size_t live =
+        static_cast<std::size_t>(g.k() + 2) * g.p();
+    const std::size_t packet = codes::preferred_packet_size(live, elem);
+    if (packet == elem) {
+        body(stripe);
+        return;
+    }
+    for (std::size_t off = 0; off < elem; off += packet) {
+        body(stripe.packet_view(off, packet));
+    }
+}
+
+}  // namespace
+
+void liberation_optimal_code::encode(const codes::stripe_view& stripe) const {
+    check_stripe(stripe);
+    for_each_packet(stripe, geom_, [this](const codes::stripe_view& v) {
+        encode_optimal(v, geom_);
+    });
+}
+
+void liberation_optimal_code::decode(
+    const codes::stripe_view& stripe,
+    std::span<const std::uint32_t> erased) const {
+    check_stripe(stripe);
+    for_each_packet(stripe, geom_,
+                    [this, erased](const codes::stripe_view& v) {
+                        decode_any(v, geom_, erased);
+                    });
+}
+
+std::uint32_t liberation_optimal_code::apply_update(
+    const codes::stripe_view& stripe, std::uint32_t row, std::uint32_t col,
+    std::span<const std::byte> delta) const {
+    check_stripe(stripe);
+    return core::apply_update(stripe, geom_, row, col, delta);
+}
+
+scrub_report liberation_optimal_code::scrub(
+    const codes::stripe_view& stripe) const {
+    check_stripe(stripe);
+    return scrub_stripe(stripe, geom_);
+}
+
+}  // namespace liberation::core

@@ -1,0 +1,55 @@
+// The paper's contribution as a raid6_code: Liberation codes with the
+// optimal encoding (Algorithm 1) and optimal decoding (Algorithms 2-4)
+// plus incremental update and single-column scrubbing.
+//
+// This is the primary public entry point of the library:
+//
+//   liberation::core::liberation_optimal_code code(/*k=*/8);
+//   liberation::codes::stripe_buffer stripe(code.rows(), code.n(), 4096);
+//   ... fill data strips ...
+//   code.encode(stripe.view());
+//   code.decode(stripe.view(), erased_columns);
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/codes/raid6_code.hpp"
+#include "liberation/core/error_correction.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+class liberation_optimal_code final : public codes::raid6_code {
+public:
+    /// Expects odd prime p >= k >= 1 (paper Section III-A).
+    liberation_optimal_code(std::uint32_t k, std::uint32_t p);
+
+    /// Uses the smallest odd prime >= k (the "p varying with k" regime of
+    /// the paper's evaluation; pass p explicitly for the fixed-p regime).
+    explicit liberation_optimal_code(std::uint32_t k);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::uint32_t k() const noexcept override {
+        return geom_.k();
+    }
+    [[nodiscard]] std::uint32_t rows() const noexcept override {
+        return geom_.p();
+    }
+    [[nodiscard]] std::uint32_t p() const noexcept { return geom_.p(); }
+    [[nodiscard]] const geometry& geom() const noexcept { return geom_; }
+
+    void encode(const codes::stripe_view& stripe) const override;
+    void decode(const codes::stripe_view& stripe,
+                std::span<const std::uint32_t> erased) const override;
+    std::uint32_t apply_update(const codes::stripe_view& stripe,
+                               std::uint32_t row, std::uint32_t col,
+                               std::span<const std::byte> delta) const override;
+
+    /// Verify-and-repair against silent corruption of at most one column.
+    scrub_report scrub(const codes::stripe_view& stripe) const;
+
+private:
+    geometry geom_;
+};
+
+}  // namespace liberation::core

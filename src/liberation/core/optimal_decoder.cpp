@@ -1,0 +1,210 @@
+#include "liberation/core/optimal_decoder.hpp"
+
+#include <algorithm>
+
+#include "liberation/core/optimal_encoder.hpp"
+#include "liberation/core/starting_point.hpp"
+#include "liberation/core/syndromes.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+void decode_two_data(const codes::stripe_view& s, const geometry& g,
+                     std::uint32_t l, std::uint32_t r) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::uint32_t half = g.half();
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(l < k && r < k && l != r);
+
+    // Step 1: starting point; exchange l and r if the walk closed on the
+    // wrong side (Algorithm 4 lines 1-5).
+    starting_point sp = find_starting_point(g, l, r);
+    if (!sp.found()) {
+        std::swap(l, r);
+        sp = find_starting_point(g, l, r);
+    }
+    LIBERATION_ENSURES(sp.found());
+    const auto x0 = static_cast<std::uint32_t>(sp.x);
+
+    // Step 2: syndromes in place — S^P_i in strip l element i, S^Q_i in
+    // strip r element <i + r>.
+    compute_syndromes(s, g, l, r);
+
+    const std::uint32_t delta = g.mod(static_cast<std::int64_t>(r) - l);
+
+    // Step 3a: starting element b[x0][r] (lines 7-14). Its own slot already
+    // holds one of the S^Q terms, so that term is skipped.
+    {
+        std::byte* dst = s.element(x0, r);
+        for (const std::uint32_t i : sp.q_rows) {
+            const std::uint32_t slot = (i + r) % p;
+            if (slot == x0) continue;
+            xorops::xor_into(dst, s.element(slot, r), e);
+        }
+        for (const std::uint32_t i : sp.p_rows) {
+            xorops::xor_into(dst, s.element(i, l), e);
+        }
+    }
+
+    // Step 3b: the chain (lines 15-31). Reads of neighbour columns skip
+    // phantom columns (index >= k): their elements are identically zero.
+    const auto is_real = [&](std::uint32_t col) noexcept { return col < k; };
+
+    std::uint32_t x = x0;
+    for (std::uint32_t t = 0; t < p; ++t) {
+        std::byte* bl = s.element(x, l);
+        std::byte* br = s.element(x, r);
+        // Row constraint: fold the column-r value into the row syndrome.
+        xorops::xor_into(bl, br, e);
+
+        const std::uint32_t tr = static_cast<std::uint32_t>(
+            (x + static_cast<std::uint64_t>(half) * r) % p);
+        if (tr == p - 1 && x != p - 1 && delta != 1) {
+            // (x, r) is the extra member of CE r: the row syndrome excluded
+            // the surviving first member b[x][r-1]; add it back.
+            // [paper prints "delta = 1" here — see header note]
+            if (is_real(r - 1)) xorops::xor_into(bl, s.element(x, r - 1), e);
+        } else if (tr == half && x != p - 1) {
+            // (x, r) is the first member of CE (r+1): the slot accumulated
+            // the common-expression value; resolve with the partner.
+            if (r + 1 < p && is_real(r + 1)) {
+                xorops::xor_into(br, s.element(x, r + 1), e);
+            }
+        }
+
+        const std::uint32_t tl = static_cast<std::uint32_t>(
+            (x + static_cast<std::uint64_t>(half) * l) % p);
+        if (tl == p - 1 && x != p - 1) {
+            // (x, l) is the extra member of CE l: bl currently holds the
+            // unknown common expression E_l. Use it twice: fold into the
+            // anti-diagonal syndrome containing E_l, then resolve bl with
+            // the surviving partner b[x][l-1].
+            const std::uint32_t fold = (x + 1 + delta) % p;
+            xorops::xor_into(s.element(fold, r), bl, e);
+            if (is_real(l - 1)) xorops::xor_into(bl, s.element(x, l - 1), e);
+        }
+
+        if (t + 1 < p) {
+            // Advance the chain: the anti-diagonal through (x, l) has its
+            // column-r member at row <x + delta>.
+            xorops::xor_into(s.element((x + delta) % p, r), bl, e);
+        }
+
+        if (tl == half && x != p - 1 && delta != 1) {
+            // (x, l) is the first member of CE (l+1): bl holds E_{l+1}
+            // (already folded forward above); resolve with the partner.
+            if (l + 1 < p && is_real(l + 1)) {
+                xorops::xor_into(bl, s.element(x, l + 1), e);
+            }
+        }
+
+        x = (x + delta) % p;
+    }
+}
+
+void decode_data_via_rows(const codes::stripe_view& s, const geometry& g,
+                          std::uint32_t l) {
+    const std::uint32_t k = g.k();
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(l < k);
+    for (std::uint32_t i = 0; i < g.p(); ++i) {
+        std::byte* dst = s.element(i, l);
+        xorops::copy(dst, s.element(i, k), e);  // P_i
+        for (std::uint32_t j = 0; j < k; ++j) {
+            if (j != l) xorops::xor_into(dst, s.element(i, j), e);
+        }
+    }
+}
+
+void decode_data_via_diagonals(const codes::stripe_view& s, const geometry& g,
+                               std::uint32_t l) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::uint32_t qc = k + 1;
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(l < k);
+
+    // Each anti-diagonal q holds exactly one column-l normal member at row
+    // <q + l>. The one exception is the anti-diagonal whose *extra* bit
+    // also lives in column l (q = extra_q_index(l), only for l >= 1): it
+    // carries two unknowns, so resolve it last, after its extra bit has
+    // been recovered through its own normal anti-diagonal.
+    const bool has_extra = l >= 1;
+    const std::uint32_t special_q = has_extra ? g.extra_q_index(l) : 0;
+
+    const auto recover = [&](std::uint32_t q) {
+        const std::uint32_t row = g.diag_member_row(q, l);
+        std::byte* dst = s.element(row, l);
+        xorops::copy(dst, s.element(q, qc), e);  // Q_q
+        for (std::uint32_t j = 0; j < k; ++j) {
+            if (j == l) continue;
+            xorops::xor_into(dst, s.element(g.diag_member_row(q, j), j), e);
+        }
+        if (q != 0) {
+            // Extra bit of Q_q, if it lies in a real surviving column.
+            const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(q));
+            if (y != 0 && y < k && y != l) {
+                xorops::xor_into(dst, s.element(g.extra_row(y), y), e);
+            }
+        }
+    };
+
+    for (std::uint32_t q = 0; q < p; ++q) {
+        if (has_extra && q == special_q) continue;
+        recover(q);
+    }
+    if (has_extra) {
+        // Now the extra bit b[extra_row(l)][l] is known; fold it in.
+        const std::uint32_t q = special_q;
+        const std::uint32_t row = g.diag_member_row(q, l);
+        std::byte* dst = s.element(row, l);
+        xorops::copy(dst, s.element(q, qc), e);
+        for (std::uint32_t j = 0; j < k; ++j) {
+            if (j == l) continue;
+            xorops::xor_into(dst, s.element(g.diag_member_row(q, j), j), e);
+        }
+        // q = extra_q_index(l) != 0 always (it equals <-l(p+1)/2>, nonzero
+        // for l >= 1), and its extra bit lives in column l by construction.
+        xorops::xor_into(dst, s.element(g.extra_row(l), l), e);
+    }
+}
+
+void decode_any(const codes::stripe_view& s, const geometry& g,
+                std::span<const std::uint32_t> erased) {
+    LIBERATION_EXPECTS(!erased.empty() && erased.size() <= 2);
+    const std::uint32_t k = g.k();
+    const std::uint32_t pc = k;
+    const std::uint32_t qc = k + 1;
+
+    std::uint32_t a = erased[0];
+    std::uint32_t b = erased.size() == 2 ? erased[1] : a;
+    if (a > b) std::swap(a, b);
+    LIBERATION_EXPECTS(b < k + 2);
+    LIBERATION_EXPECTS(erased.size() == 1 || a != b);
+
+    if (erased.size() == 1) {
+        if (a == pc) {
+            encode_p_only(s, g);
+        } else if (a == qc) {
+            encode_q_only(s, g);
+        } else {
+            decode_data_via_rows(s, g, a);
+        }
+        return;
+    }
+    if (a == pc && b == qc) {
+        encode_optimal(s, g);
+    } else if (b == qc) {  // data + Q
+        decode_data_via_rows(s, g, a);
+        encode_q_only(s, g);
+    } else if (b == pc) {  // data + P
+        decode_data_via_diagonals(s, g, a);
+        encode_p_only(s, g);
+    } else {  // two data columns — Algorithm 4
+        decode_two_data(s, g, a, b);
+    }
+}
+
+}  // namespace liberation::core

@@ -1,0 +1,48 @@
+// Algorithm 4 — optimal decoding (paper Section III-C), plus the easy
+// erasure shapes the paper delegates to Algorithm 1.
+//
+// Two erased data columns l, r are rebuilt in three steps:
+//   1. find the starting point (Algorithm 2; retry with l/r exchanged),
+//   2. compute both syndrome families in place (Algorithm 3),
+//   3. recover b[x][r] by XORing the returned syndrome subsets, then walk
+//      the chain with stride delta = <r - l>, alternating row constraint ->
+//      anti-diagonal constraint. Each step recovers either a missing
+//      element or an unknown common expression; common-expression steps
+//      use the value twice (fold into the sibling anti-diagonal syndrome,
+//      then resolve with the surviving partner element).
+//
+// Deviation from the printed pseudocode (documented in EXPERIMENTS.md):
+// line 17's guard reads "delta = 1"; the paper's own worked example
+// (p = 5, columns 1 and 3, i.e. delta = 3) requires that branch to fire,
+// while for delta = 1 firing would XOR the element with itself. We
+// implement "delta != 1", which reproduces the worked example exactly and
+// passes exhaustive verification over all p <= 31, k <= p, and patterns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+/// Rebuild two erased data columns (l != r, both < k) in place.
+void decode_two_data(const codes::stripe_view& s, const geometry& g,
+                     std::uint32_t l, std::uint32_t r);
+
+/// Rebuild one erased data column using row parity (P must be intact).
+void decode_data_via_rows(const codes::stripe_view& s, const geometry& g,
+                          std::uint32_t l);
+
+/// Rebuild one erased data column using anti-diagonal parity (Q must be
+/// intact; used when P is also erased).
+void decode_data_via_diagonals(const codes::stripe_view& s, const geometry& g,
+                               std::uint32_t l);
+
+/// Full dispatch over every <= 2-column erasure pattern (data and/or
+/// parity columns; parity columns are k and k+1).
+void decode_any(const codes::stripe_view& s, const geometry& g,
+                std::span<const std::uint32_t> erased);
+
+}  // namespace liberation::core

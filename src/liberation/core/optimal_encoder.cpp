@@ -1,0 +1,132 @@
+#include "liberation/core/optimal_encoder.hpp"
+
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+void encode_optimal(const codes::stripe_view& s, const geometry& g) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::uint32_t half = g.half();
+    const std::uint32_t pc = k;      // P column
+    const std::uint32_t qc = k + 1;  // Q column
+    const std::size_t e = s.element_size();
+
+    bool accessed_p[max_p] = {};
+    bool accessed_q[max_p] = {};
+
+    // Common expressions E_j = b[r_j][j-1] ^ b[r_j][j]: one XOR into the P
+    // element, one copy into the mirrored Q element.
+    for (std::uint32_t j = 1; j < k; ++j) {
+        const std::uint32_t row = g.ce_row(j);
+        xorops::xor2(s.element(row, pc), s.element(row, j - 1),
+                     s.element(row, j), e);
+        accessed_p[row] = true;
+        xorops::copy(s.element(g.ce_q_index(j), qc), s.element(row, pc), e);
+        accessed_q[g.ce_q_index(j)] = true;
+    }
+    if (k < p) {
+        // "Half" common expression E_k: its second member is the phantom
+        // column k, so E_k degenerates to b[r_k][k-1] — two plain copies.
+        const std::uint32_t row = g.ce_row(k);
+        xorops::copy(s.element(row, pc), s.element(row, k - 1), e);
+        accessed_p[row] = true;
+        xorops::copy(s.element(g.ce_q_index(k), qc), s.element(row, pc), e);
+        accessed_q[g.ce_q_index(k)] = true;
+    }
+
+    // Main sweep — Algorithm 1 lines 6-25, executed output-major: the
+    // paper's loop iterates data columns, but the op multiset is identical
+    // when regrouped per parity element, and keeping each destination hot
+    // in L1 across its k-1 accumulations is substantially faster (the same
+    // reason Jerasure executes schedules output-row by output-row). The
+    // skip rules are unchanged:
+    //  * a CE first member contributes to neither parity directly (both of
+    //    its contributions were staged above);
+    //  * an extra bit contributes only its *normal* anti-diagonal
+    //    membership (its P and Q-extra contributions were staged above).
+    for (std::uint32_t i = 0; i < p; ++i) {
+        std::byte* dst = s.element(i, pc);
+        bool fresh = !accessed_p[i];
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if ((t == half || t == p - 1) && i != p - 1) continue;
+            if (fresh) {
+                xorops::copy(dst, s.element(i, j), e);
+                fresh = false;
+            } else {
+                xorops::xor_into(dst, s.element(i, j), e);
+            }
+        }
+    }
+    for (std::uint32_t q = 0; q < p; ++q) {
+        std::byte* dst = s.element(q, qc);
+        bool fresh = !accessed_q[q];
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const std::uint32_t i = (q + j) % p;
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if (t == half && i != p - 1) continue;  // CE first member
+            if (fresh) {
+                xorops::copy(dst, s.element(i, j), e);
+                fresh = false;
+            } else {
+                xorops::xor_into(dst, s.element(i, j), e);
+            }
+        }
+    }
+
+    // Every parity element is written by the sweeps above for all k >= 1
+    // (each P_i and Q_i has a member in column 0), so no zero-fill pass.
+}
+
+void encode_p_only(const codes::stripe_view& s, const geometry& g) {
+    encode_reference_p(s, g);
+}
+
+void encode_q_only(const codes::stripe_view& s, const geometry& g) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::uint32_t half = g.half();
+    const std::uint32_t qc = k + 1;
+    const std::size_t e = s.element_size();
+
+    bool accessed_q[max_p] = {};
+
+    // Stage common expressions directly in the Q elements: the extra bit of
+    // Q_{m_j} and one of its normal members share a row, so one XOR covers
+    // both contributions.
+    for (std::uint32_t j = 1; j < k; ++j) {
+        const std::uint32_t row = g.ce_row(j);
+        xorops::xor2(s.element(g.ce_q_index(j), qc), s.element(row, j - 1),
+                     s.element(row, j), e);
+        accessed_q[g.ce_q_index(j)] = true;
+    }
+    if (k < p) {
+        const std::uint32_t row = g.ce_row(k);
+        xorops::copy(s.element(g.ce_q_index(k), qc), s.element(row, k - 1), e);
+        accessed_q[g.ce_q_index(k)] = true;
+    }
+
+    // Output-major for the same locality reason as encode_optimal.
+    for (std::uint32_t q = 0; q < p; ++q) {
+        std::byte* dst = s.element(q, qc);
+        bool fresh = !accessed_q[q];
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const std::uint32_t i = (q + j) % p;
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if (t == half && i != p - 1) continue;  // already in a CE
+            if (fresh) {
+                xorops::copy(dst, s.element(i, j), e);
+                fresh = false;
+            } else {
+                xorops::xor_into(dst, s.element(i, j), e);
+            }
+        }
+    }
+}
+
+}  // namespace liberation::core

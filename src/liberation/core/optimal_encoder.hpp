@@ -1,0 +1,25 @@
+// Algorithm 1 — optimal encoding (paper Section III-B).
+//
+// Computes each common expression E_j once, stores it in the P column and
+// mirrors it into the Q column, then folds every remaining data element
+// into its row parity and anti-diagonal parity with the two skip rules that
+// avoid re-adding common-expression members. Exactly 2p(k-1) region XORs —
+// k-1 per parity element, the theoretical lower bound — for every k <= p.
+#pragma once
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+/// Encode both parity columns. Stripe: p rows x (k+2) columns.
+void encode_optimal(const codes::stripe_view& s, const geometry& g);
+
+/// Recompute only the P column (plain row parity; k-1 XORs per element).
+void encode_p_only(const codes::stripe_view& s, const geometry& g);
+
+/// Recompute only the Q column. Common expressions are staged directly in
+/// the Q elements (P is not touched); k-1 XORs per element.
+void encode_q_only(const codes::stripe_view& s, const geometry& g);
+
+}  // namespace liberation::core

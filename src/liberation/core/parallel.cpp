@@ -1,0 +1,35 @@
+#include "liberation/core/parallel.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace liberation::core {
+
+void parallel_codec::encode_all(
+    std::span<const codes::stripe_view> stripes) const {
+    pool_.parallel_for(stripes.size(),
+                       [&](std::size_t i) { code_.encode(stripes[i]); });
+}
+
+void parallel_codec::decode_all(std::span<const codes::stripe_view> stripes,
+                                std::span<const std::uint32_t> erased) const {
+    pool_.parallel_for(stripes.size(), [&](std::size_t i) {
+        code_.decode(stripes[i], erased);
+    });
+}
+
+std::vector<std::size_t> parallel_codec::verify_all(
+    std::span<const codes::stripe_view> stripes) const {
+    std::vector<std::size_t> bad;
+    std::mutex mutex;
+    pool_.parallel_for(stripes.size(), [&](std::size_t i) {
+        if (!code_.verify(stripes[i])) {
+            std::lock_guard lock(mutex);
+            bad.push_back(i);
+        }
+    });
+    std::sort(bad.begin(), bad.end());
+    return bad;
+}
+
+}  // namespace liberation::core

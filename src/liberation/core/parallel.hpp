@@ -1,0 +1,43 @@
+// Batch encode/decode across a thread pool.
+//
+// Stripe coding is embarrassingly parallel across stripes (no shared
+// mutable state: the code objects are immutable after construction), so
+// full-device operations — initial encode, bulk recovery, background
+// verify — scale with cores by fanning stripes out to the pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "liberation/codes/raid6_code.hpp"
+#include "liberation/util/thread_pool.hpp"
+
+namespace liberation::core {
+
+class parallel_codec {
+public:
+    /// Both references must outlive the codec. The code's encode/decode
+    /// must be safe to call concurrently (true for every code in this
+    /// library: they are stateless or internally synchronized).
+    parallel_codec(const codes::raid6_code& code, util::thread_pool& pool)
+        : code_(code), pool_(pool) {}
+
+    /// Encode every stripe in the batch.
+    void encode_all(std::span<const codes::stripe_view> stripes) const;
+
+    /// Decode the same erasure pattern on every stripe (bulk recovery of
+    /// failed disks: the pattern is fixed per placement group).
+    void decode_all(std::span<const codes::stripe_view> stripes,
+                    std::span<const std::uint32_t> erased) const;
+
+    /// Verify every stripe; returns the indices of inconsistent stripes.
+    [[nodiscard]] std::vector<std::size_t> verify_all(
+        std::span<const codes::stripe_view> stripes) const;
+
+private:
+    const codes::raid6_code& code_;
+    util::thread_pool& pool_;
+};
+
+}  // namespace liberation::core

@@ -1,0 +1,52 @@
+#include "liberation/core/starting_point.hpp"
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::core {
+
+starting_point find_starting_point(const geometry& g, std::uint32_t l,
+                                   std::uint32_t r) {
+    const std::uint32_t p = g.p();
+    LIBERATION_EXPECTS(l < p && r < p && l != r);
+
+    // Row indices of the extra bits hosted by the erased columns; column 0
+    // hosts no extra bit, but the same formula still drives the walk (the
+    // l = 0 case relaxes the stop condition below, exactly as printed).
+    const auto extra_of = [&](std::uint32_t c) noexcept {
+        return p - 1 -
+               g.mod(static_cast<std::int64_t>(p - 1) / 2 *
+                     static_cast<std::int64_t>(c));
+    };
+    const std::uint32_t extra_l = extra_of(l);
+    const std::uint32_t extra_r = extra_of(r);
+
+    // Anti-diagonals with three unknowns (two normal members + the extra).
+    const std::uint32_t special_ql = g.mod(static_cast<std::int64_t>(extra_l) + 1 - l);
+    const std::uint32_t special_qr = g.mod(static_cast<std::int64_t>(extra_r) + 1 - r);
+
+    const std::int64_t stride = static_cast<std::int64_t>(r) - l;
+
+    starting_point sp;
+    sp.q_rows.push_back(special_qr);
+    sp.p_rows.push_back(extra_r);
+
+    std::uint32_t cur_q = g.mod(static_cast<std::int64_t>(special_qr) - 1 + stride);
+    while ((cur_q != special_ql || l == 0) && cur_q != special_qr) {
+        sp.q_rows.push_back(cur_q);
+        sp.p_rows.push_back(g.mod(static_cast<std::int64_t>(cur_q) + r));
+        cur_q = g.mod(static_cast<std::int64_t>(cur_q) + stride);
+    }
+
+    if (cur_q == special_qr && extra_r + 1 < p) {
+        // extra_r = p-1 happens only for r = 0; the walk can close in that
+        // orientation, but the starting element it names does not exist —
+        // report failure so the caller retries with l and r exchanged
+        // (the exchanged orientation has l = 0 and always succeeds).
+        sp.x = static_cast<std::int32_t>(extra_r + 1);
+    } else {
+        sp.x = -1;
+    }
+    return sp;
+}
+
+}  // namespace liberation::core

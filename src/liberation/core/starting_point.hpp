@@ -1,0 +1,35 @@
+// Algorithm 2 — finding the starting point (paper Section III-C).
+//
+// For two erased data columns l and r, walks the chain of anti-diagonal
+// constraints with stride (r - l) from the "special" anti-diagonal of the
+// r side (the one containing three unknowns) and collects the parity-
+// constraint index sets S^P and S^Q whose syndromes XOR to a single missing
+// element b[x][r]. When the walk closes back on the l side's special
+// anti-diagonal first, the starting point lies in column l instead and the
+// caller retries with l and r exchanged (Algorithm 4 lines 1-5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+struct starting_point {
+    std::vector<std::uint32_t> p_rows;  ///< S^P: row-parity syndrome indices
+    std::vector<std::uint32_t> q_rows;  ///< S^Q: anti-diagonal syndrome indices
+    /// Row of the starting element b[x][r]; -1 if the walk failed and the
+    /// caller must exchange l and r.
+    std::int32_t x = -1;
+
+    [[nodiscard]] bool found() const noexcept { return x >= 0; }
+};
+
+/// Expects l != r, both in [0, p). Column indices are *codeword* columns
+/// (phantoms allowed — the caller guarantees l, r < k in practice).
+[[nodiscard]] starting_point find_starting_point(const geometry& g,
+                                                 std::uint32_t l,
+                                                 std::uint32_t r);
+
+}  // namespace liberation::core

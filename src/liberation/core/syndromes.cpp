@@ -1,0 +1,100 @@
+#include "liberation/core/syndromes.hpp"
+
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+void compute_syndromes(const codes::stripe_view& s, const geometry& g,
+                       std::uint32_t l, std::uint32_t r) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::uint32_t half = g.half();
+    const std::uint32_t pc = k;
+    const std::uint32_t qc = k + 1;
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(l < k && r < k && l != r);
+
+    // accessed_p guards strip-l elements (row syndromes), accessed_q guards
+    // strip-r elements (anti-diagonal syndromes at slot <i + r>).
+    bool accessed_p[max_p] = {};
+    bool accessed_q[max_p] = {};
+
+    const auto q_slot = [&](std::uint32_t i, std::uint32_t j) noexcept {
+        // Data element (i,j) feeds anti-diagonal <i-j>, stored at <i-j+r>.
+        return g.mod(static_cast<std::int64_t>(i) - j + r);
+    };
+
+    // Surviving common expressions, reused by both syndrome families
+    // (Algorithm 3 lines 1-6).
+    for (std::uint32_t j = 1; j < k; ++j) {
+        if (j - 1 == l || j - 1 == r || j == l || j == r) continue;
+        const std::uint32_t row = g.ce_row(j);
+        xorops::xor2(s.element(row, l), s.element(row, j - 1),
+                     s.element(row, j), e);
+        accessed_p[row] = true;
+        const std::uint32_t slot =
+            g.mod(static_cast<std::int64_t>(p) - 1 - row + r);
+        xorops::copy(s.element(slot, r), s.element(row, l), e);
+        accessed_q[slot] = true;
+    }
+    if (k < p && k - 1 != l && k - 1 != r) {
+        // Surviving "half" common expression (phantom partner column k).
+        const std::uint32_t row = g.ce_row(k);
+        xorops::copy(s.element(row, l), s.element(row, k - 1), e);
+        accessed_p[row] = true;
+        const std::uint32_t slot =
+            g.mod(static_cast<std::int64_t>(p) - 1 - row + r);
+        xorops::copy(s.element(slot, r), s.element(row, l), e);
+        accessed_q[slot] = true;
+    }
+
+    // Main sweep over surviving data columns (lines 7-24). The skip rules
+    // drop exactly the members of *unknown* common expressions (erased-CE
+    // survivors must not enter any syndrome) and the already-folded members
+    // of surviving ones.
+    for (std::uint32_t j = 0; j < k; ++j) {
+        if (j == l || j == r) continue;
+        for (std::uint32_t i = 0; i < p; ++i) {
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if (t == half && i != p - 1) continue;  // CE first member
+
+            const std::uint32_t slot = q_slot(i, j);
+            if (accessed_q[slot]) {
+                xorops::xor_into(s.element(slot, r), s.element(i, j), e);
+            } else {
+                xorops::copy(s.element(slot, r), s.element(i, j), e);
+                accessed_q[slot] = true;
+            }
+
+            if (t == p - 1 && i != p - 1) continue;  // extra member
+
+            if (accessed_p[i]) {
+                xorops::xor_into(s.element(i, l), s.element(i, j), e);
+            } else {
+                xorops::copy(s.element(i, l), s.element(i, j), e);
+                accessed_p[i] = true;
+            }
+        }
+    }
+
+    // Fold the parity columns in (lines 25-28). First-touch still copies:
+    // for tiny k a syndrome can consist of the parity element alone.
+    for (std::uint32_t i = 0; i < p; ++i) {
+        if (accessed_p[i]) {
+            xorops::xor_into(s.element(i, l), s.element(i, pc), e);
+        } else {
+            xorops::copy(s.element(i, l), s.element(i, pc), e);
+        }
+        // Slot i of strip r holds anti-diagonal <i - r>.
+        const std::uint32_t q_index = g.mod(static_cast<std::int64_t>(i) - r);
+        if (accessed_q[i]) {
+            xorops::xor_into(s.element(i, r), s.element(q_index, qc), e);
+        } else {
+            xorops::copy(s.element(i, r), s.element(q_index, qc), e);
+        }
+    }
+}
+
+}  // namespace liberation::core

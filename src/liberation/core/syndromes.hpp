@@ -1,0 +1,24 @@
+// Algorithm 3 — syndrome computation (paper Section III-C).
+//
+// For two erased data columns l and r, computes
+//   * row syndromes      S^P_i  stored in strip l at element i, and
+//   * anti-diag syndromes S^Q_i stored in strip r at element <i + r>,
+// where a syndrome is the XOR of the parity element and the *surviving*
+// members of its constraint, EXCLUDING any member that belongs to an
+// unknown common expression (a common expression with at least one erased
+// member). Surviving common expressions are evaluated once and reused for
+// both syndrome families, mirroring the optimal encoder. No scratch memory:
+// the erased strips themselves hold the syndromes.
+#pragma once
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+/// Expects l != r, both real data columns (< k).
+/// Stripe: p rows x (k+2) columns; strips l and r are overwritten.
+void compute_syndromes(const codes::stripe_view& s, const geometry& g,
+                       std::uint32_t l, std::uint32_t r);
+
+}  // namespace liberation::core

@@ -1,0 +1,33 @@
+#include "liberation/core/update.hpp"
+
+#include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::core {
+
+std::uint32_t apply_update(const codes::stripe_view& s, const geometry& g,
+                           std::uint32_t row, std::uint32_t col,
+                           std::span<const std::byte> delta) {
+    const std::uint32_t k = g.k();
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(row < g.p() && col < k);
+    LIBERATION_EXPECTS(delta.size() == e);
+
+    xorops::xor_into(s.element(row, k), delta.data(), e);
+    xorops::xor_into(s.element(g.diag_of(row, col), k + 1), delta.data(), e);
+    std::uint32_t touched = 2;
+    if (g.is_extra_position(row, col)) {
+        xorops::xor_into(s.element(g.extra_q_index(col), k + 1), delta.data(),
+                         e);
+        ++touched;
+    }
+    return touched;
+}
+
+std::uint32_t update_cost(const geometry& g, std::uint32_t row,
+                          std::uint32_t col) noexcept {
+    LIBERATION_EXPECTS(row < g.p() && col < g.k());
+    return g.is_extra_position(row, col) ? 3 : 2;
+}
+
+}  // namespace liberation::core

@@ -1,0 +1,33 @@
+// Incremental parity update — the Liberation codes' headline property
+// (paper Section I: changing a data block updates only 2 parity blocks,
+// the theoretical lower bound for RAID-6 [13]).
+//
+// For a data element delta at (i, j):
+//   * P_i always absorbs delta;
+//   * the normal anti-diagonal Q_<i-j> always absorbs delta;
+//   * iff (i, j) is an extra-bit position, the hosting anti-diagonal
+//     Q_{extra_q_index(j)} absorbs it too.
+// Exactly k-1 of the k*p data positions are extra bits, so the average
+// update cost is 2 + (k-1)/(kp) ~= 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+
+namespace liberation::core {
+
+/// Patch the parity columns for a data-element change. `delta` is
+/// old ^ new of element (row, col); the data element itself is untouched.
+/// Returns the number of parity elements modified (2 or 3).
+std::uint32_t apply_update(const codes::stripe_view& s, const geometry& g,
+                           std::uint32_t row, std::uint32_t col,
+                           std::span<const std::byte> delta);
+
+/// Exact parity-update cost of position (row, col) without touching data.
+[[nodiscard]] std::uint32_t update_cost(const geometry& g, std::uint32_t row,
+                                        std::uint32_t col) noexcept;
+
+}  // namespace liberation::core

@@ -1,0 +1,72 @@
+// GF(2^8) arithmetic with region (bulk) operations.
+//
+// Substrate for the Reed-Solomon RAID-6 comparator (the scheme the paper
+// cites as the Linux RAID-6 reference implementation [7]). Uses the same
+// primitive polynomial as Linux raid6: x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
+// generator g = 2.
+//
+// Region operations follow the split-table technique: a 256-entry multiply
+// table per constant is precomputed once per (de)coding call and applied
+// byte-wise. This is deliberately *not* SIMD-tuned — the RS comparator
+// exists to show the XOR codes' advantage, exactly as in the paper's
+// framing; optimizing it further is out of scope.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace liberation::gf {
+
+/// GF(2^8) with polynomial 0x11d. All operations are total; division by
+/// zero is a checked precondition.
+class gf256 {
+public:
+    /// Access the process-wide table singleton (tables are immutable after
+    /// construction; safe to share across threads).
+    static const gf256& instance() noexcept;
+
+    [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const noexcept {
+        return a ^ b;
+    }
+
+    [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const noexcept {
+        if (a == 0 || b == 0) return 0;
+        return exp_[static_cast<std::size_t>(log_[a]) + log_[b]];
+    }
+
+    /// Multiplicative inverse. Expects a != 0.
+    [[nodiscard]] std::uint8_t inv(std::uint8_t a) const noexcept;
+
+    /// a / b. Expects b != 0.
+    [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const noexcept;
+
+    /// g^e for generator g=2 (e taken mod 255).
+    [[nodiscard]] std::uint8_t pow_g(std::uint32_t e) const noexcept {
+        return exp_[e % 255];
+    }
+
+    /// discrete log base g of a. Expects a != 0.
+    [[nodiscard]] std::uint8_t log_g(std::uint8_t a) const noexcept;
+
+    // ---- region operations ------------------------------------------------
+
+    /// dst[i] ^= c * src[i]. One region op; counted as one XOR toward the
+    /// xorops counters (plus table setup, uncounted — same convention the
+    /// paper uses when comparing against RS).
+    void mul_region_xor(std::uint8_t c, const std::byte* src, std::byte* dst,
+                        std::size_t n) const noexcept;
+
+    /// dst[i] = c * src[i].
+    void mul_region(std::uint8_t c, const std::byte* src, std::byte* dst,
+                    std::size_t n) const noexcept;
+
+private:
+    gf256() noexcept;
+
+    std::array<std::uint8_t, 512> exp_{};  // doubled to skip the mod in mul()
+    std::array<std::uint8_t, 256> log_{};
+};
+
+}  // namespace liberation::gf

@@ -1,0 +1,431 @@
+#include "liberation/raid/array.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "liberation/util/assert.hpp"
+#include "liberation/util/primes.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace liberation::raid {
+
+namespace {
+
+std::uint32_t effective_p(const array_config& cfg) {
+    return cfg.p != 0 ? cfg.p : util::next_odd_prime(cfg.k);
+}
+
+}  // namespace
+
+raid6_array::raid6_array(const array_config& cfg)
+    : map_(cfg.k, effective_p(cfg), cfg.element_size, cfg.stripes, cfg.layout),
+      code_(cfg.k, effective_p(cfg)),
+      sector_size_(cfg.sector_size) {
+    disks_.reserve(map_.n());
+    for (std::uint32_t d = 0; d < map_.n(); ++d) {
+        disks_.push_back(std::make_unique<vdisk>(d, map_.disk_capacity(),
+                                                 cfg.sector_size));
+    }
+}
+
+void raid6_array::add_data_disk() {
+    LIBERATION_EXPECTS(map_.layout() == parity_layout::parity_first);
+    LIBERATION_EXPECTS(map_.k() < code_.p());
+    LIBERATION_EXPECTS(failed_disk_count() == 0);
+    const std::uint32_t new_k = map_.k() + 1;
+    disks_.push_back(std::make_unique<vdisk>(map_.n(), map_.disk_capacity(),
+                                             sector_size_));
+    map_ = stripe_map(new_k, map_.rows(), map_.element_size(), map_.stripes(),
+                      parity_layout::parity_first);
+    code_ = core::liberation_optimal_code(new_k, code_.p());
+}
+
+std::uint32_t raid6_array::failed_disk_count() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto& d : disks_) {
+        if (!d->online()) ++n;
+    }
+    return n;
+}
+
+bool raid6_array::load_stripe(std::size_t stripe, const codes::stripe_view& dst,
+                              std::vector<std::uint32_t>& erased) const {
+    erased.clear();
+    for (std::uint32_t col = 0; col < map_.n(); ++col) {
+        const strip_location loc = map_.locate(stripe, col);
+        const io_status st =
+            disks_[loc.disk]->read(loc.offset, dst.strip(col));
+        if (st != io_status::ok) erased.push_back(col);
+    }
+    return erased.size() <= 2;
+}
+
+bool raid6_array::store_columns(std::size_t stripe,
+                                const codes::stripe_view& src,
+                                std::span<const std::uint32_t> cols) {
+    bool all_ok = true;
+    for (const std::uint32_t col : cols) {
+        const strip_location loc = map_.locate(stripe, col);
+        if (disk_write(loc.disk, loc.offset, src.strip(col)) !=
+            io_status::ok) {
+            all_ok = false;
+        }
+    }
+    return all_ok;
+}
+
+io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
+                                  std::span<const std::byte> in) {
+    if (write_budget_ == 0) {
+        powered_ = false;
+        return io_status::ok;  // the host never learns; the bits are gone
+    }
+    --write_budget_;
+    return disks_[disk]->write(offset, in);
+}
+
+void raid6_array::journal_mark(std::size_t stripe) {
+    if (powered_) journal_.mark(stripe);
+}
+
+void raid6_array::journal_clear(std::size_t stripe) {
+    // A dead host cannot clear its NVRAM word — the whole point.
+    if (powered_) journal_.clear(stripe);
+}
+
+std::size_t raid6_array::resilver() {
+    std::size_t healed = 0;
+    codes::stripe_buffer buf = make_stripe_buffer();
+    for (std::size_t s = 0; s < map_.stripes(); ++s) {
+        const auto before = stats_.media_errors_recovered;
+        if (!load_and_decode(s, buf.view())) continue;  // > 2 unavailable
+        healed += stats_.media_errors_recovered - before;
+    }
+    return healed;
+}
+
+std::size_t raid6_array::recover_write_hole() {
+    LIBERATION_EXPECTS(powered_);
+    std::size_t resynced = 0;
+    codes::stripe_buffer buf = make_stripe_buffer();
+    std::vector<std::uint32_t> erased;
+    const std::uint32_t parity_cols[] = {code_.p_column(), code_.q_column()};
+    for (const std::size_t s : journal_.dirty_stripes()) {
+        if (!load_stripe(s, buf.view(), erased) || !erased.empty()) {
+            continue;  // degraded: leave journaled for later
+        }
+        // Data is the source of truth; rebuild both parity columns.
+        code_.encode(buf.view());
+        if (!store_columns(s, buf.view(), parity_cols)) continue;
+        journal_.clear(s);
+        ++resynced;
+    }
+    return resynced;
+}
+
+bool raid6_array::load_and_decode(std::size_t stripe,
+                                  const codes::stripe_view& buf) {
+    std::vector<std::uint32_t> erased;
+    if (!load_stripe(stripe, buf, erased)) return false;
+    if (erased.empty()) return true;
+    code_.decode(buf, erased);
+    ++stats_.degraded_stripe_reads;
+    // Heal-on-read: a column that was unreadable on an *online* disk is a
+    // latent sector error. Rewrite the reconstructed strip so the medium
+    // remaps it (md's read-error rewrite) — otherwise the bad sector lies
+    // in wait and turns the next double failure into a triple.
+    for (const std::uint32_t col : erased) {
+        const strip_location loc = map_.locate(stripe, col);
+        if (!disks_[loc.disk]->online()) continue;
+        ++stats_.media_errors_recovered;
+        const std::uint32_t one[] = {col};
+        store_columns(stripe, buf, one);
+    }
+    return true;
+}
+
+bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
+                                        std::uint32_t col,
+                                        std::span<std::byte> out) {
+    const std::size_t elem = map_.element_size();
+    LIBERATION_EXPECTS(out.size() == elem && col < map_.k());
+    util::aligned_buffer acc(elem), tmp(elem);
+
+    const auto read_elem = [&](std::uint32_t c, std::uint32_t r,
+                               std::span<std::byte> dst) {
+        const strip_location loc = map_.locate(stripe, c);
+        return disks_[loc.disk]->read(
+                   loc.offset + static_cast<std::size_t>(r) * elem, dst) ==
+               io_status::ok;
+    };
+
+    if (!read_elem(code_.p_column(), row, acc.span())) return false;
+    for (std::uint32_t j = 0; j < map_.k(); ++j) {
+        if (j == col) continue;
+        if (!read_elem(j, row, tmp.span())) return false;
+        xorops::xor_into(acc.data(), tmp.data(), elem);
+    }
+    std::memcpy(out.data(), acc.data(), elem);
+    ++stats_.degraded_element_reads;
+    return true;
+}
+
+bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
+    LIBERATION_EXPECTS(addr + out.size() <= capacity());
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const std::size_t a = addr + done;
+        const std::size_t stripe = a / map_.stripe_data_size();
+        const std::size_t in_stripe = a % map_.stripe_data_size();
+        const std::size_t span_len = std::min(
+            out.size() - done, map_.stripe_data_size() - in_stripe);
+
+        // Fast path: per-column direct reads.
+        bool degraded = false;
+        std::size_t off = in_stripe;
+        std::size_t copied = 0;
+        while (copied < span_len && !degraded) {
+            const auto col = static_cast<std::uint32_t>(off / map_.strip_size());
+            const std::size_t in_strip = off % map_.strip_size();
+            const std::size_t chunk =
+                std::min(span_len - copied, map_.strip_size() - in_strip);
+            const strip_location loc = map_.locate(stripe, col);
+            const io_status st = disks_[loc.disk]->read(
+                loc.offset + in_strip, out.subspan(done + copied, chunk));
+            if (st != io_status::ok) {
+                degraded = true;
+                break;
+            }
+            copied += chunk;
+            off += chunk;
+        }
+
+        if (degraded) {
+            // Small reads: recover just the touched elements via row
+            // parity (k element reads each) before paying a full-stripe
+            // decode. Falls back when a second column is unavailable.
+            bool element_path = span_len <= 2 * map_.element_size();
+            if (element_path) {
+                util::aligned_buffer ebuf(map_.element_size());
+                for (std::size_t i = 0; i < span_len && element_path;) {
+                    const std::size_t o = in_stripe + i;
+                    const auto col =
+                        static_cast<std::uint32_t>(o / map_.strip_size());
+                    const std::size_t in_strip = o % map_.strip_size();
+                    const auto row = static_cast<std::uint32_t>(
+                        in_strip / map_.element_size());
+                    const std::size_t in_elem =
+                        in_strip % map_.element_size();
+                    const std::size_t chunk = std::min(
+                        span_len - i, map_.element_size() - in_elem);
+                    const strip_location loc = map_.locate(stripe, col);
+                    if (disks_[loc.disk]->read(
+                            loc.offset +
+                                static_cast<std::size_t>(row) *
+                                    map_.element_size(),
+                            ebuf.span()) != io_status::ok &&
+                        !read_element_degraded(stripe, row, col,
+                                               ebuf.span())) {
+                        element_path = false;
+                        break;
+                    }
+                    std::memcpy(out.data() + done + i, ebuf.data() + in_elem,
+                                chunk);
+                    i += chunk;
+                }
+            }
+            if (!element_path) {
+                codes::stripe_buffer buf = make_stripe_buffer();
+                if (!load_and_decode(stripe, buf.view())) return false;
+                // Gather the requested bytes from the rebuilt stripe.
+                for (std::size_t i = 0; i < span_len;) {
+                    const std::size_t o = in_stripe + i;
+                    const auto col =
+                        static_cast<std::uint32_t>(o / map_.strip_size());
+                    const std::size_t in_strip = o % map_.strip_size();
+                    const std::size_t chunk =
+                        std::min(span_len - i, map_.strip_size() - in_strip);
+                    std::memcpy(out.data() + done + i,
+                                buf.view().strip(col).data() + in_strip,
+                                chunk);
+                    i += chunk;
+                }
+            }
+        }
+        done += span_len;
+    }
+    return true;
+}
+
+bool raid6_array::write(std::size_t addr, std::span<const std::byte> in) {
+    LIBERATION_EXPECTS(addr + in.size() <= capacity());
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const std::size_t a = addr + done;
+        const std::size_t stripe = a / map_.stripe_data_size();
+        const std::size_t in_stripe = a % map_.stripe_data_size();
+        const std::size_t span_len =
+            std::min(in.size() - done, map_.stripe_data_size() - in_stripe);
+
+        bool ok;
+        if (in_stripe == 0 && span_len == map_.stripe_data_size()) {
+            ok = write_full_stripe(stripe, in.subspan(done, span_len));
+        } else {
+            ok = write_partial(stripe, in_stripe, in.subspan(done, span_len));
+        }
+        if (!ok) return false;
+        done += span_len;
+    }
+    return true;
+}
+
+bool raid6_array::write_full_stripe(std::size_t stripe,
+                                    std::span<const std::byte> in) {
+    codes::stripe_buffer buf = make_stripe_buffer();
+    const codes::stripe_view v = buf.view();
+    for (std::uint32_t col = 0; col < map_.k(); ++col) {
+        std::memcpy(v.strip(col).data(),
+                    in.data() + static_cast<std::size_t>(col) * map_.strip_size(),
+                    map_.strip_size());
+    }
+    code_.encode(v);
+    ++stats_.full_stripe_writes;
+    std::vector<std::uint32_t> cols(map_.n());
+    for (std::uint32_t c = 0; c < map_.n(); ++c) cols[c] = c;
+    // Failed disks simply miss the update; the stripe stays decodable as
+    // long as <= 2 columns are down.
+    journal_mark(stripe);
+    store_columns(stripe, v, cols);
+    journal_clear(stripe);
+    return failed_disk_count() <= 2;
+}
+
+bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
+                                std::span<const std::byte> in) {
+    const std::size_t elem = map_.element_size();
+    const std::uint32_t pc = code_.p_column();
+    const std::uint32_t qc = code_.q_column();
+    const auto& g = code_.geom();
+
+    // One touched data element per plan entry.
+    struct touch {
+        std::uint32_t col, row;
+        std::size_t in_elem;   ///< first modified byte within the element
+        std::size_t src_off;   ///< offset into `in`
+        std::size_t chunk;
+    };
+    std::vector<touch> plan;
+    for (std::size_t i = 0; i < in.size();) {
+        const std::size_t o = in_stripe + i;
+        const auto col = static_cast<std::uint32_t>(o / map_.strip_size());
+        const std::size_t in_strip = o % map_.strip_size();
+        const auto row = static_cast<std::uint32_t>(in_strip / elem);
+        const std::size_t in_elem = in_strip % elem;
+        const std::size_t chunk = std::min(in.size() - i, elem - in_elem);
+        plan.push_back({col, row, in_elem, i, chunk});
+        i += chunk;
+    }
+
+    // Validate phase: the update-optimal path needs every touched data
+    // element and every parity element it patches to be readable. Nothing
+    // is mutated until validation passes, so the stripe never ends up
+    // half-updated before the reconstruct-write fallback below runs.
+    util::aligned_buffer old_e(elem), new_e(elem), delta(elem), par(elem);
+    bool fast_ok = true;
+    for (const touch& t : plan) {
+        const strip_location dloc = map_.locate(stripe, t.col);
+        const strip_location ploc = map_.locate(stripe, pc);
+        const strip_location qloc = map_.locate(stripe, qc);
+        const std::size_t elem_off = static_cast<std::size_t>(t.row) * elem;
+        if (disks_[dloc.disk]->read(dloc.offset + elem_off, old_e.span()) !=
+                io_status::ok ||
+            disks_[ploc.disk]->read(
+                ploc.offset + static_cast<std::size_t>(t.row) * elem,
+                par.span()) != io_status::ok ||
+            disks_[qloc.disk]->read(
+                qloc.offset +
+                    static_cast<std::size_t>(g.diag_of(t.row, t.col)) * elem,
+                par.span()) != io_status::ok) {
+            fast_ok = false;
+            break;
+        }
+        if (g.is_extra_position(t.row, t.col) &&
+            disks_[qloc.disk]->read(
+                qloc.offset +
+                    static_cast<std::size_t>(g.extra_q_index(t.col)) * elem,
+                par.span()) != io_status::ok) {
+            fast_ok = false;
+            break;
+        }
+    }
+
+    if (fast_ok) {
+        // Apply phase: reads were validated, writes to online disks cannot
+        // fail, so every element update is applied atomically.
+        journal_mark(stripe);
+        for (const touch& t : plan) {
+            const strip_location dloc = map_.locate(stripe, t.col);
+            const strip_location ploc = map_.locate(stripe, pc);
+            const strip_location qloc = map_.locate(stripe, qc);
+            const std::size_t elem_off = static_cast<std::size_t>(t.row) * elem;
+
+            io_status st =
+                disks_[dloc.disk]->read(dloc.offset + elem_off, old_e.span());
+            LIBERATION_ENSURES(st == io_status::ok);
+            std::memcpy(new_e.data(), old_e.data(), elem);
+            std::memcpy(new_e.data() + t.in_elem, in.data() + t.src_off,
+                        t.chunk);
+            xorops::xor2(delta.data(), old_e.data(), new_e.data(), elem);
+
+            const auto patch = [&](std::uint32_t prow,
+                                   const strip_location& loc) {
+                const std::size_t poff =
+                    loc.offset + static_cast<std::size_t>(prow) * elem;
+                const io_status rs = disks_[loc.disk]->read(poff, par.span());
+                LIBERATION_ENSURES(rs == io_status::ok);
+                xorops::xor_into(par.data(), delta.data(), elem);
+                const io_status ws = disk_write(loc.disk, poff, par.span());
+                LIBERATION_ENSURES(ws == io_status::ok);
+            };
+
+            patch(t.row, ploc);
+            patch(g.diag_of(t.row, t.col), qloc);
+            std::uint32_t touched = 2;
+            if (g.is_extra_position(t.row, t.col)) {
+                patch(g.extra_q_index(t.col), qloc);
+                ++touched;
+            }
+            st = disk_write(dloc.disk, dloc.offset + elem_off, new_e.span());
+            LIBERATION_ENSURES(st == io_status::ok);
+            stats_.parity_elements_updated += touched;
+        }
+        journal_clear(stripe);
+        ++stats_.small_writes;
+        return true;
+    }
+
+    // Degraded fallback: reconstruct the whole stripe, splice the new
+    // bytes, re-encode, write everything that is still online.
+    codes::stripe_buffer buf = make_stripe_buffer();
+    if (!load_and_decode(stripe, buf.view())) return false;
+    for (std::size_t j = 0; j < in.size();) {
+        const std::size_t o = in_stripe + j;
+        const auto col = static_cast<std::uint32_t>(o / map_.strip_size());
+        const std::size_t in_strip = o % map_.strip_size();
+        const std::size_t chunk =
+            std::min(in.size() - j, map_.strip_size() - in_strip);
+        std::memcpy(buf.view().strip(col).data() + in_strip, in.data() + j,
+                    chunk);
+        j += chunk;
+    }
+    code_.encode(buf.view());
+    std::vector<std::uint32_t> cols(map_.n());
+    for (std::uint32_t c = 0; c < map_.n(); ++c) cols[c] = c;
+    journal_mark(stripe);
+    store_columns(stripe, buf.view(), cols);
+    journal_clear(stripe);
+    ++stats_.small_writes;
+    return failed_disk_count() <= 2;
+}
+
+}  // namespace liberation::raid

@@ -1,0 +1,183 @@
+// RAID-6 array controller over virtual disks, coded with the optimal
+// Liberation algorithms.
+//
+// Supported operations:
+//   * extent reads, transparently degraded when disks are failed or return
+//     latent sector errors (up to two columns per stripe);
+//   * extent writes: full-stripe writes encode in one pass; sub-stripe
+//     writes take the read-modify-write small-write path, patching exactly
+//     the 2 (occasionally 3) parity elements the Liberation update rule
+//     names — the update-optimality the paper motivates in Section I;
+//   * disk fail / replace, rebuild (see rebuild.hpp) and scrubbing
+//     (see scrubber.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/raid/intent_log.hpp"
+#include "liberation/raid/stripe_map.hpp"
+#include "liberation/raid/vdisk.hpp"
+
+namespace liberation::raid {
+
+struct array_config {
+    std::uint32_t k = 4;            ///< data disks
+    std::uint32_t p = 0;            ///< code prime; 0 = smallest odd prime >= k
+    std::size_t element_size = 4096;
+    std::size_t stripes = 32;
+    std::size_t sector_size = 4096;
+    /// parity_first enables add_data_disk(); pick p large enough for the
+    /// anticipated maximum k (the paper's "Case (b)" deployment).
+    parity_layout layout = parity_layout::rotating;
+};
+
+struct array_stats {
+    std::uint64_t full_stripe_writes = 0;
+    std::uint64_t small_writes = 0;
+    std::uint64_t parity_elements_updated = 0;  ///< by small writes
+    std::uint64_t degraded_stripe_reads = 0;    ///< full-stripe decodes
+    std::uint64_t degraded_element_reads = 0;   ///< row-parity fast path
+    std::uint64_t media_errors_recovered = 0;   ///< latent errors healed by decode
+};
+
+class raid6_array {
+public:
+    explicit raid6_array(const array_config& cfg);
+
+    raid6_array(const raid6_array&) = delete;
+    raid6_array& operator=(const raid6_array&) = delete;
+
+    [[nodiscard]] const stripe_map& map() const noexcept { return map_; }
+    [[nodiscard]] const core::liberation_optimal_code& code() const noexcept {
+        return code_;
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return map_.capacity();
+    }
+    [[nodiscard]] std::uint32_t disk_count() const noexcept {
+        return map_.n();
+    }
+    [[nodiscard]] vdisk& disk(std::uint32_t d) { return *disks_[d]; }
+    [[nodiscard]] const vdisk& disk(std::uint32_t d) const { return *disks_[d]; }
+    [[nodiscard]] const array_stats& stats() const noexcept { return stats_; }
+
+    [[nodiscard]] std::uint32_t failed_disk_count() const noexcept;
+
+    /// Read [addr, addr+out.size()); false only if more than two columns of
+    /// some stripe are unavailable (data loss).
+    [[nodiscard]] bool read(std::size_t addr, std::span<std::byte> out);
+
+    /// Write [addr, addr+in.size()). Returns false on unrecoverable layout
+    /// damage (> 2 unavailable columns in a touched stripe).
+    [[nodiscard]] bool write(std::size_t addr, std::span<const std::byte> in);
+
+    void fail_disk(std::uint32_t d) { disks_[d]->fail(); }
+
+    /// Install a blank replacement (contents must be rebuilt afterwards).
+    void replace_disk(std::uint32_t d) { disks_[d]->replace(); }
+
+    /// Patrol read: walk every stripe, reconstruct unreadable strips
+    /// (latent sector errors) and rewrite them in place. Plain reads only
+    /// touch data columns, so parity-strip media errors are only ever
+    /// found — and healed — here. Returns the number of strips healed;
+    /// stripes with more than two unavailable columns are skipped.
+    std::size_t resilver();
+
+    // ---- write-hole protection (see intent_log.hpp) -------------------
+
+    /// Drop every disk write after the next `disk_writes` ones, simulating
+    /// power loss mid-update. The intent log survives (battery-backed).
+    void simulate_power_loss_after(std::uint64_t disk_writes) noexcept {
+        write_budget_ = disk_writes;
+    }
+
+    [[nodiscard]] bool powered() const noexcept { return powered_; }
+
+    /// Power back on. Stripes named by the journal may be torn; call
+    /// recover_write_hole() before trusting parity.
+    void reboot() noexcept {
+        powered_ = true;
+        write_budget_ = UINT64_MAX;
+    }
+
+    [[nodiscard]] const intent_log& journal() const noexcept {
+        return journal_;
+    }
+
+    /// Re-sync parity of every journaled stripe (data columns are taken as
+    /// the source of truth, exactly like md's resync after an unclean
+    /// shutdown). Returns the number of stripes re-synced; stripes with
+    /// unreadable columns are left journaled.
+    std::size_t recover_write_hole();
+
+    /// Online growth (parity_first layout only): append a blank disk that
+    /// becomes data column k. No parity is recomputed — the new column was
+    /// a phantom zero column of the fixed-p Liberation code all along, so
+    /// every existing stripe stays valid (paper Section III, Case (b)).
+    /// Requires k < p and all disks online. Note the linear address space
+    /// is re-laid-out (stripes widen): address stability is per
+    /// (stripe, column), as with any single-shot capacity expansion.
+    void add_data_disk();
+
+    // ---- stripe-granular interface (rebuild / scrub engines) ----------
+
+    /// Load every readable strip of `stripe` into `dst` (codeword column
+    /// order) and report which columns are unavailable. Returns false if
+    /// more than two columns are gone.
+    [[nodiscard]] bool load_stripe(std::size_t stripe,
+                                   const codes::stripe_view& dst,
+                                   std::vector<std::uint32_t>& erased) const;
+
+    /// Write the given codeword columns of `stripe` back to their disks.
+    /// Columns on failed disks are skipped (reported false).
+    bool store_columns(std::size_t stripe, const codes::stripe_view& src,
+                       std::span<const std::uint32_t> cols);
+
+    /// Convenience: allocate a stripe buffer with this array's geometry.
+    [[nodiscard]] codes::stripe_buffer make_stripe_buffer() const {
+        return {map_.rows(), map_.n(), map_.element_size()};
+    }
+
+private:
+    /// Degraded path: load + decode a full stripe into `buf`.
+    [[nodiscard]] bool load_and_decode(std::size_t stripe,
+                                       const codes::stripe_view& buf);
+
+    /// Small-read fast path: reconstruct one data element via its row
+    /// parity (k reads) instead of decoding the whole stripe
+    /// (p*(k+1) reads). Only valid when every other column of that row is
+    /// readable. Returns false to request the full-stripe fallback.
+    [[nodiscard]] bool read_element_degraded(std::size_t stripe,
+                                             std::uint32_t row,
+                                             std::uint32_t col,
+                                             std::span<std::byte> out);
+
+    [[nodiscard]] bool write_full_stripe(std::size_t stripe,
+                                         std::span<const std::byte> in);
+    [[nodiscard]] bool write_partial(std::size_t stripe, std::size_t in_stripe,
+                                     std::span<const std::byte> in);
+
+    /// All mutating disk I/O funnels through here so power loss can be
+    /// simulated: once the budget runs out the write is dropped on the
+    /// floor and the array goes dark.
+    io_status disk_write(std::uint32_t disk, std::size_t offset,
+                         std::span<const std::byte> in);
+
+    void journal_mark(std::size_t stripe);
+    void journal_clear(std::size_t stripe);
+
+    stripe_map map_;
+    core::liberation_optimal_code code_;
+    std::size_t sector_size_;
+    std::vector<std::unique_ptr<vdisk>> disks_;
+    array_stats stats_;
+    intent_log journal_;
+    bool powered_ = true;
+    std::uint64_t write_budget_ = UINT64_MAX;
+};
+
+}  // namespace liberation::raid

@@ -1,0 +1,47 @@
+// Write-intent log: closes the RAID-5/6 "write hole".
+//
+// A stripe update touches several disks; power loss between those writes
+// leaves the stripe *torn* — parity inconsistent with data — and a later
+// disk failure would then reconstruct garbage silently. The classic fix
+// (md's bitmap, hardware NVRAM) is an intent log: persistently record
+// "stripe S is being modified" before the first disk write and clear it
+// after the last. Recovery after a crash re-syncs parity of exactly the
+// stripes that were in flight.
+//
+// The simulator models the log as a small battery-backed region: its
+// contents survive raid6_array::simulate_power_loss(), while in-flight
+// disk writes are dropped.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::raid {
+
+class intent_log {
+public:
+    /// Mark a stripe dirty. Idempotent. (In hardware this is the point
+    /// where the NVRAM word is flushed, before any data hits the disks.)
+    void mark(std::size_t stripe) { dirty_.insert(stripe); }
+
+    /// Clear a stripe after all its disk writes completed.
+    void clear(std::size_t stripe) { dirty_.erase(stripe); }
+
+    [[nodiscard]] bool is_dirty(std::size_t stripe) const {
+        return dirty_.count(stripe) != 0;
+    }
+
+    [[nodiscard]] std::vector<std::size_t> dirty_stripes() const {
+        return {dirty_.begin(), dirty_.end()};
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return dirty_.size(); }
+
+private:
+    std::set<std::size_t> dirty_;
+};
+
+}  // namespace liberation::raid

@@ -1,0 +1,154 @@
+#include "liberation/raid/rebuild.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "liberation/core/hybrid_rebuild.hpp"
+#include "liberation/util/assert.hpp"
+#include "liberation/util/timer.hpp"
+
+namespace liberation::raid {
+
+rebuild_result rebuild_disks(raid6_array& array,
+                             std::span<const std::uint32_t> replaced_disks,
+                             util::thread_pool* pool) {
+    LIBERATION_EXPECTS(!replaced_disks.empty() && replaced_disks.size() <= 2);
+    rebuild_result result;
+    util::stopwatch timer;
+
+    const std::size_t stripes = array.map().stripes();
+    std::atomic<std::size_t> rebuilt{0};
+    std::atomic<std::size_t> columns{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<bool> ok{true};
+
+    const auto rebuild_stripe = [&](std::size_t s) {
+        // Which codeword columns live on the replaced disks in this stripe?
+        std::vector<std::uint32_t> cols;
+        for (const std::uint32_t d : replaced_disks) {
+            cols.push_back(array.map().column_of_disk(s, d));
+        }
+        std::sort(cols.begin(), cols.end());
+
+        codes::stripe_buffer buf = array.make_stripe_buffer();
+        std::vector<std::uint32_t> erased;
+        if (!array.load_stripe(s, buf.view(), erased)) {
+            ok.store(false);
+            return;
+        }
+        // The replaced disks read back zeros (blank), so they are not in
+        // `erased` — union them in as logical erasures.
+        for (const std::uint32_t c : cols) {
+            if (std::find(erased.begin(), erased.end(), c) == erased.end()) {
+                erased.push_back(c);
+            }
+        }
+        std::sort(erased.begin(), erased.end());
+        if (erased.size() > 2) {
+            ok.store(false);
+            return;
+        }
+        array.code().decode(buf.view(), erased);
+        if (!array.store_columns(s, buf.view(), erased)) {
+            ok.store(false);
+            return;
+        }
+        rebuilt.fetch_add(1, std::memory_order_relaxed);
+        columns.fetch_add(erased.size(), std::memory_order_relaxed);
+        bytes.fetch_add(
+            static_cast<std::uint64_t>(erased.size()) * array.map().strip_size(),
+            std::memory_order_relaxed);
+    };
+
+    if (pool != nullptr) {
+        pool->parallel_for(stripes, rebuild_stripe);
+    } else {
+        for (std::size_t s = 0; s < stripes; ++s) rebuild_stripe(s);
+    }
+
+    result.stripes_rebuilt = rebuilt.load();
+    result.columns_rebuilt = columns.load();
+    result.bytes_written = bytes.load();
+    result.seconds = timer.seconds();
+    result.success = ok.load();
+    return result;
+}
+
+rebuild_result fail_replace_rebuild(raid6_array& array, std::uint32_t disk,
+                                    util::thread_pool* pool) {
+    array.fail_disk(disk);
+    array.replace_disk(disk);
+    const std::uint32_t disks[] = {disk};
+    return rebuild_disks(array, disks, pool);
+}
+
+rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
+                                          std::uint32_t disk) {
+    rebuild_result result;
+    util::stopwatch timer;
+    const auto& map = array.map();
+    const auto& code = array.code();
+    const core::geometry& g = code.geom();
+    const std::size_t elem = map.element_size();
+
+    // Plans depend only on which codeword column is missing; memoize the
+    // k possible data-column plans across stripes.
+    std::vector<core::hybrid_plan> plans(map.k());
+    std::vector<bool> planned(map.k(), false);
+
+    codes::stripe_buffer buf = array.make_stripe_buffer();
+    util::aligned_buffer elem_buf(elem);
+
+    for (std::size_t s = 0; s < map.stripes(); ++s) {
+        const std::uint32_t col = map.column_of_disk(s, disk);
+        const std::uint32_t rebuilt_cols[] = {col};
+
+        if (col >= map.k()) {
+            // Parity column: re-encode from a full data read.
+            std::vector<std::uint32_t> erased;
+            if (!array.load_stripe(s, buf.view(), erased) || erased.size() > 1) {
+                result.seconds = timer.seconds();
+                return result;  // success stays false
+            }
+            code.decode(buf.view(), rebuilt_cols);
+        } else {
+            if (!planned[col]) {
+                plans[col] = core::plan_hybrid_rebuild(g, col);
+                planned[col] = true;
+            }
+            const auto& plan = plans[col];
+            bool ok = true;
+            for (const auto& r : plan.reads) {
+                const strip_location loc = map.locate(s, r.col);
+                if (array.disk(loc.disk).read(
+                        loc.offset + static_cast<std::size_t>(r.row) * elem,
+                        elem_buf.span()) != io_status::ok) {
+                    ok = false;
+                    break;
+                }
+                std::memcpy(buf.view().element(r.row, r.col), elem_buf.data(),
+                            elem);
+            }
+            if (!ok) {
+                result.seconds = timer.seconds();
+                return result;
+            }
+            core::rebuild_column_hybrid(buf.view(), g, plans[col]);
+        }
+
+        if (!array.store_columns(s, buf.view(), rebuilt_cols)) {
+            result.seconds = timer.seconds();
+            return result;
+        }
+        ++result.stripes_rebuilt;
+        ++result.columns_rebuilt;
+        result.bytes_written += map.strip_size();
+    }
+    result.seconds = timer.seconds();
+    result.success = true;
+    return result;
+}
+
+}  // namespace liberation::raid

@@ -1,0 +1,52 @@
+#include "liberation/raid/scrubber.hpp"
+
+#include <vector>
+
+#include "liberation/core/error_correction.hpp"
+
+namespace liberation::raid {
+
+scrub_summary scrub_array(raid6_array& array) {
+    scrub_summary summary;
+    codes::stripe_buffer buf = array.make_stripe_buffer();
+    std::vector<std::uint32_t> erased;
+
+    for (std::size_t s = 0; s < array.map().stripes(); ++s) {
+        ++summary.stripes_scanned;
+        if (!array.load_stripe(s, buf.view(), erased) || !erased.empty()) {
+            ++summary.skipped_degraded;
+            continue;
+        }
+        const core::scrub_report report =
+            core::scrub_stripe(buf.view(), array.code().geom());
+        switch (report.status) {
+            case core::scrub_status::clean:
+                ++summary.clean;
+                break;
+            case core::scrub_status::corrected_data: {
+                ++summary.repaired_data;
+                const std::uint32_t cols[] = {report.column};
+                array.store_columns(s, buf.view(), cols);
+                break;
+            }
+            case core::scrub_status::corrected_p: {
+                ++summary.repaired_parity;
+                const std::uint32_t cols[] = {array.code().p_column()};
+                array.store_columns(s, buf.view(), cols);
+                break;
+            }
+            case core::scrub_status::corrected_q: {
+                ++summary.repaired_parity;
+                const std::uint32_t cols[] = {array.code().q_column()};
+                array.store_columns(s, buf.view(), cols);
+                break;
+            }
+            case core::scrub_status::uncorrectable:
+                ++summary.uncorrectable;
+                break;
+        }
+    }
+    return summary;
+}
+
+}  // namespace liberation::raid

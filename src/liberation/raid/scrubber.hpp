@@ -1,0 +1,27 @@
+// Background scrubber: walks every stripe, verifies parity consistency and
+// repairs silent single-column corruption in place using the error-
+// correction algorithm of DESIGN.md Section 5 (the capability the paper
+// claims in Section I).
+#pragma once
+
+#include <cstdint>
+
+#include "liberation/raid/array.hpp"
+
+namespace liberation::raid {
+
+struct scrub_summary {
+    std::size_t stripes_scanned = 0;
+    std::size_t clean = 0;
+    std::size_t repaired_data = 0;
+    std::size_t repaired_parity = 0;
+    std::size_t uncorrectable = 0;
+    std::size_t skipped_degraded = 0;  ///< stripes with failed/unreadable columns
+};
+
+/// Scrub the whole array. Degraded stripes (any unavailable column) are
+/// skipped — scrubbing requires all columns, since a decode would mask the
+/// corruption. Repairs are written back to the disks.
+scrub_summary scrub_array(raid6_array& array);
+
+}  // namespace liberation::raid

@@ -1,0 +1,3 @@
+// stripe_map is header-only; this translation unit exists so the build
+// exercises the header under the project's warning set.
+#include "liberation/raid/stripe_map.hpp"

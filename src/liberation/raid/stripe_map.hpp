@@ -1,0 +1,126 @@
+// Stripe layout: maps (stripe, codeword column) to (disk, byte offset) with
+// left-symmetric parity rotation, and logical byte addresses to stripe
+// coordinates.
+//
+// Rotation spreads P/Q across all n = k+2 disks so small-write parity
+// traffic does not hammer two spindles (the classic RAID-5/6 layout, and
+// the organization Fig. 1 of the paper depicts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::raid {
+
+struct strip_location {
+    std::uint32_t disk = 0;
+    std::size_t offset = 0;  ///< byte offset of the strip on that disk
+};
+
+/// How codeword columns map to physical disks.
+enum class parity_layout : std::uint8_t {
+    /// Left-symmetric rotation: the column pattern shifts one disk per
+    /// stripe, spreading parity I/O evenly. Standard for fixed-size arrays.
+    rotating,
+    /// P on disk 0, Q on disk 1, data column j on disk j+2, no rotation.
+    /// Required for online growth: a freshly zeroed disk appended at the
+    /// end becomes data column k, and — because a Liberation code with
+    /// fixed p treats absent columns as phantom zeros — every existing
+    /// parity strip remains valid without recomputation (paper Section
+    /// III, "Case (b)").
+    parity_first,
+};
+
+struct logical_location {
+    std::size_t stripe = 0;
+    std::uint32_t data_column = 0;  ///< codeword data column (0..k-1)
+    std::uint32_t row = 0;          ///< element row within the strip
+    std::size_t byte_in_element = 0;
+};
+
+class stripe_map {
+public:
+    /// rows = elements per strip (code's w), element_size in bytes.
+    stripe_map(std::uint32_t k, std::uint32_t rows, std::size_t element_size,
+               std::size_t stripes,
+               parity_layout layout = parity_layout::rotating) noexcept
+        : k_(k),
+          rows_(rows),
+          elem_(element_size),
+          stripes_(stripes),
+          layout_(layout) {
+        LIBERATION_EXPECTS(k >= 1 && rows >= 1 && element_size > 0 &&
+                           stripes > 0);
+    }
+
+    [[nodiscard]] parity_layout layout() const noexcept { return layout_; }
+
+    [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+    [[nodiscard]] std::uint32_t n() const noexcept { return k_ + 2; }
+    [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t element_size() const noexcept { return elem_; }
+    [[nodiscard]] std::size_t stripes() const noexcept { return stripes_; }
+
+    [[nodiscard]] std::size_t strip_size() const noexcept {
+        return static_cast<std::size_t>(rows_) * elem_;
+    }
+    /// User-visible bytes per stripe.
+    [[nodiscard]] std::size_t stripe_data_size() const noexcept {
+        return strip_size() * k_;
+    }
+    /// Total user-visible capacity.
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return stripe_data_size() * stripes_;
+    }
+    /// Per-disk capacity needed.
+    [[nodiscard]] std::size_t disk_capacity() const noexcept {
+        return strip_size() * stripes_;
+    }
+
+    /// Disk holding codeword column `col` of `stripe`.
+    [[nodiscard]] strip_location locate(std::size_t stripe,
+                                        std::uint32_t col) const noexcept {
+        LIBERATION_EXPECTS(stripe < stripes_ && col < n());
+        if (layout_ == parity_layout::parity_first) {
+            const std::uint32_t disk = col < k_ ? col + 2 : col - k_;
+            return {disk, stripe * strip_size()};
+        }
+        const auto shift = static_cast<std::uint32_t>(stripe % n());
+        return {(col + shift) % n(), stripe * strip_size()};
+    }
+
+    /// Inverse of locate(): which codeword column does `disk` hold?
+    [[nodiscard]] std::uint32_t column_of_disk(std::size_t stripe,
+                                               std::uint32_t disk) const noexcept {
+        LIBERATION_EXPECTS(stripe < stripes_ && disk < n());
+        if (layout_ == parity_layout::parity_first) {
+            return disk < 2 ? k_ + disk : disk - 2;
+        }
+        const auto shift = static_cast<std::uint32_t>(stripe % n());
+        return (disk + n() - shift) % n();
+    }
+
+    /// Decompose a logical byte address.
+    [[nodiscard]] logical_location locate_logical(std::size_t addr) const noexcept {
+        LIBERATION_EXPECTS(addr < capacity());
+        logical_location loc;
+        loc.stripe = addr / stripe_data_size();
+        const std::size_t in_stripe = addr % stripe_data_size();
+        loc.data_column = static_cast<std::uint32_t>(in_stripe / strip_size());
+        const std::size_t in_strip = in_stripe % strip_size();
+        loc.row = static_cast<std::uint32_t>(in_strip / elem_);
+        loc.byte_in_element = in_strip % elem_;
+        return loc;
+    }
+
+private:
+    std::uint32_t k_;
+    std::uint32_t rows_;
+    std::size_t elem_;
+    std::size_t stripes_;
+    parity_layout layout_;
+};
+
+}  // namespace liberation::raid

@@ -1,0 +1,83 @@
+#include "liberation/raid/vdisk.hpp"
+
+#include <cstring>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::raid {
+
+vdisk::vdisk(std::uint32_t id, std::size_t capacity, std::size_t sector_size)
+    : id_(id), sector_size_(sector_size), data_(capacity) {
+    LIBERATION_EXPECTS(capacity > 0 && sector_size > 0);
+}
+
+bool vdisk::extent_readable(std::size_t offset, std::size_t len) const {
+    if (bad_sectors_.empty()) return true;
+    const std::size_t first = offset / sector_size_;
+    const std::size_t last = (offset + len - 1) / sector_size_;
+    auto it = bad_sectors_.lower_bound(first);
+    return it == bad_sectors_.end() || it->first > last;
+}
+
+io_status vdisk::read(std::size_t offset, std::span<std::byte> out) {
+    if (!online_) return io_status::disk_failed;
+    if (!extent_ok(offset, out.size())) return io_status::out_of_range;
+    if (!extent_readable(offset, out.size())) {
+        return io_status::unreadable_sector;
+    }
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(out.size(), std::memory_order_relaxed);
+    return io_status::ok;
+}
+
+io_status vdisk::write(std::size_t offset, std::span<const std::byte> in) {
+    if (!online_) return io_status::disk_failed;
+    if (!extent_ok(offset, in.size())) return io_status::out_of_range;
+    std::memcpy(data_.data() + offset, in.data(), in.size());
+    // A rewrite heals fully covered latent sectors (like a real remap).
+    if (!bad_sectors_.empty() && !in.empty()) {
+        const std::size_t first_full = (offset + sector_size_ - 1) / sector_size_;
+        const std::size_t end_full = (offset + in.size()) / sector_size_;
+        for (std::size_t sec = first_full; sec < end_full;) {
+            auto it = bad_sectors_.lower_bound(sec);
+            if (it == bad_sectors_.end() || it->first >= end_full) break;
+            sec = it->first + 1;
+            bad_sectors_.erase(it);
+        }
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(in.size(), std::memory_order_relaxed);
+    return io_status::ok;
+}
+
+void vdisk::replace() {
+    data_.zero();
+    bad_sectors_.clear();
+    online_ = true;
+}
+
+void vdisk::inject_latent_error(std::size_t offset, std::size_t len) {
+    LIBERATION_EXPECTS(extent_ok(offset, len) && len > 0);
+    const std::size_t first = offset / sector_size_;
+    const std::size_t last = (offset + len - 1) / sector_size_;
+    for (std::size_t s = first; s <= last; ++s) bad_sectors_[s] = true;
+}
+
+std::size_t vdisk::inject_silent_corruption(std::size_t offset, std::size_t len,
+                                            util::xoshiro256& rng) {
+    LIBERATION_EXPECTS(extent_ok(offset, len) && len > 0);
+    // Flip 1..8 random bytes in the extent; guarantee a real change.
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t pos = offset + rng.next_below(len);
+        std::byte flip{0};
+        while (flip == std::byte{0}) {
+            flip = static_cast<std::byte>(rng.next() & 0xff);
+        }
+        data_.data()[pos] ^= flip;
+    }
+    return flips;
+}
+
+}  // namespace liberation::raid

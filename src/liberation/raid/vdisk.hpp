@@ -1,0 +1,95 @@
+// Virtual disk: an in-memory block device with fault injection.
+//
+// Models the three failure modes the paper's RAID-6 motivation rests on
+// (Section I): fail-stop disk loss, latent sector errors (unreadable on
+// read — the "uncorrectable read error during recovery" case), and silent
+// corruption (reads succeed but return wrong bytes — exercised by the
+// scrubber).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace liberation::raid {
+
+enum class io_status : std::uint8_t {
+    ok,
+    disk_failed,        ///< fail-stop: no I/O possible
+    unreadable_sector,  ///< latent sector error inside the extent
+    out_of_range,
+};
+
+/// Snapshot of a disk's I/O counters. Counters are updated atomically so
+/// concurrent rebuild workers may touch disjoint extents of one disk.
+struct disk_stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+};
+
+class vdisk {
+public:
+    /// Sector size only affects latent-error granularity.
+    vdisk(std::uint32_t id, std::size_t capacity, std::size_t sector_size = 4096);
+
+    [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
+    [[nodiscard]] bool online() const noexcept { return online_; }
+    [[nodiscard]] disk_stats stats() const noexcept {
+        return {reads_.load(), writes_.load(), bytes_read_.load(),
+                bytes_written_.load()};
+    }
+
+    io_status read(std::size_t offset, std::span<std::byte> out);
+    io_status write(std::size_t offset, std::span<const std::byte> in);
+
+    // ---- fault injection ---------------------------------------------
+
+    /// Fail-stop: all subsequent I/O returns disk_failed.
+    void fail() noexcept { online_ = false; }
+
+    /// Swap in a fresh blank disk (same geometry) — contents zeroed,
+    /// latent errors cleared, back online.
+    void replace();
+
+    /// Mark the sectors covering [offset, offset+len) as unreadable.
+    void inject_latent_error(std::size_t offset, std::size_t len);
+
+    /// Clear a latent error (e.g. after the block is rewritten). Writes do
+    /// this automatically for fully covered sectors.
+    void clear_latent_errors() { bad_sectors_.clear(); }
+
+    /// Silently flip random bits in [offset, offset+len): reads still
+    /// succeed. Returns the number of bytes altered (>= 1).
+    std::size_t inject_silent_corruption(std::size_t offset, std::size_t len,
+                                         util::xoshiro256& rng);
+
+    [[nodiscard]] std::size_t latent_error_count() const noexcept {
+        return bad_sectors_.size();
+    }
+
+private:
+    [[nodiscard]] bool extent_ok(std::size_t offset, std::size_t len) const noexcept {
+        return offset + len <= data_.size() && offset + len >= offset;
+    }
+    [[nodiscard]] bool extent_readable(std::size_t offset, std::size_t len) const;
+
+    std::uint32_t id_;
+    std::size_t sector_size_;
+    util::aligned_buffer data_;
+    std::map<std::size_t, bool> bad_sectors_;  // sector index -> latent error
+    bool online_ = true;
+    std::atomic<std::uint64_t> reads_{0};
+    std::atomic<std::uint64_t> writes_{0};
+    std::atomic<std::uint64_t> bytes_read_{0};
+    std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace liberation::raid

@@ -1,0 +1,347 @@
+#include "liberation/tool/sharder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/error_correction.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/primes.hpp"
+
+namespace liberation::tool {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x004452414853364cULL;  // "L6SHARD\0"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 64;
+
+struct shard_header {
+    std::uint32_t k = 0;
+    std::uint32_t p = 0;
+    std::uint32_t index = 0;
+    std::uint64_t element_size = 0;
+    std::uint64_t file_size = 0;
+    std::uint64_t stripes = 0;
+
+    [[nodiscard]] bool compatible(const shard_header& o) const noexcept {
+        return k == o.k && p == o.p && element_size == o.element_size &&
+               file_size == o.file_size && stripes == o.stripes;
+    }
+};
+
+template <typename T>
+void put_le(std::byte* dst, T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        dst[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+    }
+}
+
+template <typename T>
+T get_le(const std::byte* src) {
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v |= static_cast<T>(static_cast<std::uint8_t>(src[i])) << (8 * i);
+    }
+    return v;
+}
+
+void write_header(std::ostream& out, const shard_header& h) {
+    std::byte buf[kHeaderSize] = {};
+    put_le<std::uint64_t>(buf + 0, kMagic);
+    put_le<std::uint32_t>(buf + 8, kVersion);
+    put_le<std::uint32_t>(buf + 12, h.k);
+    put_le<std::uint32_t>(buf + 16, h.p);
+    put_le<std::uint32_t>(buf + 20, h.index);
+    put_le<std::uint64_t>(buf + 24, h.element_size);
+    put_le<std::uint64_t>(buf + 32, h.file_size);
+    put_le<std::uint64_t>(buf + 40, h.stripes);
+    out.write(reinterpret_cast<const char*>(buf), kHeaderSize);
+    if (!out) throw sharder_error("failed to write shard header");
+}
+
+[[nodiscard]] bool read_header(std::istream& in, shard_header& h) {
+    std::byte buf[kHeaderSize];
+    in.read(reinterpret_cast<char*>(buf), kHeaderSize);
+    if (!in || in.gcount() != kHeaderSize) return false;
+    if (get_le<std::uint64_t>(buf + 0) != kMagic) return false;
+    if (get_le<std::uint32_t>(buf + 8) != kVersion) return false;
+    h.k = get_le<std::uint32_t>(buf + 12);
+    h.p = get_le<std::uint32_t>(buf + 16);
+    h.index = get_le<std::uint32_t>(buf + 20);
+    h.element_size = get_le<std::uint64_t>(buf + 24);
+    h.file_size = get_le<std::uint64_t>(buf + 32);
+    h.stripes = get_le<std::uint64_t>(buf + 40);
+    return h.k >= 1 && h.p >= 3 && h.element_size >= 1 &&
+           h.index < h.k + 2 && h.stripes >= 1;
+}
+
+std::uint32_t resolve_p(const shard_params& params) {
+    const std::uint32_t p =
+        params.p != 0 ? params.p : util::next_odd_prime(params.k);
+    if (!util::is_prime(p) || p % 2 == 0 || p < params.k) {
+        throw sharder_error("p must be an odd prime >= k");
+    }
+    return p;
+}
+
+}  // namespace
+
+std::string shard_file_name(std::uint32_t index) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "shard_%03u.l6s", index);
+    return buf;
+}
+
+split_report split_file(const std::filesystem::path& input,
+                        const std::filesystem::path& out_dir,
+                        const shard_params& params) {
+    if (params.k < 1) throw sharder_error("k must be >= 1");
+    const std::uint32_t k = params.k;
+    const std::uint32_t p = resolve_p(params);
+    const std::size_t elem = static_cast<std::size_t>(params.element_size);
+
+    std::ifstream in(input, std::ios::binary);
+    if (!in) throw sharder_error("cannot open input file: " + input.string());
+    const std::uint64_t file_size = std::filesystem::file_size(input);
+    if (file_size == 0) throw sharder_error("refusing to shard an empty file");
+
+    const core::liberation_optimal_code code(k, p);
+    codes::stripe_buffer stripe(p, k + 2, elem);
+    const std::uint64_t stripe_data =
+        static_cast<std::uint64_t>(k) * p * elem;
+    const std::uint64_t stripes = (file_size + stripe_data - 1) / stripe_data;
+
+    std::filesystem::create_directories(out_dir);
+    std::vector<std::ofstream> shards;
+    shards.reserve(k + 2);
+    for (std::uint32_t i = 0; i < k + 2; ++i) {
+        shards.emplace_back(out_dir / shard_file_name(i), std::ios::binary);
+        if (!shards.back()) {
+            throw sharder_error("cannot create shard file " +
+                                shard_file_name(i));
+        }
+        write_header(shards.back(),
+                     {k, p, i, params.element_size, file_size, stripes});
+    }
+
+    std::vector<char> chunk(stripe_data);
+    for (std::uint64_t s = 0; s < stripes; ++s) {
+        std::fill(chunk.begin(), chunk.end(), '\0');
+        in.read(chunk.data(), static_cast<std::streamsize>(stripe_data));
+        if (in.bad()) throw sharder_error("read error on input file");
+        const auto v = stripe.view();
+        for (std::uint32_t j = 0; j < k; ++j) {
+            std::memcpy(v.strip(j).data(),
+                        chunk.data() + static_cast<std::size_t>(j) *
+                                           v.strip_size(),
+                        v.strip_size());
+        }
+        code.encode(v);
+        for (std::uint32_t i = 0; i < k + 2; ++i) {
+            shards[i].write(reinterpret_cast<const char*>(v.strip(i).data()),
+                            static_cast<std::streamsize>(v.strip_size()));
+            if (!shards[i]) throw sharder_error("write error on shard file");
+        }
+    }
+
+    split_report report;
+    report.shards = k + 2;
+    report.stripes = stripes;
+    report.payload_bytes = file_size;
+    report.padding_bytes = stripes * stripe_data - file_size;
+    return report;
+}
+
+namespace {
+
+struct shard_set {
+    shard_header header;                       // of any present shard
+    std::vector<std::filesystem::path> paths;  // indexed by shard index
+    std::vector<bool> present;
+};
+
+shard_set scan_shards(const std::filesystem::path& dir) {
+    shard_set set;
+    bool have_header = false;
+    // First pass: find one valid header to learn the geometry.
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        shard_header h;
+        if (!read_header(in, h)) continue;
+        if (!have_header) {
+            set.header = h;
+            set.paths.assign(h.k + 2, {});
+            set.present.assign(h.k + 2, false);
+            have_header = true;
+        }
+        if (!h.compatible(set.header)) {
+            throw sharder_error("inconsistent shard headers in " +
+                                dir.string());
+        }
+        if (set.present[h.index]) {
+            throw sharder_error("duplicate shard index " +
+                                std::to_string(h.index));
+        }
+        // Require the full payload to be on disk; truncated = missing.
+        const std::uint64_t expected =
+            kHeaderSize + h.stripes * h.p * h.element_size;
+        if (std::filesystem::file_size(entry.path()) < expected) continue;
+        set.paths[h.index] = entry.path();
+        set.present[h.index] = true;
+    }
+    if (!have_header) {
+        throw sharder_error("no valid shard files in " + dir.string());
+    }
+    return set;
+}
+
+}  // namespace
+
+join_report join_file(const std::filesystem::path& dir,
+                      const std::filesystem::path& output) {
+    shard_set set = scan_shards(dir);
+    const shard_header& h = set.header;
+    const std::uint32_t n = h.k + 2;
+
+    join_report report;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!set.present[i]) report.missing.push_back(i);
+    }
+    if (report.missing.size() > 2) {
+        throw sharder_error("data loss: " +
+                            std::to_string(report.missing.size()) +
+                            " shards missing, at most 2 recoverable");
+    }
+
+    const core::liberation_optimal_code code(h.k, h.p);
+    const std::size_t elem = static_cast<std::size_t>(h.element_size);
+    codes::stripe_buffer stripe(h.p, n, elem);
+    const std::size_t strip = stripe.view().strip_size();
+
+    std::vector<std::ifstream> in(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!set.present[i]) continue;
+        in[i].open(set.paths[i], std::ios::binary);
+        in[i].seekg(kHeaderSize);
+        if (!in[i]) throw sharder_error("cannot reopen shard file");
+    }
+    // Re-materialize missing shards alongside the survivors.
+    std::vector<std::ofstream> rebuilt(n);
+    for (const std::uint32_t i : report.missing) {
+        rebuilt[i].open(dir / shard_file_name(i), std::ios::binary);
+        if (!rebuilt[i]) throw sharder_error("cannot recreate shard file");
+        write_header(rebuilt[i], {h.k, h.p, i, h.element_size, h.file_size,
+                                  h.stripes});
+    }
+
+    std::ofstream out(output, std::ios::binary);
+    if (!out) throw sharder_error("cannot create output file");
+
+    std::uint64_t remaining = h.file_size;
+    for (std::uint64_t s = 0; s < h.stripes; ++s) {
+        const auto v = stripe.view();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!set.present[i]) continue;
+            in[i].read(reinterpret_cast<char*>(v.strip(i).data()),
+                       static_cast<std::streamsize>(strip));
+            if (!in[i]) throw sharder_error("read error on shard payload");
+        }
+        if (!report.missing.empty()) {
+            code.decode(v, report.missing);
+            for (const std::uint32_t i : report.missing) {
+                rebuilt[i].write(
+                    reinterpret_cast<const char*>(v.strip(i).data()),
+                    static_cast<std::streamsize>(strip));
+            }
+        }
+        for (std::uint32_t j = 0; j < h.k && remaining > 0; ++j) {
+            const std::uint64_t take =
+                std::min<std::uint64_t>(remaining, strip);
+            out.write(reinterpret_cast<const char*>(v.strip(j).data()),
+                      static_cast<std::streamsize>(take));
+            remaining -= take;
+        }
+        if (!out) throw sharder_error("write error on output file");
+    }
+    report.stripes = h.stripes;
+    report.bytes_written = h.file_size;
+    return report;
+}
+
+verify_report verify_shards(const std::filesystem::path& dir, bool repair) {
+    shard_set set = scan_shards(dir);
+    const shard_header& h = set.header;
+    const std::uint32_t n = h.k + 2;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!set.present[i]) {
+            throw sharder_error(
+                "shard " + std::to_string(i) +
+                " missing — run join to re-materialize it first");
+        }
+    }
+
+    const core::liberation_optimal_code code(h.k, h.p);
+    const std::size_t elem = static_cast<std::size_t>(h.element_size);
+    codes::stripe_buffer stripe(h.p, n, elem);
+    const std::size_t strip = stripe.view().strip_size();
+
+    std::vector<std::fstream> io(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        io[i].open(set.paths[i], std::ios::binary | std::ios::in |
+                                     (repair ? std::ios::out
+                                             : std::ios::in));
+        if (!io[i]) throw sharder_error("cannot open shard file");
+    }
+
+    verify_report report;
+    std::vector<bool> shard_repaired(n, false);
+    for (std::uint64_t s = 0; s < h.stripes; ++s) {
+        const auto v = stripe.view();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            io[i].seekg(static_cast<std::streamoff>(kHeaderSize + s * strip));
+            io[i].read(reinterpret_cast<char*>(v.strip(i).data()),
+                       static_cast<std::streamsize>(strip));
+            if (!io[i]) throw sharder_error("read error during verify");
+        }
+        ++report.stripes;
+        const auto scrub = code.scrub(v);
+        switch (scrub.status) {
+            case core::scrub_status::clean:
+                ++report.clean;
+                break;
+            case core::scrub_status::uncorrectable:
+                ++report.uncorrectable;
+                break;
+            default: {
+                ++report.repaired;
+                const std::uint32_t col =
+                    scrub.status == core::scrub_status::corrected_data
+                        ? scrub.column
+                        : (scrub.status == core::scrub_status::corrected_p
+                               ? h.k
+                               : h.k + 1);
+                shard_repaired[col] = true;
+                if (repair) {
+                    io[col].seekp(
+                        static_cast<std::streamoff>(kHeaderSize + s * strip));
+                    io[col].write(
+                        reinterpret_cast<const char*>(v.strip(col).data()),
+                        static_cast<std::streamsize>(strip));
+                    if (!io[col]) {
+                        throw sharder_error("write error during repair");
+                    }
+                }
+                break;
+            }
+        }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (shard_repaired[i]) report.repaired_shards.push_back(i);
+    }
+    return report;
+}
+
+}  // namespace liberation::tool

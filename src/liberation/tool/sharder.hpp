@@ -1,0 +1,79 @@
+// File sharding: split a file into k data shards + P + Q shards so that
+// any two lost or corrupted shard files can be regenerated — the "zfec for
+// RAID-6" utility a downstream user of this library would actually run
+// (the liberation_cli tool is a thin front-end over this header).
+//
+// Shard format (little-endian, 64-byte header):
+//   0  u64  magic "L6SHARD\0"
+//   8  u32  version (1)
+//  12  u32  k
+//  16  u32  p
+//  20  u32  shard index (0..k+1; k = P, k+1 = Q)
+//  24  u64  element size in bytes
+//  32  u64  original file size
+//  40  u64  stripe count
+//  48  ..   reserved zeros
+// Payload: stripe_count * p * element_size bytes (the shard's strips).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace liberation::tool {
+
+struct shard_params {
+    std::uint32_t k = 4;
+    std::uint32_t p = 0;  ///< 0 = smallest odd prime >= k
+    std::uint64_t element_size = 4096;
+};
+
+struct split_report {
+    std::uint32_t shards = 0;
+    std::uint64_t stripes = 0;
+    std::uint64_t payload_bytes = 0;  ///< original file size
+    std::uint64_t padding_bytes = 0;  ///< zero fill to the stripe boundary
+};
+
+struct join_report {
+    std::vector<std::uint32_t> missing;  ///< shard indices reconstructed
+    std::uint64_t stripes = 0;
+    std::uint64_t bytes_written = 0;
+};
+
+struct verify_report {
+    std::uint64_t stripes = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t repaired = 0;       ///< stripes fixed (single bad column)
+    std::uint64_t uncorrectable = 0;  ///< stripes with >= 2 bad columns
+    std::vector<std::uint32_t> repaired_shards;  ///< which files were fixed
+};
+
+/// Error type for all sharder failures (bad input, I/O, unrecoverable).
+class sharder_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Split `input` into k+2 shard files "shard_NNN.l6s" inside `out_dir`
+/// (created if absent; existing shards are overwritten).
+split_report split_file(const std::filesystem::path& input,
+                        const std::filesystem::path& out_dir,
+                        const shard_params& params);
+
+/// Rebuild the original file at `output` from the shards in `dir`. Up to
+/// two shard files may be missing or unreadable; missing shards are also
+/// re-materialized on disk. Throws sharder_error if more are gone.
+join_report join_file(const std::filesystem::path& dir,
+                      const std::filesystem::path& output);
+
+/// Verify every stripe across the shard set; with repair=true, silently
+/// corrupted single columns are fixed and rewritten.
+verify_report verify_shards(const std::filesystem::path& dir, bool repair);
+
+/// The shard file name for a given index ("shard_007.l6s").
+[[nodiscard]] std::string shard_file_name(std::uint32_t index);
+
+}  // namespace liberation::tool

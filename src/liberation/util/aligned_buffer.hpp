@@ -1,0 +1,85 @@
+// Cache-line-aligned RAII byte buffer for coding regions.
+//
+// Every strip/element buffer in the library lives in one of these: 64-byte
+// alignment keeps the word-wise XOR kernels on their fast path and avoids
+// false sharing when stripes are encoded from a thread pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::util {
+
+class aligned_buffer {
+public:
+    static constexpr std::size_t alignment = 64;
+
+    aligned_buffer() noexcept = default;
+
+    /// Allocates `size` zero-initialized bytes (rounded up internally to a
+    /// multiple of the alignment so the XOR kernels may run whole words).
+    explicit aligned_buffer(std::size_t size) : size_(size) {
+        if (size_ == 0) return;
+        const std::size_t padded = (size_ + alignment - 1) / alignment * alignment;
+        data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, padded));
+        if (data_ == nullptr) throw std::bad_alloc{};
+        std::memset(data_, 0, padded);
+    }
+
+    aligned_buffer(const aligned_buffer&) = delete;
+    aligned_buffer& operator=(const aligned_buffer&) = delete;
+
+    aligned_buffer(aligned_buffer&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0)) {}
+
+    aligned_buffer& operator=(aligned_buffer&& other) noexcept {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ~aligned_buffer() { release(); }
+
+    [[nodiscard]] std::byte* data() noexcept { return data_; }
+    [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    [[nodiscard]] std::span<std::byte> span() noexcept { return {data_, size_}; }
+    [[nodiscard]] std::span<const std::byte> span() const noexcept {
+        return {data_, size_};
+    }
+
+    /// Sub-span [offset, offset+len).
+    [[nodiscard]] std::span<std::byte> subspan(std::size_t offset,
+                                               std::size_t len) noexcept {
+        LIBERATION_EXPECTS(offset + len <= size_);
+        return {data_ + offset, len};
+    }
+
+    void zero() noexcept {
+        if (data_ != nullptr) std::memset(data_, 0, size_);
+    }
+
+private:
+    void release() noexcept {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+
+    std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace liberation::util

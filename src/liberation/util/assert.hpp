@@ -1,0 +1,30 @@
+// Lightweight contract checks (Core Guidelines I.6/I.8 style).
+//
+// LIBERATION_EXPECTS / LIBERATION_ENSURES abort with a readable message on
+// violation. They stay enabled in release builds: every call is on a cold
+// path (constructors, public-API entry), never inside region loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace liberation::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+    std::fprintf(stderr, "liberation: %s violated: %s (%s:%d)\n", kind, expr,
+                 file, line);
+    std::abort();
+}
+
+}  // namespace liberation::detail
+
+#define LIBERATION_EXPECTS(cond)                                             \
+    ((cond) ? static_cast<void>(0)                                           \
+            : ::liberation::detail::contract_failure("precondition", #cond,  \
+                                                     __FILE__, __LINE__))
+
+#define LIBERATION_ENSURES(cond)                                             \
+    ((cond) ? static_cast<void>(0)                                           \
+            : ::liberation::detail::contract_failure("postcondition", #cond, \
+                                                     __FILE__, __LINE__))

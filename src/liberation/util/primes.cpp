@@ -1,0 +1,50 @@
+#include "liberation/util/primes.hpp"
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::util {
+
+bool is_prime(std::uint32_t n) noexcept {
+    if (n < 2) return false;
+    if (n < 4) return true;
+    if (n % 2 == 0) return false;
+    for (std::uint32_t d = 3; d * d <= n; d += 2) {
+        if (n % d == 0) return false;
+    }
+    return true;
+}
+
+std::uint32_t next_prime(std::uint32_t n) noexcept {
+    LIBERATION_EXPECTS(n >= 2);
+    while (!is_prime(n)) ++n;
+    return n;
+}
+
+std::uint32_t next_odd_prime(std::uint32_t n) noexcept {
+    std::uint32_t p = next_prime(n < 3 ? 3 : n);
+    if (p == 2) p = 3;
+    return p;
+}
+
+std::vector<std::uint32_t> odd_primes_in(std::uint32_t lo, std::uint32_t hi) {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t n = lo < 3 ? 3 : lo | 1U; n <= hi; n += 2) {
+        if (is_prime(n)) out.push_back(n);
+    }
+    return out;
+}
+
+std::uint32_t mod_inverse(std::uint32_t a, std::uint32_t p) noexcept {
+    LIBERATION_EXPECTS(is_prime(p) && a > 0 && a < p);
+    // a^(p-2) mod p by square-and-multiply.
+    std::uint64_t base = a, acc = 1;
+    std::uint32_t e = p - 2;
+    while (e != 0) {
+        if (e & 1U) acc = acc * base % p;
+        base = base * base % p;
+        e >>= 1U;
+    }
+    return static_cast<std::uint32_t>(acc);
+}
+
+}  // namespace liberation::util

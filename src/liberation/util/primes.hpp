@@ -1,0 +1,26 @@
+// Prime-number helpers used to size Liberation / EVENODD / RDP codewords.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace liberation::util {
+
+/// True iff n is prime (deterministic trial division; n is always small —
+/// RAID widths are tens of disks, not millions).
+bool is_prime(std::uint32_t n) noexcept;
+
+/// Smallest prime >= n. Expects n >= 2.
+std::uint32_t next_prime(std::uint32_t n) noexcept;
+
+/// Smallest *odd* prime >= n (Liberation requires an odd prime p).
+/// next_odd_prime(2) == 3.
+std::uint32_t next_odd_prime(std::uint32_t n) noexcept;
+
+/// All odd primes in [lo, hi], ascending.
+std::vector<std::uint32_t> odd_primes_in(std::uint32_t lo, std::uint32_t hi);
+
+/// Multiplicative inverse of a modulo prime p (Fermat). Expects 0 < a < p.
+std::uint32_t mod_inverse(std::uint32_t a, std::uint32_t p) noexcept;
+
+}  // namespace liberation::util

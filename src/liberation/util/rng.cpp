@@ -1,0 +1,73 @@
+#include "liberation/util/rng.hpp"
+
+#include <cstring>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seed expander recommended by the xoshiro authors.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+xoshiro256::xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+    // All-zero state would be absorbing; splitmix64 cannot produce four
+    // zeros from any seed, but keep the guard explicit.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t xoshiro256::next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t xoshiro256::next_below(std::uint64_t bound) noexcept {
+    LIBERATION_EXPECTS(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double xoshiro256::next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void xoshiro256::fill(std::span<std::byte> out) noexcept {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+        const std::uint64_t v = next();
+        std::memcpy(out.data() + i, &v, 8);
+        i += 8;
+    }
+    if (i < out.size()) {
+        const std::uint64_t v = next();
+        std::memcpy(out.data() + i, &v, out.size() - i);
+    }
+}
+
+}  // namespace liberation::util

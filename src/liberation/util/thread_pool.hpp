@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool used by the RAID array simulator to encode
+// and rebuild stripes in parallel.
+//
+// Deliberately simple (Core Guidelines CP.4: think in tasks): callers submit
+// void() tasks and wait on a parallel_for barrier; no futures, no dynamic
+// resizing, no work stealing. Stripe coding is embarrassingly parallel and
+// coarse-grained, so a mutex-guarded deque is not a bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace liberation::util {
+
+class thread_pool {
+public:
+    /// Spawns `threads` workers (0 -> hardware concurrency, min 1).
+    explicit thread_pool(std::size_t threads = 0);
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    ~thread_pool();
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue one task. Thread-safe.
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished executing.
+    void wait_idle();
+
+    /// Run body(i) for i in [0, n) across the pool and wait for completion.
+    /// Chunks so each worker gets contiguous iterations (predictable memory
+    /// access per Core Guidelines Per.19).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace liberation::util

@@ -1,0 +1,37 @@
+// Monotonic wall-clock stopwatch for throughput harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace liberation::util {
+
+class stopwatch {
+public:
+    stopwatch() noexcept : start_(clock::now()) {}
+
+    void restart() noexcept { start_ = clock::now(); }
+
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                 start_)
+                .count());
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// bytes processed / elapsed seconds, in GB/s (10^9 bytes).
+inline double throughput_gbps(std::uint64_t bytes, double seconds) noexcept {
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+}  // namespace liberation::util

@@ -1,0 +1,21 @@
+// Library version, for downstream feature checks.
+#pragma once
+
+#define LIBERATION_VERSION_MAJOR 1
+#define LIBERATION_VERSION_MINOR 0
+#define LIBERATION_VERSION_PATCH 0
+
+namespace liberation {
+
+struct version_info {
+    int major;
+    int minor;
+    int patch;
+};
+
+[[nodiscard]] constexpr version_info version() noexcept {
+    return {LIBERATION_VERSION_MAJOR, LIBERATION_VERSION_MINOR,
+            LIBERATION_VERSION_PATCH};
+}
+
+}  // namespace liberation

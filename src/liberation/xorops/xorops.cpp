@@ -1,0 +1,122 @@
+#include "liberation/xorops/xorops.hpp"
+
+#include <cstring>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::xorops {
+
+namespace {
+
+thread_local op_stats g_stats;
+
+// Word-at-a-time XOR loop. Alignment: all library buffers come from
+// aligned_buffer (64-byte), but the kernels must stay correct for arbitrary
+// pointers (RAID sector offsets), so unaligned heads/tails use memcpy-based
+// word loads, which compilers lower to plain loads on x86/arm.
+inline void xor_words(std::byte* dst, const std::byte* src,
+                      std::size_t n) noexcept {
+    std::size_t i = 0;
+    // 4x unrolled 64-bit body; auto-vectorizes under -O2/-O3.
+    for (; i + 32 <= n; i += 32) {
+        std::uint64_t d0, d1, d2, d3, s0, s1, s2, s3;
+        std::memcpy(&d0, dst + i, 8);
+        std::memcpy(&d1, dst + i + 8, 8);
+        std::memcpy(&d2, dst + i + 16, 8);
+        std::memcpy(&d3, dst + i + 24, 8);
+        std::memcpy(&s0, src + i, 8);
+        std::memcpy(&s1, src + i + 8, 8);
+        std::memcpy(&s2, src + i + 16, 8);
+        std::memcpy(&s3, src + i + 24, 8);
+        d0 ^= s0;
+        d1 ^= s1;
+        d2 ^= s2;
+        d3 ^= s3;
+        std::memcpy(dst + i, &d0, 8);
+        std::memcpy(dst + i + 8, &d1, 8);
+        std::memcpy(dst + i + 16, &d2, 8);
+        std::memcpy(dst + i + 24, &d3, 8);
+    }
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t d, s;
+        std::memcpy(&d, dst + i, 8);
+        std::memcpy(&s, src + i, 8);
+        d ^= s;
+        std::memcpy(dst + i, &d, 8);
+    }
+    for (; i < n; ++i) {
+        dst[i] ^= src[i];
+    }
+}
+
+inline void xor2_words(std::byte* dst, const std::byte* a, const std::byte* b,
+                       std::size_t n) noexcept {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t x, y;
+        std::memcpy(&x, a + i, 8);
+        std::memcpy(&y, b + i, 8);
+        x ^= y;
+        std::memcpy(dst + i, &x, 8);
+    }
+    for (; i < n; ++i) {
+        dst[i] = a[i] ^ b[i];
+    }
+}
+
+}  // namespace
+
+op_stats& counters() noexcept { return g_stats; }
+
+void reset_counters() noexcept { g_stats.reset(); }
+
+void xor_into(std::byte* dst, const std::byte* src, std::size_t n) noexcept {
+    xor_words(dst, src, n);
+    ++g_stats.xor_ops;
+    g_stats.bytes_xored += n;
+}
+
+void xor2(std::byte* dst, const std::byte* a, const std::byte* b,
+          std::size_t n) noexcept {
+    xor2_words(dst, a, b, n);
+    ++g_stats.xor_ops;
+    g_stats.bytes_xored += n;
+}
+
+void copy(std::byte* dst, const std::byte* src, std::size_t n) noexcept {
+    std::memcpy(dst, src, n);
+    ++g_stats.copy_ops;
+    g_stats.bytes_copied += n;
+}
+
+void zero(std::byte* dst, std::size_t n) noexcept { std::memset(dst, 0, n); }
+
+bool is_zero(const std::byte* src, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        if (src[i] != std::byte{0}) return false;
+    }
+    return true;
+}
+
+bool equal(const std::byte* a, const std::byte* b, std::size_t n) noexcept {
+    return std::memcmp(a, b, n) == 0;
+}
+
+void xor_into(std::span<std::byte> dst,
+              std::span<const std::byte> src) noexcept {
+    LIBERATION_EXPECTS(dst.size() == src.size());
+    xor_into(dst.data(), src.data(), dst.size());
+}
+
+void xor2(std::span<std::byte> dst, std::span<const std::byte> a,
+          std::span<const std::byte> b) noexcept {
+    LIBERATION_EXPECTS(dst.size() == a.size() && dst.size() == b.size());
+    xor2(dst.data(), a.data(), b.data(), dst.size());
+}
+
+void copy(std::span<std::byte> dst, std::span<const std::byte> src) noexcept {
+    LIBERATION_EXPECTS(dst.size() == src.size());
+    copy(dst.data(), src.data(), dst.size());
+}
+
+}  // namespace liberation::xorops

@@ -1,0 +1,85 @@
+// Word-wise XOR/copy kernels over byte regions, with per-thread operation
+// counters.
+//
+// These kernels are the universal currency of XOR-based erasure coding: one
+// region corresponds to one array-code *element* (paper Section II-A), and
+// one region-XOR corresponds to one "XOR" in the paper's complexity
+// accounting. The counters therefore drive every complexity figure
+// (Figs. 5-8, Table I) with zero extra plumbing: run the real encoder on
+// tiny regions and read the counters.
+//
+// Counting convention (matches the paper and Jerasure): combining n source
+// regions into a destination costs n-1 XORs — the first write is a *copy*
+// and is counted separately. Counter updates are one thread-local increment
+// per region op, which is noise next to even an 8-byte memory op, so the
+// same code path serves both the complexity and the throughput benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace liberation::xorops {
+
+/// Per-thread region-operation counters.
+struct op_stats {
+    std::uint64_t xor_ops = 0;    ///< dst ^= src region operations
+    std::uint64_t copy_ops = 0;   ///< dst = src region operations
+    std::uint64_t bytes_xored = 0;
+    std::uint64_t bytes_copied = 0;
+
+    void reset() noexcept { *this = op_stats{}; }
+};
+
+/// Mutable reference to this thread's counters.
+op_stats& counters() noexcept;
+
+/// Convenience: reset this thread's counters.
+void reset_counters() noexcept;
+
+/// dst[i] ^= src[i] for n bytes. Regions must not partially overlap
+/// (dst == src is allowed and zeroes dst).
+void xor_into(std::byte* dst, const std::byte* src, std::size_t n) noexcept;
+
+/// dst[i] = a[i] ^ b[i] for n bytes (counted as one XOR op).
+void xor2(std::byte* dst, const std::byte* a, const std::byte* b,
+          std::size_t n) noexcept;
+
+/// dst = src (counted as one copy op).
+void copy(std::byte* dst, const std::byte* src, std::size_t n) noexcept;
+
+/// dst = 0 (not counted; used only for buffer setup).
+void zero(std::byte* dst, std::size_t n) noexcept;
+
+/// True iff the n-byte region is all zero bytes.
+[[nodiscard]] bool is_zero(const std::byte* src, std::size_t n) noexcept;
+
+/// True iff two n-byte regions are byte-identical.
+[[nodiscard]] bool equal(const std::byte* a, const std::byte* b,
+                         std::size_t n) noexcept;
+
+// Span-flavoured overloads (sizes must match; checked).
+void xor_into(std::span<std::byte> dst, std::span<const std::byte> src) noexcept;
+void xor2(std::span<std::byte> dst, std::span<const std::byte> a,
+          std::span<const std::byte> b) noexcept;
+void copy(std::span<std::byte> dst, std::span<const std::byte> src) noexcept;
+
+/// RAII scope that zeroes this thread's counters on entry and exposes the
+/// delta on request — keeps complexity measurements exception-safe.
+class counting_scope {
+public:
+    counting_scope() noexcept { reset_counters(); }
+    counting_scope(const counting_scope&) = delete;
+    counting_scope& operator=(const counting_scope&) = delete;
+    ~counting_scope() = default;
+
+    [[nodiscard]] op_stats snapshot() const noexcept { return counters(); }
+    [[nodiscard]] std::uint64_t xors() const noexcept {
+        return counters().xor_ops;
+    }
+    [[nodiscard]] std::uint64_t copies() const noexcept {
+        return counters().copy_ops;
+    }
+};
+
+}  // namespace liberation::xorops

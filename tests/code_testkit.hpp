@@ -1,0 +1,94 @@
+// Reusable conformance checks run against every raid6_code implementation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/codes/raid6_code.hpp"
+#include "test_support.hpp"
+
+namespace code_testkit {
+
+/// Every <= 2-column erasure pattern must round-trip.
+inline void check_all_erasures(const liberation::codes::raid6_code& code,
+                               std::size_t elem, std::uint64_t seed) {
+    auto ref = test_support::make_encoded_stripe(code, elem, seed);
+    std::vector<std::vector<std::uint32_t>> patterns;
+    for (std::uint32_t a = 0; a < code.n(); ++a) {
+        patterns.push_back({a});
+        for (std::uint32_t b = a + 1; b < code.n(); ++b) {
+            patterns.push_back({a, b});
+        }
+    }
+    for (const auto& pat : patterns) {
+        liberation::codes::stripe_buffer broke(code.rows(), code.n(), elem);
+        liberation::codes::copy_stripe(broke.view(), ref.view());
+        test_support::trash_columns(broke.view(), pat, seed + 1);
+        code.decode(broke.view(), pat);
+        EXPECT_TRUE(liberation::codes::stripes_equal(broke.view(), ref.view()))
+            << code.name() << " pattern {" << pat[0]
+            << (pat.size() > 1 ? "," + std::to_string(pat[1]) : "") << "}";
+    }
+}
+
+/// verify() accepts an encoded stripe and rejects a corrupted one.
+inline void check_verify(const liberation::codes::raid6_code& code,
+                         std::uint64_t seed) {
+    auto stripe = test_support::make_encoded_stripe(code, 8, seed);
+    EXPECT_TRUE(code.verify(stripe.view())) << code.name();
+    stripe.view().element(0, 0)[0] ^= std::byte{1};
+    EXPECT_FALSE(code.verify(stripe.view())) << code.name();
+}
+
+/// apply_update at every data position must keep the stripe consistent.
+inline void check_updates(const liberation::codes::raid6_code& code,
+                          std::uint64_t seed) {
+    auto stripe = test_support::make_encoded_stripe(code, 8, seed);
+    liberation::util::xoshiro256 rng(seed * 3 + 1);
+    for (std::uint32_t row = 0; row < code.rows(); ++row) {
+        for (std::uint32_t col = 0; col < code.k(); ++col) {
+            std::vector<std::byte> fresh(8), delta(8);
+            rng.fill(fresh);
+            auto* elem = stripe.view().element(row, col);
+            for (std::size_t i = 0; i < 8; ++i) delta[i] = elem[i] ^ fresh[i];
+            const auto touched =
+                code.apply_update(stripe.view(), row, col, delta);
+            EXPECT_GE(touched, 2u);
+            std::memcpy(elem, fresh.data(), 8);
+            ASSERT_TRUE(code.verify(stripe.view()))
+                << code.name() << " row=" << row << " col=" << col;
+        }
+    }
+}
+
+/// Linearity: enc(a ^ b) == enc(a) ^ enc(b).
+inline void check_linearity(const liberation::codes::raid6_code& code,
+                            std::uint64_t seed) {
+    liberation::util::xoshiro256 rng(seed);
+    const std::size_t elem = 8;
+    liberation::codes::stripe_buffer a(code.rows(), code.n(), elem);
+    liberation::codes::stripe_buffer b(code.rows(), code.n(), elem);
+    liberation::codes::stripe_buffer c(code.rows(), code.n(), elem);
+    a.fill_random(rng, code.k());
+    b.fill_random(rng, code.k());
+    for (std::uint32_t j = 0; j < code.k(); ++j) {
+        auto sa = a.view().strip(j);
+        auto sb = b.view().strip(j);
+        auto sc = c.view().strip(j);
+        for (std::size_t i = 0; i < sa.size(); ++i) sc[i] = sa[i] ^ sb[i];
+    }
+    code.encode(a.view());
+    code.encode(b.view());
+    code.encode(c.view());
+    for (std::uint32_t col : {code.p_column(), code.q_column()}) {
+        auto sa = a.view().strip(col);
+        auto sb = b.view().strip(col);
+        auto sc = c.view().strip(col);
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            ASSERT_EQ(sc[i], sa[i] ^ sb[i]) << code.name() << " col=" << col;
+        }
+    }
+}
+
+}  // namespace code_testkit

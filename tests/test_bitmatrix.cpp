@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/bitmatrix/bitmatrix.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+using liberation::bitmatrix::bit_matrix;
+
+bit_matrix random_matrix(std::uint32_t rows, std::uint32_t cols,
+                         std::uint64_t seed, double density = 0.5) {
+    liberation::util::xoshiro256 rng(seed);
+    bit_matrix m(rows, cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            if (rng.next_double() < density) m.set(r, c, true);
+        }
+    }
+    return m;
+}
+
+TEST(BitMatrix, SetGetFlip) {
+    bit_matrix m(3, 70);  // > 64 columns: crosses the word boundary
+    EXPECT_FALSE(m.get(1, 65));
+    m.set(1, 65, true);
+    EXPECT_TRUE(m.get(1, 65));
+    m.flip(1, 65);
+    EXPECT_FALSE(m.get(1, 65));
+    m.set(2, 0, true);
+    EXPECT_TRUE(m.get(2, 0));
+    EXPECT_FALSE(m.get(0, 0));
+}
+
+TEST(BitMatrix, IdentityProperties) {
+    const auto id = bit_matrix::identity(10);
+    EXPECT_EQ(id.ones(), 10u);
+    EXPECT_EQ(id.rank(), 10u);
+    for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(id.row_weight(i), 1u);
+}
+
+TEST(BitMatrix, RowWeightAndDistance) {
+    bit_matrix m(2, 130);
+    m.set(0, 0, true);
+    m.set(0, 64, true);
+    m.set(0, 129, true);
+    m.set(1, 0, true);
+    m.set(1, 65, true);
+    EXPECT_EQ(m.row_weight(0), 3u);
+    EXPECT_EQ(m.row_weight(1), 2u);
+    EXPECT_EQ(m.row_distance(0, m, 1), 3u);  // {64,129} vs {65}
+    EXPECT_EQ(m.row_distance(0, m, 0), 0u);
+}
+
+TEST(BitMatrix, RowOnesAscending) {
+    bit_matrix m(1, 200);
+    for (std::uint32_t c : {3u, 64u, 65u, 199u}) m.set(0, c, true);
+    const auto ones = m.row_ones(0);
+    const std::vector<std::uint32_t> expected{3, 64, 65, 199};
+    EXPECT_EQ(ones, expected);
+}
+
+TEST(BitMatrix, MultiplyByIdentity) {
+    const auto m = random_matrix(7, 7, 42);
+    const auto id = bit_matrix::identity(7);
+    EXPECT_EQ(m.multiply(id), m);
+    EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(BitMatrix, MultiplyKnownSmall) {
+    // [1 1; 0 1] * [1 0; 1 1] = [0 1; 1 1] over GF(2)
+    bit_matrix a(2, 2), b(2, 2);
+    a.set(0, 0, true);
+    a.set(0, 1, true);
+    a.set(1, 1, true);
+    b.set(0, 0, true);
+    b.set(1, 0, true);
+    b.set(1, 1, true);
+    const auto c = a.multiply(b);
+    EXPECT_FALSE(c.get(0, 0));
+    EXPECT_TRUE(c.get(0, 1));
+    EXPECT_TRUE(c.get(1, 0));
+    EXPECT_TRUE(c.get(1, 1));
+}
+
+TEST(BitMatrix, InvertRoundTrip) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        auto m = random_matrix(16, 16, seed);
+        const auto inv = m.inverted();
+        if (!inv) continue;  // singular random matrix; skip
+        EXPECT_EQ(m.multiply(*inv), bit_matrix::identity(16)) << seed;
+        EXPECT_EQ(inv->multiply(m), bit_matrix::identity(16)) << seed;
+    }
+}
+
+TEST(BitMatrix, SingularDetected) {
+    bit_matrix m(3, 3);
+    m.set(0, 0, true);
+    m.set(1, 1, true);
+    // row 2 all zero -> singular
+    EXPECT_FALSE(m.inverted().has_value());
+    // duplicate rows -> singular
+    bit_matrix d(2, 2);
+    d.set(0, 0, true);
+    d.set(0, 1, true);
+    d.set(1, 0, true);
+    d.set(1, 1, true);
+    EXPECT_FALSE(d.inverted().has_value());
+}
+
+TEST(BitMatrix, RankOfRandomProducts) {
+    // rank(AB) <= min(rank A, rank B)
+    const auto a = random_matrix(10, 14, 5);
+    const auto b = random_matrix(14, 9, 6);
+    const auto ab = a.multiply(b);
+    EXPECT_LE(ab.rank(), std::min(a.rank(), b.rank()));
+}
+
+TEST(BitMatrix, SelectRowsAndCols) {
+    const auto m = random_matrix(6, 8, 7);
+    const std::uint32_t rows[] = {4, 1};
+    const std::uint32_t cols[] = {0, 7, 3};
+    const auto sub = m.select_rows(rows).select_cols(cols);
+    EXPECT_EQ(sub.rows(), 2u);
+    EXPECT_EQ(sub.cols(), 3u);
+    EXPECT_EQ(sub.get(0, 0), m.get(4, 0));
+    EXPECT_EQ(sub.get(0, 1), m.get(4, 7));
+    EXPECT_EQ(sub.get(1, 2), m.get(1, 3));
+}
+
+TEST(BitMatrix, ConcatCols) {
+    const auto a = random_matrix(4, 5, 8);
+    const auto b = random_matrix(4, 70, 9);
+    const auto c = a.concat_cols(b);
+    EXPECT_EQ(c.cols(), 75u);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+        for (std::uint32_t i = 0; i < 5; ++i) {
+            EXPECT_EQ(c.get(r, i), a.get(r, i));
+        }
+        for (std::uint32_t i = 0; i < 70; ++i) {
+            EXPECT_EQ(c.get(r, 5 + i), b.get(r, i));
+        }
+    }
+}
+
+TEST(BitMatrix, XorAndSwapRows) {
+    auto m = random_matrix(3, 100, 10);
+    const auto orig = m;
+    m.xor_rows(0, 1);
+    for (std::uint32_t c = 0; c < 100; ++c) {
+        EXPECT_EQ(m.get(0, c), orig.get(0, c) != orig.get(1, c));
+    }
+    m.xor_rows(0, 1);  // involution
+    EXPECT_EQ(m, orig);
+    m.swap_rows(0, 2);
+    for (std::uint32_t c = 0; c < 100; ++c) {
+        EXPECT_EQ(m.get(0, c), orig.get(2, c));
+        EXPECT_EQ(m.get(2, c), orig.get(0, c));
+    }
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Property tests pinning the complexity claims of the paper's Table I and
+// Figs. 5-8 as machine-checked invariants, measured through the xorops
+// counters on the real code paths.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/codes/evenodd.hpp"
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/codes/rdp.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/primes.hpp"
+#include "liberation/xorops/xorops.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+
+std::uint64_t encode_xors(const codes::raid6_code& c) {
+    util::xoshiro256 rng(1);
+    codes::stripe_buffer sb(c.rows(), c.n(), 8);
+    sb.fill_random(rng, c.k());
+    xorops::counting_scope scope;
+    c.encode(sb.view());
+    return scope.xors();
+}
+
+double avg_decode_norm(const codes::raid6_code& c, bool all_patterns) {
+    // all_patterns follows the paper's methodology ("we test all the
+    // possible erasure patterns and use their average value"), i.e. every
+    // two-column pattern including parity columns; otherwise only the
+    // two-data-column patterns are averaged.
+    auto ref = test_support::make_encoded_stripe(c, 8, 2);
+    const std::uint32_t hi = all_patterns ? c.n() : c.k();
+    double sum = 0;
+    int n = 0;
+    for (std::uint32_t a = 0; a < hi; ++a) {
+        for (std::uint32_t b = a + 1; b < hi; ++b) {
+            codes::stripe_buffer broke(c.rows(), c.n(), 8);
+            codes::copy_stripe(broke.view(), ref.view());
+            const std::vector<std::uint32_t> pat{a, b};
+            test_support::trash_columns(broke.view(), pat, 3);
+            xorops::counting_scope scope;
+            c.decode(broke.view(), pat);
+            sum += static_cast<double>(scope.xors()) / (2.0 * c.rows()) /
+                   (c.k() - 1);
+            ++n;
+        }
+    }
+    return sum / n;
+}
+
+double avg_two_data_decode_norm(const codes::raid6_code& c) {
+    return avg_decode_norm(c, false);
+}
+
+class TableOne : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TableOne, EncodingComplexityRanking) {
+    // Fig. 5 ordering at p varying with k:
+    //   optimal Liberation = 1.0 (bound) <= RDP <= original Liberation
+    //   <= EVENODD (for k >= 4).
+    const std::uint32_t k = GetParam();
+    const std::uint32_t p = util::next_odd_prime(k);
+    const core::liberation_optimal_code opt(k, p);
+    const codes::liberation_bitmatrix_code orig(k, p);
+    const codes::evenodd_code eo(k, p);
+    const codes::rdp_code rdp(k, util::next_odd_prime(k + 1));
+
+    const auto norm = [&](const codes::raid6_code& c) {
+        return static_cast<double>(encode_xors(c)) / (2.0 * c.rows()) /
+               (k - 1);
+    };
+
+    EXPECT_DOUBLE_EQ(norm(opt), 1.0);
+    EXPECT_LE(norm(rdp), norm(orig) + 1e-9);
+    EXPECT_LT(norm(orig), norm(eo));
+    // Original Liberation encode: exactly 1 + 1/(2p) (Table I).
+    EXPECT_NEAR(norm(orig), 1.0 + 1.0 / (2.0 * p), 1e-12);
+}
+
+TEST_P(TableOne, DecodingComplexityRanking) {
+    // Fig. 7 ordering: optimal Liberation within 3% of the bound; original
+    // Liberation the worst of the four at k >= 6; EVENODD in between.
+    const std::uint32_t k = GetParam();
+    if (k < 6) return;
+    const std::uint32_t p = util::next_odd_prime(k);
+    const core::liberation_optimal_code opt(k, p);
+    const codes::liberation_bitmatrix_code orig(k, p);
+    const codes::evenodd_code eo(k, p);
+    const codes::rdp_code rdp(k, util::next_odd_prime(k + 1));
+
+    const double n_opt = avg_two_data_decode_norm(opt);
+    const double n_orig = avg_two_data_decode_norm(orig);
+    const double n_eo = avg_two_data_decode_norm(eo);
+    const double n_rdp = avg_two_data_decode_norm(rdp);
+
+    EXPECT_LT(n_opt, 1.03);
+    EXPECT_GE(n_opt, 0.99);
+    // The original bit-matrix decoder is the most expensive of the four
+    // (EVENODD comes within a couple of percent at small k).
+    EXPECT_GT(n_orig, n_eo - 0.02);
+    EXPECT_GT(n_orig, n_rdp);
+    EXPECT_GT(n_eo, n_rdp - 1e-9);
+    // The headline: the optimal algorithm removes 10~25% of the original's
+    // XORs (the paper reports 15~20% over its sweep).
+    const double reduction = (n_orig - n_opt) / n_orig;
+    EXPECT_GT(reduction, 0.10);
+    EXPECT_LT(reduction, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, TableOne,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u, 16u, 20u));
+
+TEST(FixedPrime, LiberationScalabilityFlatCurves) {
+    // Fig. 6/8 claim: at fixed p = 31, Liberation complexity stays flat as
+    // k shrinks, while EVENODD/RDP blow up. Check encode at p = 31.
+    const std::uint32_t p = 31;
+    for (std::uint32_t k : {4u, 8u, 16u, 23u}) {
+        const core::liberation_optimal_code opt(k, p);
+        const auto norm = static_cast<double>(encode_xors(opt)) /
+                          (2.0 * p) / (k - 1);
+        EXPECT_DOUBLE_EQ(norm, 1.0) << "k=" << k;  // perfectly flat
+        const codes::evenodd_code eo(k, p);
+        const auto eo_norm = static_cast<double>(encode_xors(eo)) /
+                             (2.0 * (p - 1)) / (k - 1);
+        if (k <= 4) EXPECT_GT(eo_norm, 1.10) << "k=" << k;  // blows up
+    }
+}
+
+TEST(FixedPrime, DecodeOptimalStaysNearBoundAtP31) {
+    // Paper Fig. 8 (all-pattern average, the paper's methodology): the
+    // proposed decoding is 0 ~ 2.5% above the lower bound at p = 31. Our
+    // faithful implementation measures 0 ~ 3.7% (worst at small k, where
+    // the starting-point syndrome subsets cost ~p/2 un-amortized XORs);
+    // see EXPERIMENTS.md "deviations".
+    const std::uint32_t p = 31;
+    for (std::uint32_t k : {6u, 12u, 23u}) {
+        const core::liberation_optimal_code opt(k, p);
+        const double n = avg_decode_norm(opt, /*all_patterns=*/true);
+        EXPECT_LT(n, 1.04) << "k=" << k;
+        EXPECT_GE(n, 0.99) << "k=" << k;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Contract checks: the library aborts loudly on caller errors instead of
+// corrupting parity silently. (LIBERATION_EXPECTS stays on in release.)
+#include <gtest/gtest.h>
+
+#include "liberation/codes/evenodd.hpp"
+#include "liberation/codes/rdp.hpp"
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/geometry.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/primes.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+
+TEST(Contracts, GeometryRejectsNonPrimes) {
+    EXPECT_DEATH(core::geometry(9, 4), "precondition");   // 9 not prime
+    EXPECT_DEATH(core::geometry(4, 3), "precondition");   // even
+    EXPECT_DEATH(core::geometry(7, 8), "precondition");   // k > p
+    EXPECT_DEATH(core::geometry(7, 0), "precondition");   // k = 0
+}
+
+TEST(Contracts, CodeConstructorsRejectBadShapes) {
+    EXPECT_DEATH(core::liberation_optimal_code(5, 9), "precondition");
+    EXPECT_DEATH(codes::evenodd_code(6, 5), "precondition");  // k > p
+    EXPECT_DEATH(codes::rdp_code(5, 5), "precondition");      // k > p-1
+}
+
+TEST(Contracts, StripeGeometryMismatchCaught) {
+    const core::liberation_optimal_code code(4, 5);
+    codes::stripe_buffer wrong_rows(4, 6, 8);   // rows != p
+    codes::stripe_buffer wrong_cols(5, 7, 8);   // cols != k+2
+    EXPECT_DEATH(code.encode(wrong_rows.view()), "precondition");
+    EXPECT_DEATH(code.encode(wrong_cols.view()), "precondition");
+}
+
+TEST(Contracts, DecodeRejectsBadErasureSets) {
+    const core::liberation_optimal_code code(4, 5);
+    auto stripe = test_support::make_encoded_stripe(code, 8, 1);
+    const std::vector<std::uint32_t> dup{1, 1};
+    const std::vector<std::uint32_t> oob{7};
+    const std::vector<std::uint32_t> three{0, 1, 2};
+    EXPECT_DEATH(code.decode(stripe.view(), dup), "precondition");
+    EXPECT_DEATH(code.decode(stripe.view(), oob), "precondition");
+    EXPECT_DEATH(code.decode(stripe.view(), three), "precondition");
+    EXPECT_DEATH(code.decode(stripe.view(), {}), "precondition");
+}
+
+TEST(Contracts, UpdateRejectsBadPositions) {
+    const core::liberation_optimal_code code(4, 5);
+    auto stripe = test_support::make_encoded_stripe(code, 8, 2);
+    const std::vector<std::byte> delta(8);
+    const std::vector<std::byte> short_delta(4);
+    EXPECT_DEATH(code.apply_update(stripe.view(), 5, 0, delta),
+                 "precondition");  // row >= p
+    EXPECT_DEATH(code.apply_update(stripe.view(), 0, 4, delta),
+                 "precondition");  // parity column
+    EXPECT_DEATH(code.apply_update(stripe.view(), 0, 0, short_delta),
+                 "precondition");  // delta size != element size
+}
+
+TEST(Contracts, PacketViewBoundsChecked) {
+    codes::stripe_buffer sb(3, 3, 64);
+    EXPECT_DEATH((void)sb.view().packet_view(32, 64), "precondition");
+    EXPECT_DEATH((void)sb.view().element(3, 0), "precondition");
+    EXPECT_DEATH((void)sb.view().element(0, 3), "precondition");
+}
+
+TEST(Contracts, StripOnPacketViewRejected) {
+    codes::stripe_buffer sb(3, 3, 64);
+    const auto w = sb.view().packet_view(0, 32);
+    EXPECT_DEATH((void)w.strip(0), "precondition");
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/core/error_correction.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/rng.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+using core::scrub_status;
+
+class ScrubSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    std::uint32_t p() const { return std::get<0>(GetParam()); }
+    std::uint32_t k() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ScrubSweep, CleanStripeReportsClean) {
+    const core::liberation_optimal_code code(k(), p());
+    auto stripe = test_support::make_encoded_stripe(code, 16, 1);
+    EXPECT_TRUE(core::stripe_consistent(stripe.view(), code.geom()));
+    const auto report = code.scrub(stripe.view());
+    EXPECT_EQ(report.status, scrub_status::clean);
+}
+
+TEST_P(ScrubSweep, EveryDataColumnCorruptionLocatedAndFixed) {
+    const core::liberation_optimal_code code(k(), p());
+    util::xoshiro256 rng(17);
+    for (std::uint32_t c = 0; c < k(); ++c) {
+        auto stripe = test_support::make_encoded_stripe(code, 16, 100 + c);
+        codes::stripe_buffer pristine(p(), k() + 2, 16);
+        codes::copy_stripe(pristine.view(), stripe.view());
+
+        // Corrupt a few bytes across random elements of column c.
+        for (int hit = 0; hit < 3; ++hit) {
+            const auto row = static_cast<std::uint32_t>(rng.next_below(p()));
+            std::byte flip{0};
+            while (flip == std::byte{0}) {
+                flip = static_cast<std::byte>(rng.next() & 0xff);
+            }
+            stripe.view().element(row, c)[rng.next_below(16)] ^= flip;
+        }
+        ASSERT_FALSE(core::stripe_consistent(stripe.view(), code.geom()));
+
+        const auto report = code.scrub(stripe.view());
+        EXPECT_EQ(report.status, scrub_status::corrected_data);
+        EXPECT_EQ(report.column, c);
+        EXPECT_TRUE(codes::stripes_equal(stripe.view(), pristine.view()));
+    }
+}
+
+TEST_P(ScrubSweep, ParityCorruptionFixed) {
+    const core::liberation_optimal_code code(k(), p());
+    util::xoshiro256 rng(29);
+    for (const bool corrupt_q : {false, true}) {
+        auto stripe = test_support::make_encoded_stripe(code, 16, 7);
+        codes::stripe_buffer pristine(p(), k() + 2, 16);
+        codes::copy_stripe(pristine.view(), stripe.view());
+
+        const std::uint32_t col = corrupt_q ? code.q_column() : code.p_column();
+        stripe.view().element(0, col)[3] ^= std::byte{0x40};
+        stripe.view().element(p() - 1, col)[9] ^= std::byte{0x04};
+
+        const auto report = code.scrub(stripe.view());
+        EXPECT_EQ(report.status, corrupt_q ? scrub_status::corrected_q
+                                           : scrub_status::corrected_p);
+        EXPECT_TRUE(codes::stripes_equal(stripe.view(), pristine.view()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScrubSweep,
+    ::testing::Values(std::make_tuple(3u, 2u), std::make_tuple(5u, 4u),
+                      std::make_tuple(5u, 5u), std::make_tuple(7u, 5u),
+                      std::make_tuple(11u, 11u), std::make_tuple(13u, 8u)));
+
+TEST(Scrub, TwoColumnCorruptionUncorrectable) {
+    // Two corrupt columns violate the single-column model; the scrubber
+    // must refuse rather than "fix" the wrong column.
+    const core::liberation_optimal_code code(6, 7);
+    auto stripe = test_support::make_encoded_stripe(code, 16, 55);
+    stripe.view().element(1, 0)[0] ^= std::byte{0xff};
+    stripe.view().element(2, 3)[5] ^= std::byte{0x55};
+    const auto report = code.scrub(stripe.view());
+    EXPECT_EQ(report.status, scrub_status::uncorrectable);
+}
+
+TEST(Scrub, SingleBitFlipInEveryPosition) {
+    // Property: a single flipped bit anywhere in the stripe is located and
+    // repaired. (MDS columns => unique localization.)
+    const core::liberation_optimal_code code(4, 5);
+    for (std::uint32_t col = 0; col < code.n(); ++col) {
+        for (std::uint32_t row = 0; row < code.rows(); ++row) {
+            auto stripe = test_support::make_encoded_stripe(code, 8, 1000);
+            codes::stripe_buffer pristine(5, 6, 8);
+            codes::copy_stripe(pristine.view(), stripe.view());
+            stripe.view().element(row, col)[row % 8] ^= std::byte{1};
+
+            const auto report = code.scrub(stripe.view());
+            EXPECT_NE(report.status, scrub_status::clean);
+            EXPECT_NE(report.status, scrub_status::uncorrectable)
+                << "col=" << col << " row=" << row;
+            EXPECT_TRUE(codes::stripes_equal(stripe.view(), pristine.view()))
+                << "col=" << col << " row=" << row;
+        }
+    }
+}
+
+}  // namespace

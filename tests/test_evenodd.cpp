@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/codes/evenodd.hpp"
+#include "code_testkit.hpp"
+
+namespace {
+
+using liberation::codes::evenodd_code;
+
+class EvenOddSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    evenodd_code make() const {
+        return {std::get<1>(GetParam()), std::get<0>(GetParam())};
+    }
+};
+
+TEST_P(EvenOddSweep, AllErasuresRoundTrip) {
+    code_testkit::check_all_erasures(make(), 16, 1);
+}
+
+TEST_P(EvenOddSweep, VerifyDetectsCorruption) {
+    code_testkit::check_verify(make(), 2);
+}
+
+TEST_P(EvenOddSweep, UpdatesKeepParityConsistent) {
+    code_testkit::check_updates(make(), 3);
+}
+
+TEST_P(EvenOddSweep, Linearity) { code_testkit::check_linearity(make(), 4); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EvenOddSweep,
+    ::testing::Values(std::make_tuple(3u, 1u), std::make_tuple(3u, 3u),
+                      std::make_tuple(5u, 2u), std::make_tuple(5u, 5u),
+                      std::make_tuple(7u, 4u), std::make_tuple(7u, 7u),
+                      std::make_tuple(11u, 8u), std::make_tuple(11u, 11u),
+                      std::make_tuple(13u, 13u)));
+
+TEST(EvenOdd, GeometryAccessors) {
+    const evenodd_code c(6, 7);
+    EXPECT_EQ(c.k(), 6u);
+    EXPECT_EQ(c.p(), 7u);
+    EXPECT_EQ(c.rows(), 6u);  // p - 1
+    EXPECT_EQ(c.n(), 8u);
+    EXPECT_EQ(c.name(), "evenodd(k=6,p=7)");
+}
+
+TEST(EvenOdd, DefaultPrimeSelection) {
+    EXPECT_EQ(evenodd_code(4).p(), 5u);
+    EXPECT_EQ(evenodd_code(5).p(), 5u);
+    EXPECT_EQ(evenodd_code(6).p(), 7u);
+}
+
+TEST(EvenOdd, UpdateCostIsHighOnAdjusterDiagonal) {
+    // Bits on diagonal p-1 touch every Q element: cost 1 + (p-1).
+    const evenodd_code c(5, 5);
+    auto stripe = test_support::make_encoded_stripe(c, 8, 5);
+    const std::vector<std::byte> delta(8, std::byte{0xAA});
+    // (row, col) with row + col == p-1, e.g. (3, 1).
+    EXPECT_EQ(c.apply_update(stripe.view(), 3, 1, delta), 1u + (5u - 1u));
+    // Off-diagonal position costs exactly 2.
+    EXPECT_EQ(c.apply_update(stripe.view(), 0, 1, delta), 2u);
+}
+
+}  // namespace

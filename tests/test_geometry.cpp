@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "liberation/core/geometry.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using liberation::core::geometry;
+
+TEST(Geometry, PaperExampleP5) {
+    // Fig. 3: common expressions of the p = 5 code sit at rows 2, 0, 3, 1
+    // for column pairs (0,1), (1,2), (2,3), (3,4).
+    const geometry g(5, 5);
+    EXPECT_EQ(g.ce_row(1), 2u);
+    EXPECT_EQ(g.ce_row(2), 0u);
+    EXPECT_EQ(g.ce_row(3), 3u);
+    EXPECT_EQ(g.ce_row(4), 1u);
+    // Their anti-diagonal constraints: E2->C(2), E0->E(4), E3->B(1), E1->D(3)
+    EXPECT_EQ(g.ce_q_index(1), 2u);
+    EXPECT_EQ(g.ce_q_index(2), 4u);
+    EXPECT_EQ(g.ce_q_index(3), 1u);
+    EXPECT_EQ(g.ce_q_index(4), 3u);
+}
+
+TEST(Geometry, CommonExpressionRowsAreAPermutation) {
+    // r_j must be distinct over j = 1..p-1 and never equal p-1, or common
+    // expressions would collide in the parity columns.
+    for (std::uint32_t p : test_support::sweep_primes) {
+        const geometry g(p, p);
+        std::set<std::uint32_t> rows;
+        for (std::uint32_t j = 1; j < p; ++j) {
+            const std::uint32_t r = g.ce_row(j);
+            EXPECT_LT(r, p - 1);
+            rows.insert(r);
+        }
+        EXPECT_EQ(rows.size(), p - 1);
+    }
+}
+
+TEST(Geometry, ExtraPositionsMatchDefinition) {
+    // (i, j) is an extra position iff it equals (<-m-1>, <-2m>) for some
+    // m != 0 — cross-check against the closed form used by the library.
+    for (std::uint32_t p : test_support::sweep_primes) {
+        const geometry g(p, p);
+        std::set<std::pair<std::uint32_t, std::uint32_t>> expected;
+        for (std::uint32_t m = 1; m < p; ++m) {
+            const std::uint32_t col = (2 * p - (2 * m) % (2 * p)) % p;
+            const std::uint32_t row = (p - 1 - m) % p;
+            expected.insert({row, col});
+        }
+        for (std::uint32_t i = 0; i < p; ++i) {
+            for (std::uint32_t j = 0; j < p; ++j) {
+                EXPECT_EQ(g.is_extra_position(i, j),
+                          expected.count({i, j}) == 1)
+                    << "p=" << p << " i=" << i << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(Geometry, ExtraRowConsistentWithCeRow) {
+    // The extra bit hosted by column y sits exactly on the common-
+    // expression row r_y — the identity the whole encoder rests on.
+    for (std::uint32_t p : test_support::sweep_primes) {
+        const geometry g(p, p);
+        for (std::uint32_t y = 1; y < p; ++y) {
+            EXPECT_EQ(g.extra_row(y), g.ce_row(y));
+            EXPECT_EQ(g.extra_q_index(y), p - 1 - g.ce_row(y));
+        }
+    }
+}
+
+TEST(Geometry, DiagHelpers) {
+    const geometry g(7, 7);
+    for (std::uint32_t i = 0; i < 7; ++i) {
+        for (std::uint32_t j = 0; j < 7; ++j) {
+            const std::uint32_t q = g.diag_of(i, j);
+            EXPECT_EQ(g.diag_member_row(q, j), i);
+        }
+    }
+}
+
+TEST(Geometry, ModHandlesNegatives) {
+    const geometry g(11, 11);
+    EXPECT_EQ(g.mod(-1), 10u);
+    EXPECT_EQ(g.mod(-11), 0u);
+    EXPECT_EQ(g.mod(-12), 10u);
+    EXPECT_EQ(g.mod(22), 0u);
+}
+
+TEST(Geometry, ReferenceEncoderMatchesOracle) {
+    // encode_reference vs the test suite's independent byte oracle.
+    for (std::uint32_t p : {3u, 5u, 7u, 11u}) {
+        for (std::uint32_t k = 1; k <= p; ++k) {
+            const geometry g(p, k);
+            liberation::util::xoshiro256 rng(p * 100 + k);
+            liberation::codes::stripe_buffer sb(p, k + 2, 4);
+            sb.fill_random(rng, k);
+            encode_reference(sb.view(), g);
+
+            std::vector<std::vector<std::uint8_t>> data(k);
+            for (std::uint32_t j = 0; j < k; ++j) {
+                data[j] = test_support::column_bytes(sb.view(), j, 2);
+            }
+            const test_support::liberation_oracle oracle{p, k};
+            EXPECT_EQ(test_support::column_bytes(sb.view(), k, 2),
+                      oracle.parity_p(data))
+                << "p=" << p << " k=" << k;
+            EXPECT_EQ(test_support::column_bytes(sb.view(), k + 1, 2),
+                      oracle.parity_q(data))
+                << "p=" << p << " k=" << k;
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/gf/gf256.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+using liberation::gf::gf256;
+
+const gf256& f() { return gf256::instance(); }
+
+TEST(GF256, AdditionIsXor) {
+    EXPECT_EQ(f().add(0x53, 0xCA), 0x53 ^ 0xCA);
+    EXPECT_EQ(f().add(0, 0xFF), 0xFF);
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(f().mul(static_cast<std::uint8_t>(a), 1),
+                  static_cast<std::uint8_t>(a));
+        EXPECT_EQ(f().mul(1, static_cast<std::uint8_t>(a)),
+                  static_cast<std::uint8_t>(a));
+        EXPECT_EQ(f().mul(static_cast<std::uint8_t>(a), 0), 0);
+    }
+}
+
+TEST(GF256, KnownProducts) {
+    // Classic vectors for polynomial 0x11d, g = 2.
+    EXPECT_EQ(f().mul(2, 0x80), 0x1d);  // x * x^7 = x^8 = 0x1d
+    EXPECT_EQ(f().pow_g(0), 1);
+    EXPECT_EQ(f().pow_g(1), 2);
+    EXPECT_EQ(f().pow_g(8), 0x1d);
+    EXPECT_EQ(f().pow_g(255), 1);  // g^255 = 1
+}
+
+TEST(GF256, MulCommutative) {
+    for (int a = 0; a < 256; a += 3) {
+        for (int b = 0; b < 256; b += 5) {
+            EXPECT_EQ(f().mul(static_cast<std::uint8_t>(a),
+                              static_cast<std::uint8_t>(b)),
+                      f().mul(static_cast<std::uint8_t>(b),
+                              static_cast<std::uint8_t>(a)));
+        }
+    }
+}
+
+TEST(GF256, MulAssociativeSampled) {
+    liberation::util::xoshiro256 rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.next());
+        const auto b = static_cast<std::uint8_t>(rng.next());
+        const auto c = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(f().mul(f().mul(a, b), c), f().mul(a, f().mul(b, c)));
+    }
+}
+
+TEST(GF256, DistributiveSampled) {
+    liberation::util::xoshiro256 rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.next());
+        const auto b = static_cast<std::uint8_t>(rng.next());
+        const auto c = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(f().mul(a, f().add(b, c)),
+                  f().add(f().mul(a, b), f().mul(a, c)));
+    }
+}
+
+TEST(GF256, InverseExhaustive) {
+    for (int a = 1; a < 256; ++a) {
+        const auto inv = f().inv(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(f().mul(static_cast<std::uint8_t>(a), inv), 1) << "a=" << a;
+    }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+    for (int a = 0; a < 256; a += 7) {
+        for (int b = 1; b < 256; b += 11) {
+            const auto q = f().div(static_cast<std::uint8_t>(a),
+                                   static_cast<std::uint8_t>(b));
+            EXPECT_EQ(f().mul(q, static_cast<std::uint8_t>(b)),
+                      static_cast<std::uint8_t>(a));
+        }
+    }
+}
+
+TEST(GF256, GeneratorOrderIs255) {
+    // g^i distinct for i in 0..254 — required for k <= 254 data disks.
+    std::vector<bool> seen(256, false);
+    for (std::uint32_t i = 0; i < 255; ++i) {
+        const auto v = f().pow_g(i);
+        EXPECT_FALSE(seen[v]) << "repeat at i=" << i;
+        seen[v] = true;
+    }
+}
+
+TEST(GF256, LogExpRoundTrip) {
+    for (int a = 1; a < 256; ++a) {
+        EXPECT_EQ(f().pow_g(f().log_g(static_cast<std::uint8_t>(a))),
+                  static_cast<std::uint8_t>(a));
+    }
+}
+
+TEST(GF256, MulRegionXorMatchesScalar) {
+    liberation::util::xoshiro256 rng(3);
+    std::vector<std::byte> src(333), dst(333), expect(333);
+    rng.fill(src);
+    rng.fill(dst);
+    expect = dst;
+    const std::uint8_t c = 0x3b;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        expect[i] ^= static_cast<std::byte>(
+            f().mul(c, static_cast<std::uint8_t>(src[i])));
+    }
+    f().mul_region_xor(c, src.data(), dst.data(), src.size());
+    EXPECT_EQ(dst, expect);
+}
+
+TEST(GF256, MulRegionSpecialConstants) {
+    liberation::util::xoshiro256 rng(4);
+    std::vector<std::byte> src(64), dst(64, std::byte{0xAA});
+    rng.fill(src);
+    // c = 0 -> zero; c = 1 -> copy.
+    f().mul_region(0, src.data(), dst.data(), 64);
+    for (auto b : dst) EXPECT_EQ(b, std::byte{0});
+    f().mul_region(1, src.data(), dst.data(), 64);
+    EXPECT_EQ(dst, src);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Cross-module integration: the optimal algorithms, the bit-matrix
+// baseline, the geometric reference and a Gaussian-elimination decoder must
+// all agree with each other on the same codewords.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/bitmatrix/liberation_matrix.hpp"
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/rng.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+
+class CrossSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    std::uint32_t p() const { return std::get<0>(GetParam()); }
+    std::uint32_t k() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CrossSweep, ThreeEncodersProduceIdenticalParity) {
+    const core::liberation_optimal_code opt(k(), p());
+    const codes::liberation_bitmatrix_code orig(k(), p());
+    util::xoshiro256 rng(p() + k());
+
+    codes::stripe_buffer a(p(), k() + 2, 32);
+    a.fill_random(rng, k());
+    codes::stripe_buffer b(p(), k() + 2, 32), c(p(), k() + 2, 32);
+    codes::copy_stripe(b.view(), a.view());
+    codes::copy_stripe(c.view(), a.view());
+
+    opt.encode(a.view());
+    orig.encode(b.view());
+    core::encode_reference(c.view(), opt.geom());
+
+    EXPECT_TRUE(codes::stripes_equal(a.view(), b.view()));
+    EXPECT_TRUE(codes::stripes_equal(a.view(), c.view()));
+}
+
+TEST_P(CrossSweep, OptimalDecodeMatchesBitmatrixDecode) {
+    const core::liberation_optimal_code opt(k(), p());
+    const codes::liberation_bitmatrix_code orig(k(), p());
+    auto ref = test_support::make_encoded_stripe(opt, 16, 7);
+
+    for (std::uint32_t a = 0; a < opt.n(); ++a) {
+        for (std::uint32_t b = a + 1; b < opt.n(); ++b) {
+            const std::vector<std::uint32_t> pat{a, b};
+            codes::stripe_buffer x(p(), k() + 2, 16), y(p(), k() + 2, 16);
+            codes::copy_stripe(x.view(), ref.view());
+            codes::copy_stripe(y.view(), ref.view());
+            test_support::trash_columns(x.view(), pat, 1);
+            test_support::trash_columns(y.view(), pat, 2);
+            opt.decode(x.view(), pat);
+            orig.decode(y.view(), pat);
+            EXPECT_TRUE(codes::stripes_equal(x.view(), y.view()));
+            EXPECT_TRUE(codes::stripes_equal(x.view(), ref.view()));
+        }
+    }
+}
+
+TEST_P(CrossSweep, CodewordSatisfiesGeneratorMatrix) {
+    // Multiply the data bits through the generator and compare with the
+    // stripe's parity bytes — closes the loop between the algebraic and
+    // geometric views at the bit level. Uses one byte plane; a byte plane
+    // is 8 independent codewords, so this checks 8 codewords at once.
+    const core::liberation_optimal_code opt(k(), p());
+    auto stripe = test_support::make_encoded_stripe(opt, 4, 17);
+    const auto gen = bitmatrix::liberation_generator(p(), k());
+
+    for (std::size_t byte = 0; byte < 4; ++byte) {
+        std::vector<std::uint8_t> data_bits(k() * p());
+        for (std::uint32_t j = 0; j < k(); ++j) {
+            for (std::uint32_t i = 0; i < p(); ++i) {
+                data_bits[j * p() + i] = static_cast<std::uint8_t>(
+                    stripe.view().element(i, j)[byte]);
+            }
+        }
+        for (std::uint32_t row = 0; row < 2 * p(); ++row) {
+            std::uint8_t acc = 0;
+            for (const auto c : gen.row_ones(row)) acc ^= data_bits[c];
+            const std::uint32_t col = row < p() ? k() : k() + 1;
+            const std::uint32_t r = row < p() ? row : row - p();
+            EXPECT_EQ(acc, static_cast<std::uint8_t>(
+                               stripe.view().element(r, col)[byte]))
+                << "row=" << row << " byte=" << byte;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossSweep,
+    ::testing::Values(std::make_tuple(3u, 2u), std::make_tuple(3u, 3u),
+                      std::make_tuple(5u, 4u), std::make_tuple(5u, 5u),
+                      std::make_tuple(7u, 5u), std::make_tuple(7u, 7u),
+                      std::make_tuple(11u, 9u), std::make_tuple(11u, 11u),
+                      std::make_tuple(13u, 13u), std::make_tuple(17u, 14u)));
+
+TEST(Integration, ElementSizeInvariance) {
+    // The same data encoded with different element sizes must agree on the
+    // overlapping prefix bytes of every element (coding is element-wise).
+    const core::liberation_optimal_code code(5, 5);
+    util::xoshiro256 rng(33);
+    codes::stripe_buffer small(5, 7, 8), large(5, 7, 8192);
+    small.fill_random(rng, 5);
+    for (std::uint32_t j = 0; j < 5; ++j) {
+        for (std::uint32_t i = 0; i < 5; ++i) {
+            std::memcpy(large.view().element(i, j),
+                        small.view().element(i, j), 8);
+        }
+    }
+    code.encode(small.view());
+    code.encode(large.view());
+    for (std::uint32_t col : {5u, 6u}) {
+        for (std::uint32_t i = 0; i < 5; ++i) {
+            EXPECT_EQ(std::memcmp(small.view().element(i, col),
+                                  large.view().element(i, col), 8),
+                      0)
+                << "col=" << col << " row=" << i;
+        }
+    }
+}
+
+TEST(Integration, MixedWorkflowEncodeUpdateDecodeScrub) {
+    // A miniature lifetime: encode, small-update, partial failure decode,
+    // silent corruption scrub — all on the same stripe.
+    const core::liberation_optimal_code code(6, 7);
+    auto stripe = test_support::make_encoded_stripe(code, 64, 51);
+    util::xoshiro256 rng(52);
+
+    // 1. updates
+    for (int i = 0; i < 10; ++i) {
+        std::vector<std::byte> fresh(64), delta(64);
+        rng.fill(fresh);
+        const auto row = static_cast<std::uint32_t>(rng.next_below(7));
+        const auto col = static_cast<std::uint32_t>(rng.next_below(6));
+        auto* e = stripe.view().element(row, col);
+        for (std::size_t b = 0; b < 64; ++b) delta[b] = e[b] ^ fresh[b];
+        code.apply_update(stripe.view(), row, col, delta);
+        std::memcpy(e, fresh.data(), 64);
+    }
+    ASSERT_TRUE(code.verify(stripe.view()));
+    codes::stripe_buffer pristine(7, 8, 64);
+    codes::copy_stripe(pristine.view(), stripe.view());
+
+    // 2. double erasure decode
+    const std::vector<std::uint32_t> pat{1, 4};
+    test_support::trash_columns(stripe.view(), pat, 53);
+    code.decode(stripe.view(), pat);
+    ASSERT_TRUE(codes::stripes_equal(stripe.view(), pristine.view()));
+
+    // 3. silent corruption scrub
+    stripe.view().element(3, 2)[17] ^= std::byte{0x80};
+    const auto report = code.scrub(stripe.view());
+    EXPECT_EQ(report.status, core::scrub_status::corrected_data);
+    EXPECT_EQ(report.column, 2u);
+    EXPECT_TRUE(codes::stripes_equal(stripe.view(), pristine.view()));
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/xorops/xorops.hpp"
+#include "code_testkit.hpp"
+
+namespace {
+
+using liberation::codes::liberation_bitmatrix_code;
+
+class BitmatrixCodeSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    liberation_bitmatrix_code make() const {
+        return {std::get<1>(GetParam()), std::get<0>(GetParam())};
+    }
+};
+
+TEST_P(BitmatrixCodeSweep, AllErasuresRoundTrip) {
+    code_testkit::check_all_erasures(make(), 16, 61);
+}
+
+TEST_P(BitmatrixCodeSweep, VerifyDetectsCorruption) {
+    code_testkit::check_verify(make(), 62);
+}
+
+TEST_P(BitmatrixCodeSweep, UpdatesKeepParityConsistent) {
+    code_testkit::check_updates(make(), 63);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitmatrixCodeSweep,
+    ::testing::Values(std::make_tuple(3u, 2u), std::make_tuple(5u, 4u),
+                      std::make_tuple(5u, 5u), std::make_tuple(7u, 6u),
+                      std::make_tuple(11u, 8u), std::make_tuple(13u, 13u)));
+
+TEST(BitmatrixCode, EncodeXorCountMatchesTableI) {
+    // Table I closed form: total XORs = 2p(k-1) + (k-1), i.e. complexity
+    // k-1 + (k-1)/2p per parity element — the "original" encoding cost.
+    for (const auto [p, k] :
+         {std::pair{5u, 5u}, std::pair{7u, 7u}, std::pair{11u, 11u},
+          std::pair{13u, 10u}, std::pair{17u, 17u}}) {
+        const liberation_bitmatrix_code code(k, p);
+        EXPECT_EQ(code.encode_xor_count(), 2ull * p * (k - 1) + (k - 1))
+            << "p=" << p << " k=" << k;
+    }
+}
+
+TEST(BitmatrixCode, ScheduledEncodeCountsMatchPlan) {
+    // The executed XOR count must equal the compiled schedule's count.
+    const liberation_bitmatrix_code code(7, 7);
+    auto stripe = test_support::make_encoded_stripe(code, 8, 71);
+    liberation::xorops::counting_scope scope;
+    code.encode(stripe.view());
+    EXPECT_EQ(scope.xors(), code.encode_xor_count());
+}
+
+TEST(BitmatrixCode, DecodeXorCountAboveOptimal) {
+    // The baseline's decoding overhead (the gap the paper attacks): always
+    // at least the lower bound, typically 10-30% above it.
+    const liberation_bitmatrix_code code(10, 11);
+    double worst = 0, best = 1e9;
+    for (std::uint32_t a = 0; a < 10; ++a) {
+        for (std::uint32_t b = a + 1; b < 10; ++b) {
+            const std::uint32_t pat[] = {a, b};
+            const auto xors = code.decode_xor_count(pat);
+            const double norm =
+                static_cast<double>(xors) / (2.0 * 11) / (10 - 1);
+            worst = std::max(worst, norm);
+            best = std::min(best, norm);
+        }
+    }
+    EXPECT_GE(best, 1.0);
+    EXPECT_GT(worst, 1.05);  // it is NOT optimal...
+    EXPECT_LT(worst, 1.6);   // ...but scheduling keeps it bounded
+}
+
+TEST(BitmatrixCode, CachedPlansGiveSameResult) {
+    const liberation_bitmatrix_code cached(6, 7, /*cache_decode_plans=*/true);
+    const liberation_bitmatrix_code uncached(6, 7, false);
+    auto ref = test_support::make_encoded_stripe(cached, 8, 81);
+    const std::vector<std::uint32_t> pat{1, 4};
+    liberation::codes::stripe_buffer a(7, 8, 8), b(7, 8, 8);
+    liberation::codes::copy_stripe(a.view(), ref.view());
+    liberation::codes::copy_stripe(b.view(), ref.view());
+    test_support::trash_columns(a.view(), pat, 1);
+    test_support::trash_columns(b.view(), pat, 2);
+    cached.decode(a.view(), pat);
+    cached.decode(a.view(), pat);  // second call exercises the cache
+    uncached.decode(b.view(), pat);
+    EXPECT_TRUE(liberation::codes::stripes_equal(a.view(), b.view()));
+}
+
+TEST(BitmatrixCode, PacketizedExecutionMatches) {
+    const liberation_bitmatrix_code whole(5, 5, false, 0);
+    const liberation_bitmatrix_code packets(5, 5, false, 64);
+    liberation::util::xoshiro256 rng(3);
+    liberation::codes::stripe_buffer a(5, 7, 256), b(5, 7, 256);
+    a.fill_random(rng, 5);
+    liberation::codes::copy_stripe(b.view(), a.view());
+    whole.encode(a.view());
+    packets.encode(b.view());
+    EXPECT_TRUE(liberation::codes::stripes_equal(a.view(), b.view()));
+}
+
+}  // namespace

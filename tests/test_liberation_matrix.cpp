@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "liberation/bitmatrix/liberation_matrix.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+using bitmatrix::bit_matrix;
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    std::uint32_t p() const { return std::get<0>(GetParam()); }
+    std::uint32_t k() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(GeneratorSweep, RowWeightsMatchTheory) {
+    const auto gen = bitmatrix::liberation_generator(p(), k());
+    ASSERT_EQ(gen.rows(), 2 * p());
+    ASSERT_EQ(gen.cols(), k() * p());
+    // P rows have weight k. Q rows have weight k, plus 1 for the extra bit
+    // when it falls into a real column; exactly k-1 extra bits exist.
+    std::uint32_t extras = 0;
+    for (std::uint32_t i = 0; i < p(); ++i) {
+        EXPECT_EQ(gen.row_weight(i), k());
+        const std::uint32_t qw = gen.row_weight(p() + i);
+        EXPECT_TRUE(qw == k() || qw == k() + 1);
+        if (qw == k() + 1) ++extras;
+    }
+    EXPECT_EQ(extras, k() - 1);
+    // Total ones: Table I's closed form numerator 2kp + (k-1).
+    EXPECT_EQ(gen.ones(), 2ull * k() * p() + (k() - 1));
+}
+
+TEST_P(GeneratorSweep, MdsEveryDataPairInvertible) {
+    // The defining MDS property: for every pair of data columns, the 2p x
+    // 2p sub-matrix of the generator restricted to those columns inverts.
+    const auto gen = bitmatrix::liberation_generator(p(), k());
+    for (std::uint32_t a = 0; a < k(); ++a) {
+        for (std::uint32_t b = a + 1; b < k(); ++b) {
+            std::vector<std::uint32_t> bits;
+            for (std::uint32_t i = 0; i < p(); ++i) bits.push_back(a * p() + i);
+            for (std::uint32_t i = 0; i < p(); ++i) bits.push_back(b * p() + i);
+            const auto sub = gen.select_cols(bits);
+            EXPECT_TRUE(sub.inverted().has_value())
+                << "p=" << p() << " a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST_P(GeneratorSweep, SingleColumnsFullRankInBothParities) {
+    // Each data column restricted to P rows alone (or Q rows alone) must be
+    // invertible — needed for the data+parity erasure cases.
+    const auto gen = bitmatrix::liberation_generator(p(), k());
+    std::vector<std::uint32_t> p_rows, q_rows;
+    for (std::uint32_t i = 0; i < p(); ++i) {
+        p_rows.push_back(i);
+        q_rows.push_back(p() + i);
+    }
+    for (std::uint32_t a = 0; a < k(); ++a) {
+        std::vector<std::uint32_t> bits;
+        for (std::uint32_t i = 0; i < p(); ++i) bits.push_back(a * p() + i);
+        EXPECT_TRUE(
+            gen.select_rows(p_rows).select_cols(bits).inverted().has_value());
+        EXPECT_TRUE(
+            gen.select_rows(q_rows).select_cols(bits).inverted().has_value());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorSweep,
+    ::testing::Values(std::make_tuple(3u, 2u), std::make_tuple(3u, 3u),
+                      std::make_tuple(5u, 3u), std::make_tuple(5u, 5u),
+                      std::make_tuple(7u, 4u), std::make_tuple(7u, 7u),
+                      std::make_tuple(11u, 6u), std::make_tuple(11u, 11u),
+                      std::make_tuple(13u, 13u), std::make_tuple(17u, 12u)));
+
+TEST(LiberationMatrix, MatchesPaperFigure2) {
+    // Fig. 2 (p = 5): anti-diagonal parity constraint membership. Spot
+    // check the extra bits: a_1 = b[3][3], a_2 = b[2][1], a_3 = b[1][4],
+    // a_4 = b[0][2]; constraint A (i=0) has no extra bit.
+    const auto gen = bitmatrix::liberation_generator(5, 5);
+    const auto bit = [](std::uint32_t col, std::uint32_t row) {
+        return col * 5 + row;
+    };
+    EXPECT_TRUE(gen.get(5 + 1, bit(3, 3)));
+    EXPECT_TRUE(gen.get(5 + 2, bit(1, 2)));
+    EXPECT_TRUE(gen.get(5 + 3, bit(4, 1)));
+    EXPECT_TRUE(gen.get(5 + 4, bit(2, 0)));
+    // Q_0 weight is exactly 5 (no extra).
+    EXPECT_EQ(gen.row_weight(5), 5u);
+}
+
+TEST(LiberationMatrix, RegionMapsShapes) {
+    const auto data = bitmatrix::data_bit_regions(7, 4);
+    const auto parity = bitmatrix::parity_bit_regions(7, 4);
+    EXPECT_EQ(data.size(), 28u);
+    EXPECT_EQ(parity.size(), 14u);
+    EXPECT_EQ(data[0].col, 0u);
+    EXPECT_EQ(data[27].col, 3u);
+    EXPECT_EQ(data[27].row, 6u);
+    EXPECT_EQ(parity[0].col, 4u);   // P column
+    EXPECT_EQ(parity[7].col, 5u);   // Q column
+}
+
+TEST(DecodePlan, ReencodesParityColumns) {
+    const std::uint32_t erased[] = {5u, 6u};  // P and Q of a k=5, p=5 code
+    const auto plan = bitmatrix::make_bitmatrix_decode_plan(5, 5, erased);
+    EXPECT_EQ(plan.reencoded_parity.size(), 2u);
+    EXPECT_FALSE(plan.ops.empty());
+}
+
+TEST(DecodePlan, TwoDataErasureHasNoReencode) {
+    const std::uint32_t erased[] = {0u, 2u};
+    const auto plan = bitmatrix::make_bitmatrix_decode_plan(7, 6, erased);
+    EXPECT_TRUE(plan.reencoded_parity.empty());
+    // 2p output bits must each be written at least once.
+    EXPECT_GE(plan.ops.size(), 14u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/core/geometry.hpp"
+#include "liberation/core/optimal_encoder.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/xorops/xorops.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+using core::geometry;
+
+class EncoderSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    std::uint32_t p() const { return std::get<0>(GetParam()); }
+    std::uint32_t k() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(EncoderSweep, MatchesReferenceEncoder) {
+    const geometry g(p(), k());
+    util::xoshiro256 rng(p() * 1000 + k());
+    codes::stripe_buffer a(p(), k() + 2, 24);
+    a.fill_random(rng, k());
+    codes::stripe_buffer b(p(), k() + 2, 24);
+    codes::copy_stripe(b.view(), a.view());
+
+    core::encode_optimal(a.view(), g);
+    core::encode_reference(b.view(), g);
+    EXPECT_TRUE(codes::stripes_equal(a.view(), b.view()));
+}
+
+TEST_P(EncoderSweep, XorCountHitsLowerBound) {
+    // The paper's headline encoding result: exactly k-1 XORs per parity
+    // element, i.e. 2p(k-1) total, for EVERY k <= p (Fig. 5/6 claim).
+    const geometry g(p(), k());
+    util::xoshiro256 rng(42);
+    codes::stripe_buffer sb(p(), k() + 2, 8);
+    sb.fill_random(rng, k());
+    xorops::counting_scope scope;
+    core::encode_optimal(sb.view(), g);
+    EXPECT_EQ(scope.xors(), 2ull * p() * (k() - 1));
+}
+
+TEST_P(EncoderSweep, PartialEncodersMatchFull) {
+    const geometry g(p(), k());
+    util::xoshiro256 rng(7);
+    codes::stripe_buffer full(p(), k() + 2, 16);
+    full.fill_random(rng, k());
+    codes::stripe_buffer part(p(), k() + 2, 16);
+    codes::copy_stripe(part.view(), full.view());
+
+    core::encode_optimal(full.view(), g);
+    core::encode_p_only(part.view(), g);
+    core::encode_q_only(part.view(), g);
+    EXPECT_TRUE(codes::stripes_equal(full.view(), part.view()));
+}
+
+TEST_P(EncoderSweep, Linearity) {
+    // enc(a ^ b) = enc(a) ^ enc(b): the code is linear over GF(2).
+    const geometry g(p(), k());
+    util::xoshiro256 rng(11);
+    codes::stripe_buffer a(p(), k() + 2, 8), b(p(), k() + 2, 8),
+        c(p(), k() + 2, 8);
+    a.fill_random(rng, k());
+    b.fill_random(rng, k());
+    for (std::uint32_t j = 0; j < k(); ++j) {
+        auto sa = a.view().strip(j);
+        auto sb2 = b.view().strip(j);
+        auto sc = c.view().strip(j);
+        for (std::size_t i = 0; i < sa.size(); ++i) sc[i] = sa[i] ^ sb2[i];
+    }
+    core::encode_optimal(a.view(), g);
+    core::encode_optimal(b.view(), g);
+    core::encode_optimal(c.view(), g);
+    for (std::uint32_t col : {k(), k() + 1}) {
+        auto sa = a.view().strip(col);
+        auto sb2 = b.view().strip(col);
+        auto sc = c.view().strip(col);
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            ASSERT_EQ(sc[i], sa[i] ^ sb2[i]) << "col=" << col << " i=" << i;
+        }
+    }
+}
+
+TEST_P(EncoderSweep, ZeroDataGivesZeroParity) {
+    const geometry g(p(), k());
+    codes::stripe_buffer sb(p(), k() + 2, 8);
+    core::encode_optimal(sb.view(), g);
+    EXPECT_TRUE(xorops::is_zero(sb.view().strip(k()).data(),
+                                sb.view().strip_size()));
+    EXPECT_TRUE(xorops::is_zero(sb.view().strip(k() + 1).data(),
+                                sb.view().strip_size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncoderSweep,
+    ::testing::Values(
+        std::make_tuple(3u, 1u), std::make_tuple(3u, 2u),
+        std::make_tuple(3u, 3u), std::make_tuple(5u, 2u),
+        std::make_tuple(5u, 4u), std::make_tuple(5u, 5u),
+        std::make_tuple(7u, 3u), std::make_tuple(7u, 7u),
+        std::make_tuple(11u, 5u), std::make_tuple(11u, 11u),
+        std::make_tuple(13u, 8u), std::make_tuple(13u, 13u),
+        std::make_tuple(17u, 10u), std::make_tuple(19u, 19u),
+        std::make_tuple(23u, 14u), std::make_tuple(31u, 23u)));
+
+TEST(OptimalEncoder, PaperExampleCountsP5K5) {
+    // Section III-B: the p = 5 worked example uses exactly 40 XORs.
+    const geometry g(5, 5);
+    util::xoshiro256 rng(3);
+    codes::stripe_buffer sb(5, 7, 8);
+    sb.fill_random(rng, 5);
+    xorops::counting_scope scope;
+    core::encode_optimal(sb.view(), g);
+    EXPECT_EQ(scope.xors(), 40u);
+}
+
+TEST(OptimalEncoder, SingleDataColumnIsPureCopies) {
+    // k = 1: parity equals the lone data column; zero XORs.
+    const geometry g(7, 1);
+    util::xoshiro256 rng(5);
+    codes::stripe_buffer sb(7, 3, 8);
+    sb.fill_random(rng, 1);
+    xorops::counting_scope scope;
+    core::encode_optimal(sb.view(), g);
+    EXPECT_EQ(scope.xors(), 0u);
+    for (std::uint32_t i = 0; i < 7; ++i) {
+        EXPECT_TRUE(xorops::equal(sb.view().element(i, 0),
+                                  sb.view().element(i, 1), 8));
+    }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Packet views and the packetization policy: correctness of the stride
+// machinery the throughput path depends on.
+#include <gtest/gtest.h>
+
+#include "liberation/codes/liberation_bitmatrix_code.hpp"
+#include "liberation/codes/stripe.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/rng.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+
+TEST(PacketView, WindowsAddressTheRightBytes) {
+    codes::stripe_buffer sb(4, 3, 64);
+    const auto v = sb.view();
+    const auto w = v.packet_view(16, 32);
+    EXPECT_EQ(w.element_size(), 32u);
+    EXPECT_EQ(w.rows(), 4u);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+        for (std::uint32_t c = 0; c < 3; ++c) {
+            EXPECT_EQ(w.element(r, c), v.element(r, c) + 16);
+        }
+    }
+    // Nested windows compose.
+    const auto w2 = w.packet_view(8, 8);
+    EXPECT_EQ(w2.element(1, 2), v.element(1, 2) + 24);
+}
+
+TEST(PacketView, WritesThroughWindowLandInParent) {
+    codes::stripe_buffer sb(2, 2, 32);
+    const auto v = sb.view();
+    const auto w = v.packet_view(8, 8);
+    w.element(1, 1)[0] = std::byte{0x77};
+    EXPECT_EQ(v.element(1, 1)[8], std::byte{0x77});
+}
+
+TEST(PacketPolicy, SmallElementsRunWhole) {
+    // Complexity probes use 8-byte elements: never split (XOR counts
+    // would multiply otherwise).
+    EXPECT_EQ(codes::preferred_packet_size(100, 8), 8u);
+    EXPECT_EQ(codes::preferred_packet_size(1000, 8), 8u);
+}
+
+TEST(PacketPolicy, LargeFootprintsSplitToPowersOfTwo) {
+    // 552 live elements (k=22, p=23): 4 KiB elements split.
+    const auto packet = codes::preferred_packet_size(552, 4096);
+    EXPECT_LT(packet, 4096u);
+    EXPECT_GE(packet, 1024u);
+    EXPECT_EQ(4096 % packet, 0u);
+    // Small stripes stay whole.
+    EXPECT_EQ(codes::preferred_packet_size(35, 4096), 4096u);
+}
+
+TEST(PacketPolicy, OddElementSizesNeverSplitUnevenly) {
+    // A packet must divide the element exactly or not split at all.
+    const auto packet = codes::preferred_packet_size(552, 5000);
+    EXPECT_TRUE(packet == 5000 || 5000 % packet == 0);
+}
+
+TEST(Packetization, OptimalCodePacketizedMatchesWhole) {
+    // k=22/p=23 with 4 KiB elements triggers the packet loop; the result
+    // must be bit-identical to an 8-byte-element encode of the same data
+    // prefix (packetization must not change any math).
+    const core::liberation_optimal_code code(22, 23);
+    util::xoshiro256 rng(3);
+    codes::stripe_buffer big(23, 24, 4096);
+    big.fill_random(rng, 22);
+    codes::stripe_buffer small(23, 24, 8);
+    for (std::uint32_t c = 0; c < 22; ++c) {
+        for (std::uint32_t r = 0; r < 23; ++r) {
+            std::memcpy(small.view().element(r, c), big.view().element(r, c),
+                        8);
+        }
+    }
+    code.encode(big.view());
+    code.encode(small.view());
+    for (std::uint32_t c : {22u, 23u}) {
+        for (std::uint32_t r = 0; r < 23; ++r) {
+            EXPECT_EQ(std::memcmp(big.view().element(r, c),
+                                  small.view().element(r, c), 8),
+                      0)
+                << "col " << c << " row " << r;
+        }
+    }
+
+    // Decode through the packet loop as well.
+    codes::stripe_buffer pristine(23, 24, 4096);
+    codes::copy_stripe(pristine.view(), big.view());
+    const std::vector<std::uint32_t> pat{3, 17};
+    test_support::trash_columns(big.view(), pat, 5);
+    code.decode(big.view(), pat);
+    EXPECT_TRUE(codes::stripes_equal(big.view(), pristine.view()));
+}
+
+TEST(Packetization, BaselinePacketizedMatchesWhole) {
+    const codes::liberation_bitmatrix_code auto_packet(22, 23, false, 0);
+    const codes::liberation_bitmatrix_code whole(22, 23, false, 4096);
+    util::xoshiro256 rng(4);
+    codes::stripe_buffer a(23, 24, 4096), b(23, 24, 4096);
+    a.fill_random(rng, 22);
+    codes::copy_stripe(b.view(), a.view());
+    auto_packet.encode(a.view());
+    whole.encode(b.view());
+    EXPECT_TRUE(codes::stripes_equal(a.view(), b.view()));
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/core/parallel.hpp"
+#include "liberation/util/rng.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+
+struct batch {
+    batch(const codes::raid6_code& code, std::size_t count, std::size_t elem,
+          std::uint64_t seed) {
+        util::xoshiro256 rng(seed);
+        buffers.reserve(count);
+        views.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            buffers.emplace_back(code.rows(), code.n(), elem);
+            buffers.back().fill_random(rng, code.k());
+            views.push_back(buffers.back().view());
+        }
+    }
+    std::vector<codes::stripe_buffer> buffers;
+    std::vector<codes::stripe_view> views;
+};
+
+TEST(ParallelCodec, BatchEncodeMatchesSerial) {
+    const core::liberation_optimal_code code(6, 7);
+    util::thread_pool pool(4);
+    const core::parallel_codec codec(code, pool);
+
+    batch par(code, 24, 64, 3);
+    batch ser(code, 24, 64, 3);  // identical contents
+    codec.encode_all(par.views);
+    for (const auto& v : ser.views) code.encode(v);
+    for (std::size_t i = 0; i < par.views.size(); ++i) {
+        EXPECT_TRUE(codes::stripes_equal(par.views[i], ser.views[i])) << i;
+    }
+}
+
+TEST(ParallelCodec, BatchDecodeRecoversAll) {
+    const core::liberation_optimal_code code(5, 5);
+    util::thread_pool pool(3);
+    const core::parallel_codec codec(code, pool);
+
+    batch b(code, 16, 32, 4);
+    codec.encode_all(b.views);
+    std::vector<codes::stripe_buffer> pristine;
+    for (auto& buf : b.buffers) {
+        pristine.emplace_back(code.rows(), code.n(), 32);
+        codes::copy_stripe(pristine.back().view(), buf.view());
+    }
+
+    const std::vector<std::uint32_t> erased{1, 3};
+    for (std::size_t i = 0; i < b.views.size(); ++i) {
+        test_support::trash_columns(b.views[i], erased, i);
+    }
+    codec.decode_all(b.views, erased);
+    for (std::size_t i = 0; i < b.views.size(); ++i) {
+        EXPECT_TRUE(codes::stripes_equal(b.views[i], pristine[i].view())) << i;
+    }
+}
+
+TEST(ParallelCodec, VerifyAllFlagsExactlyTheBadStripes) {
+    const core::liberation_optimal_code code(4, 5);
+    util::thread_pool pool(2);
+    const core::parallel_codec codec(code, pool);
+
+    batch b(code, 10, 16, 5);
+    codec.encode_all(b.views);
+    // Corrupt stripes 2 and 7.
+    b.views[2].element(1, 0)[0] ^= std::byte{1};
+    b.views[7].element(3, 2)[5] ^= std::byte{0x40};
+
+    const auto bad = codec.verify_all(b.views);
+    EXPECT_EQ(bad, (std::vector<std::size_t>{2, 7}));
+}
+
+TEST(ParallelCodec, EmptyBatchIsFine) {
+    const core::liberation_optimal_code code(4, 5);
+    util::thread_pool pool(2);
+    const core::parallel_codec codec(code, pool);
+    std::vector<codes::stripe_view> none;
+    codec.encode_all(none);
+    EXPECT_TRUE(codec.verify_all(none).empty());
+}
+
+}  // namespace

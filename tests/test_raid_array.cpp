@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/raid/array.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+using namespace liberation;
+using namespace liberation::raid;
+
+array_config small_config() {
+    array_config cfg;
+    cfg.k = 4;            // p = 5, 6 disks
+    cfg.element_size = 256;
+    cfg.stripes = 8;
+    cfg.sector_size = 256;
+    return cfg;
+}
+
+std::vector<std::byte> pattern_bytes(std::size_t n, std::uint64_t seed) {
+    std::vector<std::byte> v(n);
+    util::xoshiro256 rng(seed);
+    rng.fill(v);
+    return v;
+}
+
+TEST(RaidArray, CapacityMatchesMap) {
+    raid6_array a(small_config());
+    EXPECT_EQ(a.capacity(), a.map().capacity());
+    EXPECT_EQ(a.disk_count(), 6u);
+}
+
+TEST(RaidArray, WholeDeviceWriteReadRoundTrip) {
+    raid6_array a(small_config());
+    const auto data = pattern_bytes(a.capacity(), 1);
+    ASSERT_TRUE(a.write(0, data));
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+    EXPECT_GT(a.stats().full_stripe_writes, 0u);
+}
+
+TEST(RaidArray, UnalignedExtentRoundTrip) {
+    raid6_array a(small_config());
+    const std::size_t off = 777;
+    const auto data = pattern_bytes(4321, 2);
+    ASSERT_TRUE(a.write(off, data));
+    std::vector<std::byte> out(data.size());
+    ASSERT_TRUE(a.read(off, out));
+    EXPECT_EQ(out, data);
+    EXPECT_GT(a.stats().small_writes, 0u);
+}
+
+TEST(RaidArray, SmallWriteTouchesOnlyTwoOrThreeParityElements) {
+    raid6_array a(small_config());
+    const auto base = pattern_bytes(a.capacity(), 3);
+    ASSERT_TRUE(a.write(0, base));
+    const auto before = a.stats().parity_elements_updated;
+
+    // One element-sized write, element-aligned: exactly one data element.
+    const auto data = pattern_bytes(a.map().element_size(), 4);
+    ASSERT_TRUE(a.write(a.map().element_size() * 3, data));
+    const auto touched = a.stats().parity_elements_updated - before;
+    EXPECT_GE(touched, 2u);
+    EXPECT_LE(touched, 3u);
+}
+
+TEST(RaidArray, SmallWritesKeepEveryStripeConsistent) {
+    raid6_array a(small_config());
+    const auto base = pattern_bytes(a.capacity(), 5);
+    ASSERT_TRUE(a.write(0, base));
+    util::xoshiro256 rng(6);
+    for (int i = 0; i < 50; ++i) {
+        const std::size_t len = 1 + rng.next_below(1000);
+        const std::size_t off = rng.next_below(a.capacity() - len);
+        ASSERT_TRUE(a.write(off, pattern_bytes(len, 100 + i)));
+    }
+    // Every stripe must still verify against the code.
+    codes::stripe_buffer buf = a.make_stripe_buffer();
+    std::vector<std::uint32_t> erased;
+    for (std::size_t s = 0; s < a.map().stripes(); ++s) {
+        ASSERT_TRUE(a.load_stripe(s, buf.view(), erased));
+        ASSERT_TRUE(erased.empty());
+        EXPECT_TRUE(a.code().verify(buf.view())) << "stripe " << s;
+    }
+}
+
+TEST(RaidArray, DegradedReadOneDisk) {
+    raid6_array a(small_config());
+    const auto data = pattern_bytes(a.capacity(), 7);
+    ASSERT_TRUE(a.write(0, data));
+    a.fail_disk(2);
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+    EXPECT_GT(a.stats().degraded_stripe_reads, 0u);
+}
+
+TEST(RaidArray, DegradedReadTwoDisks) {
+    raid6_array a(small_config());
+    const auto data = pattern_bytes(a.capacity(), 8);
+    ASSERT_TRUE(a.write(0, data));
+    a.fail_disk(0);
+    a.fail_disk(5);
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(RaidArray, LatentErrorRecoveredThroughDecode) {
+    raid6_array a(small_config());
+    const auto data = pattern_bytes(a.capacity(), 9);
+    ASSERT_TRUE(a.write(0, data));
+    // Hit one strip of stripe 0 with an unreadable sector.
+    const auto loc = a.map().locate(0, 1);
+    a.disk(loc.disk).inject_latent_error(loc.offset, 64);
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+    EXPECT_GT(a.stats().media_errors_recovered, 0u);
+}
+
+TEST(RaidArray, WritesWhileDegradedStayDecodable) {
+    raid6_array a(small_config());
+    const auto data = pattern_bytes(a.capacity(), 10);
+    ASSERT_TRUE(a.write(0, data));
+    a.fail_disk(1);
+
+    auto fresh = pattern_bytes(3000, 11);
+    ASSERT_TRUE(a.write(500, fresh));
+
+    std::vector<std::byte> out(3000);
+    ASSERT_TRUE(a.read(500, out));
+    EXPECT_EQ(out, fresh);
+
+    // The rest of the device is unchanged.
+    std::vector<std::byte> head(500);
+    ASSERT_TRUE(a.read(0, head));
+    EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+}
+
+TEST(RaidArray, ThreeFailuresAreDataLoss) {
+    raid6_array a(small_config());
+    const auto data = pattern_bytes(a.capacity(), 12);
+    ASSERT_TRUE(a.write(0, data));
+    a.fail_disk(0);
+    a.fail_disk(1);
+    a.fail_disk(2);
+    std::vector<std::byte> out(a.capacity());
+    EXPECT_FALSE(a.read(0, out));
+}
+
+TEST(RaidArray, ElementAlignedSingleElementWriteUsesFastPath) {
+    raid6_array a(small_config());
+    ASSERT_TRUE(a.write(0, pattern_bytes(a.capacity(), 13)));
+    const auto small_before = a.stats().small_writes;
+    const auto full_before = a.stats().full_stripe_writes;
+    ASSERT_TRUE(a.write(0, pattern_bytes(64, 14)));  // sub-element write
+    EXPECT_EQ(a.stats().small_writes, small_before + 1);
+    EXPECT_EQ(a.stats().full_stripe_writes, full_before);
+}
+
+}  // namespace

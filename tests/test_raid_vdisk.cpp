@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/raid/stripe_map.hpp"
+#include "liberation/raid/vdisk.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+using namespace liberation::raid;
+
+TEST(VDisk, ReadWriteRoundTrip) {
+    vdisk d(0, 8192, 512);
+    std::vector<std::byte> out(100), in(100, std::byte{0x7E});
+    EXPECT_EQ(d.write(300, in), io_status::ok);
+    EXPECT_EQ(d.read(300, out), io_status::ok);
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(d.stats().reads, 1u);
+    EXPECT_EQ(d.stats().writes, 1u);
+    EXPECT_EQ(d.stats().bytes_read, 100u);
+}
+
+TEST(VDisk, FreshDiskReadsZero) {
+    vdisk d(0, 1024);
+    std::vector<std::byte> out(64, std::byte{0xFF});
+    EXPECT_EQ(d.read(0, out), io_status::ok);
+    for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(VDisk, OutOfRangeRejected) {
+    vdisk d(0, 1024);
+    std::vector<std::byte> buf(64);
+    EXPECT_EQ(d.read(1000, buf), io_status::out_of_range);
+    EXPECT_EQ(d.write(1024, buf), io_status::out_of_range);
+    EXPECT_EQ(d.read(1024 - 64, buf), io_status::ok);  // boundary is fine
+}
+
+TEST(VDisk, FailStopAndReplace) {
+    vdisk d(3, 2048);
+    std::vector<std::byte> buf(32, std::byte{1});
+    EXPECT_EQ(d.write(0, buf), io_status::ok);
+    d.fail();
+    EXPECT_FALSE(d.online());
+    EXPECT_EQ(d.read(0, buf), io_status::disk_failed);
+    EXPECT_EQ(d.write(0, buf), io_status::disk_failed);
+    d.replace();
+    EXPECT_TRUE(d.online());
+    EXPECT_EQ(d.read(0, buf), io_status::ok);
+    for (auto b : buf) EXPECT_EQ(b, std::byte{0});  // blank replacement
+}
+
+TEST(VDisk, LatentSectorErrors) {
+    vdisk d(0, 8192, 512);
+    std::vector<std::byte> buf(512);
+    d.inject_latent_error(1024, 10);  // sector 2
+    EXPECT_EQ(d.read(1024, buf), io_status::unreadable_sector);
+    EXPECT_EQ(d.read(0, buf), io_status::ok);        // sector 0 fine
+    EXPECT_EQ(d.read(512, buf), io_status::ok);      // sector 1 fine
+    std::vector<std::byte> big(2048);
+    EXPECT_EQ(d.read(512, big), io_status::unreadable_sector);  // spans bad
+    // Rewriting the whole sector heals it.
+    EXPECT_EQ(d.write(1024, buf), io_status::ok);
+    EXPECT_EQ(d.read(1024, buf), io_status::ok);
+    EXPECT_EQ(d.latent_error_count(), 0u);
+}
+
+TEST(VDisk, PartialRewriteDoesNotHeal) {
+    vdisk d(0, 4096, 512);
+    d.inject_latent_error(512, 512);
+    std::vector<std::byte> half(256);
+    EXPECT_EQ(d.write(512, half), io_status::ok);  // only half the sector
+    EXPECT_EQ(d.latent_error_count(), 1u);
+}
+
+TEST(VDisk, SilentCorruptionChangesData) {
+    vdisk d(0, 4096);
+    liberation::util::xoshiro256 rng(5);
+    std::vector<std::byte> orig(128, std::byte{0x33});
+    ASSERT_EQ(d.write(256, orig), io_status::ok);
+    d.inject_silent_corruption(256, 128, rng);
+    std::vector<std::byte> now(128);
+    ASSERT_EQ(d.read(256, now), io_status::ok);  // read still succeeds!
+    EXPECT_NE(now, orig);
+}
+
+TEST(StripeMap, CapacitiesAndSizes) {
+    stripe_map m(4, 5, 1024, 10);
+    EXPECT_EQ(m.n(), 6u);
+    EXPECT_EQ(m.strip_size(), 5120u);
+    EXPECT_EQ(m.stripe_data_size(), 4u * 5120u);
+    EXPECT_EQ(m.capacity(), 10u * 4u * 5120u);
+    EXPECT_EQ(m.disk_capacity(), 10u * 5120u);
+}
+
+TEST(StripeMap, RotationIsBijectivePerStripe) {
+    stripe_map m(5, 7, 64, 21);
+    for (std::size_t s = 0; s < 21; ++s) {
+        std::vector<bool> used(m.n(), false);
+        for (std::uint32_t col = 0; col < m.n(); ++col) {
+            const auto loc = m.locate(s, col);
+            EXPECT_FALSE(used[loc.disk]);
+            used[loc.disk] = true;
+            EXPECT_EQ(m.column_of_disk(s, loc.disk), col);
+        }
+    }
+}
+
+TEST(StripeMap, ParityMovesAcrossDisks) {
+    stripe_map m(4, 5, 64, 12);
+    const std::uint32_t p_col = 4;
+    std::vector<bool> seen(m.n(), false);
+    for (std::size_t s = 0; s < m.n(); ++s) {
+        seen[m.locate(s, p_col).disk] = true;
+    }
+    for (bool b : seen) EXPECT_TRUE(b);  // P visits every disk
+}
+
+TEST(StripeMap, LogicalAddressDecomposition) {
+    stripe_map m(3, 4, 100, 8);  // strip = 400, stripe data = 1200
+    const auto loc = m.locate_logical(1200 + 400 + 250);
+    EXPECT_EQ(loc.stripe, 1u);
+    EXPECT_EQ(loc.data_column, 1u);
+    EXPECT_EQ(loc.row, 2u);
+    EXPECT_EQ(loc.byte_in_element, 50u);
+    const auto zero = m.locate_logical(0);
+    EXPECT_EQ(zero.stripe, 0u);
+    EXPECT_EQ(zero.data_column, 0u);
+    EXPECT_EQ(zero.row, 0u);
+}
+
+}  // namespace

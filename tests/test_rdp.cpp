@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/codes/rdp.hpp"
+#include "liberation/xorops/xorops.hpp"
+#include "code_testkit.hpp"
+
+namespace {
+
+using liberation::codes::rdp_code;
+
+class RdpSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    rdp_code make() const {
+        return {std::get<1>(GetParam()), std::get<0>(GetParam())};
+    }
+};
+
+TEST_P(RdpSweep, AllErasuresRoundTrip) {
+    code_testkit::check_all_erasures(make(), 16, 11);
+}
+
+TEST_P(RdpSweep, VerifyDetectsCorruption) {
+    code_testkit::check_verify(make(), 12);
+}
+
+TEST_P(RdpSweep, UpdatesKeepParityConsistent) {
+    code_testkit::check_updates(make(), 13);
+}
+
+TEST_P(RdpSweep, Linearity) { code_testkit::check_linearity(make(), 14); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RdpSweep,
+    ::testing::Values(std::make_tuple(3u, 1u), std::make_tuple(3u, 2u),
+                      std::make_tuple(5u, 3u), std::make_tuple(5u, 4u),
+                      std::make_tuple(7u, 4u), std::make_tuple(7u, 6u),
+                      std::make_tuple(11u, 10u), std::make_tuple(13u, 9u),
+                      std::make_tuple(13u, 12u)));
+
+TEST(Rdp, GeometryAccessors) {
+    const rdp_code c(6, 7);
+    EXPECT_EQ(c.k(), 6u);
+    EXPECT_EQ(c.rows(), 6u);
+    EXPECT_EQ(c.name(), "rdp(k=6,p=7)");
+}
+
+TEST(Rdp, DefaultPrimeLeavesRoomForRowParity) {
+    // RDP needs k <= p-1, so k = 4 must pick p = 5, k = 6 -> p = 7.
+    EXPECT_EQ(rdp_code(4).p(), 5u);
+    EXPECT_EQ(rdp_code(6).p(), 7u);
+    EXPECT_EQ(rdp_code(10).p(), 11u);
+}
+
+TEST(Rdp, OptimalEncodingAtFullWidth) {
+    // The RDP headline: k = p-1 encodes with exactly k-1 XORs per parity
+    // element (Table I / Fig. 5).
+    for (std::uint32_t p : {5u, 7u, 11u, 13u}) {
+        const rdp_code c(p - 1, p);
+        auto stripe = test_support::make_encoded_stripe(c, 8, p);
+        liberation::codes::stripe_buffer redo(c.rows(), c.n(), 8);
+        liberation::codes::copy_stripe(redo.view(), stripe.view());
+        liberation::xorops::counting_scope scope;
+        c.encode(redo.view());
+        EXPECT_EQ(scope.xors(), 2ull * (p - 1) * (c.k() - 1)) << "p=" << p;
+    }
+}
+
+TEST(Rdp, OptimalDecodingAtFullWidth) {
+    // Fig. 7: RDP decodes two data columns at the lower bound when k = p-1.
+    for (std::uint32_t p : {5u, 7u, 11u}) {
+        const rdp_code c(p - 1, p);
+        auto ref = test_support::make_encoded_stripe(c, 8, p * 7);
+        for (std::uint32_t a = 0; a < c.k(); ++a) {
+            for (std::uint32_t b = a + 1; b < c.k(); ++b) {
+                liberation::codes::stripe_buffer broke(c.rows(), c.n(), 8);
+                liberation::codes::copy_stripe(broke.view(), ref.view());
+                const std::vector<std::uint32_t> pat{a, b};
+                test_support::trash_columns(broke.view(), pat, 3);
+                liberation::xorops::counting_scope scope;
+                c.decode(broke.view(), pat);
+                ASSERT_TRUE(
+                    liberation::codes::stripes_equal(broke.view(), ref.view()));
+                EXPECT_EQ(scope.xors(), 2ull * (p - 1) * (c.k() - 1))
+                    << "p=" << p << " {" << a << "," << b << "}";
+            }
+        }
+    }
+}
+
+}  // namespace

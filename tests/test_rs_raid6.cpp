@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "liberation/codes/rs_raid6.hpp"
+#include "code_testkit.hpp"
+
+namespace {
+
+using liberation::codes::rs_raid6_code;
+
+class RsSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RsSweep, AllErasuresRoundTrip) {
+    const rs_raid6_code code(GetParam(), 4);
+    code_testkit::check_all_erasures(code, 16, 21);
+}
+
+TEST_P(RsSweep, VerifyDetectsCorruption) {
+    const rs_raid6_code code(GetParam(), 2);
+    code_testkit::check_verify(code, 22);
+}
+
+TEST_P(RsSweep, UpdatesKeepParityConsistent) {
+    const rs_raid6_code code(GetParam(), 3);
+    code_testkit::check_updates(code, 23);
+}
+
+TEST_P(RsSweep, Linearity) {
+    const rs_raid6_code code(GetParam(), 2);
+    code_testkit::check_linearity(code, 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RsSweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 32u, 100u));
+
+TEST(RsRaid6, UpdateAlwaysTouchesExactlyTwo) {
+    const rs_raid6_code code(12, 2);
+    auto stripe = test_support::make_encoded_stripe(code, 8, 5);
+    const std::vector<std::byte> delta(8, std::byte{0x5A});
+    for (std::uint32_t col = 0; col < 12; ++col) {
+        EXPECT_EQ(code.apply_update(stripe.view(), 0, col, delta), 2u);
+    }
+}
+
+TEST(RsRaid6, SingleRowCodewords) {
+    const rs_raid6_code code(5, 1);
+    EXPECT_EQ(code.rows(), 1u);
+    code_testkit::check_all_erasures(code, 64, 31);
+}
+
+TEST(RsRaid6, LargeWidth) {
+    // Beyond any prime-based array code width at w=1: k = 200 disks.
+    const rs_raid6_code code(200, 1);
+    auto ref = test_support::make_encoded_stripe(code, 16, 41);
+    const std::vector<std::uint32_t> pat{7, 150};
+    liberation::codes::stripe_buffer broke(1, 202, 16);
+    liberation::codes::copy_stripe(broke.view(), ref.view());
+    test_support::trash_columns(broke.view(), pat, 42);
+    code.decode(broke.view(), pat);
+    EXPECT_TRUE(liberation::codes::stripes_equal(broke.view(), ref.view()));
+}
+
+}  // namespace

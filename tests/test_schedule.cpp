@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/bitmatrix/schedule.hpp"
+#include "liberation/codes/stripe.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace {
+
+using namespace liberation;
+using bitmatrix::bit_matrix;
+using bitmatrix::region_ref;
+
+// A tiny fixture: inputs live in column 0 (rows 0..in-1), outputs in
+// column 1 (rows 0..out-1) of one stripe.
+struct fixture {
+    fixture(std::uint32_t in, std::uint32_t out, std::size_t elem,
+            std::uint64_t seed)
+        : stripe(std::max(in, out), 2, elem) {
+        util::xoshiro256 rng(seed);
+        for (std::uint32_t i = 0; i < in; ++i) {
+            rng.fill(stripe.view().element_span(i, 0));
+        }
+        for (std::uint32_t i = 0; i < in; ++i) inputs.push_back({0, i});
+        for (std::uint32_t i = 0; i < out; ++i) outputs.push_back({1, i});
+    }
+
+    /// Expected output row r = XOR of inputs named by matrix row r.
+    std::vector<std::byte> expected(const bit_matrix& m, std::uint32_t r) {
+        std::vector<std::byte> acc(stripe.element_size(), std::byte{0});
+        for (const auto c : m.row_ones(r)) {
+            const auto* src = stripe.view().element(c, 0);
+            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
+        }
+        return acc;
+    }
+
+    codes::stripe_buffer stripe;
+    std::vector<region_ref> inputs;
+    std::vector<region_ref> outputs;
+};
+
+bit_matrix random_matrix(std::uint32_t rows, std::uint32_t cols,
+                         std::uint64_t seed) {
+    util::xoshiro256 rng(seed);
+    bit_matrix m(rows, cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        // Guarantee nonzero rows (schedules reject empty parities).
+        m.set(r, static_cast<std::uint32_t>(rng.next_below(cols)), true);
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            if (rng.next_double() < 0.4) m.set(r, c, true);
+        }
+    }
+    return m;
+}
+
+class ScheduleKinds : public ::testing::TestWithParam<bool> {};  // smart?
+
+TEST_P(ScheduleKinds, ComputesMatrixProduct) {
+    const bool smart = GetParam();
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        fixture fx(12, 9, 64, seed);
+        const auto m = random_matrix(9, 12, seed * 31 + 7);
+        const auto sched =
+            smart ? bitmatrix::make_smart_schedule(m, fx.inputs, fx.outputs)
+                  : bitmatrix::make_dumb_schedule(m, fx.inputs, fx.outputs);
+        bitmatrix::run_schedule(sched, fx.stripe.view());
+        for (std::uint32_t r = 0; r < 9; ++r) {
+            const auto want = fx.expected(m, r);
+            const auto* got = fx.stripe.view().element(r, 1);
+            EXPECT_TRUE(std::equal(want.begin(), want.end(), got))
+                << "seed=" << seed << " row=" << r << " smart=" << smart;
+        }
+    }
+}
+
+TEST_P(ScheduleKinds, PacketizedExecutionMatchesWhole) {
+    const bool smart = GetParam();
+    fixture a(10, 6, 256, 99);
+    fixture b(10, 6, 256, 99);  // identical inputs
+    const auto m = random_matrix(6, 10, 123);
+    const auto sched =
+        smart ? bitmatrix::make_smart_schedule(m, a.inputs, a.outputs)
+              : bitmatrix::make_dumb_schedule(m, a.inputs, a.outputs);
+    bitmatrix::run_schedule(sched, a.stripe.view());        // one packet
+    bitmatrix::run_schedule(sched, b.stripe.view(), 64);    // 4 packets
+    EXPECT_TRUE(codes::stripes_equal(a.stripe.view(), b.stripe.view()));
+}
+
+INSTANTIATE_TEST_SUITE_P(DumbAndSmart, ScheduleKinds, ::testing::Bool());
+
+TEST(Schedule, DumbCostIsOnesMinusRows) {
+    fixture fx(12, 9, 8, 5);
+    const auto m = random_matrix(9, 12, 17);
+    const auto sched = bitmatrix::make_dumb_schedule(m, fx.inputs, fx.outputs);
+    EXPECT_EQ(bitmatrix::schedule_xor_count(sched), m.ones() - m.rows());
+}
+
+TEST(Schedule, SmartNeverWorseThanDumb) {
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        fixture fx(14, 10, 8, seed);
+        const auto m = random_matrix(10, 14, seed);
+        const auto dumb =
+            bitmatrix::make_dumb_schedule(m, fx.inputs, fx.outputs);
+        const auto smart =
+            bitmatrix::make_smart_schedule(m, fx.inputs, fx.outputs);
+        EXPECT_LE(bitmatrix::schedule_xor_count(smart),
+                  bitmatrix::schedule_xor_count(dumb))
+            << seed;
+    }
+}
+
+TEST(Schedule, SmartExploitsSimilarRows) {
+    // Two rows differing in a single bit: the second must cost 2 ops
+    // (copy + 1 xor) instead of weight many.
+    bit_matrix m(2, 10);
+    for (std::uint32_t c = 0; c < 10; ++c) m.set(0, c, true);
+    for (std::uint32_t c = 0; c < 9; ++c) m.set(1, c, true);
+    fixture fx(10, 2, 8, 3);
+    const auto sched = bitmatrix::make_smart_schedule(m, fx.inputs, fx.outputs);
+    // Greedy order computes the lighter row (weight 9) from scratch first,
+    // then derives the other with copy + 1 xor: 11 ops, 9 xors total.
+    EXPECT_EQ(sched.size(), 11u);
+    EXPECT_EQ(bitmatrix::schedule_xor_count(sched), 9u);
+    bitmatrix::run_schedule(sched, fx.stripe.view());
+    for (std::uint32_t r = 0; r < 2; ++r) {
+        const auto want = fx.expected(m, r);
+        EXPECT_TRUE(std::equal(want.begin(), want.end(),
+                               fx.stripe.view().element(r, 1)));
+    }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "liberation/tool/sharder.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace liberation::tool;
+
+class SharderTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("liberation_sharder_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path make_input(std::size_t size, std::uint64_t seed) {
+        const fs::path path = dir_ / "input.bin";
+        liberation::util::xoshiro256 rng(seed);
+        std::vector<std::byte> data(size);
+        rng.fill(data);
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(size));
+        return path;
+    }
+
+    static std::vector<char> slurp(const fs::path& p) {
+        std::ifstream in(p, std::ios::binary);
+        return {std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>()};
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(SharderTest, SplitJoinRoundTrip) {
+    const auto input = make_input(100000, 1);
+    shard_params params{4, 0, 512};
+    const auto split = split_file(input, dir_ / "shards", params);
+    EXPECT_EQ(split.shards, 6u);
+    EXPECT_EQ(split.payload_bytes, 100000u);
+
+    const auto join = join_file(dir_ / "shards", dir_ / "out.bin");
+    EXPECT_TRUE(join.missing.empty());
+    EXPECT_EQ(join.bytes_written, 100000u);
+    EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+}
+
+TEST_F(SharderTest, JoinWithTwoMissingShards) {
+    const auto input = make_input(77777, 2);  // non-aligned size
+    split_file(input, dir_ / "shards", {5, 0, 256});
+    fs::remove(dir_ / "shards" / shard_file_name(1));
+    fs::remove(dir_ / "shards" / shard_file_name(6));  // Q shard
+
+    const auto join = join_file(dir_ / "shards", dir_ / "out.bin");
+    EXPECT_EQ(join.missing, (std::vector<std::uint32_t>{1, 6}));
+    EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+
+    // The missing shards were re-materialized: a second join needs no
+    // reconstruction at all.
+    const auto again = join_file(dir_ / "shards", dir_ / "out2.bin");
+    EXPECT_TRUE(again.missing.empty());
+    EXPECT_EQ(slurp(input), slurp(dir_ / "out2.bin"));
+}
+
+TEST_F(SharderTest, TruncatedShardCountsAsMissing) {
+    const auto input = make_input(50000, 3);
+    split_file(input, dir_ / "shards", {4, 5, 512});
+    // Chop the tail off one shard.
+    const auto victim = dir_ / "shards" / shard_file_name(2);
+    fs::resize_file(victim, fs::file_size(victim) / 2);
+
+    const auto join = join_file(dir_ / "shards", dir_ / "out.bin");
+    EXPECT_EQ(join.missing, (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+}
+
+TEST_F(SharderTest, ThreeMissingShardsIsDataLoss) {
+    const auto input = make_input(30000, 4);
+    split_file(input, dir_ / "shards", {4, 0, 256});
+    fs::remove(dir_ / "shards" / shard_file_name(0));
+    fs::remove(dir_ / "shards" / shard_file_name(2));
+    fs::remove(dir_ / "shards" / shard_file_name(4));
+    EXPECT_THROW(join_file(dir_ / "shards", dir_ / "out.bin"), sharder_error);
+}
+
+TEST_F(SharderTest, VerifyCleanAndRepairCorruption) {
+    const auto input = make_input(60000, 5);
+    split_file(input, dir_ / "shards", {4, 0, 256});
+
+    auto clean = verify_shards(dir_ / "shards", false);
+    EXPECT_EQ(clean.repaired, 0u);
+    EXPECT_EQ(clean.uncorrectable, 0u);
+    EXPECT_EQ(clean.clean, clean.stripes);
+
+    // Flip bytes inside shard 3's payload (one stripe's worth).
+    {
+        std::fstream f(dir_ / "shards" / shard_file_name(3),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(64 + 100);
+        f.put('\x42');
+        f.put('\x43');
+    }
+    auto report = verify_shards(dir_ / "shards", true);
+    EXPECT_EQ(report.repaired, 1u);
+    EXPECT_EQ(report.uncorrectable, 0u);
+    EXPECT_EQ(report.repaired_shards, (std::vector<std::uint32_t>{3}));
+
+    // After repair: clean again, and the data joins back exactly.
+    auto after = verify_shards(dir_ / "shards", false);
+    EXPECT_EQ(after.clean, after.stripes);
+    join_file(dir_ / "shards", dir_ / "out.bin");
+    EXPECT_EQ(slurp(input), slurp(dir_ / "out.bin"));
+}
+
+TEST_F(SharderTest, EmptyInputRejected) {
+    const fs::path empty = dir_ / "empty.bin";
+    std::ofstream(empty, std::ios::binary).flush();
+    EXPECT_THROW(split_file(empty, dir_ / "shards", {4, 0, 256}),
+                 sharder_error);
+}
+
+TEST_F(SharderTest, BadParamsRejected) {
+    const auto input = make_input(1000, 6);
+    EXPECT_THROW(split_file(input, dir_ / "s1", {4, 9, 256}), sharder_error);
+    EXPECT_THROW(split_file(input, dir_ / "s2", {0, 0, 256}), sharder_error);
+    EXPECT_THROW(split_file(input, dir_ / "s3", {8, 7, 256}), sharder_error);
+}
+
+TEST_F(SharderTest, ShardFileNameFormat) {
+    EXPECT_EQ(shard_file_name(0), "shard_000.l6s");
+    EXPECT_EQ(shard_file_name(12), "shard_012.l6s");
+}
+
+TEST_F(SharderTest, NoShardsInDirectory) {
+    fs::create_directories(dir_ / "nothing");
+    EXPECT_THROW(join_file(dir_ / "nothing", dir_ / "out.bin"), sharder_error);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "liberation/core/starting_point.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation::core;
+
+TEST(StartingPoint, PaperExampleColumns1And3) {
+    // Section III-C trace: (l, r) = (1, 3) fails; after the exchange the
+    // walk succeeds with x = 3, S^P = {0, 2}, S^Q = {2, 4}.
+    const geometry g(5, 5);
+    const auto first = find_starting_point(g, 1, 3);
+    EXPECT_FALSE(first.found());
+
+    const auto sp = find_starting_point(g, 3, 1);
+    ASSERT_TRUE(sp.found());
+    EXPECT_EQ(sp.x, 3);
+    auto p_rows = sp.p_rows;
+    auto q_rows = sp.q_rows;
+    std::sort(p_rows.begin(), p_rows.end());
+    std::sort(q_rows.begin(), q_rows.end());
+    EXPECT_EQ(p_rows, (std::vector<std::uint32_t>{0, 2}));
+    EXPECT_EQ(q_rows, (std::vector<std::uint32_t>{2, 4}));
+}
+
+TEST(StartingPoint, AdjacentPairSucceedsSorted) {
+    const geometry g(5, 5);
+    const auto sp = find_starting_point(g, 0, 1);
+    ASSERT_TRUE(sp.found());
+    EXPECT_EQ(sp.x, 3);  // extraR(1) = 2, so x = 3
+}
+
+TEST(StartingPoint, ExactlyOneOrientationPerPair) {
+    // For every pair, at least one orientation must succeed (Algorithm 4
+    // relies on retry-after-exchange terminating).
+    for (std::uint32_t p : test_support::sweep_primes) {
+        const geometry g(p, p);
+        for (std::uint32_t l = 0; l < p; ++l) {
+            for (std::uint32_t r = l + 1; r < p; ++r) {
+                const bool fwd = find_starting_point(g, l, r).found();
+                const bool rev = find_starting_point(g, r, l).found();
+                EXPECT_TRUE(fwd || rev) << "p=" << p << " pair " << l << "," << r;
+            }
+        }
+    }
+}
+
+TEST(StartingPoint, SyndromeSetsHaveMatchedSizes) {
+    // The walk adds one P row per Q row after the seeds, so |S^Q| = |S^P|;
+    // both contain distinct constraint indices.
+    for (std::uint32_t p : test_support::sweep_primes) {
+        const geometry g(p, p);
+        for (std::uint32_t l = 0; l < p; ++l) {
+            for (std::uint32_t r = 0; r < p; ++r) {
+                if (l == r) continue;
+                const auto sp = find_starting_point(g, l, r);
+                if (!sp.found()) continue;
+                EXPECT_EQ(sp.p_rows.size(), sp.q_rows.size());
+                auto q = sp.q_rows;
+                std::sort(q.begin(), q.end());
+                EXPECT_EQ(std::unique(q.begin(), q.end()), q.end());
+                auto pr = sp.p_rows;
+                std::sort(pr.begin(), pr.end());
+                EXPECT_EQ(std::unique(pr.begin(), pr.end()), pr.end());
+                EXPECT_LT(sp.x, static_cast<std::int32_t>(p));
+            }
+        }
+    }
+}
+
+TEST(StartingPoint, ColumnZeroLeftAlwaysSucceeds) {
+    // l = 0 relaxes the stop condition; the walk must always close.
+    for (std::uint32_t p : test_support::sweep_primes) {
+        const geometry g(p, p);
+        for (std::uint32_t r = 1; r < p; ++r) {
+            EXPECT_TRUE(find_starting_point(g, 0, r).found())
+                << "p=" << p << " r=" << r;
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+using namespace liberation;
+
+TEST(Stripe, GeometryAccessors) {
+    codes::stripe_buffer sb(5, 7, 16);
+    const auto v = sb.view();
+    EXPECT_EQ(v.rows(), 5u);
+    EXPECT_EQ(v.cols(), 7u);
+    EXPECT_EQ(v.element_size(), 16u);
+    EXPECT_EQ(v.strip_size(), 80u);
+}
+
+TEST(Stripe, ElementsAreDisjointAndOrdered) {
+    codes::stripe_buffer sb(4, 3, 8);
+    const auto v = sb.view();
+    // Elements within a strip are contiguous and ordered by row.
+    for (std::uint32_t c = 0; c < 3; ++c) {
+        for (std::uint32_t r = 0; r + 1 < 4; ++r) {
+            EXPECT_EQ(v.element(r, c) + 8, v.element(r + 1, c));
+        }
+    }
+    // Writes to one element never alias another.
+    v.element(2, 1)[0] = std::byte{0x5A};
+    for (std::uint32_t c = 0; c < 3; ++c) {
+        for (std::uint32_t r = 0; r < 4; ++r) {
+            if (r == 2 && c == 1) continue;
+            EXPECT_EQ(v.element(r, c)[0], std::byte{0});
+        }
+    }
+}
+
+TEST(Stripe, FillRandomZeroesParity) {
+    util::xoshiro256 rng(1);
+    codes::stripe_buffer sb(3, 5, 32);  // 3 data + 2 parity
+    sb.fill_random(rng, 3);
+    const auto v = sb.view();
+    bool any_data_nonzero = false;
+    for (std::uint32_t c = 0; c < 3; ++c) {
+        for (auto b : v.strip(c)) {
+            if (b != std::byte{0}) any_data_nonzero = true;
+        }
+    }
+    EXPECT_TRUE(any_data_nonzero);
+    for (std::uint32_t c = 3; c < 5; ++c) {
+        for (auto b : v.strip(c)) EXPECT_EQ(b, std::byte{0});
+    }
+}
+
+TEST(Stripe, CopyAndEquality) {
+    util::xoshiro256 rng(2);
+    codes::stripe_buffer a(5, 4, 16), b(5, 4, 16);
+    a.fill_random(rng, 4);
+    EXPECT_FALSE(codes::stripes_equal(a.view(), b.view()));
+    codes::copy_stripe(b.view(), a.view());
+    EXPECT_TRUE(codes::stripes_equal(a.view(), b.view()));
+    b.view().element(4, 3)[15] ^= std::byte{1};
+    EXPECT_FALSE(codes::stripes_equal(a.view(), b.view()));
+    EXPECT_TRUE(codes::strips_equal(a.view(), b.view(), 0));
+    EXPECT_FALSE(codes::strips_equal(a.view(), b.view(), 3));
+}
+
+TEST(Stripe, MismatchedGeometryNotEqual) {
+    codes::stripe_buffer a(4, 4, 8), b(4, 4, 16), c(5, 4, 8);
+    EXPECT_FALSE(codes::stripes_equal(a.view(), b.view()));
+    EXPECT_FALSE(codes::stripes_equal(a.view(), c.view()));
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Shared helpers for the test suite: deterministic stripe construction and
+// an *independent* bit-level oracle for the Liberation encoding equations.
+// The oracle deliberately avoids every library code path (no xorops, no
+// geometry helpers) so that encoder bugs cannot cancel out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liberation/codes/stripe.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace test_support {
+
+/// A freshly encoded random stripe for code `c` (data filled, parity via
+/// c.encode). Element size in bytes.
+template <class Code>
+liberation::codes::stripe_buffer make_encoded_stripe(const Code& c,
+                                                     std::size_t elem,
+                                                     std::uint64_t seed) {
+    liberation::util::xoshiro256 rng(seed);
+    liberation::codes::stripe_buffer sb(c.rows(), c.n(), elem);
+    sb.fill_random(rng, c.k());
+    c.encode(sb.view());
+    return sb;
+}
+
+/// Trash the given columns with random bytes (so decode cannot pass by
+/// accident when it fails to write the output).
+inline void trash_columns(liberation::codes::stripe_view v,
+                          std::span<const std::uint32_t> cols,
+                          std::uint64_t seed) {
+    liberation::util::xoshiro256 rng(seed ^ 0xdecafbadULL);
+    for (const auto c : cols) rng.fill(v.strip(c));
+}
+
+/// Independent oracle: compute Liberation P and Q parity bytes straight
+/// from the paper's equations (1)-(2), byte-wise (a byte is 8 interleaved
+/// codeword bits). `data[j][i]` = data byte at row i, column j.
+struct liberation_oracle {
+    std::uint32_t p;
+    std::uint32_t k;
+
+    [[nodiscard]] std::vector<std::uint8_t> parity_p(
+        const std::vector<std::vector<std::uint8_t>>& data) const {
+        std::vector<std::uint8_t> out(p, 0);
+        for (std::uint32_t i = 0; i < p; ++i) {
+            for (std::uint32_t j = 0; j < k; ++j) out[i] ^= data[j][i];
+        }
+        return out;
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t> parity_q(
+        const std::vector<std::vector<std::uint8_t>>& data) const {
+        std::vector<std::uint8_t> out(p, 0);
+        for (std::uint32_t i = 0; i < p; ++i) {
+            for (std::uint32_t j = 0; j < k; ++j) {
+                out[i] ^= data[j][(i + j) % p];
+            }
+            if (i != 0) {
+                // a_i = b[(-i-1) mod p][(-2i) mod p]
+                const std::uint32_t col = (2 * p - (2 * i) % (2 * p)) % p;
+                const std::uint32_t row = (p - 1 - i % p + p) % p;
+                if (col < k) out[i] ^= data[col][row];
+            }
+        }
+        return out;
+    }
+};
+
+/// Extract byte `b` of every element of column `col` as a row-indexed
+/// vector (elementwise byte plane).
+inline std::vector<std::uint8_t> column_bytes(
+    const liberation::codes::stripe_view& v, std::uint32_t col,
+    std::size_t byte_index) {
+    std::vector<std::uint8_t> out(v.rows());
+    for (std::uint32_t i = 0; i < v.rows(); ++i) {
+        out[i] = static_cast<std::uint8_t>(v.element(i, col)[byte_index]);
+    }
+    return out;
+}
+
+/// The primes used as sweep parameters across the suite.
+inline constexpr std::uint32_t sweep_primes[] = {3, 5, 7, 11, 13, 17, 19, 23};
+
+}  // namespace test_support

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "liberation/core/geometry.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/core/syndromes.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+using core::geometry;
+
+// Reference syndrome computation straight from the paper's definition:
+// S^P_i / S^Q_i = parity element XOR surviving members, excluding members
+// that belong to an *unknown* common expression. Byte-plane granularity.
+struct syndrome_oracle {
+    const geometry& g;
+    std::uint32_t l, r;
+
+    // Memberships covered by common expression j (pair (j-1, j), row r_j):
+    //   first member  (r_j, j-1): its P row and its normal anti-diagonal
+    //   extra member  (r_j, j):   its P row and its extra anti-diagonal
+    // CE j is unknown iff j-1 or j is erased.
+    [[nodiscard]] bool ce_unknown(std::uint32_t j) const {
+        return j - 1 == l || j - 1 == r || j == l || j == r;
+    }
+
+    /// Should data element (i, j)'s P-row membership be excluded?
+    [[nodiscard]] bool exclude_from_p(std::uint32_t i, std::uint32_t j) const {
+        // first member of CE j+1?
+        if (j + 1 < g.p() && i == g.ce_row(j + 1) && ce_unknown(j + 1)) {
+            return true;
+        }
+        // extra member of CE j?
+        if (j >= 1 && i == g.ce_row(j) && ce_unknown(j)) return true;
+        return false;
+    }
+
+    /// Should (i, j)'s *normal* anti-diagonal membership be excluded?
+    [[nodiscard]] bool exclude_from_q(std::uint32_t i, std::uint32_t j) const {
+        // Only the first member's normal membership belongs to the CE.
+        return j + 1 < g.p() && i == g.ce_row(j + 1) && ce_unknown(j + 1);
+    }
+
+    /// Extra membership of Q_q is included iff the hosting CE is known.
+    [[nodiscard]] bool include_extra(std::uint32_t q) const {
+        if (q == 0) return false;
+        const std::uint32_t col = g.mod(-2 * static_cast<std::int64_t>(q));
+        if (col == 0 || col >= g.k()) return false;  // phantom extra
+        if (col == l || col == r) return false;      // erased survivor? no
+        return !ce_unknown(col);
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t> expected_sp(
+        const codes::stripe_view& v, std::size_t byte) const {
+        std::vector<std::uint8_t> out(g.p(), 0);
+        for (std::uint32_t i = 0; i < g.p(); ++i) {
+            out[i] = static_cast<std::uint8_t>(v.element(i, g.k())[byte]);
+            for (std::uint32_t j = 0; j < g.k(); ++j) {
+                if (j == l || j == r || exclude_from_p(i, j)) continue;
+                out[i] ^= static_cast<std::uint8_t>(v.element(i, j)[byte]);
+            }
+        }
+        return out;
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t> expected_sq(
+        const codes::stripe_view& v, std::size_t byte) const {
+        std::vector<std::uint8_t> out(g.p(), 0);
+        for (std::uint32_t q = 0; q < g.p(); ++q) {
+            out[q] =
+                static_cast<std::uint8_t>(v.element(q, g.k() + 1)[byte]);
+            for (std::uint32_t j = 0; j < g.k(); ++j) {
+                if (j == l || j == r) continue;
+                const std::uint32_t i = g.diag_member_row(q, j);
+                if (exclude_from_q(i, j)) continue;
+                out[q] ^= static_cast<std::uint8_t>(v.element(i, j)[byte]);
+            }
+            if (include_extra(q)) {
+                const std::uint32_t col =
+                    g.mod(-2 * static_cast<std::int64_t>(q));
+                out[q] ^= static_cast<std::uint8_t>(
+                    v.element(g.extra_row(col), col)[byte]);
+            }
+        }
+        return out;
+    }
+};
+
+class SyndromeSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    std::uint32_t p() const { return std::get<0>(GetParam()); }
+    std::uint32_t k() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SyndromeSweep, MatchesDefinitionForAllPairsBothOrientations) {
+    const geometry g(p(), k());
+    core::liberation_optimal_code code(k(), p());
+    const auto ref = test_support::make_encoded_stripe(code, 4, 99);
+
+    for (std::uint32_t l = 0; l < k(); ++l) {
+        for (std::uint32_t r = 0; r < k(); ++r) {
+            if (l == r) continue;
+            codes::stripe_buffer work(p(), k() + 2, 4);
+            codes::copy_stripe(
+                work.view(),
+                const_cast<codes::stripe_buffer&>(ref).view());
+            core::compute_syndromes(work.view(), g, l, r);
+
+            const syndrome_oracle oracle{g, l, r};
+            const auto want_sp = oracle.expected_sp(
+                const_cast<codes::stripe_buffer&>(ref).view(), 1);
+            const auto want_sq = oracle.expected_sq(
+                const_cast<codes::stripe_buffer&>(ref).view(), 1);
+
+            // S^P_i lives in strip l element i; S^Q_i in strip r at <i+r>.
+            for (std::uint32_t i = 0; i < p(); ++i) {
+                EXPECT_EQ(
+                    static_cast<std::uint8_t>(work.view().element(i, l)[1]),
+                    want_sp[i])
+                    << "SP p=" << p() << " k=" << k() << " l=" << l
+                    << " r=" << r << " i=" << i;
+                EXPECT_EQ(static_cast<std::uint8_t>(
+                              work.view().element((i + r) % p(), r)[1]),
+                          want_sq[i])
+                    << "SQ p=" << p() << " k=" << k() << " l=" << l
+                    << " r=" << r << " i=" << i;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SyndromeSweep,
+    ::testing::Values(std::make_tuple(3u, 2u), std::make_tuple(3u, 3u),
+                      std::make_tuple(5u, 3u), std::make_tuple(5u, 5u),
+                      std::make_tuple(7u, 4u), std::make_tuple(7u, 7u),
+                      std::make_tuple(11u, 7u), std::make_tuple(11u, 11u),
+                      std::make_tuple(13u, 9u)));
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/core/update.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/xorops/xorops.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace liberation;
+
+class UpdateSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+protected:
+    std::uint32_t p() const { return std::get<0>(GetParam()); }
+    std::uint32_t k() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(UpdateSweep, UpdateEquivalentToReencodeEveryPosition) {
+    const core::liberation_optimal_code code(k(), p());
+    auto stripe = test_support::make_encoded_stripe(code, 8, 77);
+    util::xoshiro256 rng(123);
+
+    for (std::uint32_t row = 0; row < p(); ++row) {
+        for (std::uint32_t col = 0; col < k(); ++col) {
+            // New random content for one element.
+            std::vector<std::byte> fresh(8), delta(8);
+            rng.fill(fresh);
+            auto* elem = stripe.view().element(row, col);
+            for (std::size_t i = 0; i < 8; ++i) delta[i] = elem[i] ^ fresh[i];
+
+            code.apply_update(stripe.view(), row, col, delta);
+            std::memcpy(elem, fresh.data(), 8);
+
+            ASSERT_TRUE(code.verify(stripe.view()))
+                << "row=" << row << " col=" << col;
+        }
+    }
+}
+
+TEST_P(UpdateSweep, UpdateCostDistribution) {
+    // Exactly k-1 positions cost 3 parity updates (the extra bits); the
+    // remaining kp-(k-1) cost 2 — so the average approaches the lower
+    // bound of 2 (Table I).
+    const core::geometry g(p(), k());
+    std::uint64_t total = 0;
+    std::uint32_t threes = 0;
+    for (std::uint32_t row = 0; row < p(); ++row) {
+        for (std::uint32_t col = 0; col < k(); ++col) {
+            const auto c = core::update_cost(g, row, col);
+            EXPECT_TRUE(c == 2 || c == 3);
+            total += c;
+            if (c == 3) ++threes;
+        }
+    }
+    EXPECT_EQ(threes, k() - 1);
+    const double avg = static_cast<double>(total) / (p() * k());
+    EXPECT_NEAR(avg, 2.0 + static_cast<double>(k() - 1) / (p() * k()), 1e-12);
+}
+
+TEST_P(UpdateSweep, ReportedTouchesMatchActualXors) {
+    const core::liberation_optimal_code code(k(), p());
+    auto stripe = test_support::make_encoded_stripe(code, 8, 88);
+    util::xoshiro256 rng(5);
+    std::vector<std::byte> delta(8);
+    rng.fill(delta);
+
+    for (std::uint32_t row = 0; row < p(); ++row) {
+        xorops::counting_scope scope;
+        const auto touched =
+            code.apply_update(stripe.view(), row, row % k(), delta);
+        EXPECT_EQ(scope.xors(), touched);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UpdateSweep,
+    ::testing::Values(std::make_tuple(3u, 2u), std::make_tuple(5u, 4u),
+                      std::make_tuple(5u, 5u), std::make_tuple(7u, 7u),
+                      std::make_tuple(11u, 6u), std::make_tuple(13u, 13u),
+                      std::make_tuple(17u, 11u)));
+
+TEST(Update, ZeroDeltaIsNoop) {
+    const core::liberation_optimal_code code(4, 5);
+    auto stripe = test_support::make_encoded_stripe(code, 8, 99);
+    codes::stripe_buffer before(5, 6, 8);
+    codes::copy_stripe(before.view(), stripe.view());
+    const std::vector<std::byte> zero(8, std::byte{0});
+    code.apply_update(stripe.view(), 2, 1, zero);
+    EXPECT_TRUE(codes::stripes_equal(before.view(), stripe.view()));
+}
+
+TEST(Update, ComparatorUpdateCosts) {
+    // The motivating comparison (Table I): Liberation averages ~2 parity
+    // updates, EVENODD and RDP ~3.
+    util::xoshiro256 rng(1);
+    const std::uint32_t k = 10, p = 11;
+
+    const auto average = [&](const codes::raid6_code& c) {
+        auto stripe = test_support::make_encoded_stripe(c, 8, 3);
+        std::vector<std::byte> delta(8);
+        rng.fill(delta);
+        std::uint64_t total = 0;
+        for (std::uint32_t row = 0; row < c.rows(); ++row) {
+            for (std::uint32_t col = 0; col < c.k(); ++col) {
+                total += c.apply_update(stripe.view(), row, col, delta);
+            }
+        }
+        return static_cast<double>(total) / (c.rows() * c.k());
+    };
+
+    const core::liberation_optimal_code lib(k, p);
+    EXPECT_LT(average(lib), 2.1);
+    EXPECT_TRUE(lib.verify(test_support::make_encoded_stripe(lib, 8, 4).view()));
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "liberation/util/rng.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace {
+
+using namespace liberation;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+    std::vector<std::byte> v(n);
+    util::xoshiro256 rng(seed);
+    rng.fill(v);
+    return v;
+}
+
+class XorOpsSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XorOpsSizes, XorIntoMatchesScalar) {
+    const std::size_t n = GetParam();
+    auto dst = random_bytes(n, 1);
+    const auto src = random_bytes(n, 2);
+    auto expected = dst;
+    for (std::size_t i = 0; i < n; ++i) expected[i] ^= src[i];
+    xorops::xor_into(dst.data(), src.data(), n);
+    EXPECT_EQ(dst, expected);
+}
+
+TEST_P(XorOpsSizes, Xor2MatchesScalar) {
+    const std::size_t n = GetParam();
+    const auto a = random_bytes(n, 3);
+    const auto b = random_bytes(n, 4);
+    std::vector<std::byte> dst(n);
+    xorops::xor2(dst.data(), a.data(), b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(dst[i], a[i] ^ b[i]) << "i=" << i << " n=" << n;
+    }
+}
+
+// Sizes straddle the unrolled body (32B), the word loop (8B) and the byte
+// tail, plus typical element sizes.
+INSTANTIATE_TEST_SUITE_P(Sizes, XorOpsSizes,
+                         ::testing::Values(1, 7, 8, 9, 31, 32, 33, 63, 64,
+                                           100, 4096, 4099));
+
+TEST(XorOps, SelfXorZeroes) {
+    auto buf = random_bytes(64, 5);
+    xorops::xor_into(buf.data(), buf.data(), buf.size());
+    EXPECT_TRUE(xorops::is_zero(buf.data(), buf.size()));
+}
+
+TEST(XorOps, XorIsInvolution) {
+    auto dst = random_bytes(256, 6);
+    const auto orig = dst;
+    const auto src = random_bytes(256, 7);
+    xorops::xor_into(dst.data(), src.data(), dst.size());
+    EXPECT_NE(dst, orig);
+    xorops::xor_into(dst.data(), src.data(), dst.size());
+    EXPECT_EQ(dst, orig);
+}
+
+TEST(XorOps, CountersTrackOps) {
+    xorops::counting_scope scope;
+    auto a = random_bytes(128, 8);
+    const auto b = random_bytes(128, 9);
+    std::vector<std::byte> c(128);
+
+    xorops::xor_into(a.data(), b.data(), 128);
+    xorops::xor2(c.data(), a.data(), b.data(), 128);
+    xorops::copy(c.data(), a.data(), 128);
+
+    const auto stats = scope.snapshot();
+    EXPECT_EQ(stats.xor_ops, 2u);
+    EXPECT_EQ(stats.copy_ops, 1u);
+    EXPECT_EQ(stats.bytes_xored, 256u);
+    EXPECT_EQ(stats.bytes_copied, 128u);
+}
+
+TEST(XorOps, CountingScopeResets) {
+    auto a = random_bytes(16, 10);
+    xorops::xor_into(a.data(), a.data(), 16);
+    {
+        xorops::counting_scope scope;
+        EXPECT_EQ(scope.xors(), 0u);
+        xorops::xor_into(a.data(), a.data(), 16);
+        EXPECT_EQ(scope.xors(), 1u);
+    }
+}
+
+TEST(XorOps, ZeroNotCounted) {
+    xorops::counting_scope scope;
+    std::vector<std::byte> buf(64, std::byte{0xff});
+    xorops::zero(buf.data(), buf.size());
+    EXPECT_TRUE(xorops::is_zero(buf.data(), buf.size()));
+    EXPECT_EQ(scope.xors(), 0u);
+    EXPECT_EQ(scope.copies(), 0u);
+}
+
+TEST(XorOps, IsZeroAndEqual) {
+    std::vector<std::byte> a(32, std::byte{0});
+    EXPECT_TRUE(xorops::is_zero(a.data(), a.size()));
+    a[31] = std::byte{1};
+    EXPECT_FALSE(xorops::is_zero(a.data(), a.size()));
+    auto b = a;
+    EXPECT_TRUE(xorops::equal(a.data(), b.data(), a.size()));
+    b[0] = std::byte{7};
+    EXPECT_FALSE(xorops::equal(a.data(), b.data(), a.size()));
+}
+
+TEST(XorOps, SpanOverloads) {
+    auto a = random_bytes(48, 11);
+    const auto b = random_bytes(48, 12);
+    auto expected = a;
+    for (std::size_t i = 0; i < 48; ++i) expected[i] ^= b[i];
+    xorops::xor_into(std::span<std::byte>(a),
+                     std::span<const std::byte>(b.data(), b.size()));
+    EXPECT_EQ(a, expected);
+}
+
+TEST(XorOps, UnalignedPointers) {
+    // Kernels must be correct for arbitrary (sector-offset) pointers.
+    auto raw = random_bytes(200, 13);
+    auto src = random_bytes(200, 14);
+    auto expected = raw;
+    for (std::size_t i = 3; i < 3 + 100; ++i) expected[i] ^= src[i + 2];
+    xorops::xor_into(raw.data() + 3, src.data() + 5, 100);
+    EXPECT_EQ(raw, expected);
+}
+
+}  // namespace
