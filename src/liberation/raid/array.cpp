@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "liberation/raid/rebuild.hpp"
 #include "liberation/util/assert.hpp"
 #include "liberation/util/primes.hpp"
 #include "liberation/xorops/xorops.hpp"
@@ -17,14 +18,49 @@ std::uint32_t effective_p(const array_config& cfg) {
 
 }  // namespace
 
+array_stats raid6_array::atomic_stats::snapshot() const noexcept {
+    array_stats s;
+    s.full_stripe_writes = full_stripe_writes.load(std::memory_order_relaxed);
+    s.small_writes = small_writes.load(std::memory_order_relaxed);
+    s.parity_elements_updated =
+        parity_elements_updated.load(std::memory_order_relaxed);
+    s.degraded_stripe_reads =
+        degraded_stripe_reads.load(std::memory_order_relaxed);
+    s.degraded_element_reads =
+        degraded_element_reads.load(std::memory_order_relaxed);
+    s.media_errors_recovered =
+        media_errors_recovered.load(std::memory_order_relaxed);
+    s.transient_errors_masked =
+        transient_errors_masked.load(std::memory_order_relaxed);
+    s.retries_exhausted = retries_exhausted.load(std::memory_order_relaxed);
+    s.disks_tripped = disks_tripped.load(std::memory_order_relaxed);
+    s.spares_promoted = spares_promoted.load(std::memory_order_relaxed);
+    s.rebuilds_completed = rebuilds_completed.load(std::memory_order_relaxed);
+    s.rebuild_stripes_failed =
+        rebuild_stripes_failed.load(std::memory_order_relaxed);
+    return s;
+}
+
 raid6_array::raid6_array(const array_config& cfg)
     : map_(cfg.k, effective_p(cfg), cfg.element_size, cfg.stripes, cfg.layout),
       code_(cfg.k, effective_p(cfg)),
-      sector_size_(cfg.sector_size) {
+      sector_size_(cfg.sector_size),
+      policy_(cfg.io_retry, clock_),
+      health_(map_.n(), cfg.health),
+      auto_failover_(cfg.auto_failover),
+      rebuild_batch_stripes_(cfg.rebuild_batch_stripes == 0
+                                 ? 1
+                                 : cfg.rebuild_batch_stripes),
+      next_disk_id_(map_.n() + cfg.hot_spares) {
     disks_.reserve(map_.n());
     for (std::uint32_t d = 0; d < map_.n(); ++d) {
         disks_.push_back(std::make_unique<vdisk>(d, map_.disk_capacity(),
                                                  cfg.sector_size));
+    }
+    spares_.reserve(cfg.hot_spares);
+    for (std::uint32_t s = 0; s < cfg.hot_spares; ++s) {
+        spares_.push_back(std::make_unique<vdisk>(
+            map_.n() + s, map_.disk_capacity(), cfg.sector_size));
     }
 }
 
@@ -33,11 +69,13 @@ void raid6_array::add_data_disk() {
     LIBERATION_EXPECTS(map_.k() < code_.p());
     LIBERATION_EXPECTS(failed_disk_count() == 0);
     const std::uint32_t new_k = map_.k() + 1;
-    disks_.push_back(std::make_unique<vdisk>(map_.n(), map_.disk_capacity(),
+    disks_.push_back(std::make_unique<vdisk>(next_disk_id_++,
+                                             map_.disk_capacity(),
                                              sector_size_));
     map_ = stripe_map(new_k, map_.rows(), map_.element_size(), map_.stripes(),
                       parity_layout::parity_first);
     code_ = core::liberation_optimal_code(new_k, code_.p());
+    health_.add_disk();
 }
 
 std::uint32_t raid6_array::failed_disk_count() const noexcept {
@@ -48,13 +86,169 @@ std::uint32_t raid6_array::failed_disk_count() const noexcept {
     return n;
 }
 
+// ---- I/O funnel ------------------------------------------------------
+
+bool raid6_array::rebuild_masked(std::uint32_t d,
+                                 std::size_t offset) const noexcept {
+    if (!rebuild_active_) return false;
+    if (offset / map_.strip_size() < rebuild_cursor_) return false;
+    return std::find(rebuilding_disks_.begin(), rebuilding_disks_.end(), d) !=
+           rebuilding_disks_.end();
+}
+
+void raid6_array::note_io(std::uint32_t d, io_kind kind, const io_result& r) {
+    if (r.transient_seen > 0) {
+        if (r.ok()) {
+            stats_.transient_errors_masked.fetch_add(1,
+                                                     std::memory_order_relaxed);
+        } else if (r.status == io_status::transient_error) {
+            stats_.retries_exhausted.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (health_.record(d, kind, r.status, r.transient_seen)) {
+        // Threshold crossed: the disk is too sick to trust. Fail it now
+        // (atomic; this may run on a rebuild pool thread) and let the next
+        // foreground operation promote a spare.
+        disks_[d]->fail();
+        stats_.disks_tripped.fetch_add(1, std::memory_order_relaxed);
+        pending_failover_.store(true, std::memory_order_release);
+    }
+}
+
+io_status raid6_array::disk_read(std::uint32_t d, std::size_t offset,
+                                 std::span<std::byte> out) {
+    // A promoted spare is blank above the rebuild cursor: its bytes are
+    // not data, the column is (still) an erasure.
+    if (rebuild_masked(d, offset)) return io_status::rebuilding;
+    const io_result r = policy_.read(*disks_[d], offset, out);
+    note_io(d, io_kind::read, r);
+    return r.status;
+}
+
+io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
+                                  std::span<const std::byte> in) {
+    if (write_budget_ == 0) {
+        powered_ = false;
+        return io_status::ok;  // the host never learns; the bits are gone
+    }
+    --write_budget_;
+    const io_result r = policy_.write(*disks_[disk], offset, in);
+    note_io(disk, io_kind::write, r);
+    return r.status;
+}
+
+// ---- failover & background rebuild -----------------------------------
+
+void raid6_array::fail_disk(std::uint32_t d) {
+    disks_[d]->fail();
+    handle_failed_disks();
+}
+
+void raid6_array::replace_disk(std::uint32_t d) {
+    disks_[d]->replace();
+    health_.reset(d);
+    // The operator took over this slot; drop any background-rebuild claim.
+    const auto it =
+        std::find(rebuilding_disks_.begin(), rebuilding_disks_.end(), d);
+    if (it != rebuilding_disks_.end()) {
+        rebuilding_disks_.erase(it);
+        if (rebuilding_disks_.empty()) {
+            rebuild_active_ = false;
+            rebuild_cursor_ = 0;
+        }
+    }
+}
+
+void raid6_array::handle_failed_disks() {
+    pending_failover_.store(false, std::memory_order_relaxed);
+    if (!auto_failover_) return;
+    for (std::uint32_t d = 0; d < map_.n(); ++d) {
+        if (disks_[d]->online() || spares_.empty()) continue;
+        // Promote: the blank spare takes the dead disk's slot. Its column
+        // is masked (io_status::rebuilding) until the cursor passes.
+        disks_[d] = std::move(spares_.back());
+        spares_.pop_back();
+        health_.reset(d);
+        stats_.spares_promoted.fetch_add(1, std::memory_order_relaxed);
+        if (std::find(rebuilding_disks_.begin(), rebuilding_disks_.end(), d) ==
+            rebuilding_disks_.end()) {
+            rebuilding_disks_.push_back(d);
+        }
+        // A new member must see every stripe; restarting the cursor keeps
+        // one shared watermark for the whole session (idempotent decode).
+        rebuild_cursor_ = 0;
+        rebuild_active_ = true;
+    }
+}
+
+void raid6_array::service_events() {
+    if (pending_failover_.load(std::memory_order_acquire)) {
+        handle_failed_disks();
+    }
+    if (rebuild_active_ && powered_ && !in_service_) {
+        service_background_rebuild(rebuild_batch_stripes_);
+    }
+}
+
+std::size_t raid6_array::service_background_rebuild(std::size_t max_stripes) {
+    if (in_service_ || max_stripes == 0) return 0;
+    if (pending_failover_.load(std::memory_order_acquire)) {
+        handle_failed_disks();
+    }
+    if (!rebuild_active_ || !powered_) return 0;
+    if (rebuilding_disks_.empty() || rebuilding_disks_.size() > 2) {
+        return 0;  // > 2 concurrent losses: beyond RAID-6, operator's call
+    }
+    in_service_ = true;
+    const std::size_t first = rebuild_cursor_;
+    const std::size_t last =
+        std::min(map_.stripes(), first + max_stripes);
+    const rebuild_result res =
+        rebuild_stripe_range(*this, rebuilding_disks_, first, last, nullptr);
+    std::size_t processed = 0;
+    if (powered_) {
+        // (If power died mid-batch the writes were dropped — keep the
+        // cursor so the batch reruns after reboot; decode is idempotent.)
+        rebuild_cursor_ = last;
+        processed = last - first;
+        stats_.rebuild_stripes_failed.fetch_add(res.stripes_failed,
+                                                std::memory_order_relaxed);
+        if (rebuild_cursor_ >= map_.stripes()) {
+            rebuild_active_ = false;
+            rebuilding_disks_.clear();
+            rebuild_cursor_ = 0;
+            stats_.rebuilds_completed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    in_service_ = false;
+    // A survivor may have tripped during the batch.
+    if (pending_failover_.load(std::memory_order_acquire)) {
+        handle_failed_disks();
+    }
+    return processed;
+}
+
+void raid6_array::drain_background_rebuild() {
+    // A health trip may still be waiting for its promotion.
+    if (pending_failover_.load(std::memory_order_acquire)) {
+        handle_failed_disks();
+    }
+    while (rebuild_active_ && powered_) {
+        if (service_background_rebuild(map_.stripes()) == 0) break;
+    }
+}
+
+// ---- stripe-granular interface ---------------------------------------
+
 bool raid6_array::load_stripe(std::size_t stripe, const codes::stripe_view& dst,
-                              std::vector<std::uint32_t>& erased) const {
+                              std::vector<std::uint32_t>& erased,
+                              std::vector<io_status>* statuses) {
     erased.clear();
+    if (statuses != nullptr) statuses->assign(map_.n(), io_status::ok);
     for (std::uint32_t col = 0; col < map_.n(); ++col) {
         const strip_location loc = map_.locate(stripe, col);
-        const io_status st =
-            disks_[loc.disk]->read(loc.offset, dst.strip(col));
+        const io_status st = disk_read(loc.disk, loc.offset, dst.strip(col));
+        if (statuses != nullptr) (*statuses)[col] = st;
         if (st != io_status::ok) erased.push_back(col);
     }
     return erased.size() <= 2;
@@ -74,16 +268,6 @@ bool raid6_array::store_columns(std::size_t stripe,
     return all_ok;
 }
 
-io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
-                                  std::span<const std::byte> in) {
-    if (write_budget_ == 0) {
-        powered_ = false;
-        return io_status::ok;  // the host never learns; the bits are gone
-    }
-    --write_budget_;
-    return disks_[disk]->write(offset, in);
-}
-
 void raid6_array::journal_mark(std::size_t stripe) {
     if (powered_) journal_.mark(stripe);
 }
@@ -97,9 +281,11 @@ std::size_t raid6_array::resilver() {
     std::size_t healed = 0;
     codes::stripe_buffer buf = make_stripe_buffer();
     for (std::size_t s = 0; s < map_.stripes(); ++s) {
-        const auto before = stats_.media_errors_recovered;
+        const auto before =
+            stats_.media_errors_recovered.load(std::memory_order_relaxed);
         if (!load_and_decode(s, buf.view())) continue;  // > 2 unavailable
-        healed += stats_.media_errors_recovered - before;
+        healed += stats_.media_errors_recovered.load(std::memory_order_relaxed) -
+                  before;
     }
     return healed;
 }
@@ -126,18 +312,20 @@ std::size_t raid6_array::recover_write_hole() {
 bool raid6_array::load_and_decode(std::size_t stripe,
                                   const codes::stripe_view& buf) {
     std::vector<std::uint32_t> erased;
-    if (!load_stripe(stripe, buf, erased)) return false;
+    std::vector<io_status> statuses;
+    if (!load_stripe(stripe, buf, erased, &statuses)) return false;
     if (erased.empty()) return true;
     code_.decode(buf, erased);
-    ++stats_.degraded_stripe_reads;
+    stats_.degraded_stripe_reads.fetch_add(1, std::memory_order_relaxed);
     // Heal-on-read: a column that was unreadable on an *online* disk is a
     // latent sector error. Rewrite the reconstructed strip so the medium
     // remaps it (md's read-error rewrite) — otherwise the bad sector lies
-    // in wait and turns the next double failure into a triple.
+    // in wait and turns the next double failure into a triple. Columns
+    // erased for other reasons need no heal: transient errors left the
+    // data intact, and rebuilding columns are the background session's job.
     for (const std::uint32_t col : erased) {
-        const strip_location loc = map_.locate(stripe, col);
-        if (!disks_[loc.disk]->online()) continue;
-        ++stats_.media_errors_recovered;
+        if (statuses[col] != io_status::unreadable_sector) continue;
+        stats_.media_errors_recovered.fetch_add(1, std::memory_order_relaxed);
         const std::uint32_t one[] = {col};
         store_columns(stripe, buf, one);
     }
@@ -154,9 +342,9 @@ bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
     const auto read_elem = [&](std::uint32_t c, std::uint32_t r,
                                std::span<std::byte> dst) {
         const strip_location loc = map_.locate(stripe, c);
-        return disks_[loc.disk]->read(
-                   loc.offset + static_cast<std::size_t>(r) * elem, dst) ==
-               io_status::ok;
+        return disk_read(loc.disk,
+                         loc.offset + static_cast<std::size_t>(r) * elem,
+                         dst) == io_status::ok;
     };
 
     if (!read_elem(code_.p_column(), row, acc.span())) return false;
@@ -166,12 +354,13 @@ bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
         xorops::xor_into(acc.data(), tmp.data(), elem);
     }
     std::memcpy(out.data(), acc.data(), elem);
-    ++stats_.degraded_element_reads;
+    stats_.degraded_element_reads.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
 bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
     LIBERATION_EXPECTS(addr + out.size() <= capacity());
+    service_events();
     std::size_t done = 0;
     while (done < out.size()) {
         const std::size_t a = addr + done;
@@ -190,8 +379,9 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
             const std::size_t chunk =
                 std::min(span_len - copied, map_.strip_size() - in_strip);
             const strip_location loc = map_.locate(stripe, col);
-            const io_status st = disks_[loc.disk]->read(
-                loc.offset + in_strip, out.subspan(done + copied, chunk));
+            const io_status st = disk_read(
+                loc.disk, loc.offset + in_strip,
+                out.subspan(done + copied, chunk));
             if (st != io_status::ok) {
                 degraded = true;
                 break;
@@ -219,11 +409,11 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
                     const std::size_t chunk = std::min(
                         span_len - i, map_.element_size() - in_elem);
                     const strip_location loc = map_.locate(stripe, col);
-                    if (disks_[loc.disk]->read(
-                            loc.offset +
-                                static_cast<std::size_t>(row) *
-                                    map_.element_size(),
-                            ebuf.span()) != io_status::ok &&
+                    if (disk_read(loc.disk,
+                                  loc.offset +
+                                      static_cast<std::size_t>(row) *
+                                          map_.element_size(),
+                                  ebuf.span()) != io_status::ok &&
                         !read_element_degraded(stripe, row, col,
                                                ebuf.span())) {
                         element_path = false;
@@ -259,6 +449,7 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
 
 bool raid6_array::write(std::size_t addr, std::span<const std::byte> in) {
     LIBERATION_EXPECTS(addr + in.size() <= capacity());
+    service_events();
     std::size_t done = 0;
     while (done < in.size()) {
         const std::size_t a = addr + done;
@@ -289,7 +480,7 @@ bool raid6_array::write_full_stripe(std::size_t stripe,
                     map_.strip_size());
     }
     code_.encode(v);
-    ++stats_.full_stripe_writes;
+    stats_.full_stripe_writes.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::uint32_t> cols(map_.n());
     for (std::uint32_t c = 0; c < map_.n(); ++c) cols[c] = c;
     // Failed disks simply miss the update; the stripe stays decodable as
@@ -337,41 +528,49 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
         const strip_location ploc = map_.locate(stripe, pc);
         const strip_location qloc = map_.locate(stripe, qc);
         const std::size_t elem_off = static_cast<std::size_t>(t.row) * elem;
-        if (disks_[dloc.disk]->read(dloc.offset + elem_off, old_e.span()) !=
+        if (disk_read(dloc.disk, dloc.offset + elem_off, old_e.span()) !=
                 io_status::ok ||
-            disks_[ploc.disk]->read(
-                ploc.offset + static_cast<std::size_t>(t.row) * elem,
-                par.span()) != io_status::ok ||
-            disks_[qloc.disk]->read(
-                qloc.offset +
-                    static_cast<std::size_t>(g.diag_of(t.row, t.col)) * elem,
-                par.span()) != io_status::ok) {
+            disk_read(ploc.disk,
+                      ploc.offset + static_cast<std::size_t>(t.row) * elem,
+                      par.span()) != io_status::ok ||
+            disk_read(qloc.disk,
+                      qloc.offset +
+                          static_cast<std::size_t>(g.diag_of(t.row, t.col)) *
+                              elem,
+                      par.span()) != io_status::ok) {
             fast_ok = false;
             break;
         }
         if (g.is_extra_position(t.row, t.col) &&
-            disks_[qloc.disk]->read(
-                qloc.offset +
-                    static_cast<std::size_t>(g.extra_q_index(t.col)) * elem,
-                par.span()) != io_status::ok) {
+            disk_read(qloc.disk,
+                      qloc.offset +
+                          static_cast<std::size_t>(g.extra_q_index(t.col)) *
+                              elem,
+                      par.span()) != io_status::ok) {
             fast_ok = false;
             break;
         }
     }
 
     if (fast_ok) {
-        // Apply phase: reads were validated, writes to online disks cannot
-        // fail, so every element update is applied atomically.
+        // Apply phase. Validation makes failures rare, but transient
+        // faults or a health trip can still strike between phases; on any
+        // mid-apply failure we bail to the reconstruct-write fallback,
+        // which re-encodes both parities from the data columns — that
+        // restores consistency regardless of which patches landed.
         journal_mark(stripe);
+        bool applied = true;
         for (const touch& t : plan) {
             const strip_location dloc = map_.locate(stripe, t.col);
             const strip_location ploc = map_.locate(stripe, pc);
             const strip_location qloc = map_.locate(stripe, qc);
             const std::size_t elem_off = static_cast<std::size_t>(t.row) * elem;
 
-            io_status st =
-                disks_[dloc.disk]->read(dloc.offset + elem_off, old_e.span());
-            LIBERATION_ENSURES(st == io_status::ok);
+            if (disk_read(dloc.disk, dloc.offset + elem_off, old_e.span()) !=
+                io_status::ok) {
+                applied = false;
+                break;
+            }
             std::memcpy(new_e.data(), old_e.data(), elem);
             std::memcpy(new_e.data() + t.in_elem, in.data() + t.src_off,
                         t.chunk);
@@ -381,27 +580,41 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
                                    const strip_location& loc) {
                 const std::size_t poff =
                     loc.offset + static_cast<std::size_t>(prow) * elem;
-                const io_status rs = disks_[loc.disk]->read(poff, par.span());
-                LIBERATION_ENSURES(rs == io_status::ok);
+                if (disk_read(loc.disk, poff, par.span()) != io_status::ok) {
+                    return false;
+                }
                 xorops::xor_into(par.data(), delta.data(), elem);
-                const io_status ws = disk_write(loc.disk, poff, par.span());
-                LIBERATION_ENSURES(ws == io_status::ok);
+                return disk_write(loc.disk, poff, par.span()) == io_status::ok;
             };
 
-            patch(t.row, ploc);
-            patch(g.diag_of(t.row, t.col), qloc);
+            if (!patch(t.row, ploc) ||
+                !patch(g.diag_of(t.row, t.col), qloc)) {
+                applied = false;
+                break;
+            }
             std::uint32_t touched = 2;
             if (g.is_extra_position(t.row, t.col)) {
-                patch(g.extra_q_index(t.col), qloc);
+                if (!patch(g.extra_q_index(t.col), qloc)) {
+                    applied = false;
+                    break;
+                }
                 ++touched;
             }
-            st = disk_write(dloc.disk, dloc.offset + elem_off, new_e.span());
-            LIBERATION_ENSURES(st == io_status::ok);
-            stats_.parity_elements_updated += touched;
+            if (disk_write(dloc.disk, dloc.offset + elem_off, new_e.span()) !=
+                io_status::ok) {
+                applied = false;
+                break;
+            }
+            stats_.parity_elements_updated.fetch_add(
+                touched, std::memory_order_relaxed);
         }
-        journal_clear(stripe);
-        ++stats_.small_writes;
-        return true;
+        if (applied) {
+            journal_clear(stripe);
+            stats_.small_writes.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        // Fall through to the reconstruct-write path; the stripe stays
+        // journaled until it completes.
     }
 
     // Degraded fallback: reconstruct the whole stripe, splice the new
@@ -424,7 +637,7 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
     journal_mark(stripe);
     store_columns(stripe, buf.view(), cols);
     journal_clear(stripe);
-    ++stats_.small_writes;
+    stats_.small_writes.fetch_add(1, std::memory_order_relaxed);
     return failed_disk_count() <= 2;
 }
 

@@ -9,16 +9,25 @@
 //     the 2 (occasionally 3) parity elements the Liberation update rule
 //     names — the update-optimality the paper motivates in Section I;
 //   * disk fail / replace, rebuild (see rebuild.hpp) and scrubbing
-//     (see scrubber.hpp).
+//     (see scrubber.hpp);
+//   * fault tolerance: every disk read/write funnels through a retrying
+//     io_policy (transient errors are retried with backoff), outcomes feed
+//     a per-disk health_monitor that trips error-prone disks to failed,
+//     and failed disks are automatically replaced from a hot-spare pool
+//     with an incremental background rebuild (md's recovery window)
+//     interleaved with foreground I/O.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "liberation/codes/stripe.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/raid/health.hpp"
 #include "liberation/raid/intent_log.hpp"
+#include "liberation/raid/io_policy.hpp"
 #include "liberation/raid/stripe_map.hpp"
 #include "liberation/raid/vdisk.hpp"
 
@@ -33,8 +42,25 @@ struct array_config {
     /// parity_first enables add_data_disk(); pick p large enough for the
     /// anticipated maximum k (the paper's "Case (b)" deployment).
     parity_layout layout = parity_layout::rotating;
+
+    // ---- fault tolerance ---------------------------------------------
+    /// Blank standby disks. When a disk fails (operator, injected, or
+    /// health-tripped) one is promoted automatically and rebuilt in the
+    /// background. 0 = no spares, failures wait for the operator.
+    std::uint32_t hot_spares = 0;
+    /// Promote spares automatically on failure (requires hot_spares > 0).
+    bool auto_failover = true;
+    /// Stripes of background rebuild serviced per foreground read/write.
+    std::size_t rebuild_batch_stripes = 4;
+    /// Retry/backoff policy for every disk I/O.
+    io_policy_config io_retry{};
+    /// Error thresholds that trip a disk to failed.
+    health_config health{};
 };
 
+/// Copyable snapshot of the array's operation counters. The live counters
+/// are atomic (pooled rebuild/resilver workers increment them concurrently
+/// with the foreground path); stats() takes a relaxed snapshot.
 struct array_stats {
     std::uint64_t full_stripe_writes = 0;
     std::uint64_t small_writes = 0;
@@ -42,6 +68,12 @@ struct array_stats {
     std::uint64_t degraded_stripe_reads = 0;    ///< full-stripe decodes
     std::uint64_t degraded_element_reads = 0;   ///< row-parity fast path
     std::uint64_t media_errors_recovered = 0;   ///< latent errors healed by decode
+    std::uint64_t transient_errors_masked = 0;  ///< ops saved by retries
+    std::uint64_t retries_exhausted = 0;        ///< transient after full budget
+    std::uint64_t disks_tripped = 0;            ///< failed by the health monitor
+    std::uint64_t spares_promoted = 0;
+    std::uint64_t rebuilds_completed = 0;       ///< background sessions finished
+    std::uint64_t rebuild_stripes_failed = 0;   ///< unrecoverable during bg rebuild
 };
 
 class raid6_array {
@@ -63,7 +95,7 @@ public:
     }
     [[nodiscard]] vdisk& disk(std::uint32_t d) { return *disks_[d]; }
     [[nodiscard]] const vdisk& disk(std::uint32_t d) const { return *disks_[d]; }
-    [[nodiscard]] const array_stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] array_stats stats() const noexcept { return stats_.snapshot(); }
 
     [[nodiscard]] std::uint32_t failed_disk_count() const noexcept;
 
@@ -75,10 +107,50 @@ public:
     /// damage (> 2 unavailable columns in a touched stripe).
     [[nodiscard]] bool write(std::size_t addr, std::span<const std::byte> in);
 
-    void fail_disk(std::uint32_t d) { disks_[d]->fail(); }
+    /// Fail-stop a disk. If a hot spare is available (and auto_failover is
+    /// on) it is promoted and a background rebuild starts on the next
+    /// foreground operation — or call service_background_rebuild directly.
+    void fail_disk(std::uint32_t d);
 
     /// Install a blank replacement (contents must be rebuilt afterwards).
-    void replace_disk(std::uint32_t d) { disks_[d]->replace(); }
+    /// Cancels any background-rebuild claim on the slot and resets its
+    /// health history (it is new hardware).
+    void replace_disk(std::uint32_t d);
+
+    // ---- fault tolerance ---------------------------------------------
+
+    [[nodiscard]] const health_monitor& health() const noexcept {
+        return health_;
+    }
+    [[nodiscard]] virtual_clock& clock() noexcept { return clock_; }
+    [[nodiscard]] io_policy_stats io_stats() const noexcept {
+        return policy_.stats();
+    }
+    [[nodiscard]] std::uint32_t spare_count() const noexcept {
+        return static_cast<std::uint32_t>(spares_.size());
+    }
+    [[nodiscard]] bool rebuild_active() const noexcept {
+        return rebuild_active_;
+    }
+    /// Stripes the current background rebuild session has yet to process.
+    [[nodiscard]] std::size_t rebuild_stripes_remaining() const noexcept {
+        return rebuild_active_ ? map_.stripes() - rebuild_cursor_ : 0;
+    }
+
+    /// Promote spares for any failed disks and advance the background
+    /// rebuild by up to `max_stripes` stripes. Called implicitly from
+    /// read()/write() (a batch per host op); call directly to make
+    /// progress on an idle array. Returns stripes processed now.
+    std::size_t service_background_rebuild(std::size_t max_stripes);
+
+    /// Run the background rebuild to completion (no-op when idle).
+    void drain_background_rebuild();
+
+    /// All disk reads funnel through here: retry policy, health
+    /// accounting, health tripping, and masking of not-yet-rebuilt extents
+    /// on promoted spares (io_status::rebuilding).
+    io_status disk_read(std::uint32_t d, std::size_t offset,
+                        std::span<std::byte> out);
 
     /// Patrol read: walk every stripe, reconstruct unreadable strips
     /// (latent sector errors) and rewrite them in place. Plain reads only
@@ -126,11 +198,14 @@ public:
     // ---- stripe-granular interface (rebuild / scrub engines) ----------
 
     /// Load every readable strip of `stripe` into `dst` (codeword column
-    /// order) and report which columns are unavailable. Returns false if
-    /// more than two columns are gone.
+    /// order) and report which columns are unavailable. When `statuses` is
+    /// non-null it receives the per-column io_status (so callers can tell
+    /// transient from latent unavailability). Returns false if more than
+    /// two columns are gone.
     [[nodiscard]] bool load_stripe(std::size_t stripe,
                                    const codes::stripe_view& dst,
-                                   std::vector<std::uint32_t>& erased) const;
+                                   std::vector<std::uint32_t>& erased,
+                                   std::vector<io_status>* statuses = nullptr);
 
     /// Write the given codeword columns of `stripe` back to their disks.
     /// Columns on failed disks are skipped (reported false).
@@ -143,6 +218,24 @@ public:
     }
 
 private:
+    /// Live counters behind array_stats (see that struct for semantics).
+    struct atomic_stats {
+        std::atomic<std::uint64_t> full_stripe_writes{0};
+        std::atomic<std::uint64_t> small_writes{0};
+        std::atomic<std::uint64_t> parity_elements_updated{0};
+        std::atomic<std::uint64_t> degraded_stripe_reads{0};
+        std::atomic<std::uint64_t> degraded_element_reads{0};
+        std::atomic<std::uint64_t> media_errors_recovered{0};
+        std::atomic<std::uint64_t> transient_errors_masked{0};
+        std::atomic<std::uint64_t> retries_exhausted{0};
+        std::atomic<std::uint64_t> disks_tripped{0};
+        std::atomic<std::uint64_t> spares_promoted{0};
+        std::atomic<std::uint64_t> rebuilds_completed{0};
+        std::atomic<std::uint64_t> rebuild_stripes_failed{0};
+
+        [[nodiscard]] array_stats snapshot() const noexcept;
+    };
+
     /// Degraded path: load + decode a full stripe into `buf`.
     [[nodiscard]] bool load_and_decode(std::size_t stripe,
                                        const codes::stripe_view& buf);
@@ -161,11 +254,27 @@ private:
     [[nodiscard]] bool write_partial(std::size_t stripe, std::size_t in_stripe,
                                      std::span<const std::byte> in);
 
-    /// All mutating disk I/O funnels through here so power loss can be
-    /// simulated: once the budget runs out the write is dropped on the
-    /// floor and the array goes dark.
+    /// All mutating disk I/O funnels through here: power-loss simulation
+    /// (once the budget runs out the write is dropped on the floor and the
+    /// array goes dark), then the retry policy and health accounting.
     io_status disk_write(std::uint32_t disk, std::size_t offset,
                          std::span<const std::byte> in);
+
+    /// True when `offset` on disk `d` lies in a stripe the background
+    /// rebuild has not reached yet — reads there must be treated as
+    /// erasures, not trusted (the spare is still blank).
+    [[nodiscard]] bool rebuild_masked(std::uint32_t d,
+                                      std::size_t offset) const noexcept;
+
+    /// Record a policy-mediated I/O outcome; trips the disk on threshold.
+    void note_io(std::uint32_t d, io_kind kind, const io_result& r);
+
+    /// Promote spares for every failed disk (auto_failover). Starts or
+    /// extends the background rebuild session.
+    void handle_failed_disks();
+
+    /// Entry hook for read()/write(): failover + one rebuild batch.
+    void service_events();
 
     void journal_mark(std::size_t stripe);
     void journal_clear(std::size_t stripe);
@@ -174,10 +283,28 @@ private:
     core::liberation_optimal_code code_;
     std::size_t sector_size_;
     std::vector<std::unique_ptr<vdisk>> disks_;
-    array_stats stats_;
+    atomic_stats stats_;
     intent_log journal_;
     bool powered_ = true;
     std::uint64_t write_budget_ = UINT64_MAX;
+
+    // ---- fault tolerance ---------------------------------------------
+    virtual_clock clock_;
+    io_policy policy_;
+    health_monitor health_;
+    bool auto_failover_;
+    std::size_t rebuild_batch_stripes_;
+    std::uint32_t next_disk_id_;
+    std::vector<std::unique_ptr<vdisk>> spares_;
+    /// Disks being rebuilt in the background (promoted spares). Stripes
+    /// >= rebuild_cursor_ are masked on these disks.
+    std::vector<std::uint32_t> rebuilding_disks_;
+    std::size_t rebuild_cursor_ = 0;
+    bool rebuild_active_ = false;
+    bool in_service_ = false;  ///< reentrancy guard for the rebuild batch
+    /// Set from deep I/O paths (possibly pool threads) when the health
+    /// monitor trips a disk; serviced at the next foreground entry.
+    std::atomic<bool> pending_failover_{false};
 };
 
 }  // namespace liberation::raid

@@ -1,0 +1,254 @@
+#include "liberation/raid/chaos.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "liberation/raid/scrubber.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace liberation::raid {
+
+namespace {
+
+/// Per-disk fault streams must be decorrelated from each other and from
+/// the workload stream; splitmix-style odd multiplier does that cheaply.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t n) {
+    return seed ^ (0x9e3779b97f4a7c15ULL * (n + 1));
+}
+
+[[nodiscard]] std::uint32_t pick_online_disk(raid6_array& a,
+                                             util::xoshiro256& rng) {
+    const std::uint32_t n = a.disk_count();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto d = static_cast<std::uint32_t>(rng.next_below(n));
+        if (a.disk(d).online()) return d;
+    }
+    for (std::uint32_t d = 0; d < n; ++d)
+        if (a.disk(d).online()) return d;
+    return 0;  // all offline; caller's event will be a no-op
+}
+
+}  // namespace
+
+chaos_config default_chaos_config(std::uint64_t seed, std::size_t ops) {
+    chaos_config cfg;
+    cfg.seed = seed;
+    cfg.ops = ops;
+    cfg.array.k = 4;
+    cfg.array.element_size = 512;
+    cfg.array.stripes = 32;
+    cfg.array.sector_size = 512;
+    // One spare each for the injected fail-stop and the health trip.
+    cfg.array.hot_spares = 2;
+    cfg.array.rebuild_batch_stripes = 4;
+    // Baseline transient rates are masked by retries and must NOT trip
+    // disks; only *hard* (retry-exhausted) errors count, which the storm
+    // disk produces almost immediately at storm_rate = 0.9
+    // (0.9^4 ≈ 0.66 per I/O) while baseline disks essentially never do
+    // (0.01^4 = 1e-8 per read).
+    cfg.array.health.max_transient_errors = 0;  // disabled
+    cfg.array.health.max_read_errors = 20;
+    cfg.array.health.max_write_errors = 1;  // md: first lost write trips
+    return cfg;
+}
+
+chaos_report run_chaos_campaign(const chaos_config& cfg) {
+    chaos_report rep;
+    raid6_array a(cfg.array);
+    util::xoshiro256 rng(cfg.seed);
+    const auto log = [&](const std::string& msg) {
+        if (cfg.log) cfg.log(msg);
+    };
+
+    // Arm baseline transient rates on every starting disk (spares are
+    // armed only if promoted hardware were flaky — they are not; a
+    // promoted spare is fresh hardware, which is also what keeps the
+    // post-storm array quiet enough to finish its rebuild).
+    if (cfg.transient_read_rate > 0.0 || cfg.transient_write_rate > 0.0) {
+        for (std::uint32_t d = 0; d < a.disk_count(); ++d)
+            a.disk(d).set_transient_fault_rates(cfg.transient_read_rate,
+                                                cfg.transient_write_rate,
+                                                derive_seed(cfg.seed, d));
+    }
+
+    // Initial fill + shadow copy: every later read has a ground truth.
+    const std::size_t cap = a.capacity();
+    std::vector<std::byte> shadow(cap);
+    rng.fill(shadow);
+    if (!a.write(0, shadow)) {
+        ++rep.failed_writes;
+        rep.stats = a.stats();
+        return rep;
+    }
+
+    const std::size_t max_io = cfg.max_io_bytes != 0
+                                   ? std::min(cfg.max_io_bytes, cap)
+                                   : std::min(2 * a.map().stripe_data_size(), cap);
+    std::vector<std::byte> buf(max_io);
+
+    const chaos_event_plan& ev = cfg.events;
+    bool fail_stop_pending = false;
+    bool storm_pending = false;
+    bool power_pending = false;
+    bool power_armed = false;  // budget set, loss not yet observed
+
+    // An event only fires when the array is quiet — no failed disk, no
+    // rebuild in flight — so faults never stack beyond the two erasures
+    // RAID-6 tolerates by construction.
+    const auto quiet = [&] {
+        return a.failed_disk_count() == 0 && !a.rebuild_active() &&
+               a.powered() && !power_armed;
+    };
+
+    for (std::size_t op = 0; op < cfg.ops; ++op) {
+        if (op == ev.fail_stop_at_op) fail_stop_pending = true;
+        if (op == ev.health_storm_at_op) storm_pending = true;
+        if (op == ev.power_loss_at_op) power_pending = true;
+
+        // Fire at most one armed event per op, oldest first.
+        if (fail_stop_pending && quiet()) {
+            const std::uint32_t victim = pick_online_disk(a, rng);
+            log("op " + std::to_string(op) + ": fail-stop disk " +
+                std::to_string(victim));
+            a.fail_disk(victim);
+            ++rep.injected_fail_stops;
+            fail_stop_pending = false;
+        } else if (storm_pending && quiet()) {
+            const std::uint32_t victim = pick_online_disk(a, rng);
+            log("op " + std::to_string(op) + ": transient storm on disk " +
+                std::to_string(victim));
+            a.disk(victim).set_transient_fault_rates(
+                cfg.storm_rate, cfg.storm_rate, derive_seed(cfg.seed, 1000));
+            storm_pending = false;
+        } else if (power_pending && quiet()) {
+            const auto budget = 1 + rng.next_below(4);
+            log("op " + std::to_string(op) + ": power loss armed after " +
+                std::to_string(budget) + " disk writes");
+            a.simulate_power_loss_after(budget);
+            power_pending = false;
+            power_armed = true;
+        } else if (ev.latent_error_every != 0 && op % ev.latent_error_every == 0 &&
+                   op != 0 && quiet()) {
+            const std::uint32_t victim = pick_online_disk(a, rng);
+            const std::size_t dcap = a.disk(victim).capacity();
+            const std::size_t off =
+                rng.next_below(dcap / cfg.array.sector_size) *
+                cfg.array.sector_size;
+            a.disk(victim).inject_latent_error(off, cfg.array.sector_size);
+            ++rep.latent_errors_injected;
+        }
+
+        // One workload op.
+        const bool do_write = rng.next_below(10) < cfg.write_tenths;
+        const std::size_t len = 1 + rng.next_below(max_io);
+        const std::size_t addr = rng.next_below(cap - len + 1);
+        const std::span<std::byte> io(buf.data(), len);
+        if (do_write) {
+            rng.fill(io);
+            ++rep.writes;
+            if (!a.write(addr, io)) {
+                ++rep.failed_writes;
+            } else if (a.powered()) {
+                std::memcpy(shadow.data() + addr, buf.data(), len);
+            }
+        } else {
+            ++rep.reads;
+            if (!a.read(addr, io)) {
+                ++rep.failed_reads;
+            } else if (std::memcmp(shadow.data() + addr, buf.data(), len) !=
+                       0) {
+                ++rep.mismatches;
+                log("op " + std::to_string(op) + ": shadow mismatch at " +
+                    std::to_string(addr) + "+" + std::to_string(len));
+            }
+        }
+        ++rep.ops;
+
+        // Power loss fired mid-op: reboot, re-sync the journaled (torn)
+        // stripes from their data columns, then reconcile the shadow with
+        // whichever mix of old/new data the torn write left behind — that
+        // on-disk state is now the ground truth, exactly as a real host
+        // sees after an unclean shutdown.
+        if (!a.powered()) {
+            ++rep.power_losses;
+            log("op " + std::to_string(op) + ": power lost, rebooting");
+            a.reboot();
+            power_armed = false;
+            // Baseline transients can defer individual stripes; retry.
+            for (int t = 0; t < 16 && a.journal().size() != 0; ++t)
+                rep.resynced_stripes += a.recover_write_hole();
+            if (do_write) {
+                if (a.read(addr, io)) {
+                    std::memcpy(shadow.data() + addr, buf.data(), len);
+                } else {
+                    ++rep.failed_reads;
+                }
+            }
+        }
+    }
+
+    // Settle: finish the background rebuild, disarm every fault stream,
+    // then heal what is left (latent sectors on strips the workload never
+    // re-read, including parity strips only resilver visits).
+    a.drain_background_rebuild();
+    for (std::uint32_t d = 0; d < a.disk_count(); ++d)
+        a.disk(d).clear_transient_faults();
+    for (int t = 0; t < 16 && a.journal().size() != 0; ++t)
+        rep.resynced_stripes += a.recover_write_hole();
+    rep.resilver_healed = a.resilver();
+
+    // Final verification: full device vs shadow...
+    std::vector<std::byte> out(cap);
+    if (!a.read(0, out)) {
+        ++rep.failed_reads;
+    } else if (!std::equal(out.begin(), out.end(), shadow.begin())) {
+        ++rep.mismatches;
+        log("final full-device read disagrees with the shadow copy");
+    }
+
+    // ...then per-stripe availability...
+    {
+        codes::stripe_buffer sbuf = a.make_stripe_buffer();
+        std::vector<std::uint32_t> erased;
+        for (std::size_t s = 0; s < a.map().stripes(); ++s) {
+            if (!a.load_stripe(s, sbuf.view(), erased)) {
+                ++rep.final_unrecovered;
+            } else if (!erased.empty()) {
+                ++rep.final_degraded;
+            }
+        }
+    }
+
+    // ...then parity consistency. Any repair the scrubber performs here
+    // means some path left a stripe torn without journaling it.
+    const scrub_summary scrub = scrub_array(a);
+    rep.final_torn = scrub.repaired_data + scrub.repaired_parity;
+    rep.scrub_uncorrectable = scrub.uncorrectable;
+
+    rep.stats = a.stats();
+    rep.io = a.io_stats();
+    rep.health_trips = rep.stats.disks_tripped;
+    rep.spares_promoted = rep.stats.spares_promoted;
+    rep.rebuilds_completed = rep.stats.rebuilds_completed;
+
+    bool events_ok = a.journal().size() == 0;
+    if (ev.fail_stop_at_op < cfg.ops) {
+        events_ok = events_ok && rep.injected_fail_stops >= 1;
+    }
+    if (ev.health_storm_at_op < cfg.ops && cfg.storm_rate > 0.0) {
+        events_ok = events_ok && rep.health_trips >= 1;
+    }
+    if (ev.power_loss_at_op < cfg.ops) {
+        events_ok = events_ok && rep.power_losses >= 1;
+    }
+    if (cfg.array.hot_spares > 0 &&
+        (ev.fail_stop_at_op < cfg.ops || ev.health_storm_at_op < cfg.ops)) {
+        events_ok = events_ok && rep.spares_promoted >= 1 &&
+                    rep.rebuilds_completed >= 1;
+    }
+    rep.success = rep.clean() && events_ok;
+    return rep;
+}
+
+}  // namespace liberation::raid

@@ -1,0 +1,99 @@
+// Chaos campaign: a seeded, replayable end-to-end torture test of the
+// fault-tolerant array.
+//
+// The campaign interleaves a random read/write workload with every fault
+// class the simulator models — baseline transient error rates on all
+// disks, a "storm" that makes one disk flaky enough for the health monitor
+// to trip it, an injected fail-stop, latent sector errors, and a power
+// loss mid-write — while hot spares absorb the failures and the background
+// rebuild races foreground I/O. Every read is checked against a shadow
+// copy, so any stripe the optimal Liberation encode/decode paths mishandle
+// under compound faults shows up as a mismatch.
+//
+// Everything is driven by one seed through util::xoshiro256: the same
+// config replays the same campaign bit-for-bit (the harness's replay
+// contract, and what makes test_chaos deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "liberation/raid/array.hpp"
+
+namespace liberation::raid {
+
+/// Fault events are *armed* at these op indices and fire at the first
+/// subsequent op where the array is quiet (no failed disk, no rebuild in
+/// flight), so compound events stay within RAID-6's two-erasure budget.
+struct chaos_event_plan {
+    std::size_t fail_stop_at_op = 2000;     ///< fail-stop a random disk
+    std::size_t health_storm_at_op = 5000;  ///< make one disk trip-worthy
+    std::size_t power_loss_at_op = 8000;    ///< cut power mid-write
+    /// Inject a latent sector error every N ops (0 = never).
+    std::size_t latent_error_every = 1500;
+};
+
+struct chaos_config {
+    std::uint64_t seed = 42;
+    std::size_t ops = 10'000;
+    array_config array{};  ///< must include hot spares for the fault plan
+    /// Baseline transient error rates armed on every disk.
+    double transient_read_rate = 0.01;
+    double transient_write_rate = 0.005;
+    /// Transient rates of the health-storm disk (should exhaust retries).
+    double storm_rate = 0.9;
+    /// Largest single read/write (0 = twice the stripe data size).
+    std::size_t max_io_bytes = 0;
+    /// Fraction of ops that are writes, in tenths (4 = 40%).
+    std::uint32_t write_tenths = 4;
+    chaos_event_plan events{};
+    /// Optional event logger (the CLI passes a printf; tests leave null).
+    std::function<void(const std::string&)> log{};
+};
+
+/// A chaos_config whose array/health/event parameters are tuned so the
+/// default plan (trip + fail-stop + power loss, two hot spares) runs
+/// cleanly: baseline transients stay below trip thresholds, the storm
+/// crosses them.
+[[nodiscard]] chaos_config default_chaos_config(std::uint64_t seed,
+                                                std::size_t ops = 10'000);
+
+struct chaos_report {
+    std::size_t ops = 0;
+    std::size_t reads = 0;
+    std::size_t writes = 0;
+    // ---- correctness ----
+    std::size_t mismatches = 0;      ///< reads that disagreed with the shadow
+    std::size_t failed_reads = 0;    ///< read() returned false (data loss)
+    std::size_t failed_writes = 0;   ///< write() returned false
+    std::size_t final_torn = 0;      ///< stripes with inconsistent parity at end
+    std::size_t final_degraded = 0;  ///< stripes with unavailable columns at end
+    std::size_t final_unrecovered = 0;  ///< stripes beyond two erasures at end
+    std::size_t scrub_uncorrectable = 0;
+    // ---- events that actually fired ----
+    std::size_t injected_fail_stops = 0;
+    std::size_t latent_errors_injected = 0;
+    std::size_t power_losses = 0;
+    std::size_t resynced_stripes = 0;  ///< write-hole recovery after power loss
+    std::size_t resilver_healed = 0;
+    std::uint64_t health_trips = 0;
+    std::uint64_t spares_promoted = 0;
+    std::uint64_t rebuilds_completed = 0;
+    array_stats stats{};       ///< final array counters
+    io_policy_stats io{};      ///< final retry-policy counters
+    bool success = false;
+
+    /// The acceptance predicate: zero corruption AND the full fault plan
+    /// exercised (>= 1 trip, fail-stop, power loss, promotion, rebuild).
+    [[nodiscard]] bool clean() const noexcept {
+        return mismatches == 0 && failed_reads == 0 && failed_writes == 0 &&
+               final_torn == 0 && final_degraded == 0 &&
+               final_unrecovered == 0 && scrub_uncorrectable == 0;
+    }
+};
+
+/// Run one campaign. Deterministic: equal configs produce equal reports.
+chaos_report run_chaos_campaign(const chaos_config& cfg);
+
+}  // namespace liberation::raid

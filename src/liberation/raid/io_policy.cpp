@@ -1,0 +1,51 @@
+#include "liberation/raid/io_policy.hpp"
+
+#include <algorithm>
+
+namespace liberation::raid {
+
+template <typename Op>
+io_result io_policy::run(Op&& op, io_kind kind) {
+    (kind == io_kind::read ? reads_ : writes_)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    io_result result;
+    std::uint64_t backoff = cfg_.initial_backoff_us;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        result.status = op();
+        if (!is_retryable(result.status)) break;
+        ++result.transient_seen;
+        if (attempt >= cfg_.max_retries) {
+            retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        // Exponential backoff on the virtual clock: a real array would
+        // stall here; the simulation just records the stall.
+        clock_->advance(backoff);
+        backoff_us_.fetch_add(backoff, std::memory_order_relaxed);
+        backoff = std::min(backoff * 2, cfg_.max_backoff_us);
+        retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (result.ok() && result.transient_seen > 0) {
+        transient_masked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+}
+
+io_result io_policy::read(vdisk& disk, std::size_t offset,
+                          std::span<std::byte> out) {
+    return run([&] { return disk.read(offset, out); }, io_kind::read);
+}
+
+io_result io_policy::write(vdisk& disk, std::size_t offset,
+                           std::span<const std::byte> in) {
+    return run([&] { return disk.write(offset, in); }, io_kind::write);
+}
+
+io_policy_stats io_policy::stats() const noexcept {
+    return {reads_.load(),            writes_.load(),
+            retries_.load(),          transient_masked_.load(),
+            retries_exhausted_.load(), backoff_us_.load()};
+}
+
+}  // namespace liberation::raid

@@ -1,0 +1,93 @@
+// Retrying I/O policy: bounded retries with exponential backoff over a
+// virtual clock.
+//
+// Real drives report a large class of errors that succeed on retry
+// (recovered errors, command timeouts, transport glitches). md and every
+// production array absorb those in the I/O path instead of surfacing them
+// to the RAID layer; only errors that survive the retry budget become
+// "hard" and feed the health monitor (health.hpp). Backoff runs on a
+// virtual microsecond clock so simulations stay instant and deterministic
+// while still recording how long a real array would have stalled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "liberation/raid/vdisk.hpp"
+
+namespace liberation::raid {
+
+/// Monotonic virtual time in microseconds. Shared by every component of an
+/// array (I/O backoff today; scrub pacing tomorrow). Thread-safe.
+class virtual_clock {
+public:
+    [[nodiscard]] std::uint64_t now_us() const noexcept {
+        return now_us_.load(std::memory_order_relaxed);
+    }
+    void advance(std::uint64_t us) noexcept {
+        now_us_.fetch_add(us, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> now_us_{0};
+};
+
+struct io_policy_config {
+    /// Retries *after* the first attempt; total attempts = 1 + max_retries.
+    std::uint32_t max_retries = 3;
+    /// Backoff before the first retry; doubles each further retry.
+    std::uint64_t initial_backoff_us = 100;
+    /// Backoff cap (exponential growth saturates here).
+    std::uint64_t max_backoff_us = 10'000;
+};
+
+/// Snapshot of policy counters (thread-safe to collect).
+struct io_policy_stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t retries = 0;            ///< extra attempts issued
+    std::uint64_t transient_masked = 0;   ///< ops that failed then succeeded
+    std::uint64_t retries_exhausted = 0;  ///< ops still transient after budget
+    std::uint64_t backoff_us = 0;         ///< virtual time spent waiting
+};
+
+/// Outcome of one policy-mediated operation: the final status plus how many
+/// transient errors were absorbed along the way (the health monitor counts
+/// them even when the op ultimately succeeded — md's corrected-error
+/// accounting).
+struct io_result {
+    io_status status = io_status::ok;
+    std::uint32_t transient_seen = 0;
+
+    [[nodiscard]] bool ok() const noexcept { return status == io_status::ok; }
+};
+
+class io_policy {
+public:
+    io_policy(const io_policy_config& cfg, virtual_clock& clock) noexcept
+        : cfg_(cfg), clock_(&clock) {}
+
+    io_result read(vdisk& disk, std::size_t offset, std::span<std::byte> out);
+    io_result write(vdisk& disk, std::size_t offset,
+                    std::span<const std::byte> in);
+
+    [[nodiscard]] io_policy_stats stats() const noexcept;
+    [[nodiscard]] const io_policy_config& config() const noexcept {
+        return cfg_;
+    }
+
+private:
+    template <typename Op>
+    io_result run(Op&& op, io_kind kind);
+
+    io_policy_config cfg_;
+    virtual_clock* clock_;
+    std::atomic<std::uint64_t> reads_{0};
+    std::atomic<std::uint64_t> writes_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> transient_masked_{0};
+    std::atomic<std::uint64_t> retries_exhausted_{0};
+    std::atomic<std::uint64_t> backoff_us_{0};
+};
+
+}  // namespace liberation::raid

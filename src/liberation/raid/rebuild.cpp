@@ -11,18 +11,28 @@
 
 namespace liberation::raid {
 
-rebuild_result rebuild_disks(raid6_array& array,
-                             std::span<const std::uint32_t> replaced_disks,
-                             util::thread_pool* pool) {
+rebuild_result rebuild_stripe_range(raid6_array& array,
+                                    std::span<const std::uint32_t> replaced_disks,
+                                    std::size_t first, std::size_t last,
+                                    util::thread_pool* pool) {
     LIBERATION_EXPECTS(!replaced_disks.empty() && replaced_disks.size() <= 2);
+    LIBERATION_EXPECTS(first <= last && last <= array.map().stripes());
     rebuild_result result;
     util::stopwatch timer;
 
-    const std::size_t stripes = array.map().stripes();
     std::atomic<std::size_t> rebuilt{0};
     std::atomic<std::size_t> columns{0};
     std::atomic<std::uint64_t> bytes{0};
-    std::atomic<bool> ok{true};
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> first_failed{rebuild_result::npos};
+
+    const auto note_failure = [&](std::size_t s) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        std::size_t cur = first_failed.load(std::memory_order_relaxed);
+        while (s < cur && !first_failed.compare_exchange_weak(
+                              cur, s, std::memory_order_relaxed)) {
+        }
+    };
 
     const auto rebuild_stripe = [&](std::size_t s) {
         // Which codeword columns live on the replaced disks in this stripe?
@@ -35,11 +45,13 @@ rebuild_result rebuild_disks(raid6_array& array,
         codes::stripe_buffer buf = array.make_stripe_buffer();
         std::vector<std::uint32_t> erased;
         if (!array.load_stripe(s, buf.view(), erased)) {
-            ok.store(false);
+            note_failure(s);
             return;
         }
         // The replaced disks read back zeros (blank), so they are not in
-        // `erased` — union them in as logical erasures.
+        // `erased` — union them in as logical erasures. (During background
+        // hot-spare rebuild the array masks them as `rebuilding`, in which
+        // case they are already there.)
         for (const std::uint32_t c : cols) {
             if (std::find(erased.begin(), erased.end(), c) == erased.end()) {
                 erased.push_back(c);
@@ -47,12 +59,12 @@ rebuild_result rebuild_disks(raid6_array& array,
         }
         std::sort(erased.begin(), erased.end());
         if (erased.size() > 2) {
-            ok.store(false);
+            note_failure(s);
             return;
         }
         array.code().decode(buf.view(), erased);
         if (!array.store_columns(s, buf.view(), erased)) {
-            ok.store(false);
+            note_failure(s);
             return;
         }
         rebuilt.fetch_add(1, std::memory_order_relaxed);
@@ -63,17 +75,27 @@ rebuild_result rebuild_disks(raid6_array& array,
     };
 
     if (pool != nullptr) {
-        pool->parallel_for(stripes, rebuild_stripe);
+        pool->parallel_for(last - first,
+                           [&](std::size_t i) { rebuild_stripe(first + i); });
     } else {
-        for (std::size_t s = 0; s < stripes; ++s) rebuild_stripe(s);
+        for (std::size_t s = first; s < last; ++s) rebuild_stripe(s);
     }
 
     result.stripes_rebuilt = rebuilt.load();
     result.columns_rebuilt = columns.load();
     result.bytes_written = bytes.load();
+    result.stripes_failed = failed.load();
+    result.first_failed_stripe = first_failed.load();
     result.seconds = timer.seconds();
-    result.success = ok.load();
+    result.success = result.stripes_failed == 0;
     return result;
+}
+
+rebuild_result rebuild_disks(raid6_array& array,
+                             std::span<const std::uint32_t> replaced_disks,
+                             util::thread_pool* pool) {
+    return rebuild_stripe_range(array, replaced_disks, 0,
+                                array.map().stripes(), pool);
 }
 
 rebuild_result fail_replace_rebuild(raid6_array& array, std::uint32_t disk,
@@ -101,6 +123,12 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
     codes::stripe_buffer buf = array.make_stripe_buffer();
     util::aligned_buffer elem_buf(elem);
 
+    const auto note_failure = [&](std::size_t s) {
+        ++result.stripes_failed;
+        result.first_failed_stripe =
+            std::min(result.first_failed_stripe, s);
+    };
+
     for (std::size_t s = 0; s < map.stripes(); ++s) {
         const std::uint32_t col = map.column_of_disk(s, disk);
         const std::uint32_t rebuilt_cols[] = {col};
@@ -109,8 +137,8 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
             // Parity column: re-encode from a full data read.
             std::vector<std::uint32_t> erased;
             if (!array.load_stripe(s, buf.view(), erased) || erased.size() > 1) {
-                result.seconds = timer.seconds();
-                return result;  // success stays false
+                note_failure(s);
+                continue;
             }
             code.decode(buf.view(), rebuilt_cols);
         } else {
@@ -122,7 +150,8 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
             bool ok = true;
             for (const auto& r : plan.reads) {
                 const strip_location loc = map.locate(s, r.col);
-                if (array.disk(loc.disk).read(
+                if (array.disk_read(
+                        loc.disk,
                         loc.offset + static_cast<std::size_t>(r.row) * elem,
                         elem_buf.span()) != io_status::ok) {
                     ok = false;
@@ -132,22 +161,22 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
                             elem);
             }
             if (!ok) {
-                result.seconds = timer.seconds();
-                return result;
+                note_failure(s);
+                continue;
             }
             core::rebuild_column_hybrid(buf.view(), g, plans[col]);
         }
 
         if (!array.store_columns(s, buf.view(), rebuilt_cols)) {
-            result.seconds = timer.seconds();
-            return result;
+            note_failure(s);
+            continue;
         }
         ++result.stripes_rebuilt;
         ++result.columns_rebuilt;
         result.bytes_written += map.strip_size();
     }
     result.seconds = timer.seconds();
-    result.success = true;
+    result.success = result.stripes_failed == 0;
     return result;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "liberation/raid/array.hpp"
 #include "liberation/util/thread_pool.hpp"
@@ -13,11 +14,19 @@
 namespace liberation::raid {
 
 struct rebuild_result {
+    static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
     std::size_t stripes_rebuilt = 0;
     std::size_t columns_rebuilt = 0;
+    /// Stripes that could not be reconstructed (> 2 unavailable columns or
+    /// a failed write-back). One unreadable stripe is partial data loss;
+    /// callers can tell it apart from total loss instead of a bare flag.
+    std::size_t stripes_failed = 0;
+    /// Lowest-numbered failing stripe, npos when stripes_failed == 0.
+    std::size_t first_failed_stripe = npos;
     std::uint64_t bytes_written = 0;
     double seconds = 0.0;
-    bool success = false;
+    bool success = false;  ///< stripes_failed == 0
 
     [[nodiscard]] double throughput_gbps() const noexcept {
         return seconds > 0 ? static_cast<double>(bytes_written) / seconds / 1e9
@@ -26,11 +35,20 @@ struct rebuild_result {
 };
 
 /// Rebuild every stripe column residing on the given (already replaced)
-/// disks. `pool` may be null for single-threaded rebuild. Fails (success =
-/// false) if any stripe has more than two unavailable columns.
+/// disks. `pool` may be null for single-threaded rebuild. Stripes with more
+/// than two unavailable columns are counted in `stripes_failed` (success =
+/// false) but the rest of the disk is still rebuilt.
 rebuild_result rebuild_disks(raid6_array& array,
                              std::span<const std::uint32_t> replaced_disks,
                              util::thread_pool* pool = nullptr);
+
+/// Rebuild only stripes [first, last) — the incremental unit behind the
+/// array's background hot-spare rebuild, which interleaves batches of
+/// stripes with foreground I/O (md's recovery window).
+rebuild_result rebuild_stripe_range(raid6_array& array,
+                                    std::span<const std::uint32_t> replaced_disks,
+                                    std::size_t first, std::size_t last,
+                                    util::thread_pool* pool = nullptr);
 
 /// Convenience: fail + replace + rebuild one disk.
 rebuild_result fail_replace_rebuild(raid6_array& array, std::uint32_t disk,

@@ -10,11 +10,32 @@ scrub_summary scrub_array(raid6_array& array) {
     scrub_summary summary;
     codes::stripe_buffer buf = array.make_stripe_buffer();
     std::vector<std::uint32_t> erased;
+    std::vector<io_status> statuses;
 
     for (std::size_t s = 0; s < array.map().stripes(); ++s) {
         ++summary.stripes_scanned;
-        if (!array.load_stripe(s, buf.view(), erased) || !erased.empty()) {
-            ++summary.skipped_degraded;
+        if (!array.load_stripe(s, buf.view(), erased, &statuses) ||
+            !erased.empty()) {
+            bool all_transient = true;
+            for (const std::uint32_t col : erased) {
+                switch (statuses[col]) {
+                    case io_status::transient_error:
+                        ++summary.transient_columns;
+                        break;
+                    case io_status::unreadable_sector:
+                        ++summary.latent_columns;
+                        all_transient = false;
+                        break;
+                    default:
+                        all_transient = false;
+                        break;
+                }
+            }
+            if (all_transient && !erased.empty()) {
+                ++summary.skipped_transient;
+            } else {
+                ++summary.skipped_degraded;
+            }
             continue;
         }
         const core::scrub_report report =

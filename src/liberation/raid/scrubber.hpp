@@ -16,12 +16,24 @@ struct scrub_summary {
     std::size_t repaired_data = 0;
     std::size_t repaired_parity = 0;
     std::size_t uncorrectable = 0;
-    std::size_t skipped_degraded = 0;  ///< stripes with failed/unreadable columns
+    /// Stripes with a failed/latent/rebuilding column: skipped until the
+    /// disk is rebuilt or the sector healed (resilver).
+    std::size_t skipped_degraded = 0;
+    /// Stripes whose only unavailability was a transient error that
+    /// survived the retry budget: worth re-scrubbing soon, the data on the
+    /// medium is intact.
+    std::size_t skipped_transient = 0;
+    /// Columns unreadable due to latent sector errors across the scan.
+    std::size_t latent_columns = 0;
+    /// Columns that failed transiently (after retries) across the scan.
+    std::size_t transient_columns = 0;
 };
 
 /// Scrub the whole array. Degraded stripes (any unavailable column) are
 /// skipped — scrubbing requires all columns, since a decode would mask the
-/// corruption. Repairs are written back to the disks.
+/// corruption. The summary distinguishes stripes skipped for transient
+/// errors (retry later, medium intact) from real degradation (failed disk,
+/// latent sector, rebuilding spare). Repairs are written back to the disks.
 scrub_summary scrub_array(raid6_array& array);
 
 }  // namespace liberation::raid

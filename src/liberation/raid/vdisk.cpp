@@ -19,9 +19,63 @@ bool vdisk::extent_readable(std::size_t offset, std::size_t len) const {
     return it == bad_sectors_.end() || it->first > last;
 }
 
+bool vdisk::take_transient_fault(io_kind kind) {
+    if (!faults_armed_.load(std::memory_order_relaxed)) return false;
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    const bool is_read = kind == io_kind::read;
+    std::uint64_t& ops = is_read ? read_ops_ : write_ops_;
+    auto& schedule = is_read ? scheduled_read_faults_ : scheduled_write_faults_;
+    const double rate = is_read ? read_rate_ : write_rate_;
+
+    const std::uint64_t op = ops++;
+    if (auto it = schedule.find(op); it != schedule.end()) {
+        schedule.erase(it);
+        return true;
+    }
+    if (rate > 0.0 && fault_rng_ && fault_rng_->next_double() < rate) {
+        return true;
+    }
+    return false;
+}
+
+void vdisk::set_transient_fault_rates(double read_rate, double write_rate,
+                                      std::uint64_t seed) {
+    LIBERATION_EXPECTS(read_rate >= 0.0 && read_rate <= 1.0 &&
+                       write_rate >= 0.0 && write_rate <= 1.0);
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    read_rate_ = read_rate;
+    write_rate_ = write_rate;
+    fault_rng_.emplace(seed);
+    faults_armed_.store(true, std::memory_order_relaxed);
+}
+
+void vdisk::schedule_transient_fault(io_kind kind, std::uint64_t ops_from_now) {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (kind == io_kind::read) {
+        scheduled_read_faults_.insert(read_ops_ + ops_from_now);
+    } else {
+        scheduled_write_faults_.insert(write_ops_ + ops_from_now);
+    }
+    faults_armed_.store(true, std::memory_order_relaxed);
+}
+
+void vdisk::clear_transient_faults() {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    read_rate_ = 0.0;
+    write_rate_ = 0.0;
+    fault_rng_.reset();
+    scheduled_read_faults_.clear();
+    scheduled_write_faults_.clear();
+    faults_armed_.store(false, std::memory_order_relaxed);
+}
+
 io_status vdisk::read(std::size_t offset, std::span<std::byte> out) {
-    if (!online_) return io_status::disk_failed;
+    if (!online()) return io_status::disk_failed;
     if (!extent_ok(offset, out.size())) return io_status::out_of_range;
+    if (take_transient_fault(io_kind::read)) {
+        transient_reads_.fetch_add(1, std::memory_order_relaxed);
+        return io_status::transient_error;
+    }
     if (!extent_readable(offset, out.size())) {
         return io_status::unreadable_sector;
     }
@@ -32,8 +86,12 @@ io_status vdisk::read(std::size_t offset, std::span<std::byte> out) {
 }
 
 io_status vdisk::write(std::size_t offset, std::span<const std::byte> in) {
-    if (!online_) return io_status::disk_failed;
+    if (!online()) return io_status::disk_failed;
     if (!extent_ok(offset, in.size())) return io_status::out_of_range;
+    if (take_transient_fault(io_kind::write)) {
+        transient_writes_.fetch_add(1, std::memory_order_relaxed);
+        return io_status::transient_error;  // nothing hit the medium
+    }
     std::memcpy(data_.data() + offset, in.data(), in.size());
     // A rewrite heals fully covered latent sectors (like a real remap).
     if (!bad_sectors_.empty() && !in.empty()) {
@@ -54,7 +112,8 @@ io_status vdisk::write(std::size_t offset, std::span<const std::byte> in) {
 void vdisk::replace() {
     data_.zero();
     bad_sectors_.clear();
-    online_ = true;
+    clear_transient_faults();
+    online_.store(true, std::memory_order_release);
 }
 
 void vdisk::inject_latent_error(std::size_t offset, std::size_t len) {

@@ -1,16 +1,27 @@
 // Virtual disk: an in-memory block device with fault injection.
 //
-// Models the three failure modes the paper's RAID-6 motivation rests on
+// Models the four failure modes the paper's RAID-6 motivation rests on
 // (Section I): fail-stop disk loss, latent sector errors (unreadable on
-// read — the "uncorrectable read error during recovery" case), and silent
+// read — the "uncorrectable read error during recovery" case), silent
 // corruption (reads succeed but return wrong bytes — exercised by the
-// scrubber).
+// scrubber), and *transient* errors (an I/O fails once and succeeds on
+// retry — the class real drives report as recovered/command-timeout
+// events, absorbed by the retrying io_policy).
+//
+// Transient faults come in two flavours, both replayable:
+//   * probabilistic — each read/write fails with a configured rate, drawn
+//     from a per-disk seeded xoshiro256 stream;
+//   * scheduled — "the Nth read (or write) from now fails", for
+//     deterministic unit tests and chaos-campaign storms.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <span>
 
 #include "liberation/util/aligned_buffer.hpp"
@@ -23,7 +34,17 @@ enum class io_status : std::uint8_t {
     disk_failed,        ///< fail-stop: no I/O possible
     unreadable_sector,  ///< latent sector error inside the extent
     out_of_range,
+    transient_error,    ///< failed now, a retry may succeed (io_policy)
+    rebuilding,         ///< array-level: extent not yet rebuilt on a spare
 };
+
+/// Only transient errors are worth retrying: everything else is either
+/// permanent (fail-stop, latent until rewritten) or a caller bug.
+[[nodiscard]] constexpr bool is_retryable(io_status st) noexcept {
+    return st == io_status::transient_error;
+}
+
+enum class io_kind : std::uint8_t { read, write };
 
 /// Snapshot of a disk's I/O counters. Counters are updated atomically so
 /// concurrent rebuild workers may touch disjoint extents of one disk.
@@ -32,6 +53,8 @@ struct disk_stats {
     std::uint64_t writes = 0;
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t transient_read_errors = 0;
+    std::uint64_t transient_write_errors = 0;
 };
 
 class vdisk {
@@ -41,10 +64,13 @@ public:
 
     [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
     [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
-    [[nodiscard]] bool online() const noexcept { return online_; }
+    [[nodiscard]] bool online() const noexcept {
+        return online_.load(std::memory_order_acquire);
+    }
     [[nodiscard]] disk_stats stats() const noexcept {
-        return {reads_.load(), writes_.load(), bytes_read_.load(),
-                bytes_written_.load()};
+        return {reads_.load(),      writes_.load(),
+                bytes_read_.load(), bytes_written_.load(),
+                transient_reads_.load(), transient_writes_.load()};
     }
 
     io_status read(std::size_t offset, std::span<std::byte> out);
@@ -52,11 +78,13 @@ public:
 
     // ---- fault injection ---------------------------------------------
 
-    /// Fail-stop: all subsequent I/O returns disk_failed.
-    void fail() noexcept { online_ = false; }
+    /// Fail-stop: all subsequent I/O returns disk_failed. Atomic — rebuild
+    /// workers doing I/O may race with a health-monitor trip.
+    void fail() noexcept { online_.store(false, std::memory_order_release); }
 
     /// Swap in a fresh blank disk (same geometry) — contents zeroed,
-    /// latent errors cleared, back online.
+    /// latent errors cleared, transient fault config cleared (it belonged
+    /// to the old hardware), back online.
     void replace();
 
     /// Mark the sectors covering [offset, offset+len) as unreadable.
@@ -75,21 +103,57 @@ public:
         return bad_sectors_.size();
     }
 
+    // ---- transient fault injection -----------------------------------
+
+    /// Arm probabilistic transient errors: each read (write) fails with
+    /// `read_rate` (`write_rate`) probability, drawn from a xoshiro256
+    /// stream seeded with `seed` so campaigns replay bit-for-bit.
+    /// Rates of 0 disable the respective kind.
+    void set_transient_fault_rates(double read_rate, double write_rate,
+                                   std::uint64_t seed);
+
+    /// Deterministic schedule: the (`ops_from_now`)-th next operation of
+    /// `kind` fails with transient_error (0 = the very next one). Each
+    /// scheduled fault fires exactly once.
+    void schedule_transient_fault(io_kind kind, std::uint64_t ops_from_now);
+
+    /// Disarm all transient fault injection (rates and schedules).
+    void clear_transient_faults();
+
 private:
     [[nodiscard]] bool extent_ok(std::size_t offset, std::size_t len) const noexcept {
         return offset + len <= data_.size() && offset + len >= offset;
     }
     [[nodiscard]] bool extent_readable(std::size_t offset, std::size_t len) const;
 
+    /// Advance the per-kind op counter and decide whether this operation
+    /// suffers an injected transient error.
+    [[nodiscard]] bool take_transient_fault(io_kind kind);
+
     std::uint32_t id_;
     std::size_t sector_size_;
     util::aligned_buffer data_;
     std::map<std::size_t, bool> bad_sectors_;  // sector index -> latent error
-    bool online_ = true;
+    std::atomic<bool> online_{true};
     std::atomic<std::uint64_t> reads_{0};
     std::atomic<std::uint64_t> writes_{0};
     std::atomic<std::uint64_t> bytes_read_{0};
     std::atomic<std::uint64_t> bytes_written_{0};
+    std::atomic<std::uint64_t> transient_reads_{0};
+    std::atomic<std::uint64_t> transient_writes_{0};
+
+    // Transient-fault state. Guarded by fault_mutex_ because parallel
+    // rebuild workers read one disk concurrently; the armed flag keeps the
+    // unfaulted hot path lock-free.
+    std::atomic<bool> faults_armed_{false};
+    mutable std::mutex fault_mutex_;
+    double read_rate_ = 0.0;
+    double write_rate_ = 0.0;
+    std::optional<util::xoshiro256> fault_rng_;
+    std::uint64_t read_ops_ = 0;
+    std::uint64_t write_ops_ = 0;
+    std::set<std::uint64_t> scheduled_read_faults_;
+    std::set<std::uint64_t> scheduled_write_faults_;
 };
 
 }  // namespace liberation::raid

@@ -151,6 +151,41 @@ TEST(Scrub, SkipsDegradedStripes) {
     EXPECT_EQ(summary.skipped_degraded, a.map().stripes());
 }
 
+TEST(Resilver, HealsParityStripLatentErrors) {
+    // Plain reads only touch data columns, so a latent error in a P or Q
+    // strip is invisible to the workload — and silently costs redundancy.
+    // Only the resilver patrol walks parity strips and heals them.
+    raid6_array a(config());
+    const auto data = pattern_bytes(a.capacity(), 13);
+    ASSERT_TRUE(a.write(0, data));
+
+    const auto p_loc = a.map().locate(2, a.code().p_column());
+    const auto q_loc = a.map().locate(5, a.code().q_column());
+    a.disk(p_loc.disk).inject_latent_error(p_loc.offset, 32);
+    a.disk(q_loc.disk).inject_latent_error(q_loc.offset, 32);
+
+    // The whole device reads back fine without healing anything: no data
+    // column is affected, heal-on-read never sees the parity strips.
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(a.disk(p_loc.disk).latent_error_count() +
+                  a.disk(q_loc.disk).latent_error_count(),
+              2u);
+
+    EXPECT_EQ(a.resilver(), 2u);  // exactly the two bad strips rewritten
+    EXPECT_EQ(a.disk(p_loc.disk).latent_error_count(), 0u);
+    EXPECT_EQ(a.disk(q_loc.disk).latent_error_count(), 0u);
+    EXPECT_EQ(a.resilver(), 0u);  // second patrol finds nothing
+
+    // Redundancy is actually restored: both stripes survive a double
+    // failure that includes the previously-unreadable parity disks.
+    a.fail_disk(p_loc.disk);
+    if (q_loc.disk != p_loc.disk) a.fail_disk(q_loc.disk);
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+}
+
 TEST(Scrub, TwoCorruptColumnsReportedUncorrectable) {
     raid6_array a(config());
     ASSERT_TRUE(a.write(0, pattern_bytes(a.capacity(), 11)));

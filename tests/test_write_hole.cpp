@@ -102,6 +102,33 @@ TEST(WriteHole, SmallWritePowerLossAlsoJournaled) {
     EXPECT_EQ(torn_stripes(a), 0u);
 }
 
+TEST(WriteHole, RecoverySkipsStripesWithUnreadableColumns) {
+    // A journaled stripe that ALSO has an unreadable column cannot be
+    // re-synced yet: parity must be recomputed from a full set of data
+    // columns. recover_write_hole() leaves it journaled (the hazard is
+    // still live) and picks it up once the column heals.
+    raid6_array a(cfg());
+    ASSERT_TRUE(a.write(0, pattern(a.capacity(), 11)));
+
+    a.simulate_power_loss_after(1);
+    (void)a.write(100, pattern(50, 12));  // tears stripe 0
+    a.reboot();
+    ASSERT_TRUE(a.journal().is_dirty(0));
+
+    // Stripe 0's P strip also becomes unreadable (latent error).
+    const auto loc = a.map().locate(0, a.code().p_column());
+    a.disk(loc.disk).inject_latent_error(loc.offset, 16);
+
+    EXPECT_EQ(a.recover_write_hole(), 0u);
+    EXPECT_TRUE(a.journal().is_dirty(0));  // still armed, not forgotten
+
+    // The sector heals (drive remap / rewrite); recovery now completes.
+    a.disk(loc.disk).clear_latent_errors();
+    EXPECT_EQ(a.recover_write_hole(), 1u);
+    EXPECT_EQ(a.journal().size(), 0u);
+    EXPECT_EQ(torn_stripes(a), 0u);
+}
+
 TEST(WriteHole, ScrubWouldMisattributeTornStripe) {
     // Motivating contrast: without the journal, a torn small write looks
     // like silent corruption of whichever column happened to be updated —

@@ -1,0 +1,115 @@
+// Chaos campaign CLI: run a seeded fault-injection torture test of the
+// RAID-6 array and print the report. The same seed replays the same
+// campaign bit-for-bit, so a failing run's seed is a complete bug report.
+//
+// Usage:
+//   chaos_campaign [--seed N] [--ops N] [--spares N] [--stripes N]
+//                  [--read-rate R] [--write-rate R] [--quiet]
+//
+// Exit status 0 iff the campaign met its acceptance criteria: zero shadow
+// mismatches, zero unrecovered stripes, and every planned fault event
+// (health trip, fail-stop, power loss, spare promotion + rebuild) fired.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "liberation/raid/chaos.hpp"
+
+namespace {
+
+using liberation::raid::chaos_config;
+using liberation::raid::chaos_report;
+
+void print_report(const chaos_config& cfg, const chaos_report& rep) {
+    std::printf("chaos campaign: seed=%llu ops=%zu (reads=%zu writes=%zu)\n",
+                static_cast<unsigned long long>(cfg.seed), rep.ops, rep.reads,
+                rep.writes);
+    std::printf("  events: fail-stops=%zu health-trips=%llu power-losses=%zu "
+                "latent-injected=%zu\n",
+                rep.injected_fail_stops,
+                static_cast<unsigned long long>(rep.health_trips),
+                rep.power_losses, rep.latent_errors_injected);
+    std::printf("  recovery: spares-promoted=%llu rebuilds-completed=%llu "
+                "stripes-resynced=%zu resilver-healed=%zu\n",
+                static_cast<unsigned long long>(rep.spares_promoted),
+                static_cast<unsigned long long>(rep.rebuilds_completed),
+                rep.resynced_stripes, rep.resilver_healed);
+    std::printf("  io policy: retries=%llu masked=%llu exhausted=%llu "
+                "backoff-us=%llu\n",
+                static_cast<unsigned long long>(rep.io.retries),
+                static_cast<unsigned long long>(rep.io.transient_masked),
+                static_cast<unsigned long long>(rep.io.retries_exhausted),
+                static_cast<unsigned long long>(rep.io.backoff_us));
+    std::printf("  array: degraded-stripe-reads=%llu degraded-element-reads=%llu "
+                "media-errors-recovered=%llu\n",
+                static_cast<unsigned long long>(rep.stats.degraded_stripe_reads),
+                static_cast<unsigned long long>(rep.stats.degraded_element_reads),
+                static_cast<unsigned long long>(rep.stats.media_errors_recovered));
+    std::printf("  verdict: mismatches=%zu failed-reads=%zu failed-writes=%zu "
+                "torn=%zu degraded=%zu unrecovered=%zu uncorrectable=%zu\n",
+                rep.mismatches, rep.failed_reads, rep.failed_writes,
+                rep.final_torn, rep.final_degraded, rep.final_unrecovered,
+                rep.scrub_uncorrectable);
+    std::printf("%s\n", rep.success ? "PASS" : "FAIL");
+}
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--ops N] [--spares N] [--stripes N]\n"
+                 "          [--read-rate R] [--write-rate R] [--quiet]\n",
+                 argv0);
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 42;
+    std::size_t ops = 10'000;
+    bool quiet = false;
+    chaos_config cfg = liberation::raid::default_chaos_config(seed, ops);
+
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](const char* name) -> const char* {
+            if (std::strcmp(argv[i], name) != 0) return nullptr;
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (const char* v = arg("--seed")) {
+            seed = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--ops")) {
+            ops = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--spares")) {
+            cfg.array.hot_spares = static_cast<std::uint32_t>(
+                std::strtoul(v, nullptr, 0));
+        } else if (const char* v = arg("--stripes")) {
+            cfg.array.stripes = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--read-rate")) {
+            cfg.transient_read_rate = std::strtod(v, nullptr);
+        } else if (const char* v = arg("--write-rate")) {
+            cfg.transient_write_rate = std::strtod(v, nullptr);
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    cfg.seed = seed;
+    cfg.ops = ops;
+    // Default event plan scales with the op count so short runs still
+    // exercise every fault class.
+    cfg.events.fail_stop_at_op = ops / 5;
+    cfg.events.health_storm_at_op = ops / 2;
+    cfg.events.power_loss_at_op = (ops * 4) / 5;
+    if (!quiet) {
+        cfg.log = [](const std::string& msg) {
+            std::printf("  [event] %s\n", msg.c_str());
+        };
+    }
+
+    const chaos_report rep = liberation::raid::run_chaos_campaign(cfg);
+    print_report(cfg, rep);
+    return rep.success ? 0 : 1;
+}
