@@ -38,6 +38,8 @@ array_stats raid6_array::atomic_stats::snapshot() const noexcept {
     s.rebuilds_completed = rebuilds_completed.load(std::memory_order_relaxed);
     s.rebuild_stripes_failed =
         rebuild_stripes_failed.load(std::memory_order_relaxed);
+    s.rebuild_sessions_stalled =
+        rebuild_sessions_stalled.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -91,9 +93,11 @@ std::uint32_t raid6_array::failed_disk_count() const noexcept {
 bool raid6_array::rebuild_masked(std::uint32_t d,
                                  std::size_t offset) const noexcept {
     if (!rebuild_active_) return false;
-    if (offset / map_.strip_size() < rebuild_cursor_) return false;
-    return std::find(rebuilding_disks_.begin(), rebuilding_disks_.end(), d) !=
-           rebuilding_disks_.end();
+    const std::size_t stripe = offset / map_.strip_size();
+    for (const rebuild_member& m : rebuilding_) {
+        if (m.disk == d) return stripe >= m.cursor;
+    }
+    return false;
 }
 
 void raid6_array::note_io(std::uint32_t d, io_kind kind, const io_result& r) {
@@ -149,12 +153,13 @@ void raid6_array::replace_disk(std::uint32_t d) {
     health_.reset(d);
     // The operator took over this slot; drop any background-rebuild claim.
     const auto it =
-        std::find(rebuilding_disks_.begin(), rebuilding_disks_.end(), d);
-    if (it != rebuilding_disks_.end()) {
-        rebuilding_disks_.erase(it);
-        if (rebuilding_disks_.empty()) {
+        std::find_if(rebuilding_.begin(), rebuilding_.end(),
+                     [d](const rebuild_member& m) { return m.disk == d; });
+    if (it != rebuilding_.end()) {
+        rebuilding_.erase(it);
+        if (rebuilding_.empty()) {
             rebuild_active_ = false;
-            rebuild_cursor_ = 0;
+            rebuild_stalled_ = false;
         }
     }
 }
@@ -165,18 +170,22 @@ void raid6_array::handle_failed_disks() {
     for (std::uint32_t d = 0; d < map_.n(); ++d) {
         if (disks_[d]->online() || spares_.empty()) continue;
         // Promote: the blank spare takes the dead disk's slot. Its column
-        // is masked (io_status::rebuilding) until the cursor passes.
+        // is masked (io_status::rebuilding) until its watermark passes.
         disks_[d] = std::move(spares_.back());
         spares_.pop_back();
         health_.reset(d);
         stats_.spares_promoted.fetch_add(1, std::memory_order_relaxed);
-        if (std::find(rebuilding_disks_.begin(), rebuilding_disks_.end(), d) ==
-            rebuilding_disks_.end()) {
-            rebuilding_disks_.push_back(d);
+        const auto it =
+            std::find_if(rebuilding_.begin(), rebuilding_.end(),
+                         [d](const rebuild_member& m) { return m.disk == d; });
+        if (it != rebuilding_.end()) {
+            it->cursor = 0;  // fresh blank hardware in an already-claimed slot
+        } else {
+            // The new member starts from stripe 0 with its own watermark;
+            // members already mid-rebuild keep theirs, so their rebuilt
+            // (and write-maintained) extents stay trusted.
+            rebuilding_.push_back({d, 0});
         }
-        // A new member must see every stripe; restarting the cursor keeps
-        // one shared watermark for the whole session (idempotent decode).
-        rebuild_cursor_ = 0;
         rebuild_active_ = true;
     }
 }
@@ -196,29 +205,61 @@ std::size_t raid6_array::service_background_rebuild(std::size_t max_stripes) {
         handle_failed_disks();
     }
     if (!rebuild_active_ || !powered_) return 0;
-    if (rebuilding_disks_.empty() || rebuilding_disks_.size() > 2) {
-        return 0;  // > 2 concurrent losses: beyond RAID-6, operator's call
+    if (rebuilding_.empty()) {
+        rebuild_active_ = false;
+        return 0;
     }
+    if (rebuilding_.size() > 2) {
+        // > 2 concurrent losses: beyond RAID-6, operator's call. Surface
+        // the stall (once per session) instead of silently masking the
+        // columns forever; reads of them keep failing loudly meanwhile.
+        if (!rebuild_stalled_) {
+            rebuild_stalled_ = true;
+            stats_.rebuild_sessions_stalled.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        return 0;
+    }
+    rebuild_stalled_ = false;
     in_service_ = true;
-    const std::size_t first = rebuild_cursor_;
-    const std::size_t last =
-        std::min(map_.stripes(), first + max_stripes);
+    // Advance the furthest-behind member(s) together, stopping at the next
+    // member's watermark so each disk's cursor only ever moves forward.
+    std::size_t first = rebuilding_.front().cursor;
+    for (const rebuild_member& m : rebuilding_) {
+        first = std::min(first, m.cursor);
+    }
+    std::size_t last = std::min(map_.stripes(), first + max_stripes);
+    std::vector<std::uint32_t> group;
+    for (const rebuild_member& m : rebuilding_) {
+        if (m.cursor == first) {
+            group.push_back(m.disk);
+        } else {
+            last = std::min(last, m.cursor);
+        }
+    }
     const rebuild_result res =
-        rebuild_stripe_range(*this, rebuilding_disks_, first, last, nullptr);
+        rebuild_stripe_range(*this, group, first, last, nullptr);
     std::size_t processed = 0;
     if (powered_) {
         // (If power died mid-batch the writes were dropped — keep the
-        // cursor so the batch reruns after reboot; decode is idempotent.)
-        rebuild_cursor_ = last;
+        // watermarks so the batch reruns after reboot; decode is
+        // idempotent.)
         processed = last - first;
         stats_.rebuild_stripes_failed.fetch_add(res.stripes_failed,
                                                 std::memory_order_relaxed);
-        if (rebuild_cursor_ >= map_.stripes()) {
-            rebuild_active_ = false;
-            rebuilding_disks_.clear();
-            rebuild_cursor_ = 0;
-            stats_.rebuilds_completed.fetch_add(1, std::memory_order_relaxed);
+        for (rebuild_member& m : rebuilding_) {
+            if (m.cursor == first) m.cursor = last;
         }
+        for (auto it = rebuilding_.begin(); it != rebuilding_.end();) {
+            if (it->cursor >= map_.stripes()) {
+                it = rebuilding_.erase(it);
+                stats_.rebuilds_completed.fetch_add(1,
+                                                    std::memory_order_relaxed);
+            } else {
+                ++it;
+            }
+        }
+        if (rebuilding_.empty()) rebuild_active_ = false;
     }
     in_service_ = false;
     // A survivor may have tripped during the batch.
@@ -552,14 +593,27 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
         }
     }
 
+    // Set to false when a mid-apply failure leaves a parity patch landed
+    // without its peers and the rollback below cannot undo it: P/Q then
+    // disagree with the data and must not be used to reconstruct anything.
+    bool parity_trusted = true;
     if (fast_ok) {
         // Apply phase. Validation makes failures rare, but transient
-        // faults or a health trip can still strike between phases; on any
-        // mid-apply failure we bail to the reconstruct-write fallback,
-        // which re-encodes both parities from the data columns — that
-        // restores consistency regardless of which patches landed.
+        // faults or a health trip can still strike between phases. Each
+        // touched element updates its 2-3 parity elements and then the
+        // data element; on a mid-apply failure the landed patches of the
+        // in-flight element are rolled back by XOR-ing the same delta out
+        // again (exact, because a failed vdisk write never reaches the
+        // medium) — completed elements are self-consistent, so a
+        // successful rollback leaves the whole stripe consistent for the
+        // reconstruct-write fallback below.
         journal_mark(stripe);
         bool applied = true;
+        struct landed_patch {
+            std::uint32_t disk;
+            std::size_t offset;
+        };
+        std::vector<landed_patch> landed;
         for (const touch& t : plan) {
             const strip_location dloc = map_.locate(stripe, t.col);
             const strip_location ploc = map_.locate(stripe, pc);
@@ -576,6 +630,7 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
                         t.chunk);
             xorops::xor2(delta.data(), old_e.data(), new_e.data(), elem);
 
+            landed.clear();
             const auto patch = [&](std::uint32_t prow,
                                    const strip_location& loc) {
                 const std::size_t poff =
@@ -584,24 +639,39 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
                     return false;
                 }
                 xorops::xor_into(par.data(), delta.data(), elem);
-                return disk_write(loc.disk, poff, par.span()) == io_status::ok;
+                if (disk_write(loc.disk, poff, par.span()) != io_status::ok) {
+                    return false;
+                }
+                landed.push_back({loc.disk, poff});
+                return true;
             };
 
-            if (!patch(t.row, ploc) ||
-                !patch(g.diag_of(t.row, t.col), qloc)) {
-                applied = false;
-                break;
-            }
+            bool touch_ok =
+                patch(t.row, ploc) && patch(g.diag_of(t.row, t.col), qloc);
             std::uint32_t touched = 2;
-            if (g.is_extra_position(t.row, t.col)) {
-                if (!patch(g.extra_q_index(t.col), qloc)) {
-                    applied = false;
-                    break;
-                }
+            if (touch_ok && g.is_extra_position(t.row, t.col)) {
+                touch_ok = patch(g.extra_q_index(t.col), qloc);
                 ++touched;
             }
-            if (disk_write(dloc.disk, dloc.offset + elem_off, new_e.span()) !=
-                io_status::ok) {
+            if (touch_ok &&
+                disk_write(dloc.disk, dloc.offset + elem_off, new_e.span()) !=
+                    io_status::ok) {
+                touch_ok = false;
+            }
+            if (!touch_ok) {
+                for (const landed_patch& u : landed) {
+                    if (disk_read(u.disk, u.offset, par.span()) !=
+                        io_status::ok) {
+                        parity_trusted = false;
+                        break;
+                    }
+                    xorops::xor_into(par.data(), delta.data(), elem);
+                    if (disk_write(u.disk, u.offset, par.span()) !=
+                        io_status::ok) {
+                        parity_trusted = false;
+                        break;
+                    }
+                }
                 applied = false;
                 break;
             }
@@ -620,7 +690,32 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
     // Degraded fallback: reconstruct the whole stripe, splice the new
     // bytes, re-encode, write everything that is still online.
     codes::stripe_buffer buf = make_stripe_buffer();
-    if (!load_and_decode(stripe, buf.view())) return false;
+    std::vector<std::uint32_t> erased;
+    std::vector<io_status> statuses;
+    if (!load_stripe(stripe, buf.view(), erased, &statuses)) return false;
+    if (!parity_trusted) {
+        // Decoding an erased *data* column from torn parity would
+        // synthesize garbage that the re-encode below would then bake into
+        // both parities — silent corruption. Fail the write instead; the
+        // stripe stays journaled and recover_write_hole() re-syncs it from
+        // data once every column is readable again. (Erased parity columns
+        // are harmless: the re-encode regenerates them from data.)
+        for (const std::uint32_t col : erased) {
+            if (col != pc && col != qc) return false;
+        }
+    }
+    if (!erased.empty()) {
+        code_.decode(buf.view(), erased);
+        stats_.degraded_stripe_reads.fetch_add(1, std::memory_order_relaxed);
+        for (const std::uint32_t col : erased) {
+            // Latent sector errors heal below when every column is
+            // rewritten; keep the accounting load_and_decode would do.
+            if (statuses[col] == io_status::unreadable_sector) {
+                stats_.media_errors_recovered.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+    }
     for (std::size_t j = 0; j < in.size();) {
         const std::size_t o = in_stripe + j;
         const auto col = static_cast<std::uint32_t>(o / map_.strip_size());

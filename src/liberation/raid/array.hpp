@@ -18,6 +18,7 @@
 //     interleaved with foreground I/O.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -74,6 +75,7 @@ struct array_stats {
     std::uint64_t spares_promoted = 0;
     std::uint64_t rebuilds_completed = 0;       ///< background sessions finished
     std::uint64_t rebuild_stripes_failed = 0;   ///< unrecoverable during bg rebuild
+    std::uint64_t rebuild_sessions_stalled = 0; ///< > 2 losses, operator needed
 };
 
 class raid6_array {
@@ -132,9 +134,20 @@ public:
     [[nodiscard]] bool rebuild_active() const noexcept {
         return rebuild_active_;
     }
-    /// Stripes the current background rebuild session has yet to process.
+    /// True when more disks are awaiting rebuild than RAID-6 can decode
+    /// around (> 2): the session cannot make progress until the operator
+    /// replaces a disk. Reads of the masked columns fail loudly meanwhile.
+    [[nodiscard]] bool rebuild_stalled() const noexcept {
+        return rebuild_stalled_;
+    }
+    /// Stripes the current background rebuild session has yet to process
+    /// (the furthest-behind member's backlog).
     [[nodiscard]] std::size_t rebuild_stripes_remaining() const noexcept {
-        return rebuild_active_ ? map_.stripes() - rebuild_cursor_ : 0;
+        std::size_t remaining = 0;
+        for (const rebuild_member& m : rebuilding_) {
+            remaining = std::max(remaining, map_.stripes() - m.cursor);
+        }
+        return remaining;
     }
 
     /// Promote spares for any failed disks and advance the background
@@ -232,6 +245,7 @@ private:
         std::atomic<std::uint64_t> spares_promoted{0};
         std::atomic<std::uint64_t> rebuilds_completed{0};
         std::atomic<std::uint64_t> rebuild_stripes_failed{0};
+        std::atomic<std::uint64_t> rebuild_sessions_stalled{0};
 
         [[nodiscard]] array_stats snapshot() const noexcept;
     };
@@ -296,11 +310,18 @@ private:
     std::size_t rebuild_batch_stripes_;
     std::uint32_t next_disk_id_;
     std::vector<std::unique_ptr<vdisk>> spares_;
-    /// Disks being rebuilt in the background (promoted spares). Stripes
-    /// >= rebuild_cursor_ are masked on these disks.
-    std::vector<std::uint32_t> rebuilding_disks_;
-    std::size_t rebuild_cursor_ = 0;
+    /// One entry per disk being rebuilt in the background (promoted
+    /// spare). Each member keeps its own watermark: stripes >= cursor are
+    /// masked on that disk, stripes below it are rebuilt (and maintained
+    /// by foreground writes) and stay trusted even when another member
+    /// joins the session later.
+    struct rebuild_member {
+        std::uint32_t disk;
+        std::size_t cursor;  ///< next stripe to rebuild on this disk
+    };
+    std::vector<rebuild_member> rebuilding_;
     bool rebuild_active_ = false;
+    bool rebuild_stalled_ = false;  ///< > 2 members: see rebuild_stalled()
     bool in_service_ = false;  ///< reentrancy guard for the rebuild batch
     /// Set from deep I/O paths (possibly pool threads) when the health
     /// monitor trips a disk; serviced at the next foreground entry.

@@ -51,7 +51,10 @@ bool health_monitor::record(std::uint32_t disk, io_kind kind,
                  cfg_.max_transient_errors) ||
             (cfg_.max_read_errors != 0 &&
              c.hard_read.load(std::memory_order_relaxed) * 2 >=
-                 cfg_.max_read_errors);
+                 cfg_.max_read_errors) ||
+            (cfg_.max_write_errors != 0 &&
+             c.hard_write.load(std::memory_order_relaxed) * 2 >=
+                 cfg_.max_write_errors);
         if (suspicious) {
             auto expected = static_cast<std::uint8_t>(disk_health::healthy);
             c.state.compare_exchange_strong(

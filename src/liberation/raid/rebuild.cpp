@@ -62,6 +62,19 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
             note_failure(s);
             return;
         }
+        // A journaled stripe may be torn (interrupted write): its parity
+        // cannot be trusted, so reconstructing a data column from it would
+        // write garbage to the replacement. Count the stripe as failed —
+        // recover_write_hole() must re-sync it first. (Parity-only
+        // erasures are safe: they are re-encoded from data.)
+        if (array.journal().is_dirty(s)) {
+            for (const std::uint32_t c : erased) {
+                if (c < array.map().k()) {
+                    note_failure(s);
+                    return;
+                }
+            }
+        }
         array.code().decode(buf.view(), erased);
         if (!array.store_columns(s, buf.view(), erased)) {
             note_failure(s);
@@ -132,16 +145,37 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
     for (std::size_t s = 0; s < map.stripes(); ++s) {
         const std::uint32_t col = map.column_of_disk(s, disk);
         const std::uint32_t rebuilt_cols[] = {col};
+        // A journaled stripe may be torn: both rebuild paths below read
+        // parity (the hybrid plan explicitly, the parity re-encode when a
+        // data column is also erased), so defer to recover_write_hole().
+        const bool torn = array.journal().is_dirty(s);
 
         if (col >= map.k()) {
-            // Parity column: re-encode from a full data read.
+            // Parity column: re-encode from a full data read. An
+            // unreadable data column is a second erasure the decode must
+            // reconstruct too — its buffer contents are garbage otherwise.
             std::vector<std::uint32_t> erased;
-            if (!array.load_stripe(s, buf.view(), erased) || erased.size() > 1) {
+            if (!array.load_stripe(s, buf.view(), erased)) {
                 note_failure(s);
                 continue;
             }
-            code.decode(buf.view(), rebuilt_cols);
+            if (std::find(erased.begin(), erased.end(), col) == erased.end()) {
+                erased.push_back(col);
+            }
+            std::sort(erased.begin(), erased.end());
+            const bool needs_data =
+                std::any_of(erased.begin(), erased.end(),
+                            [&](std::uint32_t c) { return c < map.k(); });
+            if (erased.size() > 2 || (torn && needs_data)) {
+                note_failure(s);
+                continue;
+            }
+            code.decode(buf.view(), erased);
         } else {
+            if (torn) {
+                note_failure(s);
+                continue;
+            }
             if (!planned[col]) {
                 plans[col] = core::plan_hybrid_rebuild(g, col);
                 planned[col] = true;

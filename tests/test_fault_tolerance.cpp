@@ -4,6 +4,8 @@
 // rebuild, and per-stripe failure reporting from the rebuild engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "liberation/raid/array.hpp"
@@ -183,6 +185,18 @@ TEST(Health, MaskedTransientsCountWhenEnabled) {
     EXPECT_EQ(mon.stats(0).transient_errors, 8u);
 }
 
+TEST(Health, WriteErrorsAloneMarkDiskSuspect) {
+    // Writes are a trip criterion, so a disk accumulating hard write
+    // errors must enter the suspect window too — not only read-side ones.
+    health_monitor mon(1, {.max_write_errors = 4});
+    EXPECT_FALSE(mon.record(0, io_kind::write, io_status::transient_error, 0));
+    EXPECT_FALSE(mon.record(0, io_kind::write, io_status::transient_error, 0));
+    EXPECT_EQ(mon.state(0), disk_health::suspect);  // half the threshold
+    EXPECT_FALSE(mon.record(0, io_kind::write, io_status::transient_error, 0));
+    EXPECT_TRUE(mon.record(0, io_kind::write, io_status::transient_error, 0));
+    EXPECT_EQ(mon.state(0), disk_health::tripped);
+}
+
 TEST(Health, DisabledByDefaultAndResetRestoresHealthy) {
     health_monitor off(1, {});  // all thresholds 0 = monitoring disabled
     for (int i = 0; i < 100; ++i)
@@ -320,6 +334,78 @@ TEST(ArrayFaults, ServiceBackgroundRebuildAdvancesInBatches) {
     EXPECT_FALSE(a.rebuild_active());
     EXPECT_EQ(a.rebuild_stripes_remaining(), 0u);
     EXPECT_EQ(a.stats().rebuilds_completed, 1u);
+}
+
+TEST(ArrayFaults, SecondFailureKeepsFirstSparesWatermark) {
+    raid6_array a(ft_config(2));
+    const auto data = pattern_bytes(a.capacity(), 30);
+    ASSERT_TRUE(a.write(0, data));
+
+    // Disk 1 fails and its spare rebuilds the first 4 stripes...
+    a.fail_disk(1);
+    ASSERT_EQ(a.service_background_rebuild(4), 4u);
+    // ...then disk 3 fails mid-session. Disk 1's watermark must survive:
+    // its rebuilt (and since write-maintained) extent stays trusted.
+    a.fail_disk(3);
+    EXPECT_EQ(a.stats().spares_promoted, 2u);
+
+    // Stripe 1 now also loses a third column to a latent error. Trusting
+    // the first spare's extent leaves two erasures (new spare + latent) —
+    // decodable; re-masking it would make three and lose the stripe.
+    const std::uint32_t lcol = a.map().column_of_disk(1, 0);
+    a.disk(0).inject_latent_error(a.map().locate(1, lcol).offset, 16);
+
+    codes::stripe_buffer buf = a.make_stripe_buffer();
+    std::vector<std::uint32_t> erased;
+    ASSERT_TRUE(a.load_stripe(1, buf.view(), erased));
+    EXPECT_EQ(erased.size(), 2u);
+    const std::uint32_t first_spare_col = a.map().column_of_disk(1, 1);
+    EXPECT_EQ(std::find(erased.begin(), erased.end(), first_spare_col),
+              erased.end());
+    a.code().decode(buf.view(), erased);
+    for (std::uint32_t col = 0; col < a.map().k(); ++col) {
+        EXPECT_EQ(std::memcmp(buf.view().strip(col).data(),
+                              data.data() + a.map().stripe_data_size() +
+                                  static_cast<std::size_t>(col) *
+                                      a.map().strip_size(),
+                              a.map().strip_size()),
+                  0)
+            << "col " << col;
+    }
+
+    // Both members finish; everything reads back correct.
+    a.drain_background_rebuild();
+    EXPECT_EQ(a.stats().rebuilds_completed, 2u);
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(ArrayFaults, TripleLossStallIsSurfacedNotSilent) {
+    raid6_array a(ft_config(3));
+    ASSERT_TRUE(a.write(0, pattern_bytes(a.capacity(), 31)));
+    a.fail_disk(0);
+    a.fail_disk(2);
+    a.fail_disk(4);
+    EXPECT_EQ(a.stats().spares_promoted, 3u);
+
+    // Three masked columns exceed RAID-6's erasure budget: the session
+    // cannot advance and must say so instead of spinning quietly.
+    EXPECT_EQ(a.service_background_rebuild(4), 0u);
+    EXPECT_TRUE(a.rebuild_stalled());
+    EXPECT_EQ(a.stats().rebuild_sessions_stalled, 1u);
+    EXPECT_EQ(a.service_background_rebuild(4), 0u);
+    EXPECT_EQ(a.stats().rebuild_sessions_stalled, 1u);  // reported once
+
+    // Reads of the stalled region fail loudly, not with blank spares.
+    std::vector<std::byte> out(a.map().stripe_data_size());
+    EXPECT_FALSE(a.read(0, out));
+
+    // The operator reclaims one slot: back inside the two-erasure budget,
+    // the session resumes and the stall flag drops.
+    a.replace_disk(0);
+    EXPECT_GT(a.service_background_rebuild(4), 0u);
+    EXPECT_FALSE(a.rebuild_stalled());
 }
 
 TEST(ArrayFaults, NoSpareMeansFailureWaitsForOperator) {

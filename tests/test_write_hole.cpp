@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "liberation/raid/array.hpp"
+#include "liberation/raid/rebuild.hpp"
 #include "liberation/raid/scrubber.hpp"
 #include "liberation/util/rng.hpp"
 
@@ -127,6 +129,86 @@ TEST(WriteHole, RecoverySkipsStripesWithUnreadableColumns) {
     EXPECT_EQ(a.recover_write_hole(), 1u);
     EXPECT_EQ(a.journal().size(), 0u);
     EXPECT_EQ(torn_stripes(a), 0u);
+}
+
+/// A disk holding a data column of stripe 0 (not its P or Q strip), plus a
+/// different, still-online data column of the same stripe to write to.
+struct bail_setup {
+    std::uint32_t pdisk, qdisk, victim;
+    std::size_t addr;  ///< linear address inside the online data column
+};
+
+bail_setup pick_bail_setup(const raid6_array& a) {
+    bail_setup s{};
+    s.pdisk = a.map().locate(0, a.code().p_column()).disk;
+    s.qdisk = a.map().locate(0, a.code().q_column()).disk;
+    while (s.victim == s.pdisk || s.victim == s.qdisk) ++s.victim;
+    std::uint32_t wcol = 0;
+    while (wcol == a.map().column_of_disk(0, s.victim)) ++wcol;
+    s.addr = static_cast<std::size_t>(wcol) * a.map().strip_size();
+    return s;
+}
+
+TEST(WriteHole, MidApplyBailWithErasedDataColumnDoesNotCorrupt) {
+    // A small write validates, starts patching parity, and then the Q
+    // patch dies even after retries — while an unrelated data column is
+    // erased (failed disk, no spares). The landed P patch must be rolled
+    // back before the reconstruct-write fallback decodes the dead column;
+    // decoding it from the half-patched parity would splice garbage into
+    // the stripe and bake it into both parities.
+    raid6_array a(cfg());
+    auto data = pattern(a.capacity(), 13);
+    ASSERT_TRUE(a.write(0, data));
+
+    const bail_setup s = pick_bail_setup(a);
+    a.fail_disk(s.victim);
+    for (std::uint64_t i = 0; i < 4; ++i)  // all 1 + 3 retry attempts
+        a.disk(s.qdisk).schedule_transient_fault(io_kind::write, i);
+
+    const auto small = pattern(50, 14);
+    ASSERT_TRUE(a.write(s.addr, small));
+    std::copy(small.begin(), small.end(),
+              data.begin() + static_cast<long>(s.addr));
+    EXPECT_EQ(a.journal().size(), 0u);  // the fallback completed the write
+
+    // Every byte — including the degraded-decoded dead column — must
+    // still agree with the host's view.
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(WriteHole, UntrustedParityAfterFailedRollbackFailsLoudly) {
+    // Same mid-apply bail, but the rollback of the landed P patch dies
+    // too: the stripe is genuinely torn with a data column missing. The
+    // write must fail and leave the stripe journaled — silently decoding
+    // the dead column from the torn parity would be the write hole the
+    // journal exists to close.
+    raid6_array a(cfg());
+    ASSERT_TRUE(a.write(0, pattern(a.capacity(), 15)));
+
+    const bail_setup s = pick_bail_setup(a);
+    a.fail_disk(s.victim);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        a.disk(s.qdisk).schedule_transient_fault(io_kind::write, i);
+    for (std::uint64_t i = 1; i < 5; ++i)  // write 0 is the P patch itself
+        a.disk(s.pdisk).schedule_transient_fault(io_kind::write, i);
+
+    EXPECT_FALSE(a.write(s.addr, pattern(50, 16)));
+    EXPECT_TRUE(a.journal().is_dirty(0));  // hazard recorded, not dropped
+
+    // Downstream the failure stays loud: rebuilding the dead disk refuses
+    // to reconstruct the torn stripe from the untrusted parity and reports
+    // it failed, instead of writing garbage to the replacement.
+    a.disk(s.pdisk).clear_transient_faults();
+    a.disk(s.qdisk).clear_transient_faults();
+    a.replace_disk(s.victim);
+    const std::uint32_t disks[] = {s.victim};
+    const rebuild_result r = rebuild_disks(a, disks);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.stripes_failed, 1u);
+    EXPECT_EQ(r.first_failed_stripe, 0u);
+    EXPECT_EQ(r.stripes_rebuilt, a.map().stripes() - 1);
 }
 
 TEST(WriteHole, ScrubWouldMisattributeTornStripe) {

@@ -32,10 +32,12 @@ void print_report(const chaos_config& cfg, const chaos_report& rep) {
                 static_cast<unsigned long long>(rep.health_trips),
                 rep.power_losses, rep.latent_errors_injected);
     std::printf("  recovery: spares-promoted=%llu rebuilds-completed=%llu "
-                "stripes-resynced=%zu resilver-healed=%zu\n",
+                "stripes-resynced=%zu resilver-healed=%zu rebuild-stalls=%llu\n",
                 static_cast<unsigned long long>(rep.spares_promoted),
                 static_cast<unsigned long long>(rep.rebuilds_completed),
-                rep.resynced_stripes, rep.resilver_healed);
+                rep.resynced_stripes, rep.resilver_healed,
+                static_cast<unsigned long long>(
+                    rep.stats.rebuild_sessions_stalled));
     std::printf("  io policy: retries=%llu masked=%llu exhausted=%llu "
                 "backoff-us=%llu\n",
                 static_cast<unsigned long long>(rep.io.retries),
