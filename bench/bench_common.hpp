@@ -136,4 +136,129 @@ inline void print_row(std::uint32_t key, const std::vector<double>& vals,
     std::printf("\n");
 }
 
+/// Structured output for the figure drivers. Construct from argv and route
+/// all printing through it: by default the human tables are unchanged, and
+/// with `--json` the driver instead emits exactly one JSON object on one
+/// line — `{"bench":<name>,"rows":[{...},...]}` — for dashboards and
+/// regression scrapers.
+class reporter {
+public:
+    reporter(int argc, char** argv, std::string name)
+        : name_(std::move(name)) {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--json") json_ = true;
+        }
+    }
+    reporter(const reporter&) = delete;
+    reporter& operator=(const reporter&) = delete;
+    ~reporter() { finish(); }
+
+    [[nodiscard]] bool json() const noexcept { return json_; }
+
+    /// Free-form banner text; suppressed in JSON mode.
+    void banner(const std::string& text) const {
+        if (!json_) std::printf("%s", text.c_str());
+    }
+
+    /// Start a table section: prints "\n<human>\n" in table mode, and tags
+    /// every subsequent row with "section":<label> in JSON mode.
+    void section(const std::string& human, const std::string& label) {
+        section_ = label;
+        if (!json_) std::printf("\n%s\n", human.c_str());
+    }
+
+    void header(const std::vector<std::string>& cols) {
+        cols_ = cols;
+        if (!json_) print_header(cols);
+    }
+
+    /// A keyed numeric row: column names come from the last header().
+    void row(std::uint32_t key, const std::vector<double>& vals,
+             const char* fmt = "%14.4f") {
+        if (!json_) {
+            print_row(key, vals, fmt);
+            return;
+        }
+        std::string r;
+        r += '"';
+        r += escape(cols_.empty() ? std::string("key") : cols_[0]);
+        r += "\":";
+        r += std::to_string(key);
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            r += ",\"";
+            r += escape(i + 1 < cols_.size() ? cols_[i + 1]
+                                             : "v" + std::to_string(i));
+            r += "\":";
+            r += num(vals[i]);
+        }
+        push(std::move(r));
+    }
+
+    /// An irregular row (Table I): explicit fields with pre-rendered JSON
+    /// values — use reporter::num()/str(). Human printing stays with the
+    /// caller, gated on !json().
+    void object(
+        std::initializer_list<std::pair<const char*, std::string>> fields) {
+        if (!json_) return;
+        std::string r;
+        for (const auto& [key, value] : fields) {
+            if (!r.empty()) r += ',';
+            r += '"';
+            r += escape(key);
+            r += "\":";
+            r += value;
+        }
+        push(std::move(r));
+    }
+
+    /// Render a double as a JSON number.
+    [[nodiscard]] static std::string num(double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return buf;
+    }
+
+    /// Render a string as a JSON string.
+    [[nodiscard]] static std::string str(const std::string& s) {
+        return '"' + escape(s) + '"';
+    }
+
+    /// Emit the JSON object (JSON mode only; called by the destructor, or
+    /// explicitly to control ordering against other output).
+    void finish() {
+        if (!json_ || finished_) return;
+        finished_ = true;
+        std::printf("{\"bench\":\"%s\",\"rows\":[", escape(name_).c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::printf("%s{%s}", i != 0 ? "," : "", rows_[i].c_str());
+        }
+        std::printf("]}\n");
+    }
+
+private:
+    [[nodiscard]] static std::string escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    void push(std::string row_fields) {
+        if (!section_.empty()) {
+            row_fields.insert(0, "\"section\":" + str(section_) + ",");
+        }
+        rows_.push_back(std::move(row_fields));
+    }
+
+    std::string name_;
+    std::string section_;
+    std::vector<std::string> cols_;
+    std::vector<std::string> rows_;
+    bool json_ = false;
+    bool finished_ = false;
+};
+
 }  // namespace bench

@@ -11,19 +11,21 @@
 #include "liberation/core/liberation_optimal_code.hpp"
 #include "liberation/util/primes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
-    std::printf("Fig. 10: encoding throughput (GB/s), p varying with k\n");
+    bench::reporter rep(argc, argv, "fig10_enc_throughput");
+    rep.banner("Fig. 10: encoding throughput (GB/s), p varying with k\n");
     for (const std::size_t elem : {4096ull, 8192ull}) {
-        std::printf("\n(element size = %zu KB)\n", elem / 1024);
-        bench::print_header({"k", "optimal", "original", "opt/orig"});
+        rep.section("(element size = " + std::to_string(elem / 1024) + " KB)",
+                    "elem=" + std::to_string(elem));
+        rep.header({"k", "optimal", "original", "opt/orig"});
         for (std::uint32_t k = 4; k <= 22; k += 2) {
             const std::uint32_t p = util::next_odd_prime(k);
             const core::liberation_optimal_code optimal(k, p);
             const codes::liberation_bitmatrix_code original(k, p);
             const double o = bench::encode_throughput_gbps(optimal, elem);
             const double b = bench::encode_throughput_gbps(original, elem);
-            bench::print_row(k, {o, b, o / b}, "%14.3f");
+            rep.row(k, {o, b, o / b}, "%14.3f");
         }
     }
     return 0;

@@ -6,19 +6,21 @@
 #include "liberation/codes/liberation_bitmatrix_code.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
     constexpr std::uint32_t p = 31;
-    std::printf("Fig. 11: encoding throughput (GB/s), fixed p = %u\n", p);
+    bench::reporter rep(argc, argv, "fig11_enc_throughput_p31");
+    rep.banner("Fig. 11: encoding throughput (GB/s), fixed p = 31\n");
     for (const std::size_t elem : {4096ull, 8192ull}) {
-        std::printf("\n(element size = %zu KB)\n", elem / 1024);
-        bench::print_header({"k", "optimal", "original", "opt/orig"});
+        rep.section("(element size = " + std::to_string(elem / 1024) + " KB)",
+                    "elem=" + std::to_string(elem));
+        rep.header({"k", "optimal", "original", "opt/orig"});
         for (std::uint32_t k = 4; k <= 22; k += 2) {
             const core::liberation_optimal_code optimal(k, p);
             const codes::liberation_bitmatrix_code original(k, p);
             const double o = bench::encode_throughput_gbps(optimal, elem);
             const double b = bench::encode_throughput_gbps(original, elem);
-            bench::print_row(k, {o, b, o / b}, "%14.3f");
+            rep.row(k, {o, b, o / b}, "%14.3f");
         }
     }
     return 0;

@@ -12,21 +12,23 @@
 #include "liberation/core/liberation_optimal_code.hpp"
 #include "liberation/util/primes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
-    std::printf(
+    bench::reporter rep(argc, argv, "fig12_dec_throughput");
+    rep.banner(
         "Fig. 12: decoding throughput (GB/s), p varying with k,\n"
         "         averaged over all two-column erasure patterns\n");
     for (const std::size_t elem : {4096ull, 8192ull}) {
-        std::printf("\n(element size = %zu KB)\n", elem / 1024);
-        bench::print_header({"k", "optimal", "original", "opt/orig"});
+        rep.section("(element size = " + std::to_string(elem / 1024) + " KB)",
+                    "elem=" + std::to_string(elem));
+        rep.header({"k", "optimal", "original", "opt/orig"});
         for (const std::uint32_t k : {4u, 7u, 10u, 13u, 16u, 19u, 22u}) {
             const std::uint32_t p = util::next_odd_prime(k);
             const core::liberation_optimal_code optimal(k, p);
             const codes::liberation_bitmatrix_code original(k, p);
             const double o = bench::decode_throughput_gbps(optimal, elem);
             const double b = bench::decode_throughput_gbps(original, elem);
-            bench::print_row(k, {o, b, o / b}, "%14.3f");
+            rep.row(k, {o, b, o / b}, "%14.3f");
         }
     }
     return 0;

@@ -10,16 +10,17 @@
 #include "liberation/codes/liberation_bitmatrix_code.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
     constexpr std::uint32_t p = 31;
-    std::printf(
-        "Fig. 13: decoding throughput (GB/s), fixed p = %u,\n"
-        "         averaged over all two-column erasure patterns\n",
-        p);
+    bench::reporter rep(argc, argv, "fig13_dec_throughput_p31");
+    rep.banner(
+        "Fig. 13: decoding throughput (GB/s), fixed p = 31,\n"
+        "         averaged over all two-column erasure patterns\n");
     for (const std::size_t elem : {4096ull, 8192ull}) {
-        std::printf("\n(element size = %zu KB)\n", elem / 1024);
-        bench::print_header({"k", "optimal", "original", "opt/orig"});
+        rep.section("(element size = " + std::to_string(elem / 1024) + " KB)",
+                    "elem=" + std::to_string(elem));
+        rep.header({"k", "optimal", "original", "opt/orig"});
         for (const std::uint32_t k : {4u, 10u, 16u, 22u}) {
             const core::liberation_optimal_code optimal(k, p);
             const codes::liberation_bitmatrix_code original(k, p);
@@ -27,7 +28,7 @@ int main() {
                 bench::decode_throughput_gbps(optimal, elem, 0.01);
             const double b =
                 bench::decode_throughput_gbps(original, elem, 0.01);
-            bench::print_row(k, {o, b, o / b}, "%14.3f");
+            rep.row(k, {o, b, o / b}, "%14.3f");
         }
     }
     return 0;

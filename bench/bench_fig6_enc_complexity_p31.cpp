@@ -13,21 +13,21 @@
 #include "liberation/codes/rdp.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
     constexpr std::uint32_t p = 31;
-    std::printf(
-        "Fig. 6: normalized encoding complexity (fixed p = %u)\n\n", p);
-    bench::print_header({"k", "evenodd", "rdp", "lib-orig", "lib-opt"});
+    bench::reporter rep(argc, argv, "fig6_enc_complexity_p31");
+    rep.banner("Fig. 6: normalized encoding complexity (fixed p = 31)\n\n");
+    rep.header({"k", "evenodd", "rdp", "lib-orig", "lib-opt"});
     for (std::uint32_t k = 2; k <= 23; ++k) {
         const codes::evenodd_code evenodd(k, p);
         const codes::rdp_code rdp(k, p);
         const codes::liberation_bitmatrix_code original(k, p);
         const core::liberation_optimal_code optimal(k, p);
-        bench::print_row(k, {bench::encode_complexity_norm(evenodd),
-                             bench::encode_complexity_norm(rdp),
-                             bench::encode_complexity_norm(original),
-                             bench::encode_complexity_norm(optimal)});
+        rep.row(k, {bench::encode_complexity_norm(evenodd),
+                    bench::encode_complexity_norm(rdp),
+                    bench::encode_complexity_norm(original),
+                    bench::encode_complexity_norm(optimal)});
     }
     return 0;
 }

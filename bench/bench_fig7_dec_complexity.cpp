@@ -14,22 +14,23 @@
 #include "liberation/core/liberation_optimal_code.hpp"
 #include "liberation/util/primes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
-    std::printf(
+    bench::reporter rep(argc, argv, "fig7_dec_complexity");
+    rep.banner(
         "Fig. 7: normalized decoding complexity (p varying with k,\n"
         "        averaged over all two-column erasure patterns)\n\n");
-    bench::print_header({"k", "evenodd", "rdp", "lib-orig", "lib-opt"});
+    rep.header({"k", "evenodd", "rdp", "lib-orig", "lib-opt"});
     for (std::uint32_t k = 2; k <= 23; ++k) {
         const std::uint32_t p = util::next_odd_prime(k);
         const codes::evenodd_code evenodd(k, p);
         const codes::rdp_code rdp(k, util::next_odd_prime(k + 1));
         const codes::liberation_bitmatrix_code original(k, p);
         const core::liberation_optimal_code optimal(k, p);
-        bench::print_row(k, {bench::decode_complexity_norm(evenodd),
-                             bench::decode_complexity_norm(rdp),
-                             bench::decode_complexity_norm(original),
-                             bench::decode_complexity_norm(optimal)});
+        rep.row(k, {bench::decode_complexity_norm(evenodd),
+                    bench::decode_complexity_norm(rdp),
+                    bench::decode_complexity_norm(original),
+                    bench::decode_complexity_norm(optimal)});
     }
     return 0;
 }

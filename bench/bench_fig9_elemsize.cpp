@@ -10,21 +10,23 @@
 #include "liberation/codes/liberation_bitmatrix_code.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace liberation;
-    std::printf("Fig. 9: encoding throughput (GB/s) vs element size\n");
+    bench::reporter rep(argc, argv, "fig9_elemsize");
+    rep.banner("Fig. 9: encoding throughput (GB/s) vs element size\n");
     for (const std::uint32_t p : {5u, 7u, 11u}) {
         const std::uint32_t k = p;
         const core::liberation_optimal_code optimal(k, p);
         const codes::liberation_bitmatrix_code original(k, p);
-        std::printf("\n(p = %u, k = %u)\n", p, k);
-        bench::print_header({"log2(elem)", "optimal", "original"});
+        rep.section("(p = " + std::to_string(p) + ", k = " +
+                        std::to_string(k) + ")",
+                    "p=" + std::to_string(p));
+        rep.header({"log2(elem)", "optimal", "original"});
         for (std::uint32_t lg = 12; lg <= 16; ++lg) {
             const std::size_t elem = 1ull << lg;
-            bench::print_row(
-                lg, {bench::encode_throughput_gbps(optimal, elem),
-                     bench::encode_throughput_gbps(original, elem)},
-                "%14.3f");
+            rep.row(lg, {bench::encode_throughput_gbps(optimal, elem),
+                         bench::encode_throughput_gbps(original, elem)},
+                    "%14.3f");
         }
     }
     return 0;

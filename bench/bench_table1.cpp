@@ -34,16 +34,28 @@ double avg_update_cost(const codes::raid6_code& c) {
     return static_cast<double>(total) / (c.rows() * c.k());
 }
 
-void row(const char* name, std::uint32_t w, const char* restriction,
-         double enc, double dec, double upd, const char* enc_form,
-         const char* dec_form, const char* upd_form) {
-    std::printf("%-22s %4u  %-10s  %8.4f (%s)  %8.4f (%s)  %6.3f (%s)\n", name,
-                w, restriction, enc, enc_form, dec, dec_form, upd, upd_form);
+void row(bench::reporter& rep, const char* name, std::uint32_t w,
+         const char* restriction, double enc, double dec, double upd,
+         const char* enc_form, const char* dec_form, const char* upd_form) {
+    if (!rep.json()) {
+        std::printf("%-22s %4u  %-10s  %8.4f (%s)  %8.4f (%s)  %6.3f (%s)\n",
+                    name, w, restriction, enc, enc_form, dec, dec_form, upd,
+                    upd_form);
+    }
+    rep.object({{"code", bench::reporter::str(name)},
+                {"w", std::to_string(w)},
+                {"restrict", bench::reporter::str(restriction)},
+                {"encoding", bench::reporter::num(enc)},
+                {"decoding", bench::reporter::num(dec)},
+                {"update", bench::reporter::num(upd)},
+                {"encoding_form", bench::reporter::str(enc_form)},
+                {"decoding_form", bench::reporter::str(dec_form)},
+                {"update_form", bench::reporter::str(upd_form)}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     const std::uint32_t k = 10;
     const std::uint32_t p = util::next_odd_prime(k);        // 11
     const std::uint32_t p_rdp = util::next_odd_prime(k + 1);  // 11
@@ -53,39 +65,45 @@ int main() {
     const codes::liberation_bitmatrix_code original(k, p);
     const core::liberation_optimal_code optimal(k, p);
 
-    std::printf(
-        "Table I: measured characteristics of representative RAID-6 codes\n"
-        "(k = %u data disks, p = %u; complexities in XORs per parity/missing"
-        " element,\n paper's closed forms in parentheses; lower bound:"
-        " enc/dec = k-1, update = 2)\n\n",
-        k, p);
-    std::printf("%-22s %4s  %-10s  %-22s  %-22s  %-12s\n", "code", "w",
-                "restrict", "encoding (per bit)", "decoding (per bit)",
-                "update");
+    bench::reporter rep(argc, argv, "table1");
+    if (!rep.json()) {
+        std::printf(
+            "Table I: measured characteristics of representative RAID-6"
+            " codes\n"
+            "(k = %u data disks, p = %u; complexities in XORs per parity/"
+            "missing element,\n paper's closed forms in parentheses; lower"
+            " bound: enc/dec = k-1, update = 2)\n\n",
+            k, p);
+        std::printf("%-22s %4s  %-10s  %-22s  %-22s  %-12s\n", "code", "w",
+                    "restrict", "encoding (per bit)", "decoding (per bit)",
+                    "update");
+    }
 
-    row("EVENODD", evenodd.rows(), "k <= p",
+    row(rep, "EVENODD", evenodd.rows(), "k <= p",
         bench::encode_complexity_norm(evenodd) * (k - 1),
         bench::decode_complexity_norm(evenodd, true) * (k - 1),
         avg_update_cost(evenodd), "~k-1/2", "~k", "~3");
-    row("RDP", rdp.rows(), "k <= p-1",
+    row(rep, "RDP", rdp.rows(), "k <= p-1",
         bench::encode_complexity_norm(rdp) * (k - 1),
         bench::decode_complexity_norm(rdp, true) * (k - 1),
         avg_update_cost(rdp), "k-1", "k-1", "~3");
-    row("Liberation(original)", original.rows(), "k <= p",
+    row(rep, "Liberation(original)", original.rows(), "k <= p",
         bench::encode_complexity_norm(original) * (k - 1),
         bench::decode_complexity_norm(original, true) * (k - 1),
         avg_update_cost(original), "k-1+(k-1)/2p", "~1.15(k-1)", "~2");
-    row("Liberation(optimal)", optimal.rows(), "k <= p",
+    row(rep, "Liberation(optimal)", optimal.rows(), "k <= p",
         bench::encode_complexity_norm(optimal) * (k - 1),
         bench::decode_complexity_norm(optimal, true) * (k - 1),
         avg_update_cost(optimal), "k-1", "~(k-1)", "~2");
 
-    std::printf(
-        "\nStorage overhead: all four are MDS (exactly 2 redundant disks"
-        " for any-2-erasure tolerance; Singleton bound).\n");
-    std::printf(
-        "Lower bounds:            %8.4f (k-1)            %8.4f (k-1)"
-        "       2.000 (2)\n",
-        static_cast<double>(k - 1), static_cast<double>(k - 1));
+    if (!rep.json()) {
+        std::printf(
+            "\nStorage overhead: all four are MDS (exactly 2 redundant disks"
+            " for any-2-erasure tolerance; Singleton bound).\n");
+        std::printf(
+            "Lower bounds:            %8.4f (k-1)            %8.4f (k-1)"
+            "       2.000 (2)\n",
+            static_cast<double>(k - 1), static_cast<double>(k - 1));
+    }
     return 0;
 }

@@ -1,0 +1,59 @@
+// CRC32C (Castagnoli) kernel: the checksum currency of the integrity
+// layer, mirroring the xorops kernel conventions (plain-pointer kernels,
+// span-flavoured overloads, runtime-dispatched implementations).
+//
+// Two implementations sit behind one entry point:
+//   * software — slice-by-8 table lookup, portable, ~1-2 GiB/s;
+//   * hardware — the SSE4.2 `crc32` instruction (x86) or the ARMv8 CRC
+//     extension, selected at runtime when the CPU reports support.
+//
+// The polynomial is the Castagnoli one (0x1EDC6F41, reflected 0x82F63B78),
+// i.e. the CRC used by iSCSI, ext4 metadata and btrfs — chosen over
+// CRC32/ISO for its better Hamming distance at 4 KiB block sizes, which is
+// exactly the granularity the integrity regions checksum at.
+//
+// Convention: crc32c(data, n) starts from seed 0 and includes the standard
+// pre/post inversion, so crc32c("123456789") == 0xE3069283 (the check
+// value every CRC32C implementation must reproduce). Passing a previous
+// result as `seed` continues the stream:
+//   crc32c(a ++ b) == crc32c(b, crc32c(a)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace liberation::integrity {
+
+enum class crc32c_impl : std::uint8_t { software, hardware };
+
+/// The implementation crc32c() currently dispatches to. Hardware is picked
+/// automatically when the CPU supports it.
+[[nodiscard]] crc32c_impl active_impl() noexcept;
+
+/// True when this CPU can run the hardware path.
+[[nodiscard]] bool hardware_available() noexcept;
+
+/// Pin the dispatched implementation (tests and the crc32c bench compare
+/// the two paths). Forcing hardware requires hardware_available().
+void force_impl(crc32c_impl impl) noexcept;
+
+/// CRC32C of [data, data+n), continuing from `seed` (0 = fresh stream).
+[[nodiscard]] std::uint32_t crc32c(const std::byte* data, std::size_t n,
+                                   std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32c(std::span<const std::byte> data,
+                                          std::uint32_t seed = 0) noexcept {
+    return crc32c(data.data(), data.size(), seed);
+}
+
+/// The individual kernels, exposed for cross-validation and benchmarking.
+/// crc32c_hardware() must only be called when hardware_available().
+[[nodiscard]] std::uint32_t crc32c_software(const std::byte* data,
+                                            std::size_t n,
+                                            std::uint32_t seed = 0) noexcept;
+[[nodiscard]] std::uint32_t crc32c_hardware(const std::byte* data,
+                                            std::size_t n,
+                                            std::uint32_t seed = 0) noexcept;
+
+}  // namespace liberation::integrity

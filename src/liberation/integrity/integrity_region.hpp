@@ -1,0 +1,93 @@
+// Per-vdisk integrity region: one CRC32C per fixed-size block of the disk.
+//
+// Modeled as battery-backed metadata the same way `intent_log` is: a real
+// array would keep these checksums in NVRAM or an interleaved on-disk
+// format with its own redundancy; the simulator keeps them in a plain
+// vector that survives power loss (dropped writes still *record* their
+// checksum — the intent reached the metadata domain even though the bits
+// never reached the medium, which is exactly what makes a torn write
+// deterministically detectable on replay).
+//
+// The block size is the checksum granularity: the array uses
+// gcd(sector_size, element_size), so every element-aligned disk I/O is
+// also block-aligned and record()/verify() never straddle a partial block.
+//
+// Checksums are *not* updated by reads — verify() is const — and the
+// region is preserved when a disk fail-stops or is replaced: the metadata
+// describes the dead disk's last-known contents, which is what rebuild
+// verification and replaced-disk reads need to check reconstructions
+// against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "liberation/integrity/crc32c.hpp"
+#include "liberation/util/assert.hpp"
+
+namespace liberation::integrity {
+
+class integrity_region {
+public:
+    integrity_region(std::size_t capacity_bytes, std::size_t block_size)
+        : block_(block_size) {
+        LIBERATION_EXPECTS(block_size > 0);
+        LIBERATION_EXPECTS(capacity_bytes % block_size == 0);
+        // A fresh disk reads back as zeros, so seed every slot with the
+        // checksum of a zero block: reads of never-written extents verify.
+        const std::vector<std::byte> zero(block_size, std::byte{0});
+        crcs_.assign(capacity_bytes / block_size,
+                     crc32c(zero.data(), zero.size()));
+    }
+
+    [[nodiscard]] std::size_t block_size() const noexcept { return block_; }
+    [[nodiscard]] std::size_t blocks() const noexcept { return crcs_.size(); }
+
+    /// Record the checksums of the blocks covered by a write of `data` at
+    /// byte `offset`. Offset and size must be block-aligned — the array
+    /// guarantees this because all its disk I/O is element-aligned.
+    void record(std::size_t offset, std::span<const std::byte> data) {
+        LIBERATION_EXPECTS(offset % block_ == 0);
+        LIBERATION_EXPECTS(data.size() % block_ == 0);
+        LIBERATION_EXPECTS(offset / block_ + data.size() / block_ <=
+                           crcs_.size());
+        std::size_t b = offset / block_;
+        for (std::size_t i = 0; i < data.size(); i += block_)
+            crcs_[b++] = crc32c(data.subspan(i, block_));
+    }
+
+    /// True iff every covered block of `data` matches its stored checksum.
+    [[nodiscard]] bool verify(std::size_t offset,
+                              std::span<const std::byte> data) const {
+        LIBERATION_EXPECTS(offset % block_ == 0);
+        LIBERATION_EXPECTS(data.size() % block_ == 0);
+        LIBERATION_EXPECTS(offset / block_ + data.size() / block_ <=
+                           crcs_.size());
+        std::size_t b = offset / block_;
+        for (std::size_t i = 0; i < data.size(); i += block_)
+            if (crc32c(data.subspan(i, block_)) != crcs_[b++]) return false;
+        return true;
+    }
+
+    [[nodiscard]] std::uint32_t stored(std::size_t block) const {
+        LIBERATION_EXPECTS(block < crcs_.size());
+        return crcs_[block];
+    }
+
+    /// Fault injection: flip bits of a stored checksum (the metadata
+    /// itself is damaged, not the data it describes). `mask` must be
+    /// non-zero so the corruption is real.
+    void corrupt_block(std::size_t block, std::uint32_t mask) {
+        LIBERATION_EXPECTS(block < crcs_.size());
+        LIBERATION_EXPECTS(mask != 0);
+        crcs_[block] ^= mask;
+    }
+
+private:
+    std::size_t block_;
+    std::vector<std::uint32_t> crcs_;
+};
+
+}  // namespace liberation::integrity

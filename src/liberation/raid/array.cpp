@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 
+#include "liberation/core/error_correction.hpp"
 #include "liberation/raid/rebuild.hpp"
 #include "liberation/util/assert.hpp"
 #include "liberation/util/primes.hpp"
@@ -40,6 +42,14 @@ array_stats raid6_array::atomic_stats::snapshot() const noexcept {
         rebuild_stripes_failed.load(std::memory_order_relaxed);
     s.rebuild_sessions_stalled =
         rebuild_sessions_stalled.load(std::memory_order_relaxed);
+    s.checksum_mismatches = checksum_mismatches.load(std::memory_order_relaxed);
+    s.reads_self_healed = reads_self_healed.load(std::memory_order_relaxed);
+    s.reads_unrecoverable =
+        reads_unrecoverable.load(std::memory_order_relaxed);
+    s.checksum_metadata_repaired =
+        checksum_metadata_repaired.load(std::memory_order_relaxed);
+    s.writes_rejected_log_full =
+        writes_rejected_log_full.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -47,6 +57,9 @@ raid6_array::raid6_array(const array_config& cfg)
     : map_(cfg.k, effective_p(cfg), cfg.element_size, cfg.stripes, cfg.layout),
       code_(cfg.k, effective_p(cfg)),
       sector_size_(cfg.sector_size),
+      journal_(cfg.intent_log_entries),
+      verify_reads_(cfg.verify_reads),
+      integrity_block_(std::gcd(cfg.sector_size, map_.element_size())),
       policy_(cfg.io_retry, clock_),
       health_(map_.n(), cfg.health),
       auto_failover_(cfg.auto_failover),
@@ -54,10 +67,14 @@ raid6_array::raid6_array(const array_config& cfg)
                                  ? 1
                                  : cfg.rebuild_batch_stripes),
       next_disk_id_(map_.n() + cfg.hot_spares) {
+    // Intent-log column masks are 64-bit (see intent_log::mark).
+    LIBERATION_EXPECTS(map_.n() <= 64);
     disks_.reserve(map_.n());
+    regions_.reserve(map_.n());
     for (std::uint32_t d = 0; d < map_.n(); ++d) {
         disks_.push_back(std::make_unique<vdisk>(d, map_.disk_capacity(),
                                                  cfg.sector_size));
+        regions_.emplace_back(map_.disk_capacity(), integrity_block_);
     }
     spares_.reserve(cfg.hot_spares);
     for (std::uint32_t s = 0; s < cfg.hot_spares; ++s) {
@@ -77,6 +94,10 @@ void raid6_array::add_data_disk() {
     map_ = stripe_map(new_k, map_.rows(), map_.element_size(), map_.stripes(),
                       parity_layout::parity_first);
     code_ = core::liberation_optimal_code(new_k, code_.p());
+    LIBERATION_EXPECTS(map_.n() <= 64);
+    // The new column is blank (all zeros), which is exactly what a fresh
+    // integrity region describes.
+    regions_.emplace_back(map_.disk_capacity(), integrity_block_);
     health_.add_disk();
 }
 
@@ -133,12 +154,31 @@ io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
                                   std::span<const std::byte> in) {
     if (write_budget_ == 0) {
         powered_ = false;
+        // The write's *intent* still reaches the battery-backed metadata
+        // domain even though the bits never reach the medium — recording
+        // the checksum is what makes the torn write deterministically
+        // detectable (and torn-vs-corrupt classifiable) on replay.
+        regions_[disk].record(offset, in);
         return io_status::ok;  // the host never learns; the bits are gone
     }
     --write_budget_;
     const io_result r = policy_.write(*disks_[disk], offset, in);
     note_io(disk, io_kind::write, r);
+    // A failed write never reaches the medium, so the old checksum stays
+    // authoritative; only landed bytes update the region.
+    if (r.status == io_status::ok) regions_[disk].record(offset, in);
     return r.status;
+}
+
+io_status raid6_array::verified_disk_read(std::uint32_t d, std::size_t offset,
+                                          std::span<std::byte> out) {
+    const io_status st = disk_read(d, offset, out);
+    if (st != io_status::ok || !verify_reads_) return st;
+    if (!regions_[d].verify(offset, out)) {
+        stats_.checksum_mismatches.fetch_add(1, std::memory_order_relaxed);
+        return io_status::checksum_mismatch;
+    }
+    return st;
 }
 
 // ---- failover & background rebuild -----------------------------------
@@ -309,8 +349,173 @@ bool raid6_array::store_columns(std::size_t stripe,
     return all_ok;
 }
 
-void raid6_array::journal_mark(std::size_t stripe) {
-    if (powered_) journal_.mark(stripe);
+raid6_array::stripe_recovery raid6_array::load_stripe_verified(
+    std::size_t stripe, const codes::stripe_view& buf, bool writeback,
+    std::span<const std::uint32_t> extra_erasures, bool trust_parity) {
+    stripe_recovery rec;
+    const bool loadable = load_stripe(stripe, buf, rec.erased, &rec.statuses);
+    for (const std::uint32_t col : extra_erasures) {
+        if (std::find(rec.erased.begin(), rec.erased.end(), col) ==
+            rec.erased.end()) {
+            rec.erased.push_back(col);
+        }
+    }
+    std::sort(rec.erased.begin(), rec.erased.end());
+    if (!loadable || rec.erased.size() > 2) return rec;
+    rec.verified = true;
+
+    const auto is_erased = [&](std::uint32_t col) {
+        return std::binary_search(rec.erased.begin(), rec.erased.end(), col);
+    };
+    const std::uint32_t pc = code_.p_column();
+    const std::uint32_t qc = code_.q_column();
+
+    // Checksum-first classification: every available column whose bytes
+    // fail their stored CRC is a suspect, with no single-corruption
+    // assumption and no dependence on parity agreeing with anything.
+    std::vector<std::uint32_t> crc_bad;
+    for (std::uint32_t col = 0; col < map_.n(); ++col) {
+        if (is_erased(col)) continue;
+        const strip_location loc = map_.locate(stripe, col);
+        if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
+            crc_bad.push_back(col);
+            rec.statuses[col] = io_status::checksum_mismatch;
+        }
+    }
+    if (!crc_bad.empty()) {
+        stats_.checksum_mismatches.fetch_add(crc_bad.size(),
+                                             std::memory_order_relaxed);
+    }
+
+    if (!trust_parity) {
+        // Torn-stripe fallback: parity may disagree with data, so no data
+        // column may be reconstructed from it. The caller re-encodes both
+        // parities from data, which resolves parity-side suspects anyway.
+        for (const std::uint32_t col : rec.erased) {
+            if (col != pc && col != qc) return rec;
+        }
+        for (const std::uint32_t col : crc_bad) {
+            if (col != pc && col != qc) return rec;
+        }
+        rec.ok = true;
+        return rec;
+    }
+
+    if (rec.erased.size() + crc_bad.size() <= 2) {
+        // Within the decode budget: treat the corrupt columns as erasures,
+        // reconstruct everything in one optimal decode, then let the
+        // checksums arbitrate who was really damaged.
+        std::vector<std::uint32_t> suspects = rec.erased;
+        suspects.insert(suspects.end(), crc_bad.begin(), crc_bad.end());
+        std::sort(suspects.begin(), suspects.end());
+
+        // Snapshot the raw bytes of the checksum-suspect columns so the
+        // decode result can be compared against what was actually on disk.
+        std::vector<std::vector<std::byte>> raw;
+        raw.reserve(crc_bad.size());
+        for (const std::uint32_t col : crc_bad) {
+            const std::span<const std::byte> s = buf.strip(col);
+            raw.emplace_back(s.begin(), s.end());
+        }
+        if (!suspects.empty()) code_.decode(buf, suspects);
+
+        for (std::size_t i = 0; i < crc_bad.size(); ++i) {
+            const std::uint32_t col = crc_bad[i];
+            const strip_location loc = map_.locate(stripe, col);
+            if (std::equal(raw[i].begin(), raw[i].end(),
+                           buf.strip(col).begin())) {
+                // Parity reproduced the on-disk bytes exactly: the data
+                // was fine all along and the *stored checksum* is the
+                // damaged side. Refresh the metadata.
+                regions_[loc.disk].record(loc.offset, buf.strip(col));
+                rec.meta_repaired.push_back(col);
+                stats_.checksum_metadata_repaired.fetch_add(
+                    1, std::memory_order_relaxed);
+                continue;
+            }
+            // Real corruption: the decode recovered different bytes.
+            // Re-verify the reconstruction; if the stored checksum rejects
+            // even the parity-backed truth, data *and* metadata were both
+            // hit — the decode (computed from verified inputs) wins and
+            // the metadata is refreshed too.
+            if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
+                regions_[loc.disk].record(loc.offset, buf.strip(col));
+                stats_.checksum_metadata_repaired.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            rec.healed.push_back(col);
+            if (writeback) {
+                const std::uint32_t one[] = {col};
+                store_columns(stripe, buf, one);
+            }
+        }
+        for (const std::uint32_t col : rec.erased) {
+            // Verify every reconstructed column before anyone trusts it.
+            // All decode inputs verified, so a mismatch here means the
+            // stored checksum is stale (e.g. corrupted metadata or a
+            // blank replacement disk's region) — refresh it.
+            const strip_location loc = map_.locate(stripe, col);
+            if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
+                regions_[loc.disk].record(loc.offset, buf.strip(col));
+                rec.meta_repaired.push_back(col);
+                stats_.checksum_metadata_repaired.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            if (writeback &&
+                rec.statuses[col] == io_status::unreadable_sector) {
+                // Heal-on-read of latent sector errors, as load_and_decode
+                // always did.
+                stats_.media_errors_recovered.fetch_add(
+                    1, std::memory_order_relaxed);
+                const std::uint32_t one[] = {col};
+                store_columns(stripe, buf, one);
+            }
+        }
+        rec.ok = true;
+        return rec;
+    }
+
+    // More checksum suspects than the two-erasure decode budget (plus any
+    // true erasures). Before declaring data loss, consider that the
+    // *metadata* may be the damaged side: decode only the true erasures
+    // and cross-check parity against data. If the codeword is consistent,
+    // the bytes on disk are mutually corroborated by both parities and
+    // every "suspect" checksum is stale — refresh them all.
+    if (!rec.erased.empty()) code_.decode(buf, rec.erased);
+    if (core::stripe_consistent(buf, code_.geom())) {
+        for (const std::uint32_t col : crc_bad) {
+            const strip_location loc = map_.locate(stripe, col);
+            regions_[loc.disk].record(loc.offset, buf.strip(col));
+            rec.meta_repaired.push_back(col);
+            rec.statuses[col] = io_status::ok;
+            stats_.checksum_metadata_repaired.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        for (const std::uint32_t col : rec.erased) {
+            const strip_location loc = map_.locate(stripe, col);
+            if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
+                regions_[loc.disk].record(loc.offset, buf.strip(col));
+                rec.meta_repaired.push_back(col);
+                stats_.checksum_metadata_repaired.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+        rec.ok = true;
+    }
+    return rec;
+}
+
+bool raid6_array::journal_mark(std::size_t stripe, std::uint64_t cols) {
+    // A dead host issues no writes that could tear anything.
+    if (!powered_) return true;
+    if (!journal_.mark(stripe, cols)) {
+        // Log full: proceeding unjournaled would be a silent write hole
+        // waiting for a crash — refuse the write loudly instead.
+        stats_.writes_rejected_log_full.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        return false;
+    }
+    return true;
 }
 
 void raid6_array::journal_clear(std::size_t stripe) {
@@ -335,23 +540,98 @@ std::size_t raid6_array::recover_write_hole() {
     LIBERATION_EXPECTS(powered_);
     std::size_t resynced = 0;
     codes::stripe_buffer buf = make_stripe_buffer();
-    std::vector<std::uint32_t> erased;
-    const std::uint32_t parity_cols[] = {code_.p_column(), code_.q_column()};
     for (const std::size_t s : journal_.dirty_stripes()) {
-        if (!load_stripe(s, buf.view(), erased) || !erased.empty()) {
-            continue;  // degraded: leave journaled for later
-        }
-        // Data is the source of truth; rebuild both parity columns.
-        code_.encode(buf.view());
-        if (!store_columns(s, buf.view(), parity_cols)) continue;
-        journal_.clear(s);
-        ++resynced;
+        if (resync_journaled_stripe(s, buf.view())) ++resynced;
     }
     return resynced;
 }
 
+bool raid6_array::resync_journaled_stripe(std::size_t stripe,
+                                          const codes::stripe_view& buf) {
+    std::vector<std::uint32_t> erased;
+    if (!load_stripe(stripe, buf, erased) || !erased.empty()) {
+        return false;  // degraded: leave journaled for later
+    }
+    const std::uint32_t pc = code_.p_column();
+    const std::uint32_t qc = code_.q_column();
+    const std::uint64_t mask = journal_.columns(stripe);
+    // Classify every data column whose bytes fail their stored checksum.
+    // A column *targeted* by the in-flight update is torn: the mismatch is
+    // the half-landed update itself, the on-disk bytes win and the
+    // checksum is refreshed (record-ahead on dropped writes makes this
+    // deterministic). An *untargeted* column was never meant to change —
+    // its old checksum is authoritative and the mismatch is silent
+    // corruption that struck while the stripe was torn; recover it via
+    // checksum-guided candidate decode or leave the stripe journaled.
+    // Parity columns need no classification: re-encoding from data below
+    // resolves any parity tear or corruption either way.
+    for (std::uint32_t col = 0; col < map_.n(); ++col) {
+        if (col == pc || col == qc) continue;
+        const strip_location loc = map_.locate(stripe, col);
+        if (regions_[loc.disk].verify(loc.offset, buf.strip(col))) continue;
+        stats_.checksum_mismatches.fetch_add(1, std::memory_order_relaxed);
+        if ((mask >> col) & 1) {
+            regions_[loc.disk].record(loc.offset, buf.strip(col));
+        } else if (!heal_journaled_column(stripe, buf, col)) {
+            return false;
+        }
+    }
+    // Data is the source of truth; rebuild both parity columns.
+    code_.encode(buf);
+    const std::uint32_t parity_cols[] = {pc, qc};
+    if (!store_columns(stripe, buf, parity_cols) || !powered_) return false;
+    journal_clear(stripe);
+    return true;
+}
+
+bool raid6_array::heal_journaled_column(std::size_t stripe,
+                                        const codes::stripe_view& buf,
+                                        std::uint32_t col) {
+    const std::uint32_t pc = code_.p_column();
+    const std::uint32_t qc = code_.q_column();
+    const strip_location loc = map_.locate(stripe, col);
+    codes::stripe_buffer tmp = make_stripe_buffer();
+    // Parity may itself be torn, so try each subset that still has enough
+    // intact parity to reconstruct the column ({c}: both parities fine,
+    // {c,P}: P torn, {c,Q}: Q torn) and accept the first candidate the
+    // stored checksum vouches for. A false match is a CRC32C collision on
+    // an element-sized block — negligible against the faults modeled here.
+    const std::vector<std::vector<std::uint32_t>> candidates = {
+        {col}, {col, pc}, {col, qc}};
+    for (const std::vector<std::uint32_t>& erased : candidates) {
+        codes::copy_stripe(tmp.view(), buf);
+        code_.decode(tmp.view(), erased);
+        if (!regions_[loc.disk].verify(loc.offset, tmp.view().strip(col))) {
+            continue;
+        }
+        std::memcpy(buf.strip(col).data(), tmp.view().strip(col).data(),
+                    map_.strip_size());
+        const std::uint32_t one[] = {col};
+        return store_columns(stripe, buf, one);
+    }
+    return false;
+}
+
 bool raid6_array::load_and_decode(std::size_t stripe,
                                   const codes::stripe_view& buf) {
+    if (verify_reads_ && !journal_.is_dirty(stripe)) {
+        // Verified read: checksum mismatches demote columns to erasures,
+        // the optimal decoder reconstructs them, reconstructions are
+        // re-verified, and repairs are written back (read-repair). Torn
+        // stripes are excluded — their mismatches are half-landed updates,
+        // not corruption, and resync owns that classification.
+        const stripe_recovery rec =
+            load_stripe_verified(stripe, buf, /*writeback=*/true);
+        if (!rec.ok) return false;
+        if (!rec.erased.empty()) {
+            stats_.degraded_stripe_reads.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+        if (!rec.healed.empty()) {
+            stats_.reads_self_healed.fetch_add(1, std::memory_order_relaxed);
+        }
+        return true;
+    }
     std::vector<std::uint32_t> erased;
     std::vector<io_status> statuses;
     if (!load_stripe(stripe, buf, erased, &statuses)) return false;
@@ -383,9 +663,12 @@ bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
     const auto read_elem = [&](std::uint32_t c, std::uint32_t r,
                                std::span<std::byte> dst) {
         const strip_location loc = map_.locate(stripe, c);
-        return disk_read(loc.disk,
-                         loc.offset + static_cast<std::size_t>(r) * elem,
-                         dst) == io_status::ok;
+        // Verified: XOR-ing a silently corrupt survivor into the
+        // reconstruction would *manufacture* corruption in a column that
+        // was merely erased.
+        return verified_disk_read(
+                   loc.disk, loc.offset + static_cast<std::size_t>(r) * elem,
+                   dst) == io_status::ok;
     };
 
     if (!read_elem(code_.p_column(), row, acc.span())) return false;
@@ -393,6 +676,19 @@ bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
         if (j == col) continue;
         if (!read_elem(j, row, tmp.span())) return false;
         xorops::xor_into(acc.data(), tmp.data(), elem);
+    }
+    if (verify_reads_) {
+        // End-to-end check: the reconstructed element must match the
+        // *erased* column's own stored checksum before it is served. A
+        // mismatch (e.g. the target's metadata is itself damaged) falls
+        // back to the full-stripe path, whose classification can repair
+        // the metadata.
+        const strip_location loc = map_.locate(stripe, col);
+        if (!regions_[loc.disk].verify(
+                loc.offset + static_cast<std::size_t>(row) * elem,
+                acc.span())) {
+            return false;
+        }
     }
     std::memcpy(out.data(), acc.data(), elem);
     stats_.degraded_element_reads.fetch_add(1, std::memory_order_relaxed);
@@ -402,6 +698,9 @@ bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
 bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
     LIBERATION_EXPECTS(addr + out.size() <= capacity());
     service_events();
+    // Verify-on-read widens unaligned chunks to whole checksum blocks, so
+    // the fast path stages them through a strip-sized scratch buffer.
+    util::aligned_buffer vbuf(verify_reads_ ? map_.strip_size() : 0);
     std::size_t done = 0;
     while (done < out.size()) {
         const std::size_t a = addr + done;
@@ -420,9 +719,23 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
             const std::size_t chunk =
                 std::min(span_len - copied, map_.strip_size() - in_strip);
             const strip_location loc = map_.locate(stripe, col);
-            const io_status st = disk_read(
-                loc.disk, loc.offset + in_strip,
-                out.subspan(done + copied, chunk));
+            io_status st;
+            if (verify_reads_) {
+                const std::size_t lo = in_strip - in_strip % integrity_block_;
+                const std::size_t hi =
+                    (in_strip + chunk + integrity_block_ - 1) /
+                    integrity_block_ * integrity_block_;
+                st = verified_disk_read(
+                    loc.disk, loc.offset + lo,
+                    std::span<std::byte>(vbuf.data(), hi - lo));
+                if (st == io_status::ok) {
+                    std::memcpy(out.data() + done + copied,
+                                vbuf.data() + (in_strip - lo), chunk);
+                }
+            } else {
+                st = disk_read(loc.disk, loc.offset + in_strip,
+                               out.subspan(done + copied, chunk));
+            }
             if (st != io_status::ok) {
                 degraded = true;
                 break;
@@ -450,15 +763,26 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
                     const std::size_t chunk = std::min(
                         span_len - i, map_.element_size() - in_elem);
                     const strip_location loc = map_.locate(stripe, col);
-                    if (disk_read(loc.disk,
-                                  loc.offset +
-                                      static_cast<std::size_t>(row) *
-                                          map_.element_size(),
-                                  ebuf.span()) != io_status::ok &&
-                        !read_element_degraded(stripe, row, col,
-                                               ebuf.span())) {
-                        element_path = false;
-                        break;
+                    const std::size_t elem_off =
+                        loc.offset +
+                        static_cast<std::size_t>(row) * map_.element_size();
+                    const io_status est =
+                        verified_disk_read(loc.disk, elem_off, ebuf.span());
+                    if (est != io_status::ok) {
+                        if (!read_element_degraded(stripe, row, col,
+                                                   ebuf.span())) {
+                            element_path = false;
+                            break;
+                        }
+                        if (est == io_status::checksum_mismatch &&
+                            disk_write(loc.disk, elem_off, ebuf.span()) ==
+                                io_status::ok) {
+                            // Element-granular read-repair: the verified
+                            // reconstruction overwrites the rot instead of
+                            // leaving it in wait for the next failure.
+                            stats_.reads_self_healed.fetch_add(
+                                1, std::memory_order_relaxed);
+                        }
                     }
                     std::memcpy(out.data() + done + i, ebuf.data() + in_elem,
                                 chunk);
@@ -467,7 +791,13 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
             }
             if (!element_path) {
                 codes::stripe_buffer buf = make_stripe_buffer();
-                if (!load_and_decode(stripe, buf.view())) return false;
+                if (!load_and_decode(stripe, buf.view())) {
+                    if (verify_reads_) {
+                        stats_.reads_unrecoverable.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                    return false;
+                }
                 // Gather the requested bytes from the rebuilt stripe.
                 for (std::size_t i = 0; i < span_len;) {
                     const std::size_t o = in_stripe + i;
@@ -505,6 +835,11 @@ bool raid6_array::write(std::size_t addr, std::span<const std::byte> in) {
         } else {
             ok = write_partial(stripe, in_stripe, in.subspan(done, span_len));
         }
+        // Power died during this stripe's update: nothing further lands,
+        // the host never observes the result, and the journal owns any
+        // tear. Reporting failure would be a verdict nobody is alive to
+        // hear — the seed's "the host never learns" semantics.
+        if (!powered_) return true;
         if (!ok) return false;
         done += span_len;
     }
@@ -521,12 +856,12 @@ bool raid6_array::write_full_stripe(std::size_t stripe,
                     map_.strip_size());
     }
     code_.encode(v);
-    stats_.full_stripe_writes.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::uint32_t> cols(map_.n());
     for (std::uint32_t c = 0; c < map_.n(); ++c) cols[c] = c;
     // Failed disks simply miss the update; the stripe stays decodable as
     // long as <= 2 columns are down.
-    journal_mark(stripe);
+    if (!journal_mark(stripe, intent_log::all_columns)) return false;
+    stats_.full_stripe_writes.fetch_add(1, std::memory_order_relaxed);
     store_columns(stripe, v, cols);
     journal_clear(stripe);
     return failed_disk_count() <= 2;
@@ -538,6 +873,16 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
     const std::uint32_t pc = code_.p_column();
     const std::uint32_t qc = code_.q_column();
     const auto& g = code_.geom();
+
+    // A stripe still journaled from an earlier crash may hold torn parity;
+    // patching torn parity would carry the tear forward under a *cleared*
+    // journal entry — silent corruption. Re-sync first (md does the same
+    // the first time it touches a dirty-bitmap stripe after an unclean
+    // shutdown). Failure leaves the stripe journaled and the write refused.
+    if (journal_.is_dirty(stripe)) {
+        codes::stripe_buffer rbuf = make_stripe_buffer();
+        if (!resync_journaled_stripe(stripe, rbuf.view())) return false;
+    }
 
     // One touched data element per plan entry.
     struct touch {
@@ -562,6 +907,10 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
     // element and every parity element it patches to be readable. Nothing
     // is mutated until validation passes, so the stripe never ends up
     // half-updated before the reconstruct-write fallback below runs.
+    // Reads are verified: XOR-patching parity with a delta computed from
+    // silently corrupt old bytes would bake the corruption into parity
+    // permanently. A checksum mismatch here simply demotes the write to
+    // the reconstruct-write fallback, whose classification heals it.
     util::aligned_buffer old_e(elem), new_e(elem), delta(elem), par(elem);
     bool fast_ok = true;
     for (const touch& t : plan) {
@@ -569,25 +918,26 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
         const strip_location ploc = map_.locate(stripe, pc);
         const strip_location qloc = map_.locate(stripe, qc);
         const std::size_t elem_off = static_cast<std::size_t>(t.row) * elem;
-        if (disk_read(dloc.disk, dloc.offset + elem_off, old_e.span()) !=
-                io_status::ok ||
-            disk_read(ploc.disk,
-                      ploc.offset + static_cast<std::size_t>(t.row) * elem,
-                      par.span()) != io_status::ok ||
-            disk_read(qloc.disk,
-                      qloc.offset +
-                          static_cast<std::size_t>(g.diag_of(t.row, t.col)) *
-                              elem,
-                      par.span()) != io_status::ok) {
+        if (verified_disk_read(dloc.disk, dloc.offset + elem_off,
+                               old_e.span()) != io_status::ok ||
+            verified_disk_read(
+                ploc.disk,
+                ploc.offset + static_cast<std::size_t>(t.row) * elem,
+                par.span()) != io_status::ok ||
+            verified_disk_read(
+                qloc.disk,
+                qloc.offset +
+                    static_cast<std::size_t>(g.diag_of(t.row, t.col)) * elem,
+                par.span()) != io_status::ok) {
             fast_ok = false;
             break;
         }
         if (g.is_extra_position(t.row, t.col) &&
-            disk_read(qloc.disk,
-                      qloc.offset +
-                          static_cast<std::size_t>(g.extra_q_index(t.col)) *
-                              elem,
-                      par.span()) != io_status::ok) {
+            verified_disk_read(
+                qloc.disk,
+                qloc.offset +
+                    static_cast<std::size_t>(g.extra_q_index(t.col)) * elem,
+                par.span()) != io_status::ok) {
             fast_ok = false;
             break;
         }
@@ -607,7 +957,10 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
         // medium) — completed elements are self-consistent, so a
         // successful rollback leaves the whole stripe consistent for the
         // reconstruct-write fallback below.
-        journal_mark(stripe);
+        std::uint64_t touch_mask = (std::uint64_t{1} << pc) |
+                                   (std::uint64_t{1} << qc);
+        for (const touch& t : plan) touch_mask |= std::uint64_t{1} << t.col;
+        if (!journal_mark(stripe, touch_mask)) return false;
         bool applied = true;
         struct landed_patch {
             std::uint32_t disk;
@@ -620,8 +973,8 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
             const strip_location qloc = map_.locate(stripe, qc);
             const std::size_t elem_off = static_cast<std::size_t>(t.row) * elem;
 
-            if (disk_read(dloc.disk, dloc.offset + elem_off, old_e.span()) !=
-                io_status::ok) {
+            if (verified_disk_read(dloc.disk, dloc.offset + elem_off,
+                                   old_e.span()) != io_status::ok) {
                 applied = false;
                 break;
             }
@@ -635,7 +988,8 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
                                    const strip_location& loc) {
                 const std::size_t poff =
                     loc.offset + static_cast<std::size_t>(prow) * elem;
-                if (disk_read(loc.disk, poff, par.span()) != io_status::ok) {
+                if (verified_disk_read(loc.disk, poff, par.span()) !=
+                    io_status::ok) {
                     return false;
                 }
                 xorops::xor_into(par.data(), delta.data(), elem);
@@ -683,38 +1037,39 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
             stats_.small_writes.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
+        // Power died mid-apply: the record-ahead checksums of the dropped
+        // writes make the stripe look corrupt to the verified fallback,
+        // but it is *torn* — resync-on-replay owns that classification,
+        // not load_stripe_verified. Leave it journaled and stop.
+        if (!powered_) return true;
         // Fall through to the reconstruct-write path; the stripe stays
         // journaled until it completes.
     }
 
-    // Degraded fallback: reconstruct the whole stripe, splice the new
-    // bytes, re-encode, write everything that is still online.
+    // Degraded fallback: reconstruct the whole stripe (checksum-verified —
+    // a silently corrupt column must not be re-encoded into fresh parity),
+    // splice the new bytes, re-encode, write everything that is still
+    // online. With parity untrusted (a rollback failure above), no data
+    // column may be reconstructed from it: load_stripe_verified refuses,
+    // the write fails loudly, and the stripe stays journaled for
+    // recover_write_hole() to re-sync from data.
     codes::stripe_buffer buf = make_stripe_buffer();
-    std::vector<std::uint32_t> erased;
-    std::vector<io_status> statuses;
-    if (!load_stripe(stripe, buf.view(), erased, &statuses)) return false;
-    if (!parity_trusted) {
-        // Decoding an erased *data* column from torn parity would
-        // synthesize garbage that the re-encode below would then bake into
-        // both parities — silent corruption. Fail the write instead; the
-        // stripe stays journaled and recover_write_hole() re-syncs it from
-        // data once every column is readable again. (Erased parity columns
-        // are harmless: the re-encode regenerates them from data.)
-        for (const std::uint32_t col : erased) {
-            if (col != pc && col != qc) return false;
-        }
-    }
-    if (!erased.empty()) {
-        code_.decode(buf.view(), erased);
+    const stripe_recovery rec = load_stripe_verified(
+        stripe, buf.view(), /*writeback=*/false, {}, parity_trusted);
+    if (!rec.ok) return false;
+    if (!rec.erased.empty()) {
         stats_.degraded_stripe_reads.fetch_add(1, std::memory_order_relaxed);
-        for (const std::uint32_t col : erased) {
+        for (const std::uint32_t col : rec.erased) {
             // Latent sector errors heal below when every column is
             // rewritten; keep the accounting load_and_decode would do.
-            if (statuses[col] == io_status::unreadable_sector) {
+            if (rec.statuses[col] == io_status::unreadable_sector) {
                 stats_.media_errors_recovered.fetch_add(
                     1, std::memory_order_relaxed);
             }
         }
+    }
+    if (!rec.healed.empty()) {
+        stats_.reads_self_healed.fetch_add(1, std::memory_order_relaxed);
     }
     for (std::size_t j = 0; j < in.size();) {
         const std::size_t o = in_stripe + j;
@@ -729,7 +1084,7 @@ bool raid6_array::write_partial(std::size_t stripe, std::size_t in_stripe,
     code_.encode(buf.view());
     std::vector<std::uint32_t> cols(map_.n());
     for (std::uint32_t c = 0; c < map_.n(); ++c) cols[c] = c;
-    journal_mark(stripe);
+    if (!journal_mark(stripe, intent_log::all_columns)) return false;
     store_columns(stripe, buf.view(), cols);
     journal_clear(stripe);
     stats_.small_writes.fetch_add(1, std::memory_order_relaxed);

@@ -26,6 +26,7 @@
 
 #include "liberation/codes/stripe.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/integrity/integrity_region.hpp"
 #include "liberation/raid/health.hpp"
 #include "liberation/raid/intent_log.hpp"
 #include "liberation/raid/io_policy.hpp"
@@ -57,6 +58,17 @@ struct array_config {
     io_policy_config io_retry{};
     /// Error thresholds that trip a disk to failed.
     health_config health{};
+
+    // ---- end-to-end integrity ----------------------------------------
+    /// Verify every host read against the per-disk checksum regions; a
+    /// mismatch demotes the column to an erasure, the stripe is decoded,
+    /// the recovered bytes are re-verified, and the repair is written back
+    /// (read-repair). Scrub and rebuild verification are always on.
+    bool verify_reads = true;
+    /// Intent-log capacity in stripes; 0 = unbounded. When the log is
+    /// full, writes that would need a new entry fail loudly
+    /// (writes_rejected_log_full) instead of proceeding unjournaled.
+    std::size_t intent_log_entries = 0;
 };
 
 /// Copyable snapshot of the array's operation counters. The live counters
@@ -76,6 +88,11 @@ struct array_stats {
     std::uint64_t rebuilds_completed = 0;       ///< background sessions finished
     std::uint64_t rebuild_stripes_failed = 0;   ///< unrecoverable during bg rebuild
     std::uint64_t rebuild_sessions_stalled = 0; ///< > 2 losses, operator needed
+    std::uint64_t checksum_mismatches = 0;      ///< blocks failing their CRC
+    std::uint64_t reads_self_healed = 0;        ///< stripes repaired on read
+    std::uint64_t reads_unrecoverable = 0;      ///< verified reads refused
+    std::uint64_t checksum_metadata_repaired = 0;  ///< stale/damaged CRCs fixed
+    std::uint64_t writes_rejected_log_full = 0; ///< intent log at capacity
 };
 
 class raid6_array {
@@ -98,6 +115,25 @@ public:
     [[nodiscard]] vdisk& disk(std::uint32_t d) { return *disks_[d]; }
     [[nodiscard]] const vdisk& disk(std::uint32_t d) const { return *disks_[d]; }
     [[nodiscard]] array_stats stats() const noexcept { return stats_.snapshot(); }
+
+    // ---- end-to-end integrity ----------------------------------------
+
+    [[nodiscard]] bool verify_reads() const noexcept { return verify_reads_; }
+    /// Checksum granularity: gcd(sector_size, element_size), so every
+    /// element-aligned disk I/O is block-aligned.
+    [[nodiscard]] std::size_t integrity_block() const noexcept {
+        return integrity_block_;
+    }
+    /// Battery-backed checksum region of disk slot `d`. Preserved across
+    /// fail/replace/promote: it describes the slot's last-known contents,
+    /// which is what rebuild verification checks reconstructions against.
+    [[nodiscard]] integrity::integrity_region& integrity(std::uint32_t d) {
+        return regions_[d];
+    }
+    [[nodiscard]] const integrity::integrity_region& integrity(
+        std::uint32_t d) const {
+        return regions_[d];
+    }
 
     [[nodiscard]] std::uint32_t failed_disk_count() const noexcept;
 
@@ -139,6 +175,10 @@ public:
     /// replaces a disk. Reads of the masked columns fail loudly meanwhile.
     [[nodiscard]] bool rebuild_stalled() const noexcept {
         return rebuild_stalled_;
+    }
+    /// Disks currently being rebuilt in the background.
+    [[nodiscard]] std::uint32_t rebuilding_disk_count() const noexcept {
+        return static_cast<std::uint32_t>(rebuilding_.size());
     }
     /// Stripes the current background rebuild session has yet to process
     /// (the furthest-behind member's backlog).
@@ -225,6 +265,38 @@ public:
     bool store_columns(std::size_t stripe, const codes::stripe_view& src,
                        std::span<const std::uint32_t> cols);
 
+    /// Result of load_stripe_verified(). When ok, `buf` holds a fully
+    /// decoded, checksum-verified stripe; `erased` are the columns that
+    /// were unavailable (decoded in the buffer), `healed` the columns whose
+    /// checksums exposed silent corruption (decoded, and rewritten when
+    /// writeback was requested), `meta_repaired` the columns whose *stored
+    /// checksums* turned out to be the damaged side (data verified fine
+    /// once decoded — the metadata was refreshed).
+    struct stripe_recovery {
+        bool ok = false;
+        bool verified = false;  ///< checksum classification actually ran
+        std::vector<std::uint32_t> erased;
+        std::vector<io_status> statuses;
+        std::vector<std::uint32_t> healed;
+        std::vector<std::uint32_t> meta_repaired;
+    };
+
+    /// Checksum-first stripe recovery: load every readable strip, demote
+    /// checksum-mismatching columns to erasures, decode with the optimal
+    /// decoder, re-verify reconstructions against their stored checksums
+    /// (mismatch with all-verified inputs means the *metadata* was stale —
+    /// it is refreshed, never trusted over a parity-consistent decode),
+    /// and optionally write repairs back. `extra_erasures` pre-declares
+    /// columns the caller already distrusts (rebuild targets). With
+    /// `trust_parity` false (torn-stripe fallback) no data column may be
+    /// reconstructed from parity; the caller re-encodes parity instead.
+    /// Callers are responsible for torn stripes: this routine assumes
+    /// parity is consistent with data unless told otherwise.
+    [[nodiscard]] stripe_recovery load_stripe_verified(
+        std::size_t stripe, const codes::stripe_view& buf, bool writeback,
+        std::span<const std::uint32_t> extra_erasures = {},
+        bool trust_parity = true);
+
     /// Convenience: allocate a stripe buffer with this array's geometry.
     [[nodiscard]] codes::stripe_buffer make_stripe_buffer() const {
         return {map_.rows(), map_.n(), map_.element_size()};
@@ -246,6 +318,11 @@ private:
         std::atomic<std::uint64_t> rebuilds_completed{0};
         std::atomic<std::uint64_t> rebuild_stripes_failed{0};
         std::atomic<std::uint64_t> rebuild_sessions_stalled{0};
+        std::atomic<std::uint64_t> checksum_mismatches{0};
+        std::atomic<std::uint64_t> reads_self_healed{0};
+        std::atomic<std::uint64_t> reads_unrecoverable{0};
+        std::atomic<std::uint64_t> checksum_metadata_repaired{0};
+        std::atomic<std::uint64_t> writes_rejected_log_full{0};
 
         [[nodiscard]] array_stats snapshot() const noexcept;
     };
@@ -290,8 +367,32 @@ private:
     /// Entry hook for read()/write(): failover + one rebuild batch.
     void service_events();
 
-    void journal_mark(std::size_t stripe);
+    /// Journal a stripe with its target-column mask; false (and a loud
+    /// write failure for the caller) when the log is at capacity.
+    [[nodiscard]] bool journal_mark(std::size_t stripe, std::uint64_t cols);
     void journal_clear(std::size_t stripe);
+
+    /// disk_read + checksum verification (verify-on-read mode only):
+    /// bytes that read fine but fail their stored CRC come back as
+    /// io_status::checksum_mismatch so callers demote the column.
+    io_status verified_disk_read(std::uint32_t d, std::size_t offset,
+                                 std::span<std::byte> out);
+
+    /// Re-sync one journaled stripe: classify every checksum-mismatching
+    /// data column as torn (targeted by the in-flight update — accept the
+    /// on-disk bytes) or corrupt (untargeted — recover via checksum-guided
+    /// candidate decode), then re-encode parity from data and clear the
+    /// journal entry. False leaves the stripe journaled.
+    [[nodiscard]] bool resync_journaled_stripe(std::size_t stripe,
+                                               const codes::stripe_view& buf);
+
+    /// Corruption recovery for an *untargeted* column of a torn stripe:
+    /// parity may itself be torn, so try decoding the column from each
+    /// parity subset ({c}, {c,P}, {c,Q}) and accept the first candidate
+    /// matching the column's stored checksum.
+    [[nodiscard]] bool heal_journaled_column(std::size_t stripe,
+                                             const codes::stripe_view& buf,
+                                             std::uint32_t col);
 
     stripe_map map_;
     core::liberation_optimal_code code_;
@@ -299,6 +400,9 @@ private:
     std::vector<std::unique_ptr<vdisk>> disks_;
     atomic_stats stats_;
     intent_log journal_;
+    std::vector<integrity::integrity_region> regions_;
+    bool verify_reads_;
+    std::size_t integrity_block_;
     bool powered_ = true;
     std::uint64_t write_budget_ = UINT64_MAX;
 

@@ -101,6 +101,18 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
                a.powered() && !power_armed;
     };
 
+    // Silent corruption is injected under a *looser* gate than the armed
+    // events: it fires while healthy, degraded, and rebuilding — any state
+    // with at most one masked column, so a flipped column stays within the
+    // two-erasure decode budget. Torn (journaled) stripes are excluded:
+    // their mismatches belong to write-hole recovery, not to the
+    // corruption classifier.
+    const auto corruptible = [&] {
+        return a.powered() && !power_armed && a.failed_disk_count() == 0 &&
+               a.rebuilding_disk_count() <= 1 && a.journal().size() == 0;
+    };
+    std::size_t data_flips = 0;
+
     for (std::size_t op = 0; op < cfg.ops; ++op) {
         if (op == ev.fail_stop_at_op) fail_stop_pending = true;
         if (op == ev.health_storm_at_op) storm_pending = true;
@@ -114,6 +126,31 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             a.fail_disk(victim);
             ++rep.injected_fail_stops;
             fail_stop_pending = false;
+            if (ev.degraded_scrub) {
+                // The array is now degraded (a spare's rebuild has barely
+                // started, or no spare exists at all). Corrupt a survivor
+                // column of the last stripe — far from the rebuild cursor —
+                // and scrub immediately: the checksum-first scrubber must
+                // repair corruption on a degraded stripe, which the parity
+                // cross-check scrubber could only skip.
+                const std::size_t s = a.map().stripes() - 1;
+                for (std::uint32_t c = 0; c < a.map().n(); ++c) {
+                    const strip_location loc = a.map().locate(s, c);
+                    if (loc.disk == victim || !a.disk(loc.disk).online()) {
+                        continue;
+                    }
+                    a.disk(loc.disk).inject_silent_corruption(loc.offset, 32,
+                                                              rng);
+                    ++rep.corruptions_injected;
+                    log("op " + std::to_string(op) +
+                        ": corrupted survivor disk " +
+                        std::to_string(loc.disk) + " on degraded stripe " +
+                        std::to_string(s));
+                    break;
+                }
+                const scrub_summary mid = scrub_array(a);
+                rep.degraded_scrub_repairs += mid.repaired_on_degraded;
+            }
         } else if (storm_pending && quiet()) {
             const std::uint32_t victim = pick_online_disk(a, rng);
             log("op " + std::to_string(op) + ": transient storm on disk " +
@@ -139,6 +176,47 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             ++rep.latent_errors_injected;
         }
 
+        // Silent corruption, independent of the armed-event chain (it is
+        // what the chain's quiet() gate exists to serialize; flips are
+        // *supposed* to land while a rebuild is in flight).
+        if (ev.corrupt_every != 0 && op % ev.corrupt_every == 0 && op != 0 &&
+            corruptible()) {
+            // Rotate stripes with a stride coprime to the stripe count:
+            // corruption lingers until a read or scrub heals it, and piling
+            // three unhealed flips onto one stripe would exceed what any
+            // two-parity code can repair.
+            const std::size_t s = (data_flips * 7) % a.map().stripes();
+            ++data_flips;
+            const auto c =
+                static_cast<std::uint32_t>(rng.next_below(a.map().n()));
+            const strip_location loc = a.map().locate(s, c);
+            const std::size_t block = a.integrity_block();
+            const std::size_t off =
+                loc.offset +
+                rng.next_below(a.map().strip_size() / block) * block;
+            const std::size_t len =
+                1 + rng.next_below(std::min<std::size_t>(64, block));
+            a.disk(loc.disk).inject_silent_corruption(off, len, rng);
+            ++rep.corruptions_injected;
+            log("op " + std::to_string(op) + ": silent corruption on disk " +
+                std::to_string(loc.disk) + " stripe " + std::to_string(s));
+        }
+        if (ev.corrupt_integrity_every != 0 &&
+            op % ev.corrupt_integrity_every == 0 && op != 0 &&
+            corruptible()) {
+            // Flip a stored checksum instead of the data it covers: the
+            // verify/decode machinery must conclude the *metadata* is the
+            // damaged side and refresh it, never "heal" the good data.
+            const std::uint32_t victim = pick_online_disk(a, rng);
+            integrity::integrity_region& region = a.integrity(victim);
+            const std::size_t b = rng.next_below(region.blocks());
+            region.corrupt_block(
+                b, static_cast<std::uint32_t>(rng.next() | 1));
+            ++rep.integrity_corruptions_injected;
+            log("op " + std::to_string(op) +
+                ": checksum metadata flip on disk " + std::to_string(victim));
+        }
+
         // One workload op.
         const bool do_write = rng.next_below(10) < cfg.write_tenths;
         const std::size_t len = 1 + rng.next_below(max_io);
@@ -149,6 +227,8 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             ++rep.writes;
             if (!a.write(addr, io)) {
                 ++rep.failed_writes;
+                log("op " + std::to_string(op) + ": write failed at " +
+                    std::to_string(addr) + "+" + std::to_string(len));
             } else if (a.powered()) {
                 std::memcpy(shadow.data() + addr, buf.data(), len);
             }
@@ -156,6 +236,8 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             ++rep.reads;
             if (!a.read(addr, io)) {
                 ++rep.failed_reads;
+                log("op " + std::to_string(op) + ": read failed at " +
+                    std::to_string(addr) + "+" + std::to_string(len));
             } else if (std::memcmp(shadow.data() + addr, buf.data(), len) !=
                        0) {
                 ++rep.mismatches;
@@ -198,6 +280,17 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         rep.resynced_stripes += a.recover_write_hole();
     rep.resilver_healed = a.resilver();
 
+    // Settle scrub: heal injected corruption the workload never re-read
+    // (including parity strips, which host reads only touch when
+    // degraded). Its parity-fallback repairs are damage the checksum
+    // domain could not see — a stripe left torn without being journaled —
+    // and count against the write-hole invariant.
+    const scrub_summary settle = scrub_array(a);
+    rep.settle_scrub_healed = settle.repaired_data + settle.repaired_parity +
+                              settle.repaired_metadata;
+    rep.final_torn += settle.parity_fallback_repairs;
+    rep.scrub_uncorrectable += settle.uncorrectable;
+
     // Final verification: full device vs shadow...
     std::vector<std::byte> out(cap);
     if (!a.read(0, out)) {
@@ -207,24 +300,39 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         log("final full-device read disagrees with the shadow copy");
     }
 
-    // ...then per-stripe availability...
+    // ...then per-stripe availability and a full checksum sweep: after the
+    // settle scrub, every readable column must verify against its stored
+    // checksum — this is the "no unverified bytes survive the campaign"
+    // invariant.
     {
         codes::stripe_buffer sbuf = a.make_stripe_buffer();
         std::vector<std::uint32_t> erased;
         for (std::size_t s = 0; s < a.map().stripes(); ++s) {
             if (!a.load_stripe(s, sbuf.view(), erased)) {
                 ++rep.final_unrecovered;
-            } else if (!erased.empty()) {
-                ++rep.final_degraded;
+                continue;
+            }
+            if (!erased.empty()) ++rep.final_degraded;
+            for (std::uint32_t c = 0; c < a.map().n(); ++c) {
+                if (std::find(erased.begin(), erased.end(), c) !=
+                    erased.end()) {
+                    continue;
+                }
+                const strip_location loc = a.map().locate(s, c);
+                if (!a.integrity(loc.disk).verify(loc.offset,
+                                                  sbuf.view().strip(c))) {
+                    ++rep.final_checksum_bad;
+                }
             }
         }
     }
 
-    // ...then parity consistency. Any repair the scrubber performs here
-    // means some path left a stripe torn without journaling it.
+    // ...then parity consistency. The settle scrub already healed every
+    // injected fault, so any repair the scrubber performs here means some
+    // path left a stripe inconsistent after recovery claimed it was done.
     const scrub_summary scrub = scrub_array(a);
-    rep.final_torn = scrub.repaired_data + scrub.repaired_parity;
-    rep.scrub_uncorrectable = scrub.uncorrectable;
+    rep.final_torn += scrub.repaired_data + scrub.repaired_parity;
+    rep.scrub_uncorrectable += scrub.uncorrectable;
 
     rep.stats = a.stats();
     rep.io = a.io_stats();
@@ -246,6 +354,20 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         (ev.fail_stop_at_op < cfg.ops || ev.health_storm_at_op < cfg.ops)) {
         events_ok = events_ok && rep.spares_promoted >= 1 &&
                     rep.rebuilds_completed >= 1;
+    }
+    if (ev.corrupt_every != 0 && ev.corrupt_every < cfg.ops) {
+        // The campaign must not only survive silent corruption but visibly
+        // exercise the self-healing read path.
+        events_ok = events_ok && rep.corruptions_injected >= 1 &&
+                    rep.stats.reads_self_healed >= 1;
+    }
+    if (ev.corrupt_integrity_every != 0 &&
+        ev.corrupt_integrity_every < cfg.ops) {
+        events_ok = events_ok && rep.integrity_corruptions_injected >= 1 &&
+                    rep.stats.checksum_metadata_repaired >= 1;
+    }
+    if (ev.degraded_scrub && ev.fail_stop_at_op < cfg.ops) {
+        events_ok = events_ok && rep.degraded_scrub_repairs >= 1;
     }
     rep.success = rep.clean() && events_ok;
     return rep;

@@ -32,6 +32,19 @@ struct chaos_event_plan {
     std::size_t power_loss_at_op = 8000;    ///< cut power mid-write
     /// Inject a latent sector error every N ops (0 = never).
     std::size_t latent_error_every = 1500;
+    /// Silently flip bits in a random data strip every N ops (0 = never).
+    /// Fires while the array is healthy, degraded, or rebuilding — any
+    /// state with at most one masked column, so a flip stays inside the
+    /// two-erasure decode budget.
+    std::size_t corrupt_every = 900;
+    /// Corrupt a stored checksum (the integrity *metadata*) every N ops
+    /// (0 = never): exercises the damaged-checksum-domain fallback.
+    std::size_t corrupt_integrity_every = 3500;
+    /// When the fail-stop fires, also corrupt a survivor column of a
+    /// not-yet-rebuilt stripe and immediately scrub: proves the
+    /// checksum-first scrubber repairs corruption on degraded stripes the
+    /// parity cross-check scrubber had to skip.
+    bool degraded_scrub = true;
 };
 
 struct chaos_config {
@@ -74,9 +87,19 @@ struct chaos_report {
     // ---- events that actually fired ----
     std::size_t injected_fail_stops = 0;
     std::size_t latent_errors_injected = 0;
+    std::size_t corruptions_injected = 0;  ///< silent data bit-flips
+    std::size_t integrity_corruptions_injected = 0;  ///< checksum flips
     std::size_t power_losses = 0;
     std::size_t resynced_stripes = 0;  ///< write-hole recovery after power loss
     std::size_t resilver_healed = 0;
+    /// Corrupt columns the mid-campaign scrub repaired on *degraded*
+    /// stripes (the checksum-first capability under test).
+    std::size_t degraded_scrub_repairs = 0;
+    /// Injected corruption the settle scrub healed (strips the workload
+    /// never re-read, including parity strips).
+    std::size_t settle_scrub_healed = 0;
+    /// Columns that still failed their stored checksum in the final sweep.
+    std::size_t final_checksum_bad = 0;
     std::uint64_t health_trips = 0;
     std::uint64_t spares_promoted = 0;
     std::uint64_t rebuilds_completed = 0;
@@ -86,10 +109,16 @@ struct chaos_report {
 
     /// The acceptance predicate: zero corruption AND the full fault plan
     /// exercised (>= 1 trip, fail-stop, power loss, promotion, rebuild).
+    /// "Zero corruption" now includes the integrity invariant — no host
+    /// read ever returned bytes that fail their checksum, every stored
+    /// checksum verifies at the end — and operational health: no read was
+    /// abandoned as unrecoverable and no rebuild session stalled.
     [[nodiscard]] bool clean() const noexcept {
         return mismatches == 0 && failed_reads == 0 && failed_writes == 0 &&
                final_torn == 0 && final_degraded == 0 &&
-               final_unrecovered == 0 && scrub_uncorrectable == 0;
+               final_unrecovered == 0 && scrub_uncorrectable == 0 &&
+               final_checksum_bad == 0 && stats.reads_unrecoverable == 0 &&
+               stats.rebuild_sessions_stalled == 0;
     }
 };
 

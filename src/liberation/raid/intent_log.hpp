@@ -8,13 +8,25 @@
 // after the last. Recovery after a crash re-syncs parity of exactly the
 // stripes that were in flight.
 //
+// Each entry also records *which columns* the in-flight update targets,
+// as a bitmask (so the array is capped at 64 columns). Recovery uses the
+// mask to tell a torn write (a targeted column whose checksum mismatches:
+// the new bytes half-landed — accept what is on disk and re-sync parity)
+// from silent corruption that struck the same stripe while it was torn
+// (an *untargeted* column mismatching: the update never meant to touch it,
+// so its old checksum is still authoritative).
+//
 // The simulator models the log as a small battery-backed region: its
 // contents survive raid6_array::simulate_power_loss(), while in-flight
-// disk writes are dropped.
+// disk writes are dropped. Real NVRAM is small, so the log takes a
+// configurable capacity (0 = unbounded): when full, mark() refuses and
+// the array fails the write *loudly* rather than proceeding unjournaled —
+// an unjournaled torn stripe would be silent corruption waiting for a
+// crash. A high-water mark records the worst case actually hit.
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <map>
 #include <vector>
 
 #include "liberation/util/assert.hpp"
@@ -23,9 +35,32 @@ namespace liberation::raid {
 
 class intent_log {
 public:
-    /// Mark a stripe dirty. Idempotent. (In hardware this is the point
-    /// where the NVRAM word is flushed, before any data hits the disks.)
-    void mark(std::size_t stripe) { dirty_.insert(stripe); }
+    /// Column mask meaning "assume every column may be in flight" (full
+    /// stripe writes, and the conservative fallback paths).
+    static constexpr std::uint64_t all_columns = ~std::uint64_t{0};
+
+    explicit intent_log(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    /// Mark a stripe dirty with the given target-column mask. Returns
+    /// false — and counts a rejection — iff the log is at capacity and the
+    /// stripe is not already present. Re-marking a present stripe ORs the
+    /// masks (a second update of a torn stripe widens the hazard) and
+    /// never fails. (In hardware this is the point where the NVRAM word
+    /// is flushed, before any data hits the disks.)
+    [[nodiscard]] bool mark(std::size_t stripe,
+                            std::uint64_t columns = all_columns) {
+        if (auto it = dirty_.find(stripe); it != dirty_.end()) {
+            it->second |= columns;
+            return true;
+        }
+        if (capacity_ != 0 && dirty_.size() >= capacity_) {
+            ++rejected_;
+            return false;
+        }
+        dirty_.emplace(stripe, columns);
+        if (dirty_.size() > high_water_) high_water_ = dirty_.size();
+        return true;
+    }
 
     /// Clear a stripe after all its disk writes completed.
     void clear(std::size_t stripe) { dirty_.erase(stripe); }
@@ -34,14 +69,37 @@ public:
         return dirty_.count(stripe) != 0;
     }
 
+    /// Target-column mask of a dirty stripe; 0 if the stripe is clean.
+    [[nodiscard]] std::uint64_t columns(std::size_t stripe) const {
+        auto it = dirty_.find(stripe);
+        return it == dirty_.end() ? 0 : it->second;
+    }
+
     [[nodiscard]] std::vector<std::size_t> dirty_stripes() const {
-        return {dirty_.begin(), dirty_.end()};
+        std::vector<std::size_t> out;
+        out.reserve(dirty_.size());
+        for (const auto& [stripe, mask] : dirty_) out.push_back(stripe);
+        return out;
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return dirty_.size(); }
 
+    /// Configured capacity; 0 = unbounded.
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Largest number of simultaneously dirty stripes ever observed.
+    [[nodiscard]] std::size_t high_water() const noexcept {
+        return high_water_;
+    }
+
+    /// Number of mark() calls refused because the log was full.
+    [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
+
 private:
-    std::set<std::size_t> dirty_;
+    std::size_t capacity_;
+    std::size_t high_water_ = 0;
+    std::size_t rejected_ = 0;
+    std::map<std::size_t, std::uint64_t> dirty_;
 };
 
 }  // namespace liberation::raid

@@ -36,6 +36,10 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
 
     const auto rebuild_stripe = [&](std::size_t s) {
         // Which codeword columns live on the replaced disks in this stripe?
+        // The replaced disks read back zeros (blank), so they are not
+        // reported as unavailable — they are unioned in as logical
+        // erasures. (During background hot-spare rebuild the array masks
+        // them as `rebuilding`, in which case they are already erased.)
         std::vector<std::uint32_t> cols;
         for (const std::uint32_t d : replaced_disks) {
             cols.push_back(array.map().column_of_disk(s, d));
@@ -43,47 +47,77 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
         std::sort(cols.begin(), cols.end());
 
         codes::stripe_buffer buf = array.make_stripe_buffer();
-        std::vector<std::uint32_t> erased;
-        if (!array.load_stripe(s, buf.view(), erased)) {
-            note_failure(s);
-            return;
-        }
-        // The replaced disks read back zeros (blank), so they are not in
-        // `erased` — union them in as logical erasures. (During background
-        // hot-spare rebuild the array masks them as `rebuilding`, in which
-        // case they are already there.)
-        for (const std::uint32_t c : cols) {
-            if (std::find(erased.begin(), erased.end(), c) == erased.end()) {
-                erased.push_back(c);
-            }
-        }
-        std::sort(erased.begin(), erased.end());
-        if (erased.size() > 2) {
-            note_failure(s);
-            return;
-        }
+
         // A journaled stripe may be torn (interrupted write): its parity
         // cannot be trusted, so reconstructing a data column from it would
         // write garbage to the replacement. Count the stripe as failed —
         // recover_write_hole() must re-sync it first. (Parity-only
-        // erasures are safe: they are re-encoded from data.)
+        // erasures are safe: they are re-encoded from data.) Torn stripes
+        // also skip checksum classification: their mismatches are
+        // half-landed updates, which resync owns.
         if (array.journal().is_dirty(s)) {
+            std::vector<std::uint32_t> erased;
+            if (!array.load_stripe(s, buf.view(), erased)) {
+                note_failure(s);
+                return;
+            }
+            for (const std::uint32_t c : cols) {
+                if (std::find(erased.begin(), erased.end(), c) ==
+                    erased.end()) {
+                    erased.push_back(c);
+                }
+            }
+            std::sort(erased.begin(), erased.end());
+            if (erased.size() > 2) {
+                note_failure(s);
+                return;
+            }
             for (const std::uint32_t c : erased) {
                 if (c < array.map().k()) {
                     note_failure(s);
                     return;
                 }
             }
+            array.code().decode(buf.view(), erased);
+            if (!array.store_columns(s, buf.view(), erased)) {
+                note_failure(s);
+                return;
+            }
+            rebuilt.fetch_add(1, std::memory_order_relaxed);
+            columns.fetch_add(erased.size(), std::memory_order_relaxed);
+            bytes.fetch_add(static_cast<std::uint64_t>(erased.size()) *
+                                array.map().strip_size(),
+                            std::memory_order_relaxed);
+            return;
         }
-        array.code().decode(buf.view(), erased);
-        if (!array.store_columns(s, buf.view(), erased)) {
+
+        // Verified rebuild: checksum-suspect survivors are demoted to
+        // erasures alongside the rebuild targets, and every reconstructed
+        // strip is re-verified against its stored checksum before it is
+        // committed to the replacement (load_stripe_verified does both —
+        // a rebuild must never lay corrupt bytes onto fresh hardware).
+        const raid6_array::stripe_recovery rec =
+            array.load_stripe_verified(s, buf.view(), /*writeback=*/false,
+                                       cols);
+        if (!rec.ok) {
+            note_failure(s);
+            return;
+        }
+        std::vector<std::uint32_t> commit = rec.erased;
+        for (const std::uint32_t c : rec.healed) {
+            if (std::find(commit.begin(), commit.end(), c) == commit.end()) {
+                commit.push_back(c);
+            }
+        }
+        std::sort(commit.begin(), commit.end());
+        if (!array.store_columns(s, buf.view(), commit)) {
             note_failure(s);
             return;
         }
         rebuilt.fetch_add(1, std::memory_order_relaxed);
-        columns.fetch_add(erased.size(), std::memory_order_relaxed);
+        columns.fetch_add(commit.size(), std::memory_order_relaxed);
         bytes.fetch_add(
-            static_cast<std::uint64_t>(erased.size()) * array.map().strip_size(),
+            static_cast<std::uint64_t>(commit.size()) * array.map().strip_size(),
             std::memory_order_relaxed);
     };
 
@@ -151,26 +185,42 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
         const bool torn = array.journal().is_dirty(s);
 
         if (col >= map.k()) {
-            // Parity column: re-encode from a full data read. An
-            // unreadable data column is a second erasure the decode must
-            // reconstruct too — its buffer contents are garbage otherwise.
-            std::vector<std::uint32_t> erased;
-            if (!array.load_stripe(s, buf.view(), erased)) {
-                note_failure(s);
-                continue;
+            if (torn) {
+                // Parity column of a torn stripe: re-encode from a full
+                // data read (raw — torn mismatches are not corruption). An
+                // unreadable data column would need the untrusted parity
+                // to reconstruct, so the stripe is refused instead.
+                std::vector<std::uint32_t> erased;
+                if (!array.load_stripe(s, buf.view(), erased)) {
+                    note_failure(s);
+                    continue;
+                }
+                if (std::find(erased.begin(), erased.end(), col) ==
+                    erased.end()) {
+                    erased.push_back(col);
+                }
+                std::sort(erased.begin(), erased.end());
+                const bool needs_data =
+                    std::any_of(erased.begin(), erased.end(),
+                                [&](std::uint32_t c) { return c < map.k(); });
+                if (erased.size() > 2 || needs_data) {
+                    note_failure(s);
+                    continue;
+                }
+                code.decode(buf.view(), erased);
+            } else {
+                // Parity column: full checksum-verified recovery (corrupt
+                // survivors are localized and healed, the re-encoded
+                // parity is verified before the store below commits it).
+                const std::uint32_t extra[] = {col};
+                const raid6_array::stripe_recovery rec =
+                    array.load_stripe_verified(s, buf.view(),
+                                               /*writeback=*/true, extra);
+                if (!rec.ok) {
+                    note_failure(s);
+                    continue;
+                }
             }
-            if (std::find(erased.begin(), erased.end(), col) == erased.end()) {
-                erased.push_back(col);
-            }
-            std::sort(erased.begin(), erased.end());
-            const bool needs_data =
-                std::any_of(erased.begin(), erased.end(),
-                            [&](std::uint32_t c) { return c < map.k(); });
-            if (erased.size() > 2 || (torn && needs_data)) {
-                note_failure(s);
-                continue;
-            }
-            code.decode(buf.view(), erased);
         } else {
             if (torn) {
                 note_failure(s);
@@ -182,13 +232,21 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
             }
             const auto& plan = plans[col];
             bool ok = true;
+            bool suspect = false;
             for (const auto& r : plan.reads) {
                 const strip_location loc = map.locate(s, r.col);
-                if (array.disk_read(
-                        loc.disk,
-                        loc.offset + static_cast<std::size_t>(r.row) * elem,
-                        elem_buf.span()) != io_status::ok) {
+                const std::size_t off =
+                    loc.offset + static_cast<std::size_t>(r.row) * elem;
+                if (array.disk_read(loc.disk, off, elem_buf.span()) !=
+                    io_status::ok) {
                     ok = false;
+                    break;
+                }
+                // Feeding a silently corrupt survivor element into the
+                // hybrid XOR chain would reconstruct garbage; divert to
+                // the full-stripe path, which can localize the damage.
+                if (!array.integrity(loc.disk).verify(off, elem_buf.span())) {
+                    suspect = true;
                     break;
                 }
                 std::memcpy(buf.view().element(r.row, r.col), elem_buf.data(),
@@ -198,7 +256,29 @@ rebuild_result rebuild_single_disk_hybrid(raid6_array& array,
                 note_failure(s);
                 continue;
             }
-            core::rebuild_column_hybrid(buf.view(), g, plans[col]);
+            if (!suspect) {
+                core::rebuild_column_hybrid(buf.view(), g, plans[col]);
+                // Verify the reconstruction against the *target's* stored
+                // checksums before committing it to the replacement.
+                const strip_location tloc = map.locate(s, col);
+                if (!array.integrity(tloc.disk).verify(tloc.offset,
+                                                       buf.view().strip(col))) {
+                    suspect = true;
+                }
+            }
+            if (suspect) {
+                // Checksum disagreement somewhere in the chain: let the
+                // checksum-first classification sort out whether data or
+                // metadata is the damaged side (it repairs either).
+                const std::uint32_t extra[] = {col};
+                const raid6_array::stripe_recovery rec =
+                    array.load_stripe_verified(s, buf.view(),
+                                               /*writeback=*/true, extra);
+                if (!rec.ok) {
+                    note_failure(s);
+                    continue;
+                }
+            }
         }
 
         if (!array.store_columns(s, buf.view(), rebuilt_cols)) {

@@ -9,62 +9,107 @@ namespace liberation::raid {
 scrub_summary scrub_array(raid6_array& array) {
     scrub_summary summary;
     codes::stripe_buffer buf = array.make_stripe_buffer();
-    std::vector<std::uint32_t> erased;
-    std::vector<io_status> statuses;
+    const std::uint32_t k = array.map().k();
 
     for (std::size_t s = 0; s < array.map().stripes(); ++s) {
         ++summary.stripes_scanned;
-        if (!array.load_stripe(s, buf.view(), erased, &statuses) ||
-            !erased.empty()) {
-            bool all_transient = true;
-            for (const std::uint32_t col : erased) {
-                switch (statuses[col]) {
-                    case io_status::transient_error:
-                        ++summary.transient_columns;
-                        break;
-                    case io_status::unreadable_sector:
-                        ++summary.latent_columns;
-                        all_transient = false;
-                        break;
-                    default:
-                        all_transient = false;
-                        break;
-                }
+        if (array.journal().is_dirty(s)) {
+            ++summary.skipped_torn;
+            continue;
+        }
+        const raid6_array::stripe_recovery rec =
+            array.load_stripe_verified(s, buf.view(), /*writeback=*/true);
+        for (const std::uint32_t col : rec.erased) {
+            switch (rec.statuses[col]) {
+                case io_status::transient_error:
+                    ++summary.transient_columns;
+                    break;
+                case io_status::unreadable_sector:
+                    ++summary.latent_columns;
+                    break;
+                default:
+                    break;
             }
-            if (all_transient && !erased.empty()) {
-                ++summary.skipped_transient;
+        }
+        summary.checksum_mismatch_columns +=
+            rec.healed.size() + rec.meta_repaired.size();
+
+        if (!rec.ok) {
+            if (rec.erased.size() > 2) {
+                // Beyond the decode budget. Distinguish "retry soon" from
+                // real degradation, as the seed scrubber did.
+                bool all_transient = !rec.erased.empty();
+                for (const std::uint32_t col : rec.erased) {
+                    if (rec.statuses[col] != io_status::transient_error) {
+                        all_transient = false;
+                    }
+                }
+                if (all_transient) {
+                    ++summary.skipped_transient;
+                } else {
+                    ++summary.skipped_degraded;
+                }
             } else {
-                ++summary.skipped_degraded;
+                // Classification ran and could not produce a verified
+                // stripe: more corrupt columns than erasure decoding can
+                // carry, with parity refusing to corroborate the bytes.
+                ++summary.uncorrectable;
             }
             continue;
         }
-        const core::scrub_report report =
-            core::scrub_stripe(buf.view(), array.code().geom());
-        switch (report.status) {
-            case core::scrub_status::clean:
-                ++summary.clean;
-                break;
-            case core::scrub_status::corrected_data: {
+
+        summary.repaired_metadata += rec.meta_repaired.size();
+        for (const std::uint32_t col : rec.healed) {
+            if (col < k) {
                 ++summary.repaired_data;
-                const std::uint32_t cols[] = {report.column};
-                array.store_columns(s, buf.view(), cols);
-                break;
-            }
-            case core::scrub_status::corrected_p: {
+            } else {
                 ++summary.repaired_parity;
-                const std::uint32_t cols[] = {array.code().p_column()};
-                array.store_columns(s, buf.view(), cols);
-                break;
             }
-            case core::scrub_status::corrected_q: {
-                ++summary.repaired_parity;
-                const std::uint32_t cols[] = {array.code().q_column()};
-                array.store_columns(s, buf.view(), cols);
-                break;
+        }
+        if (!rec.erased.empty()) {
+            // Degraded stripe scrubbed anyway — the checksum layer
+            // pinpoints corruption without needing every column, which the
+            // parity cross-check never could.
+            ++summary.degraded_scrubbed;
+            summary.repaired_on_degraded += rec.healed.size();
+            continue;
+        }
+        if (rec.healed.empty() && rec.meta_repaired.empty()) {
+            // Checksums call the stripe clean. Cross-check parity anyway
+            // (Section 5): this is the fallback that catches damage the
+            // checksum domain cannot see, e.g. corruption that struck data
+            // and its stored checksum consistently.
+            const core::scrub_report report =
+                core::scrub_stripe(buf.view(), array.code().geom());
+            switch (report.status) {
+                case core::scrub_status::clean:
+                    ++summary.clean;
+                    break;
+                case core::scrub_status::corrected_data: {
+                    ++summary.repaired_data;
+                    ++summary.parity_fallback_repairs;
+                    const std::uint32_t cols[] = {report.column};
+                    array.store_columns(s, buf.view(), cols);
+                    break;
+                }
+                case core::scrub_status::corrected_p: {
+                    ++summary.repaired_parity;
+                    ++summary.parity_fallback_repairs;
+                    const std::uint32_t cols[] = {array.code().p_column()};
+                    array.store_columns(s, buf.view(), cols);
+                    break;
+                }
+                case core::scrub_status::corrected_q: {
+                    ++summary.repaired_parity;
+                    ++summary.parity_fallback_repairs;
+                    const std::uint32_t cols[] = {array.code().q_column()};
+                    array.store_columns(s, buf.view(), cols);
+                    break;
+                }
+                case core::scrub_status::uncorrectable:
+                    ++summary.uncorrectable;
+                    break;
             }
-            case core::scrub_status::uncorrectable:
-                ++summary.uncorrectable;
-                break;
         }
     }
     return summary;

@@ -36,6 +36,7 @@ enum class io_status : std::uint8_t {
     out_of_range,
     transient_error,    ///< failed now, a retry may succeed (io_policy)
     rebuilding,         ///< array-level: extent not yet rebuilt on a spare
+    checksum_mismatch,  ///< array-level: bytes read fine but fail their CRC
 };
 
 /// Only transient errors are worth retrying: everything else is either

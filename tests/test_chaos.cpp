@@ -1,10 +1,12 @@
-// Chaos campaign: the acceptance test of the fault-tolerance layer. A
-// seeded campaign interleaves 10k random reads/writes with transient
-// faults on every disk, one health-tripped disk, one injected fail-stop,
-// latent sector errors, and a mid-write power loss — while two hot spares
-// absorb the failures and background rebuilds race the workload. Every
-// read is verified against a shadow copy; the whole run must replay
-// bit-for-bit from its seed.
+// Chaos campaign: the acceptance test of the fault-tolerance and
+// integrity layers. A seeded campaign interleaves 10k random reads/writes
+// with transient faults on every disk, one health-tripped disk, one
+// injected fail-stop, latent sector errors, a mid-write power loss,
+// periodic silent multi-column bit-flips, and checksum-metadata damage —
+// while two hot spares absorb the failures and background rebuilds race
+// the workload. Every read is verified against a shadow copy; no host
+// read may ever return bytes that fail their checksum; the whole run must
+// replay bit-for-bit from its seed.
 #include <gtest/gtest.h>
 
 #include "liberation/raid/chaos.hpp"
@@ -25,6 +27,9 @@ TEST(Chaos, AcceptanceCampaignRunsClean) {
     EXPECT_EQ(rep.final_degraded, 0u);
     EXPECT_EQ(rep.final_unrecovered, 0u);
     EXPECT_EQ(rep.scrub_uncorrectable, 0u);
+    EXPECT_EQ(rep.final_checksum_bad, 0u);
+    EXPECT_EQ(rep.stats.reads_unrecoverable, 0u);
+    EXPECT_EQ(rep.stats.rebuild_sessions_stalled, 0u);
 
     // ...while the full fault plan actually fired.
     EXPECT_EQ(rep.ops, 10'000u);
@@ -32,9 +37,18 @@ TEST(Chaos, AcceptanceCampaignRunsClean) {
     EXPECT_GE(rep.health_trips, 1u);
     EXPECT_EQ(rep.power_losses, 1u);
     EXPECT_GE(rep.latent_errors_injected, 1u);
+    EXPECT_GE(rep.corruptions_injected, 1u);
+    EXPECT_GE(rep.integrity_corruptions_injected, 1u);
     EXPECT_EQ(rep.spares_promoted, 2u);  // fail-stop + health trip
     EXPECT_GE(rep.rebuilds_completed, 2u);
     EXPECT_GT(rep.io.transient_masked, 0u);  // retries actually earned keep
+
+    // The integrity layer earned its keep: bit-flips were caught in-line
+    // (self-healed reads), stale CRC metadata was refreshed, and the
+    // degraded-stripe scrub repaired corruption the seed scrubber skipped.
+    EXPECT_GE(rep.stats.reads_self_healed, 1u);
+    EXPECT_GE(rep.stats.checksum_metadata_repaired, 1u);
+    EXPECT_GE(rep.degraded_scrub_repairs, 1u);
     EXPECT_TRUE(rep.success);
 }
 
@@ -49,6 +63,8 @@ TEST(Chaos, CampaignReplaysBitForBitFromSeed) {
     EXPECT_EQ(a.power_losses, b.power_losses);
     EXPECT_EQ(a.resynced_stripes, b.resynced_stripes);
     EXPECT_EQ(a.latent_errors_injected, b.latent_errors_injected);
+    EXPECT_EQ(a.corruptions_injected, b.corruptions_injected);
+    EXPECT_EQ(a.integrity_corruptions_injected, b.integrity_corruptions_injected);
     EXPECT_EQ(a.health_trips, b.health_trips);
     EXPECT_EQ(a.spares_promoted, b.spares_promoted);
     EXPECT_EQ(a.rebuilds_completed, b.rebuilds_completed);
@@ -60,6 +76,10 @@ TEST(Chaos, CampaignReplaysBitForBitFromSeed) {
     EXPECT_EQ(a.io.backoff_us, b.io.backoff_us);
     EXPECT_EQ(a.stats.degraded_stripe_reads, b.stats.degraded_stripe_reads);
     EXPECT_EQ(a.stats.media_errors_recovered, b.stats.media_errors_recovered);
+    EXPECT_EQ(a.stats.checksum_mismatches, b.stats.checksum_mismatches);
+    EXPECT_EQ(a.stats.reads_self_healed, b.stats.reads_self_healed);
+    EXPECT_EQ(a.degraded_scrub_repairs, b.degraded_scrub_repairs);
+    EXPECT_EQ(a.settle_scrub_healed, b.settle_scrub_healed);
 }
 
 TEST(Chaos, DifferentSeedsStillPassButDiverge) {

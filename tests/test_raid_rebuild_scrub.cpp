@@ -143,12 +143,30 @@ TEST(Scrub, RepairsParityCorruption) {
     EXPECT_EQ(scrub_array(a).clean, a.map().stripes());
 }
 
-TEST(Scrub, SkipsDegradedStripes) {
+TEST(Scrub, ScrubsDegradedStripes) {
+    // The seed scrubber had to skip degraded stripes (its parity
+    // cross-check needs every column); the checksum-first scrubber scans
+    // them — and still repairs corruption there.
     raid6_array a(config());
-    ASSERT_TRUE(a.write(0, pattern_bytes(a.capacity(), 10)));
+    const auto data = pattern_bytes(a.capacity(), 10);
+    ASSERT_TRUE(a.write(0, data));
     a.fail_disk(4);
+
+    util::xoshiro256 rng(17);
+    std::uint32_t col = 0;
+    while (a.map().locate(3, col).disk == 4u) ++col;
+    const auto loc = a.map().locate(3, col);
+    a.disk(loc.disk).inject_silent_corruption(loc.offset, 48, rng);
+
     const auto summary = scrub_array(a);
-    EXPECT_EQ(summary.skipped_degraded, a.map().stripes());
+    EXPECT_EQ(summary.skipped_degraded, 0u);
+    EXPECT_EQ(summary.degraded_scrubbed, a.map().stripes());
+    EXPECT_EQ(summary.repaired_on_degraded, 1u);
+    EXPECT_EQ(summary.uncorrectable, 0u);
+
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
 }
 
 TEST(Resilver, HealsParityStripLatentErrors) {
@@ -186,16 +204,42 @@ TEST(Resilver, HealsParityStripLatentErrors) {
     EXPECT_EQ(out, data);
 }
 
-TEST(Scrub, TwoCorruptColumnsReportedUncorrectable) {
+TEST(Scrub, TwoCorruptColumnsRepaired) {
+    // The seed scrubber's single-corruption assumption made two corrupt
+    // columns uncorrectable; the checksum domains pinpoint both, which
+    // brings them within the two-erasure decode budget.
     raid6_array a(config());
-    ASSERT_TRUE(a.write(0, pattern_bytes(a.capacity(), 11)));
+    const auto data = pattern_bytes(a.capacity(), 11);
+    ASSERT_TRUE(a.write(0, data));
     util::xoshiro256 rng(12);
     a.disk(a.map().locate(0, 0).disk)
         .inject_silent_corruption(a.map().locate(0, 0).offset, 16, rng);
     a.disk(a.map().locate(0, 3).disk)
         .inject_silent_corruption(a.map().locate(0, 3).offset, 16, rng);
     const auto summary = scrub_array(a);
+    EXPECT_EQ(summary.uncorrectable, 0u);
+    EXPECT_EQ(summary.repaired_data, 2u);
+    EXPECT_EQ(summary.checksum_mismatch_columns, 2u);
+
+    std::vector<std::byte> out(a.capacity());
+    ASSERT_TRUE(a.read(0, out));
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(scrub_array(a).clean, a.map().stripes());
+}
+
+TEST(Scrub, ThreeCorruptColumnsReportedUncorrectable) {
+    // Three corrupt columns exceed what two parities can ever repair; the
+    // scrubber must say so rather than guess.
+    raid6_array a(config());
+    ASSERT_TRUE(a.write(0, pattern_bytes(a.capacity(), 14)));
+    util::xoshiro256 rng(15);
+    for (const std::uint32_t col : {0u, 2u, 3u}) {
+        const auto loc = a.map().locate(0, col);
+        a.disk(loc.disk).inject_silent_corruption(loc.offset, 16, rng);
+    }
+    const auto summary = scrub_array(a);
     EXPECT_EQ(summary.uncorrectable, 1u);
+    EXPECT_EQ(summary.repaired_data, 0u);
 }
 
 }  // namespace

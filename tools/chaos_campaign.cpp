@@ -7,8 +7,13 @@
 //                  [--read-rate R] [--write-rate R] [--quiet]
 //
 // Exit status 0 iff the campaign met its acceptance criteria: zero shadow
-// mismatches, zero unrecovered stripes, and every planned fault event
-// (health trip, fail-stop, power loss, spare promotion + rebuild) fired.
+// mismatches, zero unrecovered stripes, no read ever served unverified
+// bytes (every surviving block passes its CRC32C at the end), no rebuild
+// session stalled, and every planned fault event (health trip, fail-stop,
+// power loss, silent corruption + self-heal, checksum-metadata damage,
+// degraded-stripe scrub repair, spare promotion + rebuild) fired.
+// The penultimate output line is machine-readable: "CHAOS_VERDICT pass=..."
+// with every invariant counter, for CI log scrapers.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,10 +32,12 @@ void print_report(const chaos_config& cfg, const chaos_report& rep) {
                 static_cast<unsigned long long>(cfg.seed), rep.ops, rep.reads,
                 rep.writes);
     std::printf("  events: fail-stops=%zu health-trips=%llu power-losses=%zu "
-                "latent-injected=%zu\n",
+                "latent-injected=%zu corruptions-injected=%zu "
+                "checksum-flips=%zu\n",
                 rep.injected_fail_stops,
                 static_cast<unsigned long long>(rep.health_trips),
-                rep.power_losses, rep.latent_errors_injected);
+                rep.power_losses, rep.latent_errors_injected,
+                rep.corruptions_injected, rep.integrity_corruptions_injected);
     std::printf("  recovery: spares-promoted=%llu rebuilds-completed=%llu "
                 "stripes-resynced=%zu resilver-healed=%zu rebuild-stalls=%llu\n",
                 static_cast<unsigned long long>(rep.spares_promoted),
@@ -49,11 +56,37 @@ void print_report(const chaos_config& cfg, const chaos_report& rep) {
                 static_cast<unsigned long long>(rep.stats.degraded_stripe_reads),
                 static_cast<unsigned long long>(rep.stats.degraded_element_reads),
                 static_cast<unsigned long long>(rep.stats.media_errors_recovered));
+    std::printf("  integrity: checksum-mismatches=%llu self-healed-reads=%llu "
+                "metadata-repaired=%llu degraded-scrub-repairs=%zu "
+                "settle-scrub-healed=%zu\n",
+                static_cast<unsigned long long>(rep.stats.checksum_mismatches),
+                static_cast<unsigned long long>(rep.stats.reads_self_healed),
+                static_cast<unsigned long long>(
+                    rep.stats.checksum_metadata_repaired),
+                rep.degraded_scrub_repairs, rep.settle_scrub_healed);
     std::printf("  verdict: mismatches=%zu failed-reads=%zu failed-writes=%zu "
-                "torn=%zu degraded=%zu unrecovered=%zu uncorrectable=%zu\n",
+                "torn=%zu degraded=%zu unrecovered=%zu uncorrectable=%zu "
+                "checksum-bad=%zu unrecoverable-reads=%llu\n",
                 rep.mismatches, rep.failed_reads, rep.failed_writes,
                 rep.final_torn, rep.final_degraded, rep.final_unrecovered,
-                rep.scrub_uncorrectable);
+                rep.scrub_uncorrectable, rep.final_checksum_bad,
+                static_cast<unsigned long long>(rep.stats.reads_unrecoverable));
+    // One machine-readable line for CI log scrapers, then the human one.
+    std::printf("CHAOS_VERDICT pass=%d seed=%llu ops=%zu mismatches=%zu "
+                "failed_reads=%zu failed_writes=%zu torn=%zu degraded=%zu "
+                "unrecovered=%zu uncorrectable=%zu checksum_bad=%zu "
+                "stalled=%llu unrecoverable_reads=%llu self_healed=%llu "
+                "corruptions=%zu\n",
+                rep.success ? 1 : 0,
+                static_cast<unsigned long long>(cfg.seed), rep.ops,
+                rep.mismatches, rep.failed_reads, rep.failed_writes,
+                rep.final_torn, rep.final_degraded, rep.final_unrecovered,
+                rep.scrub_uncorrectable, rep.final_checksum_bad,
+                static_cast<unsigned long long>(
+                    rep.stats.rebuild_sessions_stalled),
+                static_cast<unsigned long long>(rep.stats.reads_unrecoverable),
+                static_cast<unsigned long long>(rep.stats.reads_self_healed),
+                rep.corruptions_injected);
     std::printf("%s\n", rep.success ? "PASS" : "FAIL");
 }
 
