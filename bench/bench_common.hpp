@@ -224,11 +224,16 @@ public:
     }
 
     /// Emit the JSON object (JSON mode only; called by the destructor, or
-    /// explicitly to control ordering against other output).
+    /// explicitly to control ordering against other output). The header
+    /// names the XOR impl that was dispatched at emit time, so every
+    /// recorded number carries the tier that produced it.
     void finish() {
         if (!json_ || finished_) return;
         finished_ = true;
-        std::printf("{\"bench\":\"%s\",\"rows\":[", escape(name_).c_str());
+        std::printf("{\"bench\":\"%s\",\"xor_impl\":\"%s\",\"rows\":[",
+                    escape(name_).c_str(),
+                    liberation::xorops::impl_name(
+                        liberation::xorops::active_impl()));
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             std::printf("%s{%s}", i != 0 ? "," : "", rows_[i].c_str());
         }

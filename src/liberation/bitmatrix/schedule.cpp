@@ -98,17 +98,56 @@ void run_schedule(const schedule& s, const codes::stripe_view& stripe,
     const std::size_t elem = stripe.element_size();
     if (packet_size == 0) packet_size = elem;
     LIBERATION_EXPECTS(packet_size > 0 && elem % packet_size == 0);
-    // Jerasure-style: walk packets in the outer loop, the schedule in the
+
+    // Fuse maximal runs of consecutive ops sharing a destination into one
+    // multi-source reduction each (a copy always opens a run, so both
+    // heuristics' output rows fuse whole). Op order within a run commutes;
+    // run order is preserved, so schedules whose later rows read earlier
+    // *output* rows (the smart heuristic's base rows) stay correct. The
+    // counting convention makes the fused execution cost exactly the
+    // per-op one: n sources = 1 copy + n-1 XORs (or n XORs headless).
+    struct fused_run {
+        region_ref dst;
+        std::uint32_t first = 0;  ///< index of first op in the run
+        std::uint32_t count = 0;  ///< number of ops (== sources)
+        bool leading_copy = false;
+    };
+    std::vector<fused_run> runs;
+    runs.reserve(s.size());
+    for (std::uint32_t idx = 0; idx < s.size(); ++idx) {
+        const auto& op = s[idx];
+        if (runs.empty() || op.is_copy || !(runs.back().dst == op.dst)) {
+            runs.push_back({op.dst, idx, 1, op.is_copy});
+        } else {
+            ++runs.back().count;
+        }
+    }
+
+    std::vector<const std::byte*> srcs;
+    // Jerasure-style: walk packets in the outer loop, the runs in the
     // inner loop, so the working set per pass is one packet per region.
     for (std::size_t off = 0; off < elem; off += packet_size) {
-        for (const auto& op : s) {
-            std::byte* dst = stripe.element(op.dst.row, op.dst.col) + off;
-            const std::byte* src =
-                stripe.element(op.src.row, op.src.col) + off;
-            if (op.is_copy) {
-                xorops::copy(dst, src, packet_size);
+        for (const auto& run : runs) {
+            std::byte* dst =
+                stripe.element(run.dst.row, run.dst.col) + off;
+            srcs.clear();
+            for (std::uint32_t i = run.first; i < run.first + run.count; ++i) {
+                srcs.push_back(
+                    stripe.element(s[i].src.row, s[i].src.col) + off);
+            }
+            if (run.leading_copy) {
+                if (run.count == 1) {
+                    // A bare copy must stay a copy: xor_many would count it
+                    // identically but the dumb/smart schedules never emit
+                    // one, and single-op copy is the cheaper call.
+                    xorops::copy(dst, srcs[0], packet_size);
+                } else {
+                    xorops::xor_many(dst, srcs.data(), srcs.size(),
+                                     packet_size);
+                }
             } else {
-                xorops::xor_into(dst, src, packet_size);
+                xorops::xor_many_into(dst, srcs.data(), srcs.size(),
+                                      packet_size);
             }
         }
     }

@@ -46,58 +46,33 @@ bool geometry::is_ce_first_member(std::uint32_t i, std::uint32_t j) const noexce
     return i == ce_row(j + 1);
 }
 
-namespace {
-
-class accumulator {
-public:
-    accumulator(std::byte* dst, std::size_t n) noexcept : dst_(dst), n_(n) {}
-
-    void add(const std::byte* src) noexcept {
-        if (fresh_) {
-            xorops::copy(dst_, src, n_);
-            fresh_ = false;
-        } else {
-            xorops::xor_into(dst_, src, n_);
-        }
-    }
-
-    void finish() noexcept {
-        if (fresh_) xorops::zero(dst_, n_);
-    }
-
-private:
-    std::byte* dst_;
-    std::size_t n_;
-    bool fresh_ = true;
-};
-
-}  // namespace
-
 void encode_reference_p(const codes::stripe_view& s, const geometry& g) {
     const std::size_t e = s.element_size();
     const std::uint32_t pc = g.k();
+    const std::byte* srcs[max_p];
     for (std::uint32_t i = 0; i < g.p(); ++i) {
-        accumulator acc(s.element(i, pc), e);
-        for (std::uint32_t j = 0; j < g.k(); ++j) acc.add(s.element(i, j));
-        acc.finish();
+        std::size_t m = 0;
+        for (std::uint32_t j = 0; j < g.k(); ++j) srcs[m++] = s.element(i, j);
+        xorops::xor_many(s.element(i, pc), srcs, m, e);
     }
 }
 
 void encode_reference_q(const codes::stripe_view& s, const geometry& g) {
     const std::size_t e = s.element_size();
     const std::uint32_t qc = g.k() + 1;
+    const std::byte* srcs[max_p + 1];
     for (std::uint32_t i = 0; i < g.p(); ++i) {
-        accumulator acc(s.element(i, qc), e);
+        std::size_t m = 0;
         for (std::uint32_t j = 0; j < g.k(); ++j) {
-            acc.add(s.element(g.diag_member_row(i, j), j));
+            srcs[m++] = s.element(g.diag_member_row(i, j), j);
         }
         if (i != 0) {
             const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(i));
             if (y != 0 && y < g.k()) {
-                acc.add(s.element(g.extra_row(y), y));
+                srcs[m++] = s.element(g.extra_row(y), y);
             }
         }
-        acc.finish();
+        xorops::xor_many(s.element(i, qc), srcs, m, e);
     }
 }
 

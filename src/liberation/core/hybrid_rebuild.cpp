@@ -109,27 +109,29 @@ void rebuild_column_hybrid(const codes::stripe_view& s, const geometry& g,
     const std::size_t e = s.element_size();
     LIBERATION_EXPECTS(plan.via_row.size() == g.p());
 
+    const std::byte* srcs[max_p + 2];
     for (std::uint32_t i = 0; i < g.p(); ++i) {
-        std::byte* dst = s.element(i, l);
+        std::size_t m = 0;
         if (plan.via_row[i]) {
-            xorops::copy(dst, s.element(i, g.k()), e);  // P_i
+            srcs[m++] = s.element(i, g.k());  // P_i
             for (std::uint32_t j = 0; j < g.k(); ++j) {
-                if (j != l) xorops::xor_into(dst, s.element(i, j), e);
+                if (j != l) srcs[m++] = s.element(i, j);
             }
         } else {
             const std::uint32_t q = g.diag_of(i, l);
-            xorops::copy(dst, s.element(q, g.k() + 1), e);  // Q_q
+            srcs[m++] = s.element(q, g.k() + 1);  // Q_q
             for (std::uint32_t j = 0; j < g.k(); ++j) {
                 if (j == l) continue;
-                xorops::xor_into(dst, s.element(g.diag_member_row(q, j), j), e);
+                srcs[m++] = s.element(g.diag_member_row(q, j), j);
             }
             if (q != 0) {
                 const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(q));
                 if (y != 0 && y < g.k() && y != l) {
-                    xorops::xor_into(dst, s.element(g.extra_row(y), y), e);
+                    srcs[m++] = s.element(g.extra_row(y), y);
                 }
             }
         }
+        xorops::xor_many(s.element(i, l), srcs, m, e);
     }
 }
 

@@ -34,18 +34,21 @@ void decode_two_data(const codes::stripe_view& s, const geometry& g,
 
     const std::uint32_t delta = g.mod(static_cast<std::int64_t>(r) - l);
 
-    // Step 3a: starting element b[x0][r] (lines 7-14). Its own slot already
-    // holds one of the S^Q terms, so that term is skipped.
+    // Step 3a: starting element b[x0][r] (lines 7-14), fused into one
+    // multi-source accumulation. Its own slot already holds one of the S^Q
+    // terms, so that term is skipped.
     {
-        std::byte* dst = s.element(x0, r);
+        const std::byte* srcs[2 * max_p];
+        std::size_t m = 0;
         for (const std::uint32_t i : sp.q_rows) {
             const std::uint32_t slot = (i + r) % p;
             if (slot == x0) continue;
-            xorops::xor_into(dst, s.element(slot, r), e);
+            srcs[m++] = s.element(slot, r);
         }
         for (const std::uint32_t i : sp.p_rows) {
-            xorops::xor_into(dst, s.element(i, l), e);
+            srcs[m++] = s.element(i, l);
         }
+        xorops::xor_many_into(s.element(x0, r), srcs, m, e);
     }
 
     // Step 3b: the chain (lines 15-31). Reads of neighbour columns skip
@@ -109,12 +112,14 @@ void decode_data_via_rows(const codes::stripe_view& s, const geometry& g,
     const std::uint32_t k = g.k();
     const std::size_t e = s.element_size();
     LIBERATION_EXPECTS(l < k);
+    const std::byte* srcs[max_p + 1];
     for (std::uint32_t i = 0; i < g.p(); ++i) {
-        std::byte* dst = s.element(i, l);
-        xorops::copy(dst, s.element(i, k), e);  // P_i
+        std::size_t m = 0;
+        srcs[m++] = s.element(i, k);  // P_i
         for (std::uint32_t j = 0; j < k; ++j) {
-            if (j != l) xorops::xor_into(dst, s.element(i, j), e);
+            if (j != l) srcs[m++] = s.element(i, j);
         }
+        xorops::xor_many(s.element(i, l), srcs, m, e);
     }
 }
 
@@ -136,19 +141,21 @@ void decode_data_via_diagonals(const codes::stripe_view& s, const geometry& g,
 
     const auto recover = [&](std::uint32_t q) {
         const std::uint32_t row = g.diag_member_row(q, l);
-        std::byte* dst = s.element(row, l);
-        xorops::copy(dst, s.element(q, qc), e);  // Q_q
+        const std::byte* srcs[max_p + 2];
+        std::size_t m = 0;
+        srcs[m++] = s.element(q, qc);  // Q_q
         for (std::uint32_t j = 0; j < k; ++j) {
             if (j == l) continue;
-            xorops::xor_into(dst, s.element(g.diag_member_row(q, j), j), e);
+            srcs[m++] = s.element(g.diag_member_row(q, j), j);
         }
         if (q != 0) {
             // Extra bit of Q_q, if it lies in a real surviving column.
             const std::uint32_t y = g.mod(-2 * static_cast<std::int64_t>(q));
             if (y != 0 && y < k && y != l) {
-                xorops::xor_into(dst, s.element(g.extra_row(y), y), e);
+                srcs[m++] = s.element(g.extra_row(y), y);
             }
         }
+        xorops::xor_many(s.element(row, l), srcs, m, e);
     };
 
     for (std::uint32_t q = 0; q < p; ++q) {
@@ -159,15 +166,17 @@ void decode_data_via_diagonals(const codes::stripe_view& s, const geometry& g,
         // Now the extra bit b[extra_row(l)][l] is known; fold it in.
         const std::uint32_t q = special_q;
         const std::uint32_t row = g.diag_member_row(q, l);
-        std::byte* dst = s.element(row, l);
-        xorops::copy(dst, s.element(q, qc), e);
+        const std::byte* srcs[max_p + 2];
+        std::size_t m = 0;
+        srcs[m++] = s.element(q, qc);
         for (std::uint32_t j = 0; j < k; ++j) {
             if (j == l) continue;
-            xorops::xor_into(dst, s.element(g.diag_member_row(q, j), j), e);
+            srcs[m++] = s.element(g.diag_member_row(q, j), j);
         }
         // q = extra_q_index(l) != 0 always (it equals <-l(p+1)/2>, nonzero
         // for l >= 1), and its extra bit lives in column l by construction.
-        xorops::xor_into(dst, s.element(g.extra_row(l), l), e);
+        srcs[m++] = s.element(g.extra_row(l), l);
+        xorops::xor_many(s.element(row, l), srcs, m, e);
     }
 }
 

@@ -38,43 +38,46 @@ void encode_optimal(const codes::stripe_view& s, const geometry& g) {
 
     // Main sweep — Algorithm 1 lines 6-25, executed output-major: the
     // paper's loop iterates data columns, but the op multiset is identical
-    // when regrouped per parity element, and keeping each destination hot
-    // in L1 across its k-1 accumulations is substantially faster (the same
-    // reason Jerasure executes schedules output-row by output-row). The
-    // skip rules are unchanged:
+    // when regrouped per parity element, and gathering each destination's
+    // k-1 accumulations into one fused xor_many keeps the destination in
+    // registers across the whole pass (one write instead of k-1
+    // read-modify-writes — the same reason Jerasure executes schedules
+    // output-row by output-row, taken one level further). The skip rules
+    // are unchanged:
     //  * a CE first member contributes to neither parity directly (both of
     //    its contributions were staged above);
     //  * an extra bit contributes only its *normal* anti-diagonal
     //    membership (its P and Q-extra contributions were staged above).
+    const std::byte* srcs[max_p];
     for (std::uint32_t i = 0; i < p; ++i) {
-        std::byte* dst = s.element(i, pc);
-        bool fresh = !accessed_p[i];
+        std::size_t m = 0;
         for (std::uint32_t j = 0; j < k; ++j) {
             const std::uint32_t t = static_cast<std::uint32_t>(
                 (i + static_cast<std::uint64_t>(half) * j) % p);
             if ((t == half || t == p - 1) && i != p - 1) continue;
-            if (fresh) {
-                xorops::copy(dst, s.element(i, j), e);
-                fresh = false;
-            } else {
-                xorops::xor_into(dst, s.element(i, j), e);
-            }
+            srcs[m++] = s.element(i, j);
+        }
+        if (m == 0) continue;
+        if (accessed_p[i]) {
+            xorops::xor_many_into(s.element(i, pc), srcs, m, e);
+        } else {
+            xorops::xor_many(s.element(i, pc), srcs, m, e);
         }
     }
     for (std::uint32_t q = 0; q < p; ++q) {
-        std::byte* dst = s.element(q, qc);
-        bool fresh = !accessed_q[q];
+        std::size_t m = 0;
         for (std::uint32_t j = 0; j < k; ++j) {
             const std::uint32_t i = (q + j) % p;
             const std::uint32_t t = static_cast<std::uint32_t>(
                 (i + static_cast<std::uint64_t>(half) * j) % p);
             if (t == half && i != p - 1) continue;  // CE first member
-            if (fresh) {
-                xorops::copy(dst, s.element(i, j), e);
-                fresh = false;
-            } else {
-                xorops::xor_into(dst, s.element(i, j), e);
-            }
+            srcs[m++] = s.element(i, j);
+        }
+        if (m == 0) continue;
+        if (accessed_q[q]) {
+            xorops::xor_many_into(s.element(q, qc), srcs, m, e);
+        } else {
+            xorops::xor_many(s.element(q, qc), srcs, m, e);
         }
     }
 
@@ -110,21 +113,22 @@ void encode_q_only(const codes::stripe_view& s, const geometry& g) {
         accessed_q[g.ce_q_index(k)] = true;
     }
 
-    // Output-major for the same locality reason as encode_optimal.
+    // Output-major, fused per destination, as in encode_optimal.
+    const std::byte* srcs[max_p];
     for (std::uint32_t q = 0; q < p; ++q) {
-        std::byte* dst = s.element(q, qc);
-        bool fresh = !accessed_q[q];
+        std::size_t m = 0;
         for (std::uint32_t j = 0; j < k; ++j) {
             const std::uint32_t i = (q + j) % p;
             const std::uint32_t t = static_cast<std::uint32_t>(
                 (i + static_cast<std::uint64_t>(half) * j) % p);
             if (t == half && i != p - 1) continue;  // already in a CE
-            if (fresh) {
-                xorops::copy(dst, s.element(i, j), e);
-                fresh = false;
-            } else {
-                xorops::xor_into(dst, s.element(i, j), e);
-            }
+            srcs[m++] = s.element(i, j);
+        }
+        if (m == 0) continue;
+        if (accessed_q[q]) {
+            xorops::xor_many_into(s.element(q, qc), srcs, m, e);
+        } else {
+            xorops::xor_many(s.element(q, qc), srcs, m, e);
         }
     }
 }

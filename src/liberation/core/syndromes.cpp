@@ -20,11 +20,6 @@ void compute_syndromes(const codes::stripe_view& s, const geometry& g,
     bool accessed_p[max_p] = {};
     bool accessed_q[max_p] = {};
 
-    const auto q_slot = [&](std::uint32_t i, std::uint32_t j) noexcept {
-        // Data element (i,j) feeds anti-diagonal <i-j>, stored at <i-j+r>.
-        return g.mod(static_cast<std::int64_t>(i) - j + r);
-    };
-
     // Surviving common expressions, reused by both syndrome families
     // (Algorithm 3 lines 1-6).
     for (std::uint32_t j = 1; j < k; ++j) {
@@ -49,50 +44,54 @@ void compute_syndromes(const codes::stripe_view& s, const geometry& g,
         accessed_q[slot] = true;
     }
 
-    // Main sweep over surviving data columns (lines 7-24). The skip rules
-    // drop exactly the members of *unknown* common expressions (erased-CE
-    // survivors must not enter any syndrome) and the already-folded members
-    // of surviving ones.
-    for (std::uint32_t j = 0; j < k; ++j) {
-        if (j == l || j == r) continue;
-        for (std::uint32_t i = 0; i < p; ++i) {
+    // Main sweep over surviving data columns (lines 7-24), regrouped
+    // output-major so every syndrome element is produced by one fused
+    // xor_many pass (the op multiset — and therefore the XOR count — is
+    // exactly the paper's; XOR is commutative). The skip rules drop exactly
+    // the members of *unknown* common expressions (erased-CE survivors must
+    // not enter any syndrome) and the already-folded members of surviving
+    // ones. The parity element (lines 25-28) rides along as the last source
+    // of the same pass; first-touch still copies, so for tiny k a syndrome
+    // may consist of the parity element alone.
+    const std::byte* srcs[max_p + 1];
+
+    // Row syndromes S^P_i, in strip l.
+    for (std::uint32_t i = 0; i < p; ++i) {
+        std::size_t m = 0;
+        for (std::uint32_t j = 0; j < k; ++j) {
+            if (j == l || j == r) continue;
             const std::uint32_t t = static_cast<std::uint32_t>(
                 (i + static_cast<std::uint64_t>(half) * j) % p);
-            if (t == half && i != p - 1) continue;  // CE first member
-
-            const std::uint32_t slot = q_slot(i, j);
-            if (accessed_q[slot]) {
-                xorops::xor_into(s.element(slot, r), s.element(i, j), e);
-            } else {
-                xorops::copy(s.element(slot, r), s.element(i, j), e);
-                accessed_q[slot] = true;
-            }
-
+            if (t == half && i != p - 1) continue;   // CE first member
             if (t == p - 1 && i != p - 1) continue;  // extra member
-
-            if (accessed_p[i]) {
-                xorops::xor_into(s.element(i, l), s.element(i, j), e);
-            } else {
-                xorops::copy(s.element(i, l), s.element(i, j), e);
-                accessed_p[i] = true;
-            }
+            srcs[m++] = s.element(i, j);
+        }
+        srcs[m++] = s.element(i, pc);  // P_i
+        if (accessed_p[i]) {
+            xorops::xor_many_into(s.element(i, l), srcs, m, e);
+        } else {
+            xorops::xor_many(s.element(i, l), srcs, m, e);
         }
     }
 
-    // Fold the parity columns in (lines 25-28). First-touch still copies:
-    // for tiny k a syndrome can consist of the parity element alone.
-    for (std::uint32_t i = 0; i < p; ++i) {
-        if (accessed_p[i]) {
-            xorops::xor_into(s.element(i, l), s.element(i, pc), e);
-        } else {
-            xorops::copy(s.element(i, l), s.element(i, pc), e);
+    // Anti-diagonal syndromes S^Q, in strip r: slot holds anti-diagonal
+    // <slot - r>, whose column-j member sits at row <slot + j - r>.
+    for (std::uint32_t slot = 0; slot < p; ++slot) {
+        std::size_t m = 0;
+        for (std::uint32_t j = 0; j < k; ++j) {
+            if (j == l || j == r) continue;
+            const std::uint32_t i =
+                g.mod(static_cast<std::int64_t>(slot) + j - r);
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if (t == half && i != p - 1) continue;  // CE first member
+            srcs[m++] = s.element(i, j);
         }
-        // Slot i of strip r holds anti-diagonal <i - r>.
-        const std::uint32_t q_index = g.mod(static_cast<std::int64_t>(i) - r);
-        if (accessed_q[i]) {
-            xorops::xor_into(s.element(i, r), s.element(q_index, qc), e);
+        srcs[m++] = s.element(g.mod(static_cast<std::int64_t>(slot) - r), qc);
+        if (accessed_q[slot]) {
+            xorops::xor_many_into(s.element(slot, r), srcs, m, e);
         } else {
-            xorops::copy(s.element(i, r), s.element(q_index, qc), e);
+            xorops::xor_many(s.element(slot, r), srcs, m, e);
         }
     }
 }

@@ -13,14 +13,18 @@ std::uint32_t apply_update(const codes::stripe_view& s, const geometry& g,
     LIBERATION_EXPECTS(row < g.p() && col < k);
     LIBERATION_EXPECTS(delta.size() == e);
 
-    xorops::xor_into(s.element(row, k), delta.data(), e);
-    xorops::xor_into(s.element(g.diag_of(row, col), k + 1), delta.data(), e);
-    std::uint32_t touched = 2;
+    // One broadcast: the delta is read once and scattered into every parity
+    // element it touches (P_row, the normal anti-diagonal, and — for extra
+    // bit positions — the hosting anti-diagonal). Counted as 2 or 3 XORs,
+    // exactly as the separate xor_into chain it replaces.
+    std::byte* dsts[3];
+    std::uint32_t touched = 0;
+    dsts[touched++] = s.element(row, k);
+    dsts[touched++] = s.element(g.diag_of(row, col), k + 1);
     if (g.is_extra_position(row, col)) {
-        xorops::xor_into(s.element(g.extra_q_index(col), k + 1), delta.data(),
-                         e);
-        ++touched;
+        dsts[touched++] = s.element(g.extra_q_index(col), k + 1);
     }
+    xorops::xor_broadcast(dsts, touched, delta.data(), e);
     return touched;
 }
 

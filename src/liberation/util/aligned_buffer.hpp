@@ -22,14 +22,20 @@ public:
 
     aligned_buffer() noexcept = default;
 
-    /// Allocates `size` zero-initialized bytes (rounded up internally to a
-    /// multiple of the alignment so the XOR kernels may run whole words).
+    /// Allocates `size` zero-initialized bytes. The allocation is rounded
+    /// up to the next 64-byte (full vector register / cache line) multiple:
+    /// capacity() >= size() is always a multiple of 64, and every byte up
+    /// to capacity() is allocated and zero-initialized. Vector XOR kernels
+    /// may therefore issue full-width *loads* over the tail of a
+    /// library-owned buffer without faulting (tail *stores* must still stay
+    /// within size(): elements of one strip share the buffer, so writing
+    /// padding of an interior element would clobber its neighbour).
     explicit aligned_buffer(std::size_t size) : size_(size) {
         if (size_ == 0) return;
-        const std::size_t padded = (size_ + alignment - 1) / alignment * alignment;
-        data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, padded));
+        capacity_ = (size_ + alignment - 1) / alignment * alignment;
+        data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, capacity_));
         if (data_ == nullptr) throw std::bad_alloc{};
-        std::memset(data_, 0, padded);
+        std::memset(data_, 0, capacity_);
     }
 
     aligned_buffer(const aligned_buffer&) = delete;
@@ -37,13 +43,15 @@ public:
 
     aligned_buffer(aligned_buffer&& other) noexcept
         : data_(std::exchange(other.data_, nullptr)),
-          size_(std::exchange(other.size_, 0)) {}
+          size_(std::exchange(other.size_, 0)),
+          capacity_(std::exchange(other.capacity_, 0)) {}
 
     aligned_buffer& operator=(aligned_buffer&& other) noexcept {
         if (this != &other) {
             release();
             data_ = std::exchange(other.data_, nullptr);
             size_ = std::exchange(other.size_, 0);
+            capacity_ = std::exchange(other.capacity_, 0);
         }
         return *this;
     }
@@ -53,6 +61,10 @@ public:
     [[nodiscard]] std::byte* data() noexcept { return data_; }
     [[nodiscard]] const std::byte* data() const noexcept { return data_; }
     [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    /// Allocated bytes: size() rounded up to a 64-byte multiple (0 for an
+    /// empty buffer). Bytes in [size(), capacity()) are readable padding.
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
     [[nodiscard]] std::span<std::byte> span() noexcept { return {data_, size_}; }
@@ -68,7 +80,8 @@ public:
     }
 
     void zero() noexcept {
-        if (data_ != nullptr) std::memset(data_, 0, size_);
+        // Clears the padding too, restoring the all-zero tail guarantee.
+        if (data_ != nullptr) std::memset(data_, 0, capacity_);
     }
 
 private:
@@ -76,10 +89,12 @@ private:
         std::free(data_);
         data_ = nullptr;
         size_ = 0;
+        capacity_ = 0;
     }
 
     std::byte* data_ = nullptr;
     std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
 };
 
 }  // namespace liberation::util

@@ -1,0 +1,208 @@
+// AVX2 and AVX-512F XOR kernel tiers (x86 only; this file compiles to
+// nothing elsewhere). Bodies use `__attribute__((target))` rather than
+// file-level -m flags — the same pattern as integrity/crc32c.cpp — so no
+// instruction outside these functions requires the extended ISA, and the
+// dispatcher may safely take their addresses on any x86 CPU.
+//
+// All loads/stores are unaligned variants: on every AVX2/AVX-512 core the
+// unaligned instruction at an aligned address costs the same as the
+// aligned one, and the kernels must accept sector-offset pointers.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "liberation/xorops/xor_kernels.hpp"
+
+namespace liberation::xorops::detail {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AVX2: 64-byte chunks (2 x 32-byte lanes).
+
+__attribute__((target("avx2"))) void xor_into_avx2(std::byte* dst,
+                                                   const std::byte* src,
+                                                   std::size_t n) noexcept {
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        const __m256i d0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+        const __m256i d1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+        const __m256i s0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+        const __m256i s1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_xor_si256(d0, s0));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                            _mm256_xor_si256(d1, s1));
+    }
+    const std::byte* srcs[1] = {src};
+    xor_many_tail(dst, srcs, 1, i, n, /*acc=*/true);
+}
+
+__attribute__((target("avx2"))) void xor2_avx2(std::byte* dst,
+                                               const std::byte* a,
+                                               const std::byte* b,
+                                               std::size_t n) noexcept {
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        const __m256i a0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i a1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 32));
+        const __m256i b0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const __m256i b1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 32));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_xor_si256(a0, b0));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                            _mm256_xor_si256(a1, b1));
+    }
+    const std::byte* srcs[2] = {a, b};
+    xor_many_tail(dst, srcs, 2, i, n, /*acc=*/false);
+}
+
+__attribute__((target("avx2"))) void xor_many_avx2(std::byte* dst,
+                                                   const std::byte* const* srcs,
+                                                   std::size_t m, std::size_t n,
+                                                   bool acc) noexcept {
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        __m256i a0, a1;
+        std::size_t s;
+        if (acc) {
+            a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+            a1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(dst + i + 32));
+            s = 0;
+        } else {
+            a0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(srcs[0] + i));
+            a1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(srcs[0] + i + 32));
+            s = 1;
+        }
+        for (; s < m; ++s) {
+            a0 = _mm256_xor_si256(
+                a0, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(srcs[s] + i)));
+            a1 = _mm256_xor_si256(
+                a1, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(srcs[s] + i + 32)));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), a1);
+    }
+    xor_many_tail(dst, srcs, m, i, n, acc);
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512F: 128-byte chunks (2 zmm), then one 64-byte step. Pure xors never
+// need the BW/DQ extensions, so plain avx512f is the gate.
+
+__attribute__((target("avx512f"))) void xor_into_avx512(
+    std::byte* dst, const std::byte* src, std::size_t n) noexcept {
+    std::size_t i = 0;
+    for (; i + 128 <= n; i += 128) {
+        const __m512i d0 = _mm512_loadu_si512(dst + i);
+        const __m512i d1 = _mm512_loadu_si512(dst + i + 64);
+        const __m512i s0 = _mm512_loadu_si512(src + i);
+        const __m512i s1 = _mm512_loadu_si512(src + i + 64);
+        _mm512_storeu_si512(dst + i, _mm512_xor_si512(d0, s0));
+        _mm512_storeu_si512(dst + i + 64, _mm512_xor_si512(d1, s1));
+    }
+    if (i + 64 <= n) {
+        _mm512_storeu_si512(dst + i,
+                            _mm512_xor_si512(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+        i += 64;
+    }
+    const std::byte* srcs[1] = {src};
+    xor_many_tail(dst, srcs, 1, i, n, /*acc=*/true);
+}
+
+__attribute__((target("avx512f"))) void xor2_avx512(std::byte* dst,
+                                                    const std::byte* a,
+                                                    const std::byte* b,
+                                                    std::size_t n) noexcept {
+    std::size_t i = 0;
+    for (; i + 128 <= n; i += 128) {
+        const __m512i a0 = _mm512_loadu_si512(a + i);
+        const __m512i a1 = _mm512_loadu_si512(a + i + 64);
+        const __m512i b0 = _mm512_loadu_si512(b + i);
+        const __m512i b1 = _mm512_loadu_si512(b + i + 64);
+        _mm512_storeu_si512(dst + i, _mm512_xor_si512(a0, b0));
+        _mm512_storeu_si512(dst + i + 64, _mm512_xor_si512(a1, b1));
+    }
+    if (i + 64 <= n) {
+        _mm512_storeu_si512(dst + i,
+                            _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                             _mm512_loadu_si512(b + i)));
+        i += 64;
+    }
+    const std::byte* srcs[2] = {a, b};
+    xor_many_tail(dst, srcs, 2, i, n, /*acc=*/false);
+}
+
+__attribute__((target("avx512f"))) void xor_many_avx512(
+    std::byte* dst, const std::byte* const* srcs, std::size_t m, std::size_t n,
+    bool acc) noexcept {
+    std::size_t i = 0;
+    for (; i + 128 <= n; i += 128) {
+        __m512i a0, a1;
+        std::size_t s;
+        if (acc) {
+            a0 = _mm512_loadu_si512(dst + i);
+            a1 = _mm512_loadu_si512(dst + i + 64);
+            s = 0;
+        } else {
+            a0 = _mm512_loadu_si512(srcs[0] + i);
+            a1 = _mm512_loadu_si512(srcs[0] + i + 64);
+            s = 1;
+        }
+        for (; s < m; ++s) {
+            a0 = _mm512_xor_si512(a0, _mm512_loadu_si512(srcs[s] + i));
+            a1 = _mm512_xor_si512(a1, _mm512_loadu_si512(srcs[s] + i + 64));
+        }
+        _mm512_storeu_si512(dst + i, a0);
+        _mm512_storeu_si512(dst + i + 64, a1);
+    }
+    if (i + 64 <= n) {
+        __m512i a0;
+        std::size_t s;
+        if (acc) {
+            a0 = _mm512_loadu_si512(dst + i);
+            s = 0;
+        } else {
+            a0 = _mm512_loadu_si512(srcs[0] + i);
+            s = 1;
+        }
+        for (; s < m; ++s) {
+            a0 = _mm512_xor_si512(a0, _mm512_loadu_si512(srcs[s] + i));
+        }
+        _mm512_storeu_si512(dst + i, a0);
+        i += 64;
+    }
+    xor_many_tail(dst, srcs, m, i, n, acc);
+}
+
+}  // namespace
+
+const kernel_table& avx2_table() noexcept {
+    static constexpr kernel_table table{"avx2", xor_into_avx2, xor2_avx2,
+                                        xor_many_avx2};
+    return table;
+}
+
+const kernel_table& avx512_table() noexcept {
+    static constexpr kernel_table table{"avx512", xor_into_avx512, xor2_avx512,
+                                        xor_many_avx512};
+    return table;
+}
+
+}  // namespace liberation::xorops::detail
+
+#endif  // x86

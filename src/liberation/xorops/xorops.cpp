@@ -1,8 +1,13 @@
 #include "liberation/xorops/xorops.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "liberation/util/assert.hpp"
+#include "liberation/xorops/xor_kernels.hpp"
 
 namespace liberation::xorops {
 
@@ -10,58 +15,88 @@ namespace {
 
 thread_local op_stats g_stats;
 
-// Word-at-a-time XOR loop. Alignment: all library buffers come from
-// aligned_buffer (64-byte), but the kernels must stay correct for arbitrary
-// pointers (RAID sector offsets), so unaligned heads/tails use memcpy-based
-// word loads, which compilers lower to plain loads on x86/arm.
-inline void xor_words(std::byte* dst, const std::byte* src,
-                      std::size_t n) noexcept {
-    std::size_t i = 0;
-    // 4x unrolled 64-bit body; auto-vectorizes under -O2/-O3.
-    for (; i + 32 <= n; i += 32) {
-        std::uint64_t d0, d1, d2, d3, s0, s1, s2, s3;
-        std::memcpy(&d0, dst + i, 8);
-        std::memcpy(&d1, dst + i + 8, 8);
-        std::memcpy(&d2, dst + i + 16, 8);
-        std::memcpy(&d3, dst + i + 24, 8);
-        std::memcpy(&s0, src + i, 8);
-        std::memcpy(&s1, src + i + 8, 8);
-        std::memcpy(&s2, src + i + 16, 8);
-        std::memcpy(&s3, src + i + 24, 8);
-        d0 ^= s0;
-        d1 ^= s1;
-        d2 ^= s2;
-        d3 ^= s3;
-        std::memcpy(dst + i, &d0, 8);
-        std::memcpy(dst + i + 8, &d1, 8);
-        std::memcpy(dst + i + 16, &d2, 8);
-        std::memcpy(dst + i + 24, &d3, 8);
-    }
-    for (; i + 8 <= n; i += 8) {
-        std::uint64_t d, s;
-        std::memcpy(&d, dst + i, 8);
-        std::memcpy(&s, src + i, 8);
-        d ^= s;
-        std::memcpy(dst + i, &d, 8);
-    }
-    for (; i < n; ++i) {
-        dst[i] ^= src[i];
+const detail::kernel_table& table_for(xor_impl impl) noexcept {
+    switch (impl) {
+#if defined(__x86_64__) || defined(__i386__)
+        case xor_impl::avx2:
+            return detail::avx2_table();
+        case xor_impl::avx512:
+            return detail::avx512_table();
+#endif
+#if defined(__aarch64__)
+        case xor_impl::neon:
+            return detail::neon_table();
+#endif
+        default:
+            return detail::scalar_table();
     }
 }
 
-inline void xor2_words(std::byte* dst, const std::byte* a, const std::byte* b,
-                       std::size_t n) noexcept {
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-        std::uint64_t x, y;
-        std::memcpy(&x, a + i, 8);
-        std::memcpy(&y, b + i, 8);
-        x ^= y;
-        std::memcpy(dst + i, &x, 8);
+bool detect_available(xor_impl impl) noexcept {
+    switch (impl) {
+        case xor_impl::scalar:
+            return true;
+        case xor_impl::avx2:
+#if defined(__x86_64__) || defined(__i386__)
+            return __builtin_cpu_supports("avx2") != 0;
+#else
+            return false;
+#endif
+        case xor_impl::avx512:
+#if defined(__x86_64__) || defined(__i386__)
+            return __builtin_cpu_supports("avx512f") != 0;
+#else
+            return false;
+#endif
+        case xor_impl::neon:
+#if defined(__aarch64__)
+            return true;  // ASIMD is aarch64 baseline
+#else
+            return false;
+#endif
     }
-    for (; i < n; ++i) {
-        dst[i] = a[i] ^ b[i];
+    return false;
+}
+
+xor_impl best_available() noexcept {
+    if (detect_available(xor_impl::avx512)) return xor_impl::avx512;
+    if (detect_available(xor_impl::avx2)) return xor_impl::avx2;
+    if (detect_available(xor_impl::neon)) return xor_impl::neon;
+    return xor_impl::scalar;
+}
+
+xor_impl startup_impl() noexcept {
+    const char* env = std::getenv("LIBERATION_XOR_IMPL");
+    if (env != nullptr && *env != '\0') {
+        xor_impl requested;
+        if (!impl_from_name(env, requested)) {
+            std::fprintf(stderr,
+                         "liberation: unknown LIBERATION_XOR_IMPL '%s' "
+                         "(expected scalar/avx2/avx512/neon/auto); "
+                         "auto-detecting\n",
+                         env);
+        } else if (!detect_available(requested)) {
+            std::fprintf(stderr,
+                         "liberation: LIBERATION_XOR_IMPL=%s not supported "
+                         "by this CPU/build; auto-detecting\n",
+                         env);
+        } else {
+            return requested;
+        }
     }
+    return best_available();
+}
+
+// Dispatch state. CPU detection must not run during static initialization
+// (other translation units' constructors may XOR), so the atomic is a lazy
+// magic static — the same pattern as the CRC32C dispatcher.
+std::atomic<xor_impl>& impl_slot() noexcept {
+    static std::atomic<xor_impl> slot{startup_impl()};
+    return slot;
+}
+
+const detail::kernel_table& table() noexcept {
+    return table_for(impl_slot().load(std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -70,17 +105,115 @@ op_stats& counters() noexcept { return g_stats; }
 
 void reset_counters() noexcept { g_stats.reset(); }
 
+xor_impl active_impl() noexcept {
+    return impl_slot().load(std::memory_order_relaxed);
+}
+
+bool impl_available(xor_impl impl) noexcept {
+    static const bool available[4] = {
+        detect_available(xor_impl::scalar), detect_available(xor_impl::avx2),
+        detect_available(xor_impl::avx512), detect_available(xor_impl::neon)};
+    const auto idx = static_cast<std::size_t>(impl);
+    return idx < 4 && available[idx];
+}
+
+xor_impl default_impl() noexcept {
+    static const xor_impl choice = startup_impl();
+    return choice;
+}
+
+void force_impl(xor_impl impl) noexcept {
+    if (!impl_available(impl)) impl = default_impl();
+    impl_slot().store(impl, std::memory_order_relaxed);
+}
+
+const char* impl_name(xor_impl impl) noexcept {
+    switch (impl) {
+        case xor_impl::scalar:
+            return "scalar";
+        case xor_impl::avx2:
+            return "avx2";
+        case xor_impl::avx512:
+            return "avx512";
+        case xor_impl::neon:
+            return "neon";
+    }
+    return "scalar";
+}
+
+bool impl_from_name(const char* name, xor_impl& out) noexcept {
+    if (name == nullptr) return false;
+    const auto is = [name](const char* s) noexcept {
+        return std::strcmp(name, s) == 0;
+    };
+    if (is("scalar") || is("software") || is("sw")) {
+        out = xor_impl::scalar;
+    } else if (is("avx2")) {
+        out = xor_impl::avx2;
+    } else if (is("avx512") || is("avx-512") || is("avx512f")) {
+        out = xor_impl::avx512;
+    } else if (is("neon") || is("asimd")) {
+        out = xor_impl::neon;
+    } else if (is("auto")) {
+        out = best_available();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::size_t max_fused_sources() noexcept { return detail::max_fan_in; }
+
 void xor_into(std::byte* dst, const std::byte* src, std::size_t n) noexcept {
-    xor_words(dst, src, n);
+    table().xor_into(dst, src, n);
     ++g_stats.xor_ops;
     g_stats.bytes_xored += n;
 }
 
 void xor2(std::byte* dst, const std::byte* a, const std::byte* b,
           std::size_t n) noexcept {
-    xor2_words(dst, a, b, n);
+    table().xor2(dst, a, b, n);
     ++g_stats.xor_ops;
     g_stats.bytes_xored += n;
+}
+
+void xor_many(std::byte* dst, const std::byte* const* srcs, std::size_t nsrc,
+              std::size_t n) noexcept {
+    LIBERATION_EXPECTS(nsrc >= 1);
+    const detail::kernel_table& t = table();
+    std::size_t pass = std::min(nsrc, detail::max_fan_in);
+    t.xor_many(dst, srcs, pass, n, /*acc=*/false);
+    for (std::size_t off = pass; off < nsrc; off += pass) {
+        pass = std::min(nsrc - off, detail::max_fan_in);
+        t.xor_many(dst, srcs + off, pass, n, /*acc=*/true);
+    }
+    ++g_stats.copy_ops;
+    g_stats.bytes_copied += n;
+    g_stats.xor_ops += nsrc - 1;
+    g_stats.bytes_xored += (nsrc - 1) * n;
+}
+
+void xor_many_into(std::byte* dst, const std::byte* const* srcs,
+                   std::size_t nsrc, std::size_t n) noexcept {
+    if (nsrc == 0) return;
+    const detail::kernel_table& t = table();
+    for (std::size_t off = 0; off < nsrc;) {
+        const std::size_t pass = std::min(nsrc - off, detail::max_fan_in);
+        t.xor_many(dst, srcs + off, pass, n, /*acc=*/true);
+        off += pass;
+    }
+    g_stats.xor_ops += nsrc;
+    g_stats.bytes_xored += nsrc * n;
+}
+
+void xor_broadcast(std::byte* const* dsts, std::size_t ndst,
+                   const std::byte* src, std::size_t n) noexcept {
+    // One pass per destination; src stays cache-hot after the first, so a
+    // dedicated multi-store kernel would only save redundant L1 hits.
+    const detail::kernel_table& t = table();
+    for (std::size_t d = 0; d < ndst; ++d) t.xor_into(dsts[d], src, n);
+    g_stats.xor_ops += ndst;
+    g_stats.bytes_xored += ndst * n;
 }
 
 void copy(std::byte* dst, const std::byte* src, std::size_t n) noexcept {
@@ -92,14 +225,50 @@ void copy(std::byte* dst, const std::byte* src, std::size_t n) noexcept {
 void zero(std::byte* dst, std::size_t n) noexcept { std::memset(dst, 0, n); }
 
 bool is_zero(const std::byte* src, std::size_t n) noexcept {
-    for (std::size_t i = 0; i < n; ++i) {
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        std::uint64_t w0, w1, w2, w3;
+        std::memcpy(&w0, src + i, 8);
+        std::memcpy(&w1, src + i + 8, 8);
+        std::memcpy(&w2, src + i + 16, 8);
+        std::memcpy(&w3, src + i + 24, 8);
+        if ((w0 | w1 | w2 | w3) != 0) return false;
+    }
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, src + i, 8);
+        if (w != 0) return false;
+    }
+    for (; i < n; ++i) {
         if (src[i] != std::byte{0}) return false;
     }
     return true;
 }
 
 bool equal(const std::byte* a, const std::byte* b, std::size_t n) noexcept {
-    return std::memcmp(a, b, n) == 0;
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        std::uint64_t a0, a1, a2, a3, b0, b1, b2, b3;
+        std::memcpy(&a0, a + i, 8);
+        std::memcpy(&a1, a + i + 8, 8);
+        std::memcpy(&a2, a + i + 16, 8);
+        std::memcpy(&a3, a + i + 24, 8);
+        std::memcpy(&b0, b + i, 8);
+        std::memcpy(&b1, b + i + 8, 8);
+        std::memcpy(&b2, b + i + 16, 8);
+        std::memcpy(&b3, b + i + 24, 8);
+        if (((a0 ^ b0) | (a1 ^ b1) | (a2 ^ b2) | (a3 ^ b3)) != 0) return false;
+    }
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t x, y;
+        std::memcpy(&x, a + i, 8);
+        std::memcpy(&y, b + i, 8);
+        if (x != y) return false;
+    }
+    for (; i < n; ++i) {
+        if (a[i] != b[i]) return false;
+    }
+    return true;
 }
 
 void xor_into(std::span<std::byte> dst,

@@ -1,5 +1,5 @@
 // Word-wise XOR/copy kernels over byte regions, with per-thread operation
-// counters.
+// counters and runtime-dispatched SIMD implementations.
 //
 // These kernels are the universal currency of XOR-based erasure coding: one
 // region corresponds to one array-code *element* (paper Section II-A), and
@@ -10,9 +10,22 @@
 //
 // Counting convention (matches the paper and Jerasure): combining n source
 // regions into a destination costs n-1 XORs — the first write is a *copy*
-// and is counted separately. Counter updates are one thread-local increment
-// per region op, which is noise next to even an 8-byte memory op, so the
-// same code path serves both the complexity and the throughput benches.
+// and is counted separately. The fused reduction preserves this exactly:
+// xor_many over n sources counts 1 copy + n-1 XORs, and xor_many_into over
+// n sources counts n XORs, regardless of how many memory passes the
+// dispatched kernel actually performs. Complexity numbers are therefore
+// invariant under fusing and across implementations. Counter updates are
+// one thread-local increment per region op, which is noise next to even an
+// 8-byte memory op, so the same code path serves both the complexity and
+// the throughput benches.
+//
+// Dispatch (same pattern as integrity/crc32c.hpp): the best tier the CPU
+// supports — AVX-512F, AVX2, NEON, or the portable scalar body — is
+// selected once, lazily, via CPUID/baseline-ISA detection. The environment
+// variable LIBERATION_XOR_IMPL ("scalar", "avx2", "avx512", "neon", or
+// "auto") overrides the choice at startup; an unavailable or unknown value
+// falls back to auto-detection, and "scalar" is the guaranteed-available
+// forced-software fallback. Tests pin tiers with force_impl().
 #pragma once
 
 #include <cstddef>
@@ -37,13 +50,67 @@ op_stats& counters() noexcept;
 /// Convenience: reset this thread's counters.
 void reset_counters() noexcept;
 
-/// dst[i] ^= src[i] for n bytes. Regions must not partially overlap
-/// (dst == src is allowed and zeroes dst).
+// ---------------------------------------------------------------------------
+// Implementation dispatch.
+
+enum class xor_impl : std::uint8_t { scalar, avx2, avx512, neon };
+
+/// The implementation every kernel currently dispatches to.
+[[nodiscard]] xor_impl active_impl() noexcept;
+
+/// True when this build/CPU can run the given tier (scalar always can).
+[[nodiscard]] bool impl_available(xor_impl impl) noexcept;
+
+/// Tier the library would pick on its own: the LIBERATION_XOR_IMPL
+/// override when set and available, else the best tier the CPU supports.
+[[nodiscard]] xor_impl default_impl() noexcept;
+
+/// Pin the dispatched tier (benches sweep tiers; tests cross-validate).
+/// An unavailable tier degrades to default_impl().
+void force_impl(xor_impl impl) noexcept;
+
+/// Lower-case tier name ("scalar", "avx2", "avx512", "neon").
+[[nodiscard]] const char* impl_name(xor_impl impl) noexcept;
+
+/// Parse an impl name as accepted by LIBERATION_XOR_IMPL. Returns true and
+/// sets `out` on success ("auto" maps to the auto-detected best tier).
+[[nodiscard]] bool impl_from_name(const char* name, xor_impl& out) noexcept;
+
+/// Sources fused per destination memory pass by xor_many (larger fan-ins
+/// are split into passes of at most this many sources).
+[[nodiscard]] std::size_t max_fused_sources() noexcept;
+
+// ---------------------------------------------------------------------------
+// Region kernels. All accept arbitrary (sector-offset) pointers and any
+// size. Regions must not partially overlap; dst may coincide exactly with
+// a source (for xor_many/xor_many_into: only sources among the first
+// max_fused_sources(), i.e. within the first fused pass).
+
+/// dst[i] ^= src[i] for n bytes (dst == src is allowed and zeroes dst).
 void xor_into(std::byte* dst, const std::byte* src, std::size_t n) noexcept;
 
 /// dst[i] = a[i] ^ b[i] for n bytes (counted as one XOR op).
 void xor2(std::byte* dst, const std::byte* a, const std::byte* b,
           std::size_t n) noexcept;
+
+/// Fused multi-source reduction: dst = srcs[0] ^ ... ^ srcs[nsrc-1],
+/// reading each source once and writing dst once per fused pass instead of
+/// performing nsrc read-modify-write round trips. Requires nsrc >= 1
+/// (nsrc == 1 degenerates to a copy). Counted as 1 copy + nsrc-1 XORs —
+/// identical to the copy + xor_into chain it replaces.
+void xor_many(std::byte* dst, const std::byte* const* srcs, std::size_t nsrc,
+              std::size_t n) noexcept;
+
+/// Accumulating variant: dst ^= srcs[0] ^ ... ^ srcs[nsrc-1]. nsrc == 0 is
+/// a no-op. Counted as nsrc XORs.
+void xor_many_into(std::byte* dst, const std::byte* const* srcs,
+                   std::size_t nsrc, std::size_t n) noexcept;
+
+/// Scatter one source into several destinations: dsts[d] ^= src for all
+/// ndst destinations (the parity-update pattern — one delta, 2-3 parity
+/// targets). Counted as ndst XORs.
+void xor_broadcast(std::byte* const* dsts, std::size_t ndst,
+                   const std::byte* src, std::size_t n) noexcept;
 
 /// dst = src (counted as one copy op).
 void copy(std::byte* dst, const std::byte* src, std::size_t n) noexcept;
@@ -80,6 +147,21 @@ public:
     [[nodiscard]] std::uint64_t copies() const noexcept {
         return counters().copy_ops;
     }
+};
+
+/// RAII scope that pins a tier and restores the previous one on exit —
+/// keeps tier-sweeping tests and benches exception-safe.
+class impl_scope {
+public:
+    explicit impl_scope(xor_impl impl) noexcept : prev_(active_impl()) {
+        force_impl(impl);
+    }
+    impl_scope(const impl_scope&) = delete;
+    impl_scope& operator=(const impl_scope&) = delete;
+    ~impl_scope() { force_impl(prev_); }
+
+private:
+    xor_impl prev_;
 };
 
 }  // namespace liberation::xorops

@@ -100,6 +100,30 @@ TEST(AlignedBuffer, AlignmentAndZeroInit) {
     }
 }
 
+TEST(AlignedBuffer, CapacityRoundsUpTo64) {
+    for (const std::size_t size : {1ul, 63ul, 64ul, 65ul, 100ul, 4096ul}) {
+        aligned_buffer buf(size);
+        EXPECT_GE(buf.capacity(), buf.size()) << "size=" << size;
+        EXPECT_EQ(buf.capacity() % 64, 0u) << "size=" << size;
+        EXPECT_LT(buf.capacity() - buf.size(), 64u) << "size=" << size;
+        // The documented guarantee: padding bytes are allocated and zero,
+        // so full-width vector loads over the tail are safe.
+        for (std::size_t i = buf.size(); i < buf.capacity(); ++i) {
+            EXPECT_EQ(buf.data()[i], std::byte{0}) << "i=" << i;
+        }
+    }
+    EXPECT_EQ(aligned_buffer{}.capacity(), 0u);
+}
+
+TEST(AlignedBuffer, ZeroClearsPadding) {
+    aligned_buffer buf(65);
+    buf.data()[64] = std::byte{0xaa};  // dirty one padding byte
+    buf.zero();
+    for (std::size_t i = 0; i < buf.capacity(); ++i) {
+        EXPECT_EQ(buf.data()[i], std::byte{0}) << "i=" << i;
+    }
+}
+
 TEST(AlignedBuffer, MoveTransfersOwnership) {
     aligned_buffer a(64);
     a.data()[0] = std::byte{42};

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "liberation/util/rng.hpp"
@@ -127,6 +128,272 @@ TEST(XorOps, UnalignedPointers) {
     for (std::size_t i = 3; i < 3 + 100; ++i) expected[i] ^= src[i + 2];
     xorops::xor_into(raw.data() + 3, src.data() + 5, 100);
     EXPECT_EQ(raw, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Impl-sweep correctness: every available tier, exhaustively over the
+// alignment x size grid that covers each kernel's vector body, partial head,
+// and scalar tail, checked against a byte-wise reference.
+
+std::vector<xorops::xor_impl> available_impls() {
+    std::vector<xorops::xor_impl> v;
+    for (const auto impl :
+         {xorops::xor_impl::scalar, xorops::xor_impl::avx2,
+          xorops::xor_impl::avx512, xorops::xor_impl::neon}) {
+        if (xorops::impl_available(impl)) v.push_back(impl);
+    }
+    return v;
+}
+
+class XorOpsImplSweep
+    : public ::testing::TestWithParam<xorops::xor_impl> {};
+
+TEST_P(XorOpsImplSweep, XorIntoUnalignedGrid) {
+    xorops::impl_scope scope(GetParam());
+    // Guard bytes around the destination window catch out-of-bounds stores.
+    constexpr std::size_t kPad = 256;
+    for (std::size_t off = 0; off < 64; ++off) {
+        for (std::size_t n = 0; n <= 129; ++n) {
+            auto dst = random_bytes(kPad + n + kPad, 100 + off);
+            const auto src = random_bytes(kPad + n, 200 + n);
+            auto expected = dst;
+            for (std::size_t i = 0; i < n; ++i) {
+                expected[kPad + i] ^= src[off + i];
+            }
+            xorops::xor_into(dst.data() + kPad, src.data() + off, n);
+            ASSERT_EQ(dst, expected) << "off=" << off << " n=" << n;
+        }
+    }
+}
+
+TEST_P(XorOpsImplSweep, Xor2UnalignedGrid) {
+    xorops::impl_scope scope(GetParam());
+    constexpr std::size_t kPad = 256;
+    for (std::size_t off = 0; off < 64; ++off) {
+        for (std::size_t n = 0; n <= 129; ++n) {
+            const auto a = random_bytes(kPad + n, 300 + off);
+            const auto b = random_bytes(kPad + n, 400 + n);
+            auto dst = random_bytes(kPad + n + kPad, 500);
+            auto expected = dst;
+            for (std::size_t i = 0; i < n; ++i) {
+                expected[kPad + i] = a[off + i] ^ b[off + i];
+            }
+            xorops::xor2(dst.data() + kPad, a.data() + off, b.data() + off, n);
+            ASSERT_EQ(dst, expected) << "off=" << off << " n=" << n;
+        }
+    }
+}
+
+TEST_P(XorOpsImplSweep, LargeRegions) {
+    xorops::impl_scope scope(GetParam());
+    // Sizes chosen to exercise many full vector chunks plus ragged tails.
+    for (const std::size_t n : {4096ul, 65536ul, 65536ul + 61}) {
+        auto dst = random_bytes(n, 600 + n);
+        const auto src = random_bytes(n, 700 + n);
+        auto expected = dst;
+        for (std::size_t i = 0; i < n; ++i) expected[i] ^= src[i];
+        xorops::xor_into(dst.data(), src.data(), n);
+        ASSERT_EQ(dst, expected) << "n=" << n;
+    }
+}
+
+TEST_P(XorOpsImplSweep, XorManyFanInSweep) {
+    xorops::impl_scope scope(GetParam());
+    // Fan-ins 1..12 cross the max_fused_sources() pass boundary, so both
+    // the single-pass and the split multi-pass paths are covered.
+    ASSERT_GE(12u, xorops::max_fused_sources());
+    for (const std::size_t n : {1ul, 63ul, 64ul, 129ul, 4099ul}) {
+        std::vector<std::vector<std::byte>> bufs;
+        std::vector<const std::byte*> srcs;
+        for (std::size_t s = 0; s < 12; ++s) {
+            bufs.push_back(random_bytes(n, 800 + 16 * n + s));
+            srcs.push_back(bufs.back().data());
+        }
+        for (std::size_t fan = 1; fan <= 12; ++fan) {
+            std::vector<std::byte> expected(n, std::byte{0});
+            for (std::size_t s = 0; s < fan; ++s) {
+                for (std::size_t i = 0; i < n; ++i) expected[i] ^= bufs[s][i];
+            }
+            std::vector<std::byte> dst = random_bytes(n, 900);
+            xorops::xor_many(dst.data(), srcs.data(), fan, n);
+            ASSERT_EQ(dst, expected) << "fan=" << fan << " n=" << n;
+
+            auto acc = random_bytes(n, 901);
+            auto expected_acc = acc;
+            for (std::size_t i = 0; i < n; ++i) expected_acc[i] ^= expected[i];
+            xorops::xor_many_into(acc.data(), srcs.data(), fan, n);
+            ASSERT_EQ(acc, expected_acc) << "fan=" << fan << " n=" << n;
+        }
+    }
+}
+
+TEST_P(XorOpsImplSweep, Aliasing) {
+    xorops::impl_scope scope(GetParam());
+    for (const std::size_t n : {1ul, 65ul, 4099ul}) {
+        // dst == src zeroes the region.
+        auto a = random_bytes(n, 1000 + n);
+        xorops::xor_into(a.data(), a.data(), n);
+        ASSERT_TRUE(xorops::is_zero(a.data(), n)) << "n=" << n;
+
+        // xor2 with dst aliasing one operand.
+        auto d = random_bytes(n, 1100 + n);
+        const auto orig = d;
+        const auto b = random_bytes(n, 1200 + n);
+        xorops::xor2(d.data(), d.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(d[i], orig[i] ^ b[i]) << "i=" << i << " n=" << n;
+        }
+
+        // xor_many with dst aliasing a source inside the first fused pass.
+        auto m = random_bytes(n, 1300 + n);
+        const auto m0 = m;
+        const auto other = random_bytes(n, 1400 + n);
+        const std::byte* srcs[2] = {m.data(), other.data()};
+        xorops::xor_many(m.data(), srcs, 2, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(m[i], m0[i] ^ other[i]) << "i=" << i << " n=" << n;
+        }
+    }
+}
+
+std::string impl_param_name(
+    const ::testing::TestParamInfo<xorops::xor_impl>& info) {
+    return xorops::impl_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, XorOpsImplSweep,
+                         ::testing::ValuesIn(available_impls()),
+                         impl_param_name);
+
+// ---------------------------------------------------------------------------
+// Cross-implementation equivalence: the forced scalar tier and the
+// dispatched tier must produce bit-identical results (and counts).
+
+TEST(XorOpsDispatch, ScalarMatchesDispatched) {
+    const std::size_t n = 4099;
+    const auto base = random_bytes(n, 2000);
+    std::vector<std::vector<std::byte>> bufs;
+    std::vector<const std::byte*> srcs;
+    for (std::size_t s = 0; s < 9; ++s) {
+        bufs.push_back(random_bytes(n, 2001 + s));
+        srcs.push_back(bufs.back().data());
+    }
+
+    auto run = [&](xorops::xor_impl impl) {
+        xorops::impl_scope scope(impl);
+        auto out = base;
+        xorops::xor_many_into(out.data(), srcs.data(), srcs.size(), n);
+        return out;
+    };
+
+    const auto scalar_out = run(xorops::xor_impl::scalar);
+    const auto dispatched_out = run(xorops::default_impl());
+    EXPECT_EQ(scalar_out, dispatched_out);
+}
+
+TEST(XorOpsDispatch, ForceImplPinsAndRestores) {
+    const auto before = xorops::active_impl();
+    {
+        xorops::impl_scope scope(xorops::xor_impl::scalar);
+        EXPECT_EQ(xorops::active_impl(), xorops::xor_impl::scalar);
+    }
+    EXPECT_EQ(xorops::active_impl(), before);
+}
+
+TEST(XorOpsDispatch, UnavailableForceDegradesToDefault) {
+#if !defined(__aarch64__)
+    xorops::impl_scope scope(xorops::xor_impl::neon);
+    EXPECT_EQ(xorops::active_impl(), xorops::default_impl());
+#else
+    xorops::impl_scope scope(xorops::xor_impl::avx2);
+    EXPECT_EQ(xorops::active_impl(), xorops::default_impl());
+#endif
+}
+
+TEST(XorOpsDispatch, ImplFromNameRoundTrips) {
+    xorops::xor_impl out{};
+    for (const auto impl : available_impls()) {
+        ASSERT_TRUE(xorops::impl_from_name(xorops::impl_name(impl), out));
+        EXPECT_EQ(out, impl);
+    }
+    // "auto" maps to the best *hardware* tier, which need not equal
+    // default_impl() when a LIBERATION_XOR_IMPL override is in force.
+    EXPECT_TRUE(xorops::impl_from_name("auto", out));
+    EXPECT_TRUE(xorops::impl_available(out));
+    EXPECT_TRUE(xorops::impl_from_name("software", out));
+    EXPECT_EQ(out, xorops::xor_impl::scalar);
+    EXPECT_FALSE(xorops::impl_from_name("mmx", out));
+    EXPECT_FALSE(xorops::impl_from_name("", out));
+}
+
+// ---------------------------------------------------------------------------
+// Counting convention: fused reductions must count exactly like the chains
+// they replace, or every complexity figure would silently change.
+
+TEST(XorOpsCounters, XorManyCountsCopyPlusXors) {
+    const std::size_t n = 64;
+    std::vector<std::vector<std::byte>> bufs;
+    std::vector<const std::byte*> srcs;
+    for (std::size_t s = 0; s < 5; ++s) {
+        bufs.push_back(random_bytes(n, 3000 + s));
+        srcs.push_back(bufs.back().data());
+    }
+    std::vector<std::byte> dst(n);
+
+    xorops::counting_scope scope;
+    xorops::xor_many(dst.data(), srcs.data(), 5, n);
+    auto stats = scope.snapshot();
+    EXPECT_EQ(stats.copy_ops, 1u);
+    EXPECT_EQ(stats.xor_ops, 4u);
+    EXPECT_EQ(stats.bytes_copied, n);
+    EXPECT_EQ(stats.bytes_xored, 4 * n);
+
+    // nsrc == 1 degenerates to a pure copy.
+    xorops::reset_counters();
+    xorops::xor_many(dst.data(), srcs.data(), 1, n);
+    stats = scope.snapshot();
+    EXPECT_EQ(stats.copy_ops, 1u);
+    EXPECT_EQ(stats.xor_ops, 0u);
+}
+
+TEST(XorOpsCounters, XorManyIntoCountsNXors) {
+    const std::size_t n = 64;
+    std::vector<std::vector<std::byte>> bufs;
+    std::vector<const std::byte*> srcs;
+    for (std::size_t s = 0; s < 9; ++s) {  // crosses the 8-source pass split
+        bufs.push_back(random_bytes(n, 3100 + s));
+        srcs.push_back(bufs.back().data());
+    }
+    auto dst = random_bytes(n, 3200);
+
+    xorops::counting_scope scope;
+    xorops::xor_many_into(dst.data(), srcs.data(), 9, n);
+    const auto stats = scope.snapshot();
+    EXPECT_EQ(stats.copy_ops, 0u);
+    EXPECT_EQ(stats.xor_ops, 9u);
+    EXPECT_EQ(stats.bytes_xored, 9 * n);
+
+    xorops::reset_counters();
+    xorops::xor_many_into(dst.data(), srcs.data(), 0, n);  // no-op
+    EXPECT_EQ(scope.xors(), 0u);
+}
+
+TEST(XorOpsCounters, XorBroadcastCountsPerDestination) {
+    const std::size_t n = 64;
+    const auto src = random_bytes(n, 3300);
+    auto d0 = random_bytes(n, 3301);
+    auto d1 = random_bytes(n, 3302);
+    auto d2 = random_bytes(n, 3303);
+    const auto e0 = d0;
+    std::byte* dsts[3] = {d0.data(), d1.data(), d2.data()};
+
+    xorops::counting_scope scope;
+    xorops::xor_broadcast(dsts, 3, src.data(), n);
+    EXPECT_EQ(scope.xors(), 3u);
+    EXPECT_EQ(scope.copies(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(d0[i], e0[i] ^ src[i]) << "i=" << i;
+    }
 }
 
 }  // namespace
