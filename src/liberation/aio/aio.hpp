@@ -1,0 +1,102 @@
+// Core types of the async submission-queue I/O layer (io_uring-style).
+//
+// The aio subsystem sits between the array controller and the vdisk layer:
+// callers describe disk I/O as submission-queue entries (`io_desc`), a
+// `queue_pair` batches them per disk inside a configurable in-flight
+// window, merges adjacent requests into one larger transfer, executes them
+// through an `io_backend` (which owns retry/backoff and health accounting
+// — the *execution-stage* policy), and reports per-request completions
+// (`io_cqe`) after running *completion-stage* decorators such as checksum
+// verification. Layering rule: aio may depend on the vdisk layer
+// (io_status) and util, never on the array controller — the array plugs in
+// via the io_backend interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "liberation/raid/vdisk.hpp"
+
+namespace liberation::util {
+class thread_pool;
+}  // namespace liberation::util
+
+namespace liberation::aio {
+
+enum class op_kind : std::uint8_t { read, write };
+
+/// Request flags (io_desc::flags).
+/// Run the checksum-verify completion stage on this read: bytes that
+/// arrive intact but fail their stored CRC complete with
+/// io_status::checksum_mismatch. Verification happens *after* the
+/// execution stage, so transient errors are retried but a checksum
+/// mismatch never is — re-reading rotten bytes cannot un-rot them.
+inline constexpr std::uint32_t flag_verify = 1u << 0;
+
+/// Submission-queue entry: one contiguous read or write on one disk.
+/// `data` must stay valid until the request completes (registered-buffer
+/// discipline: the stripe engines own long-lived slot buffers and reuse
+/// them window after window).
+struct io_desc {
+    std::uint32_t disk = 0;
+    op_kind kind = op_kind::read;
+    std::size_t offset = 0;
+    std::byte* data = nullptr;
+    std::size_t len = 0;
+    /// Opaque caller cookie, returned verbatim in the completion entry.
+    std::uint64_t user_data = 0;
+    std::uint32_t flags = 0;
+};
+
+/// Completion-queue entry: final status of one *submitted* request.
+/// Merged requests complete at original-request granularity — a failed
+/// merged transfer is split and re-driven per fragment, so one bad strip
+/// fails only its own submission, not its neighbours in the batch.
+struct io_cqe {
+    std::uint64_t user_data = 0;
+    raid::io_status status = raid::io_status::ok;
+    std::uint32_t disk = 0;
+};
+
+/// Tuning knobs of a queue_pair.
+struct aio_config {
+    /// Per-disk in-flight window: submissions beyond this many pending
+    /// requests on one disk force a flush. 1 degenerates to synchronous
+    /// one-request-at-a-time execution.
+    std::size_t queue_depth = 8;
+    /// Coalesce adjacent read requests on one disk (contiguous both on
+    /// the medium and in memory) into a single transfer. Writes are never
+    /// coalesced: failure simulation (the power-loss write budget) counts
+    /// individual disk writes, and merging would change its granularity.
+    bool merge_adjacent = true;
+    /// Optional worker pool: batches of different disks execute
+    /// concurrently (per-disk order is always preserved). Null = inline
+    /// execution on the submitting thread in exact submission order.
+    /// NOTE: concurrent execution makes *cross-disk* write order
+    /// nondeterministic, so seeded power-loss simulation and chaos replay
+    /// require workers == nullptr.
+    util::thread_pool* workers = nullptr;
+};
+
+/// Counter snapshot of a queue_pair (monotonic over its lifetime).
+struct aio_stats {
+    std::uint64_t submitted = 0;   ///< requests accepted into the ring
+    std::uint64_t completed = 0;   ///< completions delivered
+    std::uint64_t batches = 0;     ///< transfers issued to the backend
+    std::uint64_t merges = 0;      ///< requests absorbed into a neighbour
+    std::uint64_t split_retries = 0;  ///< merged transfers re-driven per fragment
+    std::uint64_t inflight_highwater = 0;  ///< max pending on any one disk
+};
+
+/// Execution backend: where a submission actually lands. The array's
+/// adapter routes reads/writes through its retrying io_policy and health
+/// monitor, so every retry/backoff/trip decision stays where it always
+/// was — the queue_pair only decides batching, order, and completion
+/// semantics.
+class io_backend {
+public:
+    virtual ~io_backend() = default;
+    virtual raid::io_status execute(const io_desc& d) = 0;
+};
+
+}  // namespace liberation::aio

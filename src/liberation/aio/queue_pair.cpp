@@ -1,0 +1,174 @@
+#include "liberation/aio/queue_pair.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "liberation/util/thread_pool.hpp"
+
+namespace liberation::aio {
+
+queue_pair::queue_pair(io_backend& backend, std::uint32_t disks,
+                       const aio_config& cfg)
+    : backend_(backend), cfg_(cfg) {
+    if (cfg_.queue_depth == 0) cfg_.queue_depth = 1;
+    pending_.reserve(disks);
+    for (std::uint32_t d = 0; d < disks; ++d)
+        pending_.emplace_back(cfg_.queue_depth);
+}
+
+queue_pair::~queue_pair() { drain(); }
+
+void queue_pair::add_completion_stage(completion_stage stage) {
+    stages_.push_back(std::move(stage));
+}
+
+void queue_pair::submit(const io_desc& d) {
+    ++stats_.submitted;
+    fragment f;
+    f.desc = d;
+    f.seq = next_seq_++;
+    if (d.disk >= pending_.size()) {
+        // No window to queue in: complete immediately, sequenced at drain.
+        f.status = raid::io_status::out_of_range;
+        std::lock_guard lock(done_mutex_);
+        done_.push_back(f);
+        return;
+    }
+    ring<fragment>& window = pending_[d.disk];
+    window.push(f);
+    stats_.inflight_highwater =
+        std::max<std::uint64_t>(stats_.inflight_highwater, window.size());
+    if (window.full()) flush_disk(d.disk);
+}
+
+void queue_pair::build_batches(std::uint32_t disk,
+                               std::vector<fragment>& frags,
+                               std::vector<batch>& batches) {
+    ring<fragment>& window = pending_[disk];
+    while (!window.empty()) {
+        const std::size_t idx = frags.size();
+        frags.push_back(window.pop());
+        const fragment& f = frags.back();
+        if (cfg_.merge_adjacent && !batches.empty()) {
+            // Coalesce only when the new request continues the previous
+            // transfer both on the medium and in memory — then one backend
+            // call moves the whole extent and per-request accounting can
+            // still be recovered by fragment offsets.
+            batch& prev = batches.back();
+            if (prev.first + prev.count == idx &&
+                prev.merged.kind == op_kind::read &&
+                f.desc.kind == op_kind::read &&
+                prev.merged.offset + prev.merged.len == f.desc.offset &&
+                prev.merged.data + prev.merged.len == f.desc.data) {
+                prev.merged.len += f.desc.len;
+                ++prev.count;
+                ++stats_.merges;
+                continue;
+            }
+        }
+        batch b;
+        b.merged = f.desc;
+        b.first = idx;
+        b.count = 1;
+        batches.push_back(b);
+    }
+}
+
+void queue_pair::flush_disk(std::uint32_t disk) {
+    if (pending_[disk].empty()) return;
+    if (cfg_.workers != nullptr) {
+        run_batches_on_workers(disk);
+        return;
+    }
+    // Inline path: execute in submission order on the calling thread,
+    // reusing the flush scratch vectors (steady-state allocation-free).
+    flush_frags_.clear();
+    flush_batches_.clear();
+    build_batches(disk, flush_frags_, flush_batches_);
+    for (const batch& b : flush_batches_) {
+        ++stats_.batches;
+        if (execute_one(b, flush_frags_.data())) ++stats_.split_retries;
+    }
+    // No workers → nothing contends on done_mutex_; append directly.
+    done_.insert(done_.end(), flush_frags_.begin(), flush_frags_.end());
+}
+
+bool queue_pair::execute_one(const batch& b, fragment* frags) {
+    const raid::io_status merged_status = backend_.execute(b.merged);
+    fragment* const first = frags + b.first;
+    if (merged_status == raid::io_status::ok || b.count == 1) {
+        for (std::size_t i = 0; i < b.count; ++i)
+            first[i].status = merged_status;
+        return false;
+    }
+    // A coalesced transfer failed: split and re-drive each original
+    // request so the failure lands only on the fragments that deserve it
+    // (e.g. one latent sector inside an otherwise healthy extent, or the
+    // masked strips of a rebuilding disk).
+    for (std::size_t i = 0; i < b.count; ++i)
+        first[i].status = backend_.execute(first[i].desc);
+    return true;
+}
+
+void queue_pair::run_batches_on_workers(std::uint32_t disk) {
+    // One task per flush keeps the disk's batches strictly ordered; tasks
+    // for different disks run concurrently on the pool.
+    auto frags = std::make_shared<std::vector<fragment>>();
+    auto batches = std::make_shared<std::vector<batch>>();
+    build_batches(disk, *frags, *batches);
+    {
+        std::lock_guard lock(done_mutex_);
+        ++workers_outstanding_;
+    }
+    cfg_.workers->submit([this, frags, batches]() {
+        std::uint64_t n_batches = 0;
+        std::uint64_t n_splits = 0;
+        for (const batch& b : *batches) {
+            ++n_batches;
+            if (execute_one(b, frags->data())) ++n_splits;
+        }
+        std::lock_guard lock(done_mutex_);
+        done_.insert(done_.end(), frags->begin(), frags->end());
+        worker_batches_ += n_batches;
+        worker_split_retries_ += n_splits;
+        --workers_outstanding_;
+        done_cv_.notify_all();
+    });
+}
+
+void queue_pair::wait_for_workers() {
+    if (cfg_.workers == nullptr) return;
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [this] { return workers_outstanding_ == 0; });
+    stats_.batches += worker_batches_;
+    stats_.split_retries += worker_split_retries_;
+    worker_batches_ = 0;
+    worker_split_retries_ = 0;
+}
+
+void queue_pair::drain() {
+    for (std::uint32_t d = 0; d < pending_.size(); ++d) flush_disk(d);
+    wait_for_workers();
+
+    // Recover global submission order across disks, run completion-stage
+    // decorators on this (the draining) thread, and emit CQEs. done_ is
+    // reused as scratch for the next cycle.
+    std::sort(done_.begin(), done_.end(),
+              [](const fragment& a, const fragment& b) { return a.seq < b.seq; });
+    for (const fragment& f : done_) {
+        raid::io_status s = f.status;
+        for (const completion_stage& stage : stages_) s = stage(f.desc, s);
+        ++stats_.completed;
+        completions_.push_back({f.desc.user_data, s, f.desc.disk});
+    }
+    done_.clear();
+}
+
+std::vector<io_cqe> queue_pair::take_completions() {
+    std::vector<io_cqe> out;
+    out.swap(completions_);
+    return out;
+}
+
+}  // namespace liberation::aio

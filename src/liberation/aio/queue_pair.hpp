@@ -1,0 +1,137 @@
+// io_uring-style queue pair: submission ring in, completion ring out.
+//
+// Lifecycle of a request:
+//   submit(io_desc)            — enqueue; may trigger a flush when the
+//                                 owning disk's in-flight window fills
+//   [flush]                    — pending requests are grouped per disk,
+//                                 adjacent ones merged into larger
+//                                 transfers, and executed through the
+//                                 io_backend (inline in submission order,
+//                                 or per-disk batches on a worker pool)
+//   [completion stages]        — decorators run over each *original*
+//                                 request's result on the draining thread
+//                                 (e.g. checksum verification)
+//   drain() / completions()    — io_cqe entries appear in submission
+//                                 order, one per submitted request
+//
+// Failure isolation: when a merged transfer fails, it is split back into
+// its fragments and each fragment re-driven individually (counted in
+// aio_stats::split_retries), so an error localizes to the strip that
+// actually failed instead of poisoning the whole merged extent.
+//
+// The inline execution path is allocation-free in steady state: fragments
+// flow through member scratch vectors that are reused flush after flush
+// (the simulated disks complete in nanoseconds, so per-request heap
+// traffic would dominate the real I/O work being batched).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "liberation/aio/aio.hpp"
+#include "liberation/aio/ring.hpp"
+
+namespace liberation::aio {
+
+/// A completion-stage decorator. Runs on the draining thread after the
+/// execution stage, in registration order, each stage seeing the status
+/// left by the previous one. Returning a different status rewrites the
+/// request's completion (this is how verified reads layer CRC checking
+/// over the retrying backend without the backend knowing).
+using completion_stage =
+    std::function<raid::io_status(const io_desc&, raid::io_status)>;
+
+class queue_pair {
+public:
+    queue_pair(io_backend& backend, std::uint32_t disks, const aio_config& cfg);
+    ~queue_pair();
+
+    queue_pair(const queue_pair&) = delete;
+    queue_pair& operator=(const queue_pair&) = delete;
+
+    /// Register a completion-stage decorator (see completion_stage).
+    void add_completion_stage(completion_stage stage);
+
+    /// Enqueue one request. Flushes the owning disk's window when it
+    /// reaches the configured queue depth. Out-of-range disks complete
+    /// immediately with io_status::out_of_range.
+    void submit(const io_desc& d);
+
+    /// Execute everything still pending, wait for worker batches, run
+    /// completion stages, and sequence results. After drain() returns,
+    /// completions() holds one io_cqe per submitted request not yet
+    /// taken, in submission order.
+    void drain();
+
+    /// Completion entries accumulated since the last take/clear (valid
+    /// after drain()).
+    [[nodiscard]] const std::vector<io_cqe>& completions() const noexcept {
+        return completions_;
+    }
+
+    /// Discard accumulated completions without copying them out (the
+    /// allocation-free companion of take_completions(): the vector's
+    /// storage is reused by the next drain).
+    void clear_completions() noexcept { completions_.clear(); }
+
+    /// Hand over and clear the accumulated completions.
+    std::vector<io_cqe> take_completions();
+
+    [[nodiscard]] const aio_stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const aio_config& config() const noexcept { return cfg_; }
+
+private:
+    // One original request captured inside a batch.
+    struct fragment {
+        io_desc desc;
+        std::uint64_t seq = 0;  // global submission order
+        raid::io_status status = raid::io_status::ok;
+    };
+    // One transfer handed to the backend: a [first, first+count) range of
+    // merged fragments inside the flush's flat fragment array.
+    struct batch {
+        io_desc merged;  // the (possibly coalesced) transfer
+        std::size_t first = 0;
+        std::size_t count = 0;
+    };
+
+    void flush_disk(std::uint32_t disk);
+    /// Pop the disk's window into `frags` (appending) and append the
+    /// coalesced transfer ranges to `batches`.
+    void build_batches(std::uint32_t disk, std::vector<fragment>& frags,
+                       std::vector<batch>& batches);
+    /// Returns true when the merged transfer failed and was split back
+    /// into per-fragment re-drives.
+    bool execute_one(const batch& b, fragment* frags);
+    void run_batches_on_workers(std::uint32_t disk);
+    void wait_for_workers();
+
+    io_backend& backend_;
+    aio_config cfg_;
+    aio_stats stats_;
+    std::vector<completion_stage> stages_;
+
+    // Per-disk pending submissions (the in-flight windows).
+    std::vector<ring<fragment>> pending_;
+    std::uint64_t next_seq_ = 0;
+
+    // Reused inline-flush scratch (invalid between flushes).
+    std::vector<fragment> flush_frags_;
+    std::vector<batch> flush_batches_;
+
+    // Executed fragments whose completions are not yet sequenced.
+    // Workers append under done_mutex_; the drain thread sequences.
+    std::vector<fragment> done_;
+    std::vector<io_cqe> completions_;
+
+    std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+    std::size_t workers_outstanding_ = 0;
+    std::uint64_t worker_batches_ = 0;        // stats delta from workers
+    std::uint64_t worker_split_retries_ = 0;  // stats delta from workers
+};
+
+}  // namespace liberation::aio

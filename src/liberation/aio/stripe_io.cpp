@@ -1,0 +1,150 @@
+#include "liberation/aio/stripe_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::aio {
+
+// ---- stripe_loader ----------------------------------------------------
+
+stripe_loader::stripe_loader(queue_pair& qp, const raid::stripe_map& map)
+    : qp_(qp),
+      map_(map),
+      window_(std::max<std::size_t>(1, qp.config().queue_depth)) {
+    const std::uint32_t n = map_.n();
+    disk_bufs_.reserve(n);
+    for (std::uint32_t d = 0; d < n; ++d)
+        disk_bufs_.emplace_back(window_ * map_.strip_size());
+    statuses_.resize(window_);
+    skipped_.assign(window_, 0);
+    ptrs_.resize(n);
+}
+
+void stripe_loader::run(std::size_t first, std::size_t last,
+                        const stripe_filter& skip_stripe,
+                        const column_filter& skip_column,
+                        const std::function<void(std::size_t)>& on_skipped,
+                        const process_fn& process) {
+    const std::uint32_t n = map_.n();
+    const std::size_t strip = map_.strip_size();
+    for (std::size_t w0 = first; w0 < last; w0 += window_) {
+        const std::size_t w1 = std::min(w0 + window_, last);
+
+        // Submission pass: stripe-major order still lands disk-major on
+        // the per-disk rings, where consecutive stripes are adjacent both
+        // in offset and in the disk buffer — one merged transfer per disk.
+        for (std::size_t s = w0; s < w1; ++s) {
+            const std::size_t slot = s - w0;
+            if (skip_stripe && skip_stripe(s)) {
+                skipped_[slot] = 1;
+                continue;
+            }
+            skipped_[slot] = 0;
+            statuses_[slot].assign(n, raid::io_status::ok);
+            for (std::uint32_t col = 0; col < n; ++col) {
+                const raid::strip_location loc = map_.locate(s, col);
+                if (skip_column && skip_column(s, col)) {
+                    // Not read on purpose (e.g. a rebuild target):
+                    // reported as the erasure the array would have
+                    // reported for its masked strip.
+                    statuses_[slot][col] = raid::io_status::rebuilding;
+                    continue;
+                }
+                io_desc d;
+                d.disk = loc.disk;
+                d.kind = op_kind::read;
+                d.offset = loc.offset;
+                d.data = disk_bufs_[loc.disk].data() + slot * strip;
+                d.len = strip;
+                d.user_data = slot * n + loc.disk;
+                qp_.submit(d);
+            }
+        }
+        qp_.drain();
+        for (const io_cqe& c : qp_.completions()) {
+            const std::size_t slot = c.user_data / n;
+            const auto disk = static_cast<std::uint32_t>(c.user_data % n);
+            const std::uint32_t col = map_.column_of_disk(w0 + slot, disk);
+            statuses_[slot][col] = c.status;
+        }
+        qp_.clear_completions();
+
+        // Consumption pass, in stripe order.
+        for (std::size_t s = w0; s < w1; ++s) {
+            const std::size_t slot = s - w0;
+            if (skipped_[slot] != 0) {
+                if (on_skipped) on_skipped(s);
+                continue;
+            }
+            for (std::uint32_t col = 0; col < n; ++col) {
+                const raid::strip_location loc = map_.locate(s, col);
+                ptrs_[col] = disk_bufs_[loc.disk].data() + slot * strip;
+            }
+            const codes::stripe_view v({ptrs_.data(), ptrs_.size()},
+                                       map_.rows(), map_.element_size());
+            process(s, v, statuses_[slot]);
+        }
+    }
+}
+
+// ---- stripe_writer ----------------------------------------------------
+
+stripe_writer::stripe_writer(queue_pair& qp, const raid::stripe_map& map)
+    : qp_(qp),
+      map_(map),
+      window_(std::max<std::size_t>(1, qp.config().queue_depth)),
+      zero_copy_(map.element_size() % util::aligned_buffer::alignment == 0),
+      parity_stage_(window_ * 2 * map.strip_size()),
+      data_stage_(zero_copy_ ? 0 : window_ * map.k() * map.strip_size()),
+      ptrs_(window_ * map.n()) {}
+
+std::span<std::byte* const> stripe_writer::stage(std::size_t slot,
+                                                 const std::byte* host) {
+    LIBERATION_EXPECTS(slot < window_);
+    const std::size_t strip = map_.strip_size();
+    const std::uint32_t k = map_.k();
+    std::byte** cols = ptrs_.data() + slot * map_.n();
+    for (std::uint32_t c = 0; c < k; ++c) {
+        const std::byte* src = host + static_cast<std::size_t>(c) * strip;
+        if (zero_copy_) {
+            // The backend only reads write payloads; the host span stays
+            // logically const.
+            cols[c] = const_cast<std::byte*>(src);
+        } else {
+            std::byte* dst =
+                data_stage_.data() + (slot * k + c) * strip;
+            std::memcpy(dst, src, strip);
+            cols[c] = dst;
+        }
+    }
+    cols[k] = parity_stage_.data() + slot * 2 * strip;
+    cols[k + 1] = cols[k] + strip;
+    return {cols, map_.n()};
+}
+
+void stripe_writer::submit_columns(std::size_t stripe,
+                                   std::span<std::byte* const> cols,
+                                   std::uint32_t begin_col,
+                                   std::uint32_t end_col) {
+    const std::size_t strip = map_.strip_size();
+    for (std::uint32_t c = begin_col; c < end_col; ++c) {
+        const raid::strip_location loc = map_.locate(stripe, c);
+        io_desc d;
+        d.disk = loc.disk;
+        d.kind = op_kind::write;
+        d.offset = loc.offset;
+        d.data = cols[c];
+        d.len = strip;
+        d.user_data = stripe;
+        qp_.submit(d);
+    }
+}
+
+void stripe_writer::drain() {
+    qp_.drain();
+    qp_.clear_completions();
+}
+
+}  // namespace liberation::aio

@@ -1,0 +1,134 @@
+// Completion-driven stripe engines over a queue_pair.
+//
+// Two state machines turn stripe-granular work into batched per-disk
+// submissions:
+//
+//   * stripe_loader — window-prefetches whole stripes for sequential
+//     consumers (rebuild slices, scrub passes). Buffers are *disk-major*:
+//     one long-lived buffer per disk holds that disk's strips for every
+//     stripe of the window, so consecutive stripes produce reads that are
+//     contiguous both on the medium and in memory — exactly what the
+//     queue_pair's coalescing needs to turn a window into one transfer
+//     per disk. Stripe views are assembled over the per-disk buffers via
+//     per-column pointers; no per-stripe allocation, no copying.
+//
+//   * stripe_writer — pipelines full-stripe writes. Data columns are
+//     submitted zero-copy straight from the host's buffer (when the
+//     element size allows full-vector tail loads; otherwise they are
+//     staged into reused slots), parity is encoded into writer-owned
+//     staging slots *after* the data submissions are already in flight,
+//     and follows them into the same drain window.
+//
+// Neither engine interprets I/O results: per-column statuses are handed
+// back to the caller, which owns classification (the array's
+// checksum-first recovery), journaling, and failure accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "liberation/aio/queue_pair.hpp"
+#include "liberation/codes/stripe.hpp"
+#include "liberation/raid/stripe_map.hpp"
+#include "liberation/util/aligned_buffer.hpp"
+
+namespace liberation::aio {
+
+/// Window-prefetching stripe reader (see file comment).
+class stripe_loader {
+public:
+    /// The window size (stripes in flight) is the queue_pair's configured
+    /// queue depth: each stripe contributes exactly one strip per disk, so
+    /// a window fills every disk's in-flight ring exactly once.
+    stripe_loader(queue_pair& qp, const raid::stripe_map& map);
+
+    /// Per-stripe consumer: `v` is a stripe view over the loader's
+    /// buffers (valid only during the call), `statuses` the per-column
+    /// io_status of this stripe's reads. The vector may be moved from.
+    using process_fn = std::function<void(
+        std::size_t stripe, const codes::stripe_view& v,
+        std::vector<raid::io_status>& statuses)>;
+    /// Stripe filter: true = do not prefetch this stripe (the caller
+    /// handles it through `on_skipped`, e.g. torn stripes that need the
+    /// journal-aware path).
+    using stripe_filter = std::function<bool(std::size_t stripe)>;
+    /// Column filter: true = do not read this column; its status is
+    /// reported as io_status::rebuilding (an erasure), exactly what the
+    /// array reports for a rebuild target's masked strip.
+    using column_filter =
+        std::function<bool(std::size_t stripe, std::uint32_t col)>;
+
+    /// Walk stripes [first, last): prefetch each window with one drain,
+    /// then invoke `process` (or `on_skipped`) per stripe in order.
+    /// Filters and `on_skipped` may be null.
+    void run(std::size_t first, std::size_t last,
+             const stripe_filter& skip_stripe, const column_filter& skip_column,
+             const std::function<void(std::size_t)>& on_skipped,
+             const process_fn& process);
+
+private:
+    queue_pair& qp_;
+    const raid::stripe_map& map_;
+    std::size_t window_;
+    std::vector<util::aligned_buffer> disk_bufs_;  ///< per disk: window strips
+    std::vector<std::vector<raid::io_status>> statuses_;  ///< per slot
+    std::vector<std::uint8_t> skipped_;                   ///< per slot
+    std::vector<std::byte*> ptrs_;  ///< column-pointer scratch
+};
+
+/// Pipelined full-stripe writer (see file comment). The caller drives the
+/// per-stripe protocol:
+///
+///     auto cols = writer.stage(slot, host_bytes);      // column pointers
+///     writer.submit_columns(stripe, cols, 0, k);       // data in flight
+///     code.encode(view over cols);                     // overlap: parity
+///     writer.submit_columns(stripe, cols, k, n);       // parity follows
+///     ...
+///     writer.drain();                                  // window barrier
+///
+/// Journaling, write-failure policy, and stats stay with the caller.
+class stripe_writer {
+public:
+    stripe_writer(queue_pair& qp, const raid::stripe_map& map);
+
+    /// Stripes per drain window (the queue_pair's queue depth).
+    [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+    /// True when data columns are submitted directly from the host buffer
+    /// (element size is a multiple of the vector-kernel tail-read quantum;
+    /// otherwise the encoder could read past the host allocation).
+    [[nodiscard]] bool zero_copy() const noexcept { return zero_copy_; }
+
+    /// Bind window slot `slot` to one stripe's host bytes (k contiguous
+    /// strips in codeword-column order) and return the n column pointers:
+    /// data either aliases `host` (zero-copy) or is copied into staging;
+    /// parity always points at staging for the encoder to fill. Pointers
+    /// stay valid until the next drain().
+    std::span<std::byte* const> stage(std::size_t slot, const std::byte* host);
+
+    /// Submit the write for columns [begin_col, end_col) of `stripe` using
+    /// the pointers returned by stage(). Writes are never coalesced — the
+    /// power-loss budget counts individual disk writes — so each column is
+    /// one submission on its disk's ring.
+    void submit_columns(std::size_t stripe, std::span<std::byte* const> cols,
+                        std::uint32_t begin_col, std::uint32_t end_col);
+
+    /// Drain the window. Completion statuses are discarded: a full-stripe
+    /// write's contract is journal-mark → best-effort store → clear, with
+    /// failed columns simply missing the update (the stripe stays
+    /// decodable while <= 2 columns are down) — the caller checks
+    /// failed_disk_count() afterwards, exactly like the synchronous path.
+    void drain();
+
+private:
+    queue_pair& qp_;
+    const raid::stripe_map& map_;
+    std::size_t window_;
+    bool zero_copy_;
+    util::aligned_buffer parity_stage_;  ///< window x 2 strips
+    util::aligned_buffer data_stage_;    ///< window x k strips (copy mode)
+    std::vector<std::byte*> ptrs_;       ///< window x n column pointers
+};
+
+}  // namespace liberation::aio

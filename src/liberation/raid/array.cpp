@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "liberation/aio/stripe_io.hpp"
 #include "liberation/core/error_correction.hpp"
 #include "liberation/raid/rebuild.hpp"
 #include "liberation/util/assert.hpp"
@@ -53,6 +54,19 @@ array_stats raid6_array::atomic_stats::snapshot() const noexcept {
     return s;
 }
 
+array_stats raid6_array::stats() const noexcept {
+    array_stats s = stats_.snapshot();
+    // The engine's counters are only mutated from the submitting thread
+    // (worker deltas fold in at drain), so this mirror is as consistent as
+    // the relaxed snapshot above.
+    const aio::aio_stats& a = aio_engine_->stats();
+    s.aio_batches = a.batches;
+    s.aio_merges = a.merges;
+    s.aio_split_retries = a.split_retries;
+    s.aio_inflight_highwater = a.inflight_highwater;
+    return s;
+}
+
 raid6_array::raid6_array(const array_config& cfg)
     : map_(cfg.k, effective_p(cfg), cfg.element_size, cfg.stripes, cfg.layout),
       code_(cfg.k, effective_p(cfg)),
@@ -60,6 +74,7 @@ raid6_array::raid6_array(const array_config& cfg)
       journal_(cfg.intent_log_entries),
       verify_reads_(cfg.verify_reads),
       integrity_block_(std::gcd(cfg.sector_size, map_.element_size())),
+      aio_depth_(std::max<std::size_t>(1, cfg.io_queue_depth)),
       policy_(cfg.io_retry, clock_),
       health_(map_.n(), cfg.health),
       auto_failover_(cfg.auto_failover),
@@ -81,6 +96,42 @@ raid6_array::raid6_array(const array_config& cfg)
         spares_.push_back(std::make_unique<vdisk>(
             map_.n() + s, map_.disk_capacity(), cfg.sector_size));
     }
+    aio::aio_config acfg;
+    acfg.queue_depth = aio_depth_;
+    acfg.merge_adjacent = cfg.io_merge;
+    acfg.workers = cfg.io_workers;
+    rebuild_aio_engine(acfg);
+}
+
+void raid6_array::rebuild_aio_engine(const aio::aio_config& acfg) {
+    aio_engine_ = std::make_unique<aio::queue_pair>(backend_, map_.n(), acfg);
+    // Checksum verification as a completion-stage decorator: it sees the
+    // final status of the execution stage, so transient errors have
+    // already been retried (a mismatch, by contrast, is never retried —
+    // re-reading rotten bytes cannot un-rot them). Mirrors
+    // verified_disk_read() on the synchronous path.
+    aio_engine_->add_completion_stage(
+        [this](const aio::io_desc& d, io_status st) {
+            if (st != io_status::ok || d.kind != aio::op_kind::read ||
+                (d.flags & aio::flag_verify) == 0 || !verify_reads_) {
+                return st;
+            }
+            if (!regions_[d.disk].verify(d.offset, {d.data, d.len})) {
+                stats_.checksum_mismatches.fetch_add(
+                    1, std::memory_order_relaxed);
+                return io_status::checksum_mismatch;
+            }
+            return st;
+        });
+}
+
+io_status raid6_array::disk_backend::execute(const aio::io_desc& d) {
+    if (d.kind == aio::op_kind::read) {
+        return owner.disk_read(d.disk, d.offset,
+                               std::span<std::byte>(d.data, d.len));
+    }
+    return owner.disk_write(
+        d.disk, d.offset, std::span<const std::byte>(d.data, d.len));
 }
 
 void raid6_array::add_data_disk() {
@@ -99,6 +150,10 @@ void raid6_array::add_data_disk() {
     // integrity region describes.
     regions_.emplace_back(map_.disk_capacity(), integrity_block_);
     health_.add_disk();
+    // The engine's per-disk rings are sized at construction; rebuild it
+    // for the grown array (it is idle here — growth requires all disks
+    // online and no I/O in flight).
+    rebuild_aio_engine(aio_engine_->config());
 }
 
 std::uint32_t raid6_array::failed_disk_count() const noexcept {
@@ -111,12 +166,18 @@ std::uint32_t raid6_array::failed_disk_count() const noexcept {
 
 // ---- I/O funnel ------------------------------------------------------
 
-bool raid6_array::rebuild_masked(std::uint32_t d,
-                                 std::size_t offset) const noexcept {
+bool raid6_array::rebuild_masked(std::uint32_t d, std::size_t offset,
+                                 std::size_t len) const noexcept {
     if (!rebuild_active_) return false;
-    const std::size_t stripe = offset / map_.strip_size();
+    // Strips at or past the member's cursor are blank. The mask covers
+    // the whole extent when its *last* strip is masked (stripes only ever
+    // become unmasked from the front), which makes coalesced multi-strip
+    // reads conservative: the aio split-retry re-drives the fragments and
+    // only the truly masked ones stay erased.
+    const std::size_t last_stripe =
+        (offset + (len == 0 ? 0 : len - 1)) / map_.strip_size();
     for (const rebuild_member& m : rebuilding_) {
-        if (m.disk == d) return stripe >= m.cursor;
+        if (m.disk == d) return last_stripe >= m.cursor;
     }
     return false;
 }
@@ -144,7 +205,7 @@ io_status raid6_array::disk_read(std::uint32_t d, std::size_t offset,
                                  std::span<std::byte> out) {
     // A promoted spare is blank above the rebuild cursor: its bytes are
     // not data, the column is (still) an erasure.
-    if (rebuild_masked(d, offset)) return io_status::rebuilding;
+    if (rebuild_masked(d, offset, out.size())) return io_status::rebuilding;
     const io_result r = policy_.read(*disks_[d], offset, out);
     note_io(d, io_kind::read, r);
     return r.status;
@@ -152,16 +213,22 @@ io_status raid6_array::disk_read(std::uint32_t d, std::size_t offset,
 
 io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
                                   std::span<const std::byte> in) {
-    if (write_budget_ == 0) {
-        powered_ = false;
-        // The write's *intent* still reaches the battery-backed metadata
-        // domain even though the bits never reach the medium — recording
-        // the checksum is what makes the torn write deterministically
-        // detectable (and torn-vs-corrupt classifiable) on replay.
-        regions_[disk].record(offset, in);
-        return io_status::ok;  // the host never learns; the bits are gone
-    }
-    --write_budget_;
+    // Claim one unit of the power-loss budget atomically (aio worker-mode
+    // writes may race here; the inline engine is single-threaded).
+    std::uint64_t budget = write_budget_.load(std::memory_order_relaxed);
+    do {
+        if (budget == 0) {
+            powered_.store(false, std::memory_order_relaxed);
+            // The write's *intent* still reaches the battery-backed
+            // metadata domain even though the bits never reach the medium
+            // — recording the checksum is what makes the torn write
+            // deterministically detectable (and torn-vs-corrupt
+            // classifiable) on replay.
+            regions_[disk].record(offset, in);
+            return io_status::ok;  // the host never learns; the bits are gone
+        }
+    } while (!write_budget_.compare_exchange_weak(budget, budget - 1,
+                                                  std::memory_order_relaxed));
     const io_result r = policy_.write(*disks_[disk], offset, in);
     note_io(disk, io_kind::write, r);
     // A failed write never reaches the medium, so the old checksum stays
@@ -352,8 +419,24 @@ bool raid6_array::store_columns(std::size_t stripe,
 raid6_array::stripe_recovery raid6_array::load_stripe_verified(
     std::size_t stripe, const codes::stripe_view& buf, bool writeback,
     std::span<const std::uint32_t> extra_erasures, bool trust_parity) {
+    std::vector<std::uint32_t> erased;
+    std::vector<io_status> statuses;
+    (void)load_stripe(stripe, buf, erased, &statuses);
+    return verify_loaded_stripe(stripe, buf, writeback, extra_erasures,
+                                trust_parity, std::move(statuses));
+}
+
+raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
+    std::size_t stripe, const codes::stripe_view& buf, bool writeback,
+    std::span<const std::uint32_t> extra_erasures, bool trust_parity,
+    std::vector<io_status> statuses) {
+    LIBERATION_EXPECTS(statuses.size() == map_.n());
     stripe_recovery rec;
-    const bool loadable = load_stripe(stripe, buf, rec.erased, &rec.statuses);
+    rec.statuses = std::move(statuses);
+    for (std::uint32_t col = 0; col < map_.n(); ++col) {
+        if (rec.statuses[col] != io_status::ok) rec.erased.push_back(col);
+    }
+    const bool loadable = rec.erased.size() <= 2;
     for (const std::uint32_t col : extra_erasures) {
         if (std::find(rec.erased.begin(), rec.erased.end(), col) ==
             rec.erased.end()) {
@@ -830,8 +913,22 @@ bool raid6_array::write(std::size_t addr, std::span<const std::byte> in) {
             std::min(in.size() - done, map_.stripe_data_size() - in_stripe);
 
         bool ok;
+        std::size_t advance = span_len;
         if (in_stripe == 0 && span_len == map_.stripe_data_size()) {
-            ok = write_full_stripe(stripe, in.subspan(done, span_len));
+            // A run of consecutive full stripes goes through the async
+            // pipeline: all k+2 column writes of every stripe in the
+            // window are in flight together, and parity of stripe i+1 is
+            // computed while stripe i's columns are still landing.
+            const std::size_t run =
+                (in.size() - done) / map_.stripe_data_size();
+            if (run > 1 && aio_depth_ > 1) {
+                ok = write_full_stripes(
+                    stripe, run,
+                    in.subspan(done, run * map_.stripe_data_size()));
+                advance = run * map_.stripe_data_size();
+            } else {
+                ok = write_full_stripe(stripe, in.subspan(done, span_len));
+            }
         } else {
             ok = write_partial(stripe, in_stripe, in.subspan(done, span_len));
         }
@@ -841,7 +938,7 @@ bool raid6_array::write(std::size_t addr, std::span<const std::byte> in) {
         // hear — the seed's "the host never learns" semantics.
         if (!powered_) return true;
         if (!ok) return false;
-        done += span_len;
+        done += advance;
     }
     return true;
 }
@@ -864,6 +961,63 @@ bool raid6_array::write_full_stripe(std::size_t stripe,
     stats_.full_stripe_writes.fetch_add(1, std::memory_order_relaxed);
     store_columns(stripe, v, cols);
     journal_clear(stripe);
+    return failed_disk_count() <= 2;
+}
+
+bool raid6_array::write_full_stripes(std::size_t first, std::size_t count,
+                                     std::span<const std::byte> in) {
+    aio::stripe_writer writer(*aio_engine_, map_);
+    const std::size_t sds = map_.stripe_data_size();
+    const std::uint32_t k = map_.k();
+    const std::uint32_t n = map_.n();
+    std::size_t done = 0;
+    bool mark_failed = false;
+    while (done < count && !mark_failed) {
+        std::size_t window = std::min(writer.window(), count - done);
+        // A bounded intent log must keep headroom for the whole window: a
+        // synchronous writer marks and clears one stripe at a time, so the
+        // pipelined path caps its window at the free NVRAM words rather
+        // than surface rejections the caller would never have seen.
+        if (journal_.capacity() != 0) {
+            const std::size_t free_slots =
+                journal_.capacity() > journal_.size()
+                    ? journal_.capacity() - journal_.size()
+                    : 0;
+            window = std::min(window, std::max<std::size_t>(1, free_slots));
+        }
+        std::size_t submitted = 0;
+        for (std::size_t i = 0; i < window; ++i) {
+            const std::size_t s = first + done + i;
+            if (!journal_mark(s, intent_log::all_columns)) {
+                mark_failed = true;
+                break;
+            }
+            stats_.full_stripe_writes.fetch_add(1, std::memory_order_relaxed);
+            const std::span<std::byte* const> cols =
+                writer.stage(i, in.data() + (done + i) * sds);
+            // Data columns go into flight before parity exists: the encode
+            // below overlaps with their execution when a worker pool is
+            // attached, and still batches per disk when running inline.
+            writer.submit_columns(s, cols, 0, k);
+            const codes::stripe_view v(cols, map_.rows(),
+                                       map_.element_size());
+            code_.encode(v);
+            writer.submit_columns(s, cols, k, n);
+            ++submitted;
+        }
+        writer.drain();
+        // Store results are ignored just like the synchronous path: failed
+        // disks miss the update and the stripe stays decodable while <= 2
+        // columns are down. The journal entry is cleared only once every
+        // column of the stripe has been given to the backend.
+        if (powered_) {
+            for (std::size_t i = 0; i < submitted; ++i)
+                journal_clear(first + done + i);
+        }
+        if (!powered_) return true;
+        done += submitted;
+    }
+    if (mark_failed) return false;
     return failed_disk_count() <= 2;
 }
 

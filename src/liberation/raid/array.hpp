@@ -15,7 +15,16 @@
 //     a per-disk health_monitor that trips error-prone disks to failed,
 //     and failed disks are automatically replaced from a hot-spare pool
 //     with an incremental background rebuild (md's recovery window)
-//     interleaved with foreground I/O.
+//     interleaved with foreground I/O;
+//   * async I/O pipeline: at io_queue_depth > 1 the hot stripe paths
+//     (multi-stripe full-stripe writes, rebuild slices, scrub passes) run
+//     over an io_uring-style submission/completion queue pair (aio/) that
+//     batches per-disk I/O, coalesces adjacent reads, and overlaps parity
+//     computation with in-flight column writes. Retry/backoff and health
+//     accounting stay in the execution stage (disk_read/disk_write are
+//     the queue's backend); checksum verification runs as a
+//     completion-stage decorator. Queue depth 1 selects the synchronous
+//     paths byte-for-byte.
 #pragma once
 
 #include <algorithm>
@@ -24,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "liberation/aio/queue_pair.hpp"
 #include "liberation/codes/stripe.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
 #include "liberation/integrity/integrity_region.hpp"
@@ -32,6 +42,10 @@
 #include "liberation/raid/io_policy.hpp"
 #include "liberation/raid/stripe_map.hpp"
 #include "liberation/raid/vdisk.hpp"
+
+namespace liberation::util {
+class thread_pool;
+}  // namespace liberation::util
 
 namespace liberation::raid {
 
@@ -69,6 +83,23 @@ struct array_config {
     /// full, writes that would need a new entry fail loudly
     /// (writes_rejected_log_full) instead of proceeding unjournaled.
     std::size_t intent_log_entries = 0;
+
+    // ---- async I/O pipeline ------------------------------------------
+    /// Per-disk in-flight window of the submission-queue engine (aio/).
+    /// > 1 enables the pipelined stripe paths: multi-stripe full-stripe
+    /// writes submit all k+2 column I/Os per stripe and encode parity
+    /// while data is in flight; rebuild and scrub window-prefetch stripes
+    /// with per-disk read coalescing. 1 selects the synchronous
+    /// one-request-at-a-time paths (byte-identical results either way).
+    std::size_t io_queue_depth = 8;
+    /// Coalesce adjacent reads per disk into single transfers (writes are
+    /// never coalesced; see aio::aio_config::merge_adjacent).
+    bool io_merge = true;
+    /// Optional worker pool for the aio engine: batches for different
+    /// disks execute concurrently. Per-disk order is preserved, but
+    /// cross-disk write order becomes nondeterministic — leave null for
+    /// seeded power-loss / chaos replay.
+    util::thread_pool* io_workers = nullptr;
 };
 
 /// Copyable snapshot of the array's operation counters. The live counters
@@ -93,6 +124,11 @@ struct array_stats {
     std::uint64_t reads_unrecoverable = 0;      ///< verified reads refused
     std::uint64_t checksum_metadata_repaired = 0;  ///< stale/damaged CRCs fixed
     std::uint64_t writes_rejected_log_full = 0; ///< intent log at capacity
+    // ---- async I/O pipeline (mirrors aio::aio_stats) ------------------
+    std::uint64_t aio_batches = 0;            ///< transfers issued by the engine
+    std::uint64_t aio_merges = 0;             ///< reads absorbed into a neighbour
+    std::uint64_t aio_split_retries = 0;      ///< merged transfers re-driven split
+    std::uint64_t aio_inflight_highwater = 0; ///< max pending on any one disk
 };
 
 class raid6_array {
@@ -114,7 +150,7 @@ public:
     }
     [[nodiscard]] vdisk& disk(std::uint32_t d) { return *disks_[d]; }
     [[nodiscard]] const vdisk& disk(std::uint32_t d) const { return *disks_[d]; }
-    [[nodiscard]] array_stats stats() const noexcept { return stats_.snapshot(); }
+    [[nodiscard]] array_stats stats() const noexcept;
 
     // ---- end-to-end integrity ----------------------------------------
 
@@ -297,6 +333,34 @@ public:
         std::span<const std::uint32_t> extra_erasures = {},
         bool trust_parity = true);
 
+    /// The classification half of load_stripe_verified() for callers that
+    /// already hold the stripe bytes (the aio stripe_loader prefetches
+    /// whole windows): `buf` holds every column as read, `statuses` the
+    /// per-column read results (non-ok = erased). Behaves exactly like
+    /// load_stripe_verified() from that point on — checksum-first suspect
+    /// demotion, optimal decode, reconstruction re-verify, metadata
+    /// repair, optional writeback.
+    [[nodiscard]] stripe_recovery verify_loaded_stripe(
+        std::size_t stripe, const codes::stripe_view& buf, bool writeback,
+        std::span<const std::uint32_t> extra_erasures, bool trust_parity,
+        std::vector<io_status> statuses);
+
+    // ---- async I/O pipeline ------------------------------------------
+
+    /// The array's submission/completion queue engine. All pipelined
+    /// stripe paths run through it; tests and benches may submit directly
+    /// (requests execute through disk_read/disk_write, so retry, health,
+    /// masking, and the power-loss budget all apply; reads flagged
+    /// aio::flag_verify pass the checksum completion stage).
+    [[nodiscard]] aio::queue_pair& aio_engine() noexcept {
+        return *aio_engine_;
+    }
+    /// Configured per-disk in-flight window (array_config::io_queue_depth;
+    /// 1 = synchronous paths).
+    [[nodiscard]] std::size_t io_queue_depth() const noexcept {
+        return aio_depth_;
+    }
+
     /// Convenience: allocate a stripe buffer with this array's geometry.
     [[nodiscard]] codes::stripe_buffer make_stripe_buffer() const {
         return {map_.rows(), map_.n(), map_.element_size()};
@@ -342,6 +406,15 @@ private:
 
     [[nodiscard]] bool write_full_stripe(std::size_t stripe,
                                          std::span<const std::byte> in);
+    /// Pipelined counterpart of write_full_stripe() for a run of `count`
+    /// consecutive aligned full stripes (io_queue_depth > 1): per window,
+    /// each stripe is journaled, its data columns submitted zero-copy,
+    /// parity encoded while they land, then the window drains and the
+    /// journal entries clear. The window is capped by the intent log's
+    /// headroom so a bounded log never rejects a write the synchronous
+    /// path would have accepted.
+    [[nodiscard]] bool write_full_stripes(std::size_t first, std::size_t count,
+                                          std::span<const std::byte> in);
     [[nodiscard]] bool write_partial(std::size_t stripe, std::size_t in_stripe,
                                      std::span<const std::byte> in);
 
@@ -351,11 +424,14 @@ private:
     io_status disk_write(std::uint32_t disk, std::size_t offset,
                          std::span<const std::byte> in);
 
-    /// True when `offset` on disk `d` lies in a stripe the background
-    /// rebuild has not reached yet — reads there must be treated as
-    /// erasures, not trusted (the spare is still blank).
-    [[nodiscard]] bool rebuild_masked(std::uint32_t d,
-                                      std::size_t offset) const noexcept;
+    /// True when any strip of [offset, offset+len) on disk `d` lies in a
+    /// stripe the background rebuild has not reached yet — reads there
+    /// must be treated as erasures, not trusted (the spare is still
+    /// blank). Extent-aware so coalesced multi-strip reads are masked
+    /// whenever any covered strip is; the aio split-retry then localizes
+    /// the mask to the strips that deserve it.
+    [[nodiscard]] bool rebuild_masked(std::uint32_t d, std::size_t offset,
+                                      std::size_t len) const noexcept;
 
     /// Record a policy-mediated I/O outcome; trips the disk on threshold.
     void note_io(std::uint32_t d, io_kind kind, const io_result& r);
@@ -371,6 +447,10 @@ private:
     /// write failure for the caller) when the log is at capacity.
     [[nodiscard]] bool journal_mark(std::size_t stripe, std::uint64_t cols);
     void journal_clear(std::size_t stripe);
+
+    /// (Re)build the aio engine for the current disk count and register
+    /// the checksum-verify completion stage on it.
+    void rebuild_aio_engine(const aio::aio_config& acfg);
 
     /// disk_read + checksum verification (verify-on-read mode only):
     /// bytes that read fine but fail their stored CRC come back as
@@ -394,6 +474,15 @@ private:
                                              const codes::stripe_view& buf,
                                              std::uint32_t col);
 
+    /// Adapter plugging the array's I/O funnel in as the aio engine's
+    /// execution backend: reads/writes keep their retry, health, masking,
+    /// and power-loss semantics no matter which path submitted them.
+    struct disk_backend final : aio::io_backend {
+        explicit disk_backend(raid6_array& a) noexcept : owner(a) {}
+        io_status execute(const aio::io_desc& d) override;
+        raid6_array& owner;
+    };
+
     stripe_map map_;
     core::liberation_optimal_code code_;
     std::size_t sector_size_;
@@ -403,8 +492,14 @@ private:
     std::vector<integrity::integrity_region> regions_;
     bool verify_reads_;
     std::size_t integrity_block_;
-    bool powered_ = true;
-    std::uint64_t write_budget_ = UINT64_MAX;
+    /// Atomic: aio worker-mode writes may race the power-loss budget.
+    std::atomic<bool> powered_{true};
+    std::atomic<std::uint64_t> write_budget_{UINT64_MAX};
+
+    // ---- async I/O pipeline ------------------------------------------
+    std::size_t aio_depth_;
+    disk_backend backend_{*this};
+    std::unique_ptr<aio::queue_pair> aio_engine_;
 
     // ---- fault tolerance ---------------------------------------------
     virtual_clock clock_;

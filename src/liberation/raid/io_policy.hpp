@@ -62,11 +62,23 @@ struct io_result {
     [[nodiscard]] bool ok() const noexcept { return status == io_status::ok; }
 };
 
+/// The retry funnel every disk read and write of an array goes through
+/// (both the synchronous paths and the aio engine's execution stage):
+/// transient errors are retried up to `max_retries` times with
+/// exponential backoff on the shared virtual clock; fail-stop and latent
+/// errors are permanent by definition and never retried. Checksum
+/// verification runs *after* this stage, so a mismatch is final — it is
+/// a property of the bytes, not of the transfer. Thread-safe: rebuild
+/// and resilver pool workers drive one policy concurrently with the
+/// foreground path (counters are atomic, config is immutable).
 class io_policy {
 public:
     io_policy(const io_policy_config& cfg, virtual_clock& clock) noexcept
         : cfg_(cfg), clock_(&clock) {}
 
+    /// One mediated read (write): retries absorbed, backoff charged to
+    /// the virtual clock, `transient_seen` reported for health
+    /// accounting even when the op ultimately succeeded.
     io_result read(vdisk& disk, std::size_t offset, std::span<std::byte> out);
     io_result write(vdisk& disk, std::size_t offset,
                     std::span<const std::byte> in);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "liberation/aio/stripe_io.hpp"
 #include "liberation/core/hybrid_rebuild.hpp"
 #include "liberation/util/assert.hpp"
 #include "liberation/util/timer.hpp"
@@ -34,71 +35,67 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
         }
     };
 
-    const auto rebuild_stripe = [&](std::size_t s) {
-        // Which codeword columns live on the replaced disks in this stripe?
-        // The replaced disks read back zeros (blank), so they are not
-        // reported as unavailable — they are unioned in as logical
-        // erasures. (During background hot-spare rebuild the array masks
-        // them as `rebuilding`, in which case they are already erased.)
+    // Which codeword columns live on the replaced disks in this stripe?
+    // The replaced disks read back zeros (blank), so they are not
+    // reported as unavailable — they are unioned in as logical
+    // erasures. (During background hot-spare rebuild the array masks
+    // them as `rebuilding`, in which case they are already erased.)
+    const auto target_columns = [&](std::size_t s) {
         std::vector<std::uint32_t> cols;
         for (const std::uint32_t d : replaced_disks) {
             cols.push_back(array.map().column_of_disk(s, d));
         }
         std::sort(cols.begin(), cols.end());
+        return cols;
+    };
 
+    // A journaled stripe may be torn (interrupted write): its parity
+    // cannot be trusted, so reconstructing a data column from it would
+    // write garbage to the replacement. Count the stripe as failed —
+    // recover_write_hole() must re-sync it first. (Parity-only
+    // erasures are safe: they are re-encoded from data.) Torn stripes
+    // also skip checksum classification: their mismatches are
+    // half-landed updates, which resync owns.
+    const auto rebuild_torn = [&](std::size_t s) {
         codes::stripe_buffer buf = array.make_stripe_buffer();
-
-        // A journaled stripe may be torn (interrupted write): its parity
-        // cannot be trusted, so reconstructing a data column from it would
-        // write garbage to the replacement. Count the stripe as failed —
-        // recover_write_hole() must re-sync it first. (Parity-only
-        // erasures are safe: they are re-encoded from data.) Torn stripes
-        // also skip checksum classification: their mismatches are
-        // half-landed updates, which resync owns.
-        if (array.journal().is_dirty(s)) {
-            std::vector<std::uint32_t> erased;
-            if (!array.load_stripe(s, buf.view(), erased)) {
-                note_failure(s);
-                return;
-            }
-            for (const std::uint32_t c : cols) {
-                if (std::find(erased.begin(), erased.end(), c) ==
-                    erased.end()) {
-                    erased.push_back(c);
-                }
-            }
-            std::sort(erased.begin(), erased.end());
-            if (erased.size() > 2) {
-                note_failure(s);
-                return;
-            }
-            for (const std::uint32_t c : erased) {
-                if (c < array.map().k()) {
-                    note_failure(s);
-                    return;
-                }
-            }
-            array.code().decode(buf.view(), erased);
-            if (!array.store_columns(s, buf.view(), erased)) {
-                note_failure(s);
-                return;
-            }
-            rebuilt.fetch_add(1, std::memory_order_relaxed);
-            columns.fetch_add(erased.size(), std::memory_order_relaxed);
-            bytes.fetch_add(static_cast<std::uint64_t>(erased.size()) *
-                                array.map().strip_size(),
-                            std::memory_order_relaxed);
+        std::vector<std::uint32_t> erased;
+        if (!array.load_stripe(s, buf.view(), erased)) {
+            note_failure(s);
             return;
         }
+        for (const std::uint32_t c : target_columns(s)) {
+            if (std::find(erased.begin(), erased.end(), c) == erased.end()) {
+                erased.push_back(c);
+            }
+        }
+        std::sort(erased.begin(), erased.end());
+        if (erased.size() > 2) {
+            note_failure(s);
+            return;
+        }
+        for (const std::uint32_t c : erased) {
+            if (c < array.map().k()) {
+                note_failure(s);
+                return;
+            }
+        }
+        array.code().decode(buf.view(), erased);
+        if (!array.store_columns(s, buf.view(), erased)) {
+            note_failure(s);
+            return;
+        }
+        rebuilt.fetch_add(1, std::memory_order_relaxed);
+        columns.fetch_add(erased.size(), std::memory_order_relaxed);
+        bytes.fetch_add(static_cast<std::uint64_t>(erased.size()) *
+                            array.map().strip_size(),
+                        std::memory_order_relaxed);
+    };
 
-        // Verified rebuild: checksum-suspect survivors are demoted to
-        // erasures alongside the rebuild targets, and every reconstructed
-        // strip is re-verified against its stored checksum before it is
-        // committed to the replacement (load_stripe_verified does both —
-        // a rebuild must never lay corrupt bytes onto fresh hardware).
-        const raid6_array::stripe_recovery rec =
-            array.load_stripe_verified(s, buf.view(), /*writeback=*/false,
-                                       cols);
+    // Shared commit tail of the verified rebuild: reconstructed targets
+    // plus healed survivors go back to disk, or the stripe is failed.
+    const auto commit_recovered = [&](std::size_t s,
+                                      const codes::stripe_view& v,
+                                      const raid6_array::stripe_recovery& rec) {
         if (!rec.ok) {
             note_failure(s);
             return;
@@ -110,7 +107,7 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
             }
         }
         std::sort(commit.begin(), commit.end());
-        if (!array.store_columns(s, buf.view(), commit)) {
+        if (!array.store_columns(s, v, commit)) {
             note_failure(s);
             return;
         }
@@ -121,9 +118,62 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
             std::memory_order_relaxed);
     };
 
+    // Verified rebuild: checksum-suspect survivors are demoted to
+    // erasures alongside the rebuild targets, and every reconstructed
+    // strip is re-verified against its stored checksum before it is
+    // committed to the replacement (load_stripe_verified does both —
+    // a rebuild must never lay corrupt bytes onto fresh hardware).
+    const auto rebuild_stripe = [&](std::size_t s) {
+        if (array.journal().is_dirty(s)) {
+            rebuild_torn(s);
+            return;
+        }
+        codes::stripe_buffer buf = array.make_stripe_buffer();
+        const std::vector<std::uint32_t> cols = target_columns(s);
+        const raid6_array::stripe_recovery rec =
+            array.load_stripe_verified(s, buf.view(), /*writeback=*/false,
+                                       cols);
+        commit_recovered(s, buf.view(), rec);
+    };
+
     if (pool != nullptr) {
         pool->parallel_for(last - first,
                            [&](std::size_t i) { rebuild_stripe(first + i); });
+    } else if (array.io_queue_depth() > 1) {
+        // Pipelined rebuild slice: batched multi-stripe reads through the
+        // submission queue (one merged transfer per surviving disk per
+        // window), long-lived slot buffers instead of a fresh
+        // stripe_buffer per stripe, and no reads at all for the rebuild
+        // targets. Torn stripes fall back to the per-stripe raw path.
+        aio::stripe_loader loader(array.aio_engine(), array.map());
+        std::vector<std::uint32_t> cols_scratch;
+        loader.run(
+            first, last,
+            /*skip_stripe=*/
+            [&](std::size_t s) { return array.journal().is_dirty(s); },
+            /*skip_column=*/
+            [&](std::size_t s, std::uint32_t col) {
+                for (const std::uint32_t d : replaced_disks) {
+                    if (array.map().column_of_disk(s, d) == col) return true;
+                }
+                return false;
+            },
+            /*on_skipped=*/rebuild_torn,
+            /*process=*/
+            [&](std::size_t s, const codes::stripe_view& v,
+                std::vector<io_status>& statuses) {
+                cols_scratch.clear();
+                for (const std::uint32_t d : replaced_disks) {
+                    cols_scratch.push_back(array.map().column_of_disk(s, d));
+                }
+                std::sort(cols_scratch.begin(), cols_scratch.end());
+                const raid6_array::stripe_recovery rec =
+                    array.verify_loaded_stripe(s, v, /*writeback=*/false,
+                                               cols_scratch,
+                                               /*trust_parity=*/true,
+                                               std::move(statuses));
+                commit_recovered(s, v, rec);
+            });
     } else {
         for (std::size_t s = first; s < last; ++s) rebuild_stripe(s);
     }

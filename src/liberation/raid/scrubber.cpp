@@ -1,17 +1,152 @@
 #include "liberation/raid/scrubber.hpp"
 
+#include <utility>
 #include <vector>
 
+#include "liberation/aio/stripe_io.hpp"
 #include "liberation/core/error_correction.hpp"
 
 namespace liberation::raid {
 
+namespace {
+
+// Accounting tail shared by the synchronous and pipelined scrub loops:
+// everything that happens to one stripe after its verified load.
+void account_stripe(raid6_array& array, scrub_summary& summary, std::size_t s,
+                    const codes::stripe_view& v,
+                    const raid6_array::stripe_recovery& rec) {
+    const std::uint32_t k = array.map().k();
+    for (const std::uint32_t col : rec.erased) {
+        switch (rec.statuses[col]) {
+            case io_status::transient_error:
+                ++summary.transient_columns;
+                break;
+            case io_status::unreadable_sector:
+                ++summary.latent_columns;
+                break;
+            default:
+                break;
+        }
+    }
+    summary.checksum_mismatch_columns +=
+        rec.healed.size() + rec.meta_repaired.size();
+
+    if (!rec.ok) {
+        if (rec.erased.size() > 2) {
+            // Beyond the decode budget. Distinguish "retry soon" from
+            // real degradation, as the seed scrubber did.
+            bool all_transient = !rec.erased.empty();
+            for (const std::uint32_t col : rec.erased) {
+                if (rec.statuses[col] != io_status::transient_error) {
+                    all_transient = false;
+                }
+            }
+            if (all_transient) {
+                ++summary.skipped_transient;
+            } else {
+                ++summary.skipped_degraded;
+            }
+        } else {
+            // Classification ran and could not produce a verified
+            // stripe: more corrupt columns than erasure decoding can
+            // carry, with parity refusing to corroborate the bytes.
+            ++summary.uncorrectable;
+        }
+        return;
+    }
+
+    summary.repaired_metadata += rec.meta_repaired.size();
+    for (const std::uint32_t col : rec.healed) {
+        if (col < k) {
+            ++summary.repaired_data;
+        } else {
+            ++summary.repaired_parity;
+        }
+    }
+    if (!rec.erased.empty()) {
+        // Degraded stripe scrubbed anyway — the checksum layer
+        // pinpoints corruption without needing every column, which the
+        // parity cross-check never could.
+        ++summary.degraded_scrubbed;
+        summary.repaired_on_degraded += rec.healed.size();
+        return;
+    }
+    if (rec.healed.empty() && rec.meta_repaired.empty()) {
+        // Checksums call the stripe clean. Cross-check parity anyway
+        // (Section 5): this is the fallback that catches damage the
+        // checksum domain cannot see, e.g. corruption that struck data
+        // and its stored checksum consistently.
+        const core::scrub_report report =
+            core::scrub_stripe(v, array.code().geom());
+        switch (report.status) {
+            case core::scrub_status::clean:
+                ++summary.clean;
+                break;
+            case core::scrub_status::corrected_data: {
+                ++summary.repaired_data;
+                ++summary.parity_fallback_repairs;
+                const std::uint32_t cols[] = {report.column};
+                array.store_columns(s, v, cols);
+                break;
+            }
+            case core::scrub_status::corrected_p: {
+                ++summary.repaired_parity;
+                ++summary.parity_fallback_repairs;
+                const std::uint32_t cols[] = {array.code().p_column()};
+                array.store_columns(s, v, cols);
+                break;
+            }
+            case core::scrub_status::corrected_q: {
+                ++summary.repaired_parity;
+                ++summary.parity_fallback_repairs;
+                const std::uint32_t cols[] = {array.code().q_column()};
+                array.store_columns(s, v, cols);
+                break;
+            }
+            case core::scrub_status::uncorrectable:
+                ++summary.uncorrectable;
+                break;
+        }
+    }
+}
+
+}  // namespace
+
 scrub_summary scrub_array(raid6_array& array) {
     scrub_summary summary;
-    codes::stripe_buffer buf = array.make_stripe_buffer();
-    const std::uint32_t k = array.map().k();
+    const std::size_t stripes = array.map().stripes();
 
-    for (std::size_t s = 0; s < array.map().stripes(); ++s) {
+    if (array.io_queue_depth() > 1) {
+        // Pipelined scrub: the loader fetches a whole window of stripes
+        // ahead of verification, one merged transfer per disk, while the
+        // accounting below consumes them in stripe order. Torn stripes
+        // are skipped exactly as in the synchronous loop.
+        aio::stripe_loader loader(array.aio_engine(), array.map());
+        loader.run(
+            0, stripes,
+            /*skip_stripe=*/
+            [&](std::size_t s) { return array.journal().is_dirty(s); },
+            /*skip_column=*/nullptr,
+            /*on_skipped=*/
+            [&](std::size_t) {
+                ++summary.stripes_scanned;
+                ++summary.skipped_torn;
+            },
+            /*process=*/
+            [&](std::size_t s, const codes::stripe_view& v,
+                std::vector<io_status>& statuses) {
+                ++summary.stripes_scanned;
+                const raid6_array::stripe_recovery rec =
+                    array.verify_loaded_stripe(s, v, /*writeback=*/true, {},
+                                               /*trust_parity=*/true,
+                                               std::move(statuses));
+                account_stripe(array, summary, s, v, rec);
+            });
+        return summary;
+    }
+
+    codes::stripe_buffer buf = array.make_stripe_buffer();
+    for (std::size_t s = 0; s < stripes; ++s) {
         ++summary.stripes_scanned;
         if (array.journal().is_dirty(s)) {
             ++summary.skipped_torn;
@@ -19,98 +154,7 @@ scrub_summary scrub_array(raid6_array& array) {
         }
         const raid6_array::stripe_recovery rec =
             array.load_stripe_verified(s, buf.view(), /*writeback=*/true);
-        for (const std::uint32_t col : rec.erased) {
-            switch (rec.statuses[col]) {
-                case io_status::transient_error:
-                    ++summary.transient_columns;
-                    break;
-                case io_status::unreadable_sector:
-                    ++summary.latent_columns;
-                    break;
-                default:
-                    break;
-            }
-        }
-        summary.checksum_mismatch_columns +=
-            rec.healed.size() + rec.meta_repaired.size();
-
-        if (!rec.ok) {
-            if (rec.erased.size() > 2) {
-                // Beyond the decode budget. Distinguish "retry soon" from
-                // real degradation, as the seed scrubber did.
-                bool all_transient = !rec.erased.empty();
-                for (const std::uint32_t col : rec.erased) {
-                    if (rec.statuses[col] != io_status::transient_error) {
-                        all_transient = false;
-                    }
-                }
-                if (all_transient) {
-                    ++summary.skipped_transient;
-                } else {
-                    ++summary.skipped_degraded;
-                }
-            } else {
-                // Classification ran and could not produce a verified
-                // stripe: more corrupt columns than erasure decoding can
-                // carry, with parity refusing to corroborate the bytes.
-                ++summary.uncorrectable;
-            }
-            continue;
-        }
-
-        summary.repaired_metadata += rec.meta_repaired.size();
-        for (const std::uint32_t col : rec.healed) {
-            if (col < k) {
-                ++summary.repaired_data;
-            } else {
-                ++summary.repaired_parity;
-            }
-        }
-        if (!rec.erased.empty()) {
-            // Degraded stripe scrubbed anyway — the checksum layer
-            // pinpoints corruption without needing every column, which the
-            // parity cross-check never could.
-            ++summary.degraded_scrubbed;
-            summary.repaired_on_degraded += rec.healed.size();
-            continue;
-        }
-        if (rec.healed.empty() && rec.meta_repaired.empty()) {
-            // Checksums call the stripe clean. Cross-check parity anyway
-            // (Section 5): this is the fallback that catches damage the
-            // checksum domain cannot see, e.g. corruption that struck data
-            // and its stored checksum consistently.
-            const core::scrub_report report =
-                core::scrub_stripe(buf.view(), array.code().geom());
-            switch (report.status) {
-                case core::scrub_status::clean:
-                    ++summary.clean;
-                    break;
-                case core::scrub_status::corrected_data: {
-                    ++summary.repaired_data;
-                    ++summary.parity_fallback_repairs;
-                    const std::uint32_t cols[] = {report.column};
-                    array.store_columns(s, buf.view(), cols);
-                    break;
-                }
-                case core::scrub_status::corrected_p: {
-                    ++summary.repaired_parity;
-                    ++summary.parity_fallback_repairs;
-                    const std::uint32_t cols[] = {array.code().p_column()};
-                    array.store_columns(s, buf.view(), cols);
-                    break;
-                }
-                case core::scrub_status::corrected_q: {
-                    ++summary.repaired_parity;
-                    ++summary.parity_fallback_repairs;
-                    const std::uint32_t cols[] = {array.code().q_column()};
-                    array.store_columns(s, buf.view(), cols);
-                    break;
-                }
-                case core::scrub_status::uncorrectable:
-                    ++summary.uncorrectable;
-                    break;
-            }
-        }
+        account_stripe(array, summary, s, buf.view(), rec);
     }
     return summary;
 }

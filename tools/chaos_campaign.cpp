@@ -4,7 +4,8 @@
 //
 // Usage:
 //   chaos_campaign [--seed N] [--ops N] [--spares N] [--stripes N]
-//                  [--read-rate R] [--write-rate R] [--quiet]
+//                  [--queue-depth N] [--read-rate R] [--write-rate R]
+//                  [--quiet]
 //
 // Exit status 0 iff the campaign met its acceptance criteria: zero shadow
 // mismatches, zero unrecovered stripes, no read ever served unverified
@@ -93,7 +94,8 @@ void print_report(const chaos_config& cfg, const chaos_report& rep) {
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--spares N] [--stripes N]\n"
-                 "          [--read-rate R] [--write-rate R] [--quiet]\n",
+                 "          [--queue-depth N] [--read-rate R] [--write-rate R]\n"
+                 "          [--quiet]\n",
                  argv0);
     std::exit(2);
 }
@@ -121,6 +123,11 @@ int main(int argc, char** argv) {
                 std::strtoul(v, nullptr, 0));
         } else if (const char* v = arg("--stripes")) {
             cfg.array.stripes = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--queue-depth")) {
+            // Submission-queue depth of the array's aio engine: 1 runs the
+            // synchronous paths, > 1 pipelines full-stripe writes, rebuild
+            // reads, and scrub prefetch under the same fault campaign.
+            cfg.array.io_queue_depth = std::strtoull(v, nullptr, 0);
         } else if (const char* v = arg("--read-rate")) {
             cfg.transient_read_rate = std::strtod(v, nullptr);
         } else if (const char* v = arg("--write-rate")) {
