@@ -75,6 +75,25 @@ constexpr std::uint32_t kRebuildK = 4;
 constexpr std::size_t kRebuildElem = 128;
 constexpr std::size_t kRebuildStripes = 512;
 
+// Render every populated latency histogram of `h` as one JSON object
+// (name → count/p50/p95/p99/max in ns) for the reporter's meta header.
+std::string histograms_json(obs::hub& h) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, snap] : h.histogram_snapshots()) {
+        if (snap.count == 0) continue;
+        if (!first) out += ',';
+        first = false;
+        out += '"' + name + "\":{\"count\":" + std::to_string(snap.count) +
+               ",\"p50_ns\":" + std::to_string(snap.p50) +
+               ",\"p95_ns\":" + std::to_string(snap.p95) +
+               ",\"p99_ns\":" + std::to_string(snap.p99) +
+               ",\"max_ns\":" + std::to_string(snap.max) + '}';
+    }
+    out += '}';
+    return out;
+}
+
 double rebuild_gbps(std::size_t qd, const std::vector<std::byte>& image) {
     raid6_array a(config(kRebuildK, kRebuildElem, kRebuildStripes, qd));
     if (!a.write(0, image)) std::abort();
@@ -131,6 +150,16 @@ int main(int argc, char** argv) {
             if (qd == 1) base = gbps;
             rep.row(static_cast<std::uint32_t>(qd), {gbps, gbps / base});
         }
+    }
+
+    // Stamp one observability sample into the JSON header: the latency
+    // histograms of a qd=8 full-device rewrite, so a recorded bench run
+    // carries the stage distributions that produced its numbers.
+    if (rep.json()) {
+        raid6_array a(config(kWriteK, kWriteElem, kWriteStripes, 8));
+        const std::vector<std::byte> image = host_image(a.capacity());
+        if (!a.write(0, image) || !a.write(0, image)) std::abort();
+        rep.meta("obs_histograms", histograms_json(a.obs()));
     }
     return 0;
 }

@@ -211,6 +211,15 @@ public:
         push(std::move(r));
     }
 
+    /// Attach an extra header field to the JSON object: a pre-rendered
+    /// JSON value (use num()/str(), or any rendered JSON — e.g. a nested
+    /// object of histogram snapshots). No-op in table mode. Fields are
+    /// emitted in insertion order, after "xor_impl" and before "rows".
+    void meta(const std::string& key, const std::string& json_value) {
+        if (!json_) return;
+        meta_ += ",\"" + escape(key) + "\":" + json_value;
+    }
+
     /// Render a double as a JSON number.
     [[nodiscard]] static std::string num(double v) {
         char buf[32];
@@ -230,10 +239,11 @@ public:
     void finish() {
         if (!json_ || finished_) return;
         finished_ = true;
-        std::printf("{\"bench\":\"%s\",\"xor_impl\":\"%s\",\"rows\":[",
+        std::printf("{\"bench\":\"%s\",\"xor_impl\":\"%s\"%s,\"rows\":[",
                     escape(name_).c_str(),
                     liberation::xorops::impl_name(
-                        liberation::xorops::active_impl()));
+                        liberation::xorops::active_impl()),
+                    meta_.c_str());
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             std::printf("%s{%s}", i != 0 ? "," : "", rows_[i].c_str());
         }
@@ -260,6 +270,7 @@ private:
 
     std::string name_;
     std::string section_;
+    std::string meta_;
     std::vector<std::string> cols_;
     std::vector<std::string> rows_;
     bool json_ = false;

@@ -21,6 +21,10 @@ namespace liberation::util {
 class thread_pool;
 }  // namespace liberation::util
 
+namespace liberation::obs {
+class hub;
+}  // namespace liberation::obs
+
 namespace liberation::aio {
 
 enum class op_kind : std::uint8_t { read, write };
@@ -76,6 +80,12 @@ struct aio_config {
     /// nondeterministic, so seeded power-loss simulation and chaos replay
     /// require workers == nullptr.
     util::thread_pool* workers = nullptr;
+    /// Optional observability hub (must outlive the queue_pair). When
+    /// set, every request is timestamped on the hub's clock and the
+    /// submit→execute→complete pipeline feeds three stage histograms
+    /// (aio_queue_wait_ns, aio_execute_ns, aio_complete_ns) plus trace
+    /// spans when tracing is enabled. Null = no instrumentation.
+    obs::hub* obs = nullptr;
 };
 
 /// Counter snapshot of a queue_pair (monotonic over its lifetime).

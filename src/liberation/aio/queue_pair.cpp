@@ -15,6 +15,31 @@ queue_pair::queue_pair(io_backend& backend, std::uint32_t disks,
     pending_.reserve(disks);
     for (std::uint32_t d = 0; d < disks; ++d)
         pending_.emplace_back(cfg_.queue_depth);
+    if (cfg_.obs != nullptr) {
+        auto& m = cfg_.obs->metrics();
+        hist_queue_wait_ = &m.get_histogram(
+            "aio_queue_wait_ns", "submit-to-execute wait in the ring");
+        hist_execute_ = &m.get_histogram(
+            "aio_execute_ns", "backend transfer execution latency");
+        hist_complete_ = &m.get_histogram(
+            "aio_complete_ns", "submit-to-completion request latency");
+    }
+}
+
+std::uint64_t queue_pair::now_ns() const noexcept {
+    return cfg_.obs != nullptr ? cfg_.obs->now_ns() : 0;
+}
+
+aio_stats queue_pair::stats() const noexcept {
+    aio_stats s;
+    s.submitted = stats_.submitted.load(std::memory_order_relaxed);
+    s.completed = stats_.completed.load(std::memory_order_relaxed);
+    s.batches = stats_.batches.load(std::memory_order_relaxed);
+    s.merges = stats_.merges.load(std::memory_order_relaxed);
+    s.split_retries = stats_.split_retries.load(std::memory_order_relaxed);
+    s.inflight_highwater =
+        stats_.inflight_highwater.load(std::memory_order_relaxed);
+    return s;
 }
 
 queue_pair::~queue_pair() { drain(); }
@@ -24,21 +49,26 @@ void queue_pair::add_completion_stage(completion_stage stage) {
 }
 
 void queue_pair::submit(const io_desc& d) {
-    ++stats_.submitted;
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
     fragment f;
     f.desc = d;
     f.seq = next_seq_++;
+    f.submit_ts = now_ns();
     if (d.disk >= pending_.size()) {
         // No window to queue in: complete immediately, sequenced at drain.
         f.status = raid::io_status::out_of_range;
+        f.done_ts = f.submit_ts;
         std::lock_guard lock(done_mutex_);
         done_.push_back(f);
         return;
     }
     ring<fragment>& window = pending_[d.disk];
     window.push(f);
-    stats_.inflight_highwater =
-        std::max<std::uint64_t>(stats_.inflight_highwater, window.size());
+    std::uint64_t hw = stats_.inflight_highwater.load(std::memory_order_relaxed);
+    while (window.size() > hw &&
+           !stats_.inflight_highwater.compare_exchange_weak(
+               hw, window.size(), std::memory_order_relaxed)) {
+    }
     if (window.full()) flush_disk(d.disk);
 }
 
@@ -63,7 +93,7 @@ void queue_pair::build_batches(std::uint32_t disk,
                 prev.merged.data + prev.merged.len == f.desc.data) {
                 prev.merged.len += f.desc.len;
                 ++prev.count;
-                ++stats_.merges;
+                stats_.merges.fetch_add(1, std::memory_order_relaxed);
                 continue;
             }
         }
@@ -87,27 +117,49 @@ void queue_pair::flush_disk(std::uint32_t disk) {
     flush_batches_.clear();
     build_batches(disk, flush_frags_, flush_batches_);
     for (const batch& b : flush_batches_) {
-        ++stats_.batches;
-        if (execute_one(b, flush_frags_.data())) ++stats_.split_retries;
+        stats_.batches.fetch_add(1, std::memory_order_relaxed);
+        if (execute_one(b, flush_frags_.data())) {
+            stats_.split_retries.fetch_add(1, std::memory_order_relaxed);
+        }
     }
     // No workers → nothing contends on done_mutex_; append directly.
     done_.insert(done_.end(), flush_frags_.begin(), flush_frags_.end());
 }
 
 bool queue_pair::execute_one(const batch& b, fragment* frags) {
-    const raid::io_status merged_status = backend_.execute(b.merged);
     fragment* const first = frags + b.first;
+    const std::uint64_t start = now_ns();
+    if (hist_queue_wait_ != nullptr) {
+        for (std::size_t i = 0; i < b.count; ++i) {
+            hist_queue_wait_->record(start >= first[i].submit_ts
+                                         ? start - first[i].submit_ts
+                                         : 0);
+        }
+    }
+    const raid::io_status merged_status = backend_.execute(b.merged);
+    const std::uint64_t done = now_ns();
+    if (hist_execute_ != nullptr) {
+        hist_execute_->record(done >= start ? done - start : 0);
+    }
+    if (cfg_.obs != nullptr && cfg_.obs->trace().enabled()) {
+        cfg_.obs->trace().record("aio.execute", "aio", start,
+                                 done >= start ? done - start : 0);
+    }
     if (merged_status == raid::io_status::ok || b.count == 1) {
-        for (std::size_t i = 0; i < b.count; ++i)
+        for (std::size_t i = 0; i < b.count; ++i) {
             first[i].status = merged_status;
+            first[i].done_ts = done;
+        }
         return false;
     }
     // A coalesced transfer failed: split and re-drive each original
     // request so the failure lands only on the fragments that deserve it
     // (e.g. one latent sector inside an otherwise healthy extent, or the
     // masked strips of a rebuilding disk).
-    for (std::size_t i = 0; i < b.count; ++i)
+    for (std::size_t i = 0; i < b.count; ++i) {
         first[i].status = backend_.execute(first[i].desc);
+        first[i].done_ts = now_ns();
+    }
     return true;
 }
 
@@ -122,16 +174,16 @@ void queue_pair::run_batches_on_workers(std::uint32_t disk) {
         ++workers_outstanding_;
     }
     cfg_.workers->submit([this, frags, batches]() {
-        std::uint64_t n_batches = 0;
-        std::uint64_t n_splits = 0;
+        // Counters are atomic, so workers account directly — no
+        // drain-time delta folding needed.
         for (const batch& b : *batches) {
-            ++n_batches;
-            if (execute_one(b, frags->data())) ++n_splits;
+            stats_.batches.fetch_add(1, std::memory_order_relaxed);
+            if (execute_one(b, frags->data())) {
+                stats_.split_retries.fetch_add(1, std::memory_order_relaxed);
+            }
         }
         std::lock_guard lock(done_mutex_);
         done_.insert(done_.end(), frags->begin(), frags->end());
-        worker_batches_ += n_batches;
-        worker_split_retries_ += n_splits;
         --workers_outstanding_;
         done_cv_.notify_all();
     });
@@ -141,10 +193,6 @@ void queue_pair::wait_for_workers() {
     if (cfg_.workers == nullptr) return;
     std::unique_lock lock(done_mutex_);
     done_cv_.wait(lock, [this] { return workers_outstanding_ == 0; });
-    stats_.batches += worker_batches_;
-    stats_.split_retries += worker_split_retries_;
-    worker_batches_ = 0;
-    worker_split_retries_ = 0;
 }
 
 void queue_pair::drain() {
@@ -156,10 +204,20 @@ void queue_pair::drain() {
     // reused as scratch for the next cycle.
     std::sort(done_.begin(), done_.end(),
               [](const fragment& a, const fragment& b) { return a.seq < b.seq; });
+    const bool tracing = cfg_.obs != nullptr && cfg_.obs->trace().enabled();
     for (const fragment& f : done_) {
         raid::io_status s = f.status;
         for (const completion_stage& stage : stages_) s = stage(f.desc, s);
-        ++stats_.completed;
+        stats_.completed.fetch_add(1, std::memory_order_relaxed);
+        if (hist_complete_ != nullptr) {
+            hist_complete_->record(
+                f.done_ts >= f.submit_ts ? f.done_ts - f.submit_ts : 0);
+        }
+        if (tracing) {
+            cfg_.obs->trace().record(
+                "aio.complete", "aio", f.submit_ts,
+                f.done_ts >= f.submit_ts ? f.done_ts - f.submit_ts : 0);
+        }
         completions_.push_back({f.desc.user_data, s, f.desc.disk});
     }
     done_.clear();

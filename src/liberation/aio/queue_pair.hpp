@@ -25,6 +25,7 @@
 // traffic would dominate the real I/O work being batched).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -33,6 +34,7 @@
 
 #include "liberation/aio/aio.hpp"
 #include "liberation/aio/ring.hpp"
+#include "liberation/obs/obs.hpp"
 
 namespace liberation::aio {
 
@@ -80,7 +82,11 @@ public:
     /// Hand over and clear the accumulated completions.
     std::vector<io_cqe> take_completions();
 
-    [[nodiscard]] const aio_stats& stats() const noexcept { return stats_; }
+    /// Relaxed snapshot of the engine counters. By value: the live
+    /// counters are atomic (worker batches update them concurrently), so
+    /// callers — including concurrent exporters — get a coherent copy
+    /// instead of a reference into racing storage.
+    [[nodiscard]] aio_stats stats() const noexcept;
     [[nodiscard]] const aio_config& config() const noexcept { return cfg_; }
 
 private:
@@ -89,6 +95,13 @@ private:
         io_desc desc;
         std::uint64_t seq = 0;  // global submission order
         raid::io_status status = raid::io_status::ok;
+        // Stage timestamps on the hub's clock (0 without a hub). done_ts
+        // is captured right after the backend call — not at drain — so
+        // completion latency reflects real time-in-pipeline: at depth 8
+        // the last request of a window waits behind seven transfers, at
+        // depth 1 it never waits.
+        std::uint64_t submit_ts = 0;
+        std::uint64_t done_ts = 0;
     };
     // One transfer handed to the backend: a [first, first+count) range of
     // merged fragments inside the flush's flat fragment array.
@@ -109,10 +122,28 @@ private:
     void run_batches_on_workers(std::uint32_t disk);
     void wait_for_workers();
 
+    [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
     io_backend& backend_;
     aio_config cfg_;
-    aio_stats stats_;
+    /// Live counters (see aio_stats for semantics). Atomic: worker-pool
+    /// batches increment them concurrently with the submitting thread,
+    /// and exporters may snapshot at any time.
+    struct atomic_aio_stats {
+        std::atomic<std::uint64_t> submitted{0};
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> batches{0};
+        std::atomic<std::uint64_t> merges{0};
+        std::atomic<std::uint64_t> split_retries{0};
+        std::atomic<std::uint64_t> inflight_highwater{0};
+    };
+    atomic_aio_stats stats_;
     std::vector<completion_stage> stages_;
+
+    // Stage histograms resolved once from cfg_.obs (null without a hub).
+    obs::latency_histogram* hist_queue_wait_ = nullptr;
+    obs::latency_histogram* hist_execute_ = nullptr;
+    obs::latency_histogram* hist_complete_ = nullptr;
 
     // Per-disk pending submissions (the in-flight windows).
     std::vector<ring<fragment>> pending_;
@@ -130,8 +161,6 @@ private:
     std::mutex done_mutex_;
     std::condition_variable done_cv_;
     std::size_t workers_outstanding_ = 0;
-    std::uint64_t worker_batches_ = 0;        // stats delta from workers
-    std::uint64_t worker_split_retries_ = 0;  // stats delta from workers
 };
 
 }  // namespace liberation::aio

@@ -1,0 +1,12 @@
+#include "liberation/obs/obs.hpp"
+
+namespace liberation::obs {
+
+std::uint64_t steady_now_ns(const void* /*ctx*/) noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace liberation::obs

@@ -1,0 +1,103 @@
+#include "liberation/obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace liberation::obs {
+
+registry::entry& registry::get_entry(const std::string& name, kind k,
+                                     std::string help) {
+    std::lock_guard lock(mutex_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        entry e;
+        e.k = k;
+        e.help = std::move(help);
+        switch (k) {
+            case kind::counter_k:
+                e.c = std::make_unique<counter>();
+                break;
+            case kind::gauge_k:
+                e.g = std::make_unique<gauge>();
+                break;
+            case kind::histogram_k:
+                e.h = std::make_unique<latency_histogram>();
+                break;
+        }
+        it = metrics_.emplace(name, std::move(e)).first;
+    } else if (it->second.k != k) {
+        throw std::logic_error("obs::registry: metric '" + name +
+                               "' registered with a different kind");
+    }
+    return it->second;
+}
+
+counter& registry::get_counter(const std::string& name, std::string help) {
+    return *get_entry(name, kind::counter_k, std::move(help)).c;
+}
+
+gauge& registry::get_gauge(const std::string& name, std::string help) {
+    return *get_entry(name, kind::gauge_k, std::move(help)).g;
+}
+
+latency_histogram& registry::get_histogram(const std::string& name,
+                                           std::string help) {
+    return *get_entry(name, kind::histogram_k, std::move(help)).h;
+}
+
+std::string registry::metrics_text(const std::string& prefix) const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    out.reserve(metrics_.size() * 128);
+    const auto line = [&out](const std::string& name, std::uint64_t v) {
+        out += name;
+        out += ' ';
+        out += std::to_string(v);
+        out += '\n';
+    };
+    for (const auto& [name, e] : metrics_) {
+        const std::string full = prefix + name;
+        if (!e.help.empty()) {
+            out += "# HELP " + full + ' ' + e.help + '\n';
+        }
+        switch (e.k) {
+            case kind::counter_k:
+                out += "# TYPE " + full + " counter\n";
+                line(full, e.c->value());
+                break;
+            case kind::gauge_k:
+                out += "# TYPE " + full + " gauge\n";
+                out += full;
+                out += ' ';
+                out += std::to_string(e.g->value());
+                out += '\n';
+                break;
+            case kind::histogram_k: {
+                const latency_histogram::snapshot_t s = e.h->snapshot();
+                out += "# TYPE " + full + " summary\n";
+                line(full + "{quantile=\"0.5\"}", s.p50);
+                line(full + "{quantile=\"0.95\"}", s.p95);
+                line(full + "{quantile=\"0.99\"}", s.p99);
+                line(full + "_sum", s.sum);
+                line(full + "_count", s.count);
+                out += "# TYPE " + full + "_max gauge\n";
+                line(full + "_max", s.max);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, latency_histogram::snapshot_t>>
+registry::histogram_snapshots() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, latency_histogram::snapshot_t>> out;
+    for (const auto& [name, e] : metrics_) {
+        if (e.k == kind::histogram_k) {
+            out.emplace_back(name, e.h->snapshot());
+        }
+    }
+    return out;
+}
+
+}  // namespace liberation::obs

@@ -1,0 +1,196 @@
+// Lock-cheap metrics registry: named monotonic counters, gauges, and
+// fixed-bucket power-of-two latency histograms.
+//
+// Hot paths hold references obtained once from the registry (registration
+// takes a mutex, updates are relaxed atomics on stable storage), so
+// recording a sample costs one clock read plus a handful of relaxed
+// atomic adds — cheap enough to leave on in production builds. The whole
+// layer compiles out with -DLIBERATION_OBS_DISABLED (cmake option
+// LIBERATION_OBS=OFF): the API stays, record() and now_ns() become
+// no-ops, and exporters render empty families.
+//
+// Export is Prometheus-style text exposition (registry::metrics_text):
+// counters and gauges as single samples, histograms as summary families
+// with p50/p95/p99 quantile labels plus _sum/_count and a _max gauge.
+// Quantiles are bucket upper bounds (values bucketed by floor(log2(ns))),
+// so a reported p99 of 16384 means "99% of samples completed in under
+// 16.4 us" — coarse, but stable, allocation-free, and mergeable.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace liberation::obs {
+
+#ifdef LIBERATION_OBS_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic counter. add()/inc() from any thread; mirror() overwrites
+/// with a snapshot of an *external* monotonic source (the collector
+/// pattern: array_stats counters are the source of truth, the registry
+/// copy exists so one exposition shows everything).
+class counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept {
+        if constexpr (kEnabled) v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void mirror(std::uint64_t v) noexcept {
+        if constexpr (kEnabled) v_.store(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time gauge (signed: deltas may go negative).
+class gauge {
+public:
+    void set(std::int64_t v) noexcept {
+        if constexpr (kEnabled) v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t n) noexcept {
+        if constexpr (kEnabled) v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram: bucket i counts samples v (nanoseconds)
+/// with floor(log2(v)) == i, i.e. v in [2^i, 2^(i+1)); samples of 0 land
+/// in bucket 0. 64 buckets cover every uint64 value, so record() never
+/// clips. All updates are relaxed atomics — recording is wait-free and
+/// safe from any thread; snapshots are racy-but-coherent-enough in the
+/// same sense as array_stats (each bucket individually exact, the set
+/// possibly mid-update).
+class latency_histogram {
+public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void record(std::uint64_t value_ns) noexcept {
+        if constexpr (!kEnabled) {
+            (void)value_ns;
+            return;
+        }
+        buckets_[bucket_of(value_ns)].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value_ns, std::memory_order_relaxed);
+        std::uint64_t prev = max_.load(std::memory_order_relaxed);
+        while (value_ns > prev &&
+               !max_.compare_exchange_weak(prev, value_ns,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    /// floor(log2(v)) clamped to [0, kBuckets); 0 maps to bucket 0.
+    [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+        if (v <= 1) return 0;
+        std::size_t b = 0;
+        while (v >>= 1) ++b;
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+    /// Upper bound (exclusive) of bucket i in nanoseconds — the value
+    /// quantiles report.
+    [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+        return i + 1 >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << (i + 1));
+    }
+
+    struct snapshot_t {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t max = 0;
+        std::uint64_t p50 = 0;
+        std::uint64_t p95 = 0;
+        std::uint64_t p99 = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        /// Smallest bucket upper bound covering at least q of the samples.
+        [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+            if (count == 0) return 0;
+            const auto want = static_cast<std::uint64_t>(
+                q * static_cast<double>(count) + 0.5);
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < kBuckets; ++i) {
+                cum += buckets[i];
+                if (cum >= want && cum != 0) return bucket_upper(i);
+            }
+            return bucket_upper(kBuckets - 1);
+        }
+    };
+
+    [[nodiscard]] snapshot_t snapshot() const noexcept {
+        snapshot_t s;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+            s.count += s.buckets[i];
+        }
+        s.sum = sum_.load(std::memory_order_relaxed);
+        s.max = max_.load(std::memory_order_relaxed);
+        s.p50 = s.quantile(0.50);
+        s.p95 = s.quantile(0.95);
+        s.p99 = s.quantile(0.99);
+        return s;
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named metric store. get_*() registers on first use and returns a
+/// reference that stays valid for the registry's lifetime (metrics are
+/// heap nodes; the map only holds pointers), so hot paths resolve names
+/// once and never touch the mutex again. Calling get_* with a name that
+/// exists as a different metric kind throws std::logic_error.
+class registry {
+public:
+    counter& get_counter(const std::string& name, std::string help = "");
+    gauge& get_gauge(const std::string& name, std::string help = "");
+    latency_histogram& get_histogram(const std::string& name,
+                                     std::string help = "");
+
+    /// Prometheus-style text exposition of every registered metric, each
+    /// family prefixed with `prefix` (default "liberation_"). Safe to call
+    /// concurrently with metric updates (relaxed snapshot semantics).
+    [[nodiscard]] std::string metrics_text(
+        const std::string& prefix = "liberation_") const;
+
+    /// Name → snapshot of every registered histogram, in name order.
+    [[nodiscard]] std::vector<
+        std::pair<std::string, latency_histogram::snapshot_t>>
+    histogram_snapshots() const;
+
+private:
+    enum class kind { counter_k, gauge_k, histogram_k };
+    struct entry {
+        kind k;
+        std::string help;
+        std::unique_ptr<counter> c;
+        std::unique_ptr<gauge> g;
+        std::unique_ptr<latency_histogram> h;
+    };
+
+    entry& get_entry(const std::string& name, kind k, std::string help);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, entry> metrics_;
+};
+
+}  // namespace liberation::obs

@@ -1,0 +1,138 @@
+// Observability hub: one registry + one tracer + one time source, owned
+// per instrumented component (each raid6_array has its own, so two arrays
+// in one process never mix their latency distributions).
+//
+// Time source: real runs read the steady clock; tests and simulations
+// plug in the array's virtual microsecond clock (raid::virtual_clock via
+// set_clock) so every latency a histogram sees is deterministic — retry backoff charges the virtual
+// clock, so a retried op's span *is* its backoff. The source is a
+// function pointer + context read with relaxed atomics: swapping clocks
+// is rare, reading them is wait-free.
+//
+// Collectors: components whose counters already live elsewhere (the
+// array's atomic_stats, the io_policy, the aio engine) register a
+// collector that mirrors those atomics into registry counters right
+// before export — one metrics_text() call shows the whole system without
+// double-counting on the hot paths.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "liberation/obs/metrics.hpp"
+#include "liberation/obs/trace.hpp"
+
+namespace liberation::obs {
+
+/// Time source: returns nanoseconds from an arbitrary epoch. Must be
+/// thread-safe; `ctx` is the source's state (null for the steady clock).
+using now_fn = std::uint64_t (*)(const void* ctx);
+
+[[nodiscard]] std::uint64_t steady_now_ns(const void* /*ctx*/) noexcept;
+
+class hub {
+public:
+    hub() = default;
+    hub(const hub&) = delete;
+    hub& operator=(const hub&) = delete;
+
+    [[nodiscard]] registry& metrics() noexcept { return registry_; }
+    [[nodiscard]] const registry& metrics() const noexcept {
+        return registry_;
+    }
+    [[nodiscard]] tracer& trace() noexcept { return tracer_; }
+    [[nodiscard]] const tracer& trace() const noexcept { return tracer_; }
+
+    /// Swap the time source (defaults to the steady clock). `ctx` must
+    /// outlive the hub.
+    void set_clock(now_fn fn, const void* ctx) noexcept {
+        clock_ctx_.store(ctx, std::memory_order_relaxed);
+        clock_fn_.store(fn, std::memory_order_release);
+    }
+
+    [[nodiscard]] std::uint64_t now_ns() const noexcept {
+        if constexpr (!kEnabled) return 0;
+        const now_fn fn = clock_fn_.load(std::memory_order_acquire);
+        return fn(clock_ctx_.load(std::memory_order_relaxed));
+    }
+
+    /// Register a pre-export hook that mirrors external atomics into the
+    /// registry (see file comment). Runs inside metrics_text().
+    void add_collector(std::function<void()> fn) {
+        std::lock_guard lock(collectors_mutex_);
+        collectors_.push_back(std::move(fn));
+    }
+
+    /// Run collectors, then render the Prometheus-style exposition.
+    [[nodiscard]] std::string metrics_text(
+        const std::string& prefix = "liberation_") {
+        collect();
+        return registry_.metrics_text(prefix);
+    }
+
+    /// Run collectors, then snapshot every histogram (for structured
+    /// consumers that don't want to parse the text form).
+    [[nodiscard]] std::vector<
+        std::pair<std::string, latency_histogram::snapshot_t>>
+    histogram_snapshots() {
+        collect();
+        return registry_.histogram_snapshots();
+    }
+
+    [[nodiscard]] std::string trace_json() const {
+        return tracer_.trace_json();
+    }
+
+    void collect() {
+        std::lock_guard lock(collectors_mutex_);
+        for (const auto& fn : collectors_) fn();
+    }
+
+private:
+    registry registry_;
+    tracer tracer_;
+    std::atomic<now_fn> clock_fn_{&steady_now_ns};
+    std::atomic<const void*> clock_ctx_{nullptr};
+    std::mutex collectors_mutex_;
+    std::vector<std::function<void()>> collectors_;
+};
+
+/// RAII span: times [construction, destruction) on the hub's clock,
+/// records the duration into `hist` (when non-null), and emits a Chrome
+/// trace event when tracing is enabled. Compiled out entirely with
+/// LIBERATION_OBS_DISABLED. `name`/`cat` must be string literals (the
+/// tracer stores the pointers).
+class timed_span {
+public:
+    timed_span(hub& h, latency_histogram* hist, const char* name,
+               const char* cat = "raid") noexcept
+        : hub_(&h), hist_(hist), name_(name), cat_(cat) {
+        if constexpr (kEnabled) begin_ = h.now_ns();
+    }
+
+    timed_span(const timed_span&) = delete;
+    timed_span& operator=(const timed_span&) = delete;
+
+    ~timed_span() {
+        if constexpr (!kEnabled) return;
+        const std::uint64_t end = hub_->now_ns();
+        const std::uint64_t dur = end >= begin_ ? end - begin_ : 0;
+        if (hist_ != nullptr) hist_->record(dur);
+        if (hub_->trace().enabled()) {
+            hub_->trace().record(name_, cat_, begin_, dur);
+        }
+    }
+
+private:
+    hub* hub_;
+    latency_histogram* hist_;
+    const char* name_;
+    const char* cat_;
+    std::uint64_t begin_ = 0;
+};
+
+}  // namespace liberation::obs

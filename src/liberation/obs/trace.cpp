@@ -1,0 +1,92 @@
+#include "liberation/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace liberation::obs {
+
+namespace {
+
+/// Process-wide small integer per thread: stable tids for the trace and
+/// the shard mapping (shared across tracer instances — a thread keeps one
+/// identity no matter which array's tracer it records into).
+std::uint32_t this_thread_id() {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+}  // namespace
+
+tracer::shard& tracer::my_shard() const {
+    return shards_[this_thread_id() % kShards];
+}
+
+void tracer::record(const char* name, const char* cat, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns) {
+    trace_event ev{name, cat, ts_ns, dur_ns, this_thread_id()};
+    shard& s = my_shard();
+    std::lock_guard lock(s.mutex);
+    if (s.ring.size() < capacity_) {
+        s.ring.push_back(ev);
+        return;
+    }
+    // Bounded: overwrite the oldest event (freshest-window semantics).
+    s.ring[s.next] = ev;
+    s.next = (s.next + 1) % capacity_;
+    ++s.dropped;
+}
+
+std::vector<trace_event> tracer::ordered() const {
+    std::vector<trace_event> out;
+    for (const shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        out.insert(out.end(), s.ring.begin(), s.ring.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const trace_event& a, const trace_event& b) {
+                  return a.ts_ns < b.ts_ns;
+              });
+    return out;
+}
+
+std::string tracer::trace_json() const {
+    const std::vector<trace_event> events = ordered();
+    std::string out = "{\"traceEvents\":[";
+    char buf[256];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const trace_event& e = events[i];
+        // Chrome's ts/dur unit is microseconds; keep ns as fractions so
+        // the sub-microsecond simulated I/O stays visible.
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                      i != 0 ? "," : "", e.name, e.cat,
+                      static_cast<double>(e.ts_ns) / 1e3,
+                      static_cast<double>(e.dur_ns) / 1e3, e.tid);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+std::size_t tracer::size() const {
+    std::size_t n = 0;
+    for (const shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        n += s.ring.size();
+    }
+    return n;
+}
+
+void tracer::clear() {
+    for (shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        s.ring.clear();
+        s.next = 0;
+        s.dropped = 0;
+    }
+}
+
+}  // namespace liberation::obs

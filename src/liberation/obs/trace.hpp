@@ -1,0 +1,84 @@
+// Span tracer: begin/end events recorded into bounded per-thread ring
+// buffers, flushed on demand into one globally time-ordered trace.
+//
+// Recording is two timestamp reads plus a ring store under a per-shard
+// mutex that only the owning thread ever contends (threads are mapped to
+// shards by a registration counter, so concurrent recorders hit disjoint
+// shards in steady state). Each ring is bounded: once full, the oldest
+// events are overwritten — a long run keeps the freshest window instead
+// of growing without bound.
+//
+// Tracing is off by default (enabled() is one relaxed load) so the hot
+// paths pay a single predictable branch when nobody is looking. The
+// export format is the Chrome trace_event JSON array-of-complete-events
+// ("ph":"X") that chrome://tracing and Perfetto load directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace liberation::obs {
+
+/// One completed span (or instant event when dur_ns == 0).
+struct trace_event {
+    const char* name = "";  ///< static string (callers pass literals)
+    const char* cat = "";   ///< static category string
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+};
+
+class tracer {
+public:
+    /// `ring_capacity` bounds each per-thread ring (events, not bytes).
+    explicit tracer(std::size_t ring_capacity = 8192)
+        : capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+    tracer(const tracer&) = delete;
+    tracer& operator=(const tracer&) = delete;
+
+    void enable(bool on = true) noexcept {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Record one completed span. Callers are expected to gate on
+    /// enabled() themselves (timed_span does); record() stores
+    /// unconditionally so flushes and tests can inject events directly.
+    void record(const char* name, const char* cat, std::uint64_t ts_ns,
+                std::uint64_t dur_ns);
+
+    /// Flush every per-thread ring into one trace ordered by ts_ns.
+    [[nodiscard]] std::vector<trace_event> ordered() const;
+
+    /// Chrome trace_event JSON ({"traceEvents":[...]}; ts/dur in
+    /// microseconds with ns remainder folded in as fractions).
+    [[nodiscard]] std::string trace_json() const;
+
+    /// Events currently buffered across all rings (<= capacity * shards).
+    [[nodiscard]] std::size_t size() const;
+
+    void clear();
+
+private:
+    static constexpr std::size_t kShards = 16;
+    struct shard {
+        mutable std::mutex mutex;
+        std::vector<trace_event> ring;  ///< grows to capacity_, then wraps
+        std::size_t next = 0;           ///< overwrite cursor once full
+        std::uint64_t dropped = 0;      ///< events overwritten so far
+    };
+
+    shard& my_shard() const;
+
+    std::size_t capacity_;
+    std::atomic<bool> enabled_{false};
+    mutable shard shards_[kShards];
+};
+
+}  // namespace liberation::obs

@@ -35,6 +35,7 @@
 
 #include "liberation/aio/queue_pair.hpp"
 #include "liberation/codes/stripe.hpp"
+#include "liberation/obs/obs.hpp"
 #include "liberation/core/liberation_optimal_code.hpp"
 #include "liberation/integrity/integrity_region.hpp"
 #include "liberation/raid/health.hpp"
@@ -100,6 +101,15 @@ struct array_config {
     /// cross-disk write order becomes nondeterministic — leave null for
     /// seeded power-loss / chaos replay.
     util::thread_pool* io_workers = nullptr;
+
+    // ---- observability -----------------------------------------------
+    /// Drive the array's metrics/tracing hub off its virtual clock
+    /// instead of the steady clock: every latency a histogram or trace
+    /// span sees is then deterministic (virtual time only advances when
+    /// the retry policy charges backoff or a test advances it), which is
+    /// what the latency-distribution tests run on. Real deployments keep
+    /// the default steady clock.
+    bool obs_virtual_time = false;
 };
 
 /// Copyable snapshot of the array's operation counters. The live counters
@@ -151,6 +161,16 @@ public:
     [[nodiscard]] vdisk& disk(std::uint32_t d) { return *disks_[d]; }
     [[nodiscard]] const vdisk& disk(std::uint32_t d) const { return *disks_[d]; }
     [[nodiscard]] array_stats stats() const noexcept;
+
+    // ---- observability -----------------------------------------------
+    /// The array's metrics + tracing hub. Latency histograms
+    /// (raid_*_ns/io_*_ns/aio_*_ns) and gauges update live on the hot
+    /// paths; counters mirror the atomic stats at export time via a
+    /// registered collector, so obs().metrics_text() is one coherent
+    /// Prometheus exposition of the whole pipeline. Enable
+    /// obs().trace().enable() to capture Chrome trace spans.
+    [[nodiscard]] obs::hub& obs() noexcept { return obs_; }
+    [[nodiscard]] const obs::hub& obs() const noexcept { return obs_; }
 
     // ---- end-to-end integrity ----------------------------------------
 
@@ -391,6 +411,18 @@ private:
         [[nodiscard]] array_stats snapshot() const noexcept;
     };
 
+    /// Resolve the hub's clock, histograms, gauges, and the export-time
+    /// counter collector (constructor tail).
+    void init_obs(const array_config& cfg);
+    /// The collector body: mirror every atomic counter family
+    /// (array_stats, io_policy_stats, aio_stats) into registry counters.
+    void mirror_counters();
+    /// Refresh the fault-tolerance gauges (failed disks, spares, rebuild
+    /// backlog). Foreground thread only — the underlying state is not
+    /// atomic, which is exactly why these are pushed in-line rather than
+    /// sampled by the collector.
+    void update_health_gauges() noexcept;
+
     /// Degraded path: load + decode a full stripe into `buf`.
     [[nodiscard]] bool load_and_decode(std::size_t stripe,
                                        const codes::stripe_view& buf);
@@ -488,6 +520,18 @@ private:
     std::size_t sector_size_;
     std::vector<std::unique_ptr<vdisk>> disks_;
     atomic_stats stats_;
+
+    // ---- observability -----------------------------------------------
+    obs::hub obs_;
+    /// Histograms/gauges resolved once at construction (registry lookups
+    /// take a mutex; the hot paths must not).
+    obs::latency_histogram* hist_read_ = nullptr;
+    obs::latency_histogram* hist_write_full_ = nullptr;
+    obs::latency_histogram* hist_write_small_ = nullptr;
+    obs::gauge* gauge_failed_disks_ = nullptr;
+    obs::gauge* gauge_spares_ = nullptr;
+    obs::gauge* gauge_rebuild_remaining_ = nullptr;
+    obs::gauge* gauge_journal_ = nullptr;
     intent_log journal_;
     std::vector<integrity::integrity_region> regions_;
     bool verify_reads_;

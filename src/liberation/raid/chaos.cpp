@@ -6,6 +6,7 @@
 
 #include "liberation/raid/scrubber.hpp"
 #include "liberation/util/rng.hpp"
+#include "liberation/util/timer.hpp"
 
 namespace liberation::raid {
 
@@ -60,6 +61,15 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     const auto log = [&](const std::string& msg) {
         if (cfg.log) cfg.log(msg);
     };
+    if (cfg.trace) a.obs().trace().enable();
+    // The array (and its observability hub) is local to this run; capture
+    // the exports into the report on every return path.
+    const auto capture_obs = [&] {
+        rep.metrics_text = a.obs().metrics_text();
+        rep.histograms = a.obs().histogram_snapshots();
+        if (cfg.trace) rep.trace_json = a.obs().trace_json();
+    };
+    util::stopwatch phase_clock;
 
     // Arm baseline transient rates on every starting disk (spares are
     // armed only if promoted hardware were flaky — they are not; a
@@ -79,8 +89,11 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     if (!a.write(0, shadow)) {
         ++rep.failed_writes;
         rep.stats = a.stats();
+        rep.phases.fill_s = phase_clock.seconds();
+        capture_obs();
         return rep;
     }
+    rep.phases.fill_s = phase_clock.seconds();
 
     const std::size_t max_io = cfg.max_io_bytes != 0
                                    ? std::min(cfg.max_io_bytes, cap)
@@ -113,6 +126,7 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     };
     std::size_t data_flips = 0;
 
+    phase_clock.restart();
     for (std::size_t op = 0; op < cfg.ops; ++op) {
         if (op == ev.fail_stop_at_op) fail_stop_pending = true;
         if (op == ev.health_storm_at_op) storm_pending = true;
@@ -270,16 +284,21 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         }
     }
 
+    rep.phases.workload_s = phase_clock.seconds();
+
     // Settle: finish the background rebuild, disarm every fault stream,
     // then heal what is left (latent sectors on strips the workload never
     // re-read, including parity strips only resilver visits).
+    phase_clock.restart();
     a.drain_background_rebuild();
     for (std::uint32_t d = 0; d < a.disk_count(); ++d)
         a.disk(d).clear_transient_faults();
     for (int t = 0; t < 16 && a.journal().size() != 0; ++t)
         rep.resynced_stripes += a.recover_write_hole();
     rep.resilver_healed = a.resilver();
+    rep.phases.settle_s = phase_clock.seconds();
 
+    phase_clock.restart();
     // Settle scrub: heal injected corruption the workload never re-read
     // (including parity strips, which host reads only touch when
     // degraded). Its parity-fallback repairs are damage the checksum
@@ -290,8 +309,10 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
                               settle.repaired_metadata;
     rep.final_torn += settle.parity_fallback_repairs;
     rep.scrub_uncorrectable += settle.uncorrectable;
+    rep.phases.settle_scrub_s = phase_clock.seconds();
 
     // Final verification: full device vs shadow...
+    phase_clock.restart();
     std::vector<std::byte> out(cap);
     if (!a.read(0, out)) {
         ++rep.failed_reads;
@@ -327,12 +348,16 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         }
     }
 
+    rep.phases.final_verify_s = phase_clock.seconds();
+
     // ...then parity consistency. The settle scrub already healed every
     // injected fault, so any repair the scrubber performs here means some
     // path left a stripe inconsistent after recovery claimed it was done.
+    phase_clock.restart();
     const scrub_summary scrub = scrub_array(a);
     rep.final_torn += scrub.repaired_data + scrub.repaired_parity;
     rep.scrub_uncorrectable += scrub.uncorrectable;
+    rep.phases.final_scrub_s = phase_clock.seconds();
 
     rep.stats = a.stats();
     rep.io = a.io_stats();
@@ -370,6 +395,7 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         events_ok = events_ok && rep.degraded_scrub_repairs >= 1;
     }
     rep.success = rep.clean() && events_ok;
+    capture_obs();
     return rep;
 }
 

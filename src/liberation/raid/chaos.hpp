@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "liberation/raid/array.hpp"
 
@@ -61,6 +63,11 @@ struct chaos_config {
     /// Fraction of ops that are writes, in tenths (4 = 40%).
     std::uint32_t write_tenths = 4;
     chaos_event_plan events{};
+    /// Enable the array's span tracer for the run; the resulting Chrome
+    /// trace JSON lands in chaos_report::trace_json. Off by default: the
+    /// per-thread rings keep only the freshest window anyway, and tests
+    /// that replay campaigns don't want the extra stores.
+    bool trace = false;
     /// Optional event logger (the CLI passes a printf; tests leave null).
     std::function<void(const std::string&)> log{};
 };
@@ -71,6 +78,23 @@ struct chaos_config {
 /// crosses them.
 [[nodiscard]] chaos_config default_chaos_config(std::uint64_t seed,
                                                 std::size_t ops = 10'000);
+
+/// Wall-clock seconds spent in each campaign phase, in execution order.
+/// (Wall clock, not the array's virtual clock: phases are harness-side
+/// work — the workload loop, scrubs, the verify sweep — not single I/Os.)
+struct chaos_phase_times {
+    double fill_s = 0.0;          ///< initial fill + shadow copy
+    double workload_s = 0.0;      ///< the op loop, fault injection included
+    double settle_s = 0.0;        ///< rebuild drain, write-hole recovery, resilver
+    double settle_scrub_s = 0.0;  ///< the post-settle healing scrub
+    double final_verify_s = 0.0;  ///< shadow compare + per-stripe checksum sweep
+    double final_scrub_s = 0.0;   ///< the parity-consistency scrub
+
+    [[nodiscard]] double total_s() const noexcept {
+        return fill_s + workload_s + settle_s + settle_scrub_s +
+               final_verify_s + final_scrub_s;
+    }
+};
 
 struct chaos_report {
     std::size_t ops = 0;
@@ -105,6 +129,16 @@ struct chaos_report {
     std::uint64_t rebuilds_completed = 0;
     array_stats stats{};       ///< final array counters
     io_policy_stats io{};      ///< final retry-policy counters
+    chaos_phase_times phases{};
+    /// Observability captures, taken just before run_chaos_campaign
+    /// returns (the campaign array is local to the run, so its hub dies
+    /// with it): the full Prometheus exposition, every latency-histogram
+    /// snapshot by name, and — when chaos_config::trace — the Chrome
+    /// trace JSON.
+    std::string metrics_text;
+    std::vector<std::pair<std::string, obs::latency_histogram::snapshot_t>>
+        histograms;
+    std::string trace_json;
     bool success = false;
 
     /// The acceptance predicate: zero corruption AND the full fault plan

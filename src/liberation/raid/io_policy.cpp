@@ -4,10 +4,24 @@
 
 namespace liberation::raid {
 
+void io_policy::attach_obs(obs::hub* h) {
+    obs_ = h;
+    if (h == nullptr) {
+        hist_read_ = nullptr;
+        hist_write_ = nullptr;
+        return;
+    }
+    hist_read_ = &h->metrics().get_histogram(
+        "io_read_ns", "disk read latency through the retry policy");
+    hist_write_ = &h->metrics().get_histogram(
+        "io_write_ns", "disk write latency through the retry policy");
+}
+
 template <typename Op>
 io_result io_policy::run(Op&& op, io_kind kind) {
     (kind == io_kind::read ? reads_ : writes_)
         .fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t begin = obs_ != nullptr ? obs_->now_ns() : 0;
 
     io_result result;
     std::uint64_t backoff = cfg_.initial_backoff_us;
@@ -19,6 +33,11 @@ io_result io_policy::run(Op&& op, io_kind kind) {
             retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
             break;
         }
+        if (obs_ != nullptr && obs_->trace().enabled()) {
+            obs_->trace().record(
+                kind == io_kind::read ? "io.retry.read" : "io.retry.write",
+                "io", obs_->now_ns(), 0);
+        }
         // Exponential backoff on the virtual clock: a real array would
         // stall here; the simulation just records the stall.
         clock_->advance(backoff);
@@ -28,6 +47,11 @@ io_result io_policy::run(Op&& op, io_kind kind) {
     }
     if (result.ok() && result.transient_seen > 0) {
         transient_masked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (obs_ != nullptr) {
+        const std::uint64_t end = obs_->now_ns();
+        (kind == io_kind::read ? hist_read_ : hist_write_)
+            ->record(end >= begin ? end - begin : 0);
     }
     return result;
 }

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "liberation/obs/obs.hpp"
 #include "liberation/raid/vdisk.hpp"
 
 namespace liberation::raid {
@@ -31,6 +32,14 @@ public:
 private:
     std::atomic<std::uint64_t> now_us_{0};
 };
+
+/// obs::now_fn adapter over a virtual_clock (`ctx` is the clock): lets an
+/// observability hub time spans in deterministic virtual nanoseconds
+/// (array_config::obs_virtual_time).
+[[nodiscard]] inline std::uint64_t virtual_clock_now_ns(
+    const void* ctx) noexcept {
+    return static_cast<const virtual_clock*>(ctx)->now_us() * 1000;
+}
 
 struct io_policy_config {
     /// Retries *after* the first attempt; total attempts = 1 + max_retries.
@@ -88,12 +97,22 @@ public:
         return cfg_;
     }
 
+    /// Wire the policy into an observability hub: every mediated op is
+    /// timed on the hub's clock into io_read_ns / io_write_ns (backoff is
+    /// charged to the virtual clock, so on a virtual-time hub a retried
+    /// op's latency *is* its backoff — the retry tail shows up in p99),
+    /// and each retry emits an instant trace event when tracing is on.
+    void attach_obs(obs::hub* h);
+
 private:
     template <typename Op>
     io_result run(Op&& op, io_kind kind);
 
     io_policy_config cfg_;
     virtual_clock* clock_;
+    obs::hub* obs_ = nullptr;
+    obs::latency_histogram* hist_read_ = nullptr;
+    obs::latency_histogram* hist_write_ = nullptr;
     std::atomic<std::uint64_t> reads_{0};
     std::atomic<std::uint64_t> writes_{0};
     std::atomic<std::uint64_t> retries_{0};

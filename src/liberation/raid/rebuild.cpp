@@ -20,6 +20,12 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
     LIBERATION_EXPECTS(first <= last && last <= array.map().stripes());
     rebuild_result result;
     util::stopwatch timer;
+    // Every rebuild window — background batches and operator-driven full
+    // rebuilds alike — lands one sample here (and a trace span when on).
+    obs::timed_span window_span(
+        array.obs(),
+        &array.obs().metrics().get_histogram("raid_rebuild_window_ns"),
+        "rebuild.window", "rebuild");
 
     std::atomic<std::size_t> rebuilt{0};
     std::atomic<std::size_t> columns{0};

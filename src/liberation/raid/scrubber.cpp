@@ -116,6 +116,17 @@ scrub_summary scrub_array(raid6_array& array) {
     scrub_summary summary;
     const std::size_t stripes = array.map().stripes();
 
+    // One pass-level trace span plus a per-stripe latency histogram. The
+    // histogram reference is resolved once per pass (registry lookups
+    // take a mutex; the stripe loop must not). In the pipelined loop the
+    // per-stripe sample covers verification and repair only — the loads
+    // were prefetched a window ahead and show up in the aio_* stage
+    // histograms instead.
+    obs::hub& hub = array.obs();
+    obs::latency_histogram& stripe_hist =
+        hub.metrics().get_histogram("raid_scrub_stripe_ns");
+    obs::timed_span pass_span(hub, nullptr, "raid.scrub_pass", "scrub");
+
     if (array.io_queue_depth() > 1) {
         // Pipelined scrub: the loader fetches a whole window of stripes
         // ahead of verification, one merged transfer per disk, while the
@@ -136,6 +147,8 @@ scrub_summary scrub_array(raid6_array& array) {
             [&](std::size_t s, const codes::stripe_view& v,
                 std::vector<io_status>& statuses) {
                 ++summary.stripes_scanned;
+                obs::timed_span span(hub, &stripe_hist, "scrub.stripe",
+                                     "scrub");
                 const raid6_array::stripe_recovery rec =
                     array.verify_loaded_stripe(s, v, /*writeback=*/true, {},
                                                /*trust_parity=*/true,
@@ -152,6 +165,7 @@ scrub_summary scrub_array(raid6_array& array) {
             ++summary.skipped_torn;
             continue;
         }
+        obs::timed_span span(hub, &stripe_hist, "scrub.stripe", "scrub");
         const raid6_array::stripe_recovery rec =
             array.load_stripe_verified(s, buf.view(), /*writeback=*/true);
         account_stripe(array, summary, s, buf.view(), rec);

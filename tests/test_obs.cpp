@@ -1,0 +1,358 @@
+// Observability layer: histogram bucket math and quantiles, registry
+// kind/reference semantics, the Prometheus text exposition and Chrome
+// trace JSON golden formats, tracer ring bounding, and the deterministic
+// virtual-clock latency contracts — retry backoff surfaces in the
+// io_read_ns tail, and submission-queue depth changes the aio completion
+// spans while execute spans stay put.
+//
+// The snapshot-under-concurrency hammer at the end is the TSan target
+// (ctest under the `tsan` preset): exporters snapshot while a writer
+// mutates, which must stay a data-race-free (relaxed-atomic) protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "liberation/aio/queue_pair.hpp"
+#include "liberation/obs/obs.hpp"
+#include "liberation/raid/array.hpp"
+#include "liberation/raid/io_policy.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+using namespace liberation;
+
+// ---- histogram -------------------------------------------------------
+
+TEST(ObsHistogram, BucketMath) {
+    using h = obs::latency_histogram;
+    EXPECT_EQ(h::bucket_of(0), 0u);
+    EXPECT_EQ(h::bucket_of(1), 0u);
+    EXPECT_EQ(h::bucket_of(2), 1u);
+    EXPECT_EQ(h::bucket_of(3), 1u);
+    EXPECT_EQ(h::bucket_of(4), 2u);
+    EXPECT_EQ(h::bucket_of(1023), 9u);
+    EXPECT_EQ(h::bucket_of(1024), 10u);
+    EXPECT_EQ(h::bucket_of(~std::uint64_t{0}), h::kBuckets - 1);
+    // bucket_upper is the exclusive top: every value lands strictly below
+    // its bucket's reported quantile value.
+    for (const std::uint64_t v : {1u, 2u, 100u, 4096u, 1000000u}) {
+        EXPECT_LT(v, h::bucket_upper(h::bucket_of(v)));
+        EXPECT_GE(v, std::uint64_t{1} << h::bucket_of(v));
+    }
+    EXPECT_EQ(h::bucket_upper(h::kBuckets - 1), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, RecordAndQuantiles) {
+    obs::latency_histogram h;
+    // 89 fast samples, 9 medium, 2 slow: p50 in the fast bucket, p95 in
+    // the medium one, p99 covering the slow tail (quantiles report the
+    // smallest bucket upper bound covering at least round(q*count)
+    // samples, so the tail must hold more than 1% to move p99).
+    for (int i = 0; i < 89; ++i) h.record(100);     // bucket 6, upper 128
+    for (int i = 0; i < 9; ++i) h.record(10'000);   // bucket 13, upper 16384
+    h.record(1'000'000);                            // bucket 19, upper 2^20
+    h.record(1'000'000);
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.sum, 89u * 100 + 9u * 10'000 + 2u * 1'000'000);
+    EXPECT_EQ(s.max, 1'000'000u);
+    EXPECT_EQ(s.p50, 128u);
+    EXPECT_EQ(s.p95, 16'384u);
+    EXPECT_EQ(s.p99, std::uint64_t{1} << 20);
+    EXPECT_EQ(s.quantile(1.0), std::uint64_t{1} << 20);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsZero) {
+    const auto s = obs::latency_histogram{}.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p50, 0u);
+    EXPECT_EQ(s.p99, 0u);
+    EXPECT_EQ(s.max, 0u);
+}
+
+// ---- registry --------------------------------------------------------
+
+TEST(ObsRegistry, StableReferencesAndKindMismatch) {
+    obs::registry r;
+    obs::counter& c1 = r.get_counter("ops_total", "ops");
+    obs::counter& c2 = r.get_counter("ops_total");
+    EXPECT_EQ(&c1, &c2);  // same heap node on re-registration
+    c1.inc(3);
+    EXPECT_EQ(c2.value(), 3u);
+    EXPECT_THROW((void)r.get_gauge("ops_total"), std::logic_error);
+    EXPECT_THROW((void)r.get_histogram("ops_total"), std::logic_error);
+}
+
+TEST(ObsRegistry, MetricsTextGoldenFormat) {
+    obs::registry r;
+    r.get_gauge("depth").set(-2);
+    obs::latency_histogram& h = r.get_histogram("lat_ns", "op latency");
+    h.record(100);
+    h.record(100);
+    r.get_counter("ops_total", "ops completed").inc(7);
+    // Families render in name order with the export prefix; histograms as
+    // summaries with quantile labels plus _sum/_count and a _max gauge.
+    const std::string expect =
+        "# TYPE liberation_depth gauge\n"
+        "liberation_depth -2\n"
+        "# HELP liberation_lat_ns op latency\n"
+        "# TYPE liberation_lat_ns summary\n"
+        "liberation_lat_ns{quantile=\"0.5\"} 128\n"
+        "liberation_lat_ns{quantile=\"0.95\"} 128\n"
+        "liberation_lat_ns{quantile=\"0.99\"} 128\n"
+        "liberation_lat_ns_sum 200\n"
+        "liberation_lat_ns_count 2\n"
+        "# TYPE liberation_lat_ns_max gauge\n"
+        "liberation_lat_ns_max 100\n"
+        "# HELP liberation_ops_total ops completed\n"
+        "# TYPE liberation_ops_total counter\n"
+        "liberation_ops_total 7\n";
+    EXPECT_EQ(r.metrics_text(), expect);
+}
+
+TEST(ObsHub, CollectorRunsBeforeExport) {
+    obs::hub h;
+    std::atomic<std::uint64_t> source{41};
+    h.add_collector([&] {
+        h.metrics().get_counter("mirrored_total")
+            .mirror(source.load(std::memory_order_relaxed));
+    });
+    source.store(42);
+    const std::string text = h.metrics_text();
+    EXPECT_NE(text.find("liberation_mirrored_total 42\n"), std::string::npos);
+}
+
+// ---- tracer ----------------------------------------------------------
+
+TEST(ObsTracer, BoundedRingKeepsFreshestAndOrders) {
+    obs::tracer t(4);
+    t.enable();
+    // 10 events through a 4-slot ring: only the last 4 survive, ordered.
+    for (std::uint64_t i = 0; i < 10; ++i) t.record("e", "t", 100 - i, 1);
+    EXPECT_EQ(t.size(), 4u);
+    const auto events = t.ordered();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+    }
+    // Timestamps descended 100..91, so the freshest four are ts 91..94.
+    EXPECT_EQ(events.front().ts_ns, 91u);
+    EXPECT_EQ(events.back().ts_ns, 94u);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ObsTracer, TraceJsonGoldenFormat) {
+    obs::tracer t;
+    t.record("raid.write", "raid", 1500, 2250);
+    const std::string json = t.trace_json();
+    // Chrome trace_event complete-events: ts/dur in microseconds with the
+    // nanosecond remainder as fractions. (The tid is this thread's
+    // process-wide registration number, so only everything up to it is
+    // golden-comparable.)
+    const std::string prefix =
+        "{\"traceEvents\":[{\"name\":\"raid.write\",\"cat\":\"raid\","
+        "\"ph\":\"X\",\"ts\":1.500,\"dur\":2.250,\"pid\":1,\"tid\":";
+    ASSERT_GE(json.size(), prefix.size());
+    EXPECT_EQ(json.substr(0, prefix.size()), prefix);
+    EXPECT_EQ(json.substr(json.size() - 3), "}]}");
+}
+
+// ---- virtual-clock spans --------------------------------------------
+
+TEST(ObsSpan, VirtualClockSpanIsExact) {
+    raid::virtual_clock clock;
+    obs::hub h;
+    h.set_clock(&raid::virtual_clock_now_ns, &clock);
+    obs::latency_histogram& hist = h.metrics().get_histogram("span_ns");
+    {
+        obs::timed_span span(h, &hist, "test.span");
+        clock.advance(123);  // microseconds
+    }
+    const auto s = hist.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.sum, 123'000u);
+    EXPECT_EQ(s.max, 123'000u);
+}
+
+// Retry backoff is the only thing that advances an array's virtual clock,
+// so on a virtual-time hub a mediated read's span IS its backoff: the
+// distribution is exactly "zero for clean reads, the exponential-backoff
+// schedule for retried ones", and the retry tail surfaces in p99 while
+// p50 stays in the zero bucket. The histogram's total must equal the
+// policy's own backoff accounting converted to nanoseconds.
+TEST(ObsArray, RetryBackoffVisibleInReadTail) {
+    raid::array_config cfg;
+    cfg.k = 4;
+    cfg.element_size = 512;
+    cfg.stripes = 8;
+    cfg.sector_size = 512;
+    cfg.io_queue_depth = 1;
+    cfg.obs_virtual_time = true;
+    raid::raid6_array a(cfg);
+
+    std::vector<std::byte> image(a.capacity());
+    util::xoshiro256 rng(7);
+    rng.fill(image);
+    ASSERT_TRUE(a.write(0, image));  // clean fill: no faults armed yet
+
+    for (std::uint32_t d = 0; d < a.disk_count(); ++d) {
+        a.disk(d).set_transient_fault_rates(0.3, 0.0, 1000 + d);
+    }
+    std::vector<std::byte> buf(a.map().stripe_data_size());
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t addr =
+            rng.next_below(a.capacity() - buf.size() + 1);
+        ASSERT_TRUE(a.read(addr, buf));
+    }
+
+    const raid::io_policy_stats io = a.io_stats();
+    ASSERT_GT(io.retries, 0u);
+    const auto hists = a.obs().histogram_snapshots();
+    const obs::latency_histogram::snapshot_t* read_hist = nullptr;
+    for (const auto& [name, snap] : hists) {
+        if (name == "io_read_ns") read_hist = &snap;
+    }
+    ASSERT_NE(read_hist, nullptr);
+    EXPECT_GT(read_hist->count, 0u);
+    // Every nanosecond in the read histogram is backoff, and all backoff
+    // was charged by reads (write fault rate is zero after the fill).
+    EXPECT_EQ(read_hist->sum, io.backoff_us * 1000);
+    // Most mediated reads never retried: the median sits in the zero
+    // bucket. The first retry waits initial_backoff_us = 100us, so the
+    // tail quantile must report at least that bucket's upper bound.
+    EXPECT_LE(read_hist->p50, 2u);
+    EXPECT_GE(read_hist->p99, obs::latency_histogram::bucket_upper(
+                                  obs::latency_histogram::bucket_of(100'000)));
+    EXPECT_GE(read_hist->max, 100'000u);
+}
+
+// ---- aio stage latencies --------------------------------------------
+
+// Backend that charges a fixed virtual service time per transfer.
+class metered_backend : public aio::io_backend {
+public:
+    metered_backend(raid::virtual_clock& clock, std::uint64_t us)
+        : clock_(clock), us_(us) {}
+    raid::io_status execute(const aio::io_desc&) override {
+        clock_.advance(us_);
+        return raid::io_status::ok;
+    }
+
+private:
+    raid::virtual_clock& clock_;
+    std::uint64_t us_;
+};
+
+// Submit-to-completion latency depends on the in-flight window while
+// execute latency does not: at depth 1 every request runs the moment it
+// is submitted, at depth 8 the last request of a window waits behind
+// seven 10us transfers. Deterministic on the virtual clock.
+TEST(ObsAio, QueueDepthShapesCompletionSpans) {
+    const auto run = [](std::size_t depth) {
+        raid::virtual_clock clock;
+        obs::hub hub;
+        hub.set_clock(&raid::virtual_clock_now_ns, &clock);
+        metered_backend backend(clock, 10);  // 10us per transfer
+        aio::aio_config cfg;
+        cfg.queue_depth = depth;
+        cfg.obs = &hub;
+        aio::queue_pair qp(backend, /*disks=*/1, cfg);
+        std::byte block[16] = {};
+        for (int i = 0; i < 8; ++i) {
+            aio::io_desc d;
+            d.disk = 0;
+            d.kind = aio::op_kind::write;  // writes never coalesce
+            d.offset = static_cast<std::size_t>(i) * sizeof block;
+            d.data = block;
+            d.len = sizeof block;
+            qp.submit(d);
+        }
+        qp.drain();
+        obs::latency_histogram::snapshot_t complete{}, execute{};
+        for (const auto& [name, snap] : hub.histogram_snapshots()) {
+            if (name == "aio_complete_ns") complete = snap;
+            if (name == "aio_execute_ns") execute = snap;
+        }
+        return std::pair{complete, execute};
+    };
+
+    const auto [complete1, execute1] = run(1);
+    const auto [complete8, execute8] = run(8);
+    ASSERT_EQ(complete1.count, 8u);
+    ASSERT_EQ(complete8.count, 8u);
+    // Execute cost is 10us per transfer regardless of depth.
+    EXPECT_EQ(execute1.max, 10'000u);
+    EXPECT_EQ(execute8.max, 10'000u);
+    // Depth 1: completion == its own transfer. Depth 8: the window's last
+    // request completes after all eight transfers.
+    EXPECT_EQ(complete1.max, 10'000u);
+    EXPECT_EQ(complete8.max, 80'000u);
+    EXPECT_EQ(complete8.sum, (10 + 20 + 30 + 40 + 50 + 60 + 70 + 80) * 1000u);
+    EXPECT_GT(complete8.p50, complete1.p50);
+}
+
+// ---- snapshot coherence under concurrency (TSan target) -------------
+
+// One thread mutates an array (writes, reads, a failure + rebuild) while
+// another continuously snapshots every exporter surface. The contract
+// (docs/STATS.md): individually-exact relaxed counters, no torn values,
+// no data races — TSan proves the last part when run under the `tsan`
+// preset.
+TEST(ObsConcurrency, SnapshotWhileMutatingHammer) {
+    raid::array_config cfg;
+    cfg.k = 4;
+    cfg.element_size = 512;
+    cfg.stripes = 16;
+    cfg.sector_size = 512;
+    cfg.hot_spares = 1;
+    raid::raid6_array a(cfg);
+    std::vector<std::byte> image(a.capacity());
+    util::xoshiro256 rng(11);
+    rng.fill(image);
+    ASSERT_TRUE(a.write(0, image));
+
+    std::atomic<bool> stop{false};
+    std::thread sampler([&] {
+        std::uint64_t last_writes = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const raid::array_stats s = a.stats();
+            // Each counter is individually monotonic across snapshots.
+            EXPECT_GE(s.full_stripe_writes, last_writes);
+            last_writes = s.full_stripe_writes;
+            const std::string text = a.obs().metrics_text();
+            EXPECT_NE(text.find("liberation_raid_full_stripe_writes_total"),
+                      std::string::npos);
+            (void)a.obs().histogram_snapshots();
+        }
+    });
+
+    std::vector<std::byte> buf(a.map().stripe_data_size());
+    for (int i = 0; i < 400; ++i) {
+        const std::size_t addr =
+            rng.next_below(a.capacity() - buf.size() + 1);
+        if (i % 3 == 0) {
+            rng.fill(buf);
+            ASSERT_TRUE(a.write(addr, buf));
+        } else {
+            ASSERT_TRUE(a.read(addr, buf));
+        }
+        if (i == 200) a.fail_disk(2);  // spare promotion + rebuild traffic
+    }
+    a.drain_background_rebuild();
+    stop.store(true);
+    sampler.join();
+
+    // The sampler saw live values; the final snapshot must reconcile.
+    const raid::array_stats end = a.stats();
+    EXPECT_GE(end.spares_promoted, 1u);
+    EXPECT_GE(end.rebuilds_completed, 1u);
+}
+
+}  // namespace

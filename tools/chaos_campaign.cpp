@@ -5,6 +5,7 @@
 // Usage:
 //   chaos_campaign [--seed N] [--ops N] [--spares N] [--stripes N]
 //                  [--queue-depth N] [--read-rate R] [--write-rate R]
+//                  [--metrics-out FILE] [--trace-out FILE] [--json]
 //                  [--quiet]
 //
 // Exit status 0 iff the campaign met its acceptance criteria: zero shadow
@@ -14,7 +15,14 @@
 // power loss, silent corruption + self-heal, checksum-metadata damage,
 // degraded-stripe scrub repair, spare promotion + rebuild) fired.
 // The penultimate output line is machine-readable: "CHAOS_VERDICT pass=..."
-// with every invariant counter, for CI log scrapers.
+// with every invariant counter, for CI log scrapers. --json replaces that
+// line with "CHAOS_VERDICT {...}" — one JSON object carrying the same
+// counters plus per-phase timings and every latency-histogram snapshot.
+//
+// Observability exports: --metrics-out writes the campaign array's full
+// Prometheus text exposition (counters, gauges, latency summaries for the
+// write/read/rebuild/scrub paths) to FILE; --trace-out enables the span
+// tracer and writes Chrome trace_event JSON loadable in chrome://tracing.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +36,72 @@ namespace {
 using liberation::raid::chaos_config;
 using liberation::raid::chaos_report;
 
-void print_report(const chaos_config& cfg, const chaos_report& rep) {
+bool write_file(const char* path, const std::string& text) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "chaos_campaign: cannot open %s for writing\n",
+                     path);
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+}
+
+/// The --json verdict: one object with the machine-readable counters, the
+/// per-phase wall-clock timings, and a snapshot of every latency
+/// histogram. All keys are fixed identifiers, so no string escaping is
+/// needed beyond printing them verbatim.
+void print_verdict_json(const chaos_config& cfg, const chaos_report& rep) {
+    std::printf("CHAOS_VERDICT {");
+    std::printf("\"pass\":%s,", rep.success ? "true" : "false");
+    std::printf("\"seed\":%llu,", static_cast<unsigned long long>(cfg.seed));
+    std::printf("\"ops\":%zu,", rep.ops);
+    std::printf("\"mismatches\":%zu,", rep.mismatches);
+    std::printf("\"failed_reads\":%zu,", rep.failed_reads);
+    std::printf("\"failed_writes\":%zu,", rep.failed_writes);
+    std::printf("\"torn\":%zu,", rep.final_torn);
+    std::printf("\"degraded\":%zu,", rep.final_degraded);
+    std::printf("\"unrecovered\":%zu,", rep.final_unrecovered);
+    std::printf("\"uncorrectable\":%zu,", rep.scrub_uncorrectable);
+    std::printf("\"checksum_bad\":%zu,", rep.final_checksum_bad);
+    std::printf("\"stalled\":%llu,",
+                static_cast<unsigned long long>(
+                    rep.stats.rebuild_sessions_stalled));
+    std::printf("\"unrecoverable_reads\":%llu,",
+                static_cast<unsigned long long>(rep.stats.reads_unrecoverable));
+    std::printf("\"self_healed\":%llu,",
+                static_cast<unsigned long long>(rep.stats.reads_self_healed));
+    std::printf("\"corruptions\":%zu,", rep.corruptions_injected);
+    std::printf("\"phases\":{\"fill_s\":%.6f,\"workload_s\":%.6f,"
+                "\"settle_s\":%.6f,\"settle_scrub_s\":%.6f,"
+                "\"final_verify_s\":%.6f,\"final_scrub_s\":%.6f,"
+                "\"total_s\":%.6f},",
+                rep.phases.fill_s, rep.phases.workload_s, rep.phases.settle_s,
+                rep.phases.settle_scrub_s, rep.phases.final_verify_s,
+                rep.phases.final_scrub_s, rep.phases.total_s());
+    std::printf("\"histograms\":{");
+    bool first = true;
+    for (const auto& [name, snap] : rep.histograms) {
+        if (snap.count == 0) continue;  // unexercised path; skip the noise
+        std::printf("%s\"%s\":{\"count\":%llu,\"sum_ns\":%llu,"
+                    "\"max_ns\":%llu,\"p50_ns\":%llu,\"p95_ns\":%llu,"
+                    "\"p99_ns\":%llu}",
+                    first ? "" : ",", name.c_str(),
+                    static_cast<unsigned long long>(snap.count),
+                    static_cast<unsigned long long>(snap.sum),
+                    static_cast<unsigned long long>(snap.max),
+                    static_cast<unsigned long long>(snap.p50),
+                    static_cast<unsigned long long>(snap.p95),
+                    static_cast<unsigned long long>(snap.p99));
+        first = false;
+    }
+    std::printf("}}\n");
+}
+
+void print_report(const chaos_config& cfg, const chaos_report& rep,
+                  bool json) {
     std::printf("chaos campaign: seed=%llu ops=%zu (reads=%zu writes=%zu)\n",
                 static_cast<unsigned long long>(cfg.seed), rep.ops, rep.reads,
                 rep.writes);
@@ -72,6 +145,20 @@ void print_report(const chaos_config& cfg, const chaos_report& rep) {
                 rep.final_torn, rep.final_degraded, rep.final_unrecovered,
                 rep.scrub_uncorrectable, rep.final_checksum_bad,
                 static_cast<unsigned long long>(rep.stats.reads_unrecoverable));
+    // Wall-clock timings go to stderr: stdout must stay byte-identical
+    // for a fixed seed (the determinism probe / CI scrapers cmp it).
+    std::fprintf(stderr,
+                 "  phases: fill=%.3fs workload=%.3fs settle=%.3fs "
+                 "settle-scrub=%.3fs verify=%.3fs final-scrub=%.3fs "
+                 "total=%.3fs\n",
+                 rep.phases.fill_s, rep.phases.workload_s, rep.phases.settle_s,
+                 rep.phases.settle_scrub_s, rep.phases.final_verify_s,
+                 rep.phases.final_scrub_s, rep.phases.total_s());
+    if (json) {
+        print_verdict_json(cfg, rep);
+        std::printf("%s\n", rep.success ? "PASS" : "FAIL");
+        return;
+    }
     // One machine-readable line for CI log scrapers, then the human one.
     std::printf("CHAOS_VERDICT pass=%d seed=%llu ops=%zu mismatches=%zu "
                 "failed_reads=%zu failed_writes=%zu torn=%zu degraded=%zu "
@@ -95,6 +182,7 @@ void print_report(const chaos_config& cfg, const chaos_report& rep) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--spares N] [--stripes N]\n"
                  "          [--queue-depth N] [--read-rate R] [--write-rate R]\n"
+                 "          [--metrics-out FILE] [--trace-out FILE] [--json]\n"
                  "          [--quiet]\n",
                  argv0);
     std::exit(2);
@@ -106,6 +194,9 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 42;
     std::size_t ops = 10'000;
     bool quiet = false;
+    bool json = false;
+    const char* metrics_out = nullptr;
+    const char* trace_out = nullptr;
     chaos_config cfg = liberation::raid::default_chaos_config(seed, ops);
 
     for (int i = 1; i < argc; ++i) {
@@ -132,6 +223,13 @@ int main(int argc, char** argv) {
             cfg.transient_read_rate = std::strtod(v, nullptr);
         } else if (const char* v = arg("--write-rate")) {
             cfg.transient_write_rate = std::strtod(v, nullptr);
+        } else if (const char* v = arg("--metrics-out")) {
+            metrics_out = v;
+        } else if (const char* v = arg("--trace-out")) {
+            trace_out = v;
+            cfg.trace = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
@@ -152,6 +250,13 @@ int main(int argc, char** argv) {
     }
 
     const chaos_report rep = liberation::raid::run_chaos_campaign(cfg);
-    print_report(cfg, rep);
-    return rep.success ? 0 : 1;
+    print_report(cfg, rep, json);
+    bool exports_ok = true;
+    if (metrics_out != nullptr) {
+        exports_ok = write_file(metrics_out, rep.metrics_text) && exports_ok;
+    }
+    if (trace_out != nullptr) {
+        exports_ok = write_file(trace_out, rep.trace_json) && exports_ok;
+    }
+    return rep.success && exports_ok ? 0 : 1;
 }

@@ -3,18 +3,31 @@
 //   liberation_cli split  <file> <dir> [--k N] [--p P] [--elem BYTES]
 //   liberation_cli join   <dir> <file>
 //   liberation_cli verify <dir> [--repair]
+//   liberation_cli stats  [--seed N] [--ops N] [--queue-depth N] [--trace]
 //
 // split  : encode <file> into k data shards + P + Q inside <dir>
 // join   : rebuild <file> from the shards; up to two shard files may be
 //          missing/truncated and are re-created on the way
 // verify : parity-check every stripe; with --repair, fix silent
 //          single-shard corruption in place
+// stats  : run a short seeded workload (fill, random reads/writes, a disk
+//          failure + spare rebuild, a scrub) on an in-memory array and
+//          print its full Prometheus metrics exposition — the quickest way
+//          to see every metric the observability layer exports, or to feed
+//          a scrape pipeline a real sample. --trace prints the Chrome
+//          trace JSON of the same run instead.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "liberation/raid/array.hpp"
+#include "liberation/raid/scrubber.hpp"
 #include "liberation/tool/sharder.hpp"
+#include "liberation/util/rng.hpp"
 
 namespace {
 
@@ -24,7 +37,9 @@ int usage() {
         "usage:\n"
         "  liberation_cli split  <file> <dir> [--k N] [--p P] [--elem B]\n"
         "  liberation_cli join   <dir> <file>\n"
-        "  liberation_cli verify <dir> [--repair]\n");
+        "  liberation_cli verify <dir> [--repair]\n"
+        "  liberation_cli stats  [--seed N] [--ops N] [--queue-depth N]"
+        " [--trace]\n");
     return 2;
 }
 
@@ -102,6 +117,79 @@ int cmd_verify(int argc, char** argv) {
     return report.uncorrectable == 0 ? 0 : 1;
 }
 
+int cmd_stats(int argc, char** argv) {
+    std::uint64_t seed = 42;
+    std::uint64_t ops = 2000;
+    std::uint64_t queue_depth = 1;
+    bool trace = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace = true;
+            continue;
+        }
+        if (i + 1 >= argc) return usage();
+        std::uint64_t v = 0;
+        if (!parse_u64(argv[i + 1], v)) return usage();
+        if (std::strcmp(argv[i], "--seed") == 0) {
+            seed = v;
+        } else if (std::strcmp(argv[i], "--ops") == 0) {
+            ops = v;
+        } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
+            queue_depth = v;
+        } else {
+            return usage();
+        }
+        ++i;
+    }
+
+    liberation::raid::array_config cfg;
+    cfg.k = 4;
+    cfg.element_size = 512;
+    cfg.stripes = 32;
+    cfg.sector_size = 512;
+    cfg.hot_spares = 1;
+    cfg.rebuild_batch_stripes = 4;
+    cfg.io_queue_depth = queue_depth;
+    liberation::raid::raid6_array a(cfg);
+    if (trace) a.obs().trace().enable();
+
+    // Fill, then a random mixed workload so every latency family (full
+    // and small writes, reads) accumulates samples.
+    liberation::util::xoshiro256 rng(seed);
+    const std::size_t cap = a.capacity();
+    std::vector<std::byte> buf(cap);
+    rng.fill(buf);
+    if (!a.write(0, buf)) {
+        std::fprintf(stderr, "liberation_cli stats: initial fill failed\n");
+        return 1;
+    }
+    const std::size_t max_io = 2 * a.map().stripe_data_size();
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        const std::size_t len = 1 + rng.next_below(std::min(max_io, cap));
+        const std::size_t addr = rng.next_below(cap - len + 1);
+        const std::span<std::byte> io(buf.data(), len);
+        if (rng.next_below(10) < 4) {
+            rng.fill(io);
+            (void)a.write(addr, io);
+        } else {
+            (void)a.read(addr, io);
+        }
+        // Halfway through, fail a disk so the rebuild window and
+        // degraded-read paths get exercised too.
+        if (op == ops / 2 && a.failed_disk_count() == 0) {
+            a.fail_disk(static_cast<std::uint32_t>(rng.next_below(
+                a.disk_count())));
+        }
+    }
+    a.drain_background_rebuild();
+    (void)liberation::raid::scrub_array(a);
+
+    const std::string out =
+        trace ? a.obs().trace_json() : a.obs().metrics_text();
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +198,7 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[1], "split") == 0) return cmd_split(argc, argv);
         if (std::strcmp(argv[1], "join") == 0) return cmd_join(argc, argv);
         if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
+        if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "liberation_cli: %s\n", e.what());
         return 1;
