@@ -76,6 +76,20 @@ public:
         return crcs_[block];
     }
 
+    /// The whole checksum table, for serialization into the persistence
+    /// layer's superblocks (raid/persist/).
+    [[nodiscard]] std::span<const std::uint32_t> checksums() const noexcept {
+        return crcs_;
+    }
+
+    /// Reinstall a persisted checksum table at mount. The count must match
+    /// the region's geometry — a mismatch means the superblock belongs to
+    /// a different disk size and the caller should have rejected it.
+    void restore_checksums(std::span<const std::uint32_t> crcs) {
+        LIBERATION_EXPECTS(crcs.size() == crcs_.size());
+        crcs_.assign(crcs.begin(), crcs.end());
+    }
+
     /// Fault injection: flip bits of a stored checksum (the metadata
     /// itself is damaged, not the data it describes). `mask` must be
     /// non-zero so the corruption is real.

@@ -6,6 +6,7 @@
 
 #include "liberation/aio/stripe_io.hpp"
 #include "liberation/core/error_correction.hpp"
+#include "liberation/raid/persist/store.hpp"
 #include "liberation/raid/rebuild.hpp"
 #include "liberation/util/assert.hpp"
 #include "liberation/util/primes.hpp"
@@ -51,6 +52,8 @@ array_stats raid6_array::atomic_stats::snapshot() const noexcept {
         checksum_metadata_repaired.load(std::memory_order_relaxed);
     s.writes_rejected_log_full =
         writes_rejected_log_full.load(std::memory_order_relaxed);
+    s.intent_replayed = intent_replayed.load(std::memory_order_relaxed);
+    s.stale_disks_kicked = stale_disks_kicked.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -104,6 +107,8 @@ raid6_array::raid6_array(const array_config& cfg)
     rebuild_aio_engine(acfg);
 }
 
+raid6_array::~raid6_array() = default;
+
 void raid6_array::init_obs(const array_config& cfg) {
     if (cfg.obs_virtual_time) obs_.set_clock(&virtual_clock_now_ns, &clock_);
     policy_.attach_obs(&obs_);
@@ -119,6 +124,11 @@ void raid6_array::init_obs(const array_config& cfg) {
     (void)m.get_histogram("raid_rebuild_window_ns",
                           "rebuild window latency (rebuild_stripe_range)");
     (void)m.get_histogram("raid_scrub_stripe_ns", "per-stripe scrub latency");
+    // Recorded by persist::mount_array when this array is assembled from a
+    // store; registered here so the family is always in the exposition.
+    (void)m.get_histogram("raid_mount_ns",
+                          "persistent-array mount latency "
+                          "(probe, image load, intent replay)");
     gauge_failed_disks_ =
         &m.get_gauge("raid_failed_disks", "disks currently failed");
     gauge_spares_ =
@@ -177,6 +187,11 @@ void raid6_array::mirror_counters() {
     mir("raid_writes_rejected_log_full_total",
         "writes refused because the intent log was at capacity",
         s.writes_rejected_log_full);
+    mir("raid_intent_replayed_total",
+        "journaled stripes re-synced during mount replay", s.intent_replayed);
+    mir("raid_stale_disks_kicked_total",
+        "stale or unreadable members demoted to rebuild at mount",
+        s.stale_disks_kicked);
     const io_policy_stats io = policy_.stats();
     mir("io_reads_total", "disk reads through the retry policy", io.reads);
     mir("io_writes_total", "disk writes through the retry policy", io.writes);
@@ -233,6 +248,10 @@ io_status raid6_array::disk_backend::execute(const aio::io_desc& d) {
 }
 
 void raid6_array::add_data_disk() {
+    // A persistent array's on-disk framing (file count, slot tables,
+    // checksum table sizes) is fixed at format time; growth would need a
+    // reshape pass the store does not implement.
+    LIBERATION_EXPECTS(store_ == nullptr);
     LIBERATION_EXPECTS(map_.layout() == parity_layout::parity_first);
     LIBERATION_EXPECTS(map_.k() < code_.p());
     LIBERATION_EXPECTS(failed_disk_count() == 0);
@@ -321,8 +340,11 @@ io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
             // metadata domain even though the bits never reach the medium
             // — recording the checksum is what makes the torn write
             // deterministically detectable (and torn-vs-corrupt
-            // classifiable) on replay.
+            // classifiable) on replay. The persisted superblock models the
+            // same NVRAM domain, so the record-ahead checksum is flushed
+            // there too — powered off or not.
             regions_[disk].record(offset, in);
+            persist_checksums(disk, offset, in.size());
             return io_status::ok;  // the host never learns; the bits are gone
         }
     } while (!write_budget_.compare_exchange_weak(budget, budget - 1,
@@ -331,7 +353,10 @@ io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
     note_io(disk, io_kind::write, r);
     // A failed write never reaches the medium, so the old checksum stays
     // authoritative; only landed bytes update the region.
-    if (r.status == io_status::ok) regions_[disk].record(offset, in);
+    if (r.status == io_status::ok) {
+        regions_[disk].record(offset, in);
+        persist_checksums(disk, offset, in.size());
+    }
     return r.status;
 }
 
@@ -352,9 +377,17 @@ void raid6_array::fail_disk(std::uint32_t d) {
     disks_[d]->fail();
     handle_failed_disks();
     update_health_gauges();
+    persist_membership();
 }
 
 void raid6_array::replace_disk(std::uint32_t d) {
+    if (store_ && !store_->meta_slot(d)) {
+        // The slot's file belonged to a foreign array (or never decoded);
+        // the operator is installing blank hardware over it, so reclaim
+        // the file for this array before the blank medium is mirrored.
+        (void)store_->reinit_slot(d);
+        attach_media_sink(d);
+    }
     disks_[d]->replace();
     health_.reset(d);
     // The operator took over this slot; drop any background-rebuild claim.
@@ -369,11 +402,13 @@ void raid6_array::replace_disk(std::uint32_t d) {
         }
     }
     update_health_gauges();
+    persist_membership();
 }
 
 void raid6_array::handle_failed_disks() {
     pending_failover_.store(false, std::memory_order_relaxed);
     if (!auto_failover_) return;
+    bool promoted = false;
     for (std::uint32_t d = 0; d < map_.n(); ++d) {
         if (disks_[d]->online() || spares_.empty()) continue;
         // Promote: the blank spare takes the dead disk's slot. Its column
@@ -382,6 +417,15 @@ void raid6_array::handle_failed_disks() {
         spares_.pop_back();
         health_.reset(d);
         stats_.spares_promoted.fetch_add(1, std::memory_order_relaxed);
+        if (store_ != nullptr) {
+            // The slot's file keeps the dead disk's bytes: everything
+            // above the new member's watermark is masked anyway, and the
+            // rebuild rewrites it through the sink. A foreign slot must be
+            // reclaimed before the new hardware writes into it.
+            if (!store_->meta_slot(d)) (void)store_->reinit_slot(d);
+            attach_media_sink(d);
+        }
+        promoted = true;
         const auto it =
             std::find_if(rebuilding_.begin(), rebuilding_.end(),
                          [d](const rebuild_member& m) { return m.disk == d; });
@@ -396,6 +440,7 @@ void raid6_array::handle_failed_disks() {
         rebuild_active_ = true;
     }
     update_health_gauges();
+    if (promoted) persist_membership();
 }
 
 void raid6_array::service_events() {
@@ -464,16 +509,26 @@ std::size_t raid6_array::service_background_rebuild(std::size_t max_stripes) {
         for (rebuild_member& m : rebuilding_) {
             if (m.cursor == first) m.cursor = last;
         }
+        bool completed = false;
         for (auto it = rebuilding_.begin(); it != rebuilding_.end();) {
             if (it->cursor >= map_.stripes()) {
                 it = rebuilding_.erase(it);
                 stats_.rebuilds_completed.fetch_add(1,
                                                     std::memory_order_relaxed);
+                completed = true;
             } else {
                 ++it;
             }
         }
         if (rebuilding_.empty()) rebuild_active_ = false;
+        // Persist the advanced watermarks so a kill mid-rebuild resumes
+        // from here instead of stripe 0; a finished member is a membership
+        // change (its slot state flips back to active).
+        if (completed) {
+            persist_membership();
+        } else if (processed > 0) {
+            persist_watermarks();
+        }
     }
     in_service_ = false;
     // A survivor may have tripped during the batch.
@@ -707,6 +762,9 @@ bool raid6_array::journal_mark(std::size_t stripe, std::uint64_t cols) {
         return false;
     }
     gauge_journal_->set(static_cast<std::int64_t>(journal_.size()));
+    // On-disk analogue of the NVRAM flush: the entry must be durable on
+    // the other members before any data write of this stripe is issued.
+    persist_intent();
     return true;
 }
 
@@ -715,7 +773,137 @@ void raid6_array::journal_clear(std::size_t stripe) {
     if (powered_) {
         journal_.clear(stripe);
         gauge_journal_->set(static_cast<std::int64_t>(journal_.size()));
+        persist_intent();
     }
+}
+
+// ---- persistence hooks -----------------------------------------------
+
+void raid6_array::attach_persistence(std::unique_ptr<persist::store> st) {
+    LIBERATION_EXPECTS(st != nullptr && st->slot_count() == map_.n());
+    store_ = std::move(st);
+    for (std::uint32_t d = 0; d < map_.n(); ++d) {
+        if (store_->meta_slot(d)) attach_media_sink(d);
+    }
+}
+
+void raid6_array::attach_media_sink(std::uint32_t d) {
+    // Raw pointer capture: the store outlives every sink (unmount and the
+    // destructor detach sinks before releasing it).
+    persist::store* st = store_.get();
+    disks_[d]->attach_media_sink(
+        [st, d](std::size_t offset, std::span<const std::byte> bytes) {
+            (void)st->write_data(d, offset, bytes);
+        });
+}
+
+void raid6_array::persist_intent() {
+    if (!store_) return;
+    std::vector<persist::superblock::intent_entry> ents;
+    for (const intent_log::entry& e : journal_.entries()) {
+        ents.push_back({e.stripe, e.columns, e.seq});
+    }
+    for (std::uint32_t s = 0; s < map_.n(); ++s) {
+        if (!store_->meta_slot(s) || !store_->slot_ok(s)) continue;
+        store_->image(s).intents = ents;
+        (void)store_->persist(s);
+    }
+}
+
+void raid6_array::persist_checksums(std::uint32_t disk, std::size_t offset,
+                                    std::size_t len) {
+    if (!store_ || !store_->meta_slot(disk) || !store_->slot_ok(disk)) return;
+    persist::superblock& img = store_->image(disk);
+    const std::span<const std::uint32_t> crcs = regions_[disk].checksums();
+    if (img.crcs.size() != crcs.size()) {
+        img.crcs.assign(crcs.begin(), crcs.end());
+    } else {
+        const std::size_t b0 = offset / integrity_block_;
+        const std::size_t b1 =
+            (offset + len + integrity_block_ - 1) / integrity_block_;
+        std::copy(crcs.begin() + static_cast<std::ptrdiff_t>(b0),
+                  crcs.begin() + static_cast<std::ptrdiff_t>(b1),
+                  img.crcs.begin() + static_cast<std::ptrdiff_t>(b0));
+    }
+    (void)store_->persist(disk);
+}
+
+void raid6_array::persist_membership() {
+    if (!store_) return;
+    const std::uint32_t n = map_.n();
+    std::vector<std::uint8_t> states(
+        n, static_cast<std::uint8_t>(persist::slot_state::active));
+    std::vector<std::uint64_t> marks(n, map_.stripes());
+    for (std::uint32_t d = 0; d < n; ++d) {
+        if (!disks_[d]->online()) {
+            states[d] = static_cast<std::uint8_t>(persist::slot_state::failed);
+        }
+    }
+    for (const rebuild_member& m : rebuilding_) {
+        states[m.disk] =
+            static_cast<std::uint8_t>(persist::slot_state::rebuilding);
+        marks[m.disk] = m.cursor;
+    }
+    // One shared epoch across the replicated copies: members that miss
+    // this update (failed/foreign slots) fall behind and are kicked as
+    // stale by the next mount.
+    std::uint64_t events = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        if (store_->meta_slot(s)) {
+            events = std::max(events, store_->image(s).events);
+        }
+    }
+    ++events;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        if (!store_->meta_slot(s) || !store_->slot_ok(s)) continue;
+        persist::superblock& img = store_->image(s);
+        img.slot_states = states;
+        img.watermarks = marks;
+        img.spares_available = static_cast<std::uint32_t>(spares_.size());
+        img.next_disk_id = next_disk_id_;
+        img.disk_id = disks_[s]->id();
+        img.events = events;
+        (void)store_->persist(s);
+    }
+}
+
+void raid6_array::persist_watermarks() {
+    if (!store_) return;
+    for (std::uint32_t s = 0; s < map_.n(); ++s) {
+        if (!store_->meta_slot(s) || !store_->slot_ok(s)) continue;
+        persist::superblock& img = store_->image(s);
+        for (const rebuild_member& m : rebuilding_) {
+            img.watermarks[m.disk] = m.cursor;
+        }
+        (void)store_->persist(s);
+    }
+}
+
+bool raid6_array::unmount() {
+    if (!store_) return true;
+    // Refresh every replicated table, then stamp the images clean (only
+    // if no hazard is still journaled) and flush. The two persists per
+    // slot are deliberate: membership/intent refresh first, then the
+    // clean stamp — a crash between them is indistinguishable from a
+    // crash just before unmount, which mount handles anyway.
+    persist_membership();
+    persist_intent();
+    const bool clean = journal_.size() == 0;
+    bool ok = true;
+    for (std::uint32_t s = 0; s < map_.n(); ++s) {
+        if (!store_->meta_slot(s) || !store_->slot_ok(s)) continue;
+        persist::superblock& img = store_->image(s);
+        // Wholesale checksum refresh: scrub/read-repair may have updated
+        // words without a disk_write hook firing.
+        const std::span<const std::uint32_t> crcs = regions_[s].checksums();
+        img.crcs.assign(crcs.begin(), crcs.end());
+        img.clean = clean;
+        if (!store_->persist(s)) ok = false;
+    }
+    if (!store_->flush_all()) ok = false;
+    for (auto& d : disks_) d->detach_media_sink();
+    store_.reset();
+    return ok;
 }
 
 std::size_t raid6_array::resilver() {

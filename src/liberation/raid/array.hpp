@@ -50,6 +50,11 @@ class thread_pool;
 
 namespace liberation::raid {
 
+namespace persist {
+class store;
+struct mounter;
+}  // namespace persist
+
 struct array_config {
     std::uint32_t k = 4;            ///< data disks
     std::uint32_t p = 0;            ///< code prime; 0 = smallest odd prime >= k
@@ -134,6 +139,9 @@ struct array_stats {
     std::uint64_t reads_unrecoverable = 0;      ///< verified reads refused
     std::uint64_t checksum_metadata_repaired = 0;  ///< stale/damaged CRCs fixed
     std::uint64_t writes_rejected_log_full = 0; ///< intent log at capacity
+    // ---- persistence (raid/persist/) ----------------------------------
+    std::uint64_t intent_replayed = 0;     ///< journaled stripes re-synced at mount
+    std::uint64_t stale_disks_kicked = 0;  ///< members demoted to rebuild at mount
     // ---- async I/O pipeline (mirrors aio::aio_stats) ------------------
     std::uint64_t aio_batches = 0;            ///< transfers issued by the engine
     std::uint64_t aio_merges = 0;             ///< reads absorbed into a neighbour
@@ -144,6 +152,8 @@ struct array_stats {
 class raid6_array {
 public:
     explicit raid6_array(const array_config& cfg);
+    /// Out of line: ~unique_ptr<persist::store> needs the complete type.
+    ~raid6_array();
 
     raid6_array(const raid6_array&) = delete;
     raid6_array& operator=(const raid6_array&) = delete;
@@ -295,6 +305,27 @@ public:
     /// unreadable columns are left journaled.
     std::size_t recover_write_hole();
 
+    // ---- persistence (see raid/persist/) ------------------------------
+
+    /// True when the array is backed by an on-disk store (created with
+    /// persist::create_array or persist::mount_array).
+    [[nodiscard]] bool persistent() const noexcept {
+        return store_ != nullptr;
+    }
+    /// The backing store, or nullptr for a purely in-memory array.
+    [[nodiscard]] persist::store* persistence() noexcept {
+        return store_.get();
+    }
+
+    /// Clean shutdown of a persistent array: refresh every superblock
+    /// image (checksum tables, intent log, membership), mark them clean,
+    /// persist and fsync everything, and detach from the store. The next
+    /// mount sees `clean` and skips intent replay. Returns false when any
+    /// superblock could not be written (the array still detaches — the
+    /// next mount simply treats it as unclean). No-op (true) when the
+    /// array is not persistent.
+    bool unmount();
+
     /// Online growth (parity_first layout only): append a blank disk that
     /// becomes data column k. No parity is recomputed — the new column was
     /// a phantom zero column of the fixed-p Liberation code all along, so
@@ -407,6 +438,8 @@ private:
         std::atomic<std::uint64_t> reads_unrecoverable{0};
         std::atomic<std::uint64_t> checksum_metadata_repaired{0};
         std::atomic<std::uint64_t> writes_rejected_log_full{0};
+        std::atomic<std::uint64_t> intent_replayed{0};
+        std::atomic<std::uint64_t> stale_disks_kicked{0};
 
         [[nodiscard]] array_stats snapshot() const noexcept;
     };
@@ -479,6 +512,33 @@ private:
     /// write failure for the caller) when the log is at capacity.
     [[nodiscard]] bool journal_mark(std::size_t stripe, std::uint64_t cols);
     void journal_clear(std::size_t stripe);
+
+    // ---- persistence hooks (no-ops while store_ is null) ---------------
+
+    /// Take ownership of the backing store and wire every member disk's
+    /// media sink to its data area. Called once by the mounter/creator.
+    void attach_persistence(std::unique_ptr<persist::store> st);
+    /// Mirror medium mutations of slot `d` into the store's data area.
+    void attach_media_sink(std::uint32_t d);
+    /// Replicate the intent log into every metadata slot and persist.
+    /// Fires on every journal mark/clear — the on-disk analogue of
+    /// flushing the NVRAM word before data I/O is issued.
+    void persist_intent();
+    /// Persist the checksum words covering a write of `len` bytes at
+    /// `offset` on slot `disk` into that slot's own superblock. Runs even
+    /// powered-off: the superblock models the battery-backed metadata
+    /// domain, so record-ahead checksums of dropped writes are durable —
+    /// that is what makes torn writes detectable after a remount.
+    void persist_checksums(std::uint32_t disk, std::size_t offset,
+                           std::size_t len);
+    /// Recompute slot states, watermarks, spare level, and identity in
+    /// every metadata image, bump the membership epoch (`events`), and
+    /// persist all metadata slots. Called on failure, promotion,
+    /// replacement, and rebuild completion.
+    void persist_membership();
+    /// Persist just the rebuild watermarks (one batch advanced; no epoch
+    /// bump — the membership did not change).
+    void persist_watermarks();
 
     /// (Re)build the aio engine for the current disk count and register
     /// the checksum-verify completion stage on it.
@@ -569,6 +629,13 @@ private:
     /// Set from deep I/O paths (possibly pool threads) when the health
     /// monitor trips a disk; serviced at the next foreground entry.
     std::atomic<bool> pending_failover_{false};
+
+    // ---- persistence ---------------------------------------------------
+    /// Backing store (raid/persist/); null for in-memory arrays. The
+    /// mounter is the only outside party that may install it and poke the
+    /// array's state while reassembling.
+    friend struct persist::mounter;
+    std::unique_ptr<persist::store> store_;
 };
 
 }  // namespace liberation::raid

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "liberation/raid/persist/mount.hpp"
 #include "liberation/raid/scrubber.hpp"
 #include "liberation/util/rng.hpp"
 #include "liberation/util/timer.hpp"
@@ -28,6 +29,46 @@ namespace {
     for (std::uint32_t d = 0; d < n; ++d)
         if (a.disk(d).online()) return d;
     return 0;  // all offline; caller's event will be a no-op
+}
+
+/// Counters must survive the kill-and-remount phases: each generation's
+/// final snapshot is folded into the campaign totals before the array
+/// object is destroyed.
+void accumulate(array_stats& into, const array_stats& s) {
+    into.full_stripe_writes += s.full_stripe_writes;
+    into.small_writes += s.small_writes;
+    into.parity_elements_updated += s.parity_elements_updated;
+    into.degraded_stripe_reads += s.degraded_stripe_reads;
+    into.degraded_element_reads += s.degraded_element_reads;
+    into.media_errors_recovered += s.media_errors_recovered;
+    into.transient_errors_masked += s.transient_errors_masked;
+    into.retries_exhausted += s.retries_exhausted;
+    into.disks_tripped += s.disks_tripped;
+    into.spares_promoted += s.spares_promoted;
+    into.rebuilds_completed += s.rebuilds_completed;
+    into.rebuild_stripes_failed += s.rebuild_stripes_failed;
+    into.rebuild_sessions_stalled += s.rebuild_sessions_stalled;
+    into.checksum_mismatches += s.checksum_mismatches;
+    into.reads_self_healed += s.reads_self_healed;
+    into.reads_unrecoverable += s.reads_unrecoverable;
+    into.checksum_metadata_repaired += s.checksum_metadata_repaired;
+    into.writes_rejected_log_full += s.writes_rejected_log_full;
+    into.intent_replayed += s.intent_replayed;
+    into.stale_disks_kicked += s.stale_disks_kicked;
+    into.aio_batches += s.aio_batches;
+    into.aio_merges += s.aio_merges;
+    into.aio_split_retries += s.aio_split_retries;
+    into.aio_inflight_highwater =
+        std::max(into.aio_inflight_highwater, s.aio_inflight_highwater);
+}
+
+void accumulate(io_policy_stats& into, const io_policy_stats& s) {
+    into.reads += s.reads;
+    into.writes += s.writes;
+    into.retries += s.retries;
+    into.transient_masked += s.transient_masked;
+    into.retries_exhausted += s.retries_exhausted;
+    into.backoff_us += s.backoff_us;
 }
 
 }  // namespace
@@ -56,39 +97,108 @@ chaos_config default_chaos_config(std::uint64_t seed, std::size_t ops) {
 
 chaos_report run_chaos_campaign(const chaos_config& cfg) {
     chaos_report rep;
-    raid6_array a(cfg.array);
+    const chaos_persist_plan& pp = cfg.persist;
+    std::unique_ptr<raid6_array> arr;
+    if (pp.enabled) {
+        persist::store_config scfg;
+        scfg.dir = pp.dir;
+        scfg.sync_meta = pp.sync_meta;
+        // Fixed uuid: the campaign replays bit-for-bit from the seed.
+        arr = persist::create_array(cfg.array, scfg,
+                                    derive_seed(cfg.seed, 0xA11A) | 1);
+        if (!arr) {
+            ++rep.mount_failures;
+            return rep;
+        }
+    } else {
+        arr = std::make_unique<raid6_array>(cfg.array);
+    }
     util::xoshiro256 rng(cfg.seed);
     const auto log = [&](const std::string& msg) {
         if (cfg.log) cfg.log(msg);
     };
-    if (cfg.trace) a.obs().trace().enable();
+    if (cfg.trace) arr->obs().trace().enable();
     // The array (and its observability hub) is local to this run; capture
     // the exports into the report on every return path.
     const auto capture_obs = [&] {
-        rep.metrics_text = a.obs().metrics_text();
-        rep.histograms = a.obs().histogram_snapshots();
-        if (cfg.trace) rep.trace_json = a.obs().trace_json();
+        rep.metrics_text = arr->obs().metrics_text();
+        rep.histograms = arr->obs().histogram_snapshots();
+        if (cfg.trace) rep.trace_json = arr->obs().trace_json();
     };
     util::stopwatch phase_clock;
+
+    // Counter continuity across kill-and-remount generations: fault
+    // streams and stats are process-local, so each generation re-arms
+    // (with a derived, decorrelated seed) and folds its totals in.
+    array_stats acc_stats{};
+    io_policy_stats acc_io{};
+    std::uint64_t generation = 0;
 
     // Arm baseline transient rates on every starting disk (spares are
     // armed only if promoted hardware were flaky — they are not; a
     // promoted spare is fresh hardware, which is also what keeps the
     // post-storm array quiet enough to finish its rebuild).
-    if (cfg.transient_read_rate > 0.0 || cfg.transient_write_rate > 0.0) {
-        for (std::uint32_t d = 0; d < a.disk_count(); ++d)
-            a.disk(d).set_transient_fault_rates(cfg.transient_read_rate,
-                                                cfg.transient_write_rate,
-                                                derive_seed(cfg.seed, d));
-    }
+    const auto arm_transients = [&] {
+        if (cfg.transient_read_rate <= 0.0 && cfg.transient_write_rate <= 0.0) {
+            return;
+        }
+        for (std::uint32_t d = 0; d < arr->disk_count(); ++d) {
+            arr->disk(d).set_transient_fault_rates(
+                cfg.transient_read_rate, cfg.transient_write_rate,
+                derive_seed(cfg.seed, d + 64 * generation));
+        }
+    };
+    arm_transients();
+
+    // Destroy the array with no unmount — the on-disk state of an abrupt
+    // process death — then reassemble it from the backing files.
+    const auto kill_and_remount = [&](const std::string& why) {
+        accumulate(acc_stats, arr->stats());
+        accumulate(acc_io, arr->io_stats());
+        arr.reset();
+        ++rep.kills;
+        log("kill (" + why + "): process state dropped, remounting");
+        util::stopwatch mount_clock;
+        persist::mount_options mo;
+        mo.store.dir = pp.dir;
+        mo.store.sync_meta = pp.sync_meta;
+        mo.io_queue_depth = cfg.array.io_queue_depth;
+        mo.io_merge = cfg.array.io_merge;
+        mo.io_workers = cfg.array.io_workers;
+        mo.verify_reads = cfg.array.verify_reads;
+        mo.io_retry = cfg.array.io_retry;
+        mo.health = cfg.array.health;
+        mo.rebuild_batch_stripes = cfg.array.rebuild_batch_stripes;
+        mo.auto_failover = cfg.array.auto_failover;
+        mo.obs_virtual_time = cfg.array.obs_virtual_time;
+        persist::mounted_array m = persist::mount_array(mo);
+        rep.phases.mount_replay_s += mount_clock.seconds();
+        if (!m.report.ok) {
+            ++rep.mount_failures;
+            log("remount FAILED: " + m.report.error);
+            return false;
+        }
+        arr = std::move(m.array);
+        ++rep.remounts;
+        rep.mount_intent_replayed += m.report.intent_replayed;
+        rep.stale_disks_kicked += m.report.stale_kicked + m.report.unreadable;
+        rep.rebuilds_resumed += m.report.rebuilds_resumed;
+        ++generation;
+        arm_transients();
+        if (cfg.trace) arr->obs().trace().enable();
+        log("remounted: " + std::to_string(m.report.disks_online) + "/" +
+            std::to_string(m.report.disks_total) + " online, " +
+            std::to_string(m.report.intent_replayed) + " stripes replayed");
+        return true;
+    };
 
     // Initial fill + shadow copy: every later read has a ground truth.
-    const std::size_t cap = a.capacity();
+    const std::size_t cap = arr->capacity();
     std::vector<std::byte> shadow(cap);
     rng.fill(shadow);
-    if (!a.write(0, shadow)) {
+    if (!arr->write(0, shadow)) {
         ++rep.failed_writes;
-        rep.stats = a.stats();
+        rep.stats = arr->stats();
         rep.phases.fill_s = phase_clock.seconds();
         capture_obs();
         return rep;
@@ -97,7 +207,7 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
 
     const std::size_t max_io = cfg.max_io_bytes != 0
                                    ? std::min(cfg.max_io_bytes, cap)
-                                   : std::min(2 * a.map().stripe_data_size(), cap);
+                                   : std::min(2 * arr->map().stripe_data_size(), cap);
     std::vector<std::byte> buf(max_io);
 
     const chaos_event_plan& ev = cfg.events;
@@ -105,13 +215,17 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     bool storm_pending = false;
     bool power_pending = false;
     bool power_armed = false;  // budget set, loss not yet observed
+    bool kill_write_pending = false;
+    bool kill_write_armed = false;  // on the budget's loss: kill, not reboot
+    bool kill_rebuild_pending = false;
+    bool kill_scrub_pending = false;
 
     // An event only fires when the array is quiet — no failed disk, no
     // rebuild in flight — so faults never stack beyond the two erasures
     // RAID-6 tolerates by construction.
     const auto quiet = [&] {
-        return a.failed_disk_count() == 0 && !a.rebuild_active() &&
-               a.powered() && !power_armed;
+        return arr->failed_disk_count() == 0 && !arr->rebuild_active() &&
+               arr->powered() && !power_armed;
     };
 
     // Silent corruption is injected under a *looser* gate than the armed
@@ -121,8 +235,8 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // their mismatches belong to write-hole recovery, not to the
     // corruption classifier.
     const auto corruptible = [&] {
-        return a.powered() && !power_armed && a.failed_disk_count() == 0 &&
-               a.rebuilding_disk_count() <= 1 && a.journal().size() == 0;
+        return arr->powered() && !power_armed && arr->failed_disk_count() == 0 &&
+               arr->rebuilding_disk_count() <= 1 && arr->journal().size() == 0;
     };
     std::size_t data_flips = 0;
 
@@ -131,13 +245,32 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         if (op == ev.fail_stop_at_op) fail_stop_pending = true;
         if (op == ev.health_storm_at_op) storm_pending = true;
         if (op == ev.power_loss_at_op) power_pending = true;
+        if (pp.enabled) {
+            if (op == pp.kill_mid_write_at_op) kill_write_pending = true;
+            if (op == pp.kill_mid_rebuild_at_op) kill_rebuild_pending = true;
+            if (op == pp.kill_mid_scrub_at_op) kill_scrub_pending = true;
+        }
+
+        // The mid-rebuild kill deliberately inverts the quiet() gate: it
+        // fires at the first op with a rebuild actually in flight, so the
+        // remount must resume it from the persisted watermark.
+        if (kill_rebuild_pending && arr->rebuild_active() && arr->powered() &&
+            !power_armed) {
+            kill_rebuild_pending = false;
+            log("op " + std::to_string(op) + ": killing mid-rebuild");
+            if (!kill_and_remount("mid-rebuild")) {
+                rep.stats = acc_stats;
+                rep.io = acc_io;
+                return rep;
+            }
+        }
 
         // Fire at most one armed event per op, oldest first.
         if (fail_stop_pending && quiet()) {
-            const std::uint32_t victim = pick_online_disk(a, rng);
+            const std::uint32_t victim = pick_online_disk(*arr, rng);
             log("op " + std::to_string(op) + ": fail-stop disk " +
                 std::to_string(victim));
-            a.fail_disk(victim);
+            arr->fail_disk(victim);
             ++rep.injected_fail_stops;
             fail_stop_pending = false;
             if (ev.degraded_scrub) {
@@ -147,13 +280,13 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
                 // and scrub immediately: the checksum-first scrubber must
                 // repair corruption on a degraded stripe, which the parity
                 // cross-check scrubber could only skip.
-                const std::size_t s = a.map().stripes() - 1;
-                for (std::uint32_t c = 0; c < a.map().n(); ++c) {
-                    const strip_location loc = a.map().locate(s, c);
-                    if (loc.disk == victim || !a.disk(loc.disk).online()) {
+                const std::size_t s = arr->map().stripes() - 1;
+                for (std::uint32_t c = 0; c < arr->map().n(); ++c) {
+                    const strip_location loc = arr->map().locate(s, c);
+                    if (loc.disk == victim || !arr->disk(loc.disk).online()) {
                         continue;
                     }
-                    a.disk(loc.disk).inject_silent_corruption(loc.offset, 32,
+                    arr->disk(loc.disk).inject_silent_corruption(loc.offset, 32,
                                                               rng);
                     ++rep.corruptions_injected;
                     log("op " + std::to_string(op) +
@@ -162,31 +295,70 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
                         std::to_string(s));
                     break;
                 }
-                const scrub_summary mid = scrub_array(a);
+                const scrub_summary mid = scrub_array(*arr);
                 rep.degraded_scrub_repairs += mid.repaired_on_degraded;
             }
         } else if (storm_pending && quiet()) {
-            const std::uint32_t victim = pick_online_disk(a, rng);
+            const std::uint32_t victim = pick_online_disk(*arr, rng);
             log("op " + std::to_string(op) + ": transient storm on disk " +
                 std::to_string(victim));
-            a.disk(victim).set_transient_fault_rates(
+            arr->disk(victim).set_transient_fault_rates(
                 cfg.storm_rate, cfg.storm_rate, derive_seed(cfg.seed, 1000));
             storm_pending = false;
         } else if (power_pending && quiet()) {
             const auto budget = 1 + rng.next_below(4);
             log("op " + std::to_string(op) + ": power loss armed after " +
                 std::to_string(budget) + " disk writes");
-            a.simulate_power_loss_after(budget);
+            arr->simulate_power_loss_after(budget);
             power_pending = false;
             power_armed = true;
+        } else if (kill_write_pending && quiet()) {
+            // Armed exactly like a power loss: a few disk writes into some
+            // stripe update the plug is pulled — but instead of rebooting
+            // the same array object, the process dies and the array is
+            // remounted from the files, which must replay the intent log.
+            const auto budget = 1 + rng.next_below(4);
+            log("op " + std::to_string(op) + ": mid-write kill armed after " +
+                std::to_string(budget) + " disk writes");
+            arr->simulate_power_loss_after(budget);
+            kill_write_pending = false;
+            kill_write_armed = true;
+            power_armed = true;
+        } else if (kill_scrub_pending && quiet() &&
+                   arr->journal().size() == 0) {
+            // Mid-scrub crash point: damage is sitting on the medium, the
+            // scrub that would heal it never finishes. The corruption must
+            // survive the remount round-trip (the files hold the corrupt
+            // bytes, the persisted checksums still describe the original
+            // data) and the post-remount scrub must repair it.
+            const std::size_t s = arr->map().stripes() / 2;
+            const auto c =
+                static_cast<std::uint32_t>(rng.next_below(arr->map().n()));
+            const strip_location loc = arr->map().locate(s, c);
+            arr->disk(loc.disk).inject_silent_corruption(loc.offset, 32, rng);
+            ++rep.corruptions_injected;
+            kill_scrub_pending = false;
+            log("op " + std::to_string(op) + ": killing mid-scrub (disk " +
+                std::to_string(loc.disk) + " stripe " + std::to_string(s) +
+                " corrupt and unhealed)");
+            if (!kill_and_remount("mid-scrub")) {
+                rep.stats = acc_stats;
+                rep.io = acc_io;
+                return rep;
+            }
+            const scrub_summary after = scrub_array(*arr);
+            rep.remount_scrub_repairs += after.repaired_data +
+                                         after.repaired_parity +
+                                         after.repaired_metadata;
+            rep.scrub_uncorrectable += after.uncorrectable;
         } else if (ev.latent_error_every != 0 && op % ev.latent_error_every == 0 &&
                    op != 0 && quiet()) {
-            const std::uint32_t victim = pick_online_disk(a, rng);
-            const std::size_t dcap = a.disk(victim).capacity();
+            const std::uint32_t victim = pick_online_disk(*arr, rng);
+            const std::size_t dcap = arr->disk(victim).capacity();
             const std::size_t off =
                 rng.next_below(dcap / cfg.array.sector_size) *
                 cfg.array.sector_size;
-            a.disk(victim).inject_latent_error(off, cfg.array.sector_size);
+            arr->disk(victim).inject_latent_error(off, cfg.array.sector_size);
             ++rep.latent_errors_injected;
         }
 
@@ -199,18 +371,18 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             // corruption lingers until a read or scrub heals it, and piling
             // three unhealed flips onto one stripe would exceed what any
             // two-parity code can repair.
-            const std::size_t s = (data_flips * 7) % a.map().stripes();
+            const std::size_t s = (data_flips * 7) % arr->map().stripes();
             ++data_flips;
             const auto c =
-                static_cast<std::uint32_t>(rng.next_below(a.map().n()));
-            const strip_location loc = a.map().locate(s, c);
-            const std::size_t block = a.integrity_block();
+                static_cast<std::uint32_t>(rng.next_below(arr->map().n()));
+            const strip_location loc = arr->map().locate(s, c);
+            const std::size_t block = arr->integrity_block();
             const std::size_t off =
                 loc.offset +
-                rng.next_below(a.map().strip_size() / block) * block;
+                rng.next_below(arr->map().strip_size() / block) * block;
             const std::size_t len =
                 1 + rng.next_below(std::min<std::size_t>(64, block));
-            a.disk(loc.disk).inject_silent_corruption(off, len, rng);
+            arr->disk(loc.disk).inject_silent_corruption(off, len, rng);
             ++rep.corruptions_injected;
             log("op " + std::to_string(op) + ": silent corruption on disk " +
                 std::to_string(loc.disk) + " stripe " + std::to_string(s));
@@ -221,8 +393,8 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             // Flip a stored checksum instead of the data it covers: the
             // verify/decode machinery must conclude the *metadata* is the
             // damaged side and refresh it, never "heal" the good data.
-            const std::uint32_t victim = pick_online_disk(a, rng);
-            integrity::integrity_region& region = a.integrity(victim);
+            const std::uint32_t victim = pick_online_disk(*arr, rng);
+            integrity::integrity_region& region = arr->integrity(victim);
             const std::size_t b = rng.next_below(region.blocks());
             region.corrupt_block(
                 b, static_cast<std::uint32_t>(rng.next() | 1));
@@ -239,16 +411,16 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         if (do_write) {
             rng.fill(io);
             ++rep.writes;
-            if (!a.write(addr, io)) {
+            if (!arr->write(addr, io)) {
                 ++rep.failed_writes;
                 log("op " + std::to_string(op) + ": write failed at " +
                     std::to_string(addr) + "+" + std::to_string(len));
-            } else if (a.powered()) {
+            } else if (arr->powered()) {
                 std::memcpy(shadow.data() + addr, buf.data(), len);
             }
         } else {
             ++rep.reads;
-            if (!a.read(addr, io)) {
+            if (!arr->read(addr, io)) {
                 ++rep.failed_reads;
                 log("op " + std::to_string(op) + ": read failed at " +
                     std::to_string(addr) + "+" + std::to_string(len));
@@ -266,16 +438,29 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         // whichever mix of old/new data the torn write left behind — that
         // on-disk state is now the ground truth, exactly as a real host
         // sees after an unclean shutdown.
-        if (!a.powered()) {
-            ++rep.power_losses;
-            log("op " + std::to_string(op) + ": power lost, rebooting");
-            a.reboot();
+        if (!arr->powered()) {
             power_armed = false;
-            // Baseline transients can defer individual stripes; retry.
-            for (int t = 0; t < 16 && a.journal().size() != 0; ++t)
-                rep.resynced_stripes += a.recover_write_hole();
+            if (kill_write_armed) {
+                // The mid-write crash point: the process dies with the
+                // torn write on disk and the intent entry persisted.
+                // mount_array() replays the journal before handing the
+                // array back (counted in mount_intent_replayed).
+                kill_write_armed = false;
+                if (!kill_and_remount("mid-write")) {
+                    rep.stats = acc_stats;
+                    rep.io = acc_io;
+                    return rep;
+                }
+            } else {
+                ++rep.power_losses;
+                log("op " + std::to_string(op) + ": power lost, rebooting");
+                arr->reboot();
+                // Baseline transients can defer individual stripes; retry.
+                for (int t = 0; t < 16 && arr->journal().size() != 0; ++t)
+                    rep.resynced_stripes += arr->recover_write_hole();
+            }
             if (do_write) {
-                if (a.read(addr, io)) {
+                if (arr->read(addr, io)) {
                     std::memcpy(shadow.data() + addr, buf.data(), len);
                 } else {
                     ++rep.failed_reads;
@@ -290,12 +475,12 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // then heal what is left (latent sectors on strips the workload never
     // re-read, including parity strips only resilver visits).
     phase_clock.restart();
-    a.drain_background_rebuild();
-    for (std::uint32_t d = 0; d < a.disk_count(); ++d)
-        a.disk(d).clear_transient_faults();
-    for (int t = 0; t < 16 && a.journal().size() != 0; ++t)
-        rep.resynced_stripes += a.recover_write_hole();
-    rep.resilver_healed = a.resilver();
+    arr->drain_background_rebuild();
+    for (std::uint32_t d = 0; d < arr->disk_count(); ++d)
+        arr->disk(d).clear_transient_faults();
+    for (int t = 0; t < 16 && arr->journal().size() != 0; ++t)
+        rep.resynced_stripes += arr->recover_write_hole();
+    rep.resilver_healed = arr->resilver();
     rep.phases.settle_s = phase_clock.seconds();
 
     phase_clock.restart();
@@ -304,7 +489,7 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // degraded). Its parity-fallback repairs are damage the checksum
     // domain could not see — a stripe left torn without being journaled —
     // and count against the write-hole invariant.
-    const scrub_summary settle = scrub_array(a);
+    const scrub_summary settle = scrub_array(*arr);
     rep.settle_scrub_healed = settle.repaired_data + settle.repaired_parity +
                               settle.repaired_metadata;
     rep.final_torn += settle.parity_fallback_repairs;
@@ -314,7 +499,7 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // Final verification: full device vs shadow...
     phase_clock.restart();
     std::vector<std::byte> out(cap);
-    if (!a.read(0, out)) {
+    if (!arr->read(0, out)) {
         ++rep.failed_reads;
     } else if (!std::equal(out.begin(), out.end(), shadow.begin())) {
         ++rep.mismatches;
@@ -326,21 +511,21 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // checksum — this is the "no unverified bytes survive the campaign"
     // invariant.
     {
-        codes::stripe_buffer sbuf = a.make_stripe_buffer();
+        codes::stripe_buffer sbuf = arr->make_stripe_buffer();
         std::vector<std::uint32_t> erased;
-        for (std::size_t s = 0; s < a.map().stripes(); ++s) {
-            if (!a.load_stripe(s, sbuf.view(), erased)) {
+        for (std::size_t s = 0; s < arr->map().stripes(); ++s) {
+            if (!arr->load_stripe(s, sbuf.view(), erased)) {
                 ++rep.final_unrecovered;
                 continue;
             }
             if (!erased.empty()) ++rep.final_degraded;
-            for (std::uint32_t c = 0; c < a.map().n(); ++c) {
+            for (std::uint32_t c = 0; c < arr->map().n(); ++c) {
                 if (std::find(erased.begin(), erased.end(), c) !=
                     erased.end()) {
                     continue;
                 }
-                const strip_location loc = a.map().locate(s, c);
-                if (!a.integrity(loc.disk).verify(loc.offset,
+                const strip_location loc = arr->map().locate(s, c);
+                if (!arr->integrity(loc.disk).verify(loc.offset,
                                                   sbuf.view().strip(c))) {
                     ++rep.final_checksum_bad;
                 }
@@ -354,18 +539,20 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // injected fault, so any repair the scrubber performs here means some
     // path left a stripe inconsistent after recovery claimed it was done.
     phase_clock.restart();
-    const scrub_summary scrub = scrub_array(a);
+    const scrub_summary scrub = scrub_array(*arr);
     rep.final_torn += scrub.repaired_data + scrub.repaired_parity;
     rep.scrub_uncorrectable += scrub.uncorrectable;
     rep.phases.final_scrub_s = phase_clock.seconds();
 
-    rep.stats = a.stats();
-    rep.io = a.io_stats();
+    accumulate(acc_stats, arr->stats());
+    accumulate(acc_io, arr->io_stats());
+    rep.stats = acc_stats;
+    rep.io = acc_io;
     rep.health_trips = rep.stats.disks_tripped;
     rep.spares_promoted = rep.stats.spares_promoted;
     rep.rebuilds_completed = rep.stats.rebuilds_completed;
 
-    bool events_ok = a.journal().size() == 0;
+    bool events_ok = arr->journal().size() == 0;
     if (ev.fail_stop_at_op < cfg.ops) {
         events_ok = events_ok && rep.injected_fail_stops >= 1;
     }
@@ -393,6 +580,25 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     }
     if (ev.degraded_scrub && ev.fail_stop_at_op < cfg.ops) {
         events_ok = events_ok && rep.degraded_scrub_repairs >= 1;
+    }
+    if (pp.enabled) {
+        // Every kill must have remounted, every planned crash point must
+        // have demonstrated its recovery path.
+        events_ok = events_ok && rep.mount_failures == 0 &&
+                    rep.kills == rep.remounts;
+        if (pp.kill_mid_write_at_op < cfg.ops) {
+            events_ok = events_ok && rep.kills >= 1 &&
+                        rep.mount_intent_replayed >= 1;
+        }
+        if (pp.kill_mid_rebuild_at_op < cfg.ops) {
+            events_ok = events_ok && rep.rebuilds_resumed >= 1;
+        }
+        if (pp.kill_mid_scrub_at_op < cfg.ops) {
+            events_ok = events_ok && rep.remount_scrub_repairs >= 1;
+        }
+        // The campaign's own exit is clean: stamp the superblocks so the
+        // *next* mount of the directory sees a clean shutdown.
+        events_ok = events_ok && arr->unmount();
     }
     rep.success = rep.clean() && events_ok;
     capture_obs();

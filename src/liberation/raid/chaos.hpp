@@ -49,10 +49,33 @@ struct chaos_event_plan {
     bool degraded_scrub = true;
 };
 
+/// Kill-and-remount persistence phases. When enabled, the campaign runs
+/// its array file-backed (persist::create_array in `dir`) and "kills the
+/// process" at the planned points: the array object is destroyed with NO
+/// unmount — exactly the state an abrupt process death leaves on disk —
+/// then mount_array() reassembles it from the backing files and the run
+/// continues against the same shadow copy. Covers crashes mid-write
+/// (armed like a power loss, so the intent log has an unreplayed entry),
+/// mid-rebuild (the remount must resume from the persisted watermark),
+/// and "mid-scrub" (silent corruption is on the medium and not yet
+/// healed; the post-remount scrub must still find and repair it).
+struct chaos_persist_plan {
+    bool enabled = false;
+    std::string dir;         ///< store directory; files survive every kill
+    bool sync_meta = false;  ///< fdatasync superblock persists
+    /// Op indices; >= ops disables the phase. Armed events fire at the
+    /// first quiet op, the mid-rebuild kill at the first op with a
+    /// rebuild actually in flight.
+    std::size_t kill_mid_write_at_op = SIZE_MAX;
+    std::size_t kill_mid_rebuild_at_op = SIZE_MAX;
+    std::size_t kill_mid_scrub_at_op = SIZE_MAX;
+};
+
 struct chaos_config {
     std::uint64_t seed = 42;
     std::size_t ops = 10'000;
     array_config array{};  ///< must include hot spares for the fault plan
+    chaos_persist_plan persist{};
     /// Baseline transient error rates armed on every disk.
     double transient_read_rate = 0.01;
     double transient_write_rate = 0.005;
@@ -89,10 +112,13 @@ struct chaos_phase_times {
     double settle_scrub_s = 0.0;  ///< the post-settle healing scrub
     double final_verify_s = 0.0;  ///< shadow compare + per-stripe checksum sweep
     double final_scrub_s = 0.0;   ///< the parity-consistency scrub
+    /// Time inside mount_array() across every kill-and-remount, intent
+    /// replay included (0 unless chaos_persist_plan::enabled).
+    double mount_replay_s = 0.0;
 
     [[nodiscard]] double total_s() const noexcept {
         return fill_s + workload_s + settle_s + settle_scrub_s +
-               final_verify_s + final_scrub_s;
+               final_verify_s + final_scrub_s + mount_replay_s;
     }
 };
 
@@ -127,6 +153,17 @@ struct chaos_report {
     std::uint64_t health_trips = 0;
     std::uint64_t spares_promoted = 0;
     std::uint64_t rebuilds_completed = 0;
+    // ---- kill-and-remount persistence phases (chaos_persist_plan) ----
+    std::size_t kills = 0;           ///< process deaths simulated
+    std::size_t remounts = 0;        ///< successful mount_array() reassemblies
+    std::size_t mount_failures = 0;  ///< remounts that refused to assemble
+    std::size_t mount_intent_replayed = 0;  ///< stripes re-synced during mounts
+    std::size_t stale_disks_kicked = 0;     ///< members demoted at mount
+    std::size_t rebuilds_resumed = 0;  ///< rebuilds continued from watermarks
+    /// Pre-kill silent corruption the post-remount scrub repaired (the
+    /// mid-scrub crash point: damage must survive the remount round-trip
+    /// and still be healed).
+    std::size_t remount_scrub_repairs = 0;
     array_stats stats{};       ///< final array counters
     io_policy_stats io{};      ///< final retry-policy counters
     chaos_phase_times phases{};

@@ -1,0 +1,181 @@
+#include "liberation/raid/persist/store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "liberation/util/assert.hpp"
+
+namespace liberation::raid::persist {
+
+namespace {
+
+constexpr std::size_t slot_align = 4096;
+constexpr std::uint32_t probe_scan_limit = 64;  // matches the array's max n
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+    return (v + align - 1) / align * align;
+}
+
+/// Read exactly out.size() bytes at `offset` with stdio; false on any
+/// shortfall. Used only by probe_dir, which must not create files.
+bool read_at(std::FILE* f, std::size_t offset, std::span<std::byte> out) {
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) return false;
+    return std::fread(out.data(), 1, out.size(), f) == out.size();
+}
+
+}  // namespace
+
+std::string store::disk_path(const std::string& dir, std::uint32_t slot) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "/disk-%02u.img", slot);
+    return dir + name;
+}
+
+std::vector<disk_probe> probe_dir(const std::string& dir) {
+    std::vector<disk_probe> probes;
+    std::size_t last_present = 0;
+    for (std::uint32_t slot = 0; slot < probe_scan_limit; ++slot) {
+        disk_probe p;
+        p.path = store::disk_path(dir, slot);
+        std::FILE* f = std::fopen(p.path.c_str(), "rb");
+        if (f) {
+            p.file_present = true;
+            std::vector<std::byte> hdr(file_header_size);
+            if (read_at(f, 0, hdr)) {
+                if (auto h = decode_header(hdr)) {
+                    p.header_ok = true;
+                    p.header = *h;
+                }
+            }
+            if (p.header_ok) {
+                // Decode both shadow slots; keep the valid one with the
+                // larger seq, count the rest as torn.
+                std::vector<std::byte> raw(p.header.slot_bytes);
+                for (int s = 0; s < 2; ++s) {
+                    const std::size_t off =
+                        file_header_size +
+                        static_cast<std::size_t>(s) * p.header.slot_bytes;
+                    std::optional<superblock> sb;
+                    if (read_at(f, off, raw)) sb = decode(raw);
+                    if (!sb) {
+                        ++p.bad_slots;
+                    } else if (!p.sb || sb->seq > p.sb->seq) {
+                        p.sb = std::move(sb);
+                    }
+                }
+            }
+            std::fclose(f);
+            last_present = probes.size() + 1;
+        }
+        probes.push_back(std::move(p));
+    }
+    probes.resize(last_present);
+    return probes;
+}
+
+store::store(store_config cfg, std::vector<superblock> images,
+             std::uint64_t slot_bytes, std::size_t disk_capacity)
+    : cfg_(std::move(cfg)), slot_bytes_(slot_bytes),
+      uuid_(images.empty() ? 0 : images.front().array_uuid),
+      images_(std::move(images)) {
+    std::vector<std::string> paths;
+    paths.reserve(images_.size());
+    for (std::uint32_t s = 0; s < images_.size(); ++s) {
+        paths.push_back(disk_path(cfg_.dir, s));
+    }
+    aio::file_backend_config bc;
+    bc.data_offset = file_header_size + 2 * slot_bytes_;
+    bc.direct_io = cfg_.direct_io;
+    bc.sync_data = cfg_.sync_data;
+    backend_ = std::make_unique<aio::file_backend>(std::move(paths),
+                                                   disk_capacity, bc);
+}
+
+bool store::init_slot_file(std::uint32_t slot) {
+    superblock& sb = images_[slot];
+    file_header h;
+    h.array_uuid = sb.array_uuid;
+    h.slot = slot;
+    h.slot_bytes = slot_bytes_;
+    h.data_offset = file_header_size + 2 * slot_bytes_;
+    if (!backend_->pwrite_raw(slot, 0, encode_header(h))) return false;
+    // Prime both shadow slots so the first regular persist (which
+    // overwrites one of them) always leaves a valid fallback copy.
+    const std::vector<std::byte> blob = encode(sb);
+    LIBERATION_EXPECTS(blob.size() <= slot_bytes_);
+    if (!backend_->pwrite_raw(slot, file_header_size, blob)) return false;
+    if (!backend_->pwrite_raw(slot, file_header_size + slot_bytes_, blob)) {
+        return false;
+    }
+    if (cfg_.sync_meta && !backend_->flush(slot)) return false;
+    return true;
+}
+
+std::unique_ptr<store> store::format(const store_config& cfg,
+                                     std::vector<superblock> images,
+                                     std::size_t disk_capacity) {
+    LIBERATION_EXPECTS(!images.empty());
+    // Formatting a fresh array may name a directory that does not exist
+    // yet; creating it here keeps `create_array(dir)` one-shot. (attach()
+    // deliberately does not: mounting expects the files to be there.)
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.dir, ec);
+    const superblock& first = images.front();
+    const std::uint64_t slot_bytes = round_up(
+        encoded_size(static_cast<std::uint32_t>(first.slot_states.size()),
+                     first.intent_capacity, first.crcs.size()),
+        slot_align);
+    std::unique_ptr<store> st(
+        new store(cfg, std::move(images), slot_bytes, disk_capacity));
+    for (std::uint32_t s = 0; s < st->slot_count(); ++s) {
+        if (!st->backend_->ok(s) || !st->init_slot_file(s)) return nullptr;
+    }
+    return st;
+}
+
+std::unique_ptr<store> store::attach(
+    const store_config& cfg, std::vector<superblock> images,
+    std::size_t disk_capacity, std::uint64_t slot_bytes,
+    const std::vector<std::uint32_t>& fresh_slots) {
+    LIBERATION_EXPECTS(!images.empty());
+    std::unique_ptr<store> st(
+        new store(cfg, std::move(images), slot_bytes, disk_capacity));
+    for (std::uint32_t s : fresh_slots) {
+        if (!st->backend_->ok(s) || !st->init_slot_file(s)) return nullptr;
+    }
+    return st;
+}
+
+bool store::reinit_slot(std::uint32_t slot) {
+    if (!backend_->ok(slot) || !init_slot_file(slot)) return false;
+    meta_mask_ |= std::uint64_t{1} << slot;
+    return true;
+}
+
+bool store::persist(std::uint32_t slot) {
+    if (!backend_->ok(slot)) return false;
+    superblock& sb = images_[slot];
+    ++sb.seq;
+    const std::vector<std::byte> blob = encode(sb);
+    LIBERATION_EXPECTS(blob.size() <= slot_bytes_);
+    const std::size_t off =
+        file_header_size + static_cast<std::size_t>(sb.seq % 2) * slot_bytes_;
+    if (!backend_->pwrite_raw(slot, off, blob)) return false;
+    if (cfg_.sync_meta && !backend_->flush(slot)) return false;
+    return true;
+}
+
+bool store::read_data(std::uint32_t slot, std::size_t offset,
+                      std::span<std::byte> out) {
+    return backend_->read_data(slot, offset, out);
+}
+
+bool store::write_data(std::uint32_t slot, std::size_t offset,
+                       std::span<const std::byte> in) {
+    return backend_->write_data(slot, offset, in);
+}
+
+bool store::flush_all() { return backend_->flush_all(); }
+
+}  // namespace liberation::raid::persist

@@ -1,0 +1,147 @@
+// Persistence store: the backing files of one RAID-6 array.
+//
+// A `store` owns one file per disk slot (`<dir>/disk-NN.img`), each framed
+// as [file header][superblock slot A][superblock slot B][data area] (see
+// superblock.hpp), and a `file_backend` that executes all I/O against
+// them. The array keeps its authoritative state in memory exactly as
+// before; the store holds one mutable superblock *image* per slot, and the
+// array's persistence hooks edit the relevant images and call persist(),
+// which bumps the image's seq, re-encodes it, and shadow-writes the
+// alternate A/B slot.
+//
+// Fsync ordering (machine-crash durability, `store_config::sync_meta`):
+// a superblock is fdatasync'd immediately after its slot write, so a
+// record-ahead intent entry is durable before the data writes it covers
+// are issued — the same ordering the in-memory array maintains against
+// simulated power loss. With sync_meta off, writes still survive process
+// kills (the kernel owns the page cache), which is what the chaos
+// campaign's kill-and-remount phases exercise. See docs/PERSISTENCE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liberation/aio/file_backend.hpp"
+#include "liberation/raid/persist/superblock.hpp"
+
+namespace liberation::raid::persist {
+
+struct store_config {
+    std::string dir;          ///< directory holding disk-NN.img files
+    bool direct_io = false;   ///< route aligned data I/O through O_DIRECT
+    bool sync_meta = false;   ///< fdatasync each superblock persist
+    bool sync_data = false;   ///< fdatasync each data write (paranoid mode)
+};
+
+/// What probe found in one slot's backing file, before any geometry is
+/// known: header, both superblock slots, and how they decoded.
+struct disk_probe {
+    std::string path;
+    bool file_present = false;
+    bool header_ok = false;     ///< file header decoded and sane
+    file_header header;
+    int bad_slots = 0;          ///< A/B slots that failed to decode (0..2)
+    std::optional<superblock> sb;  ///< the valid slot with the larger seq
+};
+
+/// Read-only scan of a store directory (plain stdio — never creates or
+/// modifies anything). Returns one probe per slot index from 0 through
+/// the highest index with a file present; trailing entries may be absent
+/// placeholders when earlier files exist but later ones were lost.
+[[nodiscard]] std::vector<disk_probe> probe_dir(const std::string& dir);
+
+class store {
+public:
+    /// `<dir>/disk-NN.img` for slot NN.
+    [[nodiscard]] static std::string disk_path(const std::string& dir,
+                                               std::uint32_t slot);
+
+    /// Create fresh backing files for every slot: write-once file header,
+    /// then both superblock slots primed with the given image (so even the
+    /// very first shadow write has a valid fallback). All images must
+    /// share table dimensions — the common worst case fixes the slot size.
+    /// Returns nullptr if any file cannot be created or written.
+    static std::unique_ptr<store> format(const store_config& cfg,
+                                         std::vector<superblock> images,
+                                         std::size_t disk_capacity);
+
+    /// Reopen existing files. `images` holds the per-slot in-memory state
+    /// the mounter decided on (decoded, or fabricated for kicked disks);
+    /// slots listed in `fresh_slots` get their header and both superblock
+    /// slots rewritten from scratch (missing or unreadable files being
+    /// re-initialized as blank rebuild targets). Returns nullptr when a
+    /// fresh slot cannot be initialized.
+    static std::unique_ptr<store> attach(
+        const store_config& cfg, std::vector<superblock> images,
+        std::size_t disk_capacity, std::uint64_t slot_bytes,
+        const std::vector<std::uint32_t>& fresh_slots);
+
+    [[nodiscard]] std::size_t slot_count() const noexcept {
+        return images_.size();
+    }
+    [[nodiscard]] std::uint64_t uuid() const noexcept { return uuid_; }
+    [[nodiscard]] std::uint64_t slot_bytes() const noexcept {
+        return slot_bytes_;
+    }
+    [[nodiscard]] bool slot_ok(std::uint32_t slot) const noexcept {
+        return backend_->ok(slot);
+    }
+
+    /// Slots participating in metadata replication (superblock persists
+    /// and media sinks). The mounter excludes foreign or geometry-
+    /// mismatched files so a stray disk from another array is never
+    /// overwritten; reinit_slot() reclaims a slot once the operator
+    /// installs a blank replacement.
+    [[nodiscard]] bool meta_slot(std::uint32_t slot) const noexcept {
+        return ((meta_mask_ >> slot) & 1) != 0;
+    }
+    void exclude_meta_slot(std::uint32_t slot) noexcept {
+        meta_mask_ &= ~(std::uint64_t{1} << slot);
+    }
+    /// Reclaim a slot for this array: rewrite its file header and both
+    /// superblock slots from the current image and re-enable metadata
+    /// updates for it.
+    bool reinit_slot(std::uint32_t slot);
+
+    /// The mutable in-memory superblock image for a slot. The array's
+    /// hooks edit images, then persist() the ones they touched.
+    [[nodiscard]] superblock& image(std::uint32_t slot) {
+        return images_[slot];
+    }
+    [[nodiscard]] const superblock& image(std::uint32_t slot) const {
+        return images_[slot];
+    }
+
+    /// Bump the image's seq and shadow-write it to the alternate A/B slot
+    /// (fdatasync'd when sync_meta). False when the slot's file is gone.
+    bool persist(std::uint32_t slot);
+
+    // ---- data plane (offsets relative to the data area) ----------------
+    [[nodiscard]] bool read_data(std::uint32_t slot, std::size_t offset,
+                                 std::span<std::byte> out);
+    [[nodiscard]] bool write_data(std::uint32_t slot, std::size_t offset,
+                                  std::span<const std::byte> in);
+
+    [[nodiscard]] bool flush_all();
+    [[nodiscard]] aio::file_backend& backend() noexcept { return *backend_; }
+    [[nodiscard]] const store_config& config() const noexcept { return cfg_; }
+
+private:
+    store(store_config cfg, std::vector<superblock> images,
+          std::uint64_t slot_bytes, std::size_t disk_capacity);
+
+    /// Write the file header and both superblock slots of one file.
+    bool init_slot_file(std::uint32_t slot);
+
+    store_config cfg_;
+    std::uint64_t slot_bytes_;
+    std::uint64_t uuid_;
+    std::uint64_t meta_mask_ = ~std::uint64_t{0};
+    std::vector<superblock> images_;
+    std::unique_ptr<aio::file_backend> backend_;
+};
+
+}  // namespace liberation::raid::persist

@@ -1,0 +1,235 @@
+#include "liberation/raid/persist/superblock.hpp"
+
+#include "liberation/integrity/crc32c.hpp"
+#include "liberation/util/assert.hpp"
+
+namespace liberation::raid::persist {
+
+namespace {
+
+// Explicit little-endian (de)serialization: byte-order independent and
+// free of alignment assumptions, so an image travels between hosts.
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+    out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+}
+
+/// Bounds-checked sequential reader; any overrun poisons the parse.
+struct reader {
+    std::span<const std::byte> raw;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    std::uint8_t u8() {
+        if (pos + 1 > raw.size()) { ok = false; return 0; }
+        return static_cast<std::uint8_t>(raw[pos++]);
+    }
+    std::uint32_t u32() {
+        if (pos + 4 > raw.size()) { ok = false; return 0; }
+        std::uint32_t v = 0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(raw[pos + i]) << (8 * i);
+        }
+        pos += 4;
+        return v;
+    }
+    std::uint64_t u64() {
+        if (pos + 8 > raw.size()) { ok = false; return 0; }
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(raw[pos + i]) << (8 * i);
+        }
+        pos += 8;
+        return v;
+    }
+};
+
+constexpr std::size_t fixed_fields_size =
+    8 + 4 + 4 +          // magic, version, flags
+    8 + 8 + 8 +          // seq, array_uuid, events
+    4 + 4 +              // slot, disk_id
+    4 + 4 + 8 + 8 + 8 + 4 +  // k, p, element_size, stripes, sector, layout
+    4 + 4 + 4 +          // spares_available, next_disk_id, intent_capacity
+    4 + 4 + 4;           // slot_count, intent_count, crc_count
+
+constexpr std::uint32_t flag_clean = 1u << 0;
+
+// Sanity ceilings: large enough for any real configuration, small enough
+// that a CRC-colliding garbage blob cannot drive pathological allocation.
+constexpr std::uint32_t max_slots = 64;
+constexpr std::uint32_t max_intent_capacity = 1u << 20;
+constexpr std::size_t max_crc_count = std::size_t{1} << 32;
+
+}  // namespace
+
+std::size_t encoded_size(std::uint32_t slots, std::uint32_t intent_capacity,
+                         std::size_t crc_count) noexcept {
+    return fixed_fields_size +
+           std::size_t{slots} * (1 + 8) +       // slot_states + watermarks
+           std::size_t{intent_capacity} * 24 +  // stripe, columns, seq
+           crc_count * 4 +                      // checksum table
+           4;                                   // trailing CRC32C
+}
+
+std::vector<std::byte> encode(const superblock& sb) {
+    LIBERATION_EXPECTS(sb.slot_states.size() == sb.watermarks.size());
+    LIBERATION_EXPECTS(sb.intents.size() <= sb.intent_capacity);
+    std::vector<std::byte> out;
+    out.reserve(encoded_size(static_cast<std::uint32_t>(sb.slot_states.size()),
+                             sb.intent_capacity, sb.crcs.size()));
+
+    put_u64(out, superblock_magic);
+    put_u32(out, superblock_version);
+    put_u32(out, sb.clean ? flag_clean : 0);
+    put_u64(out, sb.seq);
+    put_u64(out, sb.array_uuid);
+    put_u64(out, sb.events);
+    put_u32(out, sb.slot);
+    put_u32(out, sb.disk_id);
+    put_u32(out, sb.k);
+    put_u32(out, sb.p);
+    put_u64(out, sb.element_size);
+    put_u64(out, sb.stripes);
+    put_u64(out, sb.sector_size);
+    put_u32(out, sb.layout);
+    put_u32(out, sb.spares_available);
+    put_u32(out, sb.next_disk_id);
+    put_u32(out, sb.intent_capacity);
+    put_u32(out, static_cast<std::uint32_t>(sb.slot_states.size()));
+    put_u32(out, static_cast<std::uint32_t>(sb.intents.size()));
+    put_u32(out, static_cast<std::uint32_t>(sb.crcs.size()));
+
+    for (std::uint8_t st : sb.slot_states) put_u8(out, st);
+    for (std::uint64_t wm : sb.watermarks) put_u64(out, wm);
+    for (const superblock::intent_entry& e : sb.intents) {
+        put_u64(out, e.stripe);
+        put_u64(out, e.columns);
+        put_u64(out, e.seq);
+    }
+    // Pad the unused intent slots so the encoded size — and with it the
+    // on-disk slot framing — never depends on log occupancy.
+    for (std::size_t i = sb.intents.size(); i < sb.intent_capacity; ++i) {
+        put_u64(out, 0);
+        put_u64(out, 0);
+        put_u64(out, 0);
+    }
+    for (std::uint32_t crc : sb.crcs) put_u32(out, crc);
+
+    put_u32(out, integrity::crc32c(out.data(), out.size()));
+    return out;
+}
+
+std::optional<superblock> decode(std::span<const std::byte> raw) {
+    reader r{raw};
+    if (r.u64() != superblock_magic) return std::nullopt;
+    if (r.u32() != superblock_version) return std::nullopt;
+
+    superblock sb;
+    const std::uint32_t flags = r.u32();
+    sb.clean = (flags & flag_clean) != 0;
+    sb.seq = r.u64();
+    sb.array_uuid = r.u64();
+    sb.events = r.u64();
+    sb.slot = r.u32();
+    sb.disk_id = r.u32();
+    sb.k = r.u32();
+    sb.p = r.u32();
+    sb.element_size = r.u64();
+    sb.stripes = r.u64();
+    sb.sector_size = r.u64();
+    sb.layout = r.u32();
+    sb.spares_available = r.u32();
+    sb.next_disk_id = r.u32();
+    sb.intent_capacity = r.u32();
+    const std::uint32_t slots = r.u32();
+    const std::uint32_t intent_count = r.u32();
+    const std::uint32_t crc_count = r.u32();
+    if (!r.ok) return std::nullopt;
+    if (slots > max_slots || sb.intent_capacity > max_intent_capacity ||
+        intent_count > sb.intent_capacity || crc_count > max_crc_count) {
+        return std::nullopt;
+    }
+    const std::size_t want = encoded_size(slots, sb.intent_capacity, crc_count);
+    if (raw.size() < want) return std::nullopt;
+
+    // Validate the trailing CRC over exactly the encoded extent before
+    // trusting any table contents (the slot buffer may be larger).
+    const std::uint32_t stored = [&] {
+        std::uint32_t v = 0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(raw[want - 4 + i]) << (8 * i);
+        }
+        return v;
+    }();
+    if (integrity::crc32c(raw.data(), want - 4) != stored) return std::nullopt;
+
+    sb.slot_states.resize(slots);
+    for (std::uint32_t i = 0; i < slots; ++i) sb.slot_states[i] = r.u8();
+    sb.watermarks.resize(slots);
+    for (std::uint32_t i = 0; i < slots; ++i) sb.watermarks[i] = r.u64();
+    sb.intents.resize(intent_count);
+    for (std::uint32_t i = 0; i < intent_count; ++i) {
+        sb.intents[i].stripe = r.u64();
+        sb.intents[i].columns = r.u64();
+        sb.intents[i].seq = r.u64();
+    }
+    r.pos += (sb.intent_capacity - intent_count) * 24;  // skip padding slots
+    sb.crcs.resize(crc_count);
+    for (std::uint32_t i = 0; i < crc_count; ++i) sb.crcs[i] = r.u32();
+    if (!r.ok) return std::nullopt;
+
+    for (std::uint8_t st : sb.slot_states) {
+        if (st > static_cast<std::uint8_t>(slot_state::rebuilding)) {
+            return std::nullopt;
+        }
+    }
+    return sb;
+}
+
+std::vector<std::byte> encode_header(const file_header& h) {
+    std::vector<std::byte> out;
+    out.reserve(file_header_size);
+    put_u64(out, file_header_magic);
+    put_u32(out, superblock_version);
+    put_u64(out, h.array_uuid);
+    put_u32(out, h.slot);
+    put_u64(out, h.slot_bytes);
+    put_u64(out, h.data_offset);
+    put_u32(out, integrity::crc32c(out.data(), out.size()));
+    out.resize(file_header_size);  // zero-pad to the full header block
+    return out;
+}
+
+std::optional<file_header> decode_header(std::span<const std::byte> raw) {
+    reader r{raw};
+    if (r.u64() != file_header_magic) return std::nullopt;
+    if (r.u32() != superblock_version) return std::nullopt;
+    file_header h;
+    h.array_uuid = r.u64();
+    h.slot = r.u32();
+    h.slot_bytes = r.u64();
+    h.data_offset = r.u64();
+    const std::size_t payload = r.pos;
+    const std::uint32_t stored = r.u32();
+    if (!r.ok) return std::nullopt;
+    if (integrity::crc32c(raw.data(), payload) != stored) return std::nullopt;
+    if (h.slot_bytes == 0 ||
+        h.data_offset < file_header_size + 2 * h.slot_bytes) {
+        return std::nullopt;
+    }
+    return h;
+}
+
+}  // namespace liberation::raid::persist

@@ -93,6 +93,7 @@ io_status vdisk::write(std::size_t offset, std::span<const std::byte> in) {
         return io_status::transient_error;  // nothing hit the medium
     }
     std::memcpy(data_.data() + offset, in.data(), in.size());
+    if (sink_) sink_(offset, in);
     // A rewrite heals fully covered latent sectors (like a real remap).
     if (!bad_sectors_.empty() && !in.empty()) {
         const std::size_t first_full = (offset + sector_size_ - 1) / sector_size_;
@@ -111,9 +112,22 @@ io_status vdisk::write(std::size_t offset, std::span<const std::byte> in) {
 
 void vdisk::replace() {
     data_.zero();
+    // The slot's backing file (if any) must track the blank medium, or a
+    // remount would resurrect the dead disk's stale bytes.
+    if (sink_) sink_(0, std::span<const std::byte>(data_.data(), data_.size()));
     bad_sectors_.clear();
     clear_transient_faults();
     online_.store(true, std::memory_order_release);
+}
+
+void vdisk::peek(std::size_t offset, std::span<std::byte> out) const {
+    LIBERATION_EXPECTS(extent_ok(offset, out.size()));
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+void vdisk::poke(std::size_t offset, std::span<const std::byte> in) {
+    LIBERATION_EXPECTS(extent_ok(offset, in.size()));
+    std::memcpy(data_.data() + offset, in.data(), in.size());
 }
 
 void vdisk::inject_latent_error(std::size_t offset, std::size_t len) {
@@ -135,6 +149,10 @@ std::size_t vdisk::inject_silent_corruption(std::size_t offset, std::size_t len,
             flip = static_cast<std::byte>(rng.next() & 0xff);
         }
         data_.data()[pos] ^= flip;
+    }
+    // Rot lives on the medium, so it persists like any other bytes.
+    if (sink_) {
+        sink_(offset, std::span<const std::byte>(data_.data() + offset, len));
     }
     return flips;
 }

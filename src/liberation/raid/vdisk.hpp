@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -76,6 +77,26 @@ public:
 
     io_status read(std::size_t offset, std::span<std::byte> out);
     io_status write(std::size_t offset, std::span<const std::byte> in);
+
+    // ---- persistence hooks (see raid/persist/) -----------------------
+
+    /// Mirror of every medium mutation: called with (offset, the bytes now
+    /// on the medium) after each successful write, each silent-corruption
+    /// injection, and the replace() zeroing. The persistence layer
+    /// attaches one per disk so a backing file tracks the in-memory medium
+    /// byte for byte — including injected rot, which must survive a
+    /// remount exactly like it survives on a real platter. Never invoked
+    /// for *failed* I/O (nothing reached the medium) or for peek()/poke().
+    using media_sink =
+        std::function<void(std::size_t offset, std::span<const std::byte>)>;
+    void attach_media_sink(media_sink sink) { sink_ = std::move(sink); }
+    void detach_media_sink() { sink_ = nullptr; }
+
+    /// Raw medium access, bypassing fault injection, counters, and the
+    /// media sink: mount loads persisted disk images through poke(), and
+    /// tests peek at the medium without disturbing the fault streams.
+    void peek(std::size_t offset, std::span<std::byte> out) const;
+    void poke(std::size_t offset, std::span<const std::byte> in);
 
     // ---- fault injection ---------------------------------------------
 
@@ -155,6 +176,8 @@ private:
     std::uint64_t write_ops_ = 0;
     std::set<std::uint64_t> scheduled_read_faults_;
     std::set<std::uint64_t> scheduled_write_faults_;
+
+    media_sink sink_;  ///< null unless the persistence layer is attached
 };
 
 }  // namespace liberation::raid

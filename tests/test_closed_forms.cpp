@@ -95,9 +95,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(IntentLog, BasicSetSemantics) {
     raid::intent_log log;
     EXPECT_EQ(log.size(), 0u);
-    log.mark(3);
-    log.mark(7);
-    log.mark(3);  // idempotent
+    EXPECT_TRUE(log.mark(3));
+    EXPECT_TRUE(log.mark(7));
+    EXPECT_TRUE(log.mark(3));  // idempotent
     EXPECT_EQ(log.size(), 2u);
     EXPECT_TRUE(log.is_dirty(3));
     EXPECT_FALSE(log.is_dirty(4));

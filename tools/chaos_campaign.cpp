@@ -5,8 +5,17 @@
 // Usage:
 //   chaos_campaign [--seed N] [--ops N] [--spares N] [--stripes N]
 //                  [--queue-depth N] [--read-rate R] [--write-rate R]
+//                  [--persist-dir DIR] [--sync-meta]
 //                  [--metrics-out FILE] [--trace-out FILE] [--json]
 //                  [--quiet]
+//
+// --persist-dir DIR runs the campaign file-backed (one disk-NN.img per
+// member in DIR) and adds the kill-and-remount phases: the process state
+// is dropped mid-write, mid-rebuild, and mid-scrub, the files reopened,
+// the array remounted, and the run continues — the acceptance then also
+// requires every remount to succeed, the intent log to replay, and the
+// interrupted rebuild to resume from its persisted watermark. --sync-meta
+// fdatasyncs every superblock persist (machine-crash ordering; slower).
 //
 // Exit status 0 iff the campaign met its acceptance criteria: zero shadow
 // mismatches, zero unrecovered stripes, no read ever served unverified
@@ -74,13 +83,20 @@ void print_verdict_json(const chaos_config& cfg, const chaos_report& rep) {
     std::printf("\"self_healed\":%llu,",
                 static_cast<unsigned long long>(rep.stats.reads_self_healed));
     std::printf("\"corruptions\":%zu,", rep.corruptions_injected);
+    std::printf("\"kills\":%zu,", rep.kills);
+    std::printf("\"remounts\":%zu,", rep.remounts);
+    std::printf("\"mount_failures\":%zu,", rep.mount_failures);
+    std::printf("\"intent_replayed\":%zu,", rep.mount_intent_replayed);
+    std::printf("\"stale_disks_kicked\":%zu,", rep.stale_disks_kicked);
+    std::printf("\"rebuilds_resumed\":%zu,", rep.rebuilds_resumed);
     std::printf("\"phases\":{\"fill_s\":%.6f,\"workload_s\":%.6f,"
                 "\"settle_s\":%.6f,\"settle_scrub_s\":%.6f,"
                 "\"final_verify_s\":%.6f,\"final_scrub_s\":%.6f,"
-                "\"total_s\":%.6f},",
+                "\"mount_replay_s\":%.6f,\"total_s\":%.6f},",
                 rep.phases.fill_s, rep.phases.workload_s, rep.phases.settle_s,
                 rep.phases.settle_scrub_s, rep.phases.final_verify_s,
-                rep.phases.final_scrub_s, rep.phases.total_s());
+                rep.phases.final_scrub_s, rep.phases.mount_replay_s,
+                rep.phases.total_s());
     std::printf("\"histograms\":{");
     bool first = true;
     for (const auto& [name, snap] : rep.histograms) {
@@ -138,6 +154,12 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 static_cast<unsigned long long>(
                     rep.stats.checksum_metadata_repaired),
                 rep.degraded_scrub_repairs, rep.settle_scrub_healed);
+    std::printf("  persistence: kills=%zu remounts=%zu mount-failures=%zu "
+                "intent-replayed=%zu stale-kicked=%zu rebuilds-resumed=%zu "
+                "remount-scrub-repairs=%zu\n",
+                rep.kills, rep.remounts, rep.mount_failures,
+                rep.mount_intent_replayed, rep.stale_disks_kicked,
+                rep.rebuilds_resumed, rep.remount_scrub_repairs);
     std::printf("  verdict: mismatches=%zu failed-reads=%zu failed-writes=%zu "
                 "torn=%zu degraded=%zu unrecovered=%zu uncorrectable=%zu "
                 "checksum-bad=%zu unrecoverable-reads=%llu\n",
@@ -150,10 +172,11 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
     std::fprintf(stderr,
                  "  phases: fill=%.3fs workload=%.3fs settle=%.3fs "
                  "settle-scrub=%.3fs verify=%.3fs final-scrub=%.3fs "
-                 "total=%.3fs\n",
+                 "mount-replay=%.3fs total=%.3fs\n",
                  rep.phases.fill_s, rep.phases.workload_s, rep.phases.settle_s,
                  rep.phases.settle_scrub_s, rep.phases.final_verify_s,
-                 rep.phases.final_scrub_s, rep.phases.total_s());
+                 rep.phases.final_scrub_s, rep.phases.mount_replay_s,
+                 rep.phases.total_s());
     if (json) {
         print_verdict_json(cfg, rep);
         std::printf("%s\n", rep.success ? "PASS" : "FAIL");
@@ -164,7 +187,9 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 "failed_reads=%zu failed_writes=%zu torn=%zu degraded=%zu "
                 "unrecovered=%zu uncorrectable=%zu checksum_bad=%zu "
                 "stalled=%llu unrecoverable_reads=%llu self_healed=%llu "
-                "corruptions=%zu\n",
+                "corruptions=%zu kills=%zu remounts=%zu mount_failures=%zu "
+                "intent_replayed=%zu stale_disks_kicked=%zu "
+                "rebuilds_resumed=%zu\n",
                 rep.success ? 1 : 0,
                 static_cast<unsigned long long>(cfg.seed), rep.ops,
                 rep.mismatches, rep.failed_reads, rep.failed_writes,
@@ -174,7 +199,9 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                     rep.stats.rebuild_sessions_stalled),
                 static_cast<unsigned long long>(rep.stats.reads_unrecoverable),
                 static_cast<unsigned long long>(rep.stats.reads_self_healed),
-                rep.corruptions_injected);
+                rep.corruptions_injected, rep.kills, rep.remounts,
+                rep.mount_failures, rep.mount_intent_replayed,
+                rep.stale_disks_kicked, rep.rebuilds_resumed);
     std::printf("%s\n", rep.success ? "PASS" : "FAIL");
 }
 
@@ -182,6 +209,7 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--spares N] [--stripes N]\n"
                  "          [--queue-depth N] [--read-rate R] [--write-rate R]\n"
+                 "          [--persist-dir DIR] [--sync-meta]\n"
                  "          [--metrics-out FILE] [--trace-out FILE] [--json]\n"
                  "          [--quiet]\n",
                  argv0);
@@ -223,6 +251,11 @@ int main(int argc, char** argv) {
             cfg.transient_read_rate = std::strtod(v, nullptr);
         } else if (const char* v = arg("--write-rate")) {
             cfg.transient_write_rate = std::strtod(v, nullptr);
+        } else if (const char* v = arg("--persist-dir")) {
+            cfg.persist.enabled = true;
+            cfg.persist.dir = v;
+        } else if (std::strcmp(argv[i], "--sync-meta") == 0) {
+            cfg.persist.sync_meta = true;
         } else if (const char* v = arg("--metrics-out")) {
             metrics_out = v;
         } else if (const char* v = arg("--trace-out")) {
@@ -243,6 +276,15 @@ int main(int argc, char** argv) {
     cfg.events.fail_stop_at_op = ops / 5;
     cfg.events.health_storm_at_op = ops / 2;
     cfg.events.power_loss_at_op = (ops * 4) / 5;
+    if (cfg.persist.enabled) {
+        // Crash points interleave with the fault plan: the mid-rebuild
+        // kill arms right after the fail-stop (while its spare's rebuild
+        // is in flight), the mid-write kill in the quiet stretch between
+        // the storm and the power loss, the mid-scrub kill near the end.
+        cfg.persist.kill_mid_rebuild_at_op = ops / 5 + 1;
+        cfg.persist.kill_mid_write_at_op = (ops * 7) / 10;
+        cfg.persist.kill_mid_scrub_at_op = (ops * 9) / 10;
+    }
     if (!quiet) {
         cfg.log = [](const std::string& msg) {
             std::printf("  [event] %s\n", msg.c_str());
