@@ -6,12 +6,21 @@ namespace liberation::obs {
 
 registry::entry& registry::get_entry(const std::string& name, kind k,
                                      std::string help) {
+    return get_entry_impl(name, "", "", k, std::move(help));
+}
+
+registry::entry& registry::get_entry_impl(const std::string& name,
+                                          const std::string& family,
+                                          const std::string& labels, kind k,
+                                          std::string help) {
     std::lock_guard lock(mutex_);
     auto it = metrics_.find(name);
     if (it == metrics_.end()) {
         entry e;
         e.k = k;
         e.help = std::move(help);
+        e.family = family;
+        e.labels = labels;
         switch (k) {
             case kind::counter_k:
                 e.c = std::make_unique<counter>();
@@ -31,8 +40,29 @@ registry::entry& registry::get_entry(const std::string& name, kind k,
     return it->second;
 }
 
+registry::entry& registry::get_labeled_entry(const std::string& family,
+                                             const std::string& labels,
+                                             kind k, std::string help) {
+    return get_entry_impl(family + "{" + labels + "}", family, labels, k,
+                          std::move(help));
+}
+
 counter& registry::get_counter(const std::string& name, std::string help) {
     return *get_entry(name, kind::counter_k, std::move(help)).c;
+}
+
+counter& registry::get_labeled_counter(const std::string& family,
+                                       const std::string& labels,
+                                       std::string help) {
+    return *get_labeled_entry(family, labels, kind::counter_k, std::move(help))
+                .c;
+}
+
+gauge& registry::get_labeled_gauge(const std::string& family,
+                                   const std::string& labels,
+                                   std::string help) {
+    return *get_labeled_entry(family, labels, kind::gauge_k, std::move(help))
+                .g;
 }
 
 gauge& registry::get_gauge(const std::string& name, std::string help) {
@@ -54,7 +84,27 @@ std::string registry::metrics_text(const std::string& prefix) const {
         out += std::to_string(v);
         out += '\n';
     };
+    std::string last_labeled_family;
     for (const auto& [name, e] : metrics_) {
+        if (!e.family.empty()) {
+            // Labeled series: one header per family (series are
+            // contiguous in map order), then family{labels} samples.
+            const std::string fam = prefix + e.family;
+            if (e.family != last_labeled_family) {
+                last_labeled_family = e.family;
+                if (!e.help.empty()) {
+                    out += "# HELP " + fam + ' ' + e.help + '\n';
+                }
+                out += "# TYPE " + fam +
+                       (e.k == kind::counter_k ? " counter\n" : " gauge\n");
+            }
+            out += fam + '{' + e.labels + '}';
+            out += ' ';
+            out += e.k == kind::counter_k ? std::to_string(e.c->value())
+                                          : std::to_string(e.g->value());
+            out += '\n';
+            continue;
+        }
         const std::string full = prefix + name;
         if (!e.help.empty()) {
             out += "# HELP " + full + ' ' + e.help + '\n';

@@ -134,6 +134,19 @@ public:
         }
     };
 
+    /// Zero every bucket, the sum, and the max. NOT a consistent cut:
+    /// samples recorded concurrently may survive or be lost per-field.
+    /// Meant for "this slot holds new hardware" resets (the latency
+    /// monitor), where the old distribution is meaningless anyway —
+    /// never for registry-exported histograms, whose counters must stay
+    /// monotonic for scrapers.
+    void clear() noexcept {
+        if constexpr (!kEnabled) return;
+        for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
     [[nodiscard]] snapshot_t snapshot() const noexcept {
         snapshot_t s;
         for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -166,6 +179,19 @@ public:
     latency_histogram& get_histogram(const std::string& name,
                                      std::string help = "");
 
+    /// Labeled series: one sample line `family{labels} value` in the
+    /// exposition, with the `# HELP`/`# TYPE` header emitted once per
+    /// family. `labels` is the literal Prometheus label body, e.g.
+    /// `disk="3"` — the caller formats it (and owns its validity).
+    /// Series of one family are registered independently and rendered
+    /// contiguously (map order); help is taken from the first series.
+    counter& get_labeled_counter(const std::string& family,
+                                 const std::string& labels,
+                                 std::string help = "");
+    gauge& get_labeled_gauge(const std::string& family,
+                             const std::string& labels,
+                             std::string help = "");
+
     /// Prometheus-style text exposition of every registered metric, each
     /// family prefixed with `prefix` (default "liberation_"). Safe to call
     /// concurrently with metric updates (relaxed snapshot semantics).
@@ -182,12 +208,24 @@ private:
     struct entry {
         kind k;
         std::string help;
+        /// Labeled series only: the family name and the label body. The
+        /// map key is family + "{" + labels + "}", which keeps every
+        /// series of a family contiguous in map order ('{' sorts after
+        /// every identifier character).
+        std::string family;
+        std::string labels;
         std::unique_ptr<counter> c;
         std::unique_ptr<gauge> g;
         std::unique_ptr<latency_histogram> h;
     };
 
     entry& get_entry(const std::string& name, kind k, std::string help);
+    entry& get_entry_impl(const std::string& name, const std::string& family,
+                          const std::string& labels, kind k,
+                          std::string help);
+    entry& get_labeled_entry(const std::string& family,
+                             const std::string& labels, kind k,
+                             std::string help);
 
     mutable std::mutex mutex_;
     std::map<std::string, entry> metrics_;

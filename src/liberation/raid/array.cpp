@@ -52,6 +52,12 @@ array_stats raid6_array::atomic_stats::snapshot() const noexcept {
         checksum_metadata_repaired.load(std::memory_order_relaxed);
     s.writes_rejected_log_full =
         writes_rejected_log_full.load(std::memory_order_relaxed);
+    s.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+    s.hedged_reads = hedged_reads.load(std::memory_order_relaxed);
+    s.hedge_wins = hedge_wins.load(std::memory_order_relaxed);
+    s.slow_trips = slow_trips.load(std::memory_order_relaxed);
+    s.slow_recoveries = slow_recoveries.load(std::memory_order_relaxed);
+    s.slow_routed_reads = slow_routed_reads.load(std::memory_order_relaxed);
     s.intent_replayed = intent_replayed.load(std::memory_order_relaxed);
     s.stale_disks_kicked = stale_disks_kicked.load(std::memory_order_relaxed);
     return s;
@@ -79,6 +85,7 @@ raid6_array::raid6_array(const array_config& cfg)
       aio_depth_(std::max<std::size_t>(1, cfg.io_queue_depth)),
       policy_(cfg.io_retry, clock_),
       health_(map_.n(), cfg.health),
+      latmon_(map_.n(), cfg.latency),
       auto_failover_(cfg.auto_failover),
       rebuild_batch_stripes_(cfg.rebuild_batch_stripes == 0
                                  ? 1
@@ -129,6 +136,9 @@ void raid6_array::init_obs(const array_config& cfg) {
     (void)m.get_histogram("raid_mount_ns",
                           "persistent-array mount latency "
                           "(probe, image load, intent replay)");
+    hist_hedge_delay_ = &m.get_histogram(
+        "raid_hedge_delay_ns",
+        "hedge-issue to first-completion delay of hedged reads");
     gauge_failed_disks_ =
         &m.get_gauge("raid_failed_disks", "disks currently failed");
     gauge_spares_ =
@@ -192,6 +202,43 @@ void raid6_array::mirror_counters() {
     mir("raid_stale_disks_kicked_total",
         "stale or unreadable members demoted to rebuild at mount",
         s.stale_disks_kicked);
+    mir("raid_deadline_exceeded_total",
+        "reads that outlived their adaptive deadline", s.deadline_exceeded);
+    mir("raid_hedged_reads_total", "reconstruction hedges issued",
+        s.hedged_reads);
+    mir("raid_hedge_wins_total", "hedges that beat the straggler",
+        s.hedge_wins);
+    mir("raid_slow_trips_total", "disks quarantined as suspect_slow",
+        s.slow_trips);
+    mir("raid_slow_recoveries_total", "quarantines lifted by on-time probes",
+        s.slow_recoveries);
+    mir("raid_slow_routed_reads_total",
+        "reads routed around a quarantined disk via decode",
+        s.slow_routed_reads);
+    // Per-disk series: one labeled sample per slot so a straggling or
+    // error-prone member is identifiable from the exposition alone.
+    for (std::uint32_t d = 0; d < latmon_.disk_count(); ++d) {
+        const std::string label = "disk=\"" + std::to_string(d) + "\"";
+        const disk_latency_stats ls = latmon_.stats(d);
+        m.get_labeled_counter("disk_deadline_misses_total", label,
+                              "per-disk reads missing their deadline")
+            .mirror(ls.deadline_misses);
+        m.get_labeled_counter("disk_slow_trips_total", label,
+                              "per-disk suspect_slow quarantine entries")
+            .mirror(ls.slow_trips);
+        m.get_labeled_counter("disk_hedged_reads_total", label,
+                              "per-disk reconstruction hedges issued")
+            .mirror(ls.hedged_reads);
+        if (d < health_.disk_count()) {
+            const disk_health_stats h = health_.stats(d);
+            m.get_labeled_counter("disk_transient_errors_total", label,
+                                  "per-disk transient errors seen")
+                .mirror(h.transient_errors);
+            m.get_labeled_counter("disk_hard_errors_total", label,
+                                  "per-disk hard (medium/device) errors")
+                .mirror(h.hard_read_errors + h.hard_write_errors);
+        }
+    }
     const io_policy_stats io = policy_.stats();
     mir("io_reads_total", "disk reads through the retry policy", io.reads);
     mir("io_writes_total", "disk writes through the retry policy", io.writes);
@@ -267,6 +314,7 @@ void raid6_array::add_data_disk() {
     // integrity region describes.
     regions_.emplace_back(map_.disk_capacity(), integrity_block_);
     health_.add_disk();
+    latmon_.add_disk();
     // The engine's per-disk rings are sized at construction; rebuild it
     // for the grown array (it is idle here — growth requires all disks
     // online and no I/O in flight).
@@ -371,6 +419,147 @@ io_status raid6_array::verified_disk_read(std::uint32_t d, std::size_t offset,
     return st;
 }
 
+// ---- fail-slow tolerance ---------------------------------------------
+
+io_status raid6_array::disk_read_deferred(std::uint32_t d, std::size_t offset,
+                                          std::span<std::byte> out,
+                                          std::uint64_t& latency_us) {
+    latency_us = 0;
+    if (rebuild_masked(d, offset, out.size())) return io_status::rebuilding;
+    const io_result r =
+        policy_.read(*disks_[d], offset, out, /*defer_time_charge=*/true);
+    note_io(d, io_kind::read, r);
+    latency_us = r.latency_us;
+    return r.status;
+}
+
+bool raid6_array::reconstruct_column_range(std::size_t stripe,
+                                           std::uint32_t col,
+                                           std::size_t strip_lo,
+                                           std::span<std::byte> dst) {
+    LIBERATION_EXPECTS(strip_lo + dst.size() <= map_.strip_size());
+    codes::stripe_buffer buf = make_stripe_buffer();
+    const codes::stripe_view v = buf.view();
+    // The read-set goes through the aio engine so per-disk batching and
+    // read coalescing apply; requests execute through disk_read, so
+    // retry/health/masking semantics are identical to any other read.
+    const std::size_t base = aio_engine_->completions().size();
+    for (std::uint32_t c = 0; c < map_.n(); ++c) {
+        if (c == col) continue;
+        const strip_location l = map_.locate(stripe, c);
+        aio::io_desc d;
+        d.disk = l.disk;
+        d.kind = aio::op_kind::read;
+        d.offset = l.offset;
+        d.data = v.strip(c).data();
+        d.len = map_.strip_size();
+        d.user_data = c;
+        d.flags = aio::flag_verify;
+        aio_engine_->submit(d);
+    }
+    aio_engine_->drain();
+    std::vector<std::uint32_t> erased{col};
+    const std::vector<aio::io_cqe>& cqes = aio_engine_->completions();
+    for (std::size_t i = base; i < cqes.size(); ++i) {
+        if (cqes[i].status != io_status::ok) {
+            erased.push_back(static_cast<std::uint32_t>(cqes[i].user_data));
+        }
+    }
+    aio_engine_->clear_completions();
+    if (erased.size() > 2) return false;
+    std::sort(erased.begin(), erased.end());
+    code_.decode(v, erased);
+    const std::span<const std::byte> got(v.strip(col).data() + strip_lo,
+                                         dst.size());
+    // End-to-end gate: the reconstruction must match the *hedged-around*
+    // column's own stored checksum before it is served in its place.
+    const strip_location loc = map_.locate(stripe, col);
+    if (verify_reads_ &&
+        !regions_[loc.disk].verify(loc.offset + strip_lo, got)) {
+        return false;
+    }
+    std::memcpy(dst.data(), got.data(), dst.size());
+    return true;
+}
+
+io_status raid6_array::read_chunk_failslow(std::size_t stripe,
+                                           std::uint32_t col,
+                                           std::size_t strip_lo,
+                                           std::span<std::byte> dst) {
+    const strip_location loc = map_.locate(stripe, col);
+    const std::uint32_t d = loc.disk;
+    const std::size_t offset = loc.offset + strip_lo;
+
+    // Quarantined disk: route around it via decode up front, except for
+    // the periodic probe that checks whether the straggler recovered.
+    if (latmon_.quarantined(d) && !latmon_.take_probe(d)) {
+        stats_.slow_routed_reads.fetch_add(1, std::memory_order_relaxed);
+        if (reconstruct_column_range(stripe, col, strip_lo, dst)) {
+            return io_status::ok;
+        }
+        // A second failure in the stripe made the decode impossible; the
+        // quarantined disk is slow, not dead — fall through and read it.
+    }
+
+    // Deferred-charge direct read: the policy reports the virtual cost
+    // but does not advance the clock, so a hedged race can charge
+    // whichever leg is actually served.
+    std::uint64_t lat = 0;
+    const io_status st = disk_read_deferred(d, offset, dst, lat);
+    if (st != io_status::ok) {
+        clock_.advance(lat);
+        return st;  // the caller's existing degraded handling takes over
+    }
+    const std::uint64_t deadline = latmon_.deadline_us(d);
+    const bool was_quarantined = latmon_.quarantined(d);
+    if (latmon_.note_read(d, lat)) {
+        stats_.slow_trips.fetch_add(1, std::memory_order_relaxed);
+        persist_membership();  // quarantine survives a remount
+    } else if (was_quarantined && !latmon_.quarantined(d)) {
+        stats_.slow_recoveries.fetch_add(1, std::memory_order_relaxed);
+        persist_membership();
+    }
+
+    if (lat <= deadline) {
+        clock_.advance(lat);
+        if (verify_reads_ && !regions_[d].verify(offset, dst)) {
+            stats_.checksum_mismatches.fetch_add(1, std::memory_order_relaxed);
+            return io_status::checksum_mismatch;
+        }
+        return st;
+    }
+
+    // The read outlived its deadline: speculatively issue the
+    // reconstruction read-set and take whichever leg completes first.
+    // Timeline: the hedge is issued at `deadline` and costs `hedge_us`
+    // (charged inline by the aio legs); the direct read lands at `lat`.
+    stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    stats_.hedged_reads.fetch_add(1, std::memory_order_relaxed);
+    latmon_.note_hedge(d);
+    util::aligned_buffer rbuf(dst.size());
+    const std::uint64_t h0 = clock_.now_us();
+    const bool recon =
+        reconstruct_column_range(stripe, col, strip_lo, rbuf.span());
+    const std::uint64_t hedge_us = clock_.now_us() - h0;
+    if (recon && deadline + hedge_us < lat) {
+        stats_.hedge_wins.fetch_add(1, std::memory_order_relaxed);
+        clock_.advance(deadline);  // hedge_us is already on the clock
+        hist_hedge_delay_->record(hedge_us * 1000);
+        std::memcpy(dst.data(), rbuf.data(), dst.size());
+        return io_status::ok;
+    }
+    // The straggler still won the race (or the decode was unavailable):
+    // serve the direct bytes. The hedge cost overlaps the tail of the
+    // wait, so only the remainder of `lat` is still owed.
+    clock_.advance(lat > hedge_us ? lat - hedge_us : 0);
+    hist_hedge_delay_->record((lat - deadline) * 1000);
+    if (verify_reads_ && !regions_[d].verify(offset, dst)) {
+        stats_.checksum_mismatches.fetch_add(1, std::memory_order_relaxed);
+        return io_status::checksum_mismatch;
+    }
+    return io_status::ok;
+}
+
 // ---- failover & background rebuild -----------------------------------
 
 void raid6_array::fail_disk(std::uint32_t d) {
@@ -390,6 +579,7 @@ void raid6_array::replace_disk(std::uint32_t d) {
     }
     disks_[d]->replace();
     health_.reset(d);
+    latmon_.reset(d);
     // The operator took over this slot; drop any background-rebuild claim.
     const auto it =
         std::find_if(rebuilding_.begin(), rebuilding_.end(),
@@ -416,6 +606,7 @@ void raid6_array::handle_failed_disks() {
         disks_[d] = std::move(spares_.back());
         spares_.pop_back();
         health_.reset(d);
+        latmon_.reset(d);
         stats_.spares_promoted.fetch_add(1, std::memory_order_relaxed);
         if (store_ != nullptr) {
             // The slot's file keeps the dead disk's bytes: everything
@@ -837,6 +1028,10 @@ void raid6_array::persist_membership() {
     for (std::uint32_t d = 0; d < n; ++d) {
         if (!disks_[d]->online()) {
             states[d] = static_cast<std::uint8_t>(persist::slot_state::failed);
+        } else if (latmon_.quarantined(d)) {
+            // Quarantine survives a remount: lateness is not corruption,
+            // so the base state stays active with the slow bit OR-ed on.
+            states[d] |= persist::slot_state_slow_bit;
         }
     }
     for (const rebuild_member& m : rebuilding_) {
@@ -1114,16 +1309,20 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
                 const std::size_t hi =
                     (in_strip + chunk + integrity_block_ - 1) /
                     integrity_block_ * integrity_block_;
-                st = verified_disk_read(
-                    loc.disk, loc.offset + lo,
-                    std::span<std::byte>(vbuf.data(), hi - lo));
+                const std::span<std::byte> w(vbuf.data(), hi - lo);
+                st = latmon_.enabled()
+                         ? read_chunk_failslow(stripe, col, lo, w)
+                         : verified_disk_read(loc.disk, loc.offset + lo, w);
                 if (st == io_status::ok) {
                     std::memcpy(out.data() + done + copied,
                                 vbuf.data() + (in_strip - lo), chunk);
                 }
             } else {
-                st = disk_read(loc.disk, loc.offset + in_strip,
-                               out.subspan(done + copied, chunk));
+                const std::span<std::byte> w =
+                    out.subspan(done + copied, chunk);
+                st = latmon_.enabled()
+                         ? read_chunk_failslow(stripe, col, in_strip, w)
+                         : disk_read(loc.disk, loc.offset + in_strip, w);
             }
             if (st != io_status::ok) {
                 degraded = true;

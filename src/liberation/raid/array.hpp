@@ -41,6 +41,7 @@
 #include "liberation/raid/health.hpp"
 #include "liberation/raid/intent_log.hpp"
 #include "liberation/raid/io_policy.hpp"
+#include "liberation/raid/latency_monitor.hpp"
 #include "liberation/raid/stripe_map.hpp"
 #include "liberation/raid/vdisk.hpp"
 
@@ -78,6 +79,10 @@ struct array_config {
     io_policy_config io_retry{};
     /// Error thresholds that trip a disk to failed.
     health_config health{};
+    /// Fail-slow tolerance: adaptive per-disk read deadlines, hedged
+    /// reconstructed reads, and slow-disk quarantine (latency_monitor.hpp).
+    /// Off by default — hedging changes virtual-time accounting.
+    latency_config latency{};
 
     // ---- end-to-end integrity ----------------------------------------
     /// Verify every host read against the per-disk checksum regions; a
@@ -139,6 +144,13 @@ struct array_stats {
     std::uint64_t reads_unrecoverable = 0;      ///< verified reads refused
     std::uint64_t checksum_metadata_repaired = 0;  ///< stale/damaged CRCs fixed
     std::uint64_t writes_rejected_log_full = 0; ///< intent log at capacity
+    // ---- fail-slow tolerance (latency_monitor.hpp) ---------------------
+    std::uint64_t deadline_exceeded = 0;   ///< reads outliving their deadline
+    std::uint64_t hedged_reads = 0;        ///< reconstruction hedges issued
+    std::uint64_t hedge_wins = 0;          ///< hedges that beat the straggler
+    std::uint64_t slow_trips = 0;          ///< disks quarantined suspect_slow
+    std::uint64_t slow_recoveries = 0;     ///< quarantines lifted by probes
+    std::uint64_t slow_routed_reads = 0;   ///< reads routed around quarantine
     // ---- persistence (raid/persist/) ----------------------------------
     std::uint64_t intent_replayed = 0;     ///< journaled stripes re-synced at mount
     std::uint64_t stale_disks_kicked = 0;  ///< members demoted to rebuild at mount
@@ -225,6 +237,11 @@ public:
 
     [[nodiscard]] const health_monitor& health() const noexcept {
         return health_;
+    }
+    /// Fail-slow monitor: per-disk latency distributions, adaptive
+    /// deadlines, and quarantine state (config: array_config::latency).
+    [[nodiscard]] const latency_monitor& latency_mon() const noexcept {
+        return latmon_;
     }
     [[nodiscard]] virtual_clock& clock() noexcept { return clock_; }
     [[nodiscard]] io_policy_stats io_stats() const noexcept {
@@ -438,6 +455,12 @@ private:
         std::atomic<std::uint64_t> reads_unrecoverable{0};
         std::atomic<std::uint64_t> checksum_metadata_repaired{0};
         std::atomic<std::uint64_t> writes_rejected_log_full{0};
+        std::atomic<std::uint64_t> deadline_exceeded{0};
+        std::atomic<std::uint64_t> hedged_reads{0};
+        std::atomic<std::uint64_t> hedge_wins{0};
+        std::atomic<std::uint64_t> slow_trips{0};
+        std::atomic<std::uint64_t> slow_recoveries{0};
+        std::atomic<std::uint64_t> slow_routed_reads{0};
         std::atomic<std::uint64_t> intent_replayed{0};
         std::atomic<std::uint64_t> stale_disks_kicked{0};
 
@@ -500,6 +523,35 @@ private:
 
     /// Record a policy-mediated I/O outcome; trips the disk on threshold.
     void note_io(std::uint32_t d, io_kind kind, const io_result& r);
+
+    // ---- fail-slow tolerance (latency_monitor.hpp) ---------------------
+
+    /// disk_read in deferred-time-charge mode: the policy reports the
+    /// virtual cost in `latency_us` but does not advance the clock — the
+    /// hedged read path charges whichever leg of the race is served.
+    io_status disk_read_deferred(std::uint32_t d, std::size_t offset,
+                                 std::span<std::byte> out,
+                                 std::uint64_t& latency_us);
+
+    /// Fail-slow-aware chunk read on the fast path: `strip_lo` is the
+    /// byte offset inside codeword column `col`'s strip, `dst` both the
+    /// destination and the read length. Routes around quarantined disks
+    /// via decode, hedges reads that outlive the adaptive deadline, and
+    /// feeds the latency monitor. Checksum-verifies exactly like
+    /// verified_disk_read when verify-on-read is enabled.
+    io_status read_chunk_failslow(std::size_t stripe, std::uint32_t col,
+                                  std::size_t strip_lo,
+                                  std::span<std::byte> dst);
+
+    /// Reconstruction read-set for one column range: submit every other
+    /// column's strip through the aio engine (flag_verify), decode the
+    /// missing column, verify the requested range against its stored
+    /// checksum, and copy it into `dst`. False when the stripe cannot be
+    /// decoded or the reconstruction fails verification.
+    [[nodiscard]] bool reconstruct_column_range(std::size_t stripe,
+                                                std::uint32_t col,
+                                                std::size_t strip_lo,
+                                                std::span<std::byte> dst);
 
     /// Promote spares for every failed disk (auto_failover). Starts or
     /// extends the background rebuild session.
@@ -588,6 +640,7 @@ private:
     obs::latency_histogram* hist_read_ = nullptr;
     obs::latency_histogram* hist_write_full_ = nullptr;
     obs::latency_histogram* hist_write_small_ = nullptr;
+    obs::latency_histogram* hist_hedge_delay_ = nullptr;
     obs::gauge* gauge_failed_disks_ = nullptr;
     obs::gauge* gauge_spares_ = nullptr;
     obs::gauge* gauge_rebuild_remaining_ = nullptr;
@@ -609,6 +662,7 @@ private:
     virtual_clock clock_;
     io_policy policy_;
     health_monitor health_;
+    latency_monitor latmon_;
     bool auto_failover_;
     std::size_t rebuild_batch_stripes_;
     std::uint32_t next_disk_id_;

@@ -53,6 +53,12 @@ void accumulate(array_stats& into, const array_stats& s) {
     into.reads_unrecoverable += s.reads_unrecoverable;
     into.checksum_metadata_repaired += s.checksum_metadata_repaired;
     into.writes_rejected_log_full += s.writes_rejected_log_full;
+    into.deadline_exceeded += s.deadline_exceeded;
+    into.hedged_reads += s.hedged_reads;
+    into.hedge_wins += s.hedge_wins;
+    into.slow_trips += s.slow_trips;
+    into.slow_recoveries += s.slow_recoveries;
+    into.slow_routed_reads += s.slow_routed_reads;
     into.intent_replayed += s.intent_replayed;
     into.stale_disks_kicked += s.stale_disks_kicked;
     into.aio_batches += s.aio_batches;
@@ -219,6 +225,9 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     bool kill_write_armed = false;  // on the budget's loss: kill, not reboot
     bool kill_rebuild_pending = false;
     bool kill_scrub_pending = false;
+    bool fail_slow_pending = false;
+    bool fail_slow_recover_pending = false;
+    std::uint32_t slow_victim = UINT32_MAX;
 
     // An event only fires when the array is quiet — no failed disk, no
     // rebuild in flight — so faults never stack beyond the two erasures
@@ -245,6 +254,8 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         if (op == ev.fail_stop_at_op) fail_stop_pending = true;
         if (op == ev.health_storm_at_op) storm_pending = true;
         if (op == ev.power_loss_at_op) power_pending = true;
+        if (op == ev.fail_slow_at_op) fail_slow_pending = true;
+        if (op == ev.fail_slow_recover_at_op) fail_slow_recover_pending = true;
         if (pp.enabled) {
             if (op == pp.kill_mid_write_at_op) kill_write_pending = true;
             if (op == pp.kill_mid_rebuild_at_op) kill_rebuild_pending = true;
@@ -351,6 +362,25 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
                                          after.repaired_parity +
                                          after.repaired_metadata;
             rep.scrub_uncorrectable += after.uncorrectable;
+        } else if (fail_slow_pending && quiet()) {
+            // Gray failure: the disk keeps answering correctly but every
+            // service takes fail_slow_base_us. Constant shape so the
+            // deadline-miss streak is unbroken — the monitor must first
+            // hedge around individual late reads, then trip the disk into
+            // suspect_slow once the lateness proves persistent.
+            const std::uint32_t victim = pick_online_disk(*arr, rng);
+            latency_profile prof;
+            prof.kind = latency_profile::shape::constant;
+            prof.base_us = ev.fail_slow_base_us;
+            prof.jitter_us = ev.fail_slow_base_us / 4;
+            arr->disk(victim).set_latency_profile(
+                prof, derive_seed(cfg.seed, 2000 + 64 * generation));
+            slow_victim = victim;
+            ++rep.fail_slow_injected;
+            fail_slow_pending = false;
+            log("op " + std::to_string(op) + ": fail-slow on disk " +
+                std::to_string(victim) + " (" +
+                std::to_string(ev.fail_slow_base_us) + "us per service)");
         } else if (ev.latent_error_every != 0 && op % ev.latent_error_every == 0 &&
                    op != 0 && quiet()) {
             const std::uint32_t victim = pick_online_disk(*arr, rng);
@@ -401,6 +431,20 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
             ++rep.integrity_corruptions_injected;
             log("op " + std::to_string(op) +
                 ": checksum metadata flip on disk " + std::to_string(victim));
+        }
+
+        // The straggler recovers (GC pass ended, link renegotiated).
+        // Independent of the armed-event chain: clearing a profile is
+        // safe in any array state. The quarantine must now be lifted by
+        // the monitor's own probes, not by the injection harness.
+        if (fail_slow_recover_pending && !fail_slow_pending &&
+            slow_victim != UINT32_MAX) {
+            if (arr->disk(slow_victim).latency_profile_armed()) {
+                arr->disk(slow_victim).clear_latency_profile();
+                log("op " + std::to_string(op) + ": fail-slow disk " +
+                    std::to_string(slow_victim) + " recovered");
+            }
+            fail_slow_recover_pending = false;
         }
 
         // One workload op.
@@ -476,8 +520,10 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     // re-read, including parity strips only resilver visits).
     phase_clock.restart();
     arr->drain_background_rebuild();
-    for (std::uint32_t d = 0; d < arr->disk_count(); ++d)
+    for (std::uint32_t d = 0; d < arr->disk_count(); ++d) {
         arr->disk(d).clear_transient_faults();
+        arr->disk(d).clear_latency_profile();
+    }
     for (int t = 0; t < 16 && arr->journal().size() != 0; ++t)
         rep.resynced_stripes += arr->recover_write_hole();
     rep.resilver_healed = arr->resilver();
@@ -551,6 +597,11 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     rep.health_trips = rep.stats.disks_tripped;
     rep.spares_promoted = rep.stats.spares_promoted;
     rep.rebuilds_completed = rep.stats.rebuilds_completed;
+    rep.deadline_exceeded = rep.stats.deadline_exceeded;
+    rep.hedged_reads = rep.stats.hedged_reads;
+    rep.hedge_wins = rep.stats.hedge_wins;
+    rep.slow_trips = rep.stats.slow_trips;
+    rep.slow_recoveries = rep.stats.slow_recoveries;
 
     bool events_ok = arr->journal().size() == 0;
     if (ev.fail_stop_at_op < cfg.ops) {
@@ -580,6 +631,17 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     }
     if (ev.degraded_scrub && ev.fail_stop_at_op < cfg.ops) {
         events_ok = events_ok && rep.degraded_scrub_repairs >= 1;
+    }
+    if (cfg.array.latency.hedged_reads && ev.fail_slow_at_op < cfg.ops) {
+        // The fail-slow plan must visibly exercise the whole tolerance
+        // chain: late reads detected, hedges that beat the straggler,
+        // and a quarantine trip.
+        events_ok = events_ok && rep.fail_slow_injected >= 1 &&
+                    rep.deadline_exceeded >= 1 && rep.hedge_wins >= 1 &&
+                    rep.slow_trips >= 1;
+        if (ev.fail_slow_recover_at_op < cfg.ops) {
+            events_ok = events_ok && rep.slow_recoveries >= 1;
+        }
     }
     if (pp.enabled) {
         // Every kill must have remounted, every planned crash point must

@@ -47,6 +47,17 @@ struct chaos_event_plan {
     /// checksum-first scrubber repairs corruption on degraded stripes the
     /// parity cross-check scrubber had to skip.
     bool degraded_scrub = true;
+    /// Fail-slow injection (>= ops disables): at the first quiet op a
+    /// random online disk is armed with a seeded constant latency profile
+    /// — correct bytes, pathological timing. Requires
+    /// array_config::latency.hedged_reads for the array to react (hedge,
+    /// then quarantine); without it the disk just drags the clock.
+    std::size_t fail_slow_at_op = SIZE_MAX;
+    /// The straggler recovers (profile cleared) at this op: quarantine
+    /// probes must then un-quarantine it (>= ops = never recovers).
+    std::size_t fail_slow_recover_at_op = SIZE_MAX;
+    /// Injected service time of the fail-slow disk, microseconds.
+    std::uint64_t fail_slow_base_us = 20'000;
 };
 
 /// Kill-and-remount persistence phases. When enabled, the campaign runs
@@ -153,6 +164,13 @@ struct chaos_report {
     std::uint64_t health_trips = 0;
     std::uint64_t spares_promoted = 0;
     std::uint64_t rebuilds_completed = 0;
+    // ---- fail-slow tolerance (chaos_event_plan::fail_slow_at_op) ----
+    std::size_t fail_slow_injected = 0;  ///< latency profiles armed
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t hedged_reads = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t slow_trips = 0;
+    std::uint64_t slow_recoveries = 0;
     // ---- kill-and-remount persistence phases (chaos_persist_plan) ----
     std::size_t kills = 0;           ///< process deaths simulated
     std::size_t remounts = 0;        ///< successful mount_array() reassemblies

@@ -18,7 +18,7 @@ void io_policy::attach_obs(obs::hub* h) {
 }
 
 template <typename Op>
-io_result io_policy::run(Op&& op, io_kind kind) {
+io_result io_policy::run(Op&& op, io_kind kind, bool defer_time_charge) {
     (kind == io_kind::read ? reads_ : writes_)
         .fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t begin = obs_ != nullptr ? obs_->now_ns() : 0;
@@ -26,7 +26,16 @@ io_result io_policy::run(Op&& op, io_kind kind) {
     io_result result;
     std::uint64_t backoff = cfg_.initial_backoff_us;
     for (std::uint32_t attempt = 0;; ++attempt) {
-        result.status = op();
+        std::uint64_t service_us = 0;
+        result.status = op(&service_us);
+        // Injected fail-slow service time: charged to the virtual clock
+        // like backoff (a real array would be waiting on the platter),
+        // unless the caller is racing this op and will charge only the
+        // winner's cost itself.
+        if (service_us > 0) {
+            result.latency_us += service_us;
+            if (!defer_time_charge) clock_->advance(service_us);
+        }
         if (!is_retryable(result.status)) break;
         ++result.transient_seen;
         if (attempt >= cfg_.max_retries) {
@@ -40,7 +49,8 @@ io_result io_policy::run(Op&& op, io_kind kind) {
         }
         // Exponential backoff on the virtual clock: a real array would
         // stall here; the simulation just records the stall.
-        clock_->advance(backoff);
+        result.latency_us += backoff;
+        if (!defer_time_charge) clock_->advance(backoff);
         backoff_us_.fetch_add(backoff, std::memory_order_relaxed);
         backoff = std::min(backoff * 2, cfg_.max_backoff_us);
         retries_.fetch_add(1, std::memory_order_relaxed);
@@ -57,13 +67,16 @@ io_result io_policy::run(Op&& op, io_kind kind) {
 }
 
 io_result io_policy::read(vdisk& disk, std::size_t offset,
-                          std::span<std::byte> out) {
-    return run([&] { return disk.read(offset, out); }, io_kind::read);
+                          std::span<std::byte> out, bool defer_time_charge) {
+    return run([&](std::uint64_t* svc) { return disk.read(offset, out, svc); },
+               io_kind::read, defer_time_charge);
 }
 
 io_result io_policy::write(vdisk& disk, std::size_t offset,
-                           std::span<const std::byte> in) {
-    return run([&] { return disk.write(offset, in); }, io_kind::write);
+                           std::span<const std::byte> in,
+                           bool defer_time_charge) {
+    return run([&](std::uint64_t* svc) { return disk.write(offset, in, svc); },
+               io_kind::write, defer_time_charge);
 }
 
 io_policy_stats io_policy::stats() const noexcept {

@@ -67,6 +67,12 @@ struct io_policy_stats {
 struct io_result {
     io_status status = io_status::ok;
     std::uint32_t transient_seen = 0;
+    /// Virtual time this op consumed: injected fail-slow service latency
+    /// of every attempt plus retry backoff, in µs. In the default mode
+    /// the same amount was already charged to the virtual clock; in
+    /// deferred mode (hedged reads) nothing was charged and the caller
+    /// decides what the host-visible wait really was.
+    std::uint64_t latency_us = 0;
 
     [[nodiscard]] bool ok() const noexcept { return status == io_status::ok; }
 };
@@ -85,12 +91,21 @@ public:
     io_policy(const io_policy_config& cfg, virtual_clock& clock) noexcept
         : cfg_(cfg), clock_(&clock) {}
 
-    /// One mediated read (write): retries absorbed, backoff charged to
-    /// the virtual clock, `transient_seen` reported for health
-    /// accounting even when the op ultimately succeeded.
-    io_result read(vdisk& disk, std::size_t offset, std::span<std::byte> out);
+    /// One mediated read (write): retries absorbed, backoff and injected
+    /// fail-slow service time charged to the virtual clock,
+    /// `transient_seen` reported for health accounting even when the op
+    /// ultimately succeeded.
+    ///
+    /// With `defer_time_charge` the op's virtual cost (service latency +
+    /// backoff) is *measured* into `io_result::latency_us` but NOT
+    /// charged to the clock: the hedged-read orchestrator issues the
+    /// direct read and the reconstruction race this way, then charges
+    /// only what the winner actually made the host wait.
+    io_result read(vdisk& disk, std::size_t offset, std::span<std::byte> out,
+                   bool defer_time_charge = false);
     io_result write(vdisk& disk, std::size_t offset,
-                    std::span<const std::byte> in);
+                    std::span<const std::byte> in,
+                    bool defer_time_charge = false);
 
     [[nodiscard]] io_policy_stats stats() const noexcept;
     [[nodiscard]] const io_policy_config& config() const noexcept {
@@ -106,7 +121,7 @@ public:
 
 private:
     template <typename Op>
-    io_result run(Op&& op, io_kind kind);
+    io_result run(Op&& op, io_kind kind, bool defer_time_charge);
 
     io_policy_config cfg_;
     virtual_clock* clock_;

@@ -124,6 +124,7 @@ mounted_array mounter::mount(const mount_options& opts) {
     acfg.rebuild_batch_stripes = opts.rebuild_batch_stripes;
     acfg.io_retry = opts.io_retry;
     acfg.health = opts.health;
+    acfg.latency = opts.latency;
     acfg.verify_reads = opts.verify_reads;
     acfg.intent_log_entries = auth->intent_capacity;
     acfg.io_queue_depth = opts.io_queue_depth;
@@ -177,7 +178,8 @@ mounted_array mounter::mount(const mount_options& opts) {
             dispo[s] = disposition::foreign_disk;
             ++rep.foreign;
             ++failed_total;
-        } else if (static_cast<slot_state>(auth->slot_states[s]) ==
+        } else if (static_cast<slot_state>(auth->slot_states[s] &
+                                           ~slot_state_slow_bit) ==
                    slot_state::failed) {
             // Dead per the last membership epoch; whatever the file holds
             // is stale. Keep the slot failed until the operator replaces
@@ -206,7 +208,8 @@ mounted_array mounter::mount(const mount_options& opts) {
             img.seq = p->sb->seq;
             img.disk_id = p->sb->disk_id;
             img.crcs = p->sb->crcs;
-            if (static_cast<slot_state>(auth->slot_states[s]) ==
+            if (static_cast<slot_state>(auth->slot_states[s] &
+                                        ~slot_state_slow_bit) ==
                     slot_state::rebuilding &&
                 auth->watermarks[s] < auth->stripes) {
                 dispo[s] = disposition::resuming;
@@ -272,6 +275,16 @@ mounted_array mounter::mount(const mount_options& opts) {
             break;
         case disposition::active:
             break;
+        }
+        // Re-enter a persisted fail-slow quarantine (active/resuming
+        // members only — fresh hardware in a kicked slot starts normal).
+        // Must happen before persist_membership() below, which recomputes
+        // the slot-state bytes from the live monitor.
+        if ((dispo[s] == disposition::active ||
+             dispo[s] == disposition::resuming) &&
+            (auth->slot_states[s] & slot_state_slow_bit) != 0 &&
+            a->latmon_.enabled()) {
+            a->latmon_.force_quarantine(s);
         }
     }
     a->rebuild_active_ = !a->rebuilding_.empty();

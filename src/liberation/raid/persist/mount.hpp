@@ -55,6 +55,10 @@ struct mount_options {
     bool verify_reads = true;
     io_policy_config io_retry{};
     health_config health{};
+    /// Fail-slow tolerance (hedged reads, quarantine). Thresholds are
+    /// per-process policy; the quarantine *state* is persisted (slot-state
+    /// slow bit) and re-entered at mount when this layer is enabled.
+    latency_config latency{};
     std::size_t rebuild_batch_stripes = 4;
     bool auto_failover = true;
     bool obs_virtual_time = false;

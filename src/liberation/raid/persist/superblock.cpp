@@ -191,7 +191,8 @@ std::optional<superblock> decode(std::span<const std::byte> raw) {
     if (!r.ok) return std::nullopt;
 
     for (std::uint8_t st : sb.slot_states) {
-        if (st > static_cast<std::uint8_t>(slot_state::rebuilding)) {
+        if ((st & ~slot_state_slow_bit) >
+            static_cast<std::uint8_t>(slot_state::rebuilding)) {
             return std::nullopt;
         }
     }

@@ -44,6 +44,15 @@ enum class slot_state : std::uint8_t {
     rebuilding = 2,  ///< promoted/blank member; trusted below its watermark
 };
 
+/// Flag bit OR-ed into a persisted slot-state byte when the member is
+/// quarantined as fail-slow (latency_monitor's suspect_slow): its bytes
+/// are fully trusted — lateness is not corruption — so the base state
+/// stays `active`, and mount re-enters the quarantine instead of
+/// re-learning the straggler from scratch. A separate bit (not a new
+/// enum value) keeps the framing and version unchanged; decoders mask
+/// it off before interpreting the base state.
+inline constexpr std::uint8_t slot_state_slow_bit = 0x40;
+
 inline constexpr std::uint64_t superblock_magic = 0x3130'4253'5242'494cULL;
 inline constexpr std::uint32_t superblock_version = 1;
 inline constexpr std::uint64_t file_header_magic = 0x3152'4448'5242'494cULL;

@@ -69,9 +69,63 @@ void vdisk::clear_transient_faults() {
     faults_armed_.store(false, std::memory_order_relaxed);
 }
 
-io_status vdisk::read(std::size_t offset, std::span<std::byte> out) {
+std::uint64_t vdisk::take_service_latency() {
+    if (!latency_armed_.load(std::memory_order_relaxed)) return 0;
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (!latency_.enabled()) return 0;
+    const std::uint64_t op = latency_ops_++;
+    std::uint64_t us = latency_.base_us;
+    if (latency_.jitter_us > 0 && latency_rng_) {
+        us += latency_rng_->next_below(latency_.jitter_us);
+    }
+    switch (latency_.kind) {
+        case latency_profile::shape::ramp: {
+            std::uint64_t ramp = latency_.ramp_us_per_op * op;
+            if (latency_.ramp_cap_us > 0 && ramp > latency_.ramp_cap_us) {
+                ramp = latency_.ramp_cap_us;
+            }
+            us += ramp;
+            break;
+        }
+        case latency_profile::shape::intermittent_stall:
+            if (latency_.stall_every > 0 &&
+                (op + 1) % latency_.stall_every == 0) {
+                us += latency_.stall_us;
+            }
+            break;
+        case latency_profile::shape::constant:
+        case latency_profile::shape::none:
+            break;
+    }
+    return us;
+}
+
+void vdisk::set_latency_profile(const latency_profile& profile,
+                                std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    latency_ = profile;
+    latency_rng_.emplace(seed);
+    latency_ops_ = 0;
+    latency_armed_.store(profile.enabled(), std::memory_order_relaxed);
+}
+
+void vdisk::clear_latency_profile() {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    latency_ = latency_profile{};
+    latency_rng_.reset();
+    latency_ops_ = 0;
+    latency_armed_.store(false, std::memory_order_relaxed);
+}
+
+io_status vdisk::read(std::size_t offset, std::span<std::byte> out,
+                      std::uint64_t* service_us) {
+    if (service_us != nullptr) *service_us = 0;
     if (!online()) return io_status::disk_failed;
     if (!extent_ok(offset, out.size())) return io_status::out_of_range;
+    // Taken whether or not the caller wants the number: the latency
+    // stream must advance identically on every path touching the medium.
+    const std::uint64_t svc = take_service_latency();
+    if (service_us != nullptr) *service_us = svc;
     if (take_transient_fault(io_kind::read)) {
         transient_reads_.fetch_add(1, std::memory_order_relaxed);
         return io_status::transient_error;
@@ -85,9 +139,13 @@ io_status vdisk::read(std::size_t offset, std::span<std::byte> out) {
     return io_status::ok;
 }
 
-io_status vdisk::write(std::size_t offset, std::span<const std::byte> in) {
+io_status vdisk::write(std::size_t offset, std::span<const std::byte> in,
+                       std::uint64_t* service_us) {
+    if (service_us != nullptr) *service_us = 0;
     if (!online()) return io_status::disk_failed;
     if (!extent_ok(offset, in.size())) return io_status::out_of_range;
+    const std::uint64_t svc = take_service_latency();
+    if (service_us != nullptr) *service_us = svc;
     if (take_transient_fault(io_kind::write)) {
         transient_writes_.fetch_add(1, std::memory_order_relaxed);
         return io_status::transient_error;  // nothing hit the medium
@@ -117,6 +175,7 @@ void vdisk::replace() {
     if (sink_) sink_(0, std::span<const std::byte>(data_.data(), data_.size()));
     bad_sectors_.clear();
     clear_transient_faults();
+    clear_latency_profile();  // fresh hardware is fast hardware
     online_.store(true, std::memory_order_release);
 }
 

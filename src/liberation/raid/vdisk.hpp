@@ -13,6 +13,13 @@
 //     from a per-disk seeded xoshiro256 stream;
 //   * scheduled — "the Nth read (or write) from now fails", for
 //     deterministic unit tests and chaos-campaign storms.
+//
+// A fifth, *fail-slow* mode models gray failure: the disk still answers
+// correctly, but a seeded latency profile (constant, ramp, or
+// intermittent stall) stamps a virtual service time onto every op. The
+// disk never sleeps — it reports the cost through an out-parameter and
+// the io_policy charges it to the array's virtual clock, so fail-slow
+// campaigns stay instant and bit-for-bit replayable.
 #pragma once
 
 #include <atomic>
@@ -48,6 +55,29 @@ enum class io_status : std::uint8_t {
 
 enum class io_kind : std::uint8_t { read, write };
 
+/// Fail-slow injection profile: how long each operation *would* take on
+/// the slow medium, in virtual microseconds. The three shapes cover the
+/// gray-failure taxonomy: `constant` (a uniformly slow disk, e.g. a bad
+/// cable), `ramp` (a disk degrading op by op, e.g. a dying head), and
+/// `intermittent_stall` (mostly healthy with periodic multi-ms freezes,
+/// e.g. firmware GC pauses — the shape that makes hedging pay).
+struct latency_profile {
+    enum class shape : std::uint8_t { none, constant, ramp, intermittent_stall };
+    shape kind = shape::none;
+    /// Baseline service time added to every op.
+    std::uint64_t base_us = 0;
+    /// Uniform jitter in [0, jitter_us) drawn from the seeded stream.
+    std::uint64_t jitter_us = 0;
+    /// `ramp`: extra latency accrued per op, capped at ramp_cap_us.
+    std::uint64_t ramp_us_per_op = 0;
+    std::uint64_t ramp_cap_us = 0;
+    /// `intermittent_stall`: every stall_every-th op takes stall_us extra.
+    std::uint64_t stall_us = 0;
+    std::uint64_t stall_every = 0;
+
+    [[nodiscard]] bool enabled() const noexcept { return kind != shape::none; }
+};
+
 /// Snapshot of a disk's I/O counters. Counters are updated atomically so
 /// concurrent rebuild workers may touch disjoint extents of one disk.
 struct disk_stats {
@@ -75,8 +105,14 @@ public:
                 transient_reads_.load(), transient_writes_.load()};
     }
 
-    io_status read(std::size_t offset, std::span<std::byte> out);
-    io_status write(std::size_t offset, std::span<const std::byte> in);
+    /// `service_us`, when non-null, receives the injected fail-slow
+    /// service time of this attempt in virtual microseconds (0 when no
+    /// profile is armed). Failed attempts are stamped too — a slow disk
+    /// is slow whether or not the op ultimately succeeds.
+    io_status read(std::size_t offset, std::span<std::byte> out,
+                   std::uint64_t* service_us = nullptr);
+    io_status write(std::size_t offset, std::span<const std::byte> in,
+                    std::uint64_t* service_us = nullptr);
 
     // ---- persistence hooks (see raid/persist/) -----------------------
 
@@ -105,8 +141,8 @@ public:
     void fail() noexcept { online_.store(false, std::memory_order_release); }
 
     /// Swap in a fresh blank disk (same geometry) — contents zeroed,
-    /// latent errors cleared, transient fault config cleared (it belonged
-    /// to the old hardware), back online.
+    /// latent errors cleared, transient fault config and latency profile
+    /// cleared (they belonged to the old hardware), back online.
     void replace();
 
     /// Mark the sectors covering [offset, offset+len) as unreadable.
@@ -142,6 +178,23 @@ public:
     /// Disarm all transient fault injection (rates and schedules).
     void clear_transient_faults();
 
+    // ---- fail-slow injection -----------------------------------------
+
+    /// Arm a fail-slow latency profile. Jitter draws come from a
+    /// dedicated xoshiro256 stream seeded with `seed`, separate from the
+    /// transient-fault stream so arming latency never perturbs an
+    /// existing fault replay. Replaces any previous profile; the op
+    /// counter restarts (a fresh profile describes a fresh pathology).
+    void set_latency_profile(const latency_profile& profile,
+                             std::uint64_t seed);
+
+    /// Disarm fail-slow injection (the disk is fast again).
+    void clear_latency_profile();
+
+    [[nodiscard]] bool latency_profile_armed() const noexcept {
+        return latency_armed_.load(std::memory_order_relaxed);
+    }
+
 private:
     [[nodiscard]] bool extent_ok(std::size_t offset, std::size_t len) const noexcept {
         return offset + len <= data_.size() && offset + len >= offset;
@@ -151,6 +204,10 @@ private:
     /// Advance the per-kind op counter and decide whether this operation
     /// suffers an injected transient error.
     [[nodiscard]] bool take_transient_fault(io_kind kind);
+
+    /// Advance the latency op counter and compute this op's injected
+    /// service time in virtual µs (0 when no profile is armed).
+    [[nodiscard]] std::uint64_t take_service_latency();
 
     std::uint32_t id_;
     std::size_t sector_size_;
@@ -176,6 +233,14 @@ private:
     std::uint64_t write_ops_ = 0;
     std::set<std::uint64_t> scheduled_read_faults_;
     std::set<std::uint64_t> scheduled_write_faults_;
+
+    // Fail-slow state. Shares fault_mutex_ (both are cold paths once the
+    // armed flags say "off"); its own RNG + op counter so arming latency
+    // never shifts the transient-fault replay stream.
+    std::atomic<bool> latency_armed_{false};
+    latency_profile latency_;
+    std::optional<util::xoshiro256> latency_rng_;
+    std::uint64_t latency_ops_ = 0;
 
     media_sink sink_;  ///< null unless the persistence layer is attached
 };

@@ -5,9 +5,17 @@
 // Usage:
 //   chaos_campaign [--seed N] [--ops N] [--spares N] [--stripes N]
 //                  [--queue-depth N] [--read-rate R] [--write-rate R]
-//                  [--persist-dir DIR] [--sync-meta]
+//                  [--persist-dir DIR] [--sync-meta] [--fail-slow]
 //                  [--metrics-out FILE] [--trace-out FILE] [--json]
 //                  [--quiet]
+//
+// --fail-slow enables the fail-slow phase of the plan: hedged reads are
+// switched on, a random online disk is armed with a seeded constant
+// latency profile a third of the way in (correct bytes, pathological
+// timing), and it recovers two thirds of the way in. The acceptance then
+// also requires the array to have hedged past the straggler (>= 1 hedge
+// win), quarantined it (>= 1 slow trip), and un-quarantined it after the
+// profile cleared (>= 1 slow recovery).
 //
 // --persist-dir DIR runs the campaign file-backed (one disk-NN.img per
 // member in DIR) and adds the kill-and-remount phases: the process state
@@ -89,6 +97,17 @@ void print_verdict_json(const chaos_config& cfg, const chaos_report& rep) {
     std::printf("\"intent_replayed\":%zu,", rep.mount_intent_replayed);
     std::printf("\"stale_disks_kicked\":%zu,", rep.stale_disks_kicked);
     std::printf("\"rebuilds_resumed\":%zu,", rep.rebuilds_resumed);
+    std::printf("\"fail_slow_injected\":%zu,", rep.fail_slow_injected);
+    std::printf("\"deadline_exceeded\":%llu,",
+                static_cast<unsigned long long>(rep.deadline_exceeded));
+    std::printf("\"hedged_reads\":%llu,",
+                static_cast<unsigned long long>(rep.hedged_reads));
+    std::printf("\"hedge_wins\":%llu,",
+                static_cast<unsigned long long>(rep.hedge_wins));
+    std::printf("\"slow_trips\":%llu,",
+                static_cast<unsigned long long>(rep.slow_trips));
+    std::printf("\"slow_recoveries\":%llu,",
+                static_cast<unsigned long long>(rep.slow_recoveries));
     std::printf("\"phases\":{\"fill_s\":%.6f,\"workload_s\":%.6f,"
                 "\"settle_s\":%.6f,\"settle_scrub_s\":%.6f,"
                 "\"final_verify_s\":%.6f,\"final_scrub_s\":%.6f,"
@@ -141,6 +160,14 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 static_cast<unsigned long long>(rep.io.transient_masked),
                 static_cast<unsigned long long>(rep.io.retries_exhausted),
                 static_cast<unsigned long long>(rep.io.backoff_us));
+    std::printf("  fail-slow: injected=%zu deadline-exceeded=%llu hedged=%llu "
+                "hedge-wins=%llu slow-trips=%llu slow-recoveries=%llu\n",
+                rep.fail_slow_injected,
+                static_cast<unsigned long long>(rep.deadline_exceeded),
+                static_cast<unsigned long long>(rep.hedged_reads),
+                static_cast<unsigned long long>(rep.hedge_wins),
+                static_cast<unsigned long long>(rep.slow_trips),
+                static_cast<unsigned long long>(rep.slow_recoveries));
     std::printf("  array: degraded-stripe-reads=%llu degraded-element-reads=%llu "
                 "media-errors-recovered=%llu\n",
                 static_cast<unsigned long long>(rep.stats.degraded_stripe_reads),
@@ -189,7 +216,9 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 "stalled=%llu unrecoverable_reads=%llu self_healed=%llu "
                 "corruptions=%zu kills=%zu remounts=%zu mount_failures=%zu "
                 "intent_replayed=%zu stale_disks_kicked=%zu "
-                "rebuilds_resumed=%zu\n",
+                "rebuilds_resumed=%zu fail_slow=%zu deadline_exceeded=%llu "
+                "hedged=%llu hedge_wins=%llu slow_trips=%llu "
+                "slow_recoveries=%llu\n",
                 rep.success ? 1 : 0,
                 static_cast<unsigned long long>(cfg.seed), rep.ops,
                 rep.mismatches, rep.failed_reads, rep.failed_writes,
@@ -201,7 +230,13 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 static_cast<unsigned long long>(rep.stats.reads_self_healed),
                 rep.corruptions_injected, rep.kills, rep.remounts,
                 rep.mount_failures, rep.mount_intent_replayed,
-                rep.stale_disks_kicked, rep.rebuilds_resumed);
+                rep.stale_disks_kicked, rep.rebuilds_resumed,
+                rep.fail_slow_injected,
+                static_cast<unsigned long long>(rep.deadline_exceeded),
+                static_cast<unsigned long long>(rep.hedged_reads),
+                static_cast<unsigned long long>(rep.hedge_wins),
+                static_cast<unsigned long long>(rep.slow_trips),
+                static_cast<unsigned long long>(rep.slow_recoveries));
     std::printf("%s\n", rep.success ? "PASS" : "FAIL");
 }
 
@@ -209,7 +244,7 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--spares N] [--stripes N]\n"
                  "          [--queue-depth N] [--read-rate R] [--write-rate R]\n"
-                 "          [--persist-dir DIR] [--sync-meta]\n"
+                 "          [--persist-dir DIR] [--sync-meta] [--fail-slow]\n"
                  "          [--metrics-out FILE] [--trace-out FILE] [--json]\n"
                  "          [--quiet]\n",
                  argv0);
@@ -223,6 +258,7 @@ int main(int argc, char** argv) {
     std::size_t ops = 10'000;
     bool quiet = false;
     bool json = false;
+    bool fail_slow = false;
     const char* metrics_out = nullptr;
     const char* trace_out = nullptr;
     chaos_config cfg = liberation::raid::default_chaos_config(seed, ops);
@@ -256,6 +292,8 @@ int main(int argc, char** argv) {
             cfg.persist.dir = v;
         } else if (std::strcmp(argv[i], "--sync-meta") == 0) {
             cfg.persist.sync_meta = true;
+        } else if (std::strcmp(argv[i], "--fail-slow") == 0) {
+            fail_slow = true;
         } else if (const char* v = arg("--metrics-out")) {
             metrics_out = v;
         } else if (const char* v = arg("--trace-out")) {
@@ -276,6 +314,14 @@ int main(int argc, char** argv) {
     cfg.events.fail_stop_at_op = ops / 5;
     cfg.events.health_storm_at_op = ops / 2;
     cfg.events.power_loss_at_op = (ops * 4) / 5;
+    if (fail_slow) {
+        // The straggler arms in the quiet stretch after the fail-stop's
+        // rebuild drains and recovers before the power loss, so hedging,
+        // quarantine, and un-quarantine all run within one campaign.
+        cfg.array.latency.hedged_reads = true;
+        cfg.events.fail_slow_at_op = ops / 3;
+        cfg.events.fail_slow_recover_at_op = (ops * 2) / 3;
+    }
     if (cfg.persist.enabled) {
         // Crash points interleave with the fault plan: the mid-rebuild
         // kill arms right after the fail-stop (while its spare's rebuild
