@@ -1,0 +1,318 @@
+// Fused single-pass hot path vs the two-pass structure it replaced.
+//
+// The array is memory-bound at streaming footprints, so every leg runs
+// over arenas well beyond the cache hierarchy and all three legs use the
+// *same* xorops traversal engine — the only variable is where the
+// checksum work happens:
+//
+//   raw     — the no-integrity ceiling: the same copy/XOR traversals
+//             with the checksum lanes off ("raw-XOR GB/s").
+//   twopass — deferred checksumming: run the raw pass over the batch,
+//             then a separate CRC32C sweep when the batch has gone cold
+//             (the structure of a non-fused pipeline that checksums at
+//             drain/scrub time — every byte re-read from memory).
+//   fused   — CRC32C riding inside the single traversal
+//             (copy_crc32c_blocks / encode_crc).
+//
+// Sections (per dispatch tier):
+//   <impl>_read  — verified strip ingest in 128 KiB requests, CRC block =
+//                  elem; GB/s of payload.
+//   <impl>_write — full-stripe write pipeline (stage k strips + encode +
+//                  checksum all n strips), streamed over a batch of
+//                  stripes; GB/s of stripe *data* (k strips), the same
+//                  accounting as the figure harnesses.
+//
+// Flags: --json one-line machine output; --check gates the fused wins on
+// the dispatched tier (fused >= 1.4x twopass, fused within 15% of raw at
+// elem 4096-8192) so CI catches a defused hot path; --threads N replaces
+// the default tables with a thread-scaling sweep of the fused write
+// pipeline (private buffers, aggregate GB/s) — kept out of the recorded
+// baseline because shared runners make it contention-noisy.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "liberation/core/liberation_optimal_code.hpp"
+#include "liberation/util/aligned_buffer.hpp"
+#include "liberation/util/rng.hpp"
+#include "liberation/util/timer.hpp"
+#include "liberation/xorops/xorops.hpp"
+
+namespace {
+
+using namespace liberation;
+
+/// Past every cache level on the machines we care about; the twopass
+/// second sweep must find its bytes evicted, as it does in a real array.
+constexpr std::size_t kArena = std::size_t{256} << 20;
+constexpr std::size_t kReadRequest = std::size_t{128} << 10;
+
+/// Best-of-trials GB/s; each fn() call is one full pass over an arena.
+template <typename Fn>
+double measure_gbps(std::uint64_t bytes_per_pass, Fn&& fn, int trials = 3) {
+    double best = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+        util::stopwatch timer;
+        fn();
+        best = std::max(best, util::throughput_gbps(bytes_per_pass,
+                                                    timer.seconds()));
+    }
+    return best;
+}
+
+/// xorops-engine copy (fan-in-1 reduction): the raw leg's data movement,
+/// so raw/twopass/fused differ only in checksum placement, not kernels.
+void raw_copy(std::byte* dst, const std::byte* src, std::size_t n) {
+    const std::byte* srcs[1] = {src};
+    xorops::xor_many(dst, srcs, 1, n);
+}
+
+struct read_result {
+    double twopass, fused, raw;
+};
+
+/// Verified strip ingest: stream the arena in 128 KiB requests with one
+/// CRC32C per elem-sized block. Five trials per leg: the read legs are
+/// short enough that one-sided scheduler noise moves single runs ~5%.
+read_result bench_verified_read(std::size_t elem) {
+    util::aligned_buffer src(kArena), dst(kArena);
+    util::xoshiro256 rng(bench::kSeed);
+    rng.fill(src.span());
+    std::vector<std::uint32_t> crcs(kReadRequest / elem);
+
+    constexpr int kReadTrials = 5;
+    read_result r{};
+    r.raw = measure_gbps(kArena, [&] {
+        for (std::size_t o = 0; o < kArena; o += kReadRequest)
+            raw_copy(dst.data() + o, src.data() + o, kReadRequest);
+    }, kReadTrials);
+    r.twopass = measure_gbps(kArena, [&] {
+        for (std::size_t o = 0; o < kArena; o += kReadRequest)
+            raw_copy(dst.data() + o, src.data() + o, kReadRequest);
+        // Second pass: by now the front of the arena is cold again.
+        for (std::size_t o = 0; o < kArena; o += kReadRequest)
+            xorops::crc32c_blocks(dst.data() + o, kReadRequest, elem,
+                                  crcs.data());
+    }, kReadTrials);
+    r.fused = measure_gbps(kArena, [&] {
+        for (std::size_t o = 0; o < kArena; o += kReadRequest)
+            xorops::copy_crc32c_blocks(dst.data() + o, src.data() + o,
+                                       kReadRequest, elem, crcs.data());
+    }, kReadTrials);
+    return r;
+}
+
+/// A batch of stripes whose combined footprint exceeds the cache, plus
+/// the user data that feeds them.
+struct write_batch {
+    core::liberation_optimal_code code;
+    std::vector<std::unique_ptr<codes::stripe_buffer>> stripes;
+    util::aligned_buffer user;
+    std::vector<std::uint32_t> crcs;
+    std::size_t elem, strip, nstripes, data_bytes;
+
+    write_batch(std::uint32_t k, std::size_t elem_size)
+        : code(k),
+          user(0),
+          elem(elem_size),
+          strip(static_cast<std::size_t>(code.rows()) * elem_size),
+          nstripes(kArena / (static_cast<std::size_t>(code.n()) * strip)),
+          data_bytes(0) {
+        for (std::size_t s = 0; s < nstripes; ++s) {
+            stripes.push_back(std::make_unique<codes::stripe_buffer>(
+                code.rows(), code.n(), elem));
+        }
+        data_bytes = nstripes * code.k() * strip;
+        user = util::aligned_buffer(data_bytes);
+        util::xoshiro256 rng(bench::kSeed);
+        rng.fill(user.span());
+        crcs.resize(static_cast<std::size_t>(code.n()) * strip / elem);
+    }
+
+    const std::byte* user_strip(std::size_t s, std::uint32_t col) const {
+        return user.data() + (s * code.k() + col) * strip;
+    }
+    std::uint32_t* col_crcs(std::uint32_t col) {
+        return crcs.data() + col * (strip / elem);
+    }
+};
+
+/// Stage + encode with the checksum lanes off: the raw-XOR ceiling.
+void write_raw_pass(write_batch& b) {
+    for (std::size_t s = 0; s < b.nstripes; ++s) {
+        const codes::stripe_view v = b.stripes[s]->view();
+        for (std::uint32_t c = 0; c < b.code.k(); ++c)
+            raw_copy(v.strip(c).data(), b.user_strip(s, c), b.strip);
+        b.code.encode(v);
+    }
+}
+
+/// Raw pass over the whole batch, then the deferred CRC sweep of every
+/// strip (data and parity) — the bytes have left the cache by then.
+void write_twopass(write_batch& b) {
+    write_raw_pass(b);
+    for (std::size_t s = 0; s < b.nstripes; ++s) {
+        const codes::stripe_view v = b.stripes[s]->view();
+        for (std::uint32_t c = 0; c < b.code.n(); ++c)
+            xorops::crc32c_blocks(v.strip(c).data(), b.strip, b.elem,
+                                  b.col_crcs(c));
+    }
+}
+
+/// Fused staging + fused encode: every byte touched exactly once.
+void write_fused(write_batch& b) {
+    for (std::size_t s = 0; s < b.nstripes; ++s) {
+        const codes::stripe_view v = b.stripes[s]->view();
+        for (std::uint32_t c = 0; c < b.code.k(); ++c)
+            xorops::copy_crc32c_blocks(v.strip(c).data(), b.user_strip(s, c),
+                                       b.strip, b.elem, b.col_crcs(c));
+        b.code.encode_crc(v, b.elem, b.col_crcs(b.code.k()),
+                          b.col_crcs(b.code.k() + 1));
+    }
+}
+
+/// Aggregate GB/s of `threads` workers each running the fused write
+/// pipeline on a private (cache-sized) batch.
+double bench_write_threads(unsigned threads, std::size_t elem) {
+    std::vector<std::unique_ptr<write_batch>> batches;
+    for (unsigned t = 0; t < threads; ++t) {
+        batches.push_back(std::make_unique<write_batch>(8, elem));
+    }
+    std::atomic<bool> go{false}, stop{false};
+    std::atomic<std::uint64_t> bytes{0};
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {}
+            std::uint64_t local = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                write_fused(*batches[t]);
+                local += batches[t]->data_bytes;
+            }
+            bytes.fetch_add(local, std::memory_order_relaxed);
+        });
+    }
+    util::stopwatch timer;
+    go.store(true, std::memory_order_release);
+    while (timer.seconds() < 0.6) {}
+    const double elapsed = timer.seconds();
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+    return util::throughput_gbps(bytes.load(), elapsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool check = false;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        }
+    }
+
+    bench::reporter rep(argc, argv, "fused_codec");
+
+    if (threads != 0) {
+        rep.banner("Fused full-stripe-write thread scaling (k=8, aggregate "
+                   "GB/s of stripe data)\n");
+        rep.section("threads", "threads");
+        rep.header({"threads", "elem4k", "elem8k"});
+        for (unsigned t = 1; t <= threads; t *= 2) {
+            rep.row(t, {bench_write_threads(t, 4096),
+                        bench_write_threads(t, 8192)},
+                    "%14.2f");
+        }
+        return 0;
+    }
+
+    rep.banner(
+        "Fused CRC32C+parity hot path vs deferred two-pass (streaming "
+        "arenas,\nGB/s of payload; raw = same kernels, checksum off)\n");
+
+    const xorops::xor_impl all[] = {
+        xorops::xor_impl::scalar, xorops::xor_impl::avx2,
+        xorops::xor_impl::avx512, xorops::xor_impl::neon};
+    std::vector<xorops::xor_impl> impls;
+    for (const auto impl : all) {
+        if (xorops::impl_available(impl)) impls.push_back(impl);
+    }
+
+    // Gate inputs: worst rows of the dispatched tier at elem 4096-8192.
+    double worst_speedup = 1e9, worst_vs_raw = 1e9;
+
+    for (const auto impl : impls) {
+        xorops::impl_scope scope(impl);
+        const std::string name = xorops::impl_name(impl);
+        const bool dispatched = impl == xorops::default_impl();
+
+        rep.section("verified read, impl = " + name +
+                        (dispatched ? "  (dispatched)" : ""),
+                    name + "_read");
+        rep.header({"elem", "twopass", "fused", "speedup", "raw", "vs_raw"});
+        for (const std::size_t elem : {std::size_t{4096}, std::size_t{8192}}) {
+            const read_result r = bench_verified_read(elem);
+            const double speedup = r.fused / r.twopass;
+            const double vs_raw = r.fused / r.raw;
+            rep.row(static_cast<std::uint32_t>(elem),
+                    {r.twopass, r.fused, speedup, r.raw, vs_raw}, "%14.2f");
+            if (dispatched) {
+                worst_speedup = std::min(worst_speedup, speedup);
+                worst_vs_raw = std::min(worst_vs_raw, vs_raw);
+            }
+        }
+
+        rep.section("full stripe write, impl = " + name +
+                        (dispatched ? "  (dispatched)" : ""),
+                    name + "_write");
+        rep.header({"k", "two4k", "fused4k", "sp4k", "two8k", "fused8k",
+                    "sp8k", "raw8k", "vsraw8k"});
+        for (const std::uint32_t k : {4u, 8u}) {
+            double vals[8] = {};
+            const std::size_t elems[] = {4096, 8192};
+            for (int e = 0; e < 2; ++e) {
+                write_batch b(k, elems[e]);
+                vals[3 * e + 0] = measure_gbps(b.data_bytes,
+                                               [&] { write_twopass(b); });
+                vals[3 * e + 1] =
+                    measure_gbps(b.data_bytes, [&] { write_fused(b); });
+                vals[3 * e + 2] = vals[3 * e + 1] / vals[3 * e + 0];
+                if (e == 1) {
+                    vals[6] = measure_gbps(b.data_bytes,
+                                           [&] { write_raw_pass(b); });
+                    vals[7] = vals[4] / vals[6];
+                }
+            }
+            rep.row(k, {vals[0], vals[1], vals[2], vals[3], vals[4], vals[5],
+                        vals[6], vals[7]},
+                    "%14.2f");
+            if (dispatched) {
+                worst_speedup = std::min({worst_speedup, vals[2], vals[5]});
+                worst_vs_raw = std::min(worst_vs_raw, vals[7]);
+            }
+        }
+    }
+
+    rep.finish();
+
+    if (check) {
+        const bool ok = worst_speedup >= 1.4 && worst_vs_raw >= 0.85;
+        std::fprintf(stderr,
+                     "FUSED_CODEC_CHECK %s: worst fused/two-pass speedup "
+                     "%.2fx (need >= 1.40), worst fused/raw %.2f "
+                     "(need >= 0.85) on the dispatched tier, elem 4-8 KiB\n",
+                     ok ? "ok" : "FAILED", worst_speedup, worst_vs_raw);
+        if (!ok) return 1;
+    }
+    return 0;
+}

@@ -50,6 +50,12 @@ struct io_desc {
     /// Opaque caller cookie, returned verbatim in the completion entry.
     std::uint64_t user_data = 0;
     std::uint32_t flags = 0;
+    /// Writes only: per-block CRC32C values of `data` (one per integrity
+    /// block), precomputed inside the traversal that produced the bytes —
+    /// the integrity layer installs them instead of re-reading the buffer.
+    /// Must stay valid until the request completes, like `data`. Null =
+    /// the integrity layer checksums the buffer itself on completion.
+    const std::uint32_t* crcs = nullptr;
 };
 
 /// Completion-queue entry: final status of one *submitted* request.

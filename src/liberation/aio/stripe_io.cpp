@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
 
 namespace liberation::aio {
 
@@ -91,14 +92,21 @@ void stripe_loader::run(std::size_t first, std::size_t last,
 
 // ---- stripe_writer ----------------------------------------------------
 
-stripe_writer::stripe_writer(queue_pair& qp, const raid::stripe_map& map)
+stripe_writer::stripe_writer(queue_pair& qp, const raid::stripe_map& map,
+                             std::size_t crc_block)
     : qp_(qp),
       map_(map),
       window_(std::max<std::size_t>(1, qp.config().queue_depth)),
       zero_copy_(map.element_size() % util::aligned_buffer::alignment == 0),
+      crc_block_(crc_block),
+      strip_blocks_(crc_block == 0 ? 0 : map.strip_size() / crc_block),
       parity_stage_(window_ * 2 * map.strip_size()),
       data_stage_(zero_copy_ ? 0 : window_ * map.k() * map.strip_size()),
-      ptrs_(window_ * map.n()) {}
+      ptrs_(window_ * map.n()),
+      crcs_(window_ * map.n() * strip_blocks_) {
+    LIBERATION_EXPECTS(crc_block == 0 ||
+                       map.strip_size() % crc_block == 0);
+}
 
 std::span<std::byte* const> stripe_writer::stage(std::size_t slot,
                                                  const std::byte* host) {
@@ -112,10 +120,23 @@ std::span<std::byte* const> stripe_writer::stage(std::size_t slot,
             // The backend only reads write payloads; the host span stays
             // logically const.
             cols[c] = const_cast<std::byte*>(src);
+            if (crc_block_ != 0) {
+                // Zero-copy leaves no staging traversal to fuse into; the
+                // checksum sweep here is the column's single extra pass
+                // (the integrity layer then installs, never re-reads).
+                xorops::crc32c_blocks(src, strip, crc_block_,
+                                      column_crcs(slot, c));
+            }
         } else {
             std::byte* dst =
                 data_stage_.data() + (slot * k + c) * strip;
-            std::memcpy(dst, src, strip);
+            if (crc_block_ != 0) {
+                // Fused: the checksum rides the staging copy.
+                xorops::copy_crc32c_blocks(dst, src, strip, crc_block_,
+                                           column_crcs(slot, c));
+            } else {
+                std::memcpy(dst, src, strip);
+            }
             cols[c] = dst;
         }
     }
@@ -124,7 +145,7 @@ std::span<std::byte* const> stripe_writer::stage(std::size_t slot,
     return {cols, map_.n()};
 }
 
-void stripe_writer::submit_columns(std::size_t stripe,
+void stripe_writer::submit_columns(std::size_t stripe, std::size_t slot,
                                    std::span<std::byte* const> cols,
                                    std::uint32_t begin_col,
                                    std::uint32_t end_col) {
@@ -138,6 +159,7 @@ void stripe_writer::submit_columns(std::size_t stripe,
         d.data = cols[c];
         d.len = strip;
         d.user_data = stripe;
+        d.crcs = column_crcs(slot, c);
         qp_.submit(d);
     }
 }

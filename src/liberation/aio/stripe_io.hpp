@@ -90,7 +90,16 @@ private:
 /// Journaling, write-failure policy, and stats stay with the caller.
 class stripe_writer {
 public:
-    stripe_writer(queue_pair& qp, const raid::stripe_map& map);
+    /// `crc_block` != 0 enables fused checksum staging: stage() computes
+    /// each data column's per-block CRC32C inside the staging copy (or in
+    /// one sweep of the host bytes in zero-copy mode), submit_columns()
+    /// attaches the words to every write via io_desc::crcs, and the
+    /// caller encodes parity with its fused encode_crc into
+    /// column_crcs(slot, k)/column_crcs(slot, k+1) — so the integrity
+    /// layer installs precomputed words instead of re-reading every
+    /// strip on completion. Must divide the element size.
+    stripe_writer(queue_pair& qp, const raid::stripe_map& map,
+                  std::size_t crc_block = 0);
 
     /// Stripes per drain window (the queue_pair's queue depth).
     [[nodiscard]] std::size_t window() const noexcept { return window_; }
@@ -107,11 +116,23 @@ public:
     /// stay valid until the next drain().
     std::span<std::byte* const> stage(std::size_t slot, const std::byte* host);
 
-    /// Submit the write for columns [begin_col, end_col) of `stripe` using
-    /// the pointers returned by stage(). Writes are never coalesced — the
-    /// power-loss budget counts individual disk writes — so each column is
-    /// one submission on its disk's ring.
-    void submit_columns(std::size_t stripe, std::span<std::byte* const> cols,
+    /// Checksum words of window slot `slot`, column `col` (one per
+    /// crc_block of the strip, strip byte order). Data columns are filled
+    /// by stage(); parity columns are the caller's to fill (encode_crc)
+    /// before submitting them. Null when checksum staging is off.
+    [[nodiscard]] std::uint32_t* column_crcs(std::size_t slot,
+                                             std::uint32_t col) noexcept {
+        if (crc_block_ == 0) return nullptr;
+        return crcs_.data() + (slot * map_.n() + col) * strip_blocks_;
+    }
+
+    /// Submit the write for columns [begin_col, end_col) of window slot
+    /// `slot` (stripe `stripe`) using the pointers returned by stage().
+    /// Writes are never coalesced — the power-loss budget counts
+    /// individual disk writes — so each column is one submission on its
+    /// disk's ring.
+    void submit_columns(std::size_t stripe, std::size_t slot,
+                        std::span<std::byte* const> cols,
                         std::uint32_t begin_col, std::uint32_t end_col);
 
     /// Drain the window. Completion statuses are discarded: a full-stripe
@@ -126,9 +147,12 @@ private:
     const raid::stripe_map& map_;
     std::size_t window_;
     bool zero_copy_;
+    std::size_t crc_block_;              ///< 0 = no checksum staging
+    std::size_t strip_blocks_;           ///< checksum words per strip
     util::aligned_buffer parity_stage_;  ///< window x 2 strips
     util::aligned_buffer data_stage_;    ///< window x k strips (copy mode)
     std::vector<std::byte*> ptrs_;       ///< window x n column pointers
+    std::vector<std::uint32_t> crcs_;    ///< window x n x strip_blocks_
 };
 
 }  // namespace liberation::aio

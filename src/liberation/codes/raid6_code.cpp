@@ -3,8 +3,21 @@
 #include <cstring>
 
 #include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
 
 namespace liberation::codes {
+
+void raid6_code::encode_crc(const stripe_view& stripe, std::size_t crc_block,
+                            std::uint32_t* p_crcs,
+                            std::uint32_t* q_crcs) const {
+    LIBERATION_EXPECTS(crc_block > 0 &&
+                       stripe.strip_size() % crc_block == 0);
+    encode(stripe);
+    const auto p = stripe.strip(p_column());
+    const auto q = stripe.strip(q_column());
+    xorops::crc32c_blocks(p.data(), p.size(), crc_block, p_crcs);
+    xorops::crc32c_blocks(q.data(), q.size(), crc_block, q_crcs);
+}
 
 void raid6_code::check_stripe(const stripe_view& stripe) const {
     LIBERATION_EXPECTS(stripe.rows() == rows());

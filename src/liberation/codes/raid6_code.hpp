@@ -38,6 +38,18 @@ public:
     /// Compute both parity columns from the data columns.
     virtual void encode(const stripe_view& stripe) const = 0;
 
+    /// encode() plus the per-block CRC32C of each parity strip, computed
+    /// while the parity bytes are still cache-hot instead of by a separate
+    /// sweep after the fact. p_crcs/q_crcs receive strip_size()/crc_block
+    /// checksums each (strip_size() must divide evenly; the stripe must be
+    /// a non-packet view). The base implementation is the two-pass
+    /// equivalent — encode, then checksum — and fused overrides must
+    /// produce identical bytes, identical checksums, and identical xorops
+    /// counter deltas.
+    virtual void encode_crc(const stripe_view& stripe, std::size_t crc_block,
+                            std::uint32_t* p_crcs,
+                            std::uint32_t* q_crcs) const;
+
     /// Rebuild the erased columns in place. `erased` holds 1 or 2 distinct
     /// column indices in [0, n()); their current contents are ignored.
     /// Every pattern of <= 2 erasures is recoverable (MDS).

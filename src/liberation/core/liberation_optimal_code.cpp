@@ -49,6 +49,20 @@ void liberation_optimal_code::encode(const codes::stripe_view& stripe) const {
     });
 }
 
+void liberation_optimal_code::encode_crc(const codes::stripe_view& stripe,
+                                         std::size_t crc_block,
+                                         std::uint32_t* p_crcs,
+                                         std::uint32_t* q_crcs) const {
+    check_stripe(stripe);
+    if (crc_block == 0 || stripe.element_size() % crc_block != 0) {
+        // Checksum blocks that straddle element boundaries can't be fused
+        // into the per-element traversal; fall back to the two-pass base.
+        raid6_code::encode_crc(stripe, crc_block, p_crcs, q_crcs);
+        return;
+    }
+    encode_optimal_crc(stripe, geom_, crc_block, p_crcs, q_crcs);
+}
+
 void liberation_optimal_code::decode(
     const codes::stripe_view& stripe,
     std::span<const std::uint32_t> erased) const {

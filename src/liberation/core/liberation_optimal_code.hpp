@@ -39,6 +39,9 @@ public:
     [[nodiscard]] const geometry& geom() const noexcept { return geom_; }
 
     void encode(const codes::stripe_view& stripe) const override;
+    void encode_crc(const codes::stripe_view& stripe, std::size_t crc_block,
+                    std::uint32_t* p_crcs,
+                    std::uint32_t* q_crcs) const override;
     void decode(const codes::stripe_view& stripe,
                 std::span<const std::uint32_t> erased) const override;
     std::uint32_t apply_update(const codes::stripe_view& stripe,

@@ -85,6 +85,120 @@ void encode_optimal(const codes::stripe_view& s, const geometry& g) {
     // (each P_i and Q_i has a member in column 0), so no zero-fill pass.
 }
 
+namespace {
+
+/// One window pass of encode_optimal_crc: the op sequence of
+/// encode_optimal verbatim, with the *final* operation on each parity
+/// element upgraded to its fused-CRC variant (same bytes, same counters;
+/// the checksum rides along in the last traversal). Checksums of element
+/// `i` land at crcs[i * stride + base], where `stride` is the full
+/// element's block count and `base` the window's block offset within the
+/// element — so window passes scatter into the strip-ordered CRC array.
+void encode_optimal_crc_window(const codes::stripe_view& s, const geometry& g,
+                               std::size_t crc_block, std::uint32_t* p_crcs,
+                               std::uint32_t* q_crcs, std::size_t stride,
+                               std::size_t base) {
+    const std::uint32_t p = g.p();
+    const std::uint32_t k = g.k();
+    const std::uint32_t half = g.half();
+    const std::uint32_t pc = k;
+    const std::uint32_t qc = k + 1;
+    const std::size_t e = s.element_size();
+
+    bool accessed_p[max_p] = {};
+    bool accessed_q[max_p] = {};
+
+    for (std::uint32_t j = 1; j < k; ++j) {
+        const std::uint32_t row = g.ce_row(j);
+        xorops::xor2(s.element(row, pc), s.element(row, j - 1),
+                     s.element(row, j), e);
+        accessed_p[row] = true;
+        xorops::copy(s.element(g.ce_q_index(j), qc), s.element(row, pc), e);
+        accessed_q[g.ce_q_index(j)] = true;
+    }
+    if (k < p) {
+        const std::uint32_t row = g.ce_row(k);
+        xorops::copy(s.element(row, pc), s.element(row, k - 1), e);
+        accessed_p[row] = true;
+        xorops::copy(s.element(g.ce_q_index(k), qc), s.element(row, pc), e);
+        accessed_q[g.ce_q_index(k)] = true;
+    }
+
+    const std::byte* srcs[max_p];
+    for (std::uint32_t i = 0; i < p; ++i) {
+        std::size_t m = 0;
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if ((t == half || t == p - 1) && i != p - 1) continue;
+            srcs[m++] = s.element(i, j);
+        }
+        std::uint32_t* crcs = p_crcs + i * stride + base;
+        if (m == 0) {
+            // The CE staging above already holds this element's final
+            // bytes; only the checksum sweep remains (uncounted).
+            xorops::crc32c_blocks(s.element(i, pc), e, crc_block, crcs);
+            continue;
+        }
+        if (accessed_p[i]) {
+            xorops::xor_many_into_crc32c_blocks(s.element(i, pc), srcs, m, e,
+                                                crc_block, crcs);
+        } else {
+            xorops::xor_many_crc32c_blocks(s.element(i, pc), srcs, m, e,
+                                           crc_block, crcs);
+        }
+    }
+    for (std::uint32_t q = 0; q < p; ++q) {
+        std::size_t m = 0;
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const std::uint32_t i = (q + j) % p;
+            const std::uint32_t t = static_cast<std::uint32_t>(
+                (i + static_cast<std::uint64_t>(half) * j) % p);
+            if (t == half && i != p - 1) continue;  // CE first member
+            srcs[m++] = s.element(i, j);
+        }
+        std::uint32_t* crcs = q_crcs + q * stride + base;
+        if (m == 0) {
+            xorops::crc32c_blocks(s.element(q, qc), e, crc_block, crcs);
+            continue;
+        }
+        if (accessed_q[q]) {
+            xorops::xor_many_into_crc32c_blocks(s.element(q, qc), srcs, m, e,
+                                                crc_block, crcs);
+        } else {
+            xorops::xor_many_crc32c_blocks(s.element(q, qc), srcs, m, e,
+                                           crc_block, crcs);
+        }
+    }
+}
+
+}  // namespace
+
+void encode_optimal_crc(const codes::stripe_view& s, const geometry& g,
+                        std::size_t crc_block, std::uint32_t* p_crcs,
+                        std::uint32_t* q_crcs) {
+    const std::size_t e = s.element_size();
+    LIBERATION_EXPECTS(crc_block > 0 && e % crc_block == 0);
+    const std::size_t stride = e / crc_block;
+    // Cache-window the stripe like encode() does, but rounded to whole
+    // checksum blocks so each window pass finalizes the blocks it covers:
+    // when the L1 window is finer than a block, widen it to one block
+    // (k+2 strips of one block stay L2-resident).
+    const std::size_t live = static_cast<std::size_t>(g.k() + 2) * g.p();
+    std::size_t window = codes::preferred_packet_size(live, e);
+    if (window % crc_block != 0) {
+        window = (crc_block % window == 0) ? crc_block : e;
+    }
+    if (window == e) {
+        encode_optimal_crc_window(s, g, crc_block, p_crcs, q_crcs, stride, 0);
+        return;
+    }
+    for (std::size_t off = 0; off < e; off += window) {
+        encode_optimal_crc_window(s.packet_view(off, window), g, crc_block,
+                                  p_crcs, q_crcs, stride, off / crc_block);
+    }
+}
+
 void encode_p_only(const codes::stripe_view& s, const geometry& g) {
     encode_reference_p(s, g);
 }

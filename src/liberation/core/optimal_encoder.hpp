@@ -15,6 +15,17 @@ namespace liberation::core {
 /// Encode both parity columns. Stripe: p rows x (k+2) columns.
 void encode_optimal(const codes::stripe_view& s, const geometry& g);
 
+/// encode_optimal() with the per-`crc_block` CRC32C of both parity strips
+/// computed inside the final pass over each parity element, while its
+/// bytes are still cache-hot — no separate checksum sweep. Requires a
+/// non-packet view with element_size() % crc_block == 0; p_crcs/q_crcs
+/// receive strip_size()/crc_block checksums in strip byte order. The op
+/// sequence and xorops counter deltas are identical to encode_optimal();
+/// cache windows are rounded to whole checksum blocks.
+void encode_optimal_crc(const codes::stripe_view& s, const geometry& g,
+                        std::size_t crc_block, std::uint32_t* p_crcs,
+                        std::uint32_t* q_crcs);
+
 /// Recompute only the P column (plain row parity; k-1 XORs per element).
 void encode_p_only(const codes::stripe_view& s, const geometry& g);
 

@@ -178,4 +178,69 @@ std::uint32_t crc32c(const std::byte* data, std::size_t n,
                : crc32c_software(data, n, seed);
 }
 
+std::uint32_t crc32c_raw_software(std::uint32_t raw, const std::byte* p,
+                                  std::size_t n) noexcept {
+    return software_raw(raw, p, n);
+}
+
+// ---------------------------------------------------------------------------
+// Lane combiner: GF(2) matrix algebra over the 32-bit raw CRC state.
+//
+// Advancing a raw state by one zero byte is a linear map; its matrix powers
+// give "advance by len zero bytes" for any len (zlib's crc32_combine).
+// Matrices are represented column-wise: m[i] is the image of basis bit i.
+
+namespace {
+
+struct gf2_matrix {
+    std::uint32_t m[32];
+};
+
+std::uint32_t gf2_times(const gf2_matrix& a, std::uint32_t x) noexcept {
+    std::uint32_t r = 0;
+    for (int i = 0; x != 0; ++i, x >>= 1)
+        if (x & 1u) r ^= a.m[i];
+    return r;
+}
+
+/// a ∘ b: apply b, then a.
+gf2_matrix gf2_compose(const gf2_matrix& a, const gf2_matrix& b) noexcept {
+    gf2_matrix r;
+    for (int i = 0; i < 32; ++i) r.m[i] = gf2_times(a, b.m[i]);
+    return r;
+}
+
+/// Advance-by-`len`-zero-bytes as a matrix power of the one-byte step.
+gf2_matrix gf2_shift_bytes(std::size_t len) noexcept {
+    gf2_matrix one;  // advance raw state by a single zero byte
+    for (int i = 0; i < 32; ++i) {
+        const std::uint32_t s = 1u << i;
+        one.m[i] = (s >> 8) ^ tables.t[0][s & 0xffu];
+    }
+    gf2_matrix acc;  // identity
+    for (int i = 0; i < 32; ++i) acc.m[i] = 1u << i;
+    while (len != 0) {
+        if (len & 1u) acc = gf2_compose(one, acc);
+        one = gf2_compose(one, one);
+        len >>= 1;
+    }
+    return acc;
+}
+
+}  // namespace
+
+crc32c_lane_combiner::crc32c_lane_combiner(std::size_t block_bytes) noexcept
+    : n_(block_bytes) {
+    const std::size_t lane = crc32c_lane_bytes(n_);
+    const gf2_matrix hi = gf2_shift_bytes(n_ - lane);
+    const gf2_matrix lo = gf2_shift_bytes(n_ - 2 * lane);
+    const gf2_matrix full = gf2_compose(gf2_shift_bytes(lane), hi);
+    for (int k = 0; k < 8; ++k)
+        for (std::uint32_t d = 0; d < 16; ++d) {
+            shift_hi_.tab[k][d] = gf2_times(hi, d << (4 * k));
+            shift_lo_.tab[k][d] = gf2_times(lo, d << (4 * k));
+        }
+    seed_term_ = gf2_times(full, ~0u);
+}
+
 }  // namespace liberation::integrity

@@ -56,4 +56,68 @@ void force_impl(crc32c_impl impl) noexcept;
                                             std::size_t n,
                                             std::uint32_t seed = 0) noexcept;
 
+// ---------------------------------------------------------------------------
+// Raw-state kernels and lane algebra for the fused XOR+CRC traversals
+// (xorops). The raw kernels advance the *inverted* running CRC with no
+// ~seed/~result bracketing — the state domain in which CRC updates are
+// linear over GF(2), so independently computed chains can be stitched
+// together after the fact.
+
+/// Advance a raw (inverted) CRC state over [p, p+n) with the portable
+/// slice-by-8 kernel. crc32c(data) == ~crc32c_raw_software(~0u, data, n).
+[[nodiscard]] std::uint32_t crc32c_raw_software(std::uint32_t raw,
+                                                const std::byte* p,
+                                                std::size_t n) noexcept;
+
+/// Lane split rule shared by every fused kernel tier: a block of n bytes
+/// is checksummed as three independent chains over [0, L), [L, 2L) and
+/// [2L, n) with L = crc32c_lane_bytes(n) — three chains hide the 3-cycle
+/// latency of the hardware crc32 instruction, tripling sweep throughput.
+/// L is 8-byte aligned so the chains advance in whole-word steps; blocks
+/// under 24 bytes degenerate to a single chain in lane 2.
+[[nodiscard]] constexpr std::size_t crc32c_lane_bytes(std::size_t n) noexcept {
+    return (n / 3) & ~static_cast<std::size_t>(7);
+}
+
+/// Stitches the three raw lane chains of one fixed-size block back into
+/// the block's standard CRC32C. The stitch multiplies each lane CRC by
+/// x^(8*shift) mod P — a linear map precomputed into nibble lookup tables
+/// at construction (zlib's crc32_combine operator, cached for the block
+/// size instead of rebuilt per call), so combining costs ~20 table
+/// lookups per block regardless of block size.
+class crc32c_lane_combiner {
+public:
+    explicit crc32c_lane_combiner(std::size_t block_bytes) noexcept;
+
+    [[nodiscard]] std::size_t block() const noexcept { return n_; }
+
+    /// `lanes` holds the raw lane chains (each seeded 0) produced by a
+    /// fused kernel over one block() -byte region. Returns the standard
+    /// (seed 0, bracketed) CRC32C of the whole block.
+    [[nodiscard]] std::uint32_t combine(
+        const std::uint32_t lanes[3]) const noexcept {
+        return ~(apply(shift_hi_, lanes[0]) ^ apply(shift_lo_, lanes[1]) ^
+                 lanes[2] ^ seed_term_);
+    }
+
+private:
+    /// x^(8*len) mod P as 8 nibble tables: apply() advances a raw state
+    /// by `len` zero bytes in 8 lookups.
+    struct shift_op {
+        std::uint32_t tab[8][16];
+    };
+
+    [[nodiscard]] static std::uint32_t apply(const shift_op& op,
+                                             std::uint32_t x) noexcept {
+        std::uint32_t r = 0;
+        for (int k = 0; k < 8; ++k) r ^= op.tab[k][(x >> (4 * k)) & 0xfu];
+        return r;
+    }
+
+    std::size_t n_;
+    shift_op shift_hi_;        ///< advance by n - L bytes (lane 0)
+    shift_op shift_lo_;        ///< advance by n - 2L bytes (lane 1)
+    std::uint32_t seed_term_;  ///< the ~0 seed advanced through all n bytes
+};
+
 }  // namespace liberation::integrity

@@ -19,6 +19,7 @@
 // against.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -26,6 +27,7 @@
 
 #include "liberation/integrity/crc32c.hpp"
 #include "liberation/util/assert.hpp"
+#include "liberation/xorops/xorops.hpp"
 
 namespace liberation::integrity {
 
@@ -49,26 +51,60 @@ public:
     /// byte `offset`. Offset and size must be block-aligned — the array
     /// guarantees this because all its disk I/O is element-aligned.
     void record(std::size_t offset, std::span<const std::byte> data) {
-        LIBERATION_EXPECTS(offset % block_ == 0);
-        LIBERATION_EXPECTS(data.size() % block_ == 0);
-        LIBERATION_EXPECTS(offset / block_ + data.size() / block_ <=
-                           crcs_.size());
-        std::size_t b = offset / block_;
-        for (std::size_t i = 0; i < data.size(); i += block_)
-            crcs_[b++] = crc32c(data.subspan(i, block_));
+        check_range(offset, data.size());
+        xorops::crc32c_blocks(data.data(), data.size(), block_,
+                              crcs_.data() + offset / block_);
     }
 
     /// True iff every covered block of `data` matches its stored checksum.
     [[nodiscard]] bool verify(std::size_t offset,
                               std::span<const std::byte> data) const {
-        LIBERATION_EXPECTS(offset % block_ == 0);
-        LIBERATION_EXPECTS(data.size() % block_ == 0);
-        LIBERATION_EXPECTS(offset / block_ + data.size() / block_ <=
-                           crcs_.size());
+        check_range(offset, data.size());
         std::size_t b = offset / block_;
-        for (std::size_t i = 0; i < data.size(); i += block_)
-            if (crc32c(data.subspan(i, block_)) != crcs_[b++]) return false;
+        std::uint32_t got[verify_chunk];
+        for (std::size_t i = 0; i < data.size();) {
+            const std::size_t run =
+                std::min(data.size() - i, verify_chunk * block_);
+            xorops::crc32c_blocks(data.data() + i, run, block_, got);
+            for (std::size_t j = 0; j < run / block_; ++j)
+                if (got[j] != crcs_[b + j]) return false;
+            b += run / block_;
+            i += run;
+        }
         return true;
+    }
+
+    /// verify() that keeps the computed words: `out` receives one CRC32C
+    /// per covered block (the fused sweep computes them for the verdict
+    /// anyway) regardless of the outcome, so a caller about to write
+    /// `data` back — rebuild commits, read-repair — can install() them
+    /// instead of paying another traversal.
+    [[nodiscard]] bool verify_capture(std::size_t offset,
+                                      std::span<const std::byte> data,
+                                      std::uint32_t* out) const {
+        check_range(offset, data.size());
+        xorops::crc32c_blocks(data.data(), data.size(), block_, out);
+        return std::equal(out, out + data.size() / block_,
+                          crcs_.data() + offset / block_);
+    }
+
+    /// Install checksums precomputed by a fused write traversal (one per
+    /// covered block) without re-reading the data: the write path computes
+    /// them inside the same pass that produces the bytes.
+    void install(std::size_t offset, std::span<const std::uint32_t> crcs) {
+        LIBERATION_EXPECTS(offset % block_ == 0);
+        LIBERATION_EXPECTS(offset / block_ + crcs.size() <= crcs_.size());
+        std::copy(crcs.begin(), crcs.end(), crcs_.data() + offset / block_);
+    }
+
+    /// True iff precomputed per-block checksums (from a fused read
+    /// traversal) all match the stored values for the covered range.
+    [[nodiscard]] bool matches(std::size_t offset,
+                               std::span<const std::uint32_t> crcs) const {
+        LIBERATION_EXPECTS(offset % block_ == 0);
+        LIBERATION_EXPECTS(offset / block_ + crcs.size() <= crcs_.size());
+        return std::equal(crcs.begin(), crcs.end(),
+                          crcs_.data() + offset / block_);
     }
 
     [[nodiscard]] std::uint32_t stored(std::size_t block) const {
@@ -100,6 +136,16 @@ public:
     }
 
 private:
+    /// Blocks checksummed per verify() batch: bounds the stack buffer
+    /// while amortizing the per-call dispatch over a cache-friendly run.
+    static constexpr std::size_t verify_chunk = 64;
+
+    void check_range(std::size_t offset, std::size_t size) const {
+        LIBERATION_EXPECTS(offset % block_ == 0);
+        LIBERATION_EXPECTS(size % block_ == 0);
+        LIBERATION_EXPECTS(offset / block_ + size / block_ <= crcs_.size());
+    }
+
     std::size_t block_;
     std::vector<std::uint32_t> crcs_;
 };

@@ -291,7 +291,7 @@ io_status raid6_array::disk_backend::execute(const aio::io_desc& d) {
                                std::span<std::byte>(d.data, d.len));
     }
     return owner.disk_write(
-        d.disk, d.offset, std::span<const std::byte>(d.data, d.len));
+        d.disk, d.offset, std::span<const std::byte>(d.data, d.len), d.crcs);
 }
 
 void raid6_array::add_data_disk() {
@@ -377,7 +377,19 @@ io_status raid6_array::disk_read(std::uint32_t d, std::size_t offset,
 }
 
 io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
-                                  std::span<const std::byte> in) {
+                                  std::span<const std::byte> in,
+                                  const std::uint32_t* crcs) {
+    // Fused writes hand over the checksums their producing traversal
+    // already computed; everyone else pays one sweep of the buffer here.
+    const auto update_region = [&] {
+        if (crcs != nullptr) {
+            regions_[disk].install(offset,
+                                   {crcs, in.size() / integrity_block_});
+        } else {
+            regions_[disk].record(offset, in);
+        }
+        persist_checksums(disk, offset, in.size());
+    };
     // Claim one unit of the power-loss budget atomically (aio worker-mode
     // writes may race here; the inline engine is single-threaded).
     std::uint64_t budget = write_budget_.load(std::memory_order_relaxed);
@@ -391,8 +403,7 @@ io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
             // classifiable) on replay. The persisted superblock models the
             // same NVRAM domain, so the record-ahead checksum is flushed
             // there too — powered off or not.
-            regions_[disk].record(offset, in);
-            persist_checksums(disk, offset, in.size());
+            update_region();
             return io_status::ok;  // the host never learns; the bits are gone
         }
     } while (!write_budget_.compare_exchange_weak(budget, budget - 1,
@@ -401,10 +412,7 @@ io_status raid6_array::disk_write(std::uint32_t disk, std::size_t offset,
     note_io(disk, io_kind::write, r);
     // A failed write never reaches the medium, so the old checksum stays
     // authoritative; only landed bytes update the region.
-    if (r.status == io_status::ok) {
-        regions_[disk].record(offset, in);
-        persist_checksums(disk, offset, in.size());
-    }
+    if (r.status == io_status::ok) update_region();
     return r.status;
 }
 
@@ -758,11 +766,14 @@ bool raid6_array::load_stripe(std::size_t stripe, const codes::stripe_view& dst,
 
 bool raid6_array::store_columns(std::size_t stripe,
                                 const codes::stripe_view& src,
-                                std::span<const std::uint32_t> cols) {
+                                std::span<const std::uint32_t> cols,
+                                const std::uint32_t* const* col_crcs) {
     bool all_ok = true;
     for (const std::uint32_t col : cols) {
         const strip_location loc = map_.locate(stripe, col);
-        if (disk_write(loc.disk, loc.offset, src.strip(col)) !=
+        const std::uint32_t* crcs =
+            col_crcs != nullptr ? col_crcs[col] : nullptr;
+        if (disk_write(loc.disk, loc.offset, src.strip(col), crcs) !=
             io_status::ok) {
             all_ok = false;
         }
@@ -807,6 +818,24 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
     const std::uint32_t pc = code_.p_column();
     const std::uint32_t qc = code_.q_column();
 
+    // Every verification below captures the words its fused sweep
+    // computed: a column that is later written back (heal, rebuild
+    // commit) hands them to the store instead of being traversed again.
+    const std::size_t bps = map_.strip_size() / integrity_block_;
+    rec.crcs.resize(static_cast<std::size_t>(map_.n()) * bps);
+    rec.crc_valid.assign(map_.n(), 0);
+    const auto col_crc = [&](std::uint32_t col) {
+        return rec.crcs.data() + static_cast<std::size_t>(col) * bps;
+    };
+    // store_columns-shaped pointer table over the captured words; entries
+    // are published only once the words describe the column's *current*
+    // bytes (a decode can invalidate a capture).
+    std::vector<const std::uint32_t*> crc_ptrs(map_.n(), nullptr);
+    const auto publish_crc = [&](std::uint32_t col) {
+        rec.crc_valid[col] = 1;
+        crc_ptrs[col] = col_crc(col);
+    };
+
     // Checksum-first classification: every available column whose bytes
     // fail their stored CRC is a suspect, with no single-corruption
     // assumption and no dependence on parity agreeing with anything.
@@ -814,9 +843,12 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
     for (std::uint32_t col = 0; col < map_.n(); ++col) {
         if (is_erased(col)) continue;
         const strip_location loc = map_.locate(stripe, col);
-        if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
+        if (!regions_[loc.disk].verify_capture(loc.offset, buf.strip(col),
+                                               col_crc(col))) {
             crc_bad.push_back(col);
             rec.statuses[col] = io_status::checksum_mismatch;
+        } else {
+            publish_crc(col);
         }
     }
     if (!crc_bad.empty()) {
@@ -863,8 +895,10 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
                            buf.strip(col).begin())) {
                 // Parity reproduced the on-disk bytes exactly: the data
                 // was fine all along and the *stored checksum* is the
-                // damaged side. Refresh the metadata.
-                regions_[loc.disk].record(loc.offset, buf.strip(col));
+                // damaged side. Refresh the metadata from the words the
+                // classification sweep computed over these very bytes.
+                regions_[loc.disk].install(loc.offset, {col_crc(col), bps});
+                publish_crc(col);
                 rec.meta_repaired.push_back(col);
                 stats_.checksum_metadata_repaired.fetch_add(
                     1, std::memory_order_relaxed);
@@ -875,15 +909,17 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
             // even the parity-backed truth, data *and* metadata were both
             // hit — the decode (computed from verified inputs) wins and
             // the metadata is refreshed too.
-            if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
-                regions_[loc.disk].record(loc.offset, buf.strip(col));
+            if (!regions_[loc.disk].verify_capture(loc.offset, buf.strip(col),
+                                                   col_crc(col))) {
+                regions_[loc.disk].install(loc.offset, {col_crc(col), bps});
                 stats_.checksum_metadata_repaired.fetch_add(
                     1, std::memory_order_relaxed);
             }
+            publish_crc(col);
             rec.healed.push_back(col);
             if (writeback) {
                 const std::uint32_t one[] = {col};
-                store_columns(stripe, buf, one);
+                store_columns(stripe, buf, one, crc_ptrs.data());
             }
         }
         for (const std::uint32_t col : rec.erased) {
@@ -892,12 +928,14 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
             // stored checksum is stale (e.g. corrupted metadata or a
             // blank replacement disk's region) — refresh it.
             const strip_location loc = map_.locate(stripe, col);
-            if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
-                regions_[loc.disk].record(loc.offset, buf.strip(col));
+            if (!regions_[loc.disk].verify_capture(loc.offset, buf.strip(col),
+                                                   col_crc(col))) {
+                regions_[loc.disk].install(loc.offset, {col_crc(col), bps});
                 rec.meta_repaired.push_back(col);
                 stats_.checksum_metadata_repaired.fetch_add(
                     1, std::memory_order_relaxed);
             }
+            publish_crc(col);
             if (writeback &&
                 rec.statuses[col] == io_status::unreadable_sector) {
                 // Heal-on-read of latent sector errors, as load_and_decode
@@ -905,7 +943,7 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
                 stats_.media_errors_recovered.fetch_add(
                     1, std::memory_order_relaxed);
                 const std::uint32_t one[] = {col};
-                store_columns(stripe, buf, one);
+                store_columns(stripe, buf, one, crc_ptrs.data());
             }
         }
         rec.ok = true;
@@ -921,8 +959,11 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
     if (!rec.erased.empty()) code_.decode(buf, rec.erased);
     if (core::stripe_consistent(buf, code_.geom())) {
         for (const std::uint32_t col : crc_bad) {
+            // Only true erasures were decoded, so these bytes are still
+            // the ones the classification sweep captured words for.
             const strip_location loc = map_.locate(stripe, col);
-            regions_[loc.disk].record(loc.offset, buf.strip(col));
+            regions_[loc.disk].install(loc.offset, {col_crc(col), bps});
+            publish_crc(col);
             rec.meta_repaired.push_back(col);
             rec.statuses[col] = io_status::ok;
             stats_.checksum_metadata_repaired.fetch_add(
@@ -930,12 +971,14 @@ raid6_array::stripe_recovery raid6_array::verify_loaded_stripe(
         }
         for (const std::uint32_t col : rec.erased) {
             const strip_location loc = map_.locate(stripe, col);
-            if (!regions_[loc.disk].verify(loc.offset, buf.strip(col))) {
-                regions_[loc.disk].record(loc.offset, buf.strip(col));
+            if (!regions_[loc.disk].verify_capture(loc.offset, buf.strip(col),
+                                                   col_crc(col))) {
+                regions_[loc.disk].install(loc.offset, {col_crc(col), bps});
                 rec.meta_repaired.push_back(col);
                 stats_.checksum_metadata_repaired.fetch_add(
                     1, std::memory_order_relaxed);
             }
+            publish_crc(col);
         }
         rec.ok = true;
     }
@@ -1453,19 +1496,30 @@ bool raid6_array::write_full_stripe(std::size_t stripe,
     obs::timed_span span(obs_, hist_write_full_, "raid.write_full_stripe");
     codes::stripe_buffer buf = make_stripe_buffer();
     const codes::stripe_view v = buf.view();
+    // Single-pass protocol: checksums ride the staging copies and the
+    // final encode traversal of each parity strip, and the stores below
+    // install the words — no strip is re-read for its CRC.
+    const std::size_t bps = map_.strip_size() / integrity_block_;
+    std::vector<std::uint32_t> crcs(static_cast<std::size_t>(map_.n()) * bps);
+    std::vector<const std::uint32_t*> col_crcs(map_.n());
+    for (std::uint32_t c = 0; c < map_.n(); ++c)
+        col_crcs[c] = crcs.data() + c * bps;
     for (std::uint32_t col = 0; col < map_.k(); ++col) {
-        std::memcpy(v.strip(col).data(),
-                    in.data() + static_cast<std::size_t>(col) * map_.strip_size(),
-                    map_.strip_size());
+        xorops::copy_crc32c_blocks(
+            v.strip(col).data(),
+            in.data() + static_cast<std::size_t>(col) * map_.strip_size(),
+            map_.strip_size(), integrity_block_, crcs.data() + col * bps);
     }
-    code_.encode(v);
+    code_.encode_crc(v, integrity_block_,
+                     crcs.data() + static_cast<std::size_t>(map_.k()) * bps,
+                     crcs.data() + (map_.k() + std::size_t{1}) * bps);
     std::vector<std::uint32_t> cols(map_.n());
     for (std::uint32_t c = 0; c < map_.n(); ++c) cols[c] = c;
     // Failed disks simply miss the update; the stripe stays decodable as
     // long as <= 2 columns are down.
     if (!journal_mark(stripe, intent_log::all_columns)) return false;
     stats_.full_stripe_writes.fetch_add(1, std::memory_order_relaxed);
-    store_columns(stripe, v, cols);
+    store_columns(stripe, v, cols, col_crcs.data());
     journal_clear(stripe);
     return failed_disk_count() <= 2;
 }
@@ -1475,7 +1529,10 @@ bool raid6_array::write_full_stripes(std::size_t first, std::size_t count,
     // One span/sample for the whole pipelined run (it is one host op);
     // per-request latencies live in the aio_* stage histograms.
     obs::timed_span span(obs_, hist_write_full_, "raid.write_full_stripes");
-    aio::stripe_writer writer(*aio_engine_, map_);
+    // Checksum-staging mode: data CRCs ride the staging pass, parity CRCs
+    // the fused encode below, and every submission carries its words for
+    // the integrity layer to install on completion.
+    aio::stripe_writer writer(*aio_engine_, map_, integrity_block_);
     const std::size_t sds = map_.stripe_data_size();
     const std::uint32_t k = map_.k();
     const std::uint32_t n = map_.n();
@@ -1507,11 +1564,12 @@ bool raid6_array::write_full_stripes(std::size_t first, std::size_t count,
             // Data columns go into flight before parity exists: the encode
             // below overlaps with their execution when a worker pool is
             // attached, and still batches per disk when running inline.
-            writer.submit_columns(s, cols, 0, k);
+            writer.submit_columns(s, i, cols, 0, k);
             const codes::stripe_view v(cols, map_.rows(),
                                        map_.element_size());
-            code_.encode(v);
-            writer.submit_columns(s, cols, k, n);
+            code_.encode_crc(v, integrity_block_, writer.column_crcs(i, k),
+                             writer.column_crcs(i, k + 1));
+            writer.submit_columns(s, i, cols, k, n);
             ++submitted;
         }
         writer.drain();

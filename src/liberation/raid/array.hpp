@@ -365,9 +365,15 @@ public:
                                    std::vector<io_status>* statuses = nullptr);
 
     /// Write the given codeword columns of `stripe` back to their disks.
-    /// Columns on failed disks are skipped (reported false).
+    /// Columns on failed disks are skipped (reported false). When
+    /// `col_crcs` is non-null, `col_crcs[col]` (null entries allowed)
+    /// points at the column's precomputed per-integrity-block CRC32C
+    /// words — produced inside the traversal that produced the bytes —
+    /// and the integrity region installs them instead of re-reading the
+    /// strip.
     bool store_columns(std::size_t stripe, const codes::stripe_view& src,
-                       std::span<const std::uint32_t> cols);
+                       std::span<const std::uint32_t> cols,
+                       const std::uint32_t* const* col_crcs = nullptr);
 
     /// Result of load_stripe_verified(). When ok, `buf` holds a fully
     /// decoded, checksum-verified stripe; `erased` are the columns that
@@ -383,6 +389,14 @@ public:
         std::vector<io_status> statuses;
         std::vector<std::uint32_t> healed;
         std::vector<std::uint32_t> meta_repaired;
+        /// Per-column CRC32C words captured by the verification sweeps
+        /// (the fused sweep produces the verdict *and* these in one
+        /// traversal): columns with crc_valid[col] != 0 hold
+        /// strip_size/integrity_block words at crcs[col * blocks]. Commit
+        /// paths (rebuild writeback) hand them to store_columns so
+        /// disk_write installs instead of re-traversing the strip.
+        std::vector<std::uint32_t> crcs;
+        std::vector<std::uint8_t> crc_valid;
     };
 
     /// Checksum-first stripe recovery: load every readable strip, demote
@@ -509,8 +523,13 @@ private:
     /// All mutating disk I/O funnels through here: power-loss simulation
     /// (once the budget runs out the write is dropped on the floor and the
     /// array goes dark), then the retry policy and health accounting.
+    /// `crcs` non-null = the caller already holds the per-block CRC32C of
+    /// `in` (computed inside the traversal that produced the bytes); the
+    /// integrity region installs the words instead of re-reading the
+    /// buffer. Requires a block-aligned extent, exactly like record().
     io_status disk_write(std::uint32_t disk, std::size_t offset,
-                         std::span<const std::byte> in);
+                         std::span<const std::byte> in,
+                         const std::uint32_t* crcs = nullptr);
 
     /// True when any strip of [offset, offset+len) on disk `d` lies in a
     /// stripe the background rebuild has not reached yet — reads there

@@ -113,7 +113,23 @@ rebuild_result rebuild_stripe_range(raid6_array& array,
             }
         }
         std::sort(commit.begin(), commit.end());
-        if (!array.store_columns(s, v, commit)) {
+        // The verification sweep that re-checked every reconstruction
+        // captured its checksum words; the commit hands them over so the
+        // integrity layer installs instead of re-reading each strip.
+        const std::uint32_t n = array.map().n();
+        std::vector<const std::uint32_t*> crc_ptrs;
+        if (rec.crc_valid.size() == n && n != 0) {
+            const std::size_t bps = rec.crcs.size() / n;
+            crc_ptrs.assign(n, nullptr);
+            for (std::uint32_t c = 0; c < n; ++c) {
+                if (rec.crc_valid[c] != 0) {
+                    crc_ptrs[c] = rec.crcs.data() + c * bps;
+                }
+            }
+        }
+        if (!array.store_columns(s, v, commit,
+                                 crc_ptrs.empty() ? nullptr
+                                                  : crc_ptrs.data())) {
             note_failure(s);
             return;
         }

@@ -52,6 +52,18 @@ struct scrub_summary {
     std::size_t latent_columns = 0;
     /// Columns that failed transiently (after retries) across the scan.
     std::size_t transient_columns = 0;
+    /// Bytes whose checksum verification rode the single fused traversal
+    /// of the checksum-first sweep. Each scanned byte is charged ONCE
+    /// here — the old accounting implicitly charged a CRC pass and a
+    /// parity cross-check pass separately, double-counting scrub
+    /// throughput on clean stripes. Mirrored to the obs counter
+    /// raid_scrub_bytes_single_pass_total.
+    std::size_t scrub_bytes_single_pass = 0;
+    /// Extra bytes traversed by the parity cross-check fallback (stripes
+    /// whose checksums were clean; defense-in-depth only). Kept separate
+    /// so dashboards can still see the fallback's cost without it
+    /// inflating the scrub-throughput figure above.
+    std::size_t scrub_bytes_crosscheck = 0;
 };
 
 /// Scrub the whole array: checksum-first classification, decode-based

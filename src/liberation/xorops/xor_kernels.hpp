@@ -43,6 +43,35 @@ struct kernel_table {
     /// Requires 1 <= m <= max_fan_in.
     void (*xor_many)(std::byte* dst, const std::byte* const* srcs,
                      std::size_t m, std::size_t n, bool acc) noexcept;
+
+    /// xor_many with non-temporal (cache-bypassing) destination stores,
+    /// for destinations too large to profit from cache residency. Same
+    /// contract as xor_many; issues a store fence before returning. Null
+    /// in tiers without a streaming-store path (scalar, neon) — the
+    /// dispatcher falls back to xor_many.
+    void (*xor_many_nt)(std::byte* dst, const std::byte* const* srcs,
+                        std::size_t m, std::size_t n, bool acc) noexcept;
+
+    /// Fused CRC sweeps. All three produce the raw (inverted-state) CRC32C
+    /// lane chains of one region per the integrity::crc32c_lane_bytes()
+    /// split — lanes[0]/[1]/[2] cover [0,L)/[L,2L)/[2L,n), each chain
+    /// seeded 0 — so the caller can stitch them into the region's standard
+    /// CRC with a crc32c_lane_combiner. Every tier computes identical lane
+    /// values; only the sweep speed differs.
+
+    /// Checksum-only sweep of [src, src+n).
+    void (*crc3)(const std::byte* src, std::size_t n,
+                 std::uint32_t lanes[3]) noexcept;
+
+    /// dst = src, checksumming the bytes inside the copy traversal.
+    void (*copy_crc3)(std::byte* dst, const std::byte* src, std::size_t n,
+                      std::uint32_t lanes[3]) noexcept;
+
+    /// One xor_many pass whose final *stored* destination bytes are
+    /// checksummed while still register/L1-hot. Same contract as xor_many.
+    void (*xor_many_crc3)(std::byte* dst, const std::byte* const* srcs,
+                          std::size_t m, std::size_t n, bool acc,
+                          std::uint32_t lanes[3]) noexcept;
 };
 
 const kernel_table& scalar_table() noexcept;

@@ -11,6 +11,7 @@
 
 #include <immintrin.h>
 
+#include "liberation/integrity/crc32c.hpp"
 #include "liberation/xorops/xor_kernels.hpp"
 
 namespace liberation::xorops::detail {
@@ -189,17 +190,311 @@ __attribute__((target("avx512f"))) void xor_many_avx512(
     xor_many_tail(dst, srcs, m, i, n, acc);
 }
 
+// ---------------------------------------------------------------------------
+// Non-temporal variants: identical reductions, but the destination is
+// written with streaming stores that bypass the cache hierarchy — for
+// destinations too large to profit from residency, this avoids the
+// read-for-ownership of every destination line (a full extra read stream)
+// and the eviction of still-useful data. Streaming stores require an
+// aligned destination, so a short head is peeled off through the portable
+// tail, and an sfence publishes the WC buffers before returning.
+
+__attribute__((target("avx2"))) void xor_many_nt_avx2(
+    std::byte* dst, const std::byte* const* srcs, std::size_t m, std::size_t n,
+    bool acc) noexcept {
+    std::size_t head =
+        (32 - (reinterpret_cast<std::uintptr_t>(dst) & 31)) & 31;
+    if (head > n) head = n;
+    if (head != 0) xor_many_tail(dst, srcs, m, 0, head, acc);
+    std::size_t i = head;
+    for (; i + 32 <= n; i += 32) {
+        __m256i a0;
+        std::size_t s;
+        if (acc) {
+            a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+            s = 0;
+        } else {
+            a0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(srcs[0] + i));
+            s = 1;
+        }
+        for (; s < m; ++s) {
+            a0 = _mm256_xor_si256(
+                a0, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(srcs[s] + i)));
+        }
+        _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i), a0);
+    }
+    _mm_sfence();
+    xor_many_tail(dst, srcs, m, i, n, acc);
+}
+
+__attribute__((target("avx512f"))) void xor_many_nt_avx512(
+    std::byte* dst, const std::byte* const* srcs, std::size_t m, std::size_t n,
+    bool acc) noexcept {
+    std::size_t head =
+        (64 - (reinterpret_cast<std::uintptr_t>(dst) & 63)) & 63;
+    if (head > n) head = n;
+    if (head != 0) xor_many_tail(dst, srcs, m, 0, head, acc);
+    std::size_t i = head;
+    for (; i + 64 <= n; i += 64) {
+        __m512i a0;
+        std::size_t s;
+        if (acc) {
+            a0 = _mm512_loadu_si512(dst + i);
+            s = 0;
+        } else {
+            a0 = _mm512_loadu_si512(srcs[0] + i);
+            s = 1;
+        }
+        for (; s < m; ++s) {
+            a0 = _mm512_xor_si512(a0, _mm512_loadu_si512(srcs[s] + i));
+        }
+        _mm512_stream_si512(reinterpret_cast<__m512i*>(dst + i), a0);
+    }
+    _mm_sfence();
+    xor_many_tail(dst, srcs, m, i, n, acc);
+}
+
+// ---------------------------------------------------------------------------
+// Fused CRC sweeps. The hardware crc32 instruction has a 3-cycle
+// dependency latency, so a single chain caps out near 2.7 bytes/cycle;
+// the three independent lane chains of the crc32c_lane_bytes() split keep
+// the unit saturated at ~8 bytes/cycle. Lane values are stitched back
+// into block CRCs by the caller's crc32c_lane_combiner.
+
+#if defined(__x86_64__)
+
+/// Raw lane sweep over [src, src+n): the shared checksum engine of the
+/// x86 fused kernels (sse4.2 only — callable from both vector tiers).
+__attribute__((target("sse4.2"))) void crc3_hw(const std::byte* src,
+                                               std::size_t n,
+                                               std::uint32_t lanes[3]) noexcept {
+    const std::size_t lane = integrity::crc32c_lane_bytes(n);
+    const std::byte* p0 = src;
+    const std::byte* p1 = src + lane;
+    const std::byte* p2 = src + 2 * lane;
+    std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= lane; i += 8) {
+        std::uint64_t w0, w1, w2;
+        std::memcpy(&w0, p0 + i, 8);
+        std::memcpy(&w1, p1 + i, 8);
+        std::memcpy(&w2, p2 + i, 8);
+        c0 = __builtin_ia32_crc32di(c0, w0);
+        c1 = __builtin_ia32_crc32di(c1, w1);
+        c2 = __builtin_ia32_crc32di(c2, w2);
+    }
+    // lane is 8-byte aligned, so chains 0 and 1 are complete; lane 2 is
+    // the long one — finish its remainder word- then byte-wise.
+    const std::size_t rem = n - 2 * lane;
+    std::size_t j = i;
+    for (; j + 8 <= rem; j += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p2 + j, 8);
+        c2 = __builtin_ia32_crc32di(c2, w);
+    }
+    std::uint32_t c2w = static_cast<std::uint32_t>(c2);
+    for (; j < rem; ++j) {
+        c2w = __builtin_ia32_crc32qi(c2w,
+                                     std::to_integer<unsigned char>(p2[j]));
+    }
+    lanes[0] = static_cast<std::uint32_t>(c0);
+    lanes[1] = static_cast<std::uint32_t>(c1);
+    lanes[2] = c2w;
+}
+
+/// Copy with the checksum riding inside the same traversal: three 32-byte
+/// copy streams (one per lane) interleaved with their crc32 chains, so
+/// the bytes are read once for both jobs.
+__attribute__((target("avx2,sse4.2"))) void copy_crc3_avx2(
+    std::byte* dst, const std::byte* src, std::size_t n,
+    std::uint32_t lanes[3]) noexcept {
+    const std::size_t lane = integrity::crc32c_lane_bytes(n);
+    const std::byte* s0 = src;
+    const std::byte* s1 = src + lane;
+    const std::byte* s2 = src + 2 * lane;
+    std::byte* d0 = dst;
+    std::byte* d1 = dst + lane;
+    std::byte* d2 = dst + 2 * lane;
+    std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+    std::size_t i = 0;
+    for (; i + 32 <= lane; i += 32) {
+        // The three lane streams are short (a third of a block each), so
+        // the hardware prefetcher restarts constantly; prefetch each
+        // stream a few hundred bytes ahead by hand. Prefetches past the
+        // lane end are architecturally harmless.
+        _mm_prefetch(reinterpret_cast<const char*>(s0 + i) + 512,
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(s1 + i) + 512,
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(s2 + i) + 512,
+                     _MM_HINT_T0);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(d0 + i),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + i)));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(d1 + i),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1 + i)));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(d2 + i),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s2 + i)));
+        std::uint64_t w;
+        for (std::size_t q = 0; q < 32; q += 8) {
+            std::memcpy(&w, s0 + i + q, 8);
+            c0 = __builtin_ia32_crc32di(c0, w);
+            std::memcpy(&w, s1 + i + q, 8);
+            c1 = __builtin_ia32_crc32di(c1, w);
+            std::memcpy(&w, s2 + i + q, 8);
+            c2 = __builtin_ia32_crc32di(c2, w);
+        }
+    }
+    for (; i + 8 <= lane; i += 8) {
+        std::uint64_t w0, w1, w2;
+        std::memcpy(&w0, s0 + i, 8);
+        std::memcpy(&w1, s1 + i, 8);
+        std::memcpy(&w2, s2 + i, 8);
+        std::memcpy(d0 + i, &w0, 8);
+        std::memcpy(d1 + i, &w1, 8);
+        std::memcpy(d2 + i, &w2, 8);
+        c0 = __builtin_ia32_crc32di(c0, w0);
+        c1 = __builtin_ia32_crc32di(c1, w1);
+        c2 = __builtin_ia32_crc32di(c2, w2);
+    }
+    const std::size_t rem = n - 2 * lane;
+    std::size_t j = i;
+    for (; j + 8 <= rem; j += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, s2 + j, 8);
+        std::memcpy(d2 + j, &w, 8);
+        c2 = __builtin_ia32_crc32di(c2, w);
+    }
+    std::uint32_t c2w = static_cast<std::uint32_t>(c2);
+    for (; j < rem; ++j) {
+        d2[j] = s2[j];
+        c2w = __builtin_ia32_crc32qi(c2w,
+                                     std::to_integer<unsigned char>(s2[j]));
+    }
+    lanes[0] = static_cast<std::uint32_t>(c0);
+    lanes[1] = static_cast<std::uint32_t>(c1);
+    lanes[2] = c2w;
+}
+
+// The fused reductions produce the whole (block-sized) destination with
+// the regular XOR body, then sweep it while it is still L1-resident: the
+// region is touched once from the memory system's point of view, and the
+// XOR and CRC units (different execution ports) overlap across blocks.
+
+void xor_many_crc3_avx2(std::byte* dst, const std::byte* const* srcs,
+                        std::size_t m, std::size_t n, bool acc,
+                        std::uint32_t lanes[3]) noexcept {
+    xor_many_avx2(dst, srcs, m, n, acc);
+    crc3_hw(dst, n, lanes);
+}
+
+void xor_many_crc3_avx512(std::byte* dst, const std::byte* const* srcs,
+                          std::size_t m, std::size_t n, bool acc,
+                          std::uint32_t lanes[3]) noexcept {
+    xor_many_avx512(dst, srcs, m, n, acc);
+    crc3_hw(dst, n, lanes);
+}
+
+/// 64-byte copy streams for the avx512 tier; checksum engine unchanged.
+__attribute__((target("avx512f,sse4.2"))) void copy_crc3_avx512(
+    std::byte* dst, const std::byte* src, std::size_t n,
+    std::uint32_t lanes[3]) noexcept {
+    const std::size_t lane = integrity::crc32c_lane_bytes(n);
+    const std::byte* s0 = src;
+    const std::byte* s1 = src + lane;
+    const std::byte* s2 = src + 2 * lane;
+    std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+    std::size_t i = 0;
+    for (; i + 64 <= lane; i += 64) {
+        // Same manual prefetch story as the avx2 tier: three short lane
+        // streams defeat the hardware stream prefetcher.
+        _mm_prefetch(reinterpret_cast<const char*>(s0 + i) + 512,
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(s1 + i) + 512,
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(s2 + i) + 512,
+                     _MM_HINT_T0);
+        _mm512_storeu_si512(dst + i, _mm512_loadu_si512(s0 + i));
+        _mm512_storeu_si512(dst + lane + i, _mm512_loadu_si512(s1 + i));
+        _mm512_storeu_si512(dst + 2 * lane + i, _mm512_loadu_si512(s2 + i));
+        std::uint64_t w;
+        for (std::size_t q = 0; q < 64; q += 8) {
+            std::memcpy(&w, s0 + i + q, 8);
+            c0 = __builtin_ia32_crc32di(c0, w);
+            std::memcpy(&w, s1 + i + q, 8);
+            c1 = __builtin_ia32_crc32di(c1, w);
+            std::memcpy(&w, s2 + i + q, 8);
+            c2 = __builtin_ia32_crc32di(c2, w);
+        }
+    }
+    for (; i + 8 <= lane; i += 8) {
+        std::uint64_t w0, w1, w2;
+        std::memcpy(&w0, s0 + i, 8);
+        std::memcpy(&w1, s1 + i, 8);
+        std::memcpy(&w2, s2 + i, 8);
+        std::memcpy(dst + i, &w0, 8);
+        std::memcpy(dst + lane + i, &w1, 8);
+        std::memcpy(dst + 2 * lane + i, &w2, 8);
+        c0 = __builtin_ia32_crc32di(c0, w0);
+        c1 = __builtin_ia32_crc32di(c1, w1);
+        c2 = __builtin_ia32_crc32di(c2, w2);
+    }
+    const std::size_t rem = n - 2 * lane;
+    std::size_t j = i;
+    for (; j + 8 <= rem; j += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, s2 + j, 8);
+        std::memcpy(dst + 2 * lane + j, &w, 8);
+        c2 = __builtin_ia32_crc32di(c2, w);
+    }
+    std::uint32_t c2w = static_cast<std::uint32_t>(c2);
+    for (; j < rem; ++j) {
+        dst[2 * lane + j] = s2[j];
+        c2w = __builtin_ia32_crc32qi(c2w,
+                                     std::to_integer<unsigned char>(s2[j]));
+    }
+    lanes[0] = static_cast<std::uint32_t>(c0);
+    lanes[1] = static_cast<std::uint32_t>(c1);
+    lanes[2] = c2w;
+}
+
+#endif  // __x86_64__
+
 }  // namespace
 
 const kernel_table& avx2_table() noexcept {
-    static constexpr kernel_table table{"avx2", xor_into_avx2, xor2_avx2,
-                                        xor_many_avx2};
+#if defined(__x86_64__)
+    static const kernel_table table{
+        "avx2",     xor_into_avx2,  xor2_avx2,
+        xor_many_avx2, xor_many_nt_avx2,
+        crc3_hw,    copy_crc3_avx2, xor_many_crc3_avx2};
+#else
+    // i386 has no 64-bit crc32 instruction; the dispatcher falls back to
+    // the scalar tier's software fused sweeps.
+    static const kernel_table table{
+        "avx2",     xor_into_avx2,  xor2_avx2,
+        xor_many_avx2, xor_many_nt_avx2,
+        nullptr,    nullptr,        nullptr};
+#endif
     return table;
 }
 
 const kernel_table& avx512_table() noexcept {
-    static constexpr kernel_table table{"avx512", xor_into_avx512, xor2_avx512,
-                                        xor_many_avx512};
+#if defined(__x86_64__)
+    static const kernel_table table{
+        "avx512",   xor_into_avx512,  xor2_avx512,
+        xor_many_avx512, xor_many_nt_avx512,
+        crc3_hw,    copy_crc3_avx512, xor_many_crc3_avx512};
+#else
+    static const kernel_table table{
+        "avx512",   xor_into_avx512,  xor2_avx512,
+        xor_many_avx512, xor_many_nt_avx512,
+        nullptr,    nullptr,          nullptr};
+#endif
     return table;
 }
 

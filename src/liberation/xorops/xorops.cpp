@@ -5,9 +5,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "liberation/integrity/crc32c.hpp"
 #include "liberation/util/assert.hpp"
 #include "liberation/xorops/xor_kernels.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace liberation::xorops {
 
@@ -99,6 +105,181 @@ const detail::kernel_table& table() noexcept {
     return table_for(impl_slot().load(std::memory_order_relaxed));
 }
 
+// ---------------------------------------------------------------------------
+// Streaming-store threshold.
+
+std::size_t startup_nt_threshold() noexcept {
+    const char* env = std::getenv("LIBERATION_XOR_NT_THRESHOLD");
+    if (env != nullptr && *env != '\0') {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        std::size_t scale = 1;
+        if (end != env) {
+            switch (*end) {
+                case 'k':
+                case 'K':
+                    scale = std::size_t{1} << 10;
+                    ++end;
+                    break;
+                case 'm':
+                case 'M':
+                    scale = std::size_t{1} << 20;
+                    ++end;
+                    break;
+                case 'g':
+                case 'G':
+                    scale = std::size_t{1} << 30;
+                    ++end;
+                    break;
+                default:
+                    break;
+            }
+        }
+        if (end != env && *end == '\0') {
+            return static_cast<std::size_t>(v) * scale;
+        }
+        std::fprintf(stderr,
+                     "liberation: malformed LIBERATION_XOR_NT_THRESHOLD '%s' "
+                     "(expected bytes, optionally K/M/G-suffixed); using "
+                     "default\n",
+                     env);
+    }
+    // Streaming stores only pay off once the destination stops fitting in
+    // the cache hierarchy: below the LLC size the regular stores hit cache
+    // and streaming just forfeits residency.
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+    const long llc = sysconf(_SC_LEVEL3_CACHE_SIZE);
+    if (llc > 0) return static_cast<std::size_t>(llc);
+#endif
+    return std::size_t{32} << 20;
+}
+
+std::atomic<std::size_t>& nt_threshold_slot() noexcept {
+    static std::atomic<std::size_t> slot{startup_nt_threshold()};
+    return slot;
+}
+
+/// Streaming-store route: tier has a streaming path, streaming is enabled,
+/// and the region is at/above the threshold. Callers additionally restrict
+/// this to single-pass operations.
+bool use_nt(const detail::kernel_table& t, std::size_t n) noexcept {
+    if (t.xor_many_nt == nullptr) return false;
+    const std::size_t thr =
+        nt_threshold_slot().load(std::memory_order_relaxed);
+    return thr != 0 && n >= thr;
+}
+
+// ---------------------------------------------------------------------------
+// Fused-kernel plumbing.
+
+/// Combiner for the given block size, cached per thread: construction
+/// walks ~2.5k GF(2) products, far too heavy per call, while real callers
+/// only ever use a handful of distinct block sizes (the integrity block
+/// size, plus bench/test sweeps).
+const integrity::crc32c_lane_combiner& combiner_for(
+    std::size_t block) noexcept {
+    constexpr std::size_t cache_size = 8;
+    thread_local std::optional<integrity::crc32c_lane_combiner>
+        cache[cache_size];
+    thread_local std::size_t victim = 0;
+    for (auto& c : cache) {
+        if (c.has_value() && c->block() == block) return *c;
+    }
+    auto& slot = cache[victim];
+    victim = (victim + 1) % cache_size;
+    slot.emplace(block);
+    return *slot;
+}
+
+/// Tier's checksum sweep, falling back to the portable one where a tier
+/// has no fused entries (e.g. x86 builds without a 64-bit crc32).
+void crc3_pass(const detail::kernel_table& t, const std::byte* src,
+               std::size_t n, std::uint32_t lanes[3]) noexcept {
+    (t.crc3 != nullptr ? t.crc3 : detail::scalar_table().crc3)(src, n, lanes);
+}
+
+void copy_crc3_pass(const detail::kernel_table& t, std::byte* dst,
+                    const std::byte* src, std::size_t n,
+                    std::uint32_t lanes[3]) noexcept {
+    if (t.copy_crc3 != nullptr) {
+        t.copy_crc3(dst, src, n, lanes);
+    } else {
+        std::memcpy(dst, src, n);
+        crc3_pass(t, src, n, lanes);
+    }
+}
+
+void xor_many_crc3_pass(const detail::kernel_table& t, std::byte* dst,
+                        const std::byte* const* srcs, std::size_t m,
+                        std::size_t n, bool acc,
+                        std::uint32_t lanes[3]) noexcept {
+    if (t.xor_many_crc3 != nullptr) {
+        t.xor_many_crc3(dst, srcs, m, n, acc, lanes);
+    } else {
+        t.xor_many(dst, srcs, m, n, acc);
+        crc3_pass(t, dst, n, lanes);
+    }
+}
+
+/// Group-of-3 fast path: for 8-byte-multiple block sizes,
+/// crc32c_lane_bytes(3 * block) == block, so one fused sweep over three
+/// consecutive blocks makes each lane chain a *whole block* — the store
+/// streams land block-aligned, three blocks share one kernel dispatch,
+/// and no cross-lane shift is needed. combine({0, 0, chain}) brackets a
+/// whole-block raw chain into that block's CRC (zero lanes are inert).
+bool groupable(std::size_t block) noexcept { return block % 8 == 0; }
+
+void combine3(const integrity::crc32c_lane_combiner& comb,
+              const std::uint32_t lanes[3], std::uint32_t* crcs) noexcept {
+    for (int i = 0; i < 3; ++i) {
+        const std::uint32_t whole[3] = {0, 0, lanes[i]};
+        crcs[i] = comb.combine(whole);
+    }
+}
+
+/// Shared body of the fused XOR reductions: per checksum block (or group
+/// of three), run the same pass sequence as the public xor_many, fusing
+/// the CRC sweep into the *final* pass (the one that stores the block's
+/// ultimate bytes).
+void xor_many_crc_blocks_impl(std::byte* dst, const std::byte* const* srcs,
+                              std::size_t nsrc, std::size_t n,
+                              std::size_t block, std::uint32_t* crcs,
+                              bool acc0) noexcept {
+    const detail::kernel_table& t = table();
+    const integrity::crc32c_lane_combiner& comb = combiner_for(block);
+    const std::byte* shifted[detail::max_fan_in];
+    const std::size_t nblocks = n / block;
+    const bool grouped = groupable(block);
+    for (std::size_t b = 0; b < nblocks;) {
+        const std::size_t g = grouped && nblocks - b >= 3 ? 3 : 1;
+        const std::size_t span = g * block;
+        std::byte* d = dst + b * block;
+        std::uint32_t lanes[3];
+        std::size_t off = 0;
+        bool acc = acc0;
+        for (;;) {
+            const std::size_t m =
+                std::min(nsrc - off, detail::max_fan_in);
+            for (std::size_t s = 0; s < m; ++s) {
+                shifted[s] = srcs[off + s] + b * block;
+            }
+            if (off + m == nsrc) {
+                xor_many_crc3_pass(t, d, shifted, m, span, acc, lanes);
+                break;
+            }
+            t.xor_many(d, shifted, m, span, acc);
+            off += m;
+            acc = true;
+        }
+        if (g == 3) {
+            combine3(comb, lanes, crcs + b);
+        } else {
+            crcs[b] = comb.combine(lanes);
+        }
+        b += g;
+    }
+}
+
 }  // namespace
 
 op_stats& counters() noexcept { return g_stats; }
@@ -164,15 +345,35 @@ bool impl_from_name(const char* name, xor_impl& out) noexcept {
 
 std::size_t max_fused_sources() noexcept { return detail::max_fan_in; }
 
+std::size_t nt_threshold() noexcept {
+    return nt_threshold_slot().load(std::memory_order_relaxed);
+}
+
+void set_nt_threshold(std::size_t bytes) noexcept {
+    nt_threshold_slot().store(bytes, std::memory_order_relaxed);
+}
+
 void xor_into(std::byte* dst, const std::byte* src, std::size_t n) noexcept {
-    table().xor_into(dst, src, n);
+    const detail::kernel_table& t = table();
+    if (use_nt(t, n)) {
+        const std::byte* srcs[1] = {src};
+        t.xor_many_nt(dst, srcs, 1, n, /*acc=*/true);
+    } else {
+        t.xor_into(dst, src, n);
+    }
     ++g_stats.xor_ops;
     g_stats.bytes_xored += n;
 }
 
 void xor2(std::byte* dst, const std::byte* a, const std::byte* b,
           std::size_t n) noexcept {
-    table().xor2(dst, a, b, n);
+    const detail::kernel_table& t = table();
+    if (use_nt(t, n)) {
+        const std::byte* srcs[2] = {a, b};
+        t.xor_many_nt(dst, srcs, 2, n, /*acc=*/false);
+    } else {
+        t.xor2(dst, a, b, n);
+    }
     ++g_stats.xor_ops;
     g_stats.bytes_xored += n;
 }
@@ -182,10 +383,17 @@ void xor_many(std::byte* dst, const std::byte* const* srcs, std::size_t nsrc,
     LIBERATION_EXPECTS(nsrc >= 1);
     const detail::kernel_table& t = table();
     std::size_t pass = std::min(nsrc, detail::max_fan_in);
-    t.xor_many(dst, srcs, pass, n, /*acc=*/false);
-    for (std::size_t off = pass; off < nsrc; off += pass) {
-        pass = std::min(nsrc - off, detail::max_fan_in);
-        t.xor_many(dst, srcs + off, pass, n, /*acc=*/true);
+    // Streaming stores only for single-pass reductions: a multi-pass
+    // destination is re-read by every later pass, exactly the access
+    // pattern streaming stores punish.
+    if (pass == nsrc && use_nt(t, n)) {
+        t.xor_many_nt(dst, srcs, pass, n, /*acc=*/false);
+    } else {
+        t.xor_many(dst, srcs, pass, n, /*acc=*/false);
+        for (std::size_t off = pass; off < nsrc; off += pass) {
+            pass = std::min(nsrc - off, detail::max_fan_in);
+            t.xor_many(dst, srcs + off, pass, n, /*acc=*/true);
+        }
     }
     ++g_stats.copy_ops;
     g_stats.bytes_copied += n;
@@ -197,10 +405,93 @@ void xor_many_into(std::byte* dst, const std::byte* const* srcs,
                    std::size_t nsrc, std::size_t n) noexcept {
     if (nsrc == 0) return;
     const detail::kernel_table& t = table();
-    for (std::size_t off = 0; off < nsrc;) {
-        const std::size_t pass = std::min(nsrc - off, detail::max_fan_in);
-        t.xor_many(dst, srcs + off, pass, n, /*acc=*/true);
-        off += pass;
+    if (nsrc <= detail::max_fan_in && use_nt(t, n)) {
+        t.xor_many_nt(dst, srcs, nsrc, n, /*acc=*/true);
+    } else {
+        for (std::size_t off = 0; off < nsrc;) {
+            const std::size_t pass = std::min(nsrc - off, detail::max_fan_in);
+            t.xor_many(dst, srcs + off, pass, n, /*acc=*/true);
+            off += pass;
+        }
+    }
+    g_stats.xor_ops += nsrc;
+    g_stats.bytes_xored += nsrc * n;
+}
+
+void crc32c_blocks(const std::byte* src, std::size_t n, std::size_t block,
+                   std::uint32_t* crcs) noexcept {
+    if (n == 0) return;
+    LIBERATION_EXPECTS(block > 0 && n % block == 0);
+    const detail::kernel_table& t = table();
+    const integrity::crc32c_lane_combiner& comb = combiner_for(block);
+    const std::size_t nblocks = n / block;
+    std::size_t b = 0;
+    if (groupable(block)) {
+        for (; b + 3 <= nblocks; b += 3) {
+            std::uint32_t lanes[3];
+            crc3_pass(t, src + b * block, 3 * block, lanes);
+            combine3(comb, lanes, crcs + b);
+        }
+    }
+    for (; b < nblocks; ++b) {
+        std::uint32_t lanes[3];
+        crc3_pass(t, src + b * block, block, lanes);
+        crcs[b] = comb.combine(lanes);
+    }
+}
+
+void copy_crc32c_blocks(std::byte* dst, const std::byte* src, std::size_t n,
+                        std::size_t block, std::uint32_t* crcs) noexcept {
+    if (n == 0) return;
+    LIBERATION_EXPECTS(block > 0 && n % block == 0);
+    const detail::kernel_table& t = table();
+    const integrity::crc32c_lane_combiner& comb = combiner_for(block);
+    const std::size_t nblocks = n / block;
+    std::size_t b = 0;
+    if (groupable(block)) {
+        for (; b + 3 <= nblocks; b += 3) {
+            std::uint32_t lanes[3];
+            copy_crc3_pass(t, dst + b * block, src + b * block, 3 * block,
+                           lanes);
+            combine3(comb, lanes, crcs + b);
+        }
+    }
+    for (; b < nblocks; ++b) {
+        std::uint32_t lanes[3];
+        copy_crc3_pass(t, dst + b * block, src + b * block, block, lanes);
+        crcs[b] = comb.combine(lanes);
+    }
+    ++g_stats.copy_ops;
+    g_stats.bytes_copied += n;
+}
+
+void xor_many_crc32c_blocks(std::byte* dst, const std::byte* const* srcs,
+                            std::size_t nsrc, std::size_t n, std::size_t block,
+                            std::uint32_t* crcs) noexcept {
+    LIBERATION_EXPECTS(nsrc >= 1);
+    if (n != 0) {
+        LIBERATION_EXPECTS(block > 0 && n % block == 0);
+        xor_many_crc_blocks_impl(dst, srcs, nsrc, n, block, crcs,
+                                 /*acc0=*/false);
+    }
+    ++g_stats.copy_ops;
+    g_stats.bytes_copied += n;
+    g_stats.xor_ops += nsrc - 1;
+    g_stats.bytes_xored += (nsrc - 1) * n;
+}
+
+void xor_many_into_crc32c_blocks(std::byte* dst, const std::byte* const* srcs,
+                                 std::size_t nsrc, std::size_t n,
+                                 std::size_t block,
+                                 std::uint32_t* crcs) noexcept {
+    if (nsrc == 0) {
+        crc32c_blocks(dst, n, block, crcs);
+        return;
+    }
+    if (n != 0) {
+        LIBERATION_EXPECTS(block > 0 && n % block == 0);
+        xor_many_crc_blocks_impl(dst, srcs, nsrc, n, block, crcs,
+                                 /*acc0=*/true);
     }
     g_stats.xor_ops += nsrc;
     g_stats.bytes_xored += nsrc * n;

@@ -81,6 +81,57 @@ void force_impl(xor_impl impl) noexcept;
 [[nodiscard]] std::size_t max_fused_sources() noexcept;
 
 // ---------------------------------------------------------------------------
+// Non-temporal store routing. Destinations at or above the threshold are
+// written with streaming (cache-bypassing) stores when the dispatched tier
+// has a streaming path and the operation is a single fused pass — beyond
+// the last-level cache a regular store costs a hidden read-for-ownership
+// of every destination line, which streaming stores elide. Multi-pass
+// reductions never stream (later passes re-read the destination), and the
+// fused XOR+CRC kernels never stream (the checksum sweep wants the block
+// cache-hot).
+
+/// Current byte threshold for streaming stores. 0 = disabled. Defaults to
+/// the LLC size when the OS reports one (else 32 MiB); the environment
+/// variable LIBERATION_XOR_NT_THRESHOLD overrides the default at startup
+/// (plain bytes, or with a K/M/G suffix; "0" disables).
+[[nodiscard]] std::size_t nt_threshold() noexcept;
+
+/// Override the streaming-store threshold at runtime (0 disables).
+void set_nt_threshold(std::size_t bytes) noexcept;
+
+// ---------------------------------------------------------------------------
+// Fused XOR+CRC32C traversals. Each call covers one region of n bytes
+// treated as n/block fixed-size checksum blocks (n must be a multiple of
+// block): the region is produced / read exactly as by the non-fused
+// kernel, and crcs[b] receives the standard CRC32C (seed 0) of block b —
+// computed inside the same traversal while the bytes are register/L1-hot,
+// so the separate checksum pass over cold memory disappears. Counters are
+// incremented exactly as for the equivalent non-fused kernel; the CRC
+// work is never counted (complexity figures are invariant under fusing).
+
+/// Checksum-only sweep: crcs[b] = CRC32C of block b of [src, src+n).
+void crc32c_blocks(const std::byte* src, std::size_t n, std::size_t block,
+                   std::uint32_t* crcs) noexcept;
+
+/// dst = src with per-block CRCs of the bytes moved (one copy op).
+void copy_crc32c_blocks(std::byte* dst, const std::byte* src, std::size_t n,
+                        std::size_t block, std::uint32_t* crcs) noexcept;
+
+/// xor_many with per-block CRCs of the final destination bytes (counted
+/// as 1 copy + nsrc-1 XORs, like xor_many). Requires nsrc >= 1.
+void xor_many_crc32c_blocks(std::byte* dst, const std::byte* const* srcs,
+                            std::size_t nsrc, std::size_t n, std::size_t block,
+                            std::uint32_t* crcs) noexcept;
+
+/// xor_many_into with per-block CRCs of the final destination bytes
+/// (counted as nsrc XORs). nsrc == 0 degenerates to a checksum-only sweep
+/// of the existing destination contents.
+void xor_many_into_crc32c_blocks(std::byte* dst, const std::byte* const* srcs,
+                                 std::size_t nsrc, std::size_t n,
+                                 std::size_t block,
+                                 std::uint32_t* crcs) noexcept;
+
+// ---------------------------------------------------------------------------
 // Region kernels. All accept arbitrary (sector-offset) pointers and any
 // size. Regions must not partially overlap; dst may coincide exactly with
 // a source (for xor_many/xor_many_into: only sources among the first
