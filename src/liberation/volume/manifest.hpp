@@ -1,0 +1,100 @@
+// On-disk manifest of a persistent volume (format v1).
+//
+// A volume directory holds one subdirectory per shard plus one small
+// metadata file:
+//
+//   <dir>/volume.manifest        [ slot A, 4 KiB ][ slot B, 4 KiB ]
+//   <dir>/shard-00/disk-NN.img   per-shard array stores (persist/store.hpp)
+//   <dir>/shard-01/disk-NN.img
+//   ...
+//
+// The manifest records what no shard superblock can know on its own: how
+// many shards the volume stripes across, the chunk granularity of the
+// round-robin placement, the per-shard array UUIDs (so a foreign shard
+// directory dropped into a slot is detected before a single byte of it is
+// trusted), and the shared shard geometry (validated against every
+// shard's own superblocks at mount).
+//
+// Crash consistency is the same shadow-slot A/B scheme the per-disk
+// superblocks use (persist/superblock.hpp): every update bumps the
+// monotonic `seq` and rewrites slot (seq % 2), so a torn manifest write
+// destroys at most the newest copy and mount falls back to the previous
+// epoch. Each slot is CRC32C-terminated little-endian; decode rejects a
+// torn slot by its trailing CRC. Both slots torn (or the file missing) is
+// a loud mount refusal — without the manifest the chunk mapping is
+// unknowable and guessing it would interleave shards wrongly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace liberation::volume::persist {
+
+inline constexpr std::uint64_t manifest_magic = 0x3156'464d'4c4f'564cULL;
+inline constexpr std::uint32_t manifest_version = 1;
+/// Fixed slot size: slot A at file offset 0, slot B at manifest_slot_size.
+/// Generous for the supported shard counts (64 shards encode to < 1 KiB).
+inline constexpr std::size_t manifest_slot_size = 4096;
+inline constexpr std::uint32_t manifest_max_shards = 64;
+
+/// In-memory image of the volume manifest.
+struct manifest {
+    std::uint64_t seq = 0;          ///< bumped on every persist
+    std::uint64_t volume_uuid = 0;
+    bool clean = false;             ///< true only after a clean unmount
+    std::uint32_t shards = 0;
+    std::uint64_t chunk_stripes = 0;  ///< stripes per placement chunk
+
+    // ---- shared shard geometry (every shard must match) ---------------
+    std::uint32_t k = 0;
+    std::uint32_t p = 0;
+    std::uint64_t element_size = 0;
+    std::uint64_t stripes = 0;        ///< per shard
+    std::uint64_t sector_size = 0;
+    std::uint32_t layout = 0;         ///< raid::parity_layout as integer
+
+    /// Per-shard array UUID (the shard store's superblock array_uuid).
+    std::vector<std::uint64_t> shard_uuids;
+};
+
+/// Serialize one slot image; CRC32C-terminated, <= manifest_slot_size.
+[[nodiscard]] std::vector<std::byte> encode(const manifest& m);
+
+/// Parse and validate one slot (magic, version, bounds, trailing CRC).
+/// nullopt = torn/zeroed/foreign bytes; the caller tries the other slot.
+[[nodiscard]] std::optional<manifest> decode(std::span<const std::byte> raw);
+
+/// What load_manifest() found in the file.
+struct manifest_probe {
+    bool file_present = false;
+    int torn_slots = 0;  ///< slots that failed to decode (0..2)
+    /// True when the *newest* copy was torn and the previous epoch was
+    /// used instead (seq of the surviving slot is lower).
+    bool fell_back = false;
+    std::optional<manifest> m;  ///< valid slot with the larger seq
+};
+
+/// Read both slots of `<dir>/volume.manifest` and elect the survivor.
+[[nodiscard]] manifest_probe load_manifest(const std::string& dir);
+
+/// Create the manifest file fresh: both slots primed (seq and seq+1, so
+/// even the first shadow persist has a valid fallback). `m.seq` is left
+/// at the higher value — the caller continues persisting from there.
+[[nodiscard]] bool create_manifest(const std::string& dir, manifest& m,
+                                   bool sync);
+
+/// Bump m.seq and shadow-write slot (seq % 2). fdatasync'd when `sync`.
+[[nodiscard]] bool persist_manifest(const std::string& dir, manifest& m,
+                                    bool sync);
+
+/// `<dir>/volume.manifest`.
+[[nodiscard]] std::string manifest_path(const std::string& dir);
+/// `<dir>/shard-NN`.
+[[nodiscard]] std::string shard_dir(const std::string& dir,
+                                    std::uint32_t shard);
+
+}  // namespace liberation::volume::persist

@@ -3,11 +3,22 @@
 // campaign bit-for-bit, so a failing run's seed is a complete bug report.
 //
 // Usage:
-//   chaos_campaign [--seed N] [--ops N] [--spares N] [--stripes N]
-//                  [--queue-depth N] [--read-rate R] [--write-rate R]
-//                  [--persist-dir DIR] [--sync-meta] [--fail-slow]
-//                  [--metrics-out FILE] [--trace-out FILE] [--json]
-//                  [--quiet]
+//   chaos_campaign [--shards N] [--seed N] [--ops N] [--spares N]
+//                  [--stripes N] [--queue-depth N] [--read-rate R]
+//                  [--write-rate R] [--persist-dir DIR] [--sync-meta]
+//                  [--fail-slow] [--metrics-out FILE] [--trace-out FILE]
+//                  [--json] [--quiet]
+//
+// --shards N (N >= 2) runs the *volume* campaign instead: one logical
+// address space striped across N raid6_array shards, with different
+// shards concurrently fail-stopped, corrupted, and (with --fail-slow)
+// slow-grayed while a shadow-checked workload spans all of them.
+// --spares/--stripes/--queue-depth then configure each shard, and
+// --persist-dir creates the volume (manifest + one superblocked directory
+// per shard) in DIR and adds whole-process kill-and-remount crash points
+// recovered through mount_volume()'s census. The verdict line becomes
+// "VOLUME_CHAOS_VERDICT ..." (same pass/counter contract). --trace-out is
+// single-array only.
 //
 // --fail-slow enables the fail-slow phase of the plan: hedged reads are
 // switched on, a random online disk is armed with a seeded constant
@@ -47,11 +58,14 @@
 #include <string>
 
 #include "liberation/raid/chaos.hpp"
+#include "liberation/volume/chaos.hpp"
 
 namespace {
 
 using liberation::raid::chaos_config;
 using liberation::raid::chaos_report;
+using liberation::volume::volume_chaos_config;
+using liberation::volume::volume_chaos_report;
 
 bool write_file(const char* path, const std::string& text) {
     std::FILE* f = std::fopen(path, "w");
@@ -240,13 +254,167 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
     std::printf("%s\n", rep.success ? "PASS" : "FAIL");
 }
 
+/// The --json verdict of the volume campaign: the same counter contract
+/// as print_verdict_json, per-shard totals rolled up.
+void print_volume_verdict_json(const volume_chaos_config& cfg,
+                               const volume_chaos_report& rep) {
+    std::printf("VOLUME_CHAOS_VERDICT {");
+    std::printf("\"pass\":%s,", rep.success ? "true" : "false");
+    std::printf("\"seed\":%llu,", static_cast<unsigned long long>(cfg.seed));
+    std::printf("\"shards\":%u,", cfg.volume.shards);
+    std::printf("\"ops\":%zu,", rep.ops);
+    std::printf("\"mismatches\":%zu,", rep.mismatches);
+    std::printf("\"failed_reads\":%zu,", rep.failed_reads);
+    std::printf("\"failed_writes\":%zu,", rep.failed_writes);
+    std::printf("\"torn\":%zu,", rep.final_torn);
+    std::printf("\"uncorrectable\":%zu,", rep.scrub_uncorrectable);
+    std::printf("\"stalled\":%llu,",
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.rebuild_sessions_stalled));
+    std::printf("\"unrecoverable_reads\":%llu,",
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.reads_unrecoverable));
+    std::printf("\"self_healed\":%llu,",
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.reads_self_healed));
+    std::printf("\"fail_stops\":%zu,", rep.injected_fail_stops);
+    std::printf("\"corruptions\":%zu,", rep.corruptions_injected);
+    std::printf("\"power_losses\":%zu,", rep.power_losses);
+    std::printf("\"spares_promoted\":%llu,",
+                static_cast<unsigned long long>(rep.spares_promoted));
+    std::printf("\"rebuilds_completed\":%llu,",
+                static_cast<unsigned long long>(rep.rebuilds_completed));
+    std::printf("\"kills\":%zu,", rep.kills);
+    std::printf("\"remounts\":%zu,", rep.remounts);
+    std::printf("\"mount_failures\":%zu,", rep.mount_failures);
+    std::printf("\"intent_replayed\":%zu,", rep.mount_intent_replayed);
+    std::printf("\"rebuilds_resumed\":%zu,", rep.rebuilds_resumed);
+    std::printf("\"manifest_torn_slots\":%zu,", rep.manifest_torn_slots);
+    std::printf("\"fail_slow_injected\":%zu,", rep.fail_slow_injected);
+    std::printf("\"deadline_exceeded\":%llu,",
+                static_cast<unsigned long long>(rep.deadline_exceeded));
+    std::printf("\"hedged_reads\":%llu,",
+                static_cast<unsigned long long>(rep.hedged_reads));
+    std::printf("\"hedge_wins\":%llu,",
+                static_cast<unsigned long long>(rep.hedge_wins));
+    std::printf("\"slow_trips\":%llu,",
+                static_cast<unsigned long long>(rep.slow_trips));
+    std::printf("\"slow_recoveries\":%llu,",
+                static_cast<unsigned long long>(rep.slow_recoveries));
+    std::printf("\"multi_shard_ops\":%zu,", rep.stats.multi_shard_ops);
+    std::printf("\"chunks_routed\":%zu,", rep.stats.chunks_routed);
+    std::printf("\"phases\":{\"fill_s\":%.6f,\"workload_s\":%.6f,"
+                "\"settle_s\":%.6f,\"settle_scrub_s\":%.6f,"
+                "\"final_verify_s\":%.6f,\"final_scrub_s\":%.6f,"
+                "\"mount_replay_s\":%.6f,\"total_s\":%.6f}}\n",
+                rep.phases.fill_s, rep.phases.workload_s, rep.phases.settle_s,
+                rep.phases.settle_scrub_s, rep.phases.final_verify_s,
+                rep.phases.final_scrub_s, rep.phases.mount_replay_s,
+                rep.phases.total_s());
+}
+
+void print_volume_report(const volume_chaos_config& cfg,
+                         const volume_chaos_report& rep, bool json) {
+    std::printf("volume chaos campaign: seed=%llu shards=%u ops=%zu "
+                "(reads=%zu writes=%zu)\n",
+                static_cast<unsigned long long>(cfg.seed), cfg.volume.shards,
+                rep.ops, rep.reads, rep.writes);
+    std::printf("  routing: chunks-routed=%zu multi-shard-ops=%zu "
+                "staged-bytes=%zu\n",
+                rep.stats.chunks_routed, rep.stats.multi_shard_ops,
+                rep.stats.staged_bytes);
+    std::printf("  events: fail-stops=%zu corruptions-injected=%zu "
+                "power-losses=%zu fail-slow-injected=%zu\n",
+                rep.injected_fail_stops, rep.corruptions_injected,
+                rep.power_losses, rep.fail_slow_injected);
+    std::printf("  recovery: spares-promoted=%llu rebuilds-completed=%llu "
+                "stripes-resynced=%zu resilver-healed=%zu "
+                "settle-scrub-healed=%zu rebuild-stalls=%llu\n",
+                static_cast<unsigned long long>(rep.spares_promoted),
+                static_cast<unsigned long long>(rep.rebuilds_completed),
+                rep.resynced_stripes, rep.resilver_healed,
+                rep.settle_scrub_healed,
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.rebuild_sessions_stalled));
+    std::printf("  fail-slow: deadline-exceeded=%llu hedged=%llu "
+                "hedge-wins=%llu slow-trips=%llu slow-recoveries=%llu\n",
+                static_cast<unsigned long long>(rep.deadline_exceeded),
+                static_cast<unsigned long long>(rep.hedged_reads),
+                static_cast<unsigned long long>(rep.hedge_wins),
+                static_cast<unsigned long long>(rep.slow_trips),
+                static_cast<unsigned long long>(rep.slow_recoveries));
+    std::printf("  persistence: kills=%zu remounts=%zu mount-failures=%zu "
+                "intent-replayed=%zu rebuilds-resumed=%zu "
+                "manifest-torn-slots=%zu\n",
+                rep.kills, rep.remounts, rep.mount_failures,
+                rep.mount_intent_replayed, rep.rebuilds_resumed,
+                rep.manifest_torn_slots);
+    std::printf("  verdict: mismatches=%zu failed-reads=%zu failed-writes=%zu "
+                "torn=%zu uncorrectable=%zu unrecoverable-reads=%llu "
+                "self-healed=%llu\n",
+                rep.mismatches, rep.failed_reads, rep.failed_writes,
+                rep.final_torn, rep.scrub_uncorrectable,
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.reads_unrecoverable),
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.reads_self_healed));
+    // Wall-clock timings go to stderr: stdout must stay byte-identical
+    // for a fixed seed (the determinism probe / CI scrapers cmp it).
+    std::fprintf(stderr,
+                 "  phases: fill=%.3fs workload=%.3fs settle=%.3fs "
+                 "settle-scrub=%.3fs verify=%.3fs final-scrub=%.3fs "
+                 "mount-replay=%.3fs total=%.3fs\n",
+                 rep.phases.fill_s, rep.phases.workload_s, rep.phases.settle_s,
+                 rep.phases.settle_scrub_s, rep.phases.final_verify_s,
+                 rep.phases.final_scrub_s, rep.phases.mount_replay_s,
+                 rep.phases.total_s());
+    if (json) {
+        print_volume_verdict_json(cfg, rep);
+        std::printf("%s\n", rep.success ? "PASS" : "FAIL");
+        return;
+    }
+    std::printf("VOLUME_CHAOS_VERDICT pass=%d seed=%llu shards=%u ops=%zu "
+                "mismatches=%zu failed_reads=%zu failed_writes=%zu torn=%zu "
+                "uncorrectable=%zu stalled=%llu unrecoverable_reads=%llu "
+                "self_healed=%llu fail_stops=%zu corruptions=%zu "
+                "power_losses=%zu spares_promoted=%llu "
+                "rebuilds_completed=%llu kills=%zu remounts=%zu "
+                "mount_failures=%zu intent_replayed=%zu rebuilds_resumed=%zu "
+                "manifest_torn_slots=%zu fail_slow=%zu deadline_exceeded=%llu "
+                "hedged=%llu hedge_wins=%llu slow_trips=%llu "
+                "slow_recoveries=%llu\n",
+                rep.success ? 1 : 0,
+                static_cast<unsigned long long>(cfg.seed), cfg.volume.shards,
+                rep.ops, rep.mismatches, rep.failed_reads, rep.failed_writes,
+                rep.final_torn, rep.scrub_uncorrectable,
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.rebuild_sessions_stalled),
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.reads_unrecoverable),
+                static_cast<unsigned long long>(
+                    rep.stats.shard_total.reads_self_healed),
+                rep.injected_fail_stops, rep.corruptions_injected,
+                rep.power_losses,
+                static_cast<unsigned long long>(rep.spares_promoted),
+                static_cast<unsigned long long>(rep.rebuilds_completed),
+                rep.kills, rep.remounts, rep.mount_failures,
+                rep.mount_intent_replayed, rep.rebuilds_resumed,
+                rep.manifest_torn_slots, rep.fail_slow_injected,
+                static_cast<unsigned long long>(rep.deadline_exceeded),
+                static_cast<unsigned long long>(rep.hedged_reads),
+                static_cast<unsigned long long>(rep.hedge_wins),
+                static_cast<unsigned long long>(rep.slow_trips),
+                static_cast<unsigned long long>(rep.slow_recoveries));
+    std::printf("%s\n", rep.success ? "PASS" : "FAIL");
+}
+
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--seed N] [--ops N] [--spares N] [--stripes N]\n"
-                 "          [--queue-depth N] [--read-rate R] [--write-rate R]\n"
-                 "          [--persist-dir DIR] [--sync-meta] [--fail-slow]\n"
-                 "          [--metrics-out FILE] [--trace-out FILE] [--json]\n"
-                 "          [--quiet]\n",
+                 "usage: %s [--shards N] [--seed N] [--ops N] [--spares N]\n"
+                 "          [--stripes N] [--queue-depth N] [--read-rate R]\n"
+                 "          [--write-rate R] [--persist-dir DIR] [--sync-meta]\n"
+                 "          [--fail-slow] [--metrics-out FILE]\n"
+                 "          [--trace-out FILE] [--json] [--quiet]\n",
                  argv0);
     std::exit(2);
 }
@@ -256,11 +424,14 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
 int main(int argc, char** argv) {
     std::uint64_t seed = 42;
     std::size_t ops = 10'000;
+    std::uint32_t shards = 1;
     bool quiet = false;
     bool json = false;
     bool fail_slow = false;
     const char* metrics_out = nullptr;
     const char* trace_out = nullptr;
+    const char* persist_dir = nullptr;
+    bool sync_meta = false;
     chaos_config cfg = liberation::raid::default_chaos_config(seed, ops);
 
     for (int i = 1; i < argc; ++i) {
@@ -271,6 +442,9 @@ int main(int argc, char** argv) {
         };
         if (const char* v = arg("--seed")) {
             seed = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--shards")) {
+            shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+            if (shards == 0) usage(argv[0]);
         } else if (const char* v = arg("--ops")) {
             ops = std::strtoull(v, nullptr, 0);
         } else if (const char* v = arg("--spares")) {
@@ -288,9 +462,11 @@ int main(int argc, char** argv) {
         } else if (const char* v = arg("--write-rate")) {
             cfg.transient_write_rate = std::strtod(v, nullptr);
         } else if (const char* v = arg("--persist-dir")) {
+            persist_dir = v;
             cfg.persist.enabled = true;
             cfg.persist.dir = v;
         } else if (std::strcmp(argv[i], "--sync-meta") == 0) {
+            sync_meta = true;
             cfg.persist.sync_meta = true;
         } else if (std::strcmp(argv[i], "--fail-slow") == 0) {
             fail_slow = true;
@@ -307,6 +483,49 @@ int main(int argc, char** argv) {
             usage(argv[0]);
         }
     }
+    if (shards >= 2) {
+        // Multi-shard route: the volume campaign. Per-shard knobs reuse
+        // the single-array flags (each shard gets the same geometry).
+        if (trace_out != nullptr) {
+            std::fprintf(stderr, "chaos_campaign: --trace-out is "
+                                 "single-array only; ignored with --shards\n");
+        }
+        volume_chaos_config vcfg =
+            liberation::volume::default_volume_chaos_config(seed, shards,
+                                                            ops);
+        vcfg.volume.shard.hot_spares = cfg.array.hot_spares;
+        vcfg.volume.shard.stripes = cfg.array.stripes;
+        vcfg.volume.shard.io_queue_depth = cfg.array.io_queue_depth;
+        vcfg.transient_read_rate = cfg.transient_read_rate;
+        vcfg.transient_write_rate = cfg.transient_write_rate;
+        if (fail_slow) {
+            vcfg.volume.shard.latency.hedged_reads = true;
+        } else {
+            // Without hedging there is nothing to observe the straggler
+            // with; don't bother arming it.
+            vcfg.events.fail_slow_at_op = ops;
+            vcfg.events.fail_slow_recover_at_op = ops;
+        }
+        if (persist_dir != nullptr) {
+            vcfg.persist_enabled = true;
+            vcfg.dir = persist_dir;
+            vcfg.sync_meta = sync_meta;
+        }
+        if (!quiet) {
+            vcfg.log = [](const std::string& msg) {
+                std::printf("  [event] %s\n", msg.c_str());
+            };
+        }
+        const volume_chaos_report rep =
+            liberation::volume::run_volume_chaos_campaign(vcfg);
+        print_volume_report(vcfg, rep, json);
+        bool exports_ok = true;
+        if (metrics_out != nullptr) {
+            exports_ok = write_file(metrics_out, rep.metrics_text);
+        }
+        return rep.success && exports_ok ? 0 : 1;
+    }
+
     cfg.seed = seed;
     cfg.ops = ops;
     // Default event plan scales with the op count so short runs still
