@@ -1,0 +1,124 @@
+// Always-on telemetry overhead: the same RAID-6 workloads with span
+// tracing off (the production default — one relaxed load and a branch
+// per span site) and on (full causal-context recording into the bounded
+// per-thread rings), in one binary. The contract this bench enforces is
+// the deep-telemetry budget: tracing ON may cost at most ~1% of the
+// tracing-OFF throughput on the fused-codec read path and the pipelined
+// aio write path — the two hottest instrumented surfaces.
+//
+// Both modes run with metrics recording live (histograms and counters
+// are never gated) and the process-wide flight recorder armed, so the
+// "off" side is exactly what a production scrape sees and the "on" side
+// adds only the tracer stores. The encode/decode kernels themselves
+// contain zero instrumentation either way (docs/OBSERVABILITY.md).
+//
+// Sections (ratio = on/off; 0.99 means tracing cost 1%):
+//   verified_read  — streaming verified reads (fused CRC+copy traversal)
+//   aio_write_qd8  — full-device pipelined full-stripe rewrites
+//
+// Usage: bench_obs_overhead [--json]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "liberation/raid/array.hpp"
+#include "liberation/util/timer.hpp"
+
+namespace {
+
+using namespace liberation;
+using namespace liberation::raid;
+
+constexpr std::uint32_t kK = 8;
+constexpr std::size_t kElem = 8192;
+constexpr std::size_t kStripes = 64;
+
+array_config config(std::size_t qd) {
+    array_config cfg;
+    cfg.k = kK;
+    cfg.element_size = kElem;
+    cfg.stripes = kStripes;
+    cfg.io_queue_depth = qd;
+    return cfg;
+}
+
+// Best-of-three streaming read rate over the whole device (GB/s of host
+// data), stripe-sized requests so every read crosses the instrumented
+// raid.read span plus the per-chunk io spans.
+double read_gbps(bool tracing) {
+    raid6_array a(config(1));
+    a.obs().trace().enable(tracing);
+    std::vector<std::byte> image(a.capacity());
+    util::xoshiro256 rng(bench::kSeed);
+    rng.fill(image);
+    if (!a.write(0, image)) std::abort();
+
+    const std::size_t req = a.map().stripe_data_size();
+    std::vector<std::byte> buf(req);
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+        std::uint64_t bytes = 0;
+        util::stopwatch timer;
+        do {
+            for (std::size_t addr = 0; addr + req <= a.capacity();
+                 addr += req) {
+                if (!a.read(addr, buf)) std::abort();
+            }
+            bytes += a.capacity();
+        } while (timer.seconds() < 0.12);
+        best = std::max(best,
+                        util::throughput_gbps(bytes, timer.seconds()));
+    }
+    return best;
+}
+
+// Best-of-three full-device rewrite rate through the pipelined aio
+// engine at depth 8 — each stripe batches k+2 column writes, so this is
+// the densest aio.execute/aio.complete span traffic per host byte.
+double write_gbps(bool tracing) {
+    raid6_array a(config(8));
+    a.obs().trace().enable(tracing);
+    std::vector<std::byte> image(a.capacity());
+    util::xoshiro256 rng(bench::kSeed);
+    rng.fill(image);
+    if (!a.write(0, image)) std::abort();
+
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+        std::uint64_t bytes = 0;
+        util::stopwatch timer;
+        do {
+            if (!a.write(0, image)) std::abort();
+            bytes += image.size();
+        } while (timer.seconds() < 0.12);
+        best = std::max(best,
+                        util::throughput_gbps(bytes, timer.seconds()));
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::reporter rep(argc, argv, "obs_overhead");
+    rep.banner("Span-tracing overhead: identical workloads, tracing off "
+               "vs on\n(ratio = on/off; the budget is >= 0.99)\n");
+
+    rep.section("verified_read (k=8, elem=8KiB)", "verified_read");
+    rep.header({"k", "off_GBps", "on_GBps", "ratio"});
+    {
+        const double off = read_gbps(false);
+        const double on = read_gbps(true);
+        rep.row(kK, {off, on, off > 0 ? on / off : 0.0});
+    }
+
+    rep.section("aio_write_qd8 (k=8, elem=8KiB)", "aio_write_qd8");
+    rep.header({"k", "off_GBps", "on_GBps", "ratio"});
+    {
+        const double off = write_gbps(false);
+        const double on = write_gbps(true);
+        rep.row(kK, {off, on, off > 0 ? on / off : 0.0});
+    }
+    return 0;
+}

@@ -53,6 +53,7 @@ void queue_pair::submit(const io_desc& d) {
     fragment f;
     f.desc = d;
     f.seq = next_seq_++;
+    f.tctx = obs::current_trace();
     f.submit_ts = now_ns();
     if (d.disk >= pending_.size()) {
         // No window to queue in: complete immediately, sequenced at drain.
@@ -136,16 +137,30 @@ bool queue_pair::execute_one(const batch& b, fragment* frags) {
                                          : 0);
         }
     }
+    // The execute span becomes the ambient parent around the backend call
+    // (which may be running on a worker thread): anything the backend
+    // emits — io_policy retry instants above all — lands under it in the
+    // submitting host op's causal tree. A merged batch inherits its first
+    // fragment's context; the fragments coalesced behind it share the
+    // same host op in every real caller.
+    const bool tracing = cfg_.obs != nullptr && cfg_.obs->trace().enabled();
+    const obs::trace_context parent = first->tctx;
+    const std::uint64_t exec_span =
+        tracing && parent.trace_id != 0 ? obs::next_span_id() : 0;
+    obs::trace_scope scope(exec_span != 0
+                               ? obs::trace_context{parent.trace_id, exec_span}
+                               : obs::current_trace());
     const raid::io_status merged_status = backend_.execute(b.merged);
-    const std::uint64_t done = now_ns();
+    std::uint64_t done = now_ns();
     if (hist_execute_ != nullptr) {
         hist_execute_->record(done >= start ? done - start : 0);
     }
-    if (cfg_.obs != nullptr && cfg_.obs->trace().enabled()) {
-        cfg_.obs->trace().record("aio.execute", "aio", start,
-                                 done >= start ? done - start : 0);
-    }
     if (merged_status == raid::io_status::ok || b.count == 1) {
+        if (tracing) {
+            cfg_.obs->trace().record_ex("aio.execute", "aio", start,
+                                        done >= start ? done - start : 0,
+                                        parent, exec_span);
+        }
         for (std::size_t i = 0; i < b.count; ++i) {
             first[i].status = merged_status;
             first[i].done_ts = done;
@@ -159,6 +174,12 @@ bool queue_pair::execute_one(const batch& b, fragment* frags) {
     for (std::size_t i = 0; i < b.count; ++i) {
         first[i].status = backend_.execute(first[i].desc);
         first[i].done_ts = now_ns();
+    }
+    done = now_ns();
+    if (tracing) {
+        cfg_.obs->trace().record_ex("aio.execute", "aio", start,
+                                    done >= start ? done - start : 0, parent,
+                                    exec_span);
     }
     return true;
 }
@@ -214,9 +235,12 @@ void queue_pair::drain() {
                 f.done_ts >= f.submit_ts ? f.done_ts - f.submit_ts : 0);
         }
         if (tracing) {
-            cfg_.obs->trace().record(
+            // Leaf event under the submitting span: completion latency of
+            // this fragment inside its host op's tree.
+            cfg_.obs->trace().record_ex(
                 "aio.complete", "aio", f.submit_ts,
-                f.done_ts >= f.submit_ts ? f.done_ts - f.submit_ts : 0);
+                f.done_ts >= f.submit_ts ? f.done_ts - f.submit_ts : 0,
+                f.tctx, 0);
         }
         completions_.push_back({f.desc.user_data, s, f.desc.disk});
     }

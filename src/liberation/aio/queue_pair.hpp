@@ -94,6 +94,11 @@ private:
     struct fragment {
         io_desc desc;
         std::uint64_t seq = 0;  // global submission order
+        // Causal context captured at submit() on the submitting thread,
+        // reinstalled around the backend call — which may run on a worker
+        // thread — so retries and nested events stay in the host op's
+        // tree across the hop.
+        obs::trace_context tctx{};
         raid::io_status status = raid::io_status::ok;
         // Stage timestamps on the hub's clock (0 without a hub). done_ts
         // is captured right after the backend call — not at drain — so

@@ -1,0 +1,96 @@
+#include "liberation/obs/flight_recorder.hpp"
+
+#include <cstdio>
+
+#include "liberation/obs/trace.hpp"
+
+namespace liberation::obs {
+
+const char* fr_kind_name(fr_kind k) noexcept {
+    switch (k) {
+        case fr_kind::disk_tripped: return "disk_tripped";
+        case fr_kind::disk_quarantined: return "disk_quarantined";
+        case fr_kind::quarantine_lifted: return "quarantine_lifted";
+        case fr_kind::hedge_issued: return "hedge_issued";
+        case fr_kind::spare_promoted: return "spare_promoted";
+        case fr_kind::rebuild_completed: return "rebuild_completed";
+        case fr_kind::intent_mark: return "intent_mark";
+        case fr_kind::intent_replayed: return "intent_replayed";
+        case fr_kind::read_unrecoverable: return "read_unrecoverable";
+        case fr_kind::mount_ok: return "mount_ok";
+        case fr_kind::mount_refused: return "mount_refused";
+        case fr_kind::slo_violation: return "slo_violation";
+        case fr_kind::verdict_failed: return "verdict_failed";
+    }
+    return "unknown";
+}
+
+flight_recorder& flight_recorder::instance() noexcept {
+    static flight_recorder r;
+    return r;
+}
+
+void flight_recorder::record(fr_kind kind, std::uint64_t ts_ns,
+                             std::uint32_t a, std::uint64_t detail) noexcept {
+    const std::uint64_t idx = head_.fetch_add(1, std::memory_order_acq_rel);
+    slot& s = slots_[idx % kCapacity];
+    // Invalidate first so a racing reader never pairs the new payload
+    // with the old sequence, then publish with release.
+    s.seq.store(0, std::memory_order_release);
+    s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    s.trace_id.store(current_trace().trace_id, std::memory_order_relaxed);
+    s.detail.store(detail, std::memory_order_relaxed);
+    s.a.store(a, std::memory_order_relaxed);
+    s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+    s.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<fr_record> flight_recorder::snapshot() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t lo = h > kCapacity ? h - kCapacity : 0;
+    std::vector<fr_record> out;
+    out.reserve(static_cast<std::size_t>(h - lo));
+    for (std::uint64_t i = lo; i < h; ++i) {
+        const slot& s = slots_[i % kCapacity];
+        if (s.seq.load(std::memory_order_acquire) != i + 1) continue;
+        fr_record r;
+        r.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+        r.trace_id = s.trace_id.load(std::memory_order_relaxed);
+        r.detail = s.detail.load(std::memory_order_relaxed);
+        r.a = s.a.load(std::memory_order_relaxed);
+        r.kind = static_cast<fr_kind>(s.kind.load(std::memory_order_relaxed));
+        // Re-check: if a writer claimed this slot mid-read the payload may
+        // be mixed — drop it (it was being overwritten, i.e. ancient).
+        if (s.seq.load(std::memory_order_acquire) != i + 1) continue;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::string flight_recorder::text() const {
+    const std::vector<fr_record> recs = snapshot();
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "# flight_recorder total=%llu dropped=%llu shown=%zu\n",
+                  static_cast<unsigned long long>(total()),
+                  static_cast<unsigned long long>(dropped()), recs.size());
+    out += buf;
+    for (const fr_record& r : recs) {
+        std::snprintf(buf, sizeof buf,
+                      "%llu %s a=%u detail=%llu trace=%llu\n",
+                      static_cast<unsigned long long>(r.ts_ns),
+                      fr_kind_name(r.kind), r.a,
+                      static_cast<unsigned long long>(r.detail),
+                      static_cast<unsigned long long>(r.trace_id));
+        out += buf;
+    }
+    return out;
+}
+
+void flight_recorder::reset() noexcept {
+    head_.store(0, std::memory_order_release);
+    for (slot& s : slots_) s.seq.store(0, std::memory_order_release);
+}
+
+}  // namespace liberation::obs

@@ -1,0 +1,104 @@
+// Always-on flight recorder: a process-wide bounded ring of structured
+// state-transition events (disk trips, quarantines, hedges, intent-log
+// marks, mount dispositions, unrecoverable reads) that costs a handful
+// of relaxed atomic stores to append and never allocates. Unlike the
+// span tracer it is *not* gated on a tracing flag: state transitions are
+// rare and each one is exactly the breadcrumb a postmortem needs, so the
+// recorder runs from process start and the newest kCapacity events are
+// always available for a bundle dump (obs/postmortem.hpp).
+//
+// Concurrency protocol (TSan-clean, wait-free writers): a writer claims
+// a slot index with one fetch_add, stores the payload into the slot's
+// relaxed atomics, then publishes by storing the slot's sequence = index
+// + 1 with release order. A reader walks the last kCapacity indices,
+// acquires each slot's sequence, and keeps the record only if the
+// sequence still matches the index — a slot mid-overwrite has either the
+// old index (stale, skipped because it is outside the window) or a
+// publish that postdates the read head (skipped as not-yet-complete).
+// Readers never block writers; a record being overwritten concurrently
+// is simply dropped from that snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liberation::obs {
+
+/// Structured event kinds. Append-only: postmortem bundles print the
+/// symbolic name, so renumbering would desynchronize archived bundles.
+enum class fr_kind : std::uint8_t {
+    disk_tripped = 0,      ///< health monitor failed a disk (a = disk)
+    disk_quarantined,      ///< latency monitor quarantined (a = disk)
+    quarantine_lifted,     ///< probe came back on time (a = disk)
+    hedge_issued,          ///< reconstruction hedge launched (a = disk)
+    spare_promoted,        ///< hot spare took a dead slot (a = new disk)
+    rebuild_completed,     ///< background rebuild session done (a = disk)
+    intent_mark,           ///< write-hole journal marked (detail = stripe)
+    intent_replayed,       ///< mount replayed a journaled stripe
+    read_unrecoverable,    ///< verified read refused — data loss surface
+    mount_ok,              ///< array/volume mount accepted (a = disks online)
+    mount_refused,         ///< array/volume mount refused
+    slo_violation,         ///< an objective burned through its budget
+    verdict_failed,        ///< a chaos campaign failed its verdict
+};
+
+[[nodiscard]] const char* fr_kind_name(fr_kind k) noexcept;
+
+struct fr_record {
+    std::uint64_t ts_ns = 0;
+    std::uint64_t trace_id = 0;  ///< ambient causal tree, 0 if none
+    std::uint64_t detail = 0;    ///< kind-specific payload (stripe, count…)
+    std::uint32_t a = 0;         ///< kind-specific subject (disk, shard…)
+    fr_kind kind = fr_kind::disk_tripped;
+};
+
+class flight_recorder {
+public:
+    static constexpr std::size_t kCapacity = 4096;  // power of two
+
+    /// The process-wide recorder every component appends to.
+    [[nodiscard]] static flight_recorder& instance() noexcept;
+
+    /// Append one event; `ts_ns` comes from the caller's hub clock so
+    /// simulated time stays deterministic. The thread's ambient trace id
+    /// is captured automatically.
+    void record(fr_kind kind, std::uint64_t ts_ns, std::uint32_t a = 0,
+                std::uint64_t detail = 0) noexcept;
+
+    /// The newest <= kCapacity published records, oldest first.
+    [[nodiscard]] std::vector<fr_record> snapshot() const;
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return head_.load(std::memory_order_acquire);
+    }
+    /// Events pushed out of the window by wrap.
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+        const std::uint64_t t = total();
+        return t > kCapacity ? t - kCapacity : 0;
+    }
+
+    /// One line per record: "ts_ns kind a=N detail=N trace=N".
+    [[nodiscard]] std::string text() const;
+
+    /// Tests only: forget everything (not linearizable against writers).
+    void reset() noexcept;
+
+private:
+    flight_recorder() = default;
+
+    struct slot {
+        std::atomic<std::uint64_t> seq{0};  ///< 0 = empty, else index + 1
+        std::atomic<std::uint64_t> ts_ns{0};
+        std::atomic<std::uint64_t> trace_id{0};
+        std::atomic<std::uint64_t> detail{0};
+        std::atomic<std::uint32_t> a{0};
+        std::atomic<std::uint8_t> kind{0};
+    };
+
+    std::atomic<std::uint64_t> head_{0};
+    slot slots_[kCapacity];
+};
+
+}  // namespace liberation::obs

@@ -131,6 +131,14 @@ std::string registry::metrics_text(const std::string& prefix) const {
                 line(full + "_count", s.count);
                 out += "# TYPE " + full + "_max gauge\n";
                 line(full + "_max", s.max);
+                // Exemplar as a comment line: links the tail to a causal
+                // trace id without adding a sample line scrapers must
+                // understand (the classic text format has no exemplars).
+                if (const std::uint64_t ex = e.h->exemplar_trace(); ex != 0) {
+                    out += "# EXEMPLAR " + full + " trace_id=" +
+                           std::to_string(ex) + " value=" +
+                           std::to_string(e.h->exemplar_value()) + '\n';
+                }
                 break;
             }
         }

@@ -134,6 +134,31 @@ public:
         }
     };
 
+    /// Best-effort exemplar: remember the trace id of the largest sample
+    /// seen, so a histogram's tail quantile links to the causal tree that
+    /// produced it. Value and id are separate relaxed atomics — racing
+    /// writers may briefly pair one's value with the other's id, which is
+    /// acceptable for a debugging pointer (both belong to *some* slow op).
+    void note_exemplar(std::uint64_t value_ns,
+                       std::uint64_t trace_id) noexcept {
+        if constexpr (!kEnabled) {
+            (void)value_ns;
+            (void)trace_id;
+            return;
+        }
+        if (trace_id != 0 &&
+            value_ns >= ex_value_.load(std::memory_order_relaxed)) {
+            ex_value_.store(value_ns, std::memory_order_relaxed);
+            ex_trace_.store(trace_id, std::memory_order_relaxed);
+        }
+    }
+    [[nodiscard]] std::uint64_t exemplar_value() const noexcept {
+        return ex_value_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t exemplar_trace() const noexcept {
+        return ex_trace_.load(std::memory_order_relaxed);
+    }
+
     /// Zero every bucket, the sum, and the max. NOT a consistent cut:
     /// samples recorded concurrently may survive or be lost per-field.
     /// Meant for "this slot holds new hardware" resets (the latency
@@ -145,6 +170,8 @@ public:
         for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
         sum_.store(0, std::memory_order_relaxed);
         max_.store(0, std::memory_order_relaxed);
+        ex_value_.store(0, std::memory_order_relaxed);
+        ex_trace_.store(0, std::memory_order_relaxed);
     }
 
     [[nodiscard]] snapshot_t snapshot() const noexcept {
@@ -165,6 +192,8 @@ private:
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
     std::atomic<std::uint64_t> sum_{0};
     std::atomic<std::uint64_t> max_{0};
+    std::atomic<std::uint64_t> ex_value_{0};
+    std::atomic<std::uint64_t> ex_trace_{0};
 };
 
 /// Named metric store. get_*() registers on first use and returns a

@@ -90,6 +90,14 @@ public:
     void collect() {
         std::lock_guard lock(collectors_mutex_);
         for (const auto& fn : collectors_) fn();
+        if constexpr (kEnabled) {
+            // Ring-wrap disclosure: a postmortem reading this exposition
+            // can tell "no events" from "the trace ring wrapped".
+            registry_
+                .get_counter("obs_spans_dropped_total",
+                             "trace spans overwritten by ring wrap")
+                .mirror(tracer_.dropped());
+        }
     }
 
 private:
@@ -106,12 +114,29 @@ private:
 /// trace event when tracing is enabled. Compiled out entirely with
 /// LIBERATION_OBS_DISABLED. `name`/`cat` must be string literals (the
 /// tracer stores the pointers).
+///
+/// Causal context: with tracing on, construction allocates a span id,
+/// roots a fresh trace when the thread has no ambient one (this is how a
+/// host op entering the volume or array starts its tree), and installs
+/// itself as the thread's current parent — every span, instant, or
+/// flight-recorder event nested inside reports this span as its parent.
+/// Destruction restores the previous context, records the event with its
+/// ids, and notes the trace id as the histogram's tail exemplar.
 class timed_span {
 public:
     timed_span(hub& h, latency_histogram* hist, const char* name,
                const char* cat = "raid") noexcept
         : hub_(&h), hist_(hist), name_(name), cat_(cat) {
-        if constexpr (kEnabled) begin_ = h.now_ns();
+        if constexpr (kEnabled) {
+            begin_ = h.now_ns();
+            if (h.trace().enabled()) {
+                parent_ = current_trace();
+                self_.trace_id = parent_.trace_id != 0 ? parent_.trace_id
+                                                       : next_trace_id();
+                self_.span_id = next_span_id();
+                set_current_trace(self_);
+            }
+        }
     }
 
     timed_span(const timed_span&) = delete;
@@ -121,8 +146,20 @@ public:
         if constexpr (!kEnabled) return;
         const std::uint64_t end = hub_->now_ns();
         const std::uint64_t dur = end >= begin_ ? end - begin_ : 0;
-        if (hist_ != nullptr) hist_->record(dur);
-        if (hub_->trace().enabled()) {
+        if (hist_ != nullptr) {
+            hist_->record(dur);
+            hist_->note_exemplar(dur, self_.trace_id);
+        }
+        if (self_.trace_id != 0) {
+            set_current_trace(parent_);
+            // The record's context names *this span's* tree and its parent
+            // span: a root (no ambient tree at construction) still belongs
+            // to the tree it created, with parent span 0.
+            hub_->trace().record_ex(name_, cat_, begin_, dur,
+                                    trace_context{self_.trace_id,
+                                                  parent_.span_id},
+                                    self_.span_id);
+        } else if (hub_->trace().enabled()) {
             hub_->trace().record(name_, cat_, begin_, dur);
         }
     }
@@ -133,6 +170,8 @@ private:
     const char* name_;
     const char* cat_;
     std::uint64_t begin_ = 0;
+    trace_context parent_{};
+    trace_context self_{};
 };
 
 }  // namespace liberation::obs

@@ -1,0 +1,123 @@
+#include "liberation/obs/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace liberation::obs {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string response(int code, const char* status, const char* ctype,
+                     const std::string& body) {
+    std::string out = "HTTP/1.1 " + std::to_string(code) + " " + status +
+                      "\r\nContent-Type: " + ctype +
+                      "\r\nContent-Length: " + std::to_string(body.size()) +
+                      "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+}  // namespace
+
+scrape_server::~scrape_server() { shutdown(); }
+
+bool scrape_server::listen(std::uint16_t port, scrape_handlers handlers) {
+    handlers_ = std::move(handlers);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd_, 8) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        port_ = ntohs(addr.sin_port);
+    }
+    return true;
+}
+
+bool scrape_server::serve_one() {
+    if (fd_ < 0 || stop_.load(std::memory_order_acquire)) return false;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) return false;
+
+    // Read until the header terminator (requests have no body).
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+        const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::string path;
+    if (req.compare(0, 4, "GET ") == 0) {
+        const std::size_t sp = req.find(' ', 4);
+        if (sp != std::string::npos) path = req.substr(4, sp - 4);
+        const std::size_t q = path.find('?');
+        if (q != std::string::npos) path.resize(q);
+    }
+
+    const auto run = [](const std::function<std::string()>& fn,
+                        const char* fallback) {
+        return fn ? fn() : std::string(fallback);
+    };
+    std::string resp;
+    if (path == "/metrics") {
+        resp = response(200, "OK", "text/plain; version=0.0.4",
+                        run(handlers_.metrics, ""));
+    } else if (path == "/healthz") {
+        resp = response(200, "OK", "text/plain", run(handlers_.healthz, "ok\n"));
+    } else if (path == "/trace") {
+        resp = response(200, "OK", "application/json",
+                        run(handlers_.trace, "{\"traceEvents\":[]}"));
+    } else if (path.empty()) {
+        resp = response(400, "Bad Request", "text/plain", "bad request\n");
+    } else {
+        resp = response(404, "Not Found", "text/plain", "not found\n");
+    }
+    send_all(client, resp);
+    ::close(client);
+    return true;
+}
+
+std::size_t scrape_server::serve(std::size_t max_requests) {
+    std::size_t served = 0;
+    while ((max_requests == 0 || served < max_requests) && serve_one()) {
+        ++served;
+    }
+    return served;
+}
+
+void scrape_server::shutdown() noexcept {
+    stop_.store(true, std::memory_order_release);
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace liberation::obs

@@ -1,0 +1,66 @@
+// Minimal blocking HTTP/1.1 scrape endpoint: three GET routes served
+// one connection at a time from whatever thread calls serve()/serve_one().
+//
+//   /metrics  -> Prometheus text exposition (handlers.metrics)
+//   /healthz  -> short liveness body (handlers.healthz, default "ok\n")
+//   /trace    -> Chrome trace JSON (handlers.trace)
+//
+// This is deliberately not a web server: no keep-alive, no TLS, no
+// routing table — just enough HTTP for `curl`/Prometheus to scrape a
+// running workload (`liberation_cli serve`, `chaos_campaign --listen`).
+// The handlers are called on the serving thread while the workload
+// mutates on another; every exporter surface they reach (metrics_text,
+// trace_json, histogram snapshots) is already safe against concurrent
+// recording — that contract is what the ObsConcurrency tests pin down.
+//
+// shutdown() closes the listening socket from any thread, which unblocks
+// a pending accept and makes serve() return; serve(max_requests) bounds
+// the loop for tests and CI scripts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace liberation::obs {
+
+struct scrape_handlers {
+    std::function<std::string()> metrics;
+    std::function<std::string()> healthz;
+    std::function<std::string()> trace;
+};
+
+class scrape_server {
+public:
+    scrape_server() = default;
+    ~scrape_server();
+
+    scrape_server(const scrape_server&) = delete;
+    scrape_server& operator=(const scrape_server&) = delete;
+
+    /// Bind and listen on 127.0.0.1:`port` (0 = kernel-assigned; read the
+    /// result from port()). False on any socket error.
+    [[nodiscard]] bool listen(std::uint16_t port, scrape_handlers handlers);
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Accept and serve exactly one connection. False once the server is
+    /// shut down (or was never listening).
+    bool serve_one();
+
+    /// Serve until `max_requests` connections (0 = until shutdown()).
+    /// Returns the number of connections served.
+    std::size_t serve(std::size_t max_requests = 0);
+
+    /// Thread-safe: close the listening socket, unblocking any accept.
+    void shutdown() noexcept;
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    scrape_handlers handlers_;
+};
+
+}  // namespace liberation::obs

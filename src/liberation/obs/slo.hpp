@@ -1,0 +1,110 @@
+// SLO engine: declarative latency/error objectives evaluated over a
+// sliding window of registry snapshots, exported as liberation_slo_*
+// burn-rate and budget gauges and asserted by the chaos verdicts.
+//
+// An objective is either
+//   * latency_quantile — "at most `budget` of the samples of histogram
+//     `source` may exceed `threshold_ns` over the window". The existing
+//     power-of-two buckets answer this exactly: a bucket is "good" only
+//     when its upper bound is <= threshold, so a partially-covering
+//     bucket counts as bad (conservative by construction); or
+//   * event_ratio — "counter `source` may grow by at most `budget` of
+//     counter `denominator`'s growth over the window" (budget 0 means
+//     any increment violates).
+//
+// evaluate() snapshots the sources on the hub clock, slides the frame
+// window, and computes per-objective burn rate = bad_fraction / budget:
+// burn > 1.0 means the objective is violating right now. On a virtual
+// clock every number is exactly reproducible, which is what makes the
+// chaos verdict assertion and the window-math tests deterministic.
+//
+// Exported families (milli-units — gauges are integers):
+//   liberation_slo_burn_rate_milli{objective="..."}
+//   liberation_slo_budget_remaining_milli{objective="..."}
+//   liberation_slo_violated{objective="..."}
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "liberation/obs/metrics.hpp"
+
+namespace liberation::obs {
+
+class hub;
+
+struct slo_objective {
+    enum class kind_t { latency_quantile, event_ratio };
+
+    std::string name;  ///< exported as the objective label
+    kind_t kind = kind_t::latency_quantile;
+    /// Histogram name (latency_quantile) or numerator counter name
+    /// (event_ratio), as registered — without the liberation_ prefix.
+    std::string source;
+    std::string denominator;       ///< event_ratio only
+    std::uint64_t threshold_ns = 0;  ///< latency_quantile only
+    double budget = 0.01;  ///< allowed bad fraction of the window
+};
+
+struct slo_status {
+    std::string name;
+    std::uint64_t window_total = 0;  ///< samples (or denominator growth)
+    std::uint64_t window_bad = 0;    ///< over-threshold samples (or growth)
+    double bad_fraction = 0.0;
+    double burn_rate = 0.0;         ///< bad_fraction / budget
+    double budget_remaining = 1.0;  ///< 1 - burn_rate, floored at -1000
+    bool violated = false;          ///< burn_rate > 1 this window
+};
+
+class slo_engine {
+public:
+    /// `window_ns` is the sliding-window width on the hub's clock;
+    /// `max_frames` bounds memory (oldest frames merge into the
+    /// baseline). Objectives are fixed for the engine's lifetime.
+    slo_engine(hub& h, std::vector<slo_objective> objectives,
+               std::uint64_t window_ns = 1'000'000'000ull,
+               std::size_t max_frames = 128);
+
+    /// Snapshot sources, slide the window, recompute every objective,
+    /// export the gauges, and append a flight-recorder event on each
+    /// violation edge. Returns the fresh statuses.
+    const std::vector<slo_status>& evaluate();
+
+    [[nodiscard]] const std::vector<slo_status>& status() const noexcept {
+        return status_;
+    }
+    /// No objective violated at the most recent evaluate().
+    [[nodiscard]] bool all_ok() const noexcept;
+    /// No objective violated at *any* evaluate() so far — what the chaos
+    /// verdict asserts (a mid-campaign burn must fail the run even if the
+    /// tail of the window recovered).
+    [[nodiscard]] bool ever_violated() const noexcept {
+        return ever_violated_;
+    }
+
+    /// Human/bundle rendering: one line per objective.
+    [[nodiscard]] std::string text() const;
+
+private:
+    struct frame {
+        std::uint64_t ts_ns = 0;
+        /// Per-objective cumulative view at this instant.
+        std::vector<latency_histogram::snapshot_t> hists;
+        std::vector<std::uint64_t> num;
+        std::vector<std::uint64_t> den;
+    };
+
+    frame capture();
+
+    hub& hub_;
+    std::vector<slo_objective> objectives_;
+    std::uint64_t window_ns_;
+    std::size_t max_frames_;
+    std::deque<frame> frames_;
+    std::vector<slo_status> status_;
+    bool ever_violated_ = false;
+};
+
+}  // namespace liberation::obs

@@ -6,6 +6,8 @@
 
 #include "liberation/aio/stripe_io.hpp"
 #include "liberation/core/error_correction.hpp"
+#include "liberation/obs/flight_recorder.hpp"
+#include "liberation/obs/postmortem.hpp"
 #include "liberation/raid/persist/store.hpp"
 #include "liberation/raid/rebuild.hpp"
 #include "liberation/util/assert.hpp"
@@ -362,6 +364,8 @@ void raid6_array::note_io(std::uint32_t d, io_kind kind, const io_result& r) {
         // foreground operation promote a spare.
         disks_[d]->fail();
         stats_.disks_tripped.fetch_add(1, std::memory_order_relaxed);
+        obs::flight_recorder::instance().record(obs::fr_kind::disk_tripped,
+                                                obs_.now_ns(), d);
         pending_failover_.store(true, std::memory_order_release);
     }
 }
@@ -522,9 +526,13 @@ io_status raid6_array::read_chunk_failslow(std::size_t stripe,
     const bool was_quarantined = latmon_.quarantined(d);
     if (latmon_.note_read(d, lat)) {
         stats_.slow_trips.fetch_add(1, std::memory_order_relaxed);
+        obs::flight_recorder::instance().record(
+            obs::fr_kind::disk_quarantined, obs_.now_ns(), d, lat);
         persist_membership();  // quarantine survives a remount
     } else if (was_quarantined && !latmon_.quarantined(d)) {
         stats_.slow_recoveries.fetch_add(1, std::memory_order_relaxed);
+        obs::flight_recorder::instance().record(
+            obs::fr_kind::quarantine_lifted, obs_.now_ns(), d, lat);
         persist_membership();
     }
 
@@ -543,6 +551,8 @@ io_status raid6_array::read_chunk_failslow(std::size_t stripe,
     // (charged inline by the aio legs); the direct read lands at `lat`.
     stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
     stats_.hedged_reads.fetch_add(1, std::memory_order_relaxed);
+    obs::flight_recorder::instance().record(obs::fr_kind::hedge_issued,
+                                            obs_.now_ns(), d, lat);
     latmon_.note_hedge(d);
     util::aligned_buffer rbuf(dst.size());
     const std::uint64_t h0 = clock_.now_us();
@@ -616,6 +626,8 @@ void raid6_array::handle_failed_disks() {
         health_.reset(d);
         latmon_.reset(d);
         stats_.spares_promoted.fetch_add(1, std::memory_order_relaxed);
+        obs::flight_recorder::instance().record(obs::fr_kind::spare_promoted,
+                                                obs_.now_ns(), d);
         if (store_ != nullptr) {
             // The slot's file keeps the dead disk's bytes: everything
             // above the new member's watermark is masked anyway, and the
@@ -711,6 +723,8 @@ std::size_t raid6_array::service_background_rebuild(std::size_t max_stripes) {
         bool completed = false;
         for (auto it = rebuilding_.begin(); it != rebuilding_.end();) {
             if (it->cursor >= map_.stripes()) {
+                obs::flight_recorder::instance().record(
+                    obs::fr_kind::rebuild_completed, obs_.now_ns(), it->disk);
                 it = rebuilding_.erase(it);
                 stats_.rebuilds_completed.fetch_add(1,
                                                     std::memory_order_relaxed);
@@ -755,12 +769,34 @@ bool raid6_array::load_stripe(std::size_t stripe, const codes::stripe_view& dst,
                               std::vector<io_status>* statuses) {
     erased.clear();
     if (statuses != nullptr) statuses->assign(map_.n(), io_status::ok);
+    // The column read-set goes through the aio engine (same shape as
+    // reconstruct_column_range): per-disk batching and merging apply, the
+    // requests execute through disk_read so retry/health/masking semantics
+    // are unchanged, and a host op's degraded load shows up as aio
+    // fragments inside its causal trace tree. No flag_verify — checksum
+    // policy stays with the caller (verify_loaded_stripe decides which
+    // strips to trust).
+    const std::size_t base = aio_engine_->completions().size();
     for (std::uint32_t col = 0; col < map_.n(); ++col) {
         const strip_location loc = map_.locate(stripe, col);
-        const io_status st = disk_read(loc.disk, loc.offset, dst.strip(col));
-        if (statuses != nullptr) (*statuses)[col] = st;
-        if (st != io_status::ok) erased.push_back(col);
+        aio::io_desc d;
+        d.disk = loc.disk;
+        d.kind = aio::op_kind::read;
+        d.offset = loc.offset;
+        d.data = dst.strip(col).data();
+        d.len = map_.strip_size();
+        d.user_data = col;
+        aio_engine_->submit(d);
     }
+    aio_engine_->drain();
+    const std::vector<aio::io_cqe>& cqes = aio_engine_->completions();
+    for (std::size_t i = base; i < cqes.size(); ++i) {
+        const auto col = static_cast<std::uint32_t>(cqes[i].user_data);
+        if (statuses != nullptr) (*statuses)[col] = cqes[i].status;
+        if (cqes[i].status != io_status::ok) erased.push_back(col);
+    }
+    aio_engine_->clear_completions();
+    std::sort(erased.begin(), erased.end());
     return erased.size() <= 2;
 }
 
@@ -996,6 +1032,8 @@ bool raid6_array::journal_mark(std::size_t stripe, std::uint64_t cols) {
         return false;
     }
     gauge_journal_->set(static_cast<std::int64_t>(journal_.size()));
+    obs::flight_recorder::instance().record(obs::fr_kind::intent_mark,
+                                            obs_.now_ns(), 0, stripe);
     // On-disk analogue of the NVRAM flush: the entry must be durable on
     // the other members before any data write of this stripe is issued.
     persist_intent();
@@ -1319,6 +1357,18 @@ bool raid6_array::read_element_degraded(std::size_t stripe, std::uint32_t row,
     return true;
 }
 
+void raid6_array::note_unrecoverable_read(std::size_t stripe) {
+    const std::uint64_t prev =
+        stats_.reads_unrecoverable.fetch_add(1, std::memory_order_relaxed);
+    obs::flight_recorder::instance().record(obs::fr_kind::read_unrecoverable,
+                                            obs_.now_ns(), 0, stripe);
+    if (prev == 0) {
+        // First data-loss surface of this array: capture the evidence
+        // while it is fresh.
+        (void)obs::auto_postmortem("reads_unrecoverable", &obs_);
+    }
+}
+
 bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
     LIBERATION_EXPECTS(addr + out.size() <= capacity());
     service_events();
@@ -1424,8 +1474,7 @@ bool raid6_array::read(std::size_t addr, std::span<std::byte> out) {
                 codes::stripe_buffer buf = make_stripe_buffer();
                 if (!load_and_decode(stripe, buf.view())) {
                     if (verify_reads_) {
-                        stats_.reads_unrecoverable.fetch_add(
-                            1, std::memory_order_relaxed);
+                        note_unrecoverable_read(stripe);
                     }
                     return false;
                 }

@@ -364,6 +364,12 @@ public:
                                    std::vector<std::uint32_t>& erased,
                                    std::vector<io_status>* statuses = nullptr);
 
+    /// Account a verified read we refused to serve: bumps the stat,
+    /// appends a flight-recorder breadcrumb, and on the array's *first*
+    /// such loss writes an automatic postmortem bundle (no-op unless
+    /// LIBERATION_POSTMORTEM_DIR is set).
+    void note_unrecoverable_read(std::size_t stripe);
+
     /// Write the given codeword columns of `stripe` back to their disks.
     /// Columns on failed disks are skipped (reported false). When
     /// `col_crcs` is non-null, `col_crcs[col]` (null entries allowed)

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
 
+#include "liberation/obs/flight_recorder.hpp"
+#include "liberation/obs/postmortem.hpp"
 #include "liberation/raid/persist/mount.hpp"
 #include "liberation/raid/scrubber.hpp"
 #include "liberation/util/rng.hpp"
@@ -124,9 +127,27 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         if (cfg.log) cfg.log(msg);
     };
     if (cfg.trace) arr->obs().trace().enable();
+    // SLO engine over the array's hub. The hub dies with each
+    // kill-and-remount generation, so the engine is rebuilt per
+    // generation and the sticky ever-violated bit folded across.
+    std::unique_ptr<obs::slo_engine> slo;
+    bool slo_ever_violated = false;
+    const auto make_slo = [&] {
+        if (cfg.slo.empty()) return;
+        slo = std::make_unique<obs::slo_engine>(arr->obs(), cfg.slo,
+                                                cfg.slo_window_ns);
+        slo->evaluate();  // baseline frame at generation start
+    };
+    make_slo();
     // The array (and its observability hub) is local to this run; capture
     // the exports into the report on every return path.
     const auto capture_obs = [&] {
+        if (slo != nullptr) {
+            slo->evaluate();
+            slo_ever_violated = slo_ever_violated || slo->ever_violated();
+            rep.slo_text = slo->text();
+            rep.slo_ok = !slo_ever_violated;
+        }
         rep.metrics_text = arr->obs().metrics_text();
         rep.histograms = arr->obs().histogram_snapshots();
         if (cfg.trace) rep.trace_json = arr->obs().trace_json();
@@ -161,6 +182,13 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
     const auto kill_and_remount = [&](const std::string& why) {
         accumulate(acc_stats, arr->stats());
         accumulate(acc_io, arr->io_stats());
+        // The engine references the dying hub: fold its verdict and drop
+        // it before the array goes away.
+        if (slo != nullptr) {
+            slo->evaluate();
+            slo_ever_violated = slo_ever_violated || slo->ever_violated();
+            slo.reset();
+        }
         arr.reset();
         ++rep.kills;
         log("kill (" + why + "): process state dropped, remounting");
@@ -192,6 +220,7 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         ++generation;
         arm_transients();
         if (cfg.trace) arr->obs().trace().enable();
+        make_slo();
         log("remounted: " + std::to_string(m.report.disks_online) + "/" +
             std::to_string(m.report.disks_total) + " online, " +
             std::to_string(m.report.intent_replayed) + " stripes replayed");
@@ -251,6 +280,10 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
 
     phase_clock.restart();
     for (std::size_t op = 0; op < cfg.ops; ++op) {
+        if (slo != nullptr && cfg.slo_every_ops != 0 && op != 0 &&
+            op % cfg.slo_every_ops == 0) {
+            slo->evaluate();
+        }
         if (op == ev.fail_stop_at_op) fail_stop_pending = true;
         if (op == ev.health_storm_at_op) storm_pending = true;
         if (op == ev.power_loss_at_op) power_pending = true;
@@ -662,8 +695,19 @@ chaos_report run_chaos_campaign(const chaos_config& cfg) {
         // *next* mount of the directory sees a clean shutdown.
         events_ok = events_ok && arr->unmount();
     }
-    rep.success = rep.clean() && events_ok;
     capture_obs();
+    rep.success = rep.clean() && events_ok && rep.slo_ok;
+    if (!rep.success) {
+        // Failed verdict: breadcrumb + automatic bundle (opt-in via
+        // LIBERATION_POSTMORTEM_DIR) with everything already captured.
+        obs::flight_recorder::instance().record(obs::fr_kind::verdict_failed,
+                                                arr->obs().now_ns());
+        obs::postmortem_bundle b;
+        b.metrics_text = rep.metrics_text;
+        b.trace_json = rep.trace_json;
+        b.slo_text = rep.slo_text;
+        (void)obs::auto_postmortem("chaos_verdict", nullptr, std::move(b));
+    }
     return rep;
 }
 

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "liberation/obs/slo.hpp"
 #include "liberation/raid/array.hpp"
 
 namespace liberation::raid {
@@ -102,6 +103,14 @@ struct chaos_config {
     /// per-thread rings keep only the freshest window anyway, and tests
     /// that replay campaigns don't want the extra stores.
     bool trace = false;
+    /// Service-level objectives asserted by the verdict. Evaluated every
+    /// `slo_every_ops` workload ops and once at the end, over a sliding
+    /// `slo_window_ns` window of the array's (virtual) clock; a violation
+    /// at *any* evaluation fails the run even if the tail recovered.
+    /// Empty = no SLO gate.
+    std::vector<obs::slo_objective> slo{};
+    std::uint64_t slo_window_ns = 1'000'000'000;
+    std::size_t slo_every_ops = 256;
     /// Optional event logger (the CLI passes a printf; tests leave null).
     std::function<void(const std::string&)> log{};
 };
@@ -194,6 +203,11 @@ struct chaos_report {
     std::vector<std::pair<std::string, obs::latency_histogram::snapshot_t>>
         histograms;
     std::string trace_json;
+    /// SLO verdict: true when no configured objective ever violated
+    /// (vacuously true with no objectives). slo_text is the engine's
+    /// final per-objective rendering.
+    bool slo_ok = true;
+    std::string slo_text;
     bool success = false;
 
     /// The acceptance predicate: zero corruption AND the full fault plan

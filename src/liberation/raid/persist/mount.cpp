@@ -6,9 +6,44 @@
 #include <random>
 #include <tuple>
 
+#include "liberation/obs/flight_recorder.hpp"
+#include "liberation/obs/postmortem.hpp"
 #include "liberation/util/assert.hpp"
 
 namespace liberation::raid::persist {
+
+namespace {
+
+/// Human-readable census of what mount found, for postmortem bundles.
+std::string mount_census_text(const mount_report& rep) {
+    std::string s = "mount ok=" + std::to_string(rep.ok ? 1 : 0) + '\n';
+    if (!rep.error.empty()) s += "error: " + rep.error + '\n';
+    s += "disks_total=" + std::to_string(rep.disks_total) + '\n';
+    s += "disks_online=" + std::to_string(rep.disks_online) + '\n';
+    s += "torn_superblock_slots=" + std::to_string(rep.torn_superblock_slots) +
+         '\n';
+    s += "stale_kicked=" + std::to_string(rep.stale_kicked) + '\n';
+    s += "foreign=" + std::to_string(rep.foreign) + '\n';
+    s += "unreadable=" + std::to_string(rep.unreadable) + '\n';
+    s += "unclean=" + std::to_string(rep.unclean ? 1 : 0) + '\n';
+    s += "intent_entries=" + std::to_string(rep.intent_entries) + '\n';
+    s += "intent_replayed=" + std::to_string(rep.intent_replayed) + '\n';
+    s += "rebuilds_resumed=" + std::to_string(rep.rebuilds_resumed) + '\n';
+    return s;
+}
+
+/// A refused mount is exactly the moment an operator needs breadcrumbs:
+/// flight-record the refusal and trip an automatic bundle (census only —
+/// there is no array, hence no hub, to scrape metrics from).
+void note_mount_refused(const mount_report& rep) {
+    obs::flight_recorder::instance().record(obs::fr_kind::mount_refused, 0,
+                                            rep.disks_total, rep.stale_kicked);
+    obs::postmortem_bundle b;
+    b.census_text = mount_census_text(rep);
+    (void)obs::auto_postmortem("mount_refused", nullptr, std::move(b));
+}
+
+}  // namespace
 
 /// Friend of raid6_array: the only party allowed to install a store and
 /// pose the array's private state while reassembling.
@@ -80,6 +115,7 @@ mounted_array mounter::mount(const mount_options& opts) {
     }
     if (votes.empty()) {
         rep.error = "no decodable superblock in " + opts.store.dir;
+        note_mount_refused(rep);
         return out;
     }
     std::uint64_t uuid = 0;
@@ -106,6 +142,7 @@ mounted_array mounter::mount(const mount_options& opts) {
     if (n == 0 || n > 64 || auth->k + 2 != n || auth->intent_capacity == 0 ||
         auth->watermarks.size() != n) {
         rep.error = "authority superblock has corrupt geometry tables";
+        note_mount_refused(rep);
         return out;
     }
     rep.disks_total = n;
@@ -225,6 +262,7 @@ mounted_array mounter::mount(const mount_options& opts) {
     if (failed_total + kicked_total > 2) {
         rep.error = "more than two members failed, foreign, or untrusted — "
                     "beyond RAID-6, refusing to assemble";
+        note_mount_refused(rep);
         return out;
     }
 
@@ -234,6 +272,7 @@ mounted_array mounter::mount(const mount_options& opts) {
                       probes[auth_idx].header.slot_bytes, fresh_slots);
     if (!st) {
         rep.error = "could not initialize backing files";
+        note_mount_refused(rep);
         return out;
     }
     for (std::uint32_t s = 0; s < n; ++s) {
@@ -313,10 +352,17 @@ mounted_array mounter::mount(const mount_options& opts) {
         }
         rep.intent_replayed = total;
         a->stats_.intent_replayed.fetch_add(total, std::memory_order_relaxed);
+        if (total > 0) {
+            obs::flight_recorder::instance().record(
+                obs::fr_kind::intent_replayed, a->obs_.now_ns(), 0, total);
+        }
     }
 
     rep.disks_online = n - failed_total;
     rep.ok = true;
+    obs::flight_recorder::instance().record(obs::fr_kind::mount_ok,
+                                            a->obs_.now_ns(), rep.disks_online,
+                                            rep.intent_replayed);
     const auto dt = std::chrono::steady_clock::now() - t0;
     const auto ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();

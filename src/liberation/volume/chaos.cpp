@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "liberation/obs/flight_recorder.hpp"
+#include "liberation/obs/postmortem.hpp"
 #include "liberation/raid/scrubber.hpp"
 #include "liberation/util/rng.hpp"
 #include "liberation/util/timer.hpp"
@@ -99,6 +101,38 @@ volume_chaos_report run_volume_chaos_campaign(const volume_chaos_config& cfg) {
     const auto log = [&](const std::string& msg) {
         if (cfg.log) cfg.log(msg);
     };
+    if (cfg.trace) vol->set_tracing(true);
+    // SLO engine over the volume hub; rebuilt per kill-and-remount
+    // generation (the hub dies with the volume), sticky verdict folded.
+    std::unique_ptr<obs::slo_engine> slo;
+    bool slo_ever_violated = false;
+    const auto make_slo = [&] {
+        if (cfg.slo.empty()) return;
+        slo = std::make_unique<obs::slo_engine>(vol->obs(), cfg.slo,
+                                                cfg.slo_window_ns);
+        slo->evaluate();  // baseline frame at generation start
+    };
+    make_slo();
+    const auto capture_obs = [&] {
+        if (slo != nullptr) {
+            slo->evaluate();
+            slo_ever_violated = slo_ever_violated || slo->ever_violated();
+            rep.slo_text = slo->text();
+            rep.slo_ok = !slo_ever_violated;
+        }
+        rep.metrics_text = vol->obs().metrics_text();
+        if (cfg.trace) rep.trace_json = vol->trace_json();
+    };
+    const auto note_failed_verdict = [&] {
+        if (rep.success) return;
+        obs::flight_recorder::instance().record(obs::fr_kind::verdict_failed,
+                                                vol->obs().now_ns());
+        obs::postmortem_bundle b;
+        b.metrics_text = rep.metrics_text;
+        b.trace_json = rep.trace_json;
+        b.slo_text = rep.slo_text;
+        (void)obs::auto_postmortem("chaos_verdict", nullptr, std::move(b));
+    };
     util::stopwatch phase_clock;
 
     volume_stats acc{};
@@ -127,6 +161,13 @@ volume_chaos_report run_volume_chaos_campaign(const volume_chaos_config& cfg) {
     // election, shard census, per-shard member election + intent replay).
     const auto kill_and_remount = [&](const std::string& why) {
         fold(acc, vol->stats());
+        // The engine references the dying hub: fold its verdict and drop
+        // it before the volume goes away.
+        if (slo != nullptr) {
+            slo->evaluate();
+            slo_ever_violated = slo_ever_violated || slo->ever_violated();
+            slo.reset();
+        }
         vol.reset();
         ++rep.kills;
         log("kill (" + why + "): process state dropped, remounting volume");
@@ -161,6 +202,8 @@ volume_chaos_report run_volume_chaos_campaign(const volume_chaos_config& cfg) {
         }
         ++generation;
         arm_transients();
+        if (cfg.trace) vol->set_tracing(true);
+        make_slo();
         log("remounted: " + std::to_string(m.report.shards_mounted) + "/" +
             std::to_string(m.report.shards_expected) + " shards");
         return true;
@@ -174,7 +217,7 @@ volume_chaos_report run_volume_chaos_campaign(const volume_chaos_config& cfg) {
         ++rep.failed_writes;
         rep.stats = vol->stats();
         rep.phases.fill_s = phase_clock.seconds();
-        rep.metrics_text = vol->obs().metrics_text();
+        capture_obs();
         return rep;
     }
     rep.phases.fill_s = phase_clock.seconds();
@@ -224,6 +267,10 @@ volume_chaos_report run_volume_chaos_campaign(const volume_chaos_config& cfg) {
 
     phase_clock.restart();
     for (std::size_t op = 0; op < cfg.ops; ++op) {
+        if (slo != nullptr && cfg.slo_every_ops != 0 && op != 0 &&
+            op % cfg.slo_every_ops == 0) {
+            slo->evaluate();
+        }
         if (op == ev.fail_stop_a_at_op) fail_a_pending = true;
         if (op == ev.fail_stop_b_at_op) fail_b_pending = true;
         if (op == ev.power_or_kill_at_op) power_pending = true;
@@ -493,13 +540,15 @@ volume_chaos_report run_volume_chaos_campaign(const volume_chaos_config& cfg) {
         if (ev.power_or_kill_at_op < cfg.ops) {
             events_ok = events_ok && rep.mount_intent_replayed >= 1;
         }
-        rep.metrics_text = vol->obs().metrics_text();
+        capture_obs();
         events_ok = events_ok && vol->unmount();
-        rep.success = rep.clean() && events_ok;
+        rep.success = rep.clean() && events_ok && rep.slo_ok;
+        note_failed_verdict();
         return rep;
     }
-    rep.success = rep.clean() && events_ok;
-    rep.metrics_text = vol->obs().metrics_text();
+    capture_obs();
+    rep.success = rep.clean() && events_ok && rep.slo_ok;
+    note_failed_verdict();
     return rep;
 }
 

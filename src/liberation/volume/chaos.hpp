@@ -73,6 +73,14 @@ struct volume_chaos_config {
     std::size_t max_io_bytes = 0;
     std::uint32_t write_tenths = 4;  ///< fraction of ops that write, tenths
     volume_chaos_event_plan events{};
+    /// Enable span tracing on the volume hub and every shard hub; the
+    /// merged Chrome trace lands in volume_chaos_report::trace_json.
+    bool trace = false;
+    /// Service-level objectives asserted by the verdict (same contract
+    /// as chaos_config::slo, evaluated on the volume hub).
+    std::vector<obs::slo_objective> slo{};
+    std::uint64_t slo_window_ns = 1'000'000'000;
+    std::size_t slo_every_ops = 256;
     std::function<void(const std::string&)> log{};
 };
 
@@ -118,6 +126,12 @@ struct volume_chaos_report {
     volume_stats stats{};                 ///< final roll-up, kills included
     raid::chaos_phase_times phases{};
     std::string metrics_text;  ///< volume hub exposition at campaign end
+    /// Merged volume+shard Chrome trace (volume_chaos_config::trace).
+    std::string trace_json;
+    /// SLO verdict (vacuously ok with no objectives) and the engine's
+    /// final per-objective rendering.
+    bool slo_ok = true;
+    std::string slo_text;
     bool success = false;
 
     /// Zero-corruption predicate (same contract as chaos_report::clean).

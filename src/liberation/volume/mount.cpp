@@ -4,12 +4,46 @@
 #include <random>
 #include <system_error>
 
+#include "liberation/obs/flight_recorder.hpp"
+#include "liberation/obs/postmortem.hpp"
 #include "liberation/raid/persist/store.hpp"
 #include "liberation/util/assert.hpp"
 
 namespace liberation::volume::persist {
 
 namespace {
+
+/// Whole-set shard census for postmortem bundles: one line per shard so
+/// the operator sees which member sank the mount, not just the first.
+std::string volume_census_text(const volume_mount_report& rep) {
+    std::string s = "volume mount ok=" + std::to_string(rep.ok ? 1 : 0) + '\n';
+    if (!rep.error.empty()) s += "error: " + rep.error + '\n';
+    s += "shards_expected=" + std::to_string(rep.shards_expected) + '\n';
+    s += "shards_mounted=" + std::to_string(rep.shards_mounted) + '\n';
+    s += "manifest_torn_slots=" + std::to_string(rep.manifest_torn_slots) +
+         '\n';
+    s += "unclean=" + std::to_string(rep.unclean ? 1 : 0) + '\n';
+    for (const shard_census_entry& e : rep.census) {
+        s += "shard " + std::to_string(e.shard) +
+             ": dir_present=" + std::to_string(e.dir_present ? 1 : 0) +
+             " foreign=" + std::to_string(e.foreign ? 1 : 0) +
+             " geometry_mismatch=" +
+             std::to_string(e.geometry_mismatch ? 1 : 0) +
+             " mounted=" + std::to_string(e.mounted ? 1 : 0);
+        if (!e.report.error.empty()) s += " error=\"" + e.report.error + '"';
+        s += '\n';
+    }
+    return s;
+}
+
+void note_volume_mount_refused(const volume_mount_report& rep) {
+    obs::flight_recorder::instance().record(obs::fr_kind::mount_refused, 0,
+                                            rep.shards_mounted,
+                                            rep.shards_expected);
+    obs::postmortem_bundle b;
+    b.census_text = volume_census_text(rep);
+    (void)obs::auto_postmortem("mount_refused", nullptr, std::move(b));
+}
 
 std::uint64_t random_uuid() {
     std::random_device rd;
@@ -92,11 +126,13 @@ mounted_volume mount_volume(const volume_mount_options& opts) {
     if (!probe.file_present) {
         rep.error = "volume manifest missing: " +
                     manifest_path(opts.store.dir);
+        note_volume_mount_refused(rep);
         return out;
     }
     if (!probe.m) {
         rep.error = "volume manifest unreadable (both slots torn): " +
                     manifest_path(opts.store.dir);
+        note_volume_mount_refused(rep);
         return out;
     }
     manifest m = std::move(*probe.m);
@@ -175,7 +211,10 @@ mounted_volume mount_volume(const volume_mount_options& opts) {
         }
     }
     rep.shards_mounted = mounted;
-    if (!census_ok || mounted != m.shards) return out;
+    if (!census_ok || mounted != m.shards) {
+        note_volume_mount_refused(rep);
+        return out;
+    }
 
     volume_config cfg;
     cfg.shards = m.shards;
@@ -195,12 +234,16 @@ mounted_volume mount_volume(const volume_mount_options& opts) {
     m.clean = false;
     if (!persist_manifest(opts.store.dir, m, opts.store.sync_meta)) {
         rep.error = "could not persist volume manifest";
+        note_volume_mount_refused(rep);
         return out;
     }
     out.vol = std::make_unique<volume>(cfg, std::move(arrays));
     out.vol->attach_manifest(opts.store.dir, std::move(m),
                              opts.store.sync_meta);
     rep.ok = true;
+    obs::flight_recorder::instance().record(obs::fr_kind::mount_ok,
+                                            out.vol->obs().now_ns(),
+                                            rep.shards_mounted, 0);
     return out;
 }
 

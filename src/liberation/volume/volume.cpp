@@ -176,6 +176,22 @@ void volume::init_obs() {
     });
 }
 
+void volume::set_tracing(bool on) noexcept {
+    obs_.trace().enable(on);
+    for (auto& sh : shards_) sh->obs().trace().enable(on);
+}
+
+std::string volume::trace_json() const {
+    std::vector<obs::trace_part> parts;
+    parts.reserve(shards_.size() + 1);
+    parts.push_back({"volume", &obs_.trace()});
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+        parts.push_back({"shard=\"" + std::to_string(s) + "\"",
+                         &shards_[s]->obs().trace()});
+    }
+    return obs::merged_trace_json(parts);
+}
+
 extent_location volume::locate(std::size_t addr) const noexcept {
     const std::size_t chunk = addr / chunk_bytes_;
     const std::size_t in_chunk = addr % chunk_bytes_;
@@ -237,10 +253,30 @@ bool volume::dispatch(const std::function<bool(std::uint32_t)>& op) {
     }
     bool ok = true;
     if (threaded_ && touched > 1) {
+        // The host op's causal context rides into each dispatcher thread
+        // explicitly (thread_local does not cross the pool hop): every
+        // fan-out leg gets its own volume.shard_dispatch span under the
+        // host op, and everything the shard records lands under that leg.
+        const obs::trace_context tctx = obs::current_trace();
+        const bool tracing = obs_.trace().enabled() && tctx.trace_id != 0;
         for (std::uint32_t s = 0; s < n; ++s) {
             if (!plans_[s].touched) continue;
-            dispatch_pools_[s]->submit(
-                [this, &op, s] { results_[s] = op(s) ? 1 : 0; });
+            dispatch_pools_[s]->submit([this, &op, s, tctx, tracing] {
+                const std::uint64_t leg_span =
+                    tracing ? obs::next_span_id() : 0;
+                obs::trace_scope scope(
+                    tracing ? obs::trace_context{tctx.trace_id, leg_span}
+                            : tctx);
+                const std::uint64_t t0 = obs_.now_ns();
+                const bool r = op(s);
+                if (tracing) {
+                    const std::uint64_t t1 = obs_.now_ns();
+                    obs_.trace().record_ex("volume.shard_dispatch", "volume",
+                                           t0, t1 >= t0 ? t1 - t0 : 0, tctx,
+                                           leg_span);
+                }
+                results_[s] = r ? 1 : 0;
+            });
         }
         for (std::uint32_t s = 0; s < n; ++s) {
             if (plans_[s].touched) dispatch_pools_[s]->wait_idle();

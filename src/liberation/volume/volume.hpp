@@ -147,6 +147,16 @@ public:
     /// via shard(s).obs().
     [[nodiscard]] obs::hub& obs() noexcept { return obs_; }
 
+    /// Turn span tracing on/off for the volume hub and every shard hub in
+    /// one step, so a host op's causal tree is captured end to end.
+    void set_tracing(bool on) noexcept;
+
+    /// Merged Chrome trace across the volume tracer and all shard
+    /// tracers: pid 1 is the volume ("volume" process), pid 1+s+1 is
+    /// shard s (named shard="s"), with flow arrows joining each host
+    /// op's volume spans to the shard/array/aio spans it caused.
+    [[nodiscard]] std::string trace_json() const;
+
     [[nodiscard]] std::uint32_t failed_disk_count() const noexcept;
     [[nodiscard]] bool rebuild_active() const noexcept;
     /// Advance every shard's background rebuild by up to

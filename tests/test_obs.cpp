@@ -5,23 +5,44 @@
 // io_read_ns tail, and submission-queue depth changes the aio completion
 // spans while execute spans stay put.
 //
-// The snapshot-under-concurrency hammer at the end is the TSan target
-// (ctest under the `tsan` preset): exporters snapshot while a writer
-// mutates, which must stay a data-race-free (relaxed-atomic) protocol.
+// The snapshot-under-concurrency hammers are the TSan targets
+// (ctest under the `tsan` preset): exporters snapshot while writers
+// mutate, which must stay a data-race-free protocol.
+//
+// The deep-telemetry additions live here too: the causal-tree acceptance
+// test (one host read through a 2-shard volume with a retry renders as
+// one connected parent chain in the merged trace), ring-wrap disclosure,
+// the flight recorder's wait-free ring, exact SLO window math on the
+// virtual clock, the scrape endpoint, and postmortem bundles.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "liberation/aio/queue_pair.hpp"
+#include "liberation/obs/flight_recorder.hpp"
 #include "liberation/obs/obs.hpp"
+#include "liberation/obs/postmortem.hpp"
+#include "liberation/obs/serve.hpp"
+#include "liberation/obs/slo.hpp"
 #include "liberation/raid/array.hpp"
 #include "liberation/raid/io_policy.hpp"
 #include "liberation/util/rng.hpp"
+#include "liberation/volume/volume.hpp"
 
 namespace {
 
@@ -353,6 +374,413 @@ TEST(ObsConcurrency, SnapshotWhileMutatingHammer) {
     const raid::array_stats end = a.stats();
     EXPECT_GE(end.spares_promoted, 1u);
     EXPECT_GE(end.rebuilds_completed, 1u);
+}
+
+// ---- causal trace context -------------------------------------------
+
+// One exported span with its (trace, span, parent) args, pulled out of
+// the fixed snprintf rendering — no JSON library needed.
+struct parsed_span {
+    std::string name;
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;
+    bool has_ctx = false;
+};
+
+std::vector<parsed_span> parse_ctx_spans(const std::string& json) {
+    std::vector<parsed_span> out;
+    std::size_t pos = 0;
+    while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+        const std::size_t name_begin = pos + 9;
+        const std::size_t name_end = json.find('"', name_begin);
+        std::size_t next = json.find("{\"name\":\"", name_begin);
+        if (next == std::string::npos) next = json.size();
+        parsed_span s;
+        s.name = json.substr(name_begin, name_end - name_begin);
+        const std::string chunk = json.substr(pos, next - pos);
+        const std::size_t a = chunk.find("\"args\":{\"trace\":\"");
+        if (a != std::string::npos &&
+            chunk.find("\"ph\":\"X\"") != std::string::npos) {
+            s.has_ctx = true;
+            s.trace = std::strtoull(chunk.c_str() + a + 17, nullptr, 10);
+            const std::size_t sp = chunk.find("\"span\":\"", a);
+            s.span = std::strtoull(chunk.c_str() + sp + 8, nullptr, 10);
+            const std::size_t pa = chunk.find("\"parent\":\"", a);
+            s.parent = std::strtoull(chunk.c_str() + pa + 10, nullptr, 10);
+        }
+        out.push_back(std::move(s));
+        pos = next;
+    }
+    return out;
+}
+
+// The acceptance contract for the deep-telemetry layer: a host read
+// through a 2-shard volume whose degraded shard retries inside an aio
+// fragment must render as ONE connected causal tree in the merged trace
+// — io.retry.read up through aio.execute, the array read span, the
+// dispatcher leg, to a volume_read root with parent 0, all sharing the
+// retry's trace id.
+TEST(ObsTrace, CausalTreeConnectsVolumeReadToAioRetry) {
+    volume::volume_config vcfg;
+    vcfg.shards = 2;
+    vcfg.shard.k = 4;
+    vcfg.shard.element_size = 512;
+    vcfg.shard.stripes = 8;
+    vcfg.shard.sector_size = 512;
+    vcfg.shard.hot_spares = 0;  // stay degraded: no spare to promote
+    vcfg.shard.io_queue_depth = 4;
+    vcfg.shard.obs_virtual_time = true;
+    vcfg.chunk_stripes = 1;
+    vcfg.threaded_dispatch = true;
+    volume::volume v(vcfg);
+
+    std::vector<std::byte> image(v.capacity());
+    util::xoshiro256 rng(21);
+    rng.fill(image);
+    ASSERT_TRUE(v.write(0, image));
+
+    v.set_tracing(true);
+    // Shard 0 degraded plus transient read faults on the survivors:
+    // every read of it reconstructs through the aio engine and soon
+    // retries inside a fragment.
+    v.shard(0).fail_disk(1);
+    for (std::uint32_t d = 0; d < v.shard(0).disk_count(); ++d) {
+        v.shard(0).disk(d).set_transient_fault_rates(0.15, 0.0, 500 + d);
+    }
+
+    // Two chunks = both shards: the host op fans out on the dispatcher
+    // threads, so the tree crosses a thread hop on its way down.
+    std::vector<std::byte> buf(2 * v.chunk_bytes());
+    for (int i = 0; i < 300 && v.shard(0).io_stats().retries == 0; ++i) {
+        (void)v.read(0, buf);
+    }
+    ASSERT_GT(v.shard(0).io_stats().retries, 0u);
+
+    const std::string json = v.trace_json();
+    const std::vector<parsed_span> spans = parse_ctx_spans(json);
+    std::unordered_map<std::uint64_t, const parsed_span*> by_span;
+    for (const parsed_span& s : spans) {
+        if (s.has_ctx && s.span != 0) by_span.emplace(s.span, &s);
+    }
+
+    bool found = false;
+    for (const parsed_span& s : spans) {
+        if (!s.has_ctx || s.name != "io.retry.read") continue;
+        bool saw_aio = false;
+        bool saw_raid = false;
+        bool saw_dispatch = false;
+        const parsed_span* cur = &s;
+        std::string root_name;
+        for (int hops = 0; hops < 32 && cur->parent != 0; ++hops) {
+            const auto it = by_span.find(cur->parent);
+            if (it == by_span.end()) break;
+            EXPECT_EQ(it->second->trace, s.trace);  // one tree end to end
+            cur = it->second;
+            if (cur->name == "aio.execute") saw_aio = true;
+            if (cur->name.rfind("raid.", 0) == 0) saw_raid = true;
+            if (cur->name == "volume.shard_dispatch") saw_dispatch = true;
+            root_name = cur->name;
+        }
+        if (saw_aio && saw_raid && saw_dispatch && cur->parent == 0 &&
+            root_name == "volume_read") {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+    // The merged export names both processes.
+    EXPECT_NE(json.find("\\\"0\\\""), std::string::npos);
+    EXPECT_NE(json.find("volume"), std::string::npos);
+}
+
+// ---- ring-wrap disclosure -------------------------------------------
+
+TEST(ObsTracer, RingWrapDisclosedInTraceAndCounter) {
+    obs::hub h;
+    h.trace().enable();
+    // One thread = one ring of the default 8192 slots: 9000 records wrap
+    // it by exactly 808.
+    for (std::uint64_t i = 0; i < 9000; ++i) {
+        h.trace().record("e", "t", i, 1);
+    }
+    EXPECT_EQ(h.trace().dropped(), 808u);
+    const std::string json = h.trace().trace_json();
+    EXPECT_NE(json.find("obs.spans_dropped"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":808"), std::string::npos);
+    const std::string text = h.metrics_text();
+    EXPECT_NE(text.find("liberation_obs_spans_dropped_total 808"),
+              std::string::npos);
+}
+
+// ---- flight recorder ------------------------------------------------
+
+TEST(ObsFlightRecorder, WrapKeepsNewestInOrder) {
+    auto& fr = obs::flight_recorder::instance();
+    fr.reset();
+    const std::uint64_t n = obs::flight_recorder::kCapacity + 100;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        fr.record(obs::fr_kind::intent_mark, i, 7, i);
+    }
+    EXPECT_EQ(fr.total(), n);
+    EXPECT_EQ(fr.dropped(), 100u);
+    const std::vector<obs::fr_record> snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), obs::flight_recorder::kCapacity);
+    // The oldest 100 fell off; what's left is gapless and ordered.
+    EXPECT_EQ(snap.front().ts_ns, 100u);
+    EXPECT_EQ(snap.back().ts_ns, n - 1);
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].ts_ns, snap[i - 1].ts_ns + 1);
+    }
+    EXPECT_EQ(snap.front().a, 7u);
+    EXPECT_EQ(snap.front().kind, obs::fr_kind::intent_mark);
+    EXPECT_NE(fr.text().find("intent_mark"), std::string::npos);
+    fr.reset();
+    EXPECT_EQ(fr.total(), 0u);
+}
+
+TEST(ObsFlightRecorder, CapturesAmbientTraceId) {
+    auto& fr = obs::flight_recorder::instance();
+    fr.reset();
+    {
+        obs::trace_scope scope(obs::trace_context{777, 9});
+        fr.record(obs::fr_kind::disk_tripped, 1, 2);
+    }
+    fr.record(obs::fr_kind::disk_tripped, 2, 3);
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].trace_id, 777u);
+    EXPECT_EQ(snap[1].trace_id, 0u);
+    fr.reset();
+}
+
+// ---- SLO window math ------------------------------------------------
+
+TEST(ObsSlo, WindowMathExactOnVirtualClock) {
+    raid::virtual_clock clock;
+    obs::hub h;
+    h.set_clock(&raid::virtual_clock_now_ns, &clock);
+    obs::latency_histogram& lat = h.metrics().get_histogram("read_ns");
+    obs::counter& errs = h.metrics().get_counter("errs_total");
+    obs::counter& ops = h.metrics().get_counter("ops_total");
+
+    std::vector<obs::slo_objective> objs(2);
+    objs[0].name = "read_p99";
+    objs[0].kind = obs::slo_objective::kind_t::latency_quantile;
+    objs[0].source = "read_ns";
+    objs[0].threshold_ns = 1024;  // buckets through upper 1024 are good
+    objs[0].budget = 0.25;
+    objs[1].name = "err_rate";
+    objs[1].kind = obs::slo_objective::kind_t::event_ratio;
+    objs[1].source = "errs_total";
+    objs[1].denominator = "ops_total";
+    objs[1].budget = 0.0;  // any error pages
+
+    obs::slo_engine slo(h, objs, /*window_ns=*/1'000'000);
+    ops.inc(10);
+    slo.evaluate();  // first frame is the baseline: nothing can violate
+    EXPECT_TRUE(slo.all_ok());
+    EXPECT_FALSE(slo.ever_violated());
+
+    // 3 good + 1 bad = bad fraction exactly at the 0.25 budget: burn
+    // rate 1.0 is *at* budget, not over it.
+    for (int i = 0; i < 3; ++i) lat.record(100);
+    lat.record(10'000);
+    ops.inc(10);
+    clock.advance(100);  // microseconds
+    const auto& s2 = slo.evaluate();
+    EXPECT_EQ(s2[0].window_total, 4u);
+    EXPECT_EQ(s2[0].window_bad, 1u);
+    EXPECT_DOUBLE_EQ(s2[0].burn_rate, 1.0);
+    EXPECT_FALSE(s2[0].violated);
+    EXPECT_EQ(s2[1].window_total, 10u);
+    EXPECT_EQ(s2[1].window_bad, 0u);
+    EXPECT_FALSE(slo.ever_violated());
+
+    // One more bad sample tips it: 2/5 bad against a 0.25 budget burns
+    // at 1.6; one error against a zero budget pages immediately.
+    lat.record(10'000);
+    errs.inc(1);
+    ops.inc(10);
+    clock.advance(100);
+    const auto& s3 = slo.evaluate();
+    EXPECT_EQ(s3[0].window_total, 5u);
+    EXPECT_EQ(s3[0].window_bad, 2u);
+    EXPECT_DOUBLE_EQ(s3[0].burn_rate, 0.4 / 0.25);
+    EXPECT_TRUE(s3[0].violated);
+    EXPECT_EQ(s3[1].window_bad, 1u);
+    EXPECT_TRUE(s3[1].violated);
+    EXPECT_TRUE(slo.ever_violated());
+    EXPECT_FALSE(slo.all_ok());
+
+    // Slide past the window with no new traffic: the burn clears but the
+    // sticky verdict does not.
+    clock.advance(2000);
+    const auto& s4 = slo.evaluate();
+    EXPECT_EQ(s4[0].window_total, 0u);
+    EXPECT_FALSE(s4[0].violated);
+    EXPECT_FALSE(s4[1].violated);
+    EXPECT_TRUE(slo.all_ok());
+    EXPECT_TRUE(slo.ever_violated());
+
+    const std::string text = h.metrics_text();
+    EXPECT_NE(
+        text.find("liberation_slo_burn_rate_milli{objective=\"read_p99\"}"),
+        std::string::npos);
+    EXPECT_NE(text.find("liberation_slo_violated{objective=\"err_rate\"} 0"),
+              std::string::npos);
+    EXPECT_NE(slo.text().find("slo read_p99:"), std::string::npos);
+}
+
+// ---- multi-writer hammer (TSan target) ------------------------------
+
+// Four threads append to the flight recorder and the tracer while the
+// main thread snapshots, renders, and exports everything. TSan (the
+// `tsan` ctest preset) proves the wait-free ring protocol and the tracer
+// flush stay race-free; release builds assert the structural invariants.
+TEST(ObsConcurrency, FlightRecorderAndTracerHammer) {
+    auto& fr = obs::flight_recorder::instance();
+    fr.reset();
+    obs::hub h;
+    h.trace().enable();
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+        writers.emplace_back([&h, &fr, &stop, w] {
+            std::uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                fr.record(obs::fr_kind::hedge_issued, ++i,
+                          static_cast<std::uint32_t>(w));
+                obs::timed_span span(h, nullptr, "hammer.span", "test");
+                h.trace().record("hammer.leaf", "test", i, 0);
+            }
+        });
+    }
+    // Keep reading until the writers have wrapped the ring at least once,
+    // so snapshots race live overwrites, not a quiet buffer.
+    for (int r = 0;
+         r < 100 || fr.total() <= obs::flight_recorder::kCapacity; ++r) {
+        const auto snap = fr.snapshot();
+        EXPECT_LE(snap.size(), obs::flight_recorder::kCapacity);
+        for (const obs::fr_record& rec : snap) {
+            EXPECT_EQ(rec.kind, obs::fr_kind::hedge_issued);
+            EXPECT_LT(rec.a, 4u);
+        }
+        (void)fr.text();
+        (void)h.trace().trace_json();
+        (void)h.metrics_text();
+    }
+    stop.store(true);
+    for (std::thread& t : writers) t.join();
+    EXPECT_GT(fr.total(), 0u);
+    fr.reset();
+}
+
+// ---- scrape endpoint ------------------------------------------------
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    ssize_t off = 0;
+    while (off < static_cast<ssize_t>(req.size())) {
+        const ssize_t n = ::write(fd, req.data() + off, req.size() - off);
+        if (n <= 0) break;
+        off += n;
+    }
+    std::string resp;
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+TEST(ObsServe, RoutesAndBoundedServe) {
+    obs::scrape_handlers handlers;
+    handlers.metrics = [] {
+        return std::string("# TYPE liberation_up gauge\nliberation_up 1\n");
+    };
+    handlers.trace = [] { return std::string("{\"traceEvents\":[]}"); };
+    obs::scrape_server srv;
+    ASSERT_TRUE(srv.listen(0, handlers));  // kernel-assigned port
+    ASSERT_NE(srv.port(), 0);
+    std::thread server([&srv] { EXPECT_EQ(srv.serve(4), 4u); });
+
+    const std::string m = http_get(srv.port(), "/metrics");
+    EXPECT_NE(m.find("200"), std::string::npos);
+    EXPECT_NE(m.find("liberation_up 1"), std::string::npos);
+    const std::string hz = http_get(srv.port(), "/healthz");
+    EXPECT_NE(hz.find("ok"), std::string::npos);  // default handler
+    const std::string tr = http_get(srv.port(), "/trace");
+    EXPECT_NE(tr.find("traceEvents"), std::string::npos);
+    const std::string nf = http_get(srv.port(), "/nope");
+    EXPECT_NE(nf.find("404"), std::string::npos);
+    server.join();  // serve() returned after exactly 4 connections
+}
+
+// ---- postmortem bundles ---------------------------------------------
+
+TEST(ObsPostmortem, WriteBundleAndAutoTripPoint) {
+    namespace fs = std::filesystem;
+    const fs::path root = fs::temp_directory_path() / "liberation_obs_pm";
+    fs::remove_all(root);
+    auto& fr = obs::flight_recorder::instance();
+    fr.reset();
+    fr.record(obs::fr_kind::mount_refused, 5, 3, 1);
+
+    obs::postmortem_bundle b;
+    b.reason = "unit";
+    b.metrics_text = "# snapshot\n";
+    b.slo_text = "slo x: total=1 bad=0\n";
+    const std::string dir =
+        obs::write_postmortem((root / "manual").string(), b);
+    ASSERT_FALSE(dir.empty());
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "MANIFEST.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "flight_recorder.log"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "metrics.prom"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "slo.txt"));
+    // Empty sections are skipped and the manifest lists only real files.
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "trace.json"));
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "census.txt"));
+    std::ifstream in(fs::path(dir) / "flight_recorder.log");
+    const std::string log((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_NE(log.find("mount_refused"), std::string::npos);
+    std::ifstream min(fs::path(dir) / "MANIFEST.json");
+    const std::string manifest((std::istreambuf_iterator<char>(min)),
+                               std::istreambuf_iterator<char>());
+    EXPECT_NE(manifest.find("\"reason\":\"unit\""), std::string::npos);
+    EXPECT_NE(manifest.find("slo.txt"), std::string::npos);
+    EXPECT_EQ(manifest.find("trace.json"), std::string::npos);
+
+    // The automatic trip point is env-gated: a no-op unless
+    // LIBERATION_POSTMORTEM_DIR points somewhere.
+    unsetenv("LIBERATION_POSTMORTEM_DIR");
+    EXPECT_TRUE(obs::auto_postmortem("unit", nullptr).empty());
+    setenv("LIBERATION_POSTMORTEM_DIR", (root / "auto").c_str(), 1);
+    obs::hub h;
+    const std::string adir = obs::auto_postmortem("unit", &h);
+    ASSERT_FALSE(adir.empty());
+    EXPECT_NE(adir.find("unit-"), std::string::npos);
+    EXPECT_TRUE(fs::exists(fs::path(adir) / "MANIFEST.json"));
+    // The hub filled the empty metrics section.
+    EXPECT_TRUE(fs::exists(fs::path(adir) / "metrics.prom"));
+    unsetenv("LIBERATION_POSTMORTEM_DIR");
+    fr.reset();
+    fs::remove_all(root);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 //                  [--stripes N] [--queue-depth N] [--read-rate R]
 //                  [--write-rate R] [--persist-dir DIR] [--sync-meta]
 //                  [--fail-slow] [--metrics-out FILE] [--trace-out FILE]
+//                  [--slo-read-p99-us N] [--listen PORT]
+//                  [--serve-requests N] [--postmortem-dir DIR]
 //                  [--json] [--quiet]
 //
 // --shards N (N >= 2) runs the *volume* campaign instead: one logical
@@ -17,8 +19,27 @@
 // --persist-dir creates the volume (manifest + one superblocked directory
 // per shard) in DIR and adds whole-process kill-and-remount crash points
 // recovered through mount_volume()'s census. The verdict line becomes
-// "VOLUME_CHAOS_VERDICT ..." (same pass/counter contract). --trace-out is
-// single-array only.
+// "VOLUME_CHAOS_VERDICT ..." (same pass/counter contract). --trace-out
+// then writes the *merged* volume trace: pid 1 is the volume dispatcher,
+// pid 1+s+1 is shard s (process_name shard="s"), with flow arrows joining
+// each host op's volume spans to the shard work they caused.
+//
+// --slo-read-p99-us N arms the SLO engine: at most 1% of host reads in
+// any 1s (virtual-clock) window may exceed N microseconds, and no read
+// may ever complete unrecoverable (zero budget). The liberation_slo_*
+// burn-rate gauges land in the metrics exposition, the per-objective
+// status lines in the report, and a violation at any evaluation fails
+// the verdict (exit 1).
+//
+// --listen PORT serves the campaign's captured /metrics, /healthz, and
+// /trace over HTTP on 127.0.0.1:PORT after the run (PORT 0 = kernel
+// assigned; the bound port is printed to stderr). --serve-requests N
+// bounds the server to N connections (0 = until killed).
+//
+// --postmortem-dir DIR sets LIBERATION_POSTMORTEM_DIR for the run: any
+// failed verdict, refused mount, or first unrecoverable read auto-writes
+// a postmortem bundle (MANIFEST.json, metrics.prom, flight_recorder.log,
+// trace.json, slo.txt) into a fresh DIR/<reason>-<seq> subdirectory.
 //
 // --fail-slow enables the fail-slow phase of the plan: hedged reads are
 // switched on, a random online disk is armed with a seeded constant
@@ -56,7 +77,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "liberation/obs/serve.hpp"
+#include "liberation/obs/slo.hpp"
 #include "liberation/raid/chaos.hpp"
 #include "liberation/volume/chaos.hpp"
 
@@ -66,6 +90,60 @@ using liberation::raid::chaos_config;
 using liberation::raid::chaos_report;
 using liberation::volume::volume_chaos_config;
 using liberation::volume::volume_chaos_report;
+
+/// The --slo-read-p99-us objectives: a read-latency quantile (1% of the
+/// window may exceed the threshold) plus a zero-budget unrecoverable-read
+/// gate, against the hub the campaign actually runs (array or volume).
+std::vector<liberation::obs::slo_objective> make_slo_objectives(
+    std::uint64_t read_p99_us, bool volume_mode) {
+    using liberation::obs::slo_objective;
+    std::vector<slo_objective> v;
+    slo_objective lat;
+    lat.name = "read_p99_us";
+    lat.kind = slo_objective::kind_t::latency_quantile;
+    lat.source = volume_mode ? "volume_read_ns" : "raid_read_ns";
+    lat.threshold_ns = read_p99_us * 1000;
+    lat.budget = 0.01;
+    v.push_back(std::move(lat));
+    slo_objective err;
+    err.name = "unrecoverable_rate";
+    err.kind = slo_objective::kind_t::event_ratio;
+    if (volume_mode) {
+        err.source = "volume_failed_reads_total";
+        err.denominator = "volume_reads_total";
+    } else {
+        err.source = "raid_reads_unrecoverable_total";
+        err.denominator = "io_reads_total";
+    }
+    err.budget = 0.0;
+    v.push_back(std::move(err));
+    return v;
+}
+
+/// --listen: serve the campaign's captured exports over HTTP until
+/// `max_requests` connections (0 = until killed). The bound port goes to
+/// stderr so stdout stays byte-deterministic per seed.
+bool serve_captured(int port, std::size_t max_requests, std::string metrics,
+                    std::string trace, bool pass) {
+    liberation::obs::scrape_handlers h;
+    h.metrics = [m = std::move(metrics)] { return m; };
+    h.healthz = [pass] { return std::string(pass ? "ok\n" : "failing\n"); };
+    h.trace = [t = std::move(trace)] {
+        return t.empty() ? std::string("[]") : t;
+    };
+    liberation::obs::scrape_server srv;
+    if (!srv.listen(static_cast<std::uint16_t>(port), std::move(h))) {
+        std::fprintf(stderr, "chaos_campaign: cannot listen on port %d\n",
+                     port);
+        return false;
+    }
+    std::fprintf(stderr,
+                 "chaos_campaign: serving /metrics /healthz /trace on "
+                 "127.0.0.1:%u\n",
+                 srv.port());
+    srv.serve(max_requests);
+    return true;
+}
 
 bool write_file(const char* path, const std::string& text) {
     std::FILE* f = std::fopen(path, "w");
@@ -87,6 +165,7 @@ bool write_file(const char* path, const std::string& text) {
 void print_verdict_json(const chaos_config& cfg, const chaos_report& rep) {
     std::printf("CHAOS_VERDICT {");
     std::printf("\"pass\":%s,", rep.success ? "true" : "false");
+    std::printf("\"slo_ok\":%s,", rep.slo_ok ? "true" : "false");
     std::printf("\"seed\":%llu,", static_cast<unsigned long long>(cfg.seed));
     std::printf("\"ops\":%zu,", rep.ops);
     std::printf("\"mismatches\":%zu,", rep.mismatches);
@@ -218,6 +297,9 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                  rep.phases.settle_scrub_s, rep.phases.final_verify_s,
                  rep.phases.final_scrub_s, rep.phases.mount_replay_s,
                  rep.phases.total_s());
+    // Per-objective SLO status (only when objectives were configured);
+    // deterministic on the virtual clock.
+    if (!rep.slo_text.empty()) std::printf("%s", rep.slo_text.c_str());
     if (json) {
         print_verdict_json(cfg, rep);
         std::printf("%s\n", rep.success ? "PASS" : "FAIL");
@@ -232,7 +314,7 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 "intent_replayed=%zu stale_disks_kicked=%zu "
                 "rebuilds_resumed=%zu fail_slow=%zu deadline_exceeded=%llu "
                 "hedged=%llu hedge_wins=%llu slow_trips=%llu "
-                "slow_recoveries=%llu\n",
+                "slow_recoveries=%llu slo_ok=%d\n",
                 rep.success ? 1 : 0,
                 static_cast<unsigned long long>(cfg.seed), rep.ops,
                 rep.mismatches, rep.failed_reads, rep.failed_writes,
@@ -250,7 +332,8 @@ void print_report(const chaos_config& cfg, const chaos_report& rep,
                 static_cast<unsigned long long>(rep.hedged_reads),
                 static_cast<unsigned long long>(rep.hedge_wins),
                 static_cast<unsigned long long>(rep.slow_trips),
-                static_cast<unsigned long long>(rep.slow_recoveries));
+                static_cast<unsigned long long>(rep.slow_recoveries),
+                rep.slo_ok ? 1 : 0);
     std::printf("%s\n", rep.success ? "PASS" : "FAIL");
 }
 
@@ -260,6 +343,7 @@ void print_volume_verdict_json(const volume_chaos_config& cfg,
                                const volume_chaos_report& rep) {
     std::printf("VOLUME_CHAOS_VERDICT {");
     std::printf("\"pass\":%s,", rep.success ? "true" : "false");
+    std::printf("\"slo_ok\":%s,", rep.slo_ok ? "true" : "false");
     std::printf("\"seed\":%llu,", static_cast<unsigned long long>(cfg.seed));
     std::printf("\"shards\":%u,", cfg.volume.shards);
     std::printf("\"ops\":%zu,", rep.ops);
@@ -368,6 +452,7 @@ void print_volume_report(const volume_chaos_config& cfg,
                  rep.phases.settle_scrub_s, rep.phases.final_verify_s,
                  rep.phases.final_scrub_s, rep.phases.mount_replay_s,
                  rep.phases.total_s());
+    if (!rep.slo_text.empty()) std::printf("%s", rep.slo_text.c_str());
     if (json) {
         print_volume_verdict_json(cfg, rep);
         std::printf("%s\n", rep.success ? "PASS" : "FAIL");
@@ -382,7 +467,7 @@ void print_volume_report(const volume_chaos_config& cfg,
                 "mount_failures=%zu intent_replayed=%zu rebuilds_resumed=%zu "
                 "manifest_torn_slots=%zu fail_slow=%zu deadline_exceeded=%llu "
                 "hedged=%llu hedge_wins=%llu slow_trips=%llu "
-                "slow_recoveries=%llu\n",
+                "slow_recoveries=%llu slo_ok=%d\n",
                 rep.success ? 1 : 0,
                 static_cast<unsigned long long>(cfg.seed), cfg.volume.shards,
                 rep.ops, rep.mismatches, rep.failed_reads, rep.failed_writes,
@@ -404,7 +489,8 @@ void print_volume_report(const volume_chaos_config& cfg,
                 static_cast<unsigned long long>(rep.hedged_reads),
                 static_cast<unsigned long long>(rep.hedge_wins),
                 static_cast<unsigned long long>(rep.slow_trips),
-                static_cast<unsigned long long>(rep.slow_recoveries));
+                static_cast<unsigned long long>(rep.slow_recoveries),
+                rep.slo_ok ? 1 : 0);
     std::printf("%s\n", rep.success ? "PASS" : "FAIL");
 }
 
@@ -414,7 +500,9 @@ void print_volume_report(const volume_chaos_config& cfg,
                  "          [--stripes N] [--queue-depth N] [--read-rate R]\n"
                  "          [--write-rate R] [--persist-dir DIR] [--sync-meta]\n"
                  "          [--fail-slow] [--metrics-out FILE]\n"
-                 "          [--trace-out FILE] [--json] [--quiet]\n",
+                 "          [--trace-out FILE] [--slo-read-p99-us N]\n"
+                 "          [--listen PORT] [--serve-requests N]\n"
+                 "          [--postmortem-dir DIR] [--json] [--quiet]\n",
                  argv0);
     std::exit(2);
 }
@@ -432,6 +520,10 @@ int main(int argc, char** argv) {
     const char* trace_out = nullptr;
     const char* persist_dir = nullptr;
     bool sync_meta = false;
+    bool slo_enabled = false;
+    std::uint64_t slo_read_p99_us = 0;
+    int listen_port = -1;
+    std::size_t serve_requests = 0;
     chaos_config cfg = liberation::raid::default_chaos_config(seed, ops);
 
     for (int i = 1; i < argc; ++i) {
@@ -475,6 +567,18 @@ int main(int argc, char** argv) {
         } else if (const char* v = arg("--trace-out")) {
             trace_out = v;
             cfg.trace = true;
+        } else if (const char* v = arg("--slo-read-p99-us")) {
+            slo_enabled = true;
+            slo_read_p99_us = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--listen")) {
+            listen_port = static_cast<int>(std::strtol(v, nullptr, 0));
+            if (listen_port < 0 || listen_port > 65535) usage(argv[0]);
+        } else if (const char* v = arg("--serve-requests")) {
+            serve_requests = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = arg("--postmortem-dir")) {
+            // The library's automatic dump points are env-gated; the flag
+            // is the CLI spelling of that contract.
+            setenv("LIBERATION_POSTMORTEM_DIR", v, 1);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -486,10 +590,6 @@ int main(int argc, char** argv) {
     if (shards >= 2) {
         // Multi-shard route: the volume campaign. Per-shard knobs reuse
         // the single-array flags (each shard gets the same geometry).
-        if (trace_out != nullptr) {
-            std::fprintf(stderr, "chaos_campaign: --trace-out is "
-                                 "single-array only; ignored with --shards\n");
-        }
         volume_chaos_config vcfg =
             liberation::volume::default_volume_chaos_config(seed, shards,
                                                             ops);
@@ -498,6 +598,11 @@ int main(int argc, char** argv) {
         vcfg.volume.shard.io_queue_depth = cfg.array.io_queue_depth;
         vcfg.transient_read_rate = cfg.transient_read_rate;
         vcfg.transient_write_rate = cfg.transient_write_rate;
+        vcfg.trace = trace_out != nullptr;
+        if (slo_enabled) {
+            vcfg.slo = make_slo_objectives(slo_read_p99_us,
+                                           /*volume_mode=*/true);
+        }
         if (fail_slow) {
             vcfg.volume.shard.latency.hedged_reads = true;
         } else {
@@ -522,6 +627,16 @@ int main(int argc, char** argv) {
         bool exports_ok = true;
         if (metrics_out != nullptr) {
             exports_ok = write_file(metrics_out, rep.metrics_text);
+        }
+        if (trace_out != nullptr) {
+            exports_ok =
+                write_file(trace_out, rep.trace_json) && exports_ok;
+        }
+        if (listen_port >= 0) {
+            exports_ok = serve_captured(listen_port, serve_requests,
+                                        rep.metrics_text, rep.trace_json,
+                                        rep.success) &&
+                         exports_ok;
         }
         return rep.success && exports_ok ? 0 : 1;
     }
@@ -550,6 +665,9 @@ int main(int argc, char** argv) {
         cfg.persist.kill_mid_write_at_op = (ops * 7) / 10;
         cfg.persist.kill_mid_scrub_at_op = (ops * 9) / 10;
     }
+    if (slo_enabled) {
+        cfg.slo = make_slo_objectives(slo_read_p99_us, /*volume_mode=*/false);
+    }
     if (!quiet) {
         cfg.log = [](const std::string& msg) {
             std::printf("  [event] %s\n", msg.c_str());
@@ -564,6 +682,12 @@ int main(int argc, char** argv) {
     }
     if (trace_out != nullptr) {
         exports_ok = write_file(trace_out, rep.trace_json) && exports_ok;
+    }
+    if (listen_port >= 0) {
+        exports_ok = serve_captured(listen_port, serve_requests,
+                                    rep.metrics_text, rep.trace_json,
+                                    rep.success) &&
+                     exports_ok;
     }
     return rep.success && exports_ok ? 0 : 1;
 }

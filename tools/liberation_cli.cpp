@@ -4,6 +4,8 @@
 //   liberation_cli join   <dir> <file>
 //   liberation_cli verify <dir> [--repair]
 //   liberation_cli stats  [--seed N] [--ops N] [--queue-depth N] [--trace]
+//   liberation_cli serve  [--port N] [--seed N] [--queue-depth N]
+//                         [--max-requests N]
 //
 // split  : encode <file> into k data shards + P + Q inside <dir>
 // join   : rebuild <file> from the shards; up to two shard files may be
@@ -16,14 +18,23 @@
 //          to see every metric the observability layer exports, or to feed
 //          a scrape pipeline a real sample. --trace prints the Chrome
 //          trace JSON of the same run instead.
+// serve  : run the same synthetic workload continuously on a background
+//          thread and expose the live hub over HTTP on 127.0.0.1:
+//          /metrics (Prometheus text), /healthz, /trace (Chrome JSON).
+//          --port 0 (default) binds a kernel-assigned port; the bound
+//          port is printed as "SERVE port=N" on stdout before serving.
+//          --max-requests N exits after N connections (0 = until killed).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "liberation/obs/serve.hpp"
 #include "liberation/raid/array.hpp"
 #include "liberation/raid/scrubber.hpp"
 #include "liberation/tool/sharder.hpp"
@@ -39,7 +50,9 @@ int usage() {
         "  liberation_cli join   <dir> <file>\n"
         "  liberation_cli verify <dir> [--repair]\n"
         "  liberation_cli stats  [--seed N] [--ops N] [--queue-depth N]"
-        " [--trace]\n");
+        " [--trace]\n"
+        "  liberation_cli serve  [--port N] [--seed N] [--queue-depth N]"
+        " [--max-requests N]\n");
     return 2;
 }
 
@@ -190,6 +203,100 @@ int cmd_stats(int argc, char** argv) {
     return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+    std::uint64_t seed = 42;
+    std::uint64_t queue_depth = 1;
+    std::uint64_t port = 0;
+    std::uint64_t max_requests = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (i + 1 >= argc) return usage();
+        std::uint64_t v = 0;
+        if (!parse_u64(argv[i + 1], v)) return usage();
+        if (std::strcmp(argv[i], "--seed") == 0) {
+            seed = v;
+        } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
+            queue_depth = v;
+        } else if (std::strcmp(argv[i], "--port") == 0) {
+            port = v;
+        } else if (std::strcmp(argv[i], "--max-requests") == 0) {
+            max_requests = v;
+        } else {
+            return usage();
+        }
+        ++i;
+    }
+
+    liberation::raid::array_config cfg;
+    cfg.k = 4;
+    cfg.element_size = 512;
+    cfg.stripes = 32;
+    cfg.sector_size = 512;
+    cfg.hot_spares = 1;
+    cfg.rebuild_batch_stripes = 4;
+    cfg.io_queue_depth = queue_depth;
+    liberation::raid::raid6_array a(cfg);
+    a.obs().trace().enable();
+
+    liberation::util::xoshiro256 rng(seed);
+    const std::size_t cap = a.capacity();
+    std::vector<std::byte> buf(cap);
+    rng.fill(buf);
+    if (!a.write(0, buf)) {
+        std::fprintf(stderr, "liberation_cli serve: initial fill failed\n");
+        return 1;
+    }
+
+    // The workload loops on a background thread so every scrape sees a
+    // live, moving hub; the hub's readers are race-free against writers.
+    std::atomic<bool> stop{false};
+    std::thread worker([&a, &stop, seed] {
+        liberation::util::xoshiro256 wrng(seed ^ 0x9e3779b97f4a7c15ULL);
+        const std::size_t wcap = a.capacity();
+        const std::size_t max_io = 2 * a.map().stripe_data_size();
+        std::vector<std::byte> wbuf(max_io);
+        std::uint64_t op = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t len =
+                1 + wrng.next_below(std::min(max_io, wcap));
+            const std::size_t addr = wrng.next_below(wcap - len + 1);
+            const std::span<std::byte> io(wbuf.data(), len);
+            if (wrng.next_below(10) < 4) {
+                wrng.fill(io);
+                (void)a.write(addr, io);
+            } else {
+                (void)a.read(addr, io);
+            }
+            if (++op == 1000 && a.failed_disk_count() == 0) {
+                a.fail_disk(static_cast<std::uint32_t>(
+                    wrng.next_below(a.disk_count())));
+            }
+        }
+    });
+
+    liberation::obs::scrape_handlers h;
+    h.metrics = [&a] { return a.obs().metrics_text(); };
+    h.healthz = [&a] {
+        return a.stats().reads_unrecoverable == 0 ? std::string("ok\n")
+                                                  : std::string("failing\n");
+    };
+    h.trace = [&a] { return a.obs().trace_json(); };
+
+    liberation::obs::scrape_server srv;
+    int rc = 0;
+    if (!srv.listen(static_cast<std::uint16_t>(port), h)) {
+        std::fprintf(stderr, "liberation_cli serve: cannot bind port %llu\n",
+                     static_cast<unsigned long long>(port));
+        rc = 1;
+    } else {
+        std::printf("SERVE port=%u\n", srv.port());
+        std::fflush(stdout);
+        srv.serve(max_requests);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    worker.join();
+    return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +306,7 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[1], "join") == 0) return cmd_join(argc, argv);
         if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
         if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+        if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "liberation_cli: %s\n", e.what());
         return 1;

@@ -1,0 +1,127 @@
+// obs_dump — write a postmortem bundle on demand.
+//
+//   obs_dump <dir> [--seed N] [--ops N] [--queue-depth N] [--reason STR]
+//
+// Runs the same short seeded workload as `liberation_cli stats` (fill,
+// mixed reads/writes, a mid-run disk failure + spare rebuild, a scrub)
+// with tracing enabled, then dumps everything the observability layer
+// captured — metrics exposition, merged Chrome trace, and the
+// flight-recorder ring — as a bundle under <dir>, exactly the format the
+// automatic trip points (failed chaos verdict, refused mount, first
+// unrecoverable read) produce. Useful for eyeballing the bundle layout,
+// feeding CI parsers a known-good sample, and exercising
+// write_postmortem() end to end without arranging a real incident.
+//
+// Prints the bundle directory on stdout; exits 1 if nothing could be
+// written.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "liberation/obs/postmortem.hpp"
+#include "liberation/raid/array.hpp"
+#include "liberation/raid/scrubber.hpp"
+#include "liberation/util/rng.hpp"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: obs_dump <dir> [--seed N] [--ops N]"
+                 " [--queue-depth N] [--reason STR]\n");
+    return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+    char* end = nullptr;
+    const auto v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0') return false;
+    out = v;
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string dir = argv[1];
+    std::uint64_t seed = 42;
+    std::uint64_t ops = 2000;
+    std::uint64_t queue_depth = 1;
+    std::string reason = "manual";
+    for (int i = 2; i < argc; ++i) {
+        if (i + 1 >= argc) return usage();
+        if (std::strcmp(argv[i], "--reason") == 0) {
+            reason = argv[i + 1];
+            ++i;
+            continue;
+        }
+        std::uint64_t v = 0;
+        if (!parse_u64(argv[i + 1], v)) return usage();
+        if (std::strcmp(argv[i], "--seed") == 0) {
+            seed = v;
+        } else if (std::strcmp(argv[i], "--ops") == 0) {
+            ops = v;
+        } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
+            queue_depth = v;
+        } else {
+            return usage();
+        }
+        ++i;
+    }
+
+    liberation::raid::array_config cfg;
+    cfg.k = 4;
+    cfg.element_size = 512;
+    cfg.stripes = 32;
+    cfg.sector_size = 512;
+    cfg.hot_spares = 1;
+    cfg.rebuild_batch_stripes = 4;
+    cfg.io_queue_depth = queue_depth;
+    liberation::raid::raid6_array a(cfg);
+    a.obs().trace().enable();
+
+    liberation::util::xoshiro256 rng(seed);
+    const std::size_t cap = a.capacity();
+    std::vector<std::byte> buf(cap);
+    rng.fill(buf);
+    if (!a.write(0, buf)) {
+        std::fprintf(stderr, "obs_dump: initial fill failed\n");
+        return 1;
+    }
+    const std::size_t max_io = 2 * a.map().stripe_data_size();
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        const std::size_t len = 1 + rng.next_below(std::min(max_io, cap));
+        const std::size_t addr = rng.next_below(cap - len + 1);
+        const std::span<std::byte> io(buf.data(), len);
+        if (rng.next_below(10) < 4) {
+            rng.fill(io);
+            (void)a.write(addr, io);
+        } else {
+            (void)a.read(addr, io);
+        }
+        if (op == ops / 2 && a.failed_disk_count() == 0) {
+            a.fail_disk(
+                static_cast<std::uint32_t>(rng.next_below(a.disk_count())));
+        }
+    }
+    a.drain_background_rebuild();
+    (void)liberation::raid::scrub_array(a);
+
+    liberation::obs::postmortem_bundle b;
+    b.reason = reason;
+    b.metrics_text = a.obs().metrics_text();
+    b.trace_json = a.obs().trace_json();
+    const std::string out = liberation::obs::write_postmortem(dir, b);
+    if (out.empty()) {
+        std::fprintf(stderr, "obs_dump: could not write bundle under %s\n",
+                     dir.c_str());
+        return 1;
+    }
+    std::printf("%s\n", out.c_str());
+    return 0;
+}
